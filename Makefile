@@ -1,0 +1,34 @@
+.PHONY: all build test bench bench-quick bench-paper examples clean
+
+all: build
+
+build:
+	dune build @all
+
+test:
+	dune runtest
+
+test-verbose:
+	dune runtest --force --no-buffer
+
+bench:
+	dune exec bench/main.exe
+
+bench-quick:
+	dune exec bench/main.exe -- --quick
+
+bench-paper:
+	dune exec bench/main.exe -- table1 --paper-mc
+
+examples:
+	dune exec examples/quickstart.exe
+	dune exec examples/irdrop_variation.exe
+	dune exec examples/leakage_special_case.exe
+	dune exec examples/netlist_flow.exe
+	dune exec examples/distribution_plot.exe
+	dune exec examples/spatial_variation.exe
+	dune exec examples/yield_signoff.exe
+	dune exec examples/decap_insertion.exe
+
+clean:
+	dune clean

@@ -1,0 +1,27 @@
+(** Non-intrusive stochastic collocation (pseudo-spectral projection).
+
+    The intrusive Galerkin method of the paper couples all chaos
+    coefficients into one augmented system.  The standard non-intrusive
+    alternative runs ordinary *deterministic* transients at the nodes of a
+    tensor Gaussian quadrature grid and projects the results onto the same
+    basis:
+
+    [a_k(t) = sum_q w_q x(t; xi_q) psi_k(xi_q) / E(psi_k^2)]
+
+    For the paper's linear(ized) models both methods converge to the same
+    expansion; collocation reuses an off-the-shelf simulator ([Transient])
+    unchanged, at the cost of [points ^ dim] full transients.  Provided as
+    an independent cross-check of the Galerkin solver and as the ablation
+    the gPC literature always tabulates. *)
+
+val solve_transient :
+  ?points:int ->
+  ?probes:int array ->
+  Stochastic_model.t ->
+  h:float ->
+  steps:int ->
+  Response.t * int
+(** [solve_transient m ~h ~steps] runs the tensor-collocation transient.
+    [points] is the 1-D quadrature size (default [order + 1], which
+    integrates the linear model's projections exactly).  Returns the
+    response and the number of deterministic transients performed. *)

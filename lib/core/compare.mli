@@ -1,0 +1,39 @@
+(** OPERA vs Monte-Carlo error metrics — the columns of the paper's
+    Table 1. *)
+
+type report = {
+  nodes : int;
+  steps : int;
+  avg_err_mean_pct : float;
+      (** average % error of the mean voltage (relative to MC mean),
+          across all nodes and timesteps *)
+  max_err_mean_pct : float;
+  avg_err_std_pct : float;
+      (** average % error of the voltage standard deviation (relative to
+          MC sigma, where sigma is resolvable) *)
+  max_err_std_pct : float;
+  three_sigma_pct_of_nominal_drop : float;
+      (** average of [3 sigma / nominal drop * 100] over meaningful drops —
+          the paper's "±35%" column *)
+  mean_shift_pct_vdd : float;
+      (** average |mu - mu0| as % of VDD — the paper's "mu ≈ mu0" claim *)
+  opera_seconds : float;
+  mc_seconds : float;
+  speedup : float;
+}
+
+val compare :
+  response:Response.t ->
+  mc:Monte_carlo.result ->
+  nominal:float array ->
+  vdd:float ->
+  opera_seconds:float ->
+  report
+(** [nominal] is the deterministic (variation-free) voltage trajectory in
+    the same [(steps+1) * n] layout. *)
+
+val row_strings : string -> report -> string list
+(** Render as a Table-1-style row: label, nodes, the four error columns,
+    ±3sigma column, times and speedup. *)
+
+val header : (string * Util.Table.align) list

@@ -1,0 +1,90 @@
+type config = {
+  order : int;
+  h : float;
+  steps : int;
+  mc_samples : int;
+  seed : int64;
+  solver : Galerkin.solver;
+  ordering : Linalg.Ordering.kind;
+  probes : int array;
+}
+
+let default_config =
+  {
+    order = 2;
+    h = 0.125e-9;
+    steps = 40;
+    mc_samples = 300;
+    seed = 7L;
+    solver = Galerkin.Mean_pcg { tol = 1e-10; max_iter = 500 };
+    ordering = Linalg.Ordering.Nested_dissection;
+    probes = [||];
+  }
+
+type outcome = {
+  label : string;
+  spec : Powergrid.Grid_spec.t;
+  model : Stochastic_model.t;
+  response : Response.t;
+  galerkin_stats : Galerkin.stats;
+  opera_seconds : float;
+  mc : Monte_carlo.result;
+  nominal : float array;
+  report : Compare.report;
+}
+
+let nominal_transient (m : Stochastic_model.t) ~h ~steps =
+  let n = m.Stochastic_model.n in
+  let g = Powergrid.Mna.g_total m.Stochastic_model.mna in
+  let c = Powergrid.Mna.c_total m.Stochastic_model.mna in
+  let out = Array.make ((steps + 1) * n) 0.0 in
+  let inject t u = Powergrid.Mna.inject_into m.Stochastic_model.mna t u in
+  let fdc = Linalg.Sparse_cholesky.factor g in
+  let u0 = Powergrid.Mna.inject m.Stochastic_model.mna 0.0 in
+  let x0 = Linalg.Sparse_cholesky.solve fdc u0 in
+  Array.blit x0 0 out 0 n;
+  let cfg = Powergrid.Transient.default_config ~h ~steps in
+  Powergrid.Transient.run cfg ~g ~c ~inject ~x0 ~on_step:(fun k _t x ->
+      Array.blit x 0 out (k * n) n);
+  out
+
+let solve_opera config model =
+  let options =
+    { Galerkin.default_options with
+      Galerkin.solver = config.solver; ordering = config.ordering; probes = config.probes }
+  in
+  let t0 = Util.Timer.start () in
+  let response, stats = Galerkin.solve_transient ~options model ~h:config.h ~steps:config.steps in
+  (response, stats, Util.Timer.elapsed_s t0)
+
+let run_grid ?label config spec vm =
+  let circuit = Powergrid.Grid_gen.generate spec in
+  let label =
+    match label with
+    | Some l -> l
+    | None -> Printf.sprintf "%dn" (Powergrid.Grid_spec.node_count spec)
+  in
+  let probes =
+    if Array.length config.probes > 0 then config.probes
+    else [| Powergrid.Grid_gen.center_node spec |]
+  in
+  let config = { config with probes } in
+  let model = Stochastic_model.build ~order:config.order vm ~vdd:spec.Powergrid.Grid_spec.vdd circuit in
+  let response, galerkin_stats, opera_seconds = solve_opera config model in
+  let mc_config =
+    {
+      Monte_carlo.samples = config.mc_samples;
+      seed = config.seed;
+      h = config.h;
+      steps = config.steps;
+      ordering = config.ordering;
+      probes;
+      sampler = Monte_carlo.Pseudo;
+    }
+  in
+  let mc = Monte_carlo.run model mc_config in
+  let nominal = nominal_transient model ~h:config.h ~steps:config.steps in
+  let report =
+    Compare.compare ~response ~mc ~nominal ~vdd:spec.Powergrid.Grid_spec.vdd ~opera_seconds
+  in
+  { label; spec; model; response; galerkin_stats; opera_seconds; mc; nominal; report }

@@ -1,0 +1,42 @@
+(** One-call experiment orchestration used by the CLI, the examples and the
+    benchmark harness. *)
+
+type config = {
+  order : int;
+  h : float;
+  steps : int;
+  mc_samples : int;
+  seed : int64;
+  solver : Galerkin.solver;
+  ordering : Linalg.Ordering.kind;
+  probes : int array;
+}
+
+val default_config : config
+(** Order-2 expansion, 1 ns clock sampled at h = 0.125 ns for 40 steps,
+    300 MC samples, mean-block-preconditioned CG (the fastest accurate
+    configuration; see the solver ablation bench). *)
+
+type outcome = {
+  label : string;
+  spec : Powergrid.Grid_spec.t;
+  model : Stochastic_model.t;
+  response : Response.t;
+  galerkin_stats : Galerkin.stats;
+  opera_seconds : float;
+  mc : Monte_carlo.result;
+  nominal : float array;  (** deterministic trajectory, [(steps+1) * n] *)
+  report : Compare.report;
+}
+
+val nominal_transient : Stochastic_model.t -> h:float -> steps:int -> float array
+(** Variation-free transient of the grid (the paper's [mu0]). *)
+
+val solve_opera :
+  config -> Stochastic_model.t -> Response.t * Galerkin.stats * float
+(** Galerkin solve only; returns (response, stats, wall seconds). *)
+
+val run_grid : ?label:string -> config -> Powergrid.Grid_spec.t -> Varmodel.t -> outcome
+(** Full Table-1 pipeline for one grid: generate, expand, OPERA solve,
+    Monte-Carlo baseline, nominal reference, comparison report.
+    If [config.probes] is empty, the grid's center node is probed. *)

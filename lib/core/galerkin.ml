@@ -1,0 +1,234 @@
+type solver = Direct | Mean_pcg of { tol : float; max_iter : int }
+
+type options = {
+  solver : solver;
+  ordering : Linalg.Ordering.kind;
+  probes : int array;
+  scheme : Powergrid.Transient.scheme;
+}
+
+let default_options =
+  {
+    solver = Direct;
+    ordering = Linalg.Ordering.Nested_dissection;
+    probes = [||];
+    scheme = Powergrid.Transient.Backward_euler;
+  }
+
+type stats = {
+  aug_dim : int;
+  nnz_aug : int;
+  nnz_factor : int;
+  assemble_seconds : float;
+  factor_seconds : float;
+  step_seconds : float;
+  pcg_iterations : int;
+}
+
+let assemble (m : Stochastic_model.t) terms =
+  let size = Polychaos.Basis.size m.basis in
+  let zero = Linalg.Sparse.zero ~nrows:(size * m.n) ~ncols:(size * m.n) in
+  List.fold_left
+    (fun acc (rank, mat) ->
+      let coupling = Polychaos.Triple_product.coupling_matrix m.tp rank in
+      Linalg.Sparse.add acc (Linalg.Sparse.kron coupling mat))
+    zero terms
+
+let assemble_g m = assemble m m.Stochastic_model.g_terms
+
+let assemble_c m = assemble m m.Stochastic_model.c_terms
+
+let rhs_into (m : Stochastic_model.t) ~drain_buf t out =
+  let size = Polychaos.Basis.size m.basis in
+  if Array.length out <> size * m.n then invalid_arg "Galerkin.rhs_into: bad output size";
+  Linalg.Vec.fill out 0.0;
+  Stochastic_model.drain_profile_into m t drain_buf;
+  List.iter
+    (fun (j, vec) ->
+      let gamma = Polychaos.Basis.norm_sq m.basis j in
+      let base = j * m.n in
+      for i = 0 to m.n - 1 do
+        out.(base + i) <- out.(base + i) +. (gamma *. vec.(i))
+      done)
+    m.u_static_terms;
+  List.iter
+    (fun (j, coef) ->
+      let gamma = Polychaos.Basis.norm_sq m.basis j in
+      let base = j * m.n in
+      let s = gamma *. coef in
+      for i = 0 to m.n - 1 do
+        out.(base + i) <- out.(base + i) +. (s *. drain_buf.(i))
+      done)
+    m.u_drain_coefs;
+  ignore t
+
+(* Mean-block preconditioner: block j solved with the factorized nominal
+   matrix and divided by the basis norm. *)
+let mean_block_preconditioner (m : Stochastic_model.t) nominal_factor =
+  let size = Polychaos.Basis.size m.basis in
+  fun (r : Linalg.Vec.t) ->
+    let z = Array.copy r in
+    let block = Array.make m.n 0.0 in
+    for j = 0 to size - 1 do
+      Array.blit z (j * m.n) block 0 m.n;
+      Linalg.Sparse_cholesky.solve_in_place nominal_factor block;
+      let gamma = Polychaos.Basis.norm_sq m.basis j in
+      for i = 0 to m.n - 1 do
+        z.((j * m.n) + i) <- block.(i) /. gamma
+      done
+    done;
+    z
+
+let nominal_matrix (m : Stochastic_model.t) terms =
+  match List.assoc_opt 0 terms with
+  | Some mat -> mat
+  | None -> Linalg.Sparse.zero ~nrows:m.n ~ncols:m.n
+
+(* Order grid nodes once on their shared connectivity pattern, then keep all
+   N+1 chaos coefficients of a node adjacent.  This turns the augmented
+   factorization into a block version of the mesh factorization: the fill is
+   ~ (N+1)^2 times the scalar mesh fill instead of whatever a flat ordering
+   of the (N+1) n graph produces, and the (cheap) ordering runs on n nodes
+   rather than (N+1) n. *)
+let block_ordering ?(kind = Linalg.Ordering.Nested_dissection) (m : Stochastic_model.t) =
+  let node_perm = Linalg.Ordering.compute kind (Stochastic_model.node_pattern m) in
+  let size = Polychaos.Basis.size m.basis in
+  Array.init (size * m.n) (fun idx ->
+      let v = idx / size and k = idx mod size in
+      (k * m.n) + node_perm.(v))
+
+let solve_dc ?(options = default_options) (m : Stochastic_model.t) =
+  let size = Polychaos.Basis.size m.basis in
+  let gt = assemble_g m in
+  let drain_buf = Array.make m.n 0.0 in
+  let rhs = Array.make (size * m.n) 0.0 in
+  rhs_into m ~drain_buf 0.0 rhs;
+  match options.solver with
+  | Direct ->
+      let perm = block_ordering ~kind:options.ordering m in
+      let f = Linalg.Sparse_cholesky.factor ~perm gt in
+      Linalg.Sparse_cholesky.solve f rhs
+  | Mean_pcg { tol; max_iter } ->
+      let ga = nominal_matrix m m.g_terms in
+      let f0 = Linalg.Sparse_cholesky.factor ~ordering:options.ordering ga in
+      let precond = mean_block_preconditioner m f0 in
+      let x, _ =
+        Linalg.Cg.solve ~precond ~max_iter ~tol ~matvec:(Linalg.Sparse.mul_vec gt) ~b:rhs
+          ~x0:(Array.make (size * m.n) 0.0) ()
+      in
+      x
+
+let solve_transient ?(options = default_options) (m : Stochastic_model.t) ~h ~steps =
+  if h <= 0.0 then invalid_arg "Galerkin.solve_transient: step must be positive";
+  let size = Polychaos.Basis.size m.basis in
+  let dim = size * m.n in
+  let t_assemble = Util.Timer.start () in
+  let gt = assemble_g m in
+  let ct = assemble_c m in
+  (* Backward Euler factors Gt + Ct/h; trapezoidal factors Gt + 2Ct/h
+     (the doubled form of Ct/h + Gt/2, keeping the SPD scaling). *)
+  let ct_scale =
+    match options.scheme with
+    | Powergrid.Transient.Backward_euler -> 1.0 /. h
+    | Powergrid.Transient.Trapezoidal -> 2.0 /. h
+  in
+  let mt = Linalg.Sparse.axpy ~alpha:ct_scale ct gt in
+  let assemble_seconds = Util.Timer.elapsed_s t_assemble in
+  let response =
+    Response.create ~basis:m.basis ~n:m.n ~steps ~h ~vdd:m.vdd ~probes:options.probes
+  in
+  let drain_buf = Array.make m.n 0.0 in
+  let u = Array.make dim 0.0 in
+  let rhs = Array.make dim 0.0 in
+  let ct_a = Array.make dim 0.0 in
+  let pcg_iterations = ref 0 in
+  let factor_seconds = ref 0.0 in
+  let nnz_factor = ref 0 in
+  (* One ordering for the whole run: the stochastic DC factor and the
+     backward-Euler factor share the node pattern. *)
+  let a, step_of =
+    match options.solver with
+    | Direct ->
+        let t0 = Util.Timer.start () in
+        let perm = block_ordering ~kind:options.ordering m in
+        let fdc = Linalg.Sparse_cholesky.factor ~perm gt in
+        let f = Linalg.Sparse_cholesky.factor ~perm mt in
+        factor_seconds := Util.Timer.elapsed_s t0;
+        nnz_factor := Linalg.Sparse_cholesky.nnz_l f;
+        rhs_into m ~drain_buf 0.0 rhs;
+        let a = Linalg.Sparse_cholesky.solve fdc rhs in
+        let step_of () =
+          Array.blit rhs 0 a 0 dim;
+          Linalg.Sparse_cholesky.solve_in_place f a
+        in
+        (a, step_of)
+    | Mean_pcg { tol; max_iter } ->
+        let t0 = Util.Timer.start () in
+        let node_perm =
+          Linalg.Ordering.compute options.ordering (Stochastic_model.node_pattern m)
+        in
+        let ga = nominal_matrix m m.g_terms in
+        let nominal = Linalg.Sparse.axpy ~alpha:ct_scale (nominal_matrix m m.c_terms) ga in
+        let f0 = Linalg.Sparse_cholesky.factor ~perm:node_perm nominal in
+        let fdc0 = Linalg.Sparse_cholesky.factor ~perm:node_perm ga in
+        factor_seconds := Util.Timer.elapsed_s t0;
+        let precond = mean_block_preconditioner m f0 in
+        let precond_dc = mean_block_preconditioner m fdc0 in
+        rhs_into m ~drain_buf 0.0 rhs;
+        let a, st0 =
+          Linalg.Cg.solve ~precond:precond_dc ~max_iter ~tol
+            ~matvec:(Linalg.Sparse.mul_vec gt) ~b:rhs ~x0:(Array.make dim 0.0) ()
+        in
+        pcg_iterations := !pcg_iterations + st0.Linalg.Cg.iterations;
+        let step_of () =
+          let x, st =
+            Linalg.Cg.solve ~precond ~max_iter ~tol ~matvec:(Linalg.Sparse.mul_vec mt) ~b:rhs
+              ~x0:a ()
+          in
+          pcg_iterations := !pcg_iterations + st.Linalg.Cg.iterations;
+          Array.blit x 0 a 0 dim
+        in
+        (a, step_of)
+  in
+  Response.record_step response ~step:0 ~coefs:a;
+  let t_steps = Util.Timer.start () in
+  (match options.scheme with
+  | Powergrid.Transient.Backward_euler ->
+      for k = 1 to steps do
+        let t = float_of_int k *. h in
+        rhs_into m ~drain_buf t u;
+        Linalg.Sparse.mul_vec_into ct a ct_a;
+        for i = 0 to dim - 1 do
+          rhs.(i) <- u.(i) +. (ct_a.(i) /. h)
+        done;
+        step_of ();
+        Response.record_step response ~step:k ~coefs:a
+      done
+  | Powergrid.Transient.Trapezoidal ->
+      (* (Gt + 2Ct/h) a_{k+1} = (2Ct/h - Gt) a_k + Ut_k + Ut_{k+1} *)
+      let u_prev = Array.make dim 0.0 in
+      let gt_a = Array.make dim 0.0 in
+      rhs_into m ~drain_buf 0.0 u_prev;
+      for k = 1 to steps do
+        let t = float_of_int k *. h in
+        rhs_into m ~drain_buf t u;
+        Linalg.Sparse.mul_vec_into ct a ct_a;
+        Linalg.Sparse.mul_vec_into gt a gt_a;
+        for i = 0 to dim - 1 do
+          rhs.(i) <- ((2.0 /. h) *. ct_a.(i)) -. gt_a.(i) +. u.(i) +. u_prev.(i)
+        done;
+        step_of ();
+        Array.blit u 0 u_prev 0 dim;
+        Response.record_step response ~step:k ~coefs:a
+      done);
+  let step_seconds = Util.Timer.elapsed_s t_steps in
+  ( response,
+    {
+      aug_dim = dim;
+      nnz_aug = Linalg.Sparse.nnz mt;
+      nnz_factor = !nnz_factor;
+      assemble_seconds;
+      factor_seconds = !factor_seconds;
+      step_seconds;
+      pcg_iterations = !pcg_iterations;
+    } )

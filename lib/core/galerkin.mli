@@ -1,0 +1,63 @@
+(** Galerkin projection of the stochastic MNA system — the heart of OPERA.
+
+    With the response expanded as [x(t, xi) = sum_k a_k(t) psi_k(xi)] and
+    the truncation error forced orthogonal to every basis function
+    (Eq. (10)), one deterministic block system appears:
+
+    [Gt + s Ct] in block form, block (j, k) = [sum_i E(psi_i psi_j psi_k) A_i]
+
+    — exactly the paper's Eq. (19)–(22), kept in its symmetric
+    (norm-weighted) form so the augmented matrix stays SPD and sparse
+    Cholesky applies.  Assembly is a Kronecker sum
+    [sum_i T_i (x) A_i] over the model's matrix terms. *)
+
+type solver =
+  | Direct  (** sparse Cholesky of the augmented matrix *)
+  | Mean_pcg of { tol : float; max_iter : int }
+      (** conjugate gradient on the augmented system, preconditioned by the
+          factorized nominal block — the "iterative block solver" route of
+          Sec. 5.2 *)
+
+type options = {
+  solver : solver;
+  ordering : Linalg.Ordering.kind;
+  probes : int array;  (** nodes whose full PCE trajectory is kept *)
+  scheme : Powergrid.Transient.scheme;
+      (** time integration of the augmented system; backward Euler is the
+          paper's fixed-step choice, trapezoidal halves the local error at
+          the same cost structure *)
+}
+
+val default_options : options
+(** Direct solver, nested-dissection ordering, no probes, backward
+    Euler. *)
+
+type stats = {
+  aug_dim : int;  (** (N+1) * n *)
+  nnz_aug : int;  (** nonzeros of [Gt + Ct/h] *)
+  nnz_factor : int;  (** nonzeros of its Cholesky factor (Direct only) *)
+  assemble_seconds : float;
+  factor_seconds : float;
+  step_seconds : float;
+  pcg_iterations : int;  (** total over all steps (Mean_pcg only) *)
+}
+
+val assemble : Stochastic_model.t -> (int * Linalg.Sparse.t) list -> Linalg.Sparse.t
+(** [assemble m terms] = [sum_i kron (coupling_matrix tp i) A_i]. *)
+
+val assemble_g : Stochastic_model.t -> Linalg.Sparse.t
+
+val assemble_c : Stochastic_model.t -> Linalg.Sparse.t
+
+val rhs_into :
+  Stochastic_model.t -> drain_buf:Linalg.Vec.t -> float -> Linalg.Vec.t -> unit
+(** Augmented excitation [Ut(t)]: block j receives
+    [norm_sq j * (u_static_j + drain_coef_j * i(t))]. *)
+
+val solve_dc : ?options:options -> Stochastic_model.t -> Linalg.Vec.t
+(** Stochastic DC solution (augmented coefficients at t = 0). *)
+
+val solve_transient :
+  ?options:options -> Stochastic_model.t -> h:float -> steps:int -> Response.t * stats
+(** Backward-Euler transient of the augmented system starting from the
+    stochastic DC state; one factorization, [steps] solves. *)

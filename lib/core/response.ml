@@ -1,0 +1,122 @@
+type t = {
+  basis : Polychaos.Basis.t;
+  n : int;
+  steps : int;
+  h : float;
+  vdd : float;
+  mean : float array;
+  variance : float array;
+  probes : int array;
+  probe_coefs : float array array;
+}
+
+let create ~basis ~n ~steps ~h ~vdd ~probes =
+  Array.iter
+    (fun p -> if p < 0 || p >= n then invalid_arg "Response.create: probe out of range")
+    probes;
+  let size = Polychaos.Basis.size basis in
+  {
+    basis;
+    n;
+    steps;
+    h;
+    vdd;
+    mean = Array.make ((steps + 1) * n) 0.0;
+    variance = Array.make ((steps + 1) * n) 0.0;
+    probes;
+    probe_coefs = Array.map (fun _ -> Array.make ((steps + 1) * size) 0.0) probes;
+  }
+
+let record_step r ~step ~coefs =
+  let size = Polychaos.Basis.size r.basis in
+  if Array.length coefs <> size * r.n then invalid_arg "Response.record_step: bad vector size";
+  if step < 0 || step > r.steps then invalid_arg "Response.record_step: step out of range";
+  let base = step * r.n in
+  for node = 0 to r.n - 1 do
+    r.mean.(base + node) <- coefs.(node);
+    let acc = ref 0.0 in
+    for k = 1 to size - 1 do
+      let a = coefs.((k * r.n) + node) in
+      acc := !acc +. (a *. a *. Polychaos.Basis.norm_sq r.basis k)
+    done;
+    r.variance.(base + node) <- !acc
+  done;
+  Array.iteri
+    (fun p node ->
+      let dst = r.probe_coefs.(p) in
+      for k = 0 to size - 1 do
+        dst.((step * size) + k) <- coefs.((k * r.n) + node)
+      done)
+    r.probes
+
+let check_step r step =
+  if step < 0 || step > r.steps then invalid_arg "Response: step out of range"
+
+let mean_at r ~step ~node =
+  check_step r step;
+  r.mean.((step * r.n) + node)
+
+let variance_at r ~step ~node =
+  check_step r step;
+  r.variance.((step * r.n) + node)
+
+let std_at r ~step ~node = sqrt (variance_at r ~step ~node)
+
+let probe_index r node =
+  let rec go i =
+    if i >= Array.length r.probes then raise Not_found
+    else if r.probes.(i) = node then i
+    else go (i + 1)
+  in
+  go 0
+
+let pce_at r ~node ~step =
+  check_step r step;
+  let p = probe_index r node in
+  let size = Polychaos.Basis.size r.basis in
+  Polychaos.Pce.create r.basis (Array.sub r.probe_coefs.(p) (step * size) size)
+
+let sample_voltage r ~node ~step rng = Polychaos.Pce.sample (pce_at r ~node ~step) rng
+
+let moments_at r ~node ~step =
+  let pce = pce_at r ~node ~step in
+  {
+    Prob.Gram_charlier.mean = Polychaos.Pce.mean pce;
+    variance = Polychaos.Pce.variance pce;
+    skewness = Polychaos.Pce.skewness pce;
+    kurtosis_excess = Polychaos.Pce.kurtosis_excess pce;
+  }
+
+let density_at r ~node ~step =
+  let moments = moments_at r ~node ~step in
+  Prob.Gram_charlier.gram_charlier_pdf moments
+
+let export_csv r path =
+  let rows = ref [] in
+  Array.iter
+    (fun node ->
+      for step = r.steps downto 0 do
+        let pce = pce_at r ~node ~step in
+        rows :=
+          [
+            string_of_int step;
+            Util.Csv.float_cell (float_of_int step *. r.h);
+            string_of_int node;
+            Util.Csv.float_cell (Polychaos.Pce.mean pce);
+            Util.Csv.float_cell (Polychaos.Pce.std pce);
+            Util.Csv.float_cell (Polychaos.Pce.skewness pce);
+          ]
+          :: !rows
+      done)
+    r.probes;
+  Util.Csv.save path ~header:[ "step"; "time_s"; "node"; "mean_v"; "sigma_v"; "skewness" ]
+    ~rows:!rows
+
+let worst_mean_drop r ~step =
+  check_step r step;
+  let base = step * r.n in
+  let worst = ref 0 in
+  for node = 1 to r.n - 1 do
+    if r.mean.(base + node) < r.mean.(base + !worst) then worst := node
+  done;
+  (r.vdd -. r.mean.(base + !worst), !worst)

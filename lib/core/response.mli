@@ -1,0 +1,65 @@
+(** The stochastic voltage response produced by the Galerkin solve.
+
+    For every node and timestep the first two moments are kept; at selected
+    probe nodes the full chaos coefficient vector is kept, giving the
+    explicit analytic response [x(t, xi) = sum_k a_k(t) psi_k(xi)] that can
+    be evaluated, sampled, and turned into densities. *)
+
+type t = {
+  basis : Polychaos.Basis.t;
+  n : int;  (** nodes *)
+  steps : int;  (** timesteps after t = 0 *)
+  h : float;
+  vdd : float;
+  mean : float array;  (** [(steps+1) * n], index [step * n + node] *)
+  variance : float array;  (** same layout *)
+  probes : int array;
+  probe_coefs : float array array;
+      (** [probe_coefs.(p).(step * size + k)] = coefficient of [psi_k] *)
+}
+
+val create :
+  basis:Polychaos.Basis.t ->
+  n:int ->
+  steps:int ->
+  h:float ->
+  vdd:float ->
+  probes:int array ->
+  t
+(** Zero-initialized container; the solver fills it step by step. *)
+
+val record_step : t -> step:int -> coefs:Linalg.Vec.t -> unit
+(** [record_step r ~step ~coefs] ingests the full augmented coefficient
+    vector (block k = coefficients of [psi_k], length n each) at a step. *)
+
+val mean_at : t -> step:int -> node:int -> float
+
+val variance_at : t -> step:int -> node:int -> float
+
+val std_at : t -> step:int -> node:int -> float
+
+val probe_index : t -> int -> int
+(** Position of a node in the probe list. Raises [Not_found]. *)
+
+val pce_at : t -> node:int -> step:int -> Polychaos.Pce.t
+(** The explicit voltage PCE at a probe node. Raises [Not_found] if the
+    node is not probed. *)
+
+val sample_voltage : t -> node:int -> step:int -> Prob.Rng.t -> float
+(** Draw one voltage realization at a probe node by sampling [xi]. *)
+
+val moments_at : t -> node:int -> step:int -> Prob.Gram_charlier.moments
+(** First four moments of a probe node's voltage, computed from the
+    expansion (mean/variance exactly, skew/kurtosis by exact quadrature). *)
+
+val density_at : t -> node:int -> step:int -> float -> float
+(** Gram–Charlier density of a probe node's voltage reconstructed from
+    {!moments_at} — the paper's Sec. 5 route from moments to PDFs. *)
+
+val worst_mean_drop : t -> step:int -> float * int
+(** Largest mean voltage drop at a step and its node. *)
+
+val export_csv : t -> string -> unit
+(** Write the probe trajectories as CSV
+    ([step, time_s, node, mean_v, sigma_v, skewness]) for external
+    plotting. *)

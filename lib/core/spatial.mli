@@ -1,0 +1,51 @@
+(** Intra-die (spatially correlated) variation via Karhunen–Loève modes.
+
+    The paper models parameters as *spatial stochastic processes* but
+    evaluates the inter-die case where one die sees a single value.  This
+    module supplies the intra-die extension: a Gaussian random field with
+    exponential covariance over the die, discretized on the chip-region
+    grid and truncated by Karhunen–Loève (eigen) decomposition into a few
+    independent standard normals — which then drive a chaos expansion
+    exactly like the inter-die variables. *)
+
+type t = {
+  centers : (float * float) array;  (** region centers in normalized die coords *)
+  mode_weights : float array array;
+      (** [mode_weights.(m).(r)] = sqrt(lambda_m) phi_m(r): the parameter
+          shift in region [r] per unit of mode variable [m] *)
+  captured : float;  (** fraction of the field variance kept *)
+}
+
+val region_centers : Powergrid.Grid_spec.t -> (float * float) array
+(** Centers of the spec's regions_x x regions_y partition, in [0,1]^2. *)
+
+val exponential_covariance :
+  sigma:float -> corr_length:float -> (float * float) array -> Linalg.Dense.t
+(** [C(r, s) = sigma^2 exp (-dist(r, s) / corr_length)]. *)
+
+val karhunen_loeve :
+  sigma:float -> corr_length:float -> centers:(float * float) array -> energy:float -> t
+(** Keep the leading eigenmodes until [energy] (in (0, 1]) of the total
+    variance is captured. *)
+
+val modes : t -> int
+
+val field_variance : t -> int -> float
+(** Truncated variance of the field at a region (should approach sigma^2
+    as [energy] tends to 1). *)
+
+val sample_field : t -> Prob.Rng.t -> float array
+(** Draw one realization of the (truncated) field over the regions. *)
+
+val build_model :
+  ?order:int ->
+  t ->
+  base:Varmodel.t ->
+  spec:Powergrid.Grid_spec.t ->
+  Powergrid.Circuit.t ->
+  Stochastic_model.t
+(** Stochastic grid model where the wire conductance in region [r] follows
+    the spatial field (relative variation) while [xiL] remains a global
+    inter-die variable as in [base]:
+    [G(xi) = Ga + sum_m (sum_r w_m(r) G_r) xi_m].
+    The basis has [modes t + 1] dimensions, [xiL] last. *)

@@ -1,0 +1,49 @@
+type mode = Combined | Separate | Grouped_wires of int
+
+type family = Gaussian | Uniform
+
+type t = {
+  sigma_w : float;
+  sigma_t : float;
+  sigma_l : float;
+  current_sensitivity : float;
+  pad_varies : bool;
+  mode : mode;
+  family : family;
+  multiplicative_wt : bool;
+}
+
+let paper_default =
+  {
+    sigma_w = 0.20 /. 3.0;
+    sigma_t = 0.15 /. 3.0;
+    sigma_l = 0.20 /. 3.0;
+    current_sensitivity = 0.20 /. 3.0;
+    pad_varies = true;
+    mode = Combined;
+    family = Gaussian;
+    multiplicative_wt = false;
+  }
+
+let sigma_g m = sqrt ((m.sigma_w *. m.sigma_w) +. (m.sigma_t *. m.sigma_t))
+
+let dim m =
+  match m.mode with
+  | Combined -> 2
+  | Separate -> 3
+  | Grouped_wires k ->
+      if k < 1 then invalid_arg "Varmodel.dim: need at least one wire group";
+      k + 1
+
+let describe m =
+  let mode =
+    match m.mode with
+    | Combined -> "combined(xiG,xiL)"
+    | Separate -> "separate(xiW,xiT,xiL)"
+    | Grouped_wires k -> Printf.sprintf "grouped(%d wire RVs + xiL)" k
+  in
+  let family = match m.family with Gaussian -> "gaussian" | Uniform -> "uniform" in
+  Printf.sprintf "3s_W=%.0f%% 3s_T=%.0f%% 3s_L=%.0f%% (3s_G=%.0f%%), %s, %s, pads %s"
+    (300.0 *. m.sigma_w) (300.0 *. m.sigma_t) (300.0 *. m.sigma_l) (300.0 *. sigma_g m) mode
+    family
+    (if m.pad_varies then "varying" else "fixed")

@@ -1,0 +1,60 @@
+(** Process-variation model for a power grid (the paper's Sec. 3 and 5).
+
+    Physical variations are normalized zero-mean unit-variance Gaussians:
+    [xiW] (metal width), [xiT] (metal thickness), [xiL] (channel length).
+    A linear (first-order) model maps them onto the electrical quantities:
+
+    - wire conductance   [G(xi) = Ga (1 + sigma_w xiW + sigma_t xiT)]
+    - gate capacitance   [Cg(xi) = Cg (1 + sigma_l xiL)]
+    - drain currents     [i(xi,t) = i(t) (1 + current_sensitivity xiL)]
+
+    Because [sigma_w xiW + sigma_t xiT] is again Gaussian, width and
+    thickness combine into a single [xiG] with
+    [sigma_g = sqrt (sigma_w^2 + sigma_t^2)] — the paper's Eq. (14)
+    reduction from 3 to 2 random variables. *)
+
+type mode =
+  | Combined  (** 2 RVs [(xiG, xiL)] — the paper's main configuration *)
+  | Separate  (** 3 RVs [(xiW, xiT, xiL)] — no Eq. (14) reduction *)
+  | Grouped_wires of int
+      (** [k] independent wire-conductance RVs (geometric stripes) plus
+          [xiL]; the r-sweep ablation for Sec. 5.2's sparsity claim *)
+
+type family =
+  | Gaussian  (** Hermite chaos — the paper's main setting *)
+  | Uniform
+      (** bounded (uniform) parameter variations with Legendre chaos, the
+          Askey-scheme pairing the paper points to for non-Gaussian inputs.
+          Requires {!Separate} or {!Grouped_wires} mode: the Eq. (14)
+          two-variable reduction relies on Gaussian closure. *)
+
+type t = {
+  sigma_w : float;  (** 1-sigma relative width variation *)
+  sigma_t : float;  (** 1-sigma relative thickness variation *)
+  sigma_l : float;  (** 1-sigma relative channel-length variation *)
+  current_sensitivity : float;
+      (** relative drain-current change per unit [xiL] (linear model) *)
+  pad_varies : bool;
+      (** when true the supply-connection conductance follows [xiG] too,
+          which makes the RHS carry [Ug xiG] terms exactly as in Eq. (13) *)
+  mode : mode;
+  family : family;
+  multiplicative_wt : bool;
+      (** model the conductance as the exact product
+          [g0 (1 + sw xiW)(1 + st xiT)] instead of its linearization — a
+          degree-2 matrix term exercising the paper's remark that "there
+          are no limitations on the specific model".  Requires {!Separate}
+          mode and expansion order >= 2. *)
+}
+
+val paper_default : t
+(** The experimental setting of Table 1: 3-sigma of 20% in W, 15% in T
+    (hence 25% in [xiG]) and 20% in [Leff]; combined mode; pads varying. *)
+
+val sigma_g : t -> float
+(** [sqrt (sigma_w^2 + sigma_t^2)]. *)
+
+val dim : t -> int
+(** Number of independent random variables. *)
+
+val describe : t -> string

@@ -1,0 +1,67 @@
+let drop_stats (r : Response.t) ~node ~step =
+  let mu_drop = r.Response.vdd -. Response.mean_at r ~step ~node in
+  let sigma = Response.std_at r ~step ~node in
+  (mu_drop, sigma)
+
+let failure_probability_gaussian r ~node ~step ~budget =
+  let mu_drop, sigma = drop_stats r ~node ~step in
+  if sigma <= 0.0 then if mu_drop > budget then 1.0 else 0.0
+  else 1.0 -. Prob.Normal.cdf ((budget -. mu_drop) /. sigma)
+
+let failure_probability_sampled r ~node ~step ~budget ~samples rng =
+  if samples <= 0 then invalid_arg "Yield: need at least one sample";
+  let pce = Response.pce_at r ~node ~step in
+  let failures = ref 0 in
+  for _ = 1 to samples do
+    let v = Polychaos.Pce.sample pce rng in
+    if r.Response.vdd -. v > budget then incr failures
+  done;
+  float_of_int !failures /. float_of_int samples
+
+let worst_case_drop r ~node ~step ~quantile =
+  if quantile <= 0.0 || quantile >= 1.0 then invalid_arg "Yield: quantile must lie in (0, 1)";
+  let mu_drop, sigma = drop_stats r ~node ~step in
+  mu_drop +. (Prob.Normal.ppf quantile *. sigma)
+
+let grid_failure_probability_gaussian r ~step ~budget =
+  let total = ref 0.0 and worst = ref 0 and worst_p = ref (-1.0) in
+  for node = 0 to r.Response.n - 1 do
+    let p = failure_probability_gaussian r ~node ~step ~budget in
+    total := !total +. p;
+    if p > !worst_p then begin
+      worst_p := p;
+      worst := node
+    end
+  done;
+  (Float.min 1.0 !total, !worst)
+
+let sampled_probe_yield (r : Response.t) ~budget ~samples rng =
+  if samples <= 0 then invalid_arg "Yield: need at least one sample";
+  if Array.length r.Response.probes = 0 then invalid_arg "Yield: response has no probes";
+  (* Pre-extract every probe/step PCE once. *)
+  let pces =
+    Array.map
+      (fun node ->
+        Array.init (r.Response.steps + 1) (fun step -> Response.pce_at r ~node ~step))
+      r.Response.probes
+  in
+  let basis = r.Response.basis in
+  let ok = ref 0 in
+  for _ = 1 to samples do
+    let xi = Polychaos.Basis.sample_point basis rng in
+    let values = Polychaos.Basis.eval_all basis xi in
+    let pass = ref true in
+    Array.iter
+      (fun per_step ->
+        Array.iter
+          (fun (pce : Polychaos.Pce.t) ->
+            if !pass then begin
+              let acc = ref 0.0 in
+              Array.iteri (fun k v -> acc := !acc +. (pce.Polychaos.Pce.coefs.(k) *. v)) values;
+              if r.Response.vdd -. !acc > budget then pass := false
+            end)
+          per_step)
+      pces;
+    if !pass then incr ok
+  done;
+  float_of_int !ok /. float_of_int samples

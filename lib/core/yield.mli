@@ -1,0 +1,34 @@
+(** Voltage-drop yield estimation from the explicit stochastic response.
+
+    With [x(t, xi)] available analytically, "what fraction of manufactured
+    dies keeps every drop inside budget?" becomes integrable — the sign-off
+    question behind the paper's ±35% warning.  Three estimators are
+    provided, in increasing fidelity: a Gaussian tail, a skew/kurtosis-
+    corrected Cornish–Fisher-style tail, and direct sampling of the
+    expansion (cheap: one polynomial evaluation per die). *)
+
+val failure_probability_gaussian :
+  Response.t -> node:int -> step:int -> budget:float -> float
+(** P(drop > budget) from mean/sigma only (any node). [budget] in volts. *)
+
+val failure_probability_sampled :
+  Response.t -> node:int -> step:int -> budget:float -> samples:int -> Prob.Rng.t -> float
+(** Sampled estimate at a *probe* node (uses the full expansion, so skew
+    and nonlinearity are captured). *)
+
+val worst_case_drop :
+  Response.t -> node:int -> step:int -> quantile:float -> float
+(** Drop not exceeded with probability [quantile] under the Gaussian
+    model: [mu_drop + z_q * sigma]. *)
+
+val grid_failure_probability_gaussian :
+  Response.t -> step:int -> budget:float -> float * int
+(** Union bound of per-node Gaussian failure probabilities at a step
+    (conservative), and the dominating node. *)
+
+val sampled_probe_yield :
+  Response.t -> budget:float -> samples:int -> Prob.Rng.t -> float
+(** Fraction of sampled dies whose worst drop *over all probed nodes and
+    all timesteps* stays within budget.  Each die draws one [xi] and
+    evaluates every probe trajectory at it — correlations across nodes and
+    time are preserved exactly, unlike the union bound. *)

@@ -1,0 +1,132 @@
+type level = {
+  a : Sparse.t;
+  inv_diag : float array;
+  aggregate_of : int array;  (** fine node -> coarse aggregate (next level) *)
+  coarse_n : int;
+}
+
+type t = { levels : level list; coarsest : Cholesky.t; coarsest_dim : int }
+
+(* Greedy aggregation: each unaggregated node grabs its unaggregated
+   neighbors (strongest first); leftovers join the strongest neighboring
+   aggregate. *)
+let aggregate a =
+  let n, _ = Sparse.dims a in
+  let { Sparse.colptr; rowind; values; _ } = a in
+  let agg = Array.make n (-1) in
+  let next = ref 0 in
+  for j = 0 to n - 1 do
+    if agg.(j) < 0 then begin
+      (* seed a new aggregate only if j has an unaggregated neighbor or is
+         isolated *)
+      let members = ref [ j ] in
+      for k = colptr.(j) to colptr.(j + 1) - 1 do
+        let i = rowind.(k) in
+        if i <> j && agg.(i) < 0 then members := i :: !members
+      done;
+      if List.length !members > 1 || colptr.(j + 1) - colptr.(j) <= 1 then begin
+        List.iter (fun v -> agg.(v) <- !next) !members;
+        incr next
+      end
+    end
+  done;
+  (* Attach leftovers to the strongest adjacent aggregate. *)
+  for j = 0 to n - 1 do
+    if agg.(j) < 0 then begin
+      let best = ref (-1) and best_w = ref 0.0 in
+      for k = colptr.(j) to colptr.(j + 1) - 1 do
+        let i = rowind.(k) in
+        if i <> j && agg.(i) >= 0 then begin
+          let w = Float.abs values.(k) in
+          if w > !best_w then begin
+            best_w := w;
+            best := agg.(i)
+          end
+        end
+      done;
+      if !best >= 0 then agg.(j) <- !best
+      else begin
+        agg.(j) <- !next;
+        incr next
+      end
+    end
+  done;
+  (agg, !next)
+
+(* Galerkin coarse operator for piecewise-constant aggregation:
+   A_c(p, q) = sum over entries (i, j) with agg i = p, agg j = q. *)
+let coarse_operator a agg coarse_n =
+  let { Sparse.colptr; rowind; values; ncols; _ } = a in
+  let b = Sparse_builder.create ~nrows:coarse_n ~ncols:coarse_n () in
+  for j = 0 to ncols - 1 do
+    for k = colptr.(j) to colptr.(j + 1) - 1 do
+      Sparse_builder.add b agg.(rowind.(k)) agg.(j) values.(k)
+    done
+  done;
+  Sparse_builder.to_csc b
+
+let build ?(max_levels = 10) ?(coarsest = 64) a0 =
+  let n0, m0 = Sparse.dims a0 in
+  if n0 <> m0 then invalid_arg "Amg.build: matrix is not square";
+  let rec go a depth levels =
+    let n, _ = Sparse.dims a in
+    if n <= coarsest || depth >= max_levels then (List.rev levels, a)
+    else begin
+      let agg, coarse_n = aggregate a in
+      if coarse_n >= n then (List.rev levels, a) (* aggregation stalled *)
+      else begin
+        let diag = Sparse.diag a in
+        let inv_diag =
+          Array.map (fun d -> if d = 0.0 then 0.0 else 1.0 /. d) diag
+        in
+        let ac = coarse_operator a agg coarse_n in
+        go ac (depth + 1) ({ a; inv_diag; aggregate_of = agg; coarse_n } :: levels)
+      end
+    end
+  in
+  let levels, bottom = go a0 0 [] in
+  let coarsest_dim, _ = Sparse.dims bottom in
+  let coarsest = Cholesky.factor (Sparse.to_dense bottom) in
+  { levels; coarsest; coarsest_dim }
+
+let levels t = List.length t.levels + 1
+
+let level_dims t =
+  List.map (fun l -> fst (Sparse.dims l.a)) t.levels @ [ t.coarsest_dim ]
+
+let jacobi_sweep level x b =
+  (* x <- x + omega D^-1 (b - A x) *)
+  let omega = 2.0 /. 3.0 in
+  let n = Array.length x in
+  let ax = Sparse.mul_vec level.a x in
+  for i = 0 to n - 1 do
+    x.(i) <- x.(i) +. (omega *. level.inv_diag.(i) *. (b.(i) -. ax.(i)))
+  done
+
+let restrict level r =
+  let rc = Array.make level.coarse_n 0.0 in
+  Array.iteri (fun i v -> rc.(level.aggregate_of.(i)) <- rc.(level.aggregate_of.(i)) +. v) r;
+  rc
+
+let prolong level xc =
+  Array.init (Array.length level.aggregate_of) (fun i -> xc.(level.aggregate_of.(i)))
+
+let vcycle t b0 =
+  let rec down levels b =
+    match levels with
+    | [] -> Cholesky.solve t.coarsest b
+    | level :: rest ->
+        let x = Array.make (Array.length b) 0.0 in
+        jacobi_sweep level x b;
+        let r = Vec.sub b (Sparse.mul_vec level.a x) in
+        let xc = down rest (restrict level r) in
+        let correction = prolong level xc in
+        Vec.axpy ~alpha:1.0 correction x;
+        jacobi_sweep level x b;
+        x
+  in
+  down t.levels b0
+
+let solve ?(tol = 1e-10) ?max_iter t a b =
+  Cg.solve ~precond:(vcycle t) ?max_iter ~tol ~matvec:(Sparse.mul_vec a) ~b
+    ~x0:(Array.make (Array.length b) 0.0) ()

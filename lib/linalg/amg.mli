@@ -1,0 +1,26 @@
+(** Aggregation-based algebraic multigrid.
+
+    Unsmoothed greedy aggregation with piecewise-constant prolongation,
+    Galerkin coarse operators, weighted-Jacobi smoothing and a direct
+    coarsest solve.  Used as a CG preconditioner: the "multi-grid"
+    complexity reducer the paper points to (its reference [4]). *)
+
+type t
+
+val build : ?max_levels:int -> ?coarsest:int -> Sparse.t -> t
+(** [build a] constructs the hierarchy for the SPD matrix [a].
+    [max_levels] caps the depth (default 10); [coarsest] is the size below
+    which the level is solved directly (default 64). *)
+
+val levels : t -> int
+
+val level_dims : t -> int list
+(** Unknown counts per level, finest first. *)
+
+val vcycle : t -> Vec.t -> Vec.t
+(** One V(1,1)-cycle applied to a residual — usable directly as a
+    {!Cg.preconditioner}. *)
+
+val solve :
+  ?tol:float -> ?max_iter:int -> t -> Sparse.t -> Vec.t -> Vec.t * Cg.stats
+(** Stand-alone AMG-preconditioned CG solve of [a x = b]. *)

@@ -1,0 +1,55 @@
+let solve ?(precond = Cg.identity_preconditioner) ?max_iter ?(tol = 1e-10) ~matvec ~b ~x0 () =
+  let n = Array.length b in
+  let max_iter = match max_iter with Some m -> m | None -> Int.max 100 (10 * n) in
+  let x = Array.copy x0 in
+  let r = Vec.sub b (matvec x) in
+  let r_hat = Array.copy r in
+  let target = tol *. Float.max (Vec.norm2 b) 1e-300 in
+  let rho = ref 1.0 and alpha = ref 1.0 and omega = ref 1.0 in
+  let v = Vec.create n and p = Vec.create n in
+  let iter = ref 0 in
+  let rnorm = ref (Vec.norm2 r) in
+  let broke_down = ref false in
+  while !rnorm > target && !iter < max_iter && not !broke_down do
+    incr iter;
+    let rho' = Vec.dot r_hat r in
+    if Float.abs rho' < 1e-300 then broke_down := true
+    else begin
+      let beta = rho' /. !rho *. (!alpha /. !omega) in
+      rho := rho';
+      for i = 0 to n - 1 do
+        p.(i) <- r.(i) +. (beta *. (p.(i) -. (!omega *. v.(i))))
+      done;
+      let p_hat = precond p in
+      let v' = matvec p_hat in
+      Array.blit v' 0 v 0 n;
+      alpha := !rho /. Vec.dot r_hat v;
+      let s = Array.init n (fun i -> r.(i) -. (!alpha *. v.(i))) in
+      if Vec.norm2 s <= target then begin
+        Vec.axpy ~alpha:!alpha p_hat x;
+        Array.blit s 0 r 0 n;
+        rnorm := Vec.norm2 r
+      end
+      else begin
+        let s_hat = precond s in
+        let t = matvec s_hat in
+        let tt = Vec.dot t t in
+        if tt = 0.0 then broke_down := true
+        else begin
+          omega := Vec.dot t s /. tt;
+          for i = 0 to n - 1 do
+            x.(i) <- x.(i) +. (!alpha *. p_hat.(i)) +. (!omega *. s_hat.(i));
+            r.(i) <- s.(i) -. (!omega *. t.(i))
+          done;
+          rnorm := Vec.norm2 r;
+          if Float.abs !omega < 1e-300 then broke_down := true
+        end
+      end
+    end
+  done;
+  (x, { Cg.iterations = !iter; residual_norm = !rnorm; converged = !rnorm <= target })
+
+let solve_sparse ?precond ?max_iter ?tol a b =
+  let n, m = Sparse.dims a in
+  if n <> m then invalid_arg "Bicgstab.solve_sparse: matrix is not square";
+  solve ?precond ?max_iter ?tol ~matvec:(Sparse.mul_vec a) ~b ~x0:(Vec.create n) ()

@@ -1,0 +1,17 @@
+(** BiCGSTAB for general (non-symmetric) sparse systems. *)
+
+val solve :
+  ?precond:Cg.preconditioner ->
+  ?max_iter:int ->
+  ?tol:float ->
+  matvec:(Vec.t -> Vec.t) ->
+  b:Vec.t ->
+  x0:Vec.t ->
+  unit ->
+  Vec.t * Cg.stats
+(** Same contract as {!Cg.solve} but without the SPD requirement.
+    Convergence is declared when the residual 2-norm drops below
+    [tol * ||b||]. *)
+
+val solve_sparse :
+  ?precond:Cg.preconditioner -> ?max_iter:int -> ?tol:float -> Sparse.t -> Vec.t -> Vec.t * Cg.stats

@@ -1,0 +1,125 @@
+type preconditioner = Vec.t -> Vec.t
+
+type stats = { iterations : int; residual_norm : float; converged : bool }
+
+let identity_preconditioner r = Array.copy r
+
+let jacobi a =
+  let d = Sparse.diag a in
+  Array.iteri
+    (fun i v -> if v = 0.0 then invalid_arg (Printf.sprintf "Cg.jacobi: zero diagonal at %d" i))
+    d;
+  let inv = Array.map (fun v -> 1.0 /. v) d in
+  fun r -> Vec.mul_elementwise inv r
+
+(* IC(0): incomplete Cholesky restricted to the lower-triangular pattern of A. *)
+let ic0 a =
+  let n, m = Sparse.dims a in
+  if n <> m then invalid_arg "Cg.ic0: matrix is not square";
+  let l = Sparse.lower a in
+  let { Sparse.colptr; rowind; values; _ } = l in
+  let lx = Array.copy values in
+  (* Left-looking IC(0): for each column j, subtract contributions of all
+     previous columns k with l(j,k) != 0, restricted to the pattern. *)
+  (* Build row-wise access to the lower pattern for the update loop. *)
+  let lt = Sparse.transpose l in
+  (* lt columns = rows of l *)
+  let find_in_col j i =
+    (* position of entry (i, j) in l's column j, or -1 *)
+    let lo = ref colptr.(j) and hi = ref (colptr.(j + 1) - 1) in
+    let res = ref (-1) in
+    while !lo <= !hi do
+      let mid = (!lo + !hi) / 2 in
+      if rowind.(mid) = i then begin
+        res := mid;
+        lo := !hi + 1
+      end
+      else if rowind.(mid) < i then lo := mid + 1
+      else hi := mid - 1
+    done;
+    !res
+  in
+  for j = 0 to n - 1 do
+    (* Subtract sum_k<j l(j,k) * l(i,k) for entries (i,j) in the pattern. *)
+    let { Sparse.colptr = tp; rowind = ti; _ } = lt in
+    for q = tp.(j) to tp.(j + 1) - 1 do
+      let k = ti.(q) in
+      (* l(j,k) structural; k ranges over the row pattern of row j *)
+      if k < j then begin
+        let pjk = find_in_col k j in
+        let ljk = if pjk >= 0 then lx.(pjk) else 0.0 in
+        if ljk <> 0.0 then
+          (* for each i >= j with (i,k) and (i,j) in pattern *)
+          for p = colptr.(k) to colptr.(k + 1) - 1 do
+            let i = rowind.(p) in
+            if i >= j then begin
+              let pij = find_in_col j i in
+              if pij >= 0 then lx.(pij) <- lx.(pij) -. (ljk *. lx.(p))
+            end
+          done
+      end
+    done;
+    let pjj = find_in_col j j in
+    if pjj < 0 || lx.(pjj) <= 0.0 then failwith "Cg.ic0: pivot breakdown";
+    let d = sqrt lx.(pjj) in
+    lx.(pjj) <- d;
+    for p = colptr.(j) to colptr.(j + 1) - 1 do
+      if rowind.(p) > j then lx.(p) <- lx.(p) /. d
+    done
+  done;
+  fun r ->
+    let y = Array.copy r in
+    (* Forward solve L y = r; columns sorted so diagonal is first. *)
+    for j = 0 to n - 1 do
+      let pjj = colptr.(j) in
+      let yj = y.(j) /. lx.(pjj) in
+      y.(j) <- yj;
+      for p = pjj + 1 to colptr.(j + 1) - 1 do
+        y.(rowind.(p)) <- y.(rowind.(p)) -. (lx.(p) *. yj)
+      done
+    done;
+    (* Back solve L^T z = y. *)
+    for j = n - 1 downto 0 do
+      let pjj = colptr.(j) in
+      let acc = ref y.(j) in
+      for p = pjj + 1 to colptr.(j + 1) - 1 do
+        acc := !acc -. (lx.(p) *. y.(rowind.(p)))
+      done;
+      y.(j) <- !acc /. lx.(pjj)
+    done;
+    y
+
+let solve ?(precond = identity_preconditioner) ?max_iter ?(tol = 1e-10) ~matvec ~b ~x0 () =
+  let n = Array.length b in
+  let max_iter = match max_iter with Some m -> m | None -> Int.max 100 (10 * n) in
+  let x = Array.copy x0 in
+  let r = Vec.sub b (matvec x) in
+  let target = tol *. Float.max (Vec.norm2 b) 1e-300 in
+  let z = precond r in
+  let p = Array.copy z in
+  let rz = ref (Vec.dot r z) in
+  let iter = ref 0 in
+  let rnorm = ref (Vec.norm2 r) in
+  while !rnorm > target && !iter < max_iter do
+    incr iter;
+    let ap = matvec p in
+    let alpha = !rz /. Vec.dot p ap in
+    Vec.axpy ~alpha p x;
+    Vec.axpy ~alpha:(-.alpha) ap r;
+    rnorm := Vec.norm2 r;
+    if !rnorm > target then begin
+      let z = precond r in
+      let rz' = Vec.dot r z in
+      let beta = rz' /. !rz in
+      rz := rz';
+      for i = 0 to n - 1 do
+        p.(i) <- z.(i) +. (beta *. p.(i))
+      done
+    end
+  done;
+  (x, { iterations = !iter; residual_norm = !rnorm; converged = !rnorm <= target })
+
+let solve_sparse ?precond ?max_iter ?tol a b =
+  let n, m = Sparse.dims a in
+  if n <> m then invalid_arg "Cg.solve_sparse: matrix is not square";
+  solve ?precond ?max_iter ?tol ~matvec:(Sparse.mul_vec a) ~b ~x0:(Vec.create n) ()

@@ -1,0 +1,43 @@
+(** Conjugate gradient for sparse SPD systems, with optional
+    preconditioning.
+
+    The paper (Sec. 5.2) points to iterative block solvers as the
+    scalability lever for the augmented Galerkin system; the mean-block
+    preconditioner used there is built on top of this module. *)
+
+type preconditioner = Vec.t -> Vec.t
+(** [apply r] returns [M^-1 r] for the preconditioner [M]. *)
+
+type stats = { iterations : int; residual_norm : float; converged : bool }
+
+val identity_preconditioner : preconditioner
+
+val jacobi : Sparse.t -> preconditioner
+(** Diagonal (Jacobi) preconditioner. Raises if a diagonal entry is zero. *)
+
+val ic0 : Sparse.t -> preconditioner
+(** Incomplete Cholesky with zero fill on the lower-triangular pattern.
+    Raises [Failure] when a pivot breaks down (matrix too indefinite for
+    IC(0)). *)
+
+val solve :
+  ?precond:preconditioner ->
+  ?max_iter:int ->
+  ?tol:float ->
+  matvec:(Vec.t -> Vec.t) ->
+  b:Vec.t ->
+  x0:Vec.t ->
+  unit ->
+  Vec.t * stats
+(** [solve ~matvec ~b ~x0 ()] runs (preconditioned) CG until the residual
+    2-norm falls below [tol * ||b||] (default [tol = 1e-10]) or [max_iter]
+    iterations (default [10 * n]). *)
+
+val solve_sparse :
+  ?precond:preconditioner ->
+  ?max_iter:int ->
+  ?tol:float ->
+  Sparse.t ->
+  Vec.t ->
+  Vec.t * stats
+(** Convenience wrapper: CG on a sparse matrix with zero initial guess. *)

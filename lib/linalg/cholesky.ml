@@ -1,0 +1,56 @@
+exception Not_positive_definite of int
+
+type t = { l : Dense.t }
+
+let factor a =
+  let n, m = Dense.dims a in
+  if n <> m then invalid_arg "Cholesky.factor: matrix is not square";
+  let l = Dense.create n n in
+  for j = 0 to n - 1 do
+    let diag = ref (Dense.get a j j) in
+    for k = 0 to j - 1 do
+      let ljk = Dense.get l j k in
+      diag := !diag -. (ljk *. ljk)
+    done;
+    if !diag <= 0.0 then raise (Not_positive_definite j);
+    let ljj = sqrt !diag in
+    Dense.set l j j ljj;
+    for i = j + 1 to n - 1 do
+      let acc = ref (Dense.get a i j) in
+      for k = 0 to j - 1 do
+        acc := !acc -. (Dense.get l i k *. Dense.get l j k)
+      done;
+      Dense.set l i j (!acc /. ljj)
+    done
+  done;
+  { l }
+
+let solve f b =
+  let n, _ = Dense.dims f.l in
+  if Array.length b <> n then invalid_arg "Cholesky.solve: dimension mismatch";
+  let x = Array.copy b in
+  for i = 0 to n - 1 do
+    let acc = ref x.(i) in
+    for j = 0 to i - 1 do
+      acc := !acc -. (Dense.get f.l i j *. x.(j))
+    done;
+    x.(i) <- !acc /. Dense.get f.l i i
+  done;
+  for i = n - 1 downto 0 do
+    let acc = ref x.(i) in
+    for j = i + 1 to n - 1 do
+      acc := !acc -. (Dense.get f.l j i *. x.(j))
+    done;
+    x.(i) <- !acc /. Dense.get f.l i i
+  done;
+  x
+
+let lower f = Dense.copy f.l
+
+let logdet f =
+  let n, _ = Dense.dims f.l in
+  let acc = ref 0.0 in
+  for i = 0 to n - 1 do
+    acc := !acc +. log (Dense.get f.l i i)
+  done;
+  2.0 *. !acc

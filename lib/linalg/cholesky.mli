@@ -1,0 +1,20 @@
+(** Dense Cholesky factorization of symmetric positive-definite matrices. *)
+
+exception Not_positive_definite of int
+(** Raised with the offending pivot column when the matrix is not SPD. *)
+
+type t
+(** A factorization [A = L L^T]. *)
+
+val factor : Dense.t -> t
+(** [factor a] factorizes the symmetric positive-definite matrix [a]
+    (only the lower triangle is read). Raises {!Not_positive_definite}
+    or [Invalid_argument] if [a] is not square. *)
+
+val solve : t -> Vec.t -> Vec.t
+
+val lower : t -> Dense.t
+(** The factor [L]. *)
+
+val logdet : t -> float
+(** Log-determinant of [A]. *)

@@ -1,0 +1,46 @@
+type t = {
+  base : Sparse_cholesky.t;
+  u : Vec.t array;
+  ainv_u : Vec.t array;  (** A^-1 u_j, cached *)
+  capacitance_lu : Lu.t;  (** LU of diag(1/c) + U^T A^-1 U (c may be negative) *)
+}
+
+let prepare f ~u ~c =
+  let k = Array.length u in
+  if Array.length c <> k then invalid_arg "Low_rank.prepare: u/c length mismatch";
+  if k = 0 then invalid_arg "Low_rank.prepare: empty update";
+  let n = Sparse_cholesky.dim f in
+  Array.iter
+    (fun uj -> if Array.length uj <> n then invalid_arg "Low_rank.prepare: vector length")
+    u;
+  Array.iter (fun cj -> if cj = 0.0 then invalid_arg "Low_rank.prepare: zero coefficient") c;
+  let ainv_u = Array.map (fun uj -> Sparse_cholesky.solve f uj) u in
+  (* Small capacitance matrix: diag(1/c) + U^T A^-1 U. *)
+  let cap =
+    Dense.init k k (fun i j ->
+        let base = Vec.dot u.(i) ainv_u.(j) in
+        if i = j then base +. (1.0 /. c.(i)) else base)
+  in
+  let capacitance_lu =
+    try Lu.factor cap with Lu.Singular _ -> failwith "Low_rank.prepare: singular update"
+  in
+  { base = f; u; ainv_u; capacitance_lu }
+
+let rank t = Array.length t.u
+
+let solve t b =
+  let y = Sparse_cholesky.solve t.base b in
+  let k = Array.length t.u in
+  let rhs = Array.init k (fun j -> Vec.dot t.u.(j) y) in
+  let z = Lu.solve t.capacitance_lu rhs in
+  let x = Array.copy y in
+  for j = 0 to k - 1 do
+    Vec.axpy ~alpha:(-.z.(j)) t.ainv_u.(j) x
+  done;
+  x
+
+let node_update ~n ~node ~delta =
+  if node < 0 || node >= n then invalid_arg "Low_rank.node_update: node out of range";
+  let u = Vec.create n in
+  u.(node) <- 1.0;
+  (u, delta)

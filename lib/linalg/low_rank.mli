@@ -1,0 +1,28 @@
+(** Sherman–Morrison–Woodbury solves for low-rank-updated systems.
+
+    What-if edits (decap insertion, via repair, pad resizing) change a
+    handful of matrix entries; re-factorizing the whole grid for each
+    candidate is wasteful.  With [A' = A + U diag(c) U^T] and a factor of
+    [A] already in hand,
+
+    [A'^-1 b = A^-1 b - A^-1 U (diag(c)^-1 + U^T A^-1 U)^-1 U^T A^-1 b]
+
+    costs [k] extra triangular solves once plus one small dense solve per
+    right-hand side. *)
+
+type t
+
+val prepare : Sparse_cholesky.t -> u:Vec.t array -> c:Vec.t -> t
+(** [prepare f ~u ~c] caches the capacitance matrix of the update
+    [sum_j c.(j) u_j u_j^T] against the factorized base matrix.
+    Raises [Invalid_argument] on shape mismatch or a zero coefficient,
+    and [Failure] if the updated system is singular. *)
+
+val rank : t -> int
+
+val solve : t -> Vec.t -> Vec.t
+(** Solve the *updated* system [A' x = b]. *)
+
+val node_update : n:int -> node:int -> delta:float -> Vec.t * float
+(** Convenience: a diagonal update [delta] at one node, as a (u, c) pair
+    ([u] is the unit vector at [node]). *)

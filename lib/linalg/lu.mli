@@ -1,0 +1,23 @@
+(** Dense LU factorization with partial pivoting (Doolittle). *)
+
+exception Singular of int
+(** Raised when a zero (or numerically negligible) pivot is met; the payload
+    is the offending column. *)
+
+type t
+(** A factorization [P A = L U]. *)
+
+val factor : Dense.t -> t
+(** [factor a] factorizes the square matrix [a].
+    Raises {!Singular} if [a] is singular to working precision and
+    [Invalid_argument] if [a] is not square. *)
+
+val solve : t -> Vec.t -> Vec.t
+(** [solve f b] solves [A x = b]. *)
+
+val solve_many : t -> Dense.t -> Dense.t
+(** [solve_many f b] solves [A X = B] column by column. *)
+
+val det : t -> float
+
+val inverse : t -> Dense.t

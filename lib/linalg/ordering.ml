@@ -1,0 +1,330 @@
+type kind = Natural | Rcm | Min_degree | Nested_dissection
+
+let adjacency a =
+  let n, m = Sparse.dims a in
+  if n <> m then invalid_arg "Ordering.adjacency: matrix is not square";
+  let at = Sparse.transpose a in
+  let sym = Sparse.add a at in
+  let { Sparse.colptr; rowind; _ } = sym in
+  Array.init n (fun j ->
+      let lo = colptr.(j) and hi = colptr.(j + 1) in
+      let neighbors = ref [] in
+      for k = hi - 1 downto lo do
+        if rowind.(k) <> j then neighbors := rowind.(k) :: !neighbors
+      done;
+      Array.of_list !neighbors)
+
+(* --- Reverse Cuthill–McKee ------------------------------------------- *)
+
+let bfs_levels adj start visited =
+  (* Returns the BFS levels from [start] over unvisited nodes, without
+     marking [visited]. *)
+  let seen = Hashtbl.create 64 in
+  Hashtbl.replace seen start ();
+  let rec go frontier levels =
+    let next =
+      List.concat_map
+        (fun v ->
+          Array.to_list adj.(v)
+          |> List.filter (fun u ->
+                 if visited.(u) || Hashtbl.mem seen u then false
+                 else begin
+                   Hashtbl.replace seen u ();
+                   true
+                 end))
+        frontier
+    in
+    if next = [] then List.rev (frontier :: levels) else go next (frontier :: levels)
+  in
+  go [ start ] []
+
+let pseudo_peripheral adj visited start =
+  (* George–Liu heuristic: walk to a node of maximal eccentricity. *)
+  let degree v = Array.length adj.(v) in
+  let rec refine v ecc =
+    let levels = bfs_levels adj v visited in
+    let ecc' = List.length levels in
+    if ecc' <= ecc then v
+    else
+      let last = List.nth levels (ecc' - 1) in
+      let best =
+        List.fold_left (fun acc u -> if degree u < degree acc then u else acc) (List.hd last) last
+      in
+      refine best ecc'
+  in
+  refine start 0
+
+let rcm a =
+  let adj = adjacency a in
+  let n = Array.length adj in
+  let visited = Array.make n false in
+  let order = Array.make n 0 in
+  let pos = ref 0 in
+  let degree v = Array.length adj.(v) in
+  for seed = 0 to n - 1 do
+    if not visited.(seed) then begin
+      let start = pseudo_peripheral adj visited seed in
+      (* Cuthill–McKee BFS, neighbors by increasing degree. *)
+      let queue = Queue.create () in
+      Queue.add start queue;
+      visited.(start) <- true;
+      while not (Queue.is_empty queue) do
+        let v = Queue.pop queue in
+        order.(!pos) <- v;
+        incr pos;
+        let fresh = Array.to_list adj.(v) |> List.filter (fun u -> not visited.(u)) in
+        let fresh = List.sort (fun u w -> compare (degree u) (degree w)) fresh in
+        List.iter
+          (fun u ->
+            visited.(u) <- true;
+            Queue.add u queue)
+          fresh
+      done
+    end
+  done;
+  (* Reverse for RCM. *)
+  Array.init n (fun k -> order.(n - 1 - k))
+
+(* --- Minimum degree with a quotient graph ----------------------------- *)
+
+module Heap = struct
+  (* Binary min-heap of packed (key, vertex) entries with lazy deletion. *)
+  type t = { mutable data : int array; mutable len : int; stride : int }
+
+  let create n = { data = Array.make (Int.max 16 n) 0; len = 0; stride = n + 1 }
+
+  let push h key v =
+    if h.len = Array.length h.data then begin
+      let data = Array.make (2 * h.len) 0 in
+      Array.blit h.data 0 data 0 h.len;
+      h.data <- data
+    end;
+    let packed = (key * h.stride) + v in
+    let i = ref h.len in
+    h.len <- h.len + 1;
+    h.data.(!i) <- packed;
+    let continue_ = ref true in
+    while !continue_ && !i > 0 do
+      let parent = (!i - 1) / 2 in
+      if h.data.(parent) > h.data.(!i) then begin
+        let t = h.data.(parent) in
+        h.data.(parent) <- h.data.(!i);
+        h.data.(!i) <- t;
+        i := parent
+      end
+      else continue_ := false
+    done
+
+  let pop h =
+    if h.len = 0 then None
+    else begin
+      let top = h.data.(0) in
+      h.len <- h.len - 1;
+      if h.len > 0 then begin
+        h.data.(0) <- h.data.(h.len);
+        let i = ref 0 in
+        let continue_ = ref true in
+        while !continue_ do
+          let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+          let smallest = ref !i in
+          if l < h.len && h.data.(l) < h.data.(!smallest) then smallest := l;
+          if r < h.len && h.data.(r) < h.data.(!smallest) then smallest := r;
+          if !smallest <> !i then begin
+            let t = h.data.(!smallest) in
+            h.data.(!smallest) <- h.data.(!i);
+            h.data.(!i) <- t;
+            i := !smallest
+          end
+          else continue_ := false
+        done
+      end;
+      Some (top / h.stride, top mod h.stride)
+    end
+end
+
+let min_degree a =
+  let adj = adjacency a in
+  let n = Array.length adj in
+  let var_adj = Array.map Array.copy adj in
+  let elem_adj = Array.make n [||] in
+  let elem_vars = Array.make n [||] in
+  let var_alive = Array.make n true in
+  let elem_alive = Array.make n false in
+  let degree = Array.init n (fun v -> Array.length adj.(v)) in
+  let mark = Array.make n false in
+  let heap = Heap.create n in
+  for v = 0 to n - 1 do
+    Heap.push heap degree.(v) v
+  done;
+  let order = Array.make n 0 in
+  let pos = ref 0 in
+  let boundary = ref [] in
+  while !pos < n do
+    match Heap.pop heap with
+    | None ->
+        (* Stale heap exhausted; push any remaining vertex (should not
+           happen, but keeps termination obvious). *)
+        for v = 0 to n - 1 do
+          if var_alive.(v) then Heap.push heap degree.(v) v
+        done
+    | Some (d, v) ->
+        if var_alive.(v) && degree.(v) = d then begin
+          (* Gather the boundary Lv of the new element v. *)
+          boundary := [];
+          mark.(v) <- true;
+          let consider u =
+            if var_alive.(u) && not mark.(u) then begin
+              mark.(u) <- true;
+              boundary := u :: !boundary
+            end
+          in
+          Array.iter consider var_adj.(v);
+          Array.iter
+            (fun e -> if elem_alive.(e) then Array.iter consider elem_vars.(e))
+            elem_adj.(v);
+          let lv = Array.of_list !boundary in
+          (* Retire v; absorb its elements. *)
+          order.(!pos) <- v;
+          incr pos;
+          var_alive.(v) <- false;
+          Array.iter (fun e -> elem_alive.(e) <- false) elem_adj.(v);
+          elem_alive.(v) <- true;
+          elem_vars.(v) <- lv;
+          (* Update each boundary variable. *)
+          Array.iter
+            (fun u ->
+              let vs =
+                Array.to_list var_adj.(u)
+                |> List.filter (fun w -> var_alive.(w) && not mark.(w))
+              in
+              var_adj.(u) <- Array.of_list vs;
+              let es =
+                Array.to_list elem_adj.(u) |> List.filter (fun e -> elem_alive.(e))
+              in
+              elem_adj.(u) <- Array.of_list (v :: es);
+              (* Approximate external degree: variable neighbors plus the
+                 sizes of adjacent element boundaries (overlaps overcount,
+                 as in AMD's approximate degree). *)
+              let deg = ref (Array.length var_adj.(u)) in
+              Array.iter
+                (fun e ->
+                  Array.iter
+                    (fun w -> if var_alive.(w) && w <> u then incr deg)
+                    elem_vars.(e))
+                elem_adj.(u);
+              degree.(u) <- !deg;
+              Heap.push heap !deg u)
+            lv;
+          (* Clear marks. *)
+          mark.(v) <- false;
+          Array.iter (fun u -> mark.(u) <- false) lv
+        end
+  done;
+  order
+
+(* --- Nested dissection (George–Liu automatic ND) --------------------- *)
+
+let nested_dissection a =
+  let adj = adjacency a in
+  let n = Array.length adj in
+  let order = Array.make n 0 in
+  let pos = ref 0 in
+  let emit v =
+    order.(!pos) <- v;
+    incr pos
+  in
+  (* membership stamps for the current subgraph and BFS levels *)
+  let stamp = Array.make n (-1) in
+  let level = Array.make n (-1) in
+  let current = ref 0 in
+  let queue = Array.make n 0 in
+  (* BFS within the stamped subgraph from [start]; fills [level], returns
+     (reached count, max level, last visited). *)
+  let bfs start =
+    let s = !current in
+    let head = ref 0 and tail = ref 0 in
+    queue.(!tail) <- start;
+    incr tail;
+    level.(start) <- 0;
+    let last = ref start in
+    while !head < !tail do
+      let v = queue.(!head) in
+      incr head;
+      last := v;
+      Array.iter
+        (fun u ->
+          if stamp.(u) = s && level.(u) < 0 then begin
+            level.(u) <- level.(v) + 1;
+            queue.(!tail) <- u;
+            incr tail
+          end)
+        adj.(v)
+    done;
+    (!tail, level.(!last), !last)
+  in
+  let clear_levels nodes = Array.iter (fun v -> level.(v) <- -1) nodes in
+  let leaf_threshold = 24 in
+  let rec dissect nodes =
+    let m = Array.length nodes in
+    if m = 0 then ()
+    else if m <= leaf_threshold then Array.iter emit nodes
+    else begin
+      incr current;
+      let s = !current in
+      Array.iter (fun v -> stamp.(v) <- s) nodes;
+      (* Handle one connected component; recurse on the remainder. *)
+      let reached, _, far = bfs nodes.(0) in
+      if reached < m then begin
+        let comp = Array.of_seq (Seq.filter (fun v -> level.(v) >= 0) (Array.to_seq nodes)) in
+        let rest = Array.of_seq (Seq.filter (fun v -> level.(v) < 0) (Array.to_seq nodes)) in
+        clear_levels nodes;
+        dissect comp;
+        dissect rest
+      end
+      else begin
+        (* Pseudo-peripheral refinement: restart BFS from the far node. *)
+        clear_levels nodes;
+        (* restore stamp (clear_levels does not touch stamps) *)
+        let _, ecc, _ = bfs far in
+        if ecc < 2 then begin
+          clear_levels nodes;
+          Array.iter emit nodes
+        end
+        else begin
+          (* Choose the thinnest level near the middle as the separator. *)
+          let width = Array.make (ecc + 1) 0 in
+          Array.iter (fun v -> width.(level.(v)) <- width.(level.(v)) + 1) nodes;
+          let lo = Int.max 1 (3 * ecc / 8) and hi = Int.min (ecc - 1) (5 * ecc / 8) in
+          let mid = ref (ecc / 2) in
+          for l = lo to hi do
+            if width.(l) < width.(!mid) then mid := l
+          done;
+          let mid = !mid in
+          let left = ref [] and right = ref [] and sep = ref [] in
+          Array.iter
+            (fun v ->
+              if level.(v) < mid then left := v :: !left
+              else if level.(v) > mid then right := v :: !right
+              else sep := v :: !sep)
+            nodes;
+          clear_levels nodes;
+          let left = Array.of_list !left and right = Array.of_list !right in
+          let sep = Array.of_list !sep in
+          dissect left;
+          dissect right;
+          Array.iter emit sep
+        end
+      end
+    end
+  in
+  dissect (Array.init n (fun i -> i));
+  order
+
+let compute kind a =
+  let n, m = Sparse.dims a in
+  if n <> m then invalid_arg "Ordering.compute: matrix is not square";
+  match kind with
+  | Natural -> Perm.identity n
+  | Rcm -> rcm a
+  | Min_degree -> min_degree a
+  | Nested_dissection -> nested_dissection a

@@ -1,0 +1,23 @@
+(** Fill-reducing orderings for sparse symmetric factorization.
+
+    The permutation convention follows {!Perm}: the result lists the
+    original indices in elimination order, so [Sparse.permute_sym a p]
+    produces the reordered matrix to factorize. *)
+
+type kind =
+  | Natural  (** identity ordering *)
+  | Rcm  (** reverse Cuthill–McKee (bandwidth reduction) *)
+  | Min_degree  (** quotient-graph minimum degree (fill reduction) *)
+  | Nested_dissection
+      (** recursive BFS-separator dissection (George–Liu automatic ND):
+          near-optimal fill on mesh-like graphs at O(n log n) cost — the
+          default for power-grid matrices *)
+
+val compute : kind -> Sparse.t -> Perm.t
+(** [compute kind a] orders the square matrix [a] using the symmetrized
+    pattern of [a + a^T] with the diagonal ignored. *)
+
+val adjacency : Sparse.t -> int array array
+(** Undirected adjacency lists of the symmetrized pattern (no diagonal,
+    no duplicates, sorted). Exposed for tests and for graph-based grid
+    diagnostics. *)

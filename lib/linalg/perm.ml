@@ -1,0 +1,35 @@
+type t = int array
+
+let identity n = Array.init n (fun i -> i)
+
+let is_valid p =
+  let n = Array.length p in
+  let seen = Array.make n false in
+  let ok = ref true in
+  Array.iter
+    (fun v ->
+      if v < 0 || v >= n || seen.(v) then ok := false else seen.(v) <- true)
+    p;
+  !ok
+
+let inverse p =
+  let n = Array.length p in
+  let q = Array.make n 0 in
+  for k = 0 to n - 1 do
+    q.(p.(k)) <- k
+  done;
+  q
+
+let compose p q =
+  if Array.length p <> Array.length q then invalid_arg "Perm.compose: length mismatch";
+  Array.map (fun pk -> q.(pk)) p
+
+let apply_vec p x =
+  if Array.length p <> Array.length x then invalid_arg "Perm.apply_vec: length mismatch";
+  Array.map (fun pk -> x.(pk)) p
+
+let apply_inv_vec p y =
+  if Array.length p <> Array.length y then invalid_arg "Perm.apply_inv_vec: length mismatch";
+  let x = Array.make (Array.length y) 0.0 in
+  Array.iteri (fun k pk -> x.(pk) <- y.(k)) p;
+  x

@@ -1,0 +1,27 @@
+(** Permutations of [0 .. n-1].
+
+    Convention: a permutation [p] maps *new* index [k] to *old* index
+    [p.(k)], i.e. applying [p] to a vector [x] yields [y] with
+    [y.(k) = x.(p.(k))].  This is the ordering convention used by the
+    sparse factorizations: [p] lists the original indices in elimination
+    order. *)
+
+type t = int array
+
+val identity : int -> t
+
+val is_valid : t -> bool
+(** True iff the array is a permutation of [0 .. n-1]. *)
+
+val inverse : t -> t
+(** [inverse p] is [q] with [q.(p.(k)) = k]. *)
+
+val compose : t -> t -> t
+(** [compose p q] applies [q] first then [p]: [(compose p q).(k) = q.(p.(k))].
+    Thus applying [compose p q] to a vector equals applying [q] then [p]. *)
+
+val apply_vec : t -> Vec.t -> Vec.t
+(** [apply_vec p x] is [y] with [y.(k) = x.(p.(k))]. *)
+
+val apply_inv_vec : t -> Vec.t -> Vec.t
+(** [apply_inv_vec p y] undoes [apply_vec]: [(apply_inv_vec p y).(p.(k)) = y.(k)]. *)

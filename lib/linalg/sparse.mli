@@ -1,0 +1,88 @@
+(** Sparse matrices in compressed sparse column (CSC) format.
+
+    CSC is the native format of the sparse factorizations; the stochastic
+    Galerkin assembly builds its augmented operators here via {!kron}. *)
+
+type t = private {
+  nrows : int;
+  ncols : int;
+  colptr : int array; (* length ncols + 1 *)
+  rowind : int array; (* row indices, sorted strictly increasing per column *)
+  values : float array;
+}
+
+val create : nrows:int -> ncols:int -> colptr:int array -> rowind:int array -> values:float array -> t
+(** Low-level constructor; validates the CSC invariants (monotone colptr,
+    sorted in-range row indices). *)
+
+val of_triplets : nrows:int -> ncols:int -> (int * int * float) list -> t
+(** Builds from (row, col, value) triplets; duplicate entries are summed,
+    exact zeros are kept out. *)
+
+val to_triplets : t -> (int * int * float) list
+(** Column-major list of structural entries. *)
+
+val zero : nrows:int -> ncols:int -> t
+
+val identity : int -> t
+
+val of_dense : Dense.t -> t
+(** Drops exact zeros. *)
+
+val to_dense : t -> Dense.t
+
+val dims : t -> int * int
+
+val nnz : t -> int
+
+val get : t -> int -> int -> float
+(** [get a i j] is entry (i,j), 0 for structural zeros. O(log nnz-per-col). *)
+
+val mul_vec : t -> Vec.t -> Vec.t
+(** [mul_vec a x] is [A x]. *)
+
+val mul_vec_into : t -> Vec.t -> Vec.t -> unit
+(** [mul_vec_into a x y] sets [y <- A x] without allocating. *)
+
+val mul_vec_t : t -> Vec.t -> Vec.t
+(** [mul_vec_t a x] is [A^T x]. *)
+
+val transpose : t -> t
+
+val add : t -> t -> t
+
+val axpy : alpha:float -> t -> t -> t
+(** [axpy ~alpha a b] is [alpha * A + B]. *)
+
+val scale : float -> t -> t
+
+val map_values : (float -> float) -> t -> t
+(** Apply a function to every stored value, keeping the pattern (useful for
+    building structural-union patterns via absolute values). *)
+
+val diag : t -> Vec.t
+(** Diagonal as a vector (square matrices). *)
+
+val of_diag : Vec.t -> t
+
+val kron : Dense.t -> t -> t
+(** [kron c a] is the Kronecker product [C (X) A]: block (i,j) equals
+    [c.(i,j) * A].  Structural zeros of [c] produce no entries.  This is the
+    assembly primitive for the stochastic Galerkin system
+    [Gt = sum_i T_i (X) G_i]. *)
+
+val permute_sym : t -> Perm.t -> t
+(** [permute_sym a p] is [A'] with [A'.(i,j) = A.(p.(i), p.(j))] — the
+    symmetric permutation [P A P^T] for square [a]. *)
+
+val lower : t -> t
+(** Lower-triangular part including the diagonal. *)
+
+val upper : t -> t
+
+val is_symmetric : ?tol:float -> t -> bool
+
+val max_abs : t -> float
+
+val approx_equal : ?tol:float -> t -> t -> bool
+(** Entrywise comparison (on the union pattern). *)

@@ -1,0 +1,168 @@
+exception Not_positive_definite of int
+
+type t = {
+  n : int;
+  p : Perm.t;
+  lp : int array; (* column pointers of L *)
+  li : int array; (* row indices, diagonal entry first per column *)
+  lx : float array;
+  work : float array; (* scratch for solve_in_place *)
+}
+
+(* Elimination tree of an upper-triangular CSC matrix (cs_etree). *)
+let etree ~n ~colptr ~rowind =
+  let parent = Array.make n (-1) in
+  let ancestor = Array.make n (-1) in
+  for k = 0 to n - 1 do
+    for p = colptr.(k) to colptr.(k + 1) - 1 do
+      let i = ref rowind.(p) in
+      while !i <> -1 && !i < k do
+        let next = ancestor.(!i) in
+        ancestor.(!i) <- k;
+        if next = -1 then parent.(!i) <- k;
+        i := next
+      done
+    done
+  done;
+  parent
+
+(* Pattern of row k of L via elimination-tree reach (cs_ereach).
+   Returns [top]; the pattern is [stack.(top) .. stack.(n-1)] in
+   topological order. [w] holds the visit stamps. *)
+let ereach ~colptr ~rowind ~parent ~k ~w ~stack ~path =
+  let n = Array.length parent in
+  let top = ref n in
+  w.(k) <- k;
+  for p = colptr.(k) to colptr.(k + 1) - 1 do
+    let i0 = rowind.(p) in
+    if i0 < k then begin
+      let len = ref 0 in
+      let i = ref i0 in
+      while w.(!i) <> k do
+        path.(!len) <- !i;
+        incr len;
+        w.(!i) <- k;
+        i := parent.(!i)
+      done;
+      while !len > 0 do
+        decr len;
+        decr top;
+        stack.(!top) <- path.(!len)
+      done
+    end
+  done;
+  !top
+
+let factor ?(ordering = Ordering.Min_degree) ?perm a =
+  let n, m = Sparse.dims a in
+  if n <> m then invalid_arg "Sparse_cholesky.factor: matrix is not square";
+  let p =
+    match perm with
+    | Some p ->
+        if Array.length p <> n then invalid_arg "Sparse_cholesky.factor: permutation length";
+        p
+    | None -> Ordering.compute ordering a
+  in
+  let ap = Sparse.permute_sym a p in
+  let upper = Sparse.upper ap in
+  let { Sparse.colptr; rowind; values; _ } = upper in
+  let parent = etree ~n ~colptr ~rowind in
+  let w = Array.make n (-1) in
+  let stack = Array.make n 0 in
+  let path = Array.make n 0 in
+  (* Symbolic pass: column counts of L. *)
+  let counts = Array.make n 1 (* diagonal *) in
+  for k = 0 to n - 1 do
+    let top = ereach ~colptr ~rowind ~parent ~k ~w ~stack ~path in
+    for t = top to n - 1 do
+      counts.(stack.(t)) <- counts.(stack.(t)) + 1
+    done
+  done;
+  let lp = Array.make (n + 1) 0 in
+  for j = 0 to n - 1 do
+    lp.(j + 1) <- lp.(j) + counts.(j)
+  done;
+  let total = lp.(n) in
+  let li = Array.make total 0 and lx = Array.make total 0.0 in
+  let fill = Array.make n 0 in
+  (* fill.(j) = next free slot in column j *)
+  for j = 0 to n - 1 do
+    fill.(j) <- lp.(j)
+  done;
+  Array.fill w 0 n (-1);
+  let x = Array.make n 0.0 in
+  (* Numeric up-looking pass. *)
+  for k = 0 to n - 1 do
+    let top = ereach ~colptr ~rowind ~parent ~k ~w ~stack ~path in
+    (* Scatter the upper column k of A into x. *)
+    let d = ref 0.0 in
+    for p = colptr.(k) to colptr.(k + 1) - 1 do
+      let i = rowind.(p) in
+      if i = k then d := values.(p) else x.(i) <- values.(p)
+    done;
+    for t = top to n - 1 do
+      let i = stack.(t) in
+      let lki = x.(i) /. lx.(lp.(i)) in
+      x.(i) <- 0.0;
+      for p = lp.(i) + 1 to fill.(i) - 1 do
+        x.(li.(p)) <- x.(li.(p)) -. (lx.(p) *. lki)
+      done;
+      d := !d -. (lki *. lki);
+      let pos = fill.(i) in
+      fill.(i) <- pos + 1;
+      li.(pos) <- k;
+      lx.(pos) <- lki
+    done;
+    if !d <= 0.0 then raise (Not_positive_definite k);
+    let pos = fill.(k) in
+    fill.(k) <- pos + 1;
+    li.(pos) <- k;
+    lx.(pos) <- sqrt !d
+  done;
+  { n; p; lp; li; lx; work = Array.make n 0.0 }
+
+let lower_solve f y =
+  (* L y' = y, in place; diagonal entry is first in each column. *)
+  let { lp; li; lx; n; _ } = f in
+  for j = 0 to n - 1 do
+    let yj = y.(j) /. lx.(lp.(j)) in
+    y.(j) <- yj;
+    for p = lp.(j) + 1 to lp.(j + 1) - 1 do
+      y.(li.(p)) <- y.(li.(p)) -. (lx.(p) *. yj)
+    done
+  done
+
+let upper_solve f y =
+  (* L^T y' = y, in place. *)
+  let { lp; li; lx; n; _ } = f in
+  for j = n - 1 downto 0 do
+    let acc = ref y.(j) in
+    for p = lp.(j) + 1 to lp.(j + 1) - 1 do
+      acc := !acc -. (lx.(p) *. y.(li.(p)))
+    done;
+    y.(j) <- !acc /. lx.(lp.(j))
+  done
+
+let solve_in_place f b =
+  if Array.length b <> f.n then invalid_arg "Sparse_cholesky.solve: dimension mismatch";
+  let y = f.work in
+  (* y = P b *)
+  for k = 0 to f.n - 1 do
+    y.(k) <- b.(f.p.(k))
+  done;
+  lower_solve f y;
+  upper_solve f y;
+  for k = 0 to f.n - 1 do
+    b.(f.p.(k)) <- y.(k)
+  done
+
+let solve f b =
+  let x = Array.copy b in
+  solve_in_place f x;
+  x
+
+let nnz_l f = f.lp.(f.n)
+
+let dim f = f.n
+
+let permutation f = Array.copy f.p

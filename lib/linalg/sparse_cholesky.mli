@@ -1,0 +1,35 @@
+(** Sparse Cholesky factorization [P A P^T = L L^T] for SPD matrices.
+
+    Up-looking numeric factorization driven by the elimination tree
+    (CSparse-style), with a fill-reducing ordering applied first.  This is
+    the solver behind both the deterministic transient analysis and the
+    augmented stochastic Galerkin system. *)
+
+exception Not_positive_definite of int
+(** Raised with the offending (permuted) pivot index. *)
+
+type t
+
+val factor : ?ordering:Ordering.kind -> ?perm:Perm.t -> Sparse.t -> t
+(** [factor a] factorizes the sparse SPD matrix [a] (full symmetric storage).
+    Default ordering is {!Ordering.Min_degree} (pass {!Ordering.Nested_dissection} for mesh-like grids); passing [perm] skips the
+    ordering computation and uses the given elimination order — the key to
+    amortizing one symbolic analysis over many factorizations with the same
+    pattern (Monte-Carlo sampling, repeated transients).
+    Raises {!Not_positive_definite} if a pivot is non-positive and
+    [Invalid_argument] if [a] is not square. *)
+
+val solve : t -> Vec.t -> Vec.t
+(** [solve f b] solves [A x = b]. *)
+
+val solve_in_place : t -> Vec.t -> unit
+(** [solve_in_place f b] overwrites [b] with the solution, reusing an
+    internal workspace — the allocation-free path for transient stepping. *)
+
+val nnz_l : t -> int
+(** Number of stored entries of the factor [L]. *)
+
+val dim : t -> int
+
+val permutation : t -> Perm.t
+(** The fill-reducing permutation used (elimination order of old indices). *)

@@ -1,0 +1,209 @@
+exception Singular of int
+
+(* Growable parallel (int, float) arrays for the factor columns. *)
+module Grow = struct
+  type t = { mutable idx : int array; mutable vals : float array; mutable len : int }
+
+  let create () = { idx = Array.make 256 0; vals = Array.make 256 0.0; len = 0 }
+
+  let push g i v =
+    if g.len = Array.length g.idx then begin
+      let cap = 2 * g.len in
+      let idx = Array.make cap 0 and vals = Array.make cap 0.0 in
+      Array.blit g.idx 0 idx 0 g.len;
+      Array.blit g.vals 0 vals 0 g.len;
+      g.idx <- idx;
+      g.vals <- vals
+    end;
+    g.idx.(g.len) <- i;
+    g.vals.(g.len) <- v;
+    g.len <- g.len + 1
+end
+
+type t = {
+  n : int;
+  q : Perm.t; (* column ordering *)
+  pinv : int array; (* original row -> pivot position *)
+  lp : int array;
+  li : int array; (* row indices as pivot positions; unit diagonal first *)
+  lx : float array;
+  up : int array;
+  ui : int array; (* row indices as pivot positions; diagonal last *)
+  ux : float array;
+  work : float array;
+}
+
+(* DFS reach of the column [col] of [a] in the graph of the partial factor L
+   (rows mapped through pinv).  Returns [top]; pattern is
+   [stack.(top)..stack.(n-1)] in topological order, as original row ids. *)
+let reach ~a ~col ~lp ~li ~lfill ~pinv ~marked ~stamp ~stack ~pstack =
+  let { Sparse.colptr; rowind; _ } = a in
+  let n = Array.length pinv in
+  let top = ref n in
+  for p0 = colptr.(col) to colptr.(col + 1) - 1 do
+    let root = rowind.(p0) in
+    if marked.(root) <> stamp then begin
+      (* Iterative DFS with an explicit position stack. *)
+      let head = ref 0 in
+      stack.(0) <- root;
+      let jstart j =
+        let jn = pinv.(j) in
+        if jn < 0 then max_int (* no outgoing edges *) else lp.(jn) + 1
+      in
+      pstack.(0) <- jstart root;
+      marked.(root) <- stamp;
+      while !head >= 0 do
+        let j = stack.(!head) in
+        let jn = pinv.(j) in
+        let limit = if jn < 0 then -1 else lfill.(jn) in
+        let p = ref pstack.(!head) in
+        let descended = ref false in
+        while (not !descended) && !p < limit do
+          let child = li.(!p) in
+          incr p;
+          if marked.(child) <> stamp then begin
+            marked.(child) <- stamp;
+            pstack.(!head) <- !p;
+            incr head;
+            stack.(!head) <- child;
+            pstack.(!head) <- jstart child;
+            descended := true
+          end
+        done;
+        if not !descended then begin
+          (* postorder: move to output region *)
+          decr head;
+          decr top;
+          (* stack top region and DFS region share the array; write to a
+             second array to avoid clobbering: use pstack trick not needed
+             because top > head always (output fills from the right). *)
+          stack.(!top) <- j
+        end
+      done
+    end
+  done;
+  !top
+
+let factor ?(ordering = Ordering.Min_degree) a =
+  let n, m = Sparse.dims a in
+  if n <> m then invalid_arg "Sparse_lu.factor: matrix is not square";
+  let q = Ordering.compute ordering a in
+  let pinv = Array.make n (-1) in
+  let lg = Grow.create () and ug = Grow.create () in
+  let lp = Array.make (n + 1) 0 and up = Array.make (n + 1) 0 in
+  (* Column starts are finalized as we go; lfill.(j) is the end of column j
+     in lg (valid once column j is done). *)
+  let lfill = Array.make n 0 in
+  let x = Array.make n 0.0 in
+  let marked = Array.make n (-1) in
+  let stack = Array.make n 0 and pstack = Array.make n 0 in
+  let { Sparse.colptr; rowind; values; _ } = a in
+  for k = 0 to n - 1 do
+    lp.(k) <- lg.Grow.len;
+    up.(k) <- ug.Grow.len;
+    let col = q.(k) in
+    let top =
+      reach ~a ~col ~lp ~li:lg.Grow.idx ~lfill ~pinv ~marked ~stamp:k ~stack ~pstack
+    in
+    (* Numeric sparse triangular solve L x = A(:, col). *)
+    for p = top to n - 1 do
+      x.(stack.(p)) <- 0.0
+    done;
+    for p = colptr.(col) to colptr.(col + 1) - 1 do
+      x.(rowind.(p)) <- values.(p)
+    done;
+    for p = top to n - 1 do
+      let j = stack.(p) in
+      let jn = pinv.(j) in
+      if jn >= 0 then begin
+        let xj = x.(j) /. lg.Grow.vals.(lp.(jn)) in
+        x.(j) <- xj;
+        for t = lp.(jn) + 1 to lfill.(jn) - 1 do
+          x.(lg.Grow.idx.(t)) <- x.(lg.Grow.idx.(t)) -. (lg.Grow.vals.(t) *. xj)
+        done
+      end
+    done;
+    (* Partial pivoting over not-yet-pivotal rows. *)
+    let ipiv = ref (-1) and best = ref (-1.0) in
+    for p = top to n - 1 do
+      let i = stack.(p) in
+      if pinv.(i) < 0 then begin
+        let t = Float.abs x.(i) in
+        if t > !best then begin
+          best := t;
+          ipiv := i
+        end
+      end
+      else Grow.push ug pinv.(i) x.(i)
+    done;
+    if !ipiv = -1 || !best <= 0.0 then raise (Singular k);
+    let pivot = x.(!ipiv) in
+    Grow.push ug k pivot;
+    (* diagonal of U last in its column *)
+    pinv.(!ipiv) <- k;
+    Grow.push lg !ipiv 1.0;
+    (* unit diagonal of L first (stored as original row, fixed later) *)
+    for p = top to n - 1 do
+      let i = stack.(p) in
+      if pinv.(i) < 0 then Grow.push lg i (x.(i) /. pivot)
+    done;
+    lfill.(k) <- lg.Grow.len
+  done;
+  lp.(n) <- lg.Grow.len;
+  up.(n) <- ug.Grow.len;
+  (* Every column assigned exactly one pivot, so pinv is a permutation here. *)
+  (* Map L's row indices from original rows to pivot positions. *)
+  let li = Array.sub lg.Grow.idx 0 lg.Grow.len in
+  let lx = Array.sub lg.Grow.vals 0 lg.Grow.len in
+  for p = 0 to Array.length li - 1 do
+    li.(p) <- pinv.(li.(p))
+  done;
+  {
+    n;
+    q;
+    pinv;
+    lp;
+    li;
+    lx;
+    up;
+    ui = Array.sub ug.Grow.idx 0 ug.Grow.len;
+    ux = Array.sub ug.Grow.vals 0 ug.Grow.len;
+    work = Array.make n 0.0;
+  }
+
+let solve_in_place f b =
+  if Array.length b <> f.n then invalid_arg "Sparse_lu.solve: dimension mismatch";
+  let x = f.work in
+  (* x = P b *)
+  for i = 0 to f.n - 1 do
+    x.(f.pinv.(i)) <- b.(i)
+  done;
+  (* L solve (unit-ish diagonal stored first in each column). *)
+  for j = 0 to f.n - 1 do
+    let xj = x.(j) /. f.lx.(f.lp.(j)) in
+    x.(j) <- xj;
+    for p = f.lp.(j) + 1 to f.lp.(j + 1) - 1 do
+      x.(f.li.(p)) <- x.(f.li.(p)) -. (f.lx.(p) *. xj)
+    done
+  done;
+  (* U solve (diagonal last in each column). *)
+  for j = f.n - 1 downto 0 do
+    let xj = x.(j) /. f.ux.(f.up.(j + 1) - 1) in
+    x.(j) <- xj;
+    for p = f.up.(j) to f.up.(j + 1) - 2 do
+      x.(f.ui.(p)) <- x.(f.ui.(p)) -. (f.ux.(p) *. xj)
+    done
+  done;
+  (* b = Q x *)
+  for k = 0 to f.n - 1 do
+    b.(f.q.(k)) <- x.(k)
+  done
+
+let solve f b =
+  let x = Array.copy b in
+  solve_in_place f x;
+  x
+
+let nnz f = f.lp.(f.n) + f.up.(f.n)
+
+let dim f = f.n

@@ -1,0 +1,26 @@
+(** Sparse LU factorization with partial pivoting (left-looking
+    Gilbert–Peierls).
+
+    Used for systems that are not symmetric positive definite: full MNA
+    matrices containing ideal voltage-source branches, and as a fallback
+    when {!Sparse_cholesky} rejects a matrix. *)
+
+exception Singular of int
+(** Raised with the offending column when no usable pivot exists. *)
+
+type t
+
+val factor : ?ordering:Ordering.kind -> Sparse.t -> t
+(** [factor a] factorizes the square matrix [a] as [A(:, q) = P^T L U]
+    with [q] a fill-reducing column ordering (default {!Ordering.Min_degree}
+    on the symmetrized pattern) and [P] from row pivoting. *)
+
+val solve : t -> Vec.t -> Vec.t
+(** [solve f b] solves [A x = b]. *)
+
+val solve_in_place : t -> Vec.t -> unit
+
+val nnz : t -> int
+(** Entries stored in [L] plus [U]. *)
+
+val dim : t -> int

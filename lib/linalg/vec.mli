@@ -1,0 +1,62 @@
+(** Dense vectors of floats.
+
+    A vector is a plain [float array]; this module collects the numerical
+    kernels used throughout the library so callers never open-code loops. *)
+
+type t = float array
+
+val create : int -> t
+(** [create n] is a zero vector of length [n]. *)
+
+val init : int -> (int -> float) -> t
+
+val copy : t -> t
+
+val fill : t -> float -> unit
+
+val dot : t -> t -> float
+(** [dot x y] is the inner product. Raises [Invalid_argument] on length
+    mismatch. *)
+
+val axpy : alpha:float -> t -> t -> unit
+(** [axpy ~alpha x y] computes [y <- alpha * x + y] in place. *)
+
+val scale : float -> t -> unit
+(** [scale alpha x] computes [x <- alpha * x] in place. *)
+
+val scaled : float -> t -> t
+(** [scaled alpha x] is a fresh vector [alpha * x]. *)
+
+val add : t -> t -> t
+
+val sub : t -> t -> t
+
+val mul_elementwise : t -> t -> t
+
+val neg : t -> t
+
+val sum : t -> float
+
+val mean : t -> float
+
+val norm2 : t -> float
+(** Euclidean norm. *)
+
+val norm_inf : t -> float
+
+val dist2 : t -> t -> float
+(** [dist2 x y] is [norm2 (x - y)] without allocating the difference. *)
+
+val max_abs_index : t -> int
+(** Index of the entry of largest magnitude. Raises on the empty vector. *)
+
+val min : t -> float
+
+val max : t -> float
+
+val approx_equal : ?tol:float -> t -> t -> bool
+(** Componentwise comparison with absolute tolerance [tol] (default 1e-9). *)
+
+val rel_error : t -> reference:t -> float
+(** [rel_error x ~reference] is [norm2 (x - reference) / norm2 reference];
+    if the reference is the zero vector it is [norm2 x]. *)

@@ -1,0 +1,74 @@
+type t = {
+  families : Family.t array;
+  order : int;
+  indices : int array array;
+  norms : float array;
+  table : (int array, int) Hashtbl.t;
+}
+
+let of_indices families ~order indices =
+  let norms =
+    Array.map
+      (fun idx ->
+        let acc = ref 1.0 in
+        Array.iteri (fun d deg -> acc := !acc *. Family.norm_sq families.(d) deg) idx;
+        !acc)
+      indices
+  in
+  let table = Hashtbl.create (Array.length indices) in
+  Array.iteri (fun k idx -> Hashtbl.replace table idx k) indices;
+  { families; order; indices; norms; table }
+
+let create families ~order =
+  let dim = Array.length families in
+  if dim = 0 then invalid_arg "Basis.create: need at least one variable";
+  if order < 0 then invalid_arg "Basis.create: negative order";
+  of_indices families ~order (Multi_index.generate ~dim ~max_degree:order)
+
+let isotropic family ~dim ~order = create (Array.make dim family) ~order
+
+let anisotropic families ~degrees =
+  let dim = Array.length families in
+  if dim = 0 then invalid_arg "Basis.anisotropic: need at least one variable";
+  if Array.length degrees <> dim then invalid_arg "Basis.anisotropic: degrees length mismatch";
+  let order = Array.fold_left Int.max 0 degrees in
+  of_indices families ~order (Multi_index.generate_box ~degrees)
+
+let size b = Array.length b.indices
+
+let dim b = Array.length b.families
+
+let order b = b.order
+
+let families b = b.families
+
+let index b k = b.indices.(k)
+
+let indices b = b.indices
+
+let rank_of_index b idx =
+  match Hashtbl.find_opt b.table idx with Some k -> k | None -> raise Not_found
+
+let eval b k xi =
+  if Array.length xi <> dim b then invalid_arg "Basis.eval: point dimension mismatch";
+  let idx = b.indices.(k) in
+  let acc = ref 1.0 in
+  Array.iteri (fun d deg -> acc := !acc *. Family.eval b.families.(d) deg xi.(d)) idx;
+  !acc
+
+let eval_all b xi =
+  if Array.length xi <> dim b then invalid_arg "Basis.eval_all: point dimension mismatch";
+  (* One recurrence sweep per dimension, then products. *)
+  let per_dim =
+    Array.mapi (fun d fam -> Family.eval_all fam b.order xi.(d)) b.families
+  in
+  Array.map
+    (fun idx ->
+      let acc = ref 1.0 in
+      Array.iteri (fun d deg -> acc := !acc *. per_dim.(d).(deg)) idx;
+      !acc)
+    b.indices
+
+let norm_sq b k = b.norms.(k)
+
+let sample_point b rng = Array.map (fun fam -> fam.Family.sample rng) b.families

@@ -1,0 +1,49 @@
+(** Truncated multivariate polynomial-chaos basis.
+
+    [psi_k(xi) = prod_d p_{m_k(d)}(xi_d)] where [m_k] is the k-th
+    multi-index; the basis holds all total degrees up to [order].
+    Orthogonality: [E(psi_j psi_k) = delta_jk * norm_sq k]. *)
+
+type t
+
+val create : Family.t array -> order:int -> t
+(** [create families ~order] builds the total-degree basis over
+    [Array.length families] variables; variable [d] uses [families.(d)]. *)
+
+val isotropic : Family.t -> dim:int -> order:int -> t
+(** Same family in every dimension. *)
+
+val anisotropic : Family.t array -> degrees:int array -> t
+(** Per-dimension degree caps (box truncation): dimension [d] carries
+    polynomials up to degree [degrees.(d)].  Spend resolution only where a
+    parameter needs it; size is [prod (degrees.(d) + 1)]. *)
+
+val size : t -> int
+(** Number of basis functions, the paper's [N + 1]. *)
+
+val dim : t -> int
+
+val order : t -> int
+
+val families : t -> Family.t array
+
+val index : t -> int -> int array
+(** The k-th multi-index (not a copy; do not mutate). *)
+
+val indices : t -> int array array
+
+val rank_of_index : t -> int array -> int
+(** Inverse of {!index}. Raises [Not_found]. *)
+
+val eval : t -> int -> float array -> float
+(** [eval b k xi] evaluates [psi_k] at the point [xi]. *)
+
+val eval_all : t -> float array -> float array
+(** All basis functions at once (shared recurrence sweeps). *)
+
+val norm_sq : t -> int -> float
+(** [E(psi_k^2)], the paper's expansion weights (e.g. 1,1,1,2,1,2 for the
+    order-2 two-variable Hermite basis). *)
+
+val sample_point : t -> Prob.Rng.t -> float array
+(** Draw [xi] from the product orthogonality measure. *)

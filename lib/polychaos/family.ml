@@ -1,0 +1,94 @@
+type t = {
+  name : string;
+  alpha : int -> float;
+  beta : int -> float;
+  sample : Prob.Rng.t -> float;
+  pdf : float -> float;
+}
+
+let eval_all f k x =
+  if k < 0 then invalid_arg "Family.eval_all: negative order";
+  let out = Array.make (k + 1) 1.0 in
+  if k >= 1 then begin
+    out.(1) <- x -. f.alpha 0;
+    for i = 1 to k - 1 do
+      out.(i + 1) <- ((x -. f.alpha i) *. out.(i)) -. (f.beta i *. out.(i - 1))
+    done
+  end;
+  out
+
+let eval f k x = (eval_all f k x).(k)
+
+let norm_sq f k =
+  if k < 0 then invalid_arg "Family.norm_sq: negative order";
+  let acc = ref 1.0 in
+  for i = 1 to k do
+    acc := !acc *. f.beta i
+  done;
+  !acc
+
+let hermite =
+  {
+    name = "hermite";
+    alpha = (fun _ -> 0.0);
+    beta = (fun k -> float_of_int k);
+    sample = Prob.Rng.gaussian;
+    pdf = Prob.Normal.pdf;
+  }
+
+let legendre =
+  {
+    name = "legendre";
+    alpha = (fun _ -> 0.0);
+    beta =
+      (fun k ->
+        if k = 0 then 1.0
+        else begin
+          let fk = float_of_int k in
+          fk *. fk /. (((4.0 *. fk *. fk) -. 1.0))
+        end);
+    sample = (fun rng -> Prob.Rng.float_range rng (-1.0) 1.0);
+    pdf = (fun x -> if x >= -1.0 && x <= 1.0 then 0.5 else 0.0);
+  }
+
+let laguerre =
+  {
+    name = "laguerre";
+    alpha = (fun k -> float_of_int ((2 * k) + 1));
+    beta = (fun k -> if k = 0 then 1.0 else float_of_int (k * k));
+    sample = (fun rng -> Prob.Distributions.sample rng (Exponential { rate = 1.0 }));
+    pdf = (fun x -> if x < 0.0 then 0.0 else exp (-.x));
+  }
+
+let jacobi ~a ~b =
+  if a <= -1.0 || b <= -1.0 then invalid_arg "Family.jacobi: parameters must exceed -1";
+  let alpha k =
+    if k = 0 then (b -. a) /. (a +. b +. 2.0)
+    else begin
+      let s = (2.0 *. float_of_int k) +. a +. b in
+      ((b *. b) -. (a *. a)) /. (s *. (s +. 2.0))
+    end
+  in
+  let beta k =
+    if k = 0 then 1.0
+    else if k = 1 then
+      4.0 *. (a +. 1.0) *. (b +. 1.0) /. (((a +. b +. 2.0) ** 2.0) *. (a +. b +. 3.0))
+    else begin
+      let fk = float_of_int k in
+      let s = (2.0 *. fk) +. a +. b in
+      4.0 *. fk *. (fk +. a) *. (fk +. b) *. (fk +. a +. b)
+      /. (s *. s *. (s +. 1.0) *. (s -. 1.0))
+    end
+  in
+  let beta_dist = Prob.Distributions.Beta { alpha = b +. 1.0; beta = a +. 1.0 } in
+  {
+    name = Printf.sprintf "jacobi(%g,%g)" a b;
+    alpha;
+    beta;
+    sample = (fun rng -> (2.0 *. Prob.Distributions.sample rng beta_dist) -. 1.0);
+    pdf =
+      (fun x ->
+        (* X = 2B - 1 with B ~ Beta(b+1, a+1): density transforms by 1/2. *)
+        if x <= -1.0 || x >= 1.0 then 0.0
+        else 0.5 *. Prob.Distributions.pdf beta_dist ((x +. 1.0) /. 2.0));
+  }

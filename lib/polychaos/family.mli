@@ -1,0 +1,41 @@
+(** Families of orthogonal polynomials from the Askey scheme.
+
+    Each family is the set of *monic* polynomials orthogonal under a
+    probability measure, described by its three-term recurrence
+    [p_{k+1}(x) = (x - alpha_k) p_k(x) - beta_k p_{k-1}(x)].
+    The measure is normalized ([beta_0 = 1]), so
+    [norm_sq k = beta_1 * ... * beta_k = E(p_k^2)].
+
+    The paper's table of pairings: Gaussian/lognormal -> Hermite,
+    Gamma -> Laguerre, Beta -> Jacobi, Uniform -> Legendre. *)
+
+type t = {
+  name : string;
+  alpha : int -> float;  (** recurrence diagonal coefficient *)
+  beta : int -> float;  (** recurrence sub-diagonal; [beta 0 = 1] by convention *)
+  sample : Prob.Rng.t -> float;  (** draw from the orthogonality measure *)
+  pdf : float -> float;  (** density of the orthogonality measure *)
+}
+
+val eval : t -> int -> float -> float
+(** [eval f k x] evaluates the degree-[k] monic polynomial at [x]. *)
+
+val eval_all : t -> int -> float -> float array
+(** [eval_all f k x] is [| p_0 x; ...; p_k x |] in one recurrence sweep. *)
+
+val norm_sq : t -> int -> float
+(** [norm_sq f k] = E[p_k(X)^2] under the family's measure. *)
+
+val hermite : t
+(** Monic probabilists' Hermite; measure N(0,1); [norm_sq k = k!]. *)
+
+val legendre : t
+(** Monic Legendre; measure Uniform(-1,1). *)
+
+val laguerre : t
+(** Monic Laguerre; measure Exponential(1). *)
+
+val jacobi : a:float -> b:float -> t
+(** Monic Jacobi with weight proportional to [(1-x)^a (1+x)^b] on (-1,1);
+    the measure is a Beta(b+1, a+1) variable mapped onto (-1,1).
+    Requires [a, b > -1]. *)

@@ -1,0 +1,72 @@
+let count ~dim ~max_degree =
+  if dim < 1 then invalid_arg "Multi_index.count: dim must be positive";
+  if max_degree < 0 then invalid_arg "Multi_index.count: negative degree";
+  (* C(dim + max_degree, max_degree), exactly in integers. *)
+  let acc = ref 1 in
+  for k = 1 to max_degree do
+    acc := !acc * (dim + k) / k
+  done;
+  !acc
+
+let degree idx = Array.fold_left ( + ) 0 idx
+
+(* All indices with total degree exactly [d], lexicographically descending
+   in the first component (conventional graded-lex ordering). *)
+let rec exact_degree dim d =
+  if dim = 1 then [ [| d |] ]
+  else
+    List.concat_map
+      (fun first ->
+        List.map
+          (fun rest -> Array.append [| first |] rest)
+          (exact_degree (dim - 1) (d - first)))
+      (List.init (d + 1) (fun i -> d - i))
+
+let generate ~dim ~max_degree =
+  if dim < 1 then invalid_arg "Multi_index.generate: dim must be positive";
+  if max_degree < 0 then invalid_arg "Multi_index.generate: negative degree";
+  List.init (max_degree + 1) (fun d -> exact_degree dim d)
+  |> List.concat
+  |> Array.of_list
+
+let count_box ~degrees =
+  if Array.length degrees = 0 then invalid_arg "Multi_index.count_box: empty degrees";
+  Array.fold_left
+    (fun acc d ->
+      if d < 0 then invalid_arg "Multi_index.count_box: negative degree";
+      acc * (d + 1))
+    1 degrees
+
+let generate_box ~degrees =
+  let dim = Array.length degrees in
+  if dim = 0 then invalid_arg "Multi_index.generate_box: empty degrees";
+  let total = count_box ~degrees in
+  let indices = Array.make total [||] in
+  let idx = Array.make dim 0 in
+  for k = 0 to total - 1 do
+    indices.(k) <- Array.copy idx;
+    (* odometer increment *)
+    let d = ref 0 in
+    let carrying = ref true in
+    while !carrying && !d < dim do
+      if idx.(!d) < degrees.(!d) then begin
+        idx.(!d) <- idx.(!d) + 1;
+        carrying := false
+      end
+      else begin
+        idx.(!d) <- 0;
+        incr d
+      end
+    done
+  done;
+  (* graded ordering, ties broken lexicographically on the raw arrays *)
+  Array.sort
+    (fun a b ->
+      match compare (degree a) (degree b) with 0 -> compare b a | c -> c)
+    indices;
+  indices
+
+let rank indices idx =
+  let n = Array.length indices in
+  let rec go k = if k = n then raise Not_found else if indices.(k) = idx then k else go (k + 1) in
+  go 0

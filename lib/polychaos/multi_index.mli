@@ -1,0 +1,30 @@
+(** Graded multi-indices for multivariate polynomial bases.
+
+    A multi-index [(d_1, ..., d_n)] selects the product polynomial
+    [prod_k p_{d_k}(xi_k)].  The truncated chaos basis of order [p] over
+    [n] variables consists of all multi-indices with total degree <= p —
+    there are [C(n + p, p)] of them, the paper's [N + 1]. *)
+
+val count : dim:int -> max_degree:int -> int
+(** [(dim + max_degree) choose max_degree]. *)
+
+val generate : dim:int -> max_degree:int -> int array array
+(** All multi-indices with total degree <= [max_degree], graded (by total
+    degree), lexicographic within a grade.  Index 0 is the zero index
+    (the constant polynomial). *)
+
+val degree : int array -> int
+(** Total degree (sum of components). *)
+
+val rank : int array array -> int array -> int
+(** Position of a multi-index in a generated list.
+    Raises [Not_found] if absent. *)
+
+val generate_box : degrees:int array -> int array array
+(** Anisotropic truncation: all indices with [idx.(d) <= degrees.(d)] per
+    dimension, graded by total degree then lexicographic — lets an
+    analysis spend order where a parameter needs it (e.g. order 3 in the
+    lognormal leakage variable, order 1 elsewhere). *)
+
+val count_box : degrees:int array -> int
+(** [prod (degrees.(d) + 1)]. *)

@@ -1,0 +1,47 @@
+(** Scalar polynomial-chaos expansions.
+
+    A PCE is [X = sum_k coefs.(k) * psi_k(xi)]; mean, variance and higher
+    moments follow directly from the coefficients — the paper's Eq. (23). *)
+
+type t = { basis : Basis.t; coefs : float array }
+
+val create : Basis.t -> float array -> t
+(** Coefficient vector must have length [Basis.size]. *)
+
+val constant : Basis.t -> float -> t
+
+val variable : Basis.t -> int -> t
+(** [variable b d]: the PCE of the raw random variable [xi_d] itself
+    (degree-1 coefficient on dimension d, adjusted for the family's
+    first-order recurrence shift). *)
+
+val mean : t -> float
+
+val variance : t -> float
+(** [sum_{k>=1} coefs.(k)^2 * norm_sq k]. *)
+
+val std : t -> float
+
+val eval : t -> float array -> float
+
+val sample : t -> Prob.Rng.t -> float
+(** Evaluate at a point drawn from the product measure — the cheap
+    "sampling the explicit response" that replaces re-simulation. *)
+
+val add : t -> t -> t
+
+val sub : t -> t -> t
+
+val scale : float -> t -> t
+
+val mul : Triple_product.t -> t -> t -> t
+(** Galerkin product truncated back onto the basis:
+    [(xy)_k = sum_ij x_i y_j E(psi_i psi_j psi_k) / norm_sq k]. *)
+
+val central_moment : t -> int -> float
+(** Central moments up to order 4 by full tensor quadrature over the
+    basis dimensions (exact for the polynomial integrand). *)
+
+val skewness : t -> float
+
+val kurtosis_excess : t -> float

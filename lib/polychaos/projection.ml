@@ -1,0 +1,65 @@
+let project basis ?quad_points f =
+  let npts = match quad_points with Some n -> n | None -> (2 * Basis.order basis) + 2 in
+  let n = Basis.size basis in
+  let coefs = Array.make n 0.0 in
+  (* One tensor sweep accumulating every coefficient at once. *)
+  let families = Basis.families basis in
+  let dim = Basis.dim basis in
+  let rules = Array.map (fun fam -> Quadrature.gauss fam npts) families in
+  let point = Array.make dim 0.0 in
+  let rec go d weight =
+    if d = dim then begin
+      let fv = f point in
+      let values = Basis.eval_all basis point in
+      for k = 0 to n - 1 do
+        coefs.(k) <- coefs.(k) +. (weight *. fv *. values.(k))
+      done
+    end
+    else begin
+      let r = rules.(d) in
+      for i = 0 to npts - 1 do
+        point.(d) <- r.Quadrature.nodes.(i);
+        go (d + 1) (weight *. r.Quadrature.weights.(i))
+      done
+    end
+  in
+  go 0 1.0;
+  for k = 0 to n - 1 do
+    coefs.(k) <- coefs.(k) /. Basis.norm_sq basis k
+  done;
+  Pce.create basis coefs
+
+let lognormal_univariate basis ~dim:d ~mu ~sigma =
+  if d < 0 || d >= Basis.dim basis then invalid_arg "Projection.lognormal_univariate: bad dim";
+  let fam = (Basis.families basis).(d) in
+  if fam.Family.name <> "hermite" then
+    invalid_arg "Projection.lognormal_univariate: dimension is not Hermite";
+  let n = Basis.size basis in
+  let coefs = Array.make n 0.0 in
+  let scale = exp (mu +. (sigma *. sigma /. 2.0)) in
+  for k = 0 to n - 1 do
+    let idx = Basis.index basis k in
+    (* Only pure powers of dimension d contribute. *)
+    let pure = ref true in
+    Array.iteri (fun d' deg -> if d' <> d && deg <> 0 then pure := false) idx;
+    if !pure then begin
+      let deg = idx.(d) in
+      coefs.(k) <- scale *. (sigma ** float_of_int deg) /. Prob.Special_functions.factorial deg
+    end
+  done;
+  Pce.create basis coefs
+
+let project_sparse basis ~level f =
+  let grid = Smolyak.create (Basis.families basis) ~level in
+  let n = Basis.size basis in
+  let coefs = Array.make n 0.0 in
+  Smolyak.iter grid (fun point weight ->
+      let fv = f point in
+      let values = Basis.eval_all basis point in
+      for k = 0 to n - 1 do
+        coefs.(k) <- coefs.(k) +. (weight *. fv *. values.(k))
+      done);
+  for k = 0 to n - 1 do
+    coefs.(k) <- coefs.(k) /. Basis.norm_sq basis k
+  done;
+  Pce.create basis coefs

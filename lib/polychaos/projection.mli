@@ -1,0 +1,21 @@
+(** Spectral projection of nonlinear functions onto a chaos basis.
+
+    Used for the paper's Sec. 5.1 special case: lognormal leakage currents
+    (exponential in the threshold-voltage variation) expanded "to any
+    required order of accuracy" in the Hermite basis. *)
+
+val project : Basis.t -> ?quad_points:int -> (float array -> float) -> Pce.t
+(** [project b f] computes [coefs.(k) = E(f psi_k) / norm_sq k] by
+    tensor-product Gaussian quadrature ([quad_points] per dimension,
+    default [2 * order + 2]). *)
+
+val lognormal_univariate : Basis.t -> dim:int -> mu:float -> sigma:float -> Pce.t
+(** Closed-form Hermite coefficients of [exp (mu + sigma * xi_d)]:
+    [coefs_k = exp (mu + sigma^2 / 2) * sigma^k / k!] on the pure powers of
+    dimension [d] (requires that dimension to be Hermite). *)
+
+val project_sparse : Basis.t -> level:int -> (float array -> float) -> Pce.t
+(** Like {!project} but on a Smolyak sparse grid — the only affordable
+    route beyond ~6 random variables (spatial KL models).  [level] must be
+    at least [order + 1] for an exact projection of polynomials inside the
+    basis span. *)

@@ -1,0 +1,45 @@
+type rule = { nodes : float array; weights : float array }
+
+let gauss family n =
+  if n <= 0 then invalid_arg "Quadrature.gauss: need at least one node";
+  let diag = Array.init n family.Family.alpha in
+  let off = Array.init (Int.max 0 (n - 1)) (fun k -> sqrt (family.Family.beta (k + 1))) in
+  let values, vectors = Linalg.Eig.tridiagonal ~diag ~off in
+  (* beta_0 = 1 (probability measure), so weight_i = (first eigvec comp)^2. *)
+  let weights =
+    Array.init n (fun i ->
+        let v = Linalg.Dense.get vectors 0 i in
+        v *. v)
+  in
+  { nodes = values; weights }
+
+let integrate rule f =
+  let acc = ref 0.0 in
+  Array.iteri (fun i x -> acc := !acc +. (rule.weights.(i) *. f x)) rule.nodes;
+  !acc
+
+let tensor families n f =
+  let dim = Array.length families in
+  if dim = 0 then invalid_arg "Quadrature.tensor: no dimensions";
+  let rules = Array.map (fun fam -> gauss fam n) families in
+  let point = Array.make dim 0.0 in
+  let rec go d weight acc =
+    if d = dim then acc +. (weight *. f point)
+    else begin
+      let r = rules.(d) in
+      let acc = ref acc in
+      for i = 0 to n - 1 do
+        point.(d) <- r.nodes.(i);
+        acc := go (d + 1) (weight *. r.weights.(i)) !acc
+      done;
+      !acc
+    end
+  in
+  go 0 1.0 0.0
+
+let expectation_of_product family degrees =
+  let total = List.fold_left ( + ) 0 degrees in
+  let n = (total / 2) + 1 in
+  let rule = gauss family n in
+  integrate rule (fun x ->
+      List.fold_left (fun acc d -> acc *. Family.eval family d x) 1.0 degrees)

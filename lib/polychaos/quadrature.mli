@@ -1,0 +1,21 @@
+(** Gaussian quadrature rules generated from recurrence coefficients
+    (Golub–Welsch), and tensor-product rules for multivariate integrals. *)
+
+type rule = { nodes : float array; weights : float array }
+
+val gauss : Family.t -> int -> rule
+(** [gauss family n] is the n-point Gaussian rule for the family's measure:
+    it integrates polynomials of degree <= 2n-1 exactly against the
+    probability measure (weights sum to 1). *)
+
+val integrate : rule -> (float -> float) -> float
+
+val tensor : Family.t array -> int -> (float array -> float) -> float
+(** [tensor families n f] integrates [f] over the product measure with an
+    n-point rule per dimension. Cost is [n ^ dim]; intended for the small
+    dimensions (2–5 random variables) of power-grid variation models. *)
+
+val expectation_of_product : Family.t -> int list -> float
+(** [expectation_of_product family degrees] = E[prod_k p_{d_k}(X)] computed
+    with an exact-order Gaussian rule; used to build (and cross-check)
+    triple-product tables. *)

@@ -1,0 +1,73 @@
+type t = { points : float array array; weights : float array }
+
+let binomial n k =
+  if k < 0 || k > n then 0.0
+  else begin
+    let acc = ref 1.0 in
+    for i = 1 to k do
+      acc := !acc *. float_of_int (n - k + i) /. float_of_int i
+    done;
+    !acc
+  end
+
+let create families ~level =
+  let dim = Array.length families in
+  if dim = 0 then invalid_arg "Smolyak.create: need at least one dimension";
+  if level < 1 then invalid_arg "Smolyak.create: level must be >= 1";
+  (* Pre-build the 1-D rules: Q_l has l points. *)
+  let rules =
+    Array.map (fun fam -> Array.init level (fun l -> Quadrature.gauss fam (l + 1))) families
+  in
+  let q = level + dim - 1 in
+  let points = ref [] and weights = ref [] in
+  (* Enumerate level vectors l (each >= 1) with q - dim + 1 <= |l| <= q. *)
+  let l = Array.make dim 1 in
+  let rec enumerate d remaining_min remaining_max =
+    if d = dim then begin
+      let total = Array.fold_left ( + ) 0 l in
+      let coeff =
+        (if (q - total) mod 2 = 0 then 1.0 else -1.0) *. binomial (dim - 1) (q - total)
+      in
+      if coeff <> 0.0 then begin
+        (* Tensor product of the selected 1-D rules. *)
+        let point = Array.make dim 0.0 in
+        let rec tensor di w =
+          if di = dim then begin
+            points := Array.copy point :: !points;
+            weights := (coeff *. w) :: !weights
+          end
+          else begin
+            let rule = rules.(di).(l.(di) - 1) in
+            Array.iteri
+              (fun i node ->
+                point.(di) <- node;
+                tensor (di + 1) (w *. rule.Quadrature.weights.(i)))
+              rule.Quadrature.nodes
+          end
+        in
+        tensor 0 1.0
+      end
+    end
+    else
+      (* remaining_min/max bound the sum still to distribute *)
+      for li = 1 to Int.min level remaining_max do
+        if remaining_min - li <= level * (dim - d - 1) then begin
+          l.(d) <- li;
+          enumerate (d + 1) (Int.max 0 (remaining_min - li)) (remaining_max - li)
+        end
+      done
+  in
+  enumerate 0 (q - dim + 1) q;
+  { points = Array.of_list !points; weights = Array.of_list !weights }
+
+let node_count t = Array.length t.points
+
+let integrate t f =
+  let acc = ref 0.0 in
+  Array.iteri (fun i p -> acc := !acc +. (t.weights.(i) *. f p)) t.points;
+  !acc
+
+let tensor_node_count ~dim ~level =
+  int_of_float (float_of_int level ** float_of_int dim)
+
+let iter t f = Array.iteri (fun i p -> f p t.weights.(i)) t.points

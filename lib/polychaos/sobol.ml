@@ -1,0 +1,51 @@
+let variance_share x keep =
+  let basis = x.Pce.basis in
+  let total = Pce.variance x in
+  if total <= 0.0 then 0.0
+  else begin
+    let acc = ref 0.0 in
+    for k = 1 to Basis.size basis - 1 do
+      if keep (Basis.index basis k) then begin
+        let a = x.Pce.coefs.(k) in
+        acc := !acc +. (a *. a *. Basis.norm_sq basis k)
+      end
+    done;
+    !acc /. total
+  end
+
+let check_dim x d =
+  if d < 0 || d >= Basis.dim x.Pce.basis then invalid_arg "Sobol: dimension out of range"
+
+let main_effect x d =
+  check_dim x d;
+  variance_share x (fun idx ->
+      idx.(d) > 0 && Array.for_all (fun v -> v = 0) (Array.mapi (fun i v -> if i = d then 0 else v) idx))
+
+let total_effect x d =
+  check_dim x d;
+  variance_share x (fun idx -> idx.(d) > 0)
+
+let interaction_share x =
+  variance_share x (fun idx ->
+      let active = Array.fold_left (fun acc v -> if v > 0 then acc + 1 else acc) 0 idx in
+      active >= 2)
+
+let report ?names x =
+  let dim = Basis.dim x.Pce.basis in
+  let name d =
+    match names with
+    | Some ns when d < Array.length ns -> ns.(d)
+    | _ -> Printf.sprintf "xi%d" d
+  in
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf
+    (Printf.sprintf "variance %.4e (sigma %.4e)\n" (Pce.variance x) (Pce.std x));
+  for d = 0 to dim - 1 do
+    Buffer.add_string buf
+      (Printf.sprintf "  %-10s main %5.1f%%   total %5.1f%%\n" (name d)
+         (100.0 *. main_effect x d)
+         (100.0 *. total_effect x d))
+  done;
+  Buffer.add_string buf
+    (Printf.sprintf "  %-10s %5.1f%%\n" "interactions" (100.0 *. interaction_share x));
+  Buffer.contents buf

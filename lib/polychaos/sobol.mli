@@ -1,0 +1,22 @@
+(** Sobol' variance decomposition, read directly off a chaos expansion.
+
+    Because the basis is orthogonal, the variance contribution of any group
+    of input variables is the sum of squared (norm-weighted) coefficients
+    of the basis functions involving exactly those variables — no extra
+    simulation needed.  This answers "which process parameter dominates the
+    voltage variability at this node?" for free once OPERA has run. *)
+
+val main_effect : Pce.t -> int -> float
+(** [main_effect x d]: fraction of Var(x) carried by terms in [xi_d] alone
+    (first-order Sobol' index). 0 when the variance vanishes. *)
+
+val total_effect : Pce.t -> int -> float
+(** Fraction of Var(x) carried by all terms involving [xi_d] (total-effect
+    Sobol' index; >= main effect). *)
+
+val interaction_share : Pce.t -> float
+(** Fraction of Var(x) in terms coupling two or more variables. *)
+
+val report : ?names:string array -> Pce.t -> string
+(** Multi-line human-readable summary; [names] labels the dimensions
+    (defaults to xi0, xi1, ...). *)

@@ -1,0 +1,67 @@
+type t = {
+  basis : Basis.t;
+  per_dim : float array array array array;
+      (* per_dim.(d).(i).(j).(k) = E[p_i p_j p_k] for dimension d's family *)
+}
+
+let hermite_univariate i j k =
+  let total = i + j + k in
+  if total mod 2 = 1 then 0.0
+  else begin
+    let s = total / 2 in
+    if s < i || s < j || s < k then 0.0
+    else begin
+      let fact = Prob.Special_functions.factorial in
+      fact i *. fact j *. fact k /. (fact (s - i) *. fact (s - j) *. fact (s - k))
+    end
+  end
+
+let univariate_table family max_order =
+  let m = max_order + 1 in
+  let is_hermite = family.Family.name = "hermite" in
+  let tbl = Array.init m (fun _ -> Array.make_matrix m m 0.0) in
+  for i = 0 to max_order do
+    for j = i to max_order do
+      for k = j to max_order do
+        let v =
+          if is_hermite then hermite_univariate i j k
+          else Quadrature.expectation_of_product family [ i; j; k ]
+        in
+        (* fill all six symmetric slots *)
+        tbl.(i).(j).(k) <- v;
+        tbl.(i).(k).(j) <- v;
+        tbl.(j).(i).(k) <- v;
+        tbl.(j).(k).(i) <- v;
+        tbl.(k).(i).(j) <- v;
+        tbl.(k).(j).(i) <- v
+      done
+    done
+  done;
+  tbl
+
+let create basis =
+  let order = Basis.order basis in
+  let per_dim = Array.map (fun fam -> univariate_table fam order) (Basis.families basis) in
+  { basis; per_dim }
+
+let value t i j k =
+  let ii = Basis.index t.basis i and jj = Basis.index t.basis j and kk = Basis.index t.basis k in
+  let acc = ref 1.0 in
+  (try
+     Array.iteri
+       (fun d di ->
+         let v = t.per_dim.(d).(di).(jj.(d)).(kk.(d)) in
+         if v = 0.0 then begin
+           acc := 0.0;
+           raise Exit
+         end;
+         acc := !acc *. v)
+       ii
+   with Exit -> ());
+  !acc
+
+let coupling_matrix t i =
+  let n = Basis.size t.basis in
+  Linalg.Dense.init n n (fun j k -> value t i j k)
+
+let basis t = t.basis

@@ -1,0 +1,27 @@
+(** Triple-product tensors [E(psi_i psi_j psi_k)].
+
+    These expectations are the structure constants of the Galerkin
+    projection: the augmented system of the paper's Eq. (19)–(22) is
+    [Gt(jN+...) = sum_i E(psi_i psi_j psi_k) G_i].  For a product basis the
+    tensor factorizes into univariate tables, computed in closed form for
+    Hermite and by exact Gaussian quadrature otherwise. *)
+
+type t
+(** Precomputed tables for a basis. *)
+
+val create : Basis.t -> t
+
+val hermite_univariate : int -> int -> int -> float
+(** Closed-form [E(He_i He_j He_k)] for monic probabilists' Hermite:
+    [i! j! k! / ((s-i)! (s-j)! (s-k)!)] when [i + j + k = 2 s] is even and
+    the triangle inequality holds, else 0. *)
+
+val value : t -> int -> int -> int -> float
+(** [value t i j k] = [E(psi_i psi_j psi_k)] for basis ranks i, j, k. *)
+
+val coupling_matrix : t -> int -> Linalg.Dense.t
+(** [coupling_matrix t i] is the (N+1)x(N+1) symmetric matrix
+    [T_i.(j).(k) = E(psi_i psi_j psi_k)].  [coupling_matrix t 0] is the
+    diagonal of basis norms. *)
+
+val basis : t -> Basis.t

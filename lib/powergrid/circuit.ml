@@ -1,0 +1,94 @@
+type node = int
+
+let ground = -1
+
+type resistor_kind = Metal | Via | Package
+
+type capacitor_kind = Gate | Fixed
+
+type resistor = { rnode1 : node; rnode2 : node; ohms : float; rkind : resistor_kind }
+
+type capacitor = { cnode1 : node; cnode2 : node; farads : float; ckind : capacitor_kind }
+
+type current_source = { inode : node; wave : Waveform.t; region : int }
+
+type vsource = { vnode : node; volts : float; series_ohms : float }
+
+type inductor = { lnode1 : node; lnode2 : node; henries : float }
+
+type t = {
+  num_nodes : int;
+  resistors : resistor array;
+  capacitors : capacitor array;
+  isources : current_source array;
+  vsources : vsource array;
+  inductors : inductor array;
+}
+
+let check_node num_nodes what n =
+  if n <> ground && (n < 0 || n >= num_nodes) then
+    invalid_arg (Printf.sprintf "Circuit.make: %s node %d out of range [0, %d)" what n num_nodes)
+
+let make ?(inductors = []) ~num_nodes ~resistors ~capacitors ~isources ~vsources () =
+  if num_nodes <= 0 then invalid_arg "Circuit.make: num_nodes must be positive";
+  List.iter
+    (fun l ->
+      check_node num_nodes "inductor" l.lnode1;
+      check_node num_nodes "inductor" l.lnode2;
+      if l.henries <= 0.0 then invalid_arg "Circuit.make: inductance must be positive";
+      if l.lnode1 = l.lnode2 then invalid_arg "Circuit.make: inductor shorts a node to itself")
+    inductors;
+  List.iter
+    (fun r ->
+      check_node num_nodes "resistor" r.rnode1;
+      check_node num_nodes "resistor" r.rnode2;
+      if r.ohms <= 0.0 then invalid_arg "Circuit.make: resistance must be positive";
+      if r.rnode1 = r.rnode2 then invalid_arg "Circuit.make: resistor shorts a node to itself")
+    resistors;
+  List.iter
+    (fun c ->
+      check_node num_nodes "capacitor" c.cnode1;
+      check_node num_nodes "capacitor" c.cnode2;
+      if c.farads <= 0.0 then invalid_arg "Circuit.make: capacitance must be positive")
+    capacitors;
+  List.iter
+    (fun i ->
+      check_node num_nodes "current source" i.inode;
+      if i.inode = ground then invalid_arg "Circuit.make: current source must attach to a node")
+    isources;
+  if vsources = [] then invalid_arg "Circuit.make: the grid needs at least one supply pad";
+  List.iter
+    (fun v ->
+      check_node num_nodes "voltage source" v.vnode;
+      if v.vnode = ground then invalid_arg "Circuit.make: supply pad must attach to a node";
+      if v.series_ohms < 0.0 then invalid_arg "Circuit.make: negative pad resistance")
+    vsources;
+  {
+    num_nodes;
+    resistors = Array.of_list resistors;
+    capacitors = Array.of_list capacitors;
+    isources = Array.of_list isources;
+    vsources = Array.of_list vsources;
+    inductors = Array.of_list inductors;
+  }
+
+let node_count c = c.num_nodes
+
+let stats c =
+  let base =
+    Printf.sprintf "%d nodes, %d resistors, %d capacitors, %d current sources, %d pads"
+      c.num_nodes (Array.length c.resistors) (Array.length c.capacitors)
+      (Array.length c.isources) (Array.length c.vsources)
+  in
+  if Array.length c.inductors = 0 then base
+  else Printf.sprintf "%s, %d inductors" base (Array.length c.inductors)
+
+let with_extra_capacitors c extra =
+  make
+    ~inductors:(Array.to_list c.inductors)
+    ~num_nodes:c.num_nodes
+    ~resistors:(Array.to_list c.resistors)
+    ~capacitors:(Array.to_list c.capacitors @ extra)
+    ~isources:(Array.to_list c.isources)
+    ~vsources:(Array.to_list c.vsources)
+    ()

@@ -1,0 +1,69 @@
+(** RC power-grid circuits.
+
+    Nodes are integers [0 .. num_nodes - 1]; the ground/reference node is
+    {!ground} and carries no unknown.  Elements are tagged with their
+    physical origin so the variation model knows which parameters they
+    follow (metal conductance varies with width/thickness, gate capacitance
+    with channel length, package parasitics not at all). *)
+
+type node = int
+
+val ground : node
+(** The reference node (-1). *)
+
+type resistor_kind =
+  | Metal  (** on-chip wire: conductance varies with W, T *)
+  | Via  (** inter-layer via: also W/T-dependent *)
+  | Package  (** package/bump parasitic: variation-free *)
+
+type capacitor_kind =
+  | Gate  (** gate capacitance of the driven logic: varies with Leff *)
+  | Fixed  (** diffusion/wire capacitance: held nominal (as in the paper) *)
+
+type resistor = { rnode1 : node; rnode2 : node; ohms : float; rkind : resistor_kind }
+
+type capacitor = { cnode1 : node; cnode2 : node; farads : float; ckind : capacitor_kind }
+
+type current_source = {
+  inode : node;  (** drain node; current flows from [inode] to ground *)
+  wave : Waveform.t;
+  region : int;  (** chip region for intra-die modeling (Sec. 5.1) *)
+}
+
+type vsource = { vnode : node; volts : float; series_ohms : float }
+(** A supply pad: ideal source in series with [series_ohms] (may be 0). *)
+
+type inductor = { lnode1 : node; lnode2 : node; henries : float }
+(** Package/loop inductance (the [L di/dt] term of the paper's intro).
+    Inductors force the full-MNA formulation ({!Mna.Full}); the Norton
+    nodal path rejects circuits containing them. *)
+
+type t = private {
+  num_nodes : int;
+  resistors : resistor array;
+  capacitors : capacitor array;
+  isources : current_source array;
+  vsources : vsource array;
+  inductors : inductor array;
+}
+
+val make :
+  ?inductors:inductor list ->
+  num_nodes:int ->
+  resistors:resistor list ->
+  capacitors:capacitor list ->
+  isources:current_source list ->
+  vsources:vsource list ->
+  unit ->
+  t
+(** Validates node ranges, positive resistances/capacitances/inductances,
+    and that at least one supply pad exists. *)
+
+val node_count : t -> int
+
+val stats : t -> string
+(** One-line summary for logs. *)
+
+val with_extra_capacitors : t -> capacitor list -> t
+(** A copy of the circuit with additional capacitors (decap insertion /
+    what-if edits). Validates the new elements like {!make}. *)

@@ -1,0 +1,11 @@
+let solve_at a t =
+  let g = Mna.g_total a in
+  let f = Linalg.Sparse_cholesky.factor g in
+  Linalg.Sparse_cholesky.solve f (Mna.inject a t)
+
+let solve a = solve_at a 0.0
+
+let solve_full (sys : Mna.Full.system) =
+  let f = Linalg.Sparse_lu.factor sys.a in
+  let x = Linalg.Sparse_lu.solve f (sys.rhs 0.0) in
+  Array.sub x 0 sys.nodes

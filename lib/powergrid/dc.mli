@@ -1,0 +1,11 @@
+(** Static (DC / IR-drop) analysis. *)
+
+val solve : Mna.t -> Linalg.Vec.t
+(** Node voltages with all current sources at their t = 0 values. *)
+
+val solve_at : Mna.t -> float -> Linalg.Vec.t
+(** Node voltages with the current sources frozen at time [t]. *)
+
+val solve_full : Mna.Full.system -> Linalg.Vec.t
+(** DC solve of the full-MNA system (sparse LU); returns node voltages
+    only, branch currents dropped. *)

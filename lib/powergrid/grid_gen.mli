@@ -1,0 +1,16 @@
+(** Synthetic multi-layer mesh power-grid generator. *)
+
+val node_at : Grid_spec.t -> layer:int -> row:int -> col:int -> Circuit.node
+(** Global node id of a mesh position. Raises on out-of-range coordinates. *)
+
+val region_of_node : Grid_spec.t -> Circuit.node -> int
+(** Chip region (for the Sec. 5.1 intra-die leakage model) of a node;
+    upper-layer nodes inherit the region below them. *)
+
+val generate : Grid_spec.t -> Circuit.t
+(** Build the circuit: bottom-layer mesh with load caps and block current
+    sources, coarser upper meshes, via stitching, supply pads with package
+    series resistance on the top layer. Deterministic given [spec.seed]. *)
+
+val center_node : Grid_spec.t -> Circuit.node
+(** Bottom-layer center — a convenient probe node far from the pads. *)

@@ -1,0 +1,30 @@
+(** Hierarchical (macromodel / Schur-complement) grid analysis — the
+    approach of Zhao, Panda, Sapatnekar et al. (the paper's ref. [5]).
+
+    The grid is partitioned into blocks; each block's internal nodes are
+    eliminated exactly, leaving a dense "port macromodel" (its Schur
+    complement) on the block boundary.  A small global system over the
+    ports is solved, then internal voltages are recovered block by block.
+    Useful when many solves share the same partition (what-if analysis,
+    per-block updates), and as an independent check of the flat solver. *)
+
+type t
+
+val partition_by_stripes : n:int -> blocks:int -> int array
+(** Simple contiguous-index partition: node [i] belongs to block
+    [i * blocks / n]. Adequate for the generator's row-major meshes. *)
+
+val build : Linalg.Sparse.t -> part:int array -> t
+(** [build a ~part] factorizes the SPD matrix [a] hierarchically using the
+    given node-to-block map.  Boundary (port) nodes are those with a
+    neighbor in another block.  Raises if a block's internal matrix is not
+    SPD. *)
+
+val ports : t -> int
+(** Number of boundary nodes in the global port system. *)
+
+val internal_blocks : t -> int
+
+val solve : t -> Linalg.Vec.t -> Linalg.Vec.t
+(** Solve [A x = b] through the macromodels: block forward-eliminations,
+    one dense port solve, block back-substitutions. *)

@@ -1,0 +1,16 @@
+let drops ~vdd v = Array.map (fun x -> vdd -. x) v
+
+let max_drop ~vdd v =
+  if Array.length v = 0 then invalid_arg "Metrics.max_drop: empty voltage vector";
+  let best = ref 0 in
+  for i = 1 to Array.length v - 1 do
+    if v.(i) < v.(!best) then best := i
+  done;
+  (vdd -. v.(!best), !best)
+
+let drop_percent ~vdd d = 100.0 *. d /. vdd
+
+let worst_nodes ~vdd v k =
+  let indexed = Array.mapi (fun i x -> (i, vdd -. x)) v in
+  Array.sort (fun (_, d1) (_, d2) -> compare d2 d1) indexed;
+  Array.to_list (Array.sub indexed 0 (Int.min k (Array.length indexed)))

@@ -1,0 +1,13 @@
+(** IR-drop metrics over node voltages. *)
+
+val drops : vdd:float -> Linalg.Vec.t -> Linalg.Vec.t
+(** [vdd - v] per node. *)
+
+val max_drop : vdd:float -> Linalg.Vec.t -> float * int
+(** Largest drop and the node where it occurs. *)
+
+val drop_percent : vdd:float -> float -> float
+(** A drop expressed as % of VDD. *)
+
+val worst_nodes : vdd:float -> Linalg.Vec.t -> int -> (int * float) list
+(** The [k] nodes with the largest drops, sorted worst first. *)

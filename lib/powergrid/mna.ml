@@ -1,0 +1,135 @@
+type t = {
+  n : int;
+  g_wire : Linalg.Sparse.t;
+  g_pad : Linalg.Sparse.t;
+  c_gate : Linalg.Sparse.t;
+  c_fixed : Linalg.Sparse.t;
+  u_pad : Linalg.Vec.t;
+  isources : Circuit.current_source array;
+}
+
+let opt_node n = if n = Circuit.ground then None else Some n
+
+let assemble (circuit : Circuit.t) =
+  if Array.length circuit.inductors > 0 then
+    invalid_arg "Mna.assemble: circuit has inductors; use Mna.Full.assemble";
+  let n = circuit.num_nodes in
+  let wire = Linalg.Sparse_builder.create ~nrows:n ~ncols:n () in
+  let pad = Linalg.Sparse_builder.create ~nrows:n ~ncols:n () in
+  let gate = Linalg.Sparse_builder.create ~nrows:n ~ncols:n () in
+  let fixed = Linalg.Sparse_builder.create ~nrows:n ~ncols:n () in
+  Array.iter
+    (fun (r : Circuit.resistor) ->
+      let g = 1.0 /. r.ohms in
+      let target = match r.rkind with Circuit.Metal | Circuit.Via -> wire | Circuit.Package -> pad in
+      Linalg.Sparse_builder.stamp_conductance target (opt_node r.rnode1) (opt_node r.rnode2) g)
+    circuit.resistors;
+  Array.iter
+    (fun (c : Circuit.capacitor) ->
+      let target = match c.ckind with Circuit.Gate -> gate | Circuit.Fixed -> fixed in
+      Linalg.Sparse_builder.stamp_conductance target (opt_node c.cnode1) (opt_node c.cnode2)
+        c.farads)
+    circuit.capacitors;
+  let u_pad = Linalg.Vec.create n in
+  Array.iter
+    (fun (v : Circuit.vsource) ->
+      if v.series_ohms <= 0.0 then
+        invalid_arg "Mna.assemble: ideal pad (zero series resistance); use Mna.Full.assemble";
+      let g = 1.0 /. v.series_ohms in
+      Linalg.Sparse_builder.add pad v.vnode v.vnode g;
+      u_pad.(v.vnode) <- u_pad.(v.vnode) +. (g *. v.volts))
+    circuit.vsources;
+  {
+    n;
+    g_wire = Linalg.Sparse_builder.to_csc wire;
+    g_pad = Linalg.Sparse_builder.to_csc pad;
+    c_gate = Linalg.Sparse_builder.to_csc gate;
+    c_fixed = Linalg.Sparse_builder.to_csc fixed;
+    u_pad;
+    isources = circuit.isources;
+  }
+
+let g_total a = Linalg.Sparse.add a.g_wire a.g_pad
+
+let c_total a = Linalg.Sparse.add a.c_gate a.c_fixed
+
+let drain_into a t u =
+  Array.iter
+    (fun (src : Circuit.current_source) ->
+      u.(src.inode) <- u.(src.inode) -. Waveform.eval src.wave t)
+    a.isources
+
+let inject_into a t u =
+  Array.blit a.u_pad 0 u 0 a.n;
+  drain_into a t u
+
+let inject a t =
+  let u = Linalg.Vec.create a.n in
+  inject_into a t u;
+  u
+
+module Full = struct
+  type system = {
+    dim : int;
+    nodes : int;
+    a : Linalg.Sparse.t;
+    c : Linalg.Sparse.t;
+    rhs : float -> Linalg.Vec.t;
+  }
+
+  let assemble (circuit : Circuit.t) =
+    let n = circuit.num_nodes in
+    let nv = Array.length circuit.vsources in
+    let nl = Array.length circuit.inductors in
+    let dim = n + nv + nl in
+    let ab = Linalg.Sparse_builder.create ~nrows:dim ~ncols:dim () in
+    let cb = Linalg.Sparse_builder.create ~nrows:dim ~ncols:dim () in
+    Array.iter
+      (fun (r : Circuit.resistor) ->
+        Linalg.Sparse_builder.stamp_conductance ab (opt_node r.rnode1) (opt_node r.rnode2)
+          (1.0 /. r.ohms))
+      circuit.resistors;
+    Array.iter
+      (fun (c : Circuit.capacitor) ->
+        Linalg.Sparse_builder.stamp_conductance cb (opt_node c.cnode1) (opt_node c.cnode2)
+          c.farads)
+      circuit.capacitors;
+    (* Branch row for pad k: v(node) - Rs * i_k = VDD; column couples the
+       branch current into the node's KCL. *)
+    Array.iteri
+      (fun k (v : Circuit.vsource) ->
+        let bk = n + k in
+        Linalg.Sparse_builder.add ab v.vnode bk 1.0;
+        Linalg.Sparse_builder.add ab bk v.vnode 1.0;
+        if v.series_ohms > 0.0 then Linalg.Sparse_builder.add ab bk bk (-.v.series_ohms))
+      circuit.vsources;
+    (* Inductor branch k: KCL coupling at both nodes and the branch
+       equation v1 - v2 - L di/dt = 0 (the -L lands in the C matrix). *)
+    Array.iteri
+      (fun k (l : Circuit.inductor) ->
+        let bk = n + nv + k in
+        if l.lnode1 <> Circuit.ground then begin
+          Linalg.Sparse_builder.add ab l.lnode1 bk 1.0;
+          Linalg.Sparse_builder.add ab bk l.lnode1 1.0
+        end;
+        if l.lnode2 <> Circuit.ground then begin
+          Linalg.Sparse_builder.add ab l.lnode2 bk (-1.0);
+          Linalg.Sparse_builder.add ab bk l.lnode2 (-1.0)
+        end;
+        Linalg.Sparse_builder.add cb bk bk (-.l.henries))
+      circuit.inductors;
+    let a = Linalg.Sparse_builder.to_csc ab in
+    let c = Linalg.Sparse_builder.to_csc cb in
+    let isources = circuit.isources in
+    let vsources = circuit.vsources in
+    let rhs t =
+      let u = Linalg.Vec.create dim in
+      Array.iter
+        (fun (src : Circuit.current_source) ->
+          u.(src.inode) <- u.(src.inode) -. Waveform.eval src.wave t)
+        isources;
+      Array.iteri (fun k (v : Circuit.vsource) -> u.(n + k) <- v.volts) vsources;
+      u
+    in
+    { dim; nodes = n; a; c; rhs }
+end

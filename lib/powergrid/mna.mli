@@ -1,0 +1,61 @@
+(** Modified nodal analysis assembly.
+
+    Supply pads (ideal source + series resistance) are Norton-transformed:
+    a conductance [1/Rs] to ground plus a current injection [VDD/Rs], which
+    keeps the nodal matrix symmetric positive definite.  The conductance and
+    capacitance matrices are returned *split by physical origin* so the
+    variation model can perturb each part with its own random variable:
+
+    - [g_wire]: metal + via conductances (vary with xiW, xiT -> xiG)
+    - [g_pad]:  pad Norton conductances (package; nominally fixed)
+    - [c_gate]: gate capacitance (varies with xiL)
+    - [c_fixed]: diffusion/wire capacitance (nominal)
+
+    Ideal pads ([series_ohms = 0]) cannot be Norton-transformed; use
+    {!assemble_full} which keeps branch currents as extra unknowns (solved
+    with sparse LU since the system is then indefinite). *)
+
+type t = {
+  n : int;  (** number of node unknowns *)
+  g_wire : Linalg.Sparse.t;
+  g_pad : Linalg.Sparse.t;
+  c_gate : Linalg.Sparse.t;
+  c_fixed : Linalg.Sparse.t;
+  u_pad : Linalg.Vec.t;  (** Norton pad injection [G_pad * VDD] *)
+  isources : Circuit.current_source array;
+}
+
+val assemble : Circuit.t -> t
+(** Raises [Invalid_argument] if a pad has zero series resistance
+    (use {!assemble_full} for that). *)
+
+val g_total : t -> Linalg.Sparse.t
+
+val c_total : t -> Linalg.Sparse.t
+
+val drain_into : t -> float -> Linalg.Vec.t -> unit
+(** [drain_into a t u] adds the block drain currents at time [t] into [u]
+    with their MNA sign (current leaving a node is negative injection). *)
+
+val inject : t -> float -> Linalg.Vec.t
+(** Full right-hand side [u(t) = u_pad + drains(t)]. *)
+
+val inject_into : t -> float -> Linalg.Vec.t -> unit
+(** Allocation-free version of {!inject}; overwrites the argument. *)
+
+(** Full MNA with explicit voltage-source branch currents. *)
+module Full : sig
+  type system = {
+    dim : int;  (** nodes + vsource branches *)
+    nodes : int;
+    a : Linalg.Sparse.t;  (** [G] block plus incidence rows/columns *)
+    c : Linalg.Sparse.t;  (** capacitance, zero on branch rows *)
+    rhs : float -> Linalg.Vec.t;
+  }
+
+  val assemble : Circuit.t -> system
+  (** Handles pads with any series resistance, including 0 (the series
+      resistance is stamped into the branch row), and inductors (one
+      branch-current unknown each, with [-L] on the branch row of the
+      [c] matrix). *)
+end

@@ -1,0 +1,96 @@
+type t = { v : Linalg.Dense.t; gr : Linalg.Dense.t; cr : Linalg.Dense.t }
+
+(* Modified Gram-Schmidt of [w] against the accepted columns; returns None
+   if [w] is (numerically) inside their span. *)
+let orthonormalize columns w =
+  let w = Array.copy w in
+  let initial = Linalg.Vec.norm2 w in
+  if initial = 0.0 then None
+  else begin
+    List.iter
+      (fun q ->
+        let proj = Linalg.Vec.dot q w in
+        Linalg.Vec.axpy ~alpha:(-.proj) q w)
+      columns;
+    (* re-orthogonalize once for stability *)
+    List.iter
+      (fun q ->
+        let proj = Linalg.Vec.dot q w in
+        Linalg.Vec.axpy ~alpha:(-.proj) q w)
+      columns;
+    let nrm = Linalg.Vec.norm2 w in
+    if nrm < 1e-10 *. initial || nrm = 0.0 then None
+    else begin
+      Linalg.Vec.scale (1.0 /. nrm) w;
+      Some w
+    end
+  end
+
+let reduce ~g ~c ~inputs ~blocks =
+  let n, m = Linalg.Sparse.dims g in
+  if n <> m then invalid_arg "Mor.reduce: matrix is not square";
+  if blocks < 1 then invalid_arg "Mor.reduce: need at least one moment block";
+  if Array.length inputs = 0 then invalid_arg "Mor.reduce: need at least one input";
+  Array.iter
+    (fun b -> if Array.length b <> n then invalid_arg "Mor.reduce: input dimension mismatch")
+    inputs;
+  let f = Linalg.Sparse_cholesky.factor ~ordering:Linalg.Ordering.Nested_dissection g in
+  (* Block Krylov: W_0 = G^-1 B; W_{j+1} = G^-1 C W_j, orthonormalized. *)
+  let basis = ref [] in
+  let current = ref (Array.map (fun b -> Linalg.Sparse_cholesky.solve f b) inputs) in
+  for _ = 1 to blocks do
+    Array.iter
+      (fun w ->
+        match orthonormalize (List.rev !basis) w with
+        | Some q -> basis := q :: !basis
+        | None -> ())
+      !current;
+    current :=
+      Array.map
+        (fun w -> Linalg.Sparse_cholesky.solve f (Linalg.Sparse.mul_vec c w))
+        !current
+  done;
+  let columns = Array.of_list (List.rev !basis) in
+  let k = Array.length columns in
+  if k = 0 then invalid_arg "Mor.reduce: empty Krylov basis (zero inputs?)";
+  let v = Linalg.Dense.init n k (fun i j -> columns.(j).(i)) in
+  let project_matrix a =
+    (* V^T A V computed column by column through the sparse matrix *)
+    Linalg.Dense.init k k (fun i j ->
+        let avj = Linalg.Sparse.mul_vec a columns.(j) in
+        Linalg.Vec.dot columns.(i) avj)
+  in
+  { v; gr = project_matrix g; cr = project_matrix c }
+
+let dim t = snd (Linalg.Dense.dims t.v)
+
+let project_input t u = Linalg.Dense.matvec_t t.v u
+
+let lift t z ~node =
+  let _, k = Linalg.Dense.dims t.v in
+  let acc = ref 0.0 in
+  for j = 0 to k - 1 do
+    acc := !acc +. (Linalg.Dense.get t.v node j *. z.(j))
+  done;
+  !acc
+
+let transient t ~h ~steps ~inject ~n ~on_step =
+  if h <= 0.0 then invalid_arg "Mor.transient: step must be positive";
+  let k = dim t in
+  let u_full = Array.make n 0.0 in
+  let m = Linalg.Dense.add t.gr (Linalg.Dense.scale (1.0 /. h) t.cr) in
+  let fm = Linalg.Lu.factor m in
+  let fg = Linalg.Lu.factor t.gr in
+  inject 0.0 u_full;
+  let z = ref (Linalg.Lu.solve fg (project_input t u_full)) in
+  for step = 1 to steps do
+    let time = float_of_int step *. h in
+    inject time u_full;
+    let rhs = project_input t u_full in
+    let cz = Linalg.Dense.matvec t.cr !z in
+    for i = 0 to k - 1 do
+      rhs.(i) <- rhs.(i) +. (cz.(i) /. h)
+    done;
+    z := Linalg.Lu.solve fm rhs;
+    on_step step time !z
+  done

@@ -1,0 +1,48 @@
+(** Krylov-subspace model order reduction (PRIMA-style block Arnoldi).
+
+    The paper's Sec. 5.2 points to MOR as a complexity reducer: designers
+    only observe a handful of nodes, so the grid can be projected onto a
+    small moment-matching subspace once and simulated there.  This module
+    implements congruence-transform reduction about s = 0:
+
+    - Krylov space: colspan [ G^-1 B, (G^-1 C) G^-1 B, ... ]
+    - [x ~ V z] with [V^T V = I];  [Gr = V^T G V], [Cr = V^T C V]
+
+    Congruence preserves passivity for SPD G, C (PRIMA's key property),
+    and the first [blocks] moments of the input-to-state map match. *)
+
+type t = {
+  v : Linalg.Dense.t;  (** n x k orthonormal projection basis *)
+  gr : Linalg.Dense.t;  (** k x k reduced conductance *)
+  cr : Linalg.Dense.t;  (** k x k reduced capacitance *)
+}
+
+val reduce :
+  g:Linalg.Sparse.t -> c:Linalg.Sparse.t -> inputs:Linalg.Vec.t array -> blocks:int -> t
+(** [reduce ~g ~c ~inputs ~blocks] builds the order-[blocks] block-Krylov
+    basis seeded by the given input vectors (e.g. the pad injection and a
+    per-block drain indicator).  The reduced dimension is at most
+    [blocks * Array.length inputs] (deflation may shrink it).
+    Raises if [g] is not SPD. *)
+
+val dim : t -> int
+(** Reduced dimension k. *)
+
+val project_input : t -> Linalg.Vec.t -> Linalg.Vec.t
+(** [V^T u]: full excitation to reduced excitation. *)
+
+val lift : t -> Linalg.Vec.t -> node:int -> float
+(** Value of the reconstructed full state [V z] at one node. *)
+
+val transient :
+  t ->
+  h:float ->
+  steps:int ->
+  inject:(float -> Linalg.Vec.t -> unit) ->
+  n:int ->
+  on_step:(int -> float -> Linalg.Vec.t -> unit) ->
+  unit
+(** Backward-Euler transient of the reduced system.  [inject] fills the
+    *full-size* excitation (dimension [n]); it is projected each step.
+    [on_step] receives the reduced state; use {!lift} to read nodes.
+    Starts from the reduced DC solution. *)

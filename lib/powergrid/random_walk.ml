@@ -1,0 +1,121 @@
+type t = {
+  (* per node: cumulative transition probabilities over neighbors, the
+     absorption probability, the per-visit cost and the absorption award *)
+  neighbors : int array array;
+  cumprob : float array array;  (** same length as neighbors; ascending *)
+  absorb_prob : float array;
+  visit_cost : float array;
+  award : float;
+}
+
+let max_steps_guard = 10_000_000
+
+let prepare (a : Mna.t) ~time =
+  let n = a.n in
+  let g = Mna.g_total a in
+  let { Linalg.Sparse.colptr; rowind; values; _ } = g in
+  let pad_diag = Linalg.Sparse.diag a.g_pad in
+  let drain = Linalg.Vec.create n in
+  Mna.drain_into a time drain;
+  let neighbors = Array.make n [||] in
+  let cumprob = Array.make n [||] in
+  let absorb_prob = Array.make n 0.0 in
+  let visit_cost = Array.make n 0.0 in
+  (* The award is the ideal pad voltage: u_pad = g_pad * VDD, so VDD =
+     u_pad / g_pad at any pad node. Grids have a single VDD here. *)
+  let award = ref 0.0 in
+  for i = 0 to n - 1 do
+    if pad_diag.(i) > 0.0 then award := a.u_pad.(i) /. pad_diag.(i)
+  done;
+  for j = 0 to n - 1 do
+    let ns = ref [] and gs = ref [] and total = ref 0.0 in
+    for k = colptr.(j) to colptr.(j + 1) - 1 do
+      let i = rowind.(k) in
+      if i = j then total := !total +. values.(k)
+      else begin
+        (* off-diagonal of a conductance stamp is -g *)
+        ns := i :: !ns;
+        gs := -.values.(k) :: !gs
+      end
+    done;
+    let d = !total in
+    if d <= 0.0 then invalid_arg "Random_walk.prepare: node with no conductance";
+    let ns = Array.of_list (List.rev !ns) and gs = Array.of_list (List.rev !gs) in
+    let cum = Array.make (Array.length gs) 0.0 in
+    let acc = ref 0.0 in
+    Array.iteri
+      (fun k gk ->
+        acc := !acc +. (gk /. d);
+        cum.(k) <- !acc)
+      gs;
+    neighbors.(j) <- ns;
+    cumprob.(j) <- cum;
+    absorb_prob.(j) <- pad_diag.(j) /. d;
+    (* drain.(j) is the (negative) injection; cost = drain / d *)
+    visit_cost.(j) <- drain.(j) /. d
+  done;
+  (* Termination check: every node must reach a pad. *)
+  let reachable = Array.make n false in
+  let queue = Queue.create () in
+  for i = 0 to n - 1 do
+    if absorb_prob.(i) > 0.0 then begin
+      reachable.(i) <- true;
+      Queue.add i queue
+    end
+  done;
+  (* reverse reachability over the symmetric graph *)
+  while not (Queue.is_empty queue) do
+    let v = Queue.pop queue in
+    Array.iter
+      (fun u ->
+        if not reachable.(u) then begin
+          reachable.(u) <- true;
+          Queue.add u queue
+        end)
+      neighbors.(v)
+  done;
+  if not (Array.for_all (fun r -> r) reachable) then
+    invalid_arg "Random_walk.prepare: some nodes cannot reach a supply pad";
+  { neighbors; cumprob; absorb_prob; visit_cost; award = !award }
+
+let one_walk t rng start =
+  let v = ref start in
+  let gain = ref 0.0 in
+  let steps = ref 0 in
+  let running = ref true in
+  while !running do
+    incr steps;
+    if !steps > max_steps_guard then failwith "Random_walk: walk exceeded step guard";
+    gain := !gain +. t.visit_cost.(!v);
+    let u = Prob.Rng.float rng in
+    if u < t.absorb_prob.(!v) then begin
+      gain := !gain +. t.award;
+      running := false
+    end
+    else begin
+      (* Rescale u into the neighbor range and binary-search the cdf. *)
+      let u' = (u -. t.absorb_prob.(!v)) /. (1.0 -. t.absorb_prob.(!v)) in
+      let cum = t.cumprob.(!v) in
+      let m = Array.length cum in
+      let total = cum.(m - 1) in
+      let target = u' *. total in
+      let lo = ref 0 and hi = ref (m - 1) in
+      while !lo < !hi do
+        let mid = (!lo + !hi) / 2 in
+        if cum.(mid) < target then lo := mid + 1 else hi := mid
+      done;
+      v := t.neighbors.(!v).(!lo)
+    end
+  done;
+  !gain
+
+let estimate t rng ~node ~walks =
+  if walks <= 0 then invalid_arg "Random_walk.estimate: need at least one walk";
+  if node < 0 || node >= Array.length t.absorb_prob then
+    invalid_arg "Random_walk.estimate: node out of range";
+  let acc = Prob.Stats.Online.create () in
+  for _ = 1 to walks do
+    Prob.Stats.Online.add acc (one_walk t rng node)
+  done;
+  let stderr = Prob.Stats.Online.std acc /. sqrt (float_of_int walks) in
+  (Prob.Stats.Online.mean acc, stderr)

@@ -1,0 +1,26 @@
+(** Random-walk DC solver (Qian, Nassif, Sapatnekar, DAC 2003 — the
+    paper's reference [6]).
+
+    The nodal equation [v_i = sum_j (g_ij / d_i) v_j + u_i / d_i] reads as
+    a killed random walk: step to a neighbor with probability proportional
+    to its conductance, get absorbed at a supply pad with probability
+    [g_pad / d] (collecting the pad voltage), and pay the local drain
+    current "motel cost" at every visit.  One node's voltage can then be
+    estimated *without solving the whole grid* — the incremental/localized
+    analysis the paper cites. *)
+
+type t
+(** Preprocessed walk graph for a grid at a fixed time point. *)
+
+val prepare : Mna.t -> time:float -> t
+(** Build transition tables from an assembled grid; drain currents are
+    frozen at [time]. Raises [Invalid_argument] if some node has no path
+    to a pad (walk would not terminate). *)
+
+val estimate : t -> Prob.Rng.t -> node:int -> walks:int -> float * float
+(** [estimate t rng ~node ~walks] runs [walks] independent walks from
+    [node]; returns the voltage estimate and its standard error. *)
+
+val max_steps_guard : int
+(** Per-walk step budget after which a walk is abandoned (defensive bound;
+    practically unreachable on connected grids). *)

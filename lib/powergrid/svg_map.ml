@@ -1,0 +1,85 @@
+let cell = 14
+
+let margin = 48
+
+(* Blue (low) -> white -> red (high). *)
+let color t =
+  let t = Float.max 0.0 (Float.min 1.0 t) in
+  let r, g, b =
+    if t < 0.5 then begin
+      let s = t /. 0.5 in
+      (int_of_float (59.0 +. (s *. 196.0)), int_of_float (76.0 +. (s *. 179.0)),
+       int_of_float (192.0 +. (s *. 63.0)))
+    end
+    else begin
+      let s = (t -. 0.5) /. 0.5 in
+      (255, int_of_float (255.0 -. (s *. 179.0)), int_of_float (255.0 -. (s *. 205.0)))
+    end
+  in
+  Printf.sprintf "#%02x%02x%02x" r g b
+
+let render (spec : Grid_spec.t) ~values ?(title = "") ?(unit_label = "") () =
+  let rows = spec.rows and cols = spec.cols in
+  let lo = ref infinity and hi = ref neg_infinity in
+  for r = 0 to rows - 1 do
+    for c = 0 to cols - 1 do
+      let v = values.(Grid_gen.node_at spec ~layer:0 ~row:r ~col:c) in
+      if v < !lo then lo := v;
+      if v > !hi then hi := v
+    done
+  done;
+  let span = if !hi -. !lo <= 0.0 then 1.0 else !hi -. !lo in
+  let width = (cols * cell) + (2 * margin) in
+  let height = (rows * cell) + (2 * margin) + 20 in
+  let buf = Buffer.create (rows * cols * 64) in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"%d\" height=\"%d\" viewBox=\"0 0 %d %d\">\n"
+       width height width height);
+  Buffer.add_string buf
+    (Printf.sprintf
+       "<rect x=\"0\" y=\"0\" width=\"%d\" height=\"%d\" fill=\"white\"/>\n" width height);
+  if title <> "" then
+    Buffer.add_string buf
+      (Printf.sprintf
+         "<text x=\"%d\" y=\"24\" font-family=\"sans-serif\" font-size=\"14\">%s</text>\n"
+         margin title);
+  for r = 0 to rows - 1 do
+    for c = 0 to cols - 1 do
+      let v = values.(Grid_gen.node_at spec ~layer:0 ~row:r ~col:c) in
+      let t = (v -. !lo) /. span in
+      Buffer.add_string buf
+        (Printf.sprintf
+           "<rect x=\"%d\" y=\"%d\" width=\"%d\" height=\"%d\" fill=\"%s\"><title>node (%d,%d): %.4g</title></rect>\n"
+           (margin + (c * cell))
+           (margin + (r * cell))
+           cell cell (color t) r c v)
+    done
+  done;
+  (* Legend: a horizontal ramp under the map. *)
+  let legend_y = margin + (rows * cell) + 12 in
+  let legend_w = cols * cell in
+  let segments = 40 in
+  for s = 0 to segments - 1 do
+    Buffer.add_string buf
+      (Printf.sprintf "<rect x=\"%d\" y=\"%d\" width=\"%d\" height=\"10\" fill=\"%s\"/>\n"
+         (margin + (s * legend_w / segments))
+         legend_y
+         ((legend_w / segments) + 1)
+         (color (float_of_int s /. float_of_int (segments - 1))))
+  done;
+  Buffer.add_string buf
+    (Printf.sprintf
+       "<text x=\"%d\" y=\"%d\" font-family=\"sans-serif\" font-size=\"11\">%.4g %s</text>\n"
+       margin (legend_y + 22) !lo unit_label);
+  Buffer.add_string buf
+    (Printf.sprintf
+       "<text x=\"%d\" y=\"%d\" font-family=\"sans-serif\" font-size=\"11\" text-anchor=\"end\">%.4g %s</text>\n"
+       (margin + legend_w) (legend_y + 22) !hi unit_label);
+  Buffer.add_string buf "</svg>\n";
+  Buffer.contents buf
+
+let save path spec ~values ?title ?unit_label () =
+  let oc = open_out path in
+  output_string oc (render spec ~values ?title ?unit_label ());
+  close_out oc

@@ -1,0 +1,23 @@
+(** SVG heat maps of per-node quantities over the bottom grid layer
+    (IR-drop maps, sigma maps) for reports and debugging. *)
+
+val render :
+  Grid_spec.t ->
+  values:Linalg.Vec.t ->
+  ?title:string ->
+  ?unit_label:string ->
+  unit ->
+  string
+(** [render spec ~values ()] draws the bottom-layer mesh as colored cells
+    (cool blue = low, warm red = high, per-map normalization) with a
+    legend.  [values] is indexed by global node id; only bottom-layer
+    nodes are drawn.  Returns the SVG document. *)
+
+val save :
+  string ->
+  Grid_spec.t ->
+  values:Linalg.Vec.t ->
+  ?title:string ->
+  ?unit_label:string ->
+  unit ->
+  unit

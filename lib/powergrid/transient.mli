@@ -1,0 +1,44 @@
+(** Fixed-step transient analysis of [G x + C x' = u(t)].
+
+    The paper uses a fixed time step; backward Euler needs one
+    factorization of [G + C/h] reused across all steps, the property both
+    OPERA and the Monte-Carlo baseline build on. *)
+
+type scheme =
+  | Backward_euler
+  | Trapezoidal
+
+type config = {
+  h : float;  (** time step *)
+  steps : int;  (** number of steps after t = 0 *)
+  scheme : scheme;
+  ordering : Linalg.Ordering.kind;
+}
+
+val default_config : h:float -> steps:int -> config
+(** Backward Euler with nested-dissection ordering. *)
+
+val run :
+  config ->
+  g:Linalg.Sparse.t ->
+  c:Linalg.Sparse.t ->
+  inject:(float -> Linalg.Vec.t -> unit) ->
+  x0:Linalg.Vec.t ->
+  on_step:(int -> float -> Linalg.Vec.t -> unit) ->
+  unit
+(** Integrates from [x0] (the state at t = 0).  [inject t u] must overwrite
+    [u] with the excitation at time [t].  [on_step k t x] is called for
+    k = 1..steps with the state at [t = k h]; the vector is reused between
+    steps — copy it if you keep it. *)
+
+val run_circuit :
+  config -> Mna.t -> on_step:(int -> float -> Linalg.Vec.t -> unit) -> unit
+(** Convenience wrapper: nominal transient of an assembled grid, starting
+    from the DC solution at t = 0. *)
+
+val run_full :
+  config -> Mna.Full.system -> on_step:(int -> float -> Linalg.Vec.t -> unit) -> unit
+(** Backward-Euler transient of a full-MNA system (ideal pads and/or
+    inductors; indefinite matrix, solved with sparse LU).  [on_step]
+    receives node voltages only (branch currents are internal).
+    Trapezoidal is not offered on this path. *)

@@ -1,0 +1,40 @@
+type t = { factor : Linalg.Sparse_cholesky.t; n : int }
+
+let prepare (a : Mna.t) =
+  let g = Mna.g_total a in
+  { factor = Linalg.Sparse_cholesky.factor ~ordering:Linalg.Ordering.Nested_dissection g;
+    n = a.n }
+
+let transfer_impedance t ~node =
+  if node < 0 || node >= t.n then invalid_arg "Vectorless.transfer_impedance: node out of range";
+  let e = Linalg.Vec.create t.n in
+  e.(node) <- 1.0;
+  (* G symmetric: column node of G^-1 = row node. *)
+  Linalg.Sparse_cholesky.solve t.factor e
+
+let worst_case_drop t ~node ~local_budgets ~total_budget =
+  if total_budget < 0.0 then invalid_arg "Vectorless.worst_case_drop: negative total budget";
+  Array.iter
+    (fun (i, b) ->
+      if i < 0 || i >= t.n then invalid_arg "Vectorless.worst_case_drop: source out of range";
+      if b < 0.0 then invalid_arg "Vectorless.worst_case_drop: negative local budget")
+    local_budgets;
+  let z = transfer_impedance t ~node in
+  (* Fractional knapsack: spend the global budget on the largest Z first. *)
+  let ranked = Array.copy local_budgets in
+  Array.sort (fun (i, _) (j, _) -> compare z.(j) z.(i)) ranked;
+  let remaining = ref total_budget in
+  let drop = ref 0.0 in
+  let allocation = ref [] in
+  Array.iter
+    (fun (i, budget) ->
+      if !remaining > 0.0 && z.(i) > 0.0 then begin
+        let take = Float.min budget !remaining in
+        if take > 0.0 then begin
+          drop := !drop +. (z.(i) *. take);
+          remaining := !remaining -. take;
+          allocation := (i, take) :: !allocation
+        end
+      end)
+    ranked;
+  (!drop, List.rev !allocation)

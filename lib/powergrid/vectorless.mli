@@ -1,0 +1,34 @@
+(** Vectorless (pattern-independent) worst-case IR-drop bounds.
+
+    Instead of simulating specific input vectors, bound the drop under
+    *current constraints* (the estimation problem of the paper's refs
+    [2], [7], [9]): each block current lies in [0, local budget] and the
+    total current is capped by a global (power) budget.  For a fixed node
+    the drop is linear in the currents, so the worst case is the classic
+    fractional-knapsack: allocate the global budget to the largest
+    transfer impedances first.
+
+    One linear solve yields the full impedance row of a node (G is
+    symmetric, so [Z_v = G^-1 e_v] gives [Z_vi] for all sources i). *)
+
+type t
+
+val prepare : Mna.t -> t
+(** Factor the conductance matrix once; each subsequent node query is a
+    single triangular solve. *)
+
+val worst_case_drop :
+  t ->
+  node:int ->
+  local_budgets:(int * float) array ->
+  total_budget:float ->
+  float * (int * float) list
+(** [worst_case_drop t ~node ~local_budgets ~total_budget] maximizes the
+    drop at [node] over current allocations: source [i] draws at most its
+    local budget (amps), the sum draws at most [total_budget].  Returns
+    the worst-case drop (volts) and the optimal allocation (source node,
+    amps), largest contributors first. *)
+
+val transfer_impedance : t -> node:int -> Linalg.Vec.t
+(** The impedance row [Z_v]: entry [i] is the voltage drop at [node] per
+    ampere drawn at node [i]. *)

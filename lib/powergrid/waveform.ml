@@ -1,0 +1,72 @@
+type pulse = {
+  base : float;
+  peak : float;
+  delay : float;
+  rise : float;
+  width : float;
+  fall : float;
+  period : float;
+}
+
+type t = Dc of float | Pulse of pulse | Pwl of (float * float) array
+
+let eval_pulse p t =
+  if t < p.delay then p.base
+  else begin
+    let t' = if p.period > 0.0 then Float.rem (t -. p.delay) p.period else t -. p.delay in
+    if t' < p.rise then p.base +. ((p.peak -. p.base) *. t' /. p.rise)
+    else if t' < p.rise +. p.width then p.peak
+    else if t' < p.rise +. p.width +. p.fall then
+      p.peak -. ((p.peak -. p.base) *. (t' -. p.rise -. p.width) /. p.fall)
+    else p.base
+  end
+
+let eval_pwl points t =
+  let n = Array.length points in
+  if n = 0 then 0.0
+  else if t <= fst points.(0) then snd points.(0)
+  else if t >= fst points.(n - 1) then snd points.(n - 1)
+  else begin
+    (* binary search for the segment containing t *)
+    let lo = ref 0 and hi = ref (n - 1) in
+    while !hi - !lo > 1 do
+      let mid = (!lo + !hi) / 2 in
+      if fst points.(mid) <= t then lo := mid else hi := mid
+    done;
+    let t0, v0 = points.(!lo) and t1, v1 = points.(!hi) in
+    if t1 = t0 then v1 else v0 +. ((v1 -. v0) *. (t -. t0) /. (t1 -. t0))
+  end
+
+let eval w t =
+  match w with Dc v -> v | Pulse p -> eval_pulse p t | Pwl points -> eval_pwl points t
+
+let peak = function
+  | Dc v -> v
+  | Pulse p -> Float.max p.base p.peak
+  | Pwl points -> Array.fold_left (fun acc (_, v) -> Float.max acc v) neg_infinity points
+
+let scale alpha = function
+  | Dc v -> Dc (alpha *. v)
+  | Pulse p -> Pulse { p with base = alpha *. p.base; peak = alpha *. p.peak }
+  | Pwl points -> Pwl (Array.map (fun (t, v) -> (t, alpha *. v)) points)
+
+let random_activity rng ~peak ~period ~duty ~cycles =
+  if cycles <= 0 then invalid_arg "Waveform.random_activity: cycles must be positive";
+  if duty < 0.0 || duty > 1.0 then invalid_arg "Waveform.random_activity: duty must be in [0,1]";
+  let points = ref [ (0.0, 0.0) ] in
+  for c = 0 to cycles - 1 do
+    let t0 = float_of_int c *. period in
+    if Prob.Rng.float rng < duty then begin
+      let height = peak *. Prob.Rng.float_range rng 0.3 1.0 in
+      (* triangular pulse over the first half of the cycle *)
+      points :=
+        (t0 +. (period /. 2.0), 0.0)
+        :: (t0 +. (period /. 4.0), height)
+        :: (t0 +. 1e-3 *. period, 0.0)
+        :: !points
+    end
+  done;
+  points := (float_of_int cycles *. period, 0.0) :: !points;
+  let arr = Array.of_list (List.rev !points) in
+  Array.sort (fun (t1, _) (t2, _) -> compare t1 t2) arr;
+  Pwl arr

@@ -1,0 +1,40 @@
+(** Transient current-source profiles.
+
+    The paper obtains block current profiles by simulating the functional
+    blocks "for a large sequence of random input vectors"; {!random_activity}
+    synthesizes the same kind of clock-correlated, randomly gated profile. *)
+
+type pulse = {
+  base : float;
+  peak : float;
+  delay : float;
+  rise : float;
+  width : float;
+  fall : float;
+  period : float;  (** 0 or negative means non-repeating *)
+}
+
+type t =
+  | Dc of float
+  | Pulse of pulse
+  | Pwl of (float * float) array  (** piecewise-linear (time, value), times ascending *)
+
+val eval : t -> float -> float
+(** Value at a time (>= 0). PWL holds its end values outside its range. *)
+
+val peak : t -> float
+(** Maximum value taken over time (for sizing checks). *)
+
+val scale : float -> t -> t
+(** Scale the value axis. *)
+
+val random_activity :
+  Prob.Rng.t ->
+  peak:float ->
+  period:float ->
+  duty:float ->
+  cycles:int ->
+  t
+(** Clock-gated activity: each clock cycle fires with probability [duty]
+    a triangular current pulse of random height in [0.3, 1.0] * [peak]
+    occupying the first half of the cycle. Returns a [Pwl]. *)

@@ -1,0 +1,104 @@
+type t =
+  | Gaussian of { mu : float; sigma : float }
+  | Lognormal of { mu : float; sigma : float }
+  | Uniform of { lo : float; hi : float }
+  | Exponential of { rate : float }
+  | Gamma of { shape : float; scale : float }
+  | Beta of { alpha : float; beta : float }
+
+(* Marsaglia–Tsang for Gamma(shape >= 1); boosting for shape < 1. *)
+let rec sample_gamma rng shape scale =
+  if shape < 1.0 then begin
+    let u = Rng.float rng in
+    sample_gamma rng (shape +. 1.0) scale *. (u ** (1.0 /. shape))
+  end
+  else begin
+    let d = shape -. (1.0 /. 3.0) in
+    let c = 1.0 /. sqrt (9.0 *. d) in
+    let rec loop () =
+      let x = Rng.gaussian rng in
+      let v = 1.0 +. (c *. x) in
+      if v <= 0.0 then loop ()
+      else begin
+        let v3 = v *. v *. v in
+        let u = Rng.float rng in
+        if u < 1.0 -. (0.0331 *. x *. x *. x *. x) then d *. v3
+        else if log u < (0.5 *. x *. x) +. (d *. (1.0 -. v3 +. log v3)) then d *. v3
+        else loop ()
+      end
+    in
+    scale *. loop ()
+  end
+
+let sample rng = function
+  | Gaussian { mu; sigma } -> mu +. (sigma *. Rng.gaussian rng)
+  | Lognormal { mu; sigma } -> exp (mu +. (sigma *. Rng.gaussian rng))
+  | Uniform { lo; hi } -> Rng.float_range rng lo hi
+  | Exponential { rate } -> -.log (1.0 -. Rng.float rng) /. rate
+  | Gamma { shape; scale } -> sample_gamma rng shape scale
+  | Beta { alpha; beta } ->
+      let x = sample_gamma rng alpha 1.0 in
+      let y = sample_gamma rng beta 1.0 in
+      x /. (x +. y)
+
+let pdf dist x =
+  match dist with
+  | Gaussian { mu; sigma } ->
+      let z = (x -. mu) /. sigma in
+      exp (-0.5 *. z *. z) /. (sigma *. 2.5066282746310002)
+  | Lognormal { mu; sigma } ->
+      if x <= 0.0 then 0.0
+      else begin
+        let z = (log x -. mu) /. sigma in
+        exp (-0.5 *. z *. z) /. (x *. sigma *. 2.5066282746310002)
+      end
+  | Uniform { lo; hi } -> if x >= lo && x <= hi then 1.0 /. (hi -. lo) else 0.0
+  | Exponential { rate } -> if x < 0.0 then 0.0 else rate *. exp (-.rate *. x)
+  | Gamma { shape; scale } ->
+      if x <= 0.0 then 0.0
+      else
+        exp
+          (((shape -. 1.0) *. log (x /. scale))
+          -. (x /. scale)
+          -. Special_functions.log_gamma shape)
+        /. scale
+  | Beta { alpha; beta } ->
+      if x <= 0.0 || x >= 1.0 then 0.0
+      else begin
+        let log_b =
+          Special_functions.log_gamma alpha
+          +. Special_functions.log_gamma beta
+          -. Special_functions.log_gamma (alpha +. beta)
+        in
+        exp (((alpha -. 1.0) *. log x) +. ((beta -. 1.0) *. log (1.0 -. x)) -. log_b)
+      end
+
+let mean = function
+  | Gaussian { mu; _ } -> mu
+  | Lognormal { mu; sigma } -> exp (mu +. (sigma *. sigma /. 2.0))
+  | Uniform { lo; hi } -> (lo +. hi) /. 2.0
+  | Exponential { rate } -> 1.0 /. rate
+  | Gamma { shape; scale } -> shape *. scale
+  | Beta { alpha; beta } -> alpha /. (alpha +. beta)
+
+let variance = function
+  | Gaussian { sigma; _ } -> sigma *. sigma
+  | Lognormal { mu; sigma } ->
+      let s2 = sigma *. sigma in
+      (exp s2 -. 1.0) *. exp ((2.0 *. mu) +. s2)
+  | Uniform { lo; hi } ->
+      let w = hi -. lo in
+      w *. w /. 12.0
+  | Exponential { rate } -> 1.0 /. (rate *. rate)
+  | Gamma { shape; scale } -> shape *. scale *. scale
+  | Beta { alpha; beta } ->
+      let s = alpha +. beta in
+      alpha *. beta /. (s *. s *. (s +. 1.0))
+
+let name = function
+  | Gaussian _ -> "gaussian"
+  | Lognormal _ -> "lognormal"
+  | Uniform _ -> "uniform"
+  | Exponential _ -> "exponential"
+  | Gamma _ -> "gamma"
+  | Beta _ -> "beta"

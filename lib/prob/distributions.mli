@@ -1,0 +1,24 @@
+(** Probability distributions over the reals.
+
+    The Askey scheme pairs each of these with an orthogonal polynomial
+    family; the variation models sample them and the chaos bases integrate
+    against them. *)
+
+type t =
+  | Gaussian of { mu : float; sigma : float }
+  | Lognormal of { mu : float; sigma : float }
+      (** [exp N(mu, sigma^2)]; the paper's leakage-current model. *)
+  | Uniform of { lo : float; hi : float }
+  | Exponential of { rate : float }
+  | Gamma of { shape : float; scale : float }
+  | Beta of { alpha : float; beta : float }
+
+val sample : Rng.t -> t -> float
+
+val pdf : t -> float -> float
+
+val mean : t -> float
+
+val variance : t -> float
+
+val name : t -> string

@@ -1,0 +1,34 @@
+type moments = { mean : float; variance : float; skewness : float; kurtosis_excess : float }
+
+let hermite_he n x =
+  if n < 0 then invalid_arg "Gram_charlier.hermite_he: negative order";
+  let rec go k hk hk1 =
+    (* hk = He_k, hk1 = He_{k-1} *)
+    if k = n then hk
+    else go (k + 1) ((x *. hk) -. (float_of_int k *. hk1)) hk
+  in
+  if n = 0 then 1.0 else go 1 x 1.0
+
+let check m =
+  if m.variance <= 0.0 then invalid_arg "Gram_charlier: variance must be positive"
+
+let gram_charlier_pdf m x =
+  check m;
+  let sigma = sqrt m.variance in
+  let z = (x -. m.mean) /. sigma in
+  let base = Normal.pdf z /. sigma in
+  base
+  *. (1.0
+     +. (m.skewness /. 6.0 *. hermite_he 3 z)
+     +. (m.kurtosis_excess /. 24.0 *. hermite_he 4 z))
+
+let edgeworth_pdf m x =
+  check m;
+  let sigma = sqrt m.variance in
+  let z = (x -. m.mean) /. sigma in
+  let base = Normal.pdf z /. sigma in
+  base
+  *. (1.0
+     +. (m.skewness /. 6.0 *. hermite_he 3 z)
+     +. (m.kurtosis_excess /. 24.0 *. hermite_he 4 z)
+     +. (m.skewness *. m.skewness /. 72.0 *. hermite_he 6 z))

@@ -1,0 +1,18 @@
+(** Gram–Charlier A and Edgeworth density expansions.
+
+    The paper proposes these series for recovering the probability density
+    of the voltage response from the moments that the polynomial-chaos
+    expansion provides directly. *)
+
+type moments = { mean : float; variance : float; skewness : float; kurtosis_excess : float }
+
+val gram_charlier_pdf : moments -> float -> float
+(** Four-moment Gram–Charlier A density. May go slightly negative far in
+    the tails for strongly non-Gaussian moments; values are not clamped. *)
+
+val edgeworth_pdf : moments -> float -> float
+(** Edgeworth expansion to the same order (adds the skewness-squared
+    correction term). *)
+
+val hermite_he : int -> float -> float
+(** Probabilists' Hermite polynomial, exposed for tests. *)

@@ -1,0 +1,23 @@
+type t = { bases : int array; mutable index : int }
+
+let primes = [| 2; 3; 5; 7; 11; 13; 17; 19; 23; 29; 31; 37; 41; 43; 47; 53; 59; 61; 67; 71;
+                73; 79; 83; 89; 97 |]
+
+let create ?(skip = 32) ~dim () =
+  if dim < 1 || dim > Array.length primes then
+    invalid_arg (Printf.sprintf "Halton.create: dim must be in 1..%d" (Array.length primes));
+  { bases = Array.sub primes 0 dim; index = skip }
+
+(* Radical inverse of [n] in base [b]. *)
+let radical_inverse b n =
+  let fb = float_of_int b in
+  let rec go n f acc = if n = 0 then acc else go (n / b) (f /. fb) (acc +. (f *. float_of_int (n mod b))) in
+  go n (1.0 /. fb) 0.0
+
+let next t =
+  t.index <- t.index + 1;
+  Array.map (fun b -> radical_inverse b t.index) t.bases
+
+let next_gaussian t =
+  let point = next t in
+  Array.map (fun u -> Normal.ppf (Float.max 1e-12 (Float.min (1.0 -. 1e-12) u))) point

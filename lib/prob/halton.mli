@@ -1,0 +1,20 @@
+(** Halton low-discrepancy sequences (quasi-Monte Carlo).
+
+    A deterministic point set whose empirical distribution converges to
+    uniform at ~1/N instead of 1/sqrt(N): the classical upgrade to the
+    paper's Monte-Carlo baseline for smooth integrands.  Gaussian points
+    come from the inverse normal CDF. *)
+
+type t
+
+val create : ?skip:int -> dim:int -> unit -> t
+(** A [dim]-dimensional sequence using the first [dim] primes as bases;
+    the first [skip] points are discarded (default 32, avoids the early
+    correlated prefix). Supports up to 25 dimensions. *)
+
+val next : t -> float array
+(** Next point in the open unit hypercube (0, 1)^dim. *)
+
+val next_gaussian : t -> float array
+(** Next point mapped through the inverse normal CDF: a quasi-random
+    standard-normal vector. *)

@@ -1,0 +1,69 @@
+type t = { lo : float; hi : float; nbins : int; counts : int array; mutable total : int }
+
+let create ~lo ~hi ~bins =
+  if bins <= 0 then invalid_arg "Histogram.create: bins must be positive";
+  if hi <= lo then invalid_arg "Histogram.create: hi must exceed lo";
+  { lo; hi; nbins = bins; counts = Array.make bins 0; total = 0 }
+
+let add h x =
+  let idx =
+    int_of_float (float_of_int h.nbins *. ((x -. h.lo) /. (h.hi -. h.lo)))
+    |> Int.max 0
+    |> Int.min (h.nbins - 1)
+  in
+  h.counts.(idx) <- h.counts.(idx) + 1;
+  h.total <- h.total + 1
+
+let add_all h xs = Array.iter (add h) xs
+
+let count h = h.total
+
+let bins h = h.nbins
+
+let bin_center h i =
+  if i < 0 || i >= h.nbins then invalid_arg "Histogram.bin_center: out of range";
+  h.lo +. ((float_of_int i +. 0.5) *. (h.hi -. h.lo) /. float_of_int h.nbins)
+
+let counts h = Array.copy h.counts
+
+let percentages h =
+  if h.total = 0 then Array.make h.nbins 0.0
+  else Array.map (fun c -> 100.0 *. float_of_int c /. float_of_int h.total) h.counts
+
+let max_percentage_gap a b =
+  if a.nbins <> b.nbins then invalid_arg "Histogram.max_percentage_gap: binning mismatch";
+  let pa = percentages a and pb = percentages b in
+  let gap = ref 0.0 in
+  Array.iteri (fun i p -> gap := Float.max !gap (Float.abs (p -. pb.(i)))) pa;
+  !gap
+
+let bar width frac =
+  let n = int_of_float (Float.round (frac *. float_of_int width)) in
+  String.make (Int.max 0 (Int.min width n)) '#'
+
+let render ?(width = 50) ?(labels = true) h =
+  let pct = percentages h in
+  let peak = Array.fold_left Float.max 1e-12 pct in
+  let buf = Buffer.create 1024 in
+  for i = 0 to h.nbins - 1 do
+    if labels then Buffer.add_string buf (Printf.sprintf "%8.3f | " (bin_center h i));
+    Buffer.add_string buf (bar width (pct.(i) /. peak));
+    Buffer.add_string buf (Printf.sprintf "  %.1f%%\n" pct.(i))
+  done;
+  Buffer.contents buf
+
+let render_pair ?(width = 30) ~a ~b ~a_label ~b_label () =
+  if a.nbins <> b.nbins then invalid_arg "Histogram.render_pair: binning mismatch";
+  let pa = percentages a and pb = percentages b in
+  let peak = Float.max (Array.fold_left Float.max 1e-12 pa) (Array.fold_left Float.max 1e-12 pb) in
+  let buf = Buffer.create 2048 in
+  Buffer.add_string buf (Printf.sprintf "%8s | %-*s | %-*s\n" "center" width a_label width b_label);
+  for i = 0 to a.nbins - 1 do
+    Buffer.add_string buf
+      (Printf.sprintf "%8.3f | %-*s | %-*s  %5.1f%% vs %5.1f%%\n" (bin_center a i) width
+         (bar width (pa.(i) /. peak))
+         width
+         (bar width (pb.(i) /. peak))
+         pa.(i) pb.(i))
+  done;
+  Buffer.contents buf

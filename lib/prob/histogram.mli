@@ -1,0 +1,34 @@
+(** Fixed-bin histograms; the Figure 1/2 reproduction compares the OPERA
+    and Monte-Carlo voltage-drop histograms built here. *)
+
+type t
+
+val create : lo:float -> hi:float -> bins:int -> t
+(** Uniform bins over [lo, hi); out-of-range samples are clamped into the
+    first/last bin. Requires [bins > 0] and [hi > lo]. *)
+
+val add : t -> float -> unit
+
+val add_all : t -> float array -> unit
+
+val count : t -> int
+(** Total number of samples recorded. *)
+
+val bins : t -> int
+
+val bin_center : t -> int -> float
+
+val counts : t -> int array
+
+val percentages : t -> float array
+(** Bin occupancy as % of total samples (the paper's "% of occurrences"). *)
+
+val max_percentage_gap : t -> t -> float
+(** Largest per-bin difference of the percentage curves; used to quantify
+    how well the OPERA histogram tracks the MC one. *)
+
+val render : ?width:int -> ?labels:bool -> t -> string
+(** ASCII bar rendering, one bin per line. *)
+
+val render_pair : ?width:int -> a:t -> b:t -> a_label:string -> b_label:string -> unit -> string
+(** Side-by-side rendering of two histograms with the same binning. *)

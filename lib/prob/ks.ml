@@ -1,0 +1,36 @@
+let statistic xs ys =
+  if Array.length xs = 0 || Array.length ys = 0 then invalid_arg "Ks.statistic: empty sample";
+  let a = Array.copy xs and b = Array.copy ys in
+  Array.sort compare a;
+  Array.sort compare b;
+  let na = Array.length a and nb = Array.length b in
+  let fa = float_of_int na and fb = float_of_int nb in
+  let i = ref 0 and j = ref 0 and d = ref 0.0 in
+  while !i < na && !j < nb do
+    let x = a.(!i) and y = b.(!j) in
+    if x <= y then incr i;
+    if y <= x then incr j;
+    let diff = Float.abs ((float_of_int !i /. fa) -. (float_of_int !j /. fb)) in
+    if diff > !d then d := diff
+  done;
+  !d
+
+(* Q_KS survival function of the Kolmogorov distribution. *)
+let q_ks lambda =
+  if lambda < 1e-8 then 1.0
+  else begin
+    let acc = ref 0.0 in
+    for k = 1 to 100 do
+      let fk = float_of_int k in
+      let term = (if k mod 2 = 1 then 2.0 else -2.0) *. exp (-2.0 *. fk *. fk *. lambda *. lambda) in
+      acc := !acc +. term
+    done;
+    Float.max 0.0 (Float.min 1.0 !acc)
+  end
+
+let p_value xs ys =
+  let d = statistic xs ys in
+  let na = float_of_int (Array.length xs) and nb = float_of_int (Array.length ys) in
+  let ne = na *. nb /. (na +. nb) in
+  let sqrt_ne = sqrt ne in
+  q_ks ((sqrt_ne +. 0.12 +. (0.11 /. sqrt_ne)) *. d)

@@ -1,0 +1,10 @@
+(** Two-sample Kolmogorov–Smirnov test, used to check that the OPERA
+    response distribution matches Monte Carlo beyond the first two
+    moments. *)
+
+val statistic : float array -> float array -> float
+(** Maximum distance between the two empirical CDFs. *)
+
+val p_value : float array -> float array -> float
+(** Asymptotic p-value for the two-sample test (Kolmogorov distribution
+    with the usual small-sample correction). *)

@@ -1,0 +1,13 @@
+(** The standard normal distribution. *)
+
+val pdf : float -> float
+
+val cdf : float -> float
+(** [cdf x] = P(Z <= x). *)
+
+val ppf : float -> float
+(** Inverse CDF (quantile function) via the Acklam rational approximation
+    refined with one Halley step; |error| < 1e-12 on (0, 1).
+    Raises [Invalid_argument] outside (0, 1). *)
+
+val sample : Rng.t -> mu:float -> sigma:float -> float

@@ -1,0 +1,40 @@
+type t = { mean : float array; components : Linalg.Dense.t; variances : float array }
+
+let of_covariance ~mean cov =
+  let n, m = Linalg.Dense.dims cov in
+  if n <> m || Array.length mean <> n then invalid_arg "Pca.of_covariance: dimension mismatch";
+  let values, vectors = Linalg.Eig.symmetric cov in
+  (* Eig returns ascending; flip to descending variance. *)
+  let components = Linalg.Dense.init n n (fun i j -> Linalg.Dense.get vectors i (n - 1 - j)) in
+  let variances = Array.init n (fun j -> Float.max 0.0 values.(n - 1 - j)) in
+  { mean; components; variances }
+
+let of_samples samples =
+  let cov = Stats.covariance_matrix samples in
+  let d = Array.length samples.(0) in
+  let mean = Array.make d 0.0 in
+  Array.iter
+    (fun s ->
+      for j = 0 to d - 1 do
+        mean.(j) <- mean.(j) +. s.(j)
+      done)
+    samples;
+  for j = 0 to d - 1 do
+    mean.(j) <- mean.(j) /. float_of_int (Array.length samples)
+  done;
+  of_covariance ~mean cov
+
+let transform t x =
+  let centered = Linalg.Vec.sub x t.mean in
+  Linalg.Dense.matvec_t t.components centered
+
+let inverse_transform t y = Linalg.Vec.add (Linalg.Dense.matvec t.components y) t.mean
+
+let whiten t x =
+  let y = transform t x in
+  Array.mapi (fun j v -> if t.variances.(j) < 1e-300 then 0.0 else v /. sqrt t.variances.(j)) y
+
+let decorrelate_gaussian t rng =
+  let d = Array.length t.mean in
+  let z = Array.init d (fun j -> sqrt t.variances.(j) *. Rng.gaussian rng) in
+  inverse_transform t z

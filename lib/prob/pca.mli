@@ -1,0 +1,31 @@
+(** Principal component analysis.
+
+    The paper assumes uncorrelated parameter variations and notes that
+    correlated ones "can always be transformed into a set of uncorrelated
+    random variables by an orthogonal transformation technique like
+    principal component analysis" — this module is that technique. *)
+
+type t = {
+  mean : float array;
+  components : Linalg.Dense.t;  (** columns are eigenvectors, descending variance *)
+  variances : float array;  (** eigenvalues, descending *)
+}
+
+val of_covariance : mean:float array -> Linalg.Dense.t -> t
+(** Decompose a covariance matrix directly. *)
+
+val of_samples : float array array -> t
+(** Estimate the covariance from observation vectors and decompose it. *)
+
+val transform : t -> float array -> float array
+(** Project an observation onto the principal axes (mean removed). *)
+
+val inverse_transform : t -> float array -> float array
+
+val whiten : t -> float array -> float array
+(** Like {!transform} but scaled to unit variance per axis; components with
+    negligible variance map to 0. *)
+
+val decorrelate_gaussian : t -> Rng.t -> float array
+(** Draw a sample of the original correlated Gaussian vector by sampling
+    independent standard normals on the principal axes. *)

@@ -1,0 +1,38 @@
+(** Deterministic, splittable pseudo-random generator: xoshiro256starstar.
+
+    Every stochastic component takes an explicit [Rng.t] so experiments are
+    reproducible; Monte-Carlo workers obtain independent streams via
+    {!split}. *)
+
+type t
+
+val create : ?seed:int64 -> unit -> t
+(** [create ~seed ()] seeds the state through a SplitMix64 expansion of
+    [seed] (default seed [0x5EED_0F_0CAML]). *)
+
+val copy : t -> t
+
+val split : t -> t
+(** [split rng] returns a new generator with a statistically independent
+    stream, advancing [rng]. *)
+
+val uint64 : t -> int64
+(** Next raw 64-bit output. *)
+
+val float : t -> float
+(** Uniform in [0, 1). *)
+
+val float_range : t -> float -> float -> float
+(** [float_range rng lo hi] is uniform in [lo, hi). *)
+
+val int : t -> int -> int
+(** [int rng n] is uniform in [0, n-1]. Requires [n > 0]. *)
+
+val gaussian : t -> float
+(** Standard normal via the Marsaglia polar method. *)
+
+val gaussian_vector : t -> int -> float array
+(** [gaussian_vector rng n] draws [n] iid standard normals. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher–Yates shuffle. *)

@@ -1,0 +1,20 @@
+(** Special functions needed by the probability layer. *)
+
+val erf : float -> float
+(** Error function, |relative error| < 1.2e-7 everywhere (Numerical Recipes
+    erfc approximation, sign-extended). *)
+
+val erfc : float -> float
+
+val log_gamma : float -> float
+(** Lanczos approximation of [log (Gamma x)] for [x > 0]. *)
+
+val gamma : float -> float
+
+val factorial : int -> float
+(** Exact up to 170!, [infinity] beyond. Raises on negative input. *)
+
+val log_factorial : int -> float
+
+val binomial : int -> int -> float
+(** [binomial n k] = n choose k as a float (exact for small arguments). *)

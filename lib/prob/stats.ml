@@ -1,0 +1,132 @@
+module Online = struct
+  type t = {
+    mutable n : int;
+    mutable mean : float;
+    mutable m2 : float;
+    mutable m3 : float;
+    mutable m4 : float;
+  }
+
+  let create () = { n = 0; mean = 0.0; m2 = 0.0; m3 = 0.0; m4 = 0.0 }
+
+  (* Pébay's single-pass update of central moment sums. *)
+  let add t x =
+    let n1 = float_of_int t.n in
+    t.n <- t.n + 1;
+    let n = float_of_int t.n in
+    let delta = x -. t.mean in
+    let delta_n = delta /. n in
+    let delta_n2 = delta_n *. delta_n in
+    let term1 = delta *. delta_n *. n1 in
+    t.mean <- t.mean +. delta_n;
+    t.m4 <-
+      t.m4
+      +. (term1 *. delta_n2 *. ((n *. n) -. (3.0 *. n) +. 3.0))
+      +. (6.0 *. delta_n2 *. t.m2)
+      -. (4.0 *. delta_n *. t.m3);
+    t.m3 <- t.m3 +. (term1 *. delta_n *. (n -. 2.0)) -. (3.0 *. delta_n *. t.m2);
+    t.m2 <- t.m2 +. term1
+
+  let merge a b =
+    if a.n = 0 then { b with n = b.n }
+    else if b.n = 0 then { a with n = a.n }
+    else begin
+      let na = float_of_int a.n and nb = float_of_int b.n in
+      let n = na +. nb in
+      let delta = b.mean -. a.mean in
+      let d2 = delta *. delta in
+      let m2 = a.m2 +. b.m2 +. (d2 *. na *. nb /. n) in
+      let m3 =
+        a.m3 +. b.m3
+        +. (d2 *. delta *. na *. nb *. (na -. nb) /. (n *. n))
+        +. (3.0 *. delta *. ((na *. b.m2) -. (nb *. a.m2)) /. n)
+      in
+      let m4 =
+        a.m4 +. b.m4
+        +. (d2 *. d2 *. na *. nb *. ((na *. na) -. (na *. nb) +. (nb *. nb)) /. (n *. n *. n))
+        +. (6.0 *. d2 *. ((na *. na *. b.m2) +. (nb *. nb *. a.m2)) /. (n *. n))
+        +. (4.0 *. delta *. ((na *. b.m3) -. (nb *. a.m3)) /. n)
+      in
+      { n = a.n + b.n; mean = a.mean +. (delta *. nb /. n); m2; m3; m4 }
+    end
+
+  let count t = t.n
+
+  let mean t = t.mean
+
+  let variance t = if t.n < 2 then 0.0 else t.m2 /. float_of_int t.n
+
+  let sample_variance t = if t.n < 2 then 0.0 else t.m2 /. float_of_int (t.n - 1)
+
+  let std t = sqrt (variance t)
+
+  let skewness t =
+    let v = variance t in
+    if v <= 0.0 then 0.0 else t.m3 /. float_of_int t.n /. (v ** 1.5)
+
+  let kurtosis_excess t =
+    let v = variance t in
+    if v <= 0.0 then 0.0 else (t.m4 /. float_of_int t.n /. (v *. v)) -. 3.0
+
+  let central_moment t = function
+    | 2 -> variance t
+    | 3 -> if t.n = 0 then 0.0 else t.m3 /. float_of_int t.n
+    | 4 -> if t.n = 0 then 0.0 else t.m4 /. float_of_int t.n
+    | k -> invalid_arg (Printf.sprintf "Stats.Online.central_moment: order %d unsupported" k)
+end
+
+let mean xs =
+  if Array.length xs = 0 then invalid_arg "Stats.mean: empty array";
+  Array.fold_left ( +. ) 0.0 xs /. float_of_int (Array.length xs)
+
+let variance xs =
+  let m = mean xs in
+  Array.fold_left (fun acc x -> acc +. ((x -. m) *. (x -. m))) 0.0 xs
+  /. float_of_int (Array.length xs)
+
+let std xs = sqrt (variance xs)
+
+let covariance_matrix samples =
+  let n = Array.length samples in
+  if n = 0 then invalid_arg "Stats.covariance_matrix: no samples";
+  let d = Array.length samples.(0) in
+  let mu = Array.make d 0.0 in
+  Array.iter
+    (fun s ->
+      if Array.length s <> d then invalid_arg "Stats.covariance_matrix: ragged samples";
+      for j = 0 to d - 1 do
+        mu.(j) <- mu.(j) +. s.(j)
+      done)
+    samples;
+  for j = 0 to d - 1 do
+    mu.(j) <- mu.(j) /. float_of_int n
+  done;
+  Linalg.Dense.init d d (fun i j ->
+      let acc = ref 0.0 in
+      Array.iter (fun s -> acc := !acc +. ((s.(i) -. mu.(i)) *. (s.(j) -. mu.(j)))) samples;
+      !acc /. float_of_int n)
+
+let quantile xs q =
+  if Array.length xs = 0 then invalid_arg "Stats.quantile: empty array";
+  if q < 0.0 || q > 1.0 then invalid_arg "Stats.quantile: q must lie in [0, 1]";
+  let sorted = Array.copy xs in
+  Array.sort compare sorted;
+  let n = Array.length sorted in
+  let pos = q *. float_of_int (n - 1) in
+  let lo = int_of_float (Float.floor pos) in
+  let hi = Int.min (lo + 1) (n - 1) in
+  let frac = pos -. float_of_int lo in
+  ((1.0 -. frac) *. sorted.(lo)) +. (frac *. sorted.(hi))
+
+let correlation xs ys =
+  if Array.length xs <> Array.length ys then invalid_arg "Stats.correlation: length mismatch";
+  let mx = mean xs and my = mean ys in
+  let sxy = ref 0.0 and sxx = ref 0.0 and syy = ref 0.0 in
+  Array.iteri
+    (fun i x ->
+      let dx = x -. mx and dy = ys.(i) -. my in
+      sxy := !sxy +. (dx *. dy);
+      sxx := !sxx +. (dx *. dx);
+      syy := !syy +. (dy *. dy))
+    xs;
+  !sxy /. sqrt (!sxx *. !syy)

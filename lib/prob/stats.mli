@@ -1,0 +1,53 @@
+(** Streaming and batch statistics.
+
+    The Monte-Carlo engine accumulates per-node, per-timestep moments with
+    {!Online}; the comparison harness reduces them with the batch helpers. *)
+
+module Online : sig
+  (** Welford-style online accumulation of the first four central moments. *)
+
+  type t
+
+  val create : unit -> t
+
+  val add : t -> float -> unit
+
+  val merge : t -> t -> t
+  (** Combine two accumulators as if their streams were concatenated. *)
+
+  val count : t -> int
+
+  val mean : t -> float
+
+  val variance : t -> float
+  (** Population variance (divides by n). 0 for fewer than 2 samples. *)
+
+  val sample_variance : t -> float
+  (** Unbiased variance (divides by n-1). *)
+
+  val std : t -> float
+
+  val skewness : t -> float
+
+  val kurtosis_excess : t -> float
+
+  val central_moment : t -> int -> float
+  (** Central moments of order 2, 3 or 4. *)
+end
+
+val mean : float array -> float
+
+val variance : float array -> float
+(** Population variance. *)
+
+val std : float array -> float
+
+val covariance_matrix : float array array -> Linalg.Dense.t
+(** [covariance_matrix samples] where [samples.(k)] is the k-th observation
+    vector; returns the (population) covariance of the components. *)
+
+val quantile : float array -> float -> float
+(** [quantile xs q] with linear interpolation; [q] in [0, 1]. The input is
+    not modified. *)
+
+val correlation : float array -> float array -> float

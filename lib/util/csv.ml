@@ -1,0 +1,29 @@
+let needs_quoting s =
+  String.exists (fun c -> c = ',' || c = '"' || c = '\n' || c = '\r') s
+
+let escape s =
+  if needs_quoting s then begin
+    let buf = Buffer.create (String.length s + 2) in
+    Buffer.add_char buf '"';
+    String.iter
+      (fun c ->
+        if c = '"' then Buffer.add_string buf "\"\"" else Buffer.add_char buf c)
+      s;
+    Buffer.add_char buf '"';
+    Buffer.contents buf
+  end
+  else s
+
+let write_rows oc rows =
+  List.iter
+    (fun row ->
+      output_string oc (String.concat "," (List.map escape row));
+      output_char oc '\n')
+    rows
+
+let save path ~header ~rows =
+  let oc = open_out path in
+  write_rows oc (header :: rows);
+  close_out oc
+
+let float_cell v = Printf.sprintf "%.12g" v

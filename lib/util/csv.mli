@@ -1,0 +1,13 @@
+(** Minimal CSV writer for exporting traces to plotting tools. *)
+
+val escape : string -> string
+(** Quote a field if it contains a comma, quote, or newline. *)
+
+val write_rows : out_channel -> string list list -> unit
+(** Write rows (first row is conventionally the header). *)
+
+val save : string -> header:string list -> rows:string list list -> unit
+(** Write a file with a header row. *)
+
+val float_cell : float -> string
+(** Shortest round-trip representation. *)

@@ -1,0 +1,57 @@
+type align = Left | Right
+
+type t = {
+  headers : string array;
+  aligns : align array;
+  mutable rows : string array list; (* reversed *)
+}
+
+let create columns =
+  let headers = Array.of_list (List.map fst columns) in
+  let aligns = Array.of_list (List.map snd columns) in
+  { headers; aligns; rows = [] }
+
+let add_row t cells =
+  let n = Array.length t.headers in
+  let row = Array.make n "" in
+  List.iteri (fun i cell -> if i < n then row.(i) <- cell) cells;
+  t.rows <- row :: t.rows
+
+let pad align width s =
+  let k = width - String.length s in
+  if k <= 0 then s
+  else
+    match align with
+    | Left -> s ^ String.make k ' '
+    | Right -> String.make k ' ' ^ s
+
+let render t =
+  let n = Array.length t.headers in
+  let rows = List.rev t.rows in
+  let widths = Array.map String.length t.headers in
+  let widen row =
+    Array.iteri
+      (fun i cell -> if String.length cell > widths.(i) then widths.(i) <- String.length cell)
+      row
+  in
+  List.iter widen rows;
+  let buf = Buffer.create 1024 in
+  let emit_row row =
+    Buffer.add_string buf "| ";
+    for i = 0 to n - 1 do
+      Buffer.add_string buf (pad t.aligns.(i) widths.(i) row.(i));
+      Buffer.add_string buf (if i = n - 1 then " |" else " | ")
+    done;
+    Buffer.add_char buf '\n'
+  in
+  emit_row t.headers;
+  Buffer.add_string buf "|";
+  for i = 0 to n - 1 do
+    Buffer.add_string buf (String.make (widths.(i) + 2) '-');
+    Buffer.add_string buf "|"
+  done;
+  Buffer.add_char buf '\n';
+  List.iter emit_row rows;
+  Buffer.contents buf
+
+let print t = print_string (render t)

@@ -1,0 +1,20 @@
+(** Plain-text table rendering for benchmark and CLI output. *)
+
+type align = Left | Right
+
+type t
+(** A table under construction: a header row plus data rows. *)
+
+val create : (string * align) list -> t
+(** [create columns] starts a table with the given column headers and
+    alignments. *)
+
+val add_row : t -> string list -> unit
+(** [add_row t cells] appends a data row. Rows shorter than the header are
+    padded with empty cells; longer rows are truncated.  *)
+
+val render : t -> string
+(** [render t] lays the table out with column separators and a header rule. *)
+
+val print : t -> unit
+(** [print t] writes [render t] to standard output. *)

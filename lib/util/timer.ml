@@ -1,0 +1,10 @@
+type t = float
+
+let start () = Unix.gettimeofday ()
+
+let elapsed_s t0 = Unix.gettimeofday () -. t0
+
+let time f =
+  let t0 = start () in
+  let result = f () in
+  (result, elapsed_s t0)

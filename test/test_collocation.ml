@@ -1,0 +1,60 @@
+(* Non-intrusive collocation vs the intrusive Galerkin solver. *)
+
+let vdd = 1.2
+
+let test_collocation_matches_galerkin () =
+  let spec = Helpers.small_grid_spec in
+  let circuit = Powergrid.Grid_gen.generate spec in
+  let m = Opera.Stochastic_model.build ~order:2 Opera.Varmodel.paper_default ~vdd circuit in
+  let h = 0.25e-9 and steps = 6 in
+  let galerkin, _ = Opera.Galerkin.solve_transient m ~h ~steps in
+  let colloc, runs = Opera.Collocation.solve_transient m ~h ~steps in
+  Alcotest.(check int) "tensor points = (p+1)^dim" 9 runs;
+  let n = m.Opera.Stochastic_model.n in
+  for step = 0 to steps do
+    for node = 0 to n - 1 do
+      Helpers.check_float ~eps:1e-7 "means agree"
+        (Opera.Response.mean_at galerkin ~step ~node)
+        (Opera.Response.mean_at colloc ~step ~node);
+      Helpers.check_float
+        ~eps:(1e-7 +. (0.02 *. Opera.Response.variance_at galerkin ~step ~node))
+        "variances agree"
+        (Opera.Response.variance_at galerkin ~step ~node)
+        (Opera.Response.variance_at colloc ~step ~node)
+    done
+  done
+
+let test_collocation_probe_pce () =
+  let spec = Helpers.small_grid_spec in
+  let circuit = Powergrid.Grid_gen.generate spec in
+  let m = Opera.Stochastic_model.build ~order:2 Opera.Varmodel.paper_default ~vdd circuit in
+  let probe = Powergrid.Grid_gen.center_node spec in
+  let colloc, _ =
+    Opera.Collocation.solve_transient ~probes:[| probe |] m ~h:0.25e-9 ~steps:4
+  in
+  let pce = Opera.Response.pce_at colloc ~node:probe ~step:1 in
+  Alcotest.(check bool) "finite coefficients" true
+    (Array.for_all Float.is_finite pce.Polychaos.Pce.coefs)
+
+let test_more_points_do_not_change_linear_model () =
+  (* The model is linear in xi, so any rule with points >= 2 integrates the
+     degree-(1 + order) products exactly up to roundoff... points = order+2
+     must reproduce points = order+1. *)
+  let spec = Helpers.small_grid_spec in
+  let circuit = Powergrid.Grid_gen.generate spec in
+  let m = Opera.Stochastic_model.build ~order:2 Opera.Varmodel.paper_default ~vdd circuit in
+  let r1, _ = Opera.Collocation.solve_transient ~points:3 m ~h:0.25e-9 ~steps:3 in
+  let r2, _ = Opera.Collocation.solve_transient ~points:5 m ~h:0.25e-9 ~steps:3 in
+  let n = m.Opera.Stochastic_model.n in
+  for node = 0 to n - 1 do
+    Helpers.check_float ~eps:1e-9 "mean stable in points"
+      (Opera.Response.mean_at r1 ~step:3 ~node)
+      (Opera.Response.mean_at r2 ~step:3 ~node)
+  done
+
+let suite =
+  [
+    Alcotest.test_case "collocation = galerkin" `Quick test_collocation_matches_galerkin;
+    Alcotest.test_case "collocation probe pce" `Quick test_collocation_probe_pce;
+    Alcotest.test_case "points stability" `Quick test_more_points_do_not_change_linear_model;
+  ]

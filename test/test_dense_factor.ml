@@ -1,0 +1,125 @@
+(* Dense LU, Cholesky, and eigensolvers. *)
+
+let test_lu_solve () =
+  let a = Linalg.Dense.of_arrays [| [| 2.0; 1.0 |]; [| 1.0; 3.0 |] |] in
+  let f = Linalg.Lu.factor a in
+  let x = Linalg.Lu.solve f [| 5.0; 10.0 |] in
+  Helpers.check_vec ~eps:1e-12 "lu solve" [| 1.0; 3.0 |] x
+
+let test_lu_random () =
+  let rng = Helpers.rng () in
+  for _ = 1 to 10 do
+    let n = 8 in
+    let a = Linalg.Dense.init n n (fun _ _ -> Prob.Rng.float_range rng (-1.0) 1.0) in
+    let x_true = Helpers.random_vec rng n in
+    let b = Linalg.Dense.matvec a x_true in
+    let x = Linalg.Lu.solve (Linalg.Lu.factor a) b in
+    Alcotest.(check bool) "residual small" true
+      (Linalg.Vec.rel_error x ~reference:x_true < 1e-10)
+  done
+
+let test_lu_det () =
+  let a = Linalg.Dense.of_arrays [| [| 2.0; 0.0 |]; [| 0.0; 3.0 |] |] in
+  Helpers.check_float "det diagonal" 6.0 (Linalg.Lu.det (Linalg.Lu.factor a));
+  let swapped = Linalg.Dense.of_arrays [| [| 0.0; 1.0 |]; [| 1.0; 0.0 |] |] in
+  Helpers.check_float "det permutation" (-1.0) (Linalg.Lu.det (Linalg.Lu.factor swapped))
+
+let test_lu_singular () =
+  let a = Linalg.Dense.of_arrays [| [| 1.0; 2.0 |]; [| 2.0; 4.0 |] |] in
+  Alcotest.(check bool) "singular raises" true
+    (try
+       ignore (Linalg.Lu.factor a);
+       false
+     with Linalg.Lu.Singular _ -> true)
+
+let test_lu_inverse () =
+  let a = Linalg.Dense.of_arrays [| [| 4.0; 7.0 |]; [| 2.0; 6.0 |] |] in
+  let inv = Linalg.Lu.inverse (Linalg.Lu.factor a) in
+  Helpers.check_dense ~eps:1e-12 "a * a^-1 = I" (Linalg.Dense.identity 2)
+    (Linalg.Dense.matmul a inv)
+
+let test_cholesky () =
+  let rng = Helpers.rng () in
+  let a = Helpers.random_spd rng 10 in
+  let f = Linalg.Cholesky.factor a in
+  let l = Linalg.Cholesky.lower f in
+  Helpers.check_dense ~eps:1e-8 "L L^T = A" a
+    (Linalg.Dense.matmul l (Linalg.Dense.transpose l));
+  let x_true = Helpers.random_vec rng 10 in
+  let b = Linalg.Dense.matvec a x_true in
+  let x = Linalg.Cholesky.solve f b in
+  Alcotest.(check bool) "solve accurate" true (Linalg.Vec.rel_error x ~reference:x_true < 1e-9)
+
+let test_cholesky_rejects_indefinite () =
+  let a = Linalg.Dense.of_arrays [| [| 1.0; 2.0 |]; [| 2.0; 1.0 |] |] in
+  Alcotest.(check bool) "indefinite raises" true
+    (try
+       ignore (Linalg.Cholesky.factor a);
+       false
+     with Linalg.Cholesky.Not_positive_definite _ -> true)
+
+let test_cholesky_logdet () =
+  let a = Linalg.Dense.of_arrays [| [| 4.0; 0.0 |]; [| 0.0; 9.0 |] |] in
+  Helpers.check_float ~eps:1e-12 "logdet" (log 36.0) (Linalg.Cholesky.logdet (Linalg.Cholesky.factor a))
+
+let check_eigen_pairs what a values vectors =
+  let n, _ = Linalg.Dense.dims a in
+  for j = 0 to n - 1 do
+    let v = Linalg.Dense.col vectors j in
+    let av = Linalg.Dense.matvec a v in
+    let lv = Linalg.Vec.scaled values.(j) v in
+    Alcotest.(check bool)
+      (Printf.sprintf "%s: A v = lambda v (pair %d)" what j)
+      true
+      (Linalg.Vec.dist2 av lv < 1e-7 *. (1.0 +. Float.abs values.(j)))
+  done
+
+let test_jacobi_eigen () =
+  let a = Linalg.Dense.of_arrays [| [| 2.0; 1.0 |]; [| 1.0; 2.0 |] |] in
+  let values, vectors = Linalg.Eig.symmetric a in
+  Helpers.check_float ~eps:1e-10 "lambda_0" 1.0 values.(0);
+  Helpers.check_float ~eps:1e-10 "lambda_1" 3.0 values.(1);
+  check_eigen_pairs "jacobi" a values vectors
+
+let test_jacobi_random () =
+  let rng = Helpers.rng () in
+  let a = Helpers.random_spd rng 8 in
+  let values, vectors = Linalg.Eig.symmetric a in
+  check_eigen_pairs "jacobi random" a values vectors;
+  (* Trace = sum of eigenvalues. *)
+  let trace = ref 0.0 in
+  for i = 0 to 7 do
+    trace := !trace +. Linalg.Dense.get a i i
+  done;
+  Helpers.check_close ~rtol:1e-9 "trace" !trace (Array.fold_left ( +. ) 0.0 values)
+
+let test_tridiagonal () =
+  (* 1D Laplacian eigenvalues: 2 - 2 cos(k pi / (n+1)). *)
+  let n = 12 in
+  let diag = Array.make n 2.0 in
+  let off = Array.make (n - 1) (-1.0) in
+  let values, vectors = Linalg.Eig.tridiagonal ~diag ~off in
+  for k = 1 to n do
+    let expected = 2.0 -. (2.0 *. cos (float_of_int k *. Float.pi /. float_of_int (n + 1))) in
+    Helpers.check_float ~eps:1e-9 (Printf.sprintf "laplacian lambda_%d" k) expected values.(k - 1)
+  done;
+  let a =
+    Linalg.Dense.init n n (fun i j ->
+        if i = j then 2.0 else if abs (i - j) = 1 then -1.0 else 0.0)
+  in
+  check_eigen_pairs "tridiagonal" a values vectors
+
+let suite =
+  [
+    Alcotest.test_case "lu solve 2x2" `Quick test_lu_solve;
+    Alcotest.test_case "lu random systems" `Quick test_lu_random;
+    Alcotest.test_case "lu determinant" `Quick test_lu_det;
+    Alcotest.test_case "lu singular detection" `Quick test_lu_singular;
+    Alcotest.test_case "lu inverse" `Quick test_lu_inverse;
+    Alcotest.test_case "cholesky factor+solve" `Quick test_cholesky;
+    Alcotest.test_case "cholesky rejects indefinite" `Quick test_cholesky_rejects_indefinite;
+    Alcotest.test_case "cholesky logdet" `Quick test_cholesky_logdet;
+    Alcotest.test_case "jacobi eigen 2x2" `Quick test_jacobi_eigen;
+    Alcotest.test_case "jacobi eigen random spd" `Quick test_jacobi_random;
+    Alcotest.test_case "tridiagonal QL (laplacian)" `Quick test_tridiagonal;
+  ]

@@ -1,0 +1,78 @@
+(* Hierarchical (Schur-complement macromodel) solver. *)
+
+let grid_matrix () =
+  let spec = Helpers.small_grid_spec in
+  let circuit = Powergrid.Grid_gen.generate spec in
+  let a = Powergrid.Mna.assemble circuit in
+  (Powergrid.Mna.g_total a, a)
+
+let test_partition () =
+  let part = Powergrid.Hierarchical.partition_by_stripes ~n:10 ~blocks:3 in
+  Alcotest.(check int) "first block" 0 part.(0);
+  Alcotest.(check int) "last block" 2 part.(9);
+  (* non-decreasing *)
+  for i = 1 to 9 do
+    Alcotest.(check bool) "monotone" true (part.(i) >= part.(i - 1))
+  done
+
+let test_matches_direct () =
+  let g, mna = grid_matrix () in
+  let n, _ = Linalg.Sparse.dims g in
+  List.iter
+    (fun blocks ->
+      let part = Powergrid.Hierarchical.partition_by_stripes ~n ~blocks in
+      let h = Powergrid.Hierarchical.build g ~part in
+      Alcotest.(check bool) "has ports" true (Powergrid.Hierarchical.ports h > 0);
+      let b = Powergrid.Mna.inject mna 0.3e-9 in
+      let x_h = Powergrid.Hierarchical.solve h b in
+      let x_d = Linalg.Sparse_cholesky.solve (Linalg.Sparse_cholesky.factor g) b in
+      Alcotest.(check bool)
+        (Printf.sprintf "%d blocks match direct" blocks)
+        true
+        (Linalg.Vec.rel_error x_h ~reference:x_d < 1e-9))
+    [ 2; 4; 7 ]
+
+let test_repeated_solves () =
+  (* The macromodel is built once; many RHS solves reuse it. *)
+  let g, mna = grid_matrix () in
+  let n, _ = Linalg.Sparse.dims g in
+  let part = Powergrid.Hierarchical.partition_by_stripes ~n ~blocks:4 in
+  let h = Powergrid.Hierarchical.build g ~part in
+  let f = Linalg.Sparse_cholesky.factor g in
+  List.iter
+    (fun t ->
+      let b = Powergrid.Mna.inject mna t in
+      let x_h = Powergrid.Hierarchical.solve h b in
+      let x_d = Linalg.Sparse_cholesky.solve f b in
+      Alcotest.(check bool) "time point matches" true
+        (Linalg.Vec.rel_error x_h ~reference:x_d < 1e-9))
+    [ 0.0; 0.2e-9; 0.55e-9; 1.3e-9 ]
+
+let test_single_block_rejected () =
+  let g, _ = grid_matrix () in
+  let n, _ = Linalg.Sparse.dims g in
+  Alcotest.(check bool) "one block rejected" true
+    (try
+       ignore (Powergrid.Hierarchical.build g ~part:(Array.make n 0));
+       false
+     with Invalid_argument _ -> true)
+
+let test_random_spd () =
+  let rng = Helpers.rng () in
+  let a = Helpers.random_sparse_spd rng 60 ~extra_edges:40 in
+  let part = Powergrid.Hierarchical.partition_by_stripes ~n:60 ~blocks:5 in
+  let h = Powergrid.Hierarchical.build a ~part in
+  let x_true = Helpers.random_vec rng 60 in
+  let b = Linalg.Sparse.mul_vec a x_true in
+  let x = Powergrid.Hierarchical.solve h b in
+  Alcotest.(check bool) "random spd accurate" true
+    (Linalg.Vec.rel_error x ~reference:x_true < 1e-8)
+
+let suite =
+  [
+    Alcotest.test_case "stripe partition" `Quick test_partition;
+    Alcotest.test_case "matches direct solve" `Quick test_matches_direct;
+    Alcotest.test_case "repeated solves" `Quick test_repeated_solves;
+    Alcotest.test_case "single block rejected" `Quick test_single_block_rejected;
+    Alcotest.test_case "random spd" `Quick test_random_spd;
+  ]

@@ -1,0 +1,29 @@
+let () =
+  Alcotest.run "opera"
+    [
+      ("vec", Test_vec.suite);
+      ("dense", Test_dense.suite);
+      ("dense-factor", Test_dense_factor.suite);
+      ("sparse", Test_sparse.suite);
+      ("sparse-factor", Test_sparse_factor.suite);
+      ("iterative", Test_iterative.suite);
+      ("prob", Test_prob.suite);
+      ("stats", Test_stats.suite);
+      ("polychaos", Test_polychaos.suite);
+      ("triple-product", Test_triple_product.suite);
+      ("powergrid", Test_powergrid.suite);
+      ("mna", Test_mna.suite);
+      ("opera-core", Test_opera.suite);
+      ("extensions", Test_extensions.suite);
+      ("mor", Test_mor.suite);
+      ("misc", Test_more.suite);
+      ("hierarchical", Test_hierarchical.suite);
+      ("yield", Test_yield.suite);
+      ("collocation", Test_collocation.suite);
+      ("anisotropic", Test_anisotropic.suite);
+      ("properties", Test_properties.suite);
+      ("multiplicative", Test_multiplicative.suite);
+      ("smolyak", Test_smolyak.suite);
+      ("vectorless", Test_vectorless.suite);
+      ("integration", Test_integration.suite);
+    ]

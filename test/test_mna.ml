@@ -1,0 +1,225 @@
+(* MNA assembly, DC analysis, transient integration. *)
+
+(* A hand-solvable voltage divider: pad (1 V, Rs = 1) - node0 - R=1 - node1,
+   node1 draws 0.1 A. DC: v0 = 1 - 0.1 * 1 = 0.9, v1 = 0.9 - 0.1 = 0.8. *)
+let divider_circuit ?(i_draw = 0.1) () =
+  Powergrid.Circuit.make ~num_nodes:2
+    ~resistors:
+      [ { Powergrid.Circuit.rnode1 = 0; rnode2 = 1; ohms = 1.0; rkind = Powergrid.Circuit.Metal } ]
+    ~capacitors:
+      [ { Powergrid.Circuit.cnode1 = 1; cnode2 = Powergrid.Circuit.ground; farads = 1e-12;
+          ckind = Powergrid.Circuit.Gate } ]
+    ~isources:[ { Powergrid.Circuit.inode = 1; wave = Powergrid.Waveform.Dc i_draw; region = 0 } ]
+    ~vsources:[ { Powergrid.Circuit.vnode = 0; volts = 1.0; series_ohms = 1.0 } ] ()
+
+let test_dc_divider () =
+  let a = Powergrid.Mna.assemble (divider_circuit ()) in
+  let v = Powergrid.Dc.solve a in
+  Helpers.check_float ~eps:1e-12 "v0" 0.9 v.(0);
+  Helpers.check_float ~eps:1e-12 "v1" 0.8 v.(1)
+
+let test_full_mna_matches_norton () =
+  let c = divider_circuit () in
+  let norton = Powergrid.Dc.solve (Powergrid.Mna.assemble c) in
+  let full = Powergrid.Dc.solve_full (Powergrid.Mna.Full.assemble c) in
+  Helpers.check_vec ~eps:1e-10 "full MNA equals Norton" norton full
+
+let test_full_mna_ideal_source () =
+  (* Ideal pad (Rs = 0) is only solvable through the full MNA. *)
+  let c =
+    Powergrid.Circuit.make ~num_nodes:2
+      ~resistors:
+        [ { Powergrid.Circuit.rnode1 = 0; rnode2 = 1; ohms = 2.0; rkind = Powergrid.Circuit.Metal } ]
+      ~capacitors:[]
+      ~isources:[ { Powergrid.Circuit.inode = 1; wave = Powergrid.Waveform.Dc 0.25; region = 0 } ]
+      ~vsources:[ { Powergrid.Circuit.vnode = 0; volts = 1.0; series_ohms = 0.0 } ] ()
+  in
+  Alcotest.(check bool) "norton assembly rejects ideal pad" true
+    (try
+       ignore (Powergrid.Mna.assemble c);
+       false
+     with Invalid_argument _ -> true);
+  let v = Powergrid.Dc.solve_full (Powergrid.Mna.Full.assemble c) in
+  Helpers.check_float ~eps:1e-12 "v0 pinned" 1.0 v.(0);
+  Helpers.check_float ~eps:1e-12 "v1 = 1 - 0.25 * 2" 0.5 v.(1)
+
+let test_mna_split_parts () =
+  let spec = Helpers.small_grid_spec in
+  let circuit = Powergrid.Grid_gen.generate spec in
+  let a = Powergrid.Mna.assemble circuit in
+  (* wire + pad = total; gate + fixed = total; all SPD-symmetric *)
+  Alcotest.(check bool) "g_wire symmetric" true (Linalg.Sparse.is_symmetric ~tol:1e-12 a.Powergrid.Mna.g_wire);
+  Alcotest.(check bool) "c split symmetric" true
+    (Linalg.Sparse.is_symmetric ~tol:1e-15 (Powergrid.Mna.c_total a));
+  (* gate fraction of the cap diagonal should match the spec *)
+  let sum m = Array.fold_left ( +. ) 0.0 (Linalg.Sparse.diag m) in
+  let gate = sum a.Powergrid.Mna.c_gate and total = sum (Powergrid.Mna.c_total a) in
+  Helpers.check_close ~rtol:1e-9 "gate cap fraction"
+    spec.Powergrid.Grid_spec.gate_cap_fraction (gate /. total)
+
+let test_inject_sign () =
+  let a = Powergrid.Mna.assemble (divider_circuit ()) in
+  let u = Powergrid.Mna.inject a 0.0 in
+  (* pad Norton at node 0: +1 V / 1 ohm; drain at node 1: -0.1 A *)
+  Helpers.check_float ~eps:1e-12 "pad injection" 1.0 u.(0);
+  Helpers.check_float ~eps:1e-12 "drain injection" (-0.1) u.(1)
+
+let test_grid_dc_drop_bounded () =
+  (* The generated grid must obey the paper's loading rule: peak drop
+     below ~10% of VDD. *)
+  let spec = Helpers.small_grid_spec in
+  let circuit = Powergrid.Grid_gen.generate spec in
+  let a = Powergrid.Mna.assemble circuit in
+  let v = Powergrid.Dc.solve a in
+  let vdd = spec.Powergrid.Grid_spec.vdd in
+  Array.iter
+    (fun vi ->
+      Alcotest.(check bool) "voltage between 0.9 VDD and VDD" true
+        (vi > 0.9 *. vdd && vi <= vdd +. 1e-9))
+    v
+
+(* RC discharge: node with C to ground, R to an ideal-ish pad at V0.
+   Analytic: v(t) = V0 + (v(0) - V0) exp(-t / RC). *)
+let test_transient_rc_decay () =
+  let r = 10.0 and cap = 1e-12 and v0 = 1.0 in
+  let circuit =
+    Powergrid.Circuit.make ~num_nodes:1 ~resistors:[]
+      ~capacitors:
+        [ { Powergrid.Circuit.cnode1 = 0; cnode2 = Powergrid.Circuit.ground; farads = cap;
+            ckind = Powergrid.Circuit.Fixed } ]
+      ~isources:[]
+      ~vsources:[ { Powergrid.Circuit.vnode = 0; volts = v0; series_ohms = r } ] ()
+  in
+  let a = Powergrid.Mna.assemble circuit in
+  let g = Powergrid.Mna.g_total a and c = Powergrid.Mna.c_total a in
+  let tau = r *. cap in
+  let h = tau /. 200.0 in
+  let steps = 400 in
+  let x0 = [| 0.0 |] in
+  (* start discharged *)
+  let final = ref 0.0 in
+  let results = Array.make (steps + 1) 0.0 in
+  let cfg = Powergrid.Transient.default_config ~h ~steps in
+  Powergrid.Transient.run cfg ~g ~c
+    ~inject:(fun t u -> Powergrid.Mna.inject_into a t u)
+    ~x0
+    ~on_step:(fun k _t x ->
+      results.(k) <- x.(0);
+      final := x.(0));
+  let t_end = float_of_int steps *. h in
+  let expected = v0 *. (1.0 -. exp (-.t_end /. tau)) in
+  Helpers.check_float ~eps:0.01 "BE matches analytic charge curve" expected !final;
+  (* Midpoint check too. *)
+  let mid = steps / 2 in
+  let t_mid = float_of_int mid *. h in
+  Helpers.check_float ~eps:0.01 "midpoint" (v0 *. (1.0 -. exp (-.t_mid /. tau))) results.(mid)
+
+let test_trapezoidal_more_accurate () =
+  let r = 10.0 and cap = 1e-12 and v0 = 1.0 in
+  let circuit =
+    Powergrid.Circuit.make ~num_nodes:1 ~resistors:[]
+      ~capacitors:
+        [ { Powergrid.Circuit.cnode1 = 0; cnode2 = Powergrid.Circuit.ground; farads = cap;
+            ckind = Powergrid.Circuit.Fixed } ]
+      ~isources:[]
+      ~vsources:[ { Powergrid.Circuit.vnode = 0; volts = v0; series_ohms = r } ] ()
+  in
+  let a = Powergrid.Mna.assemble circuit in
+  let g = Powergrid.Mna.g_total a and c = Powergrid.Mna.c_total a in
+  let tau = r *. cap in
+  let h = tau /. 10.0 in
+  (* coarse step to expose scheme error *)
+  let steps = 20 in
+  let run scheme =
+    let final = ref 0.0 in
+    let cfg = { (Powergrid.Transient.default_config ~h ~steps) with Powergrid.Transient.scheme } in
+    Powergrid.Transient.run cfg ~g ~c
+      ~inject:(fun t u -> Powergrid.Mna.inject_into a t u)
+      ~x0:[| 0.0 |]
+      ~on_step:(fun _ _ x -> final := x.(0));
+    !final
+  in
+  let expected = v0 *. (1.0 -. exp (-.(float_of_int steps *. h) /. tau)) in
+  let be = run Powergrid.Transient.Backward_euler in
+  let tr = run Powergrid.Transient.Trapezoidal in
+  Alcotest.(check bool)
+    (Printf.sprintf "TR error %.2e <= BE error %.2e" (Float.abs (tr -. expected))
+       (Float.abs (be -. expected)))
+    true
+    (Float.abs (tr -. expected) <= Float.abs (be -. expected))
+
+let test_transient_settles_to_dc () =
+  (* With DC sources the transient must converge to the DC solution. *)
+  let a = Powergrid.Mna.assemble (divider_circuit ()) in
+  let dc = Powergrid.Dc.solve a in
+  let g = Powergrid.Mna.g_total a and c = Powergrid.Mna.c_total a in
+  let last = Array.make 2 0.0 in
+  let cfg = Powergrid.Transient.default_config ~h:1e-11 ~steps:300 in
+  Powergrid.Transient.run cfg ~g ~c
+    ~inject:(fun t u -> Powergrid.Mna.inject_into a t u)
+    ~x0:[| 0.0; 0.0 |]
+    ~on_step:(fun _ _ x -> Array.blit x 0 last 0 2);
+  Helpers.check_vec ~eps:1e-6 "settles to DC" dc last
+
+let test_metrics () =
+  let v = [| 1.2; 1.1; 1.15 |] in
+  let drop, node = Powergrid.Metrics.max_drop ~vdd:1.2 v in
+  Helpers.check_float ~eps:1e-12 "max drop" 0.1 drop;
+  Alcotest.(check int) "worst node" 1 node;
+  Helpers.check_float "drop percent" 25.0 (Powergrid.Metrics.drop_percent ~vdd:1.2 0.3);
+  let worst = Powergrid.Metrics.worst_nodes ~vdd:1.2 v 2 in
+  Alcotest.(check (list int)) "worst two" [ 1; 2 ] (List.map fst worst);
+  Helpers.check_vec ~eps:1e-12 "drops" [| 0.0; 0.1; 0.05 |]
+    (Powergrid.Metrics.drops ~vdd:1.2 v)
+
+let test_transient_grid_runs () =
+  let spec = Helpers.small_grid_spec in
+  let circuit = Powergrid.Grid_gen.generate spec in
+  let a = Powergrid.Mna.assemble circuit in
+  let vdd = spec.Powergrid.Grid_spec.vdd in
+  let cfg = Powergrid.Transient.default_config ~h:0.125e-9 ~steps:16 in
+  let min_v = ref infinity in
+  Powergrid.Transient.run_circuit cfg a ~on_step:(fun _ _ x ->
+      Array.iter (fun v -> if v < !min_v then min_v := v) x);
+  Alcotest.(check bool)
+    (Printf.sprintf "worst transient voltage %.3f within (0.85, 1.0] VDD" (!min_v /. vdd))
+    true
+    (!min_v > 0.85 *. vdd && !min_v <= vdd +. 1e-9)
+
+let suite =
+  [
+    Alcotest.test_case "dc divider" `Quick test_dc_divider;
+    Alcotest.test_case "full MNA = Norton" `Quick test_full_mna_matches_norton;
+    Alcotest.test_case "full MNA ideal source" `Quick test_full_mna_ideal_source;
+    Alcotest.test_case "mna split parts" `Quick test_mna_split_parts;
+    Alcotest.test_case "injection signs" `Quick test_inject_sign;
+    Alcotest.test_case "grid dc drop bounded" `Quick test_grid_dc_drop_bounded;
+    Alcotest.test_case "rc charge analytic" `Quick test_transient_rc_decay;
+    Alcotest.test_case "trapezoidal accuracy" `Quick test_trapezoidal_more_accurate;
+    Alcotest.test_case "transient settles to dc" `Quick test_transient_settles_to_dc;
+    Alcotest.test_case "ir-drop metrics" `Quick test_metrics;
+    Alcotest.test_case "grid transient bounded" `Quick test_transient_grid_runs;
+  ]
+
+let test_run_full_matches_nodal_for_rc () =
+  (* For an RC grid with resistive pads, the full-MNA transient must agree
+     with the Norton nodal transient on node voltages. *)
+  let circuit = Powergrid.Grid_gen.generate Helpers.small_grid_spec in
+  let a = Powergrid.Mna.assemble circuit in
+  let sys = Powergrid.Mna.Full.assemble circuit in
+  let n = a.Powergrid.Mna.n in
+  let cfg = Powergrid.Transient.default_config ~h:0.125e-9 ~steps:8 in
+  let nodal = Array.make ((8 + 1) * n) 0.0 in
+  Powergrid.Transient.run_circuit cfg a ~on_step:(fun k _ x -> Array.blit x 0 nodal (k * n) n);
+  let full = Array.make ((8 + 1) * n) 0.0 in
+  Powergrid.Transient.run_full cfg sys ~on_step:(fun k _ x -> Array.blit x 0 full (k * n) n);
+  for k = 1 to 8 do
+    let x1 = Array.sub nodal (k * n) n and x2 = Array.sub full (k * n) n in
+    Alcotest.(check bool)
+      (Printf.sprintf "step %d agrees" k)
+      true
+      (Linalg.Vec.approx_equal ~tol:1e-8 x1 x2)
+  done
+
+let suite =
+  suite @ [ Alcotest.test_case "run_full = nodal on RC" `Quick test_run_full_matches_nodal_for_rc ]

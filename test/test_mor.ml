@@ -1,0 +1,90 @@
+(* Model order reduction (PRIMA-style congruence projection). *)
+
+let build_grid () =
+  let spec = Helpers.small_grid_spec in
+  let circuit = Powergrid.Grid_gen.generate spec in
+  let a = Powergrid.Mna.assemble circuit in
+  (spec, a)
+
+let excitation_snapshots a n =
+  (* Seed the Krylov space with the pad injection plus excitation
+     snapshots across one clock cycle. *)
+  let snapshot t =
+    let u = Array.make n 0.0 in
+    Powergrid.Mna.inject_into a t u;
+    u
+  in
+  [| Array.copy a.Powergrid.Mna.u_pad; snapshot 0.2e-9; snapshot 0.3e-9; snapshot 0.7e-9 |]
+
+let test_basis_orthonormal () =
+  let _, a = build_grid () in
+  let n = a.Powergrid.Mna.n in
+  let g = Powergrid.Mna.g_total a and c = Powergrid.Mna.c_total a in
+  let red = Powergrid.Mor.reduce ~g ~c ~inputs:(excitation_snapshots a n) ~blocks:4 in
+  let k = Powergrid.Mor.dim red in
+  Alcotest.(check bool) (Printf.sprintf "reduced dim %d << %d" k n) true (k < n / 4);
+  let vt_v =
+    Linalg.Dense.matmul (Linalg.Dense.transpose red.Powergrid.Mor.v) red.Powergrid.Mor.v
+  in
+  Helpers.check_dense ~eps:1e-8 "V^T V = I" (Linalg.Dense.identity k) vt_v
+
+let test_reduced_matrices_spd () =
+  let _, a = build_grid () in
+  let n = a.Powergrid.Mna.n in
+  let g = Powergrid.Mna.g_total a and c = Powergrid.Mna.c_total a in
+  let red = Powergrid.Mor.reduce ~g ~c ~inputs:(excitation_snapshots a n) ~blocks:3 in
+  (* Congruence preserves symmetry and positive definiteness. *)
+  Alcotest.(check bool) "Gr symmetric" true (Linalg.Dense.is_symmetric ~tol:1e-9 red.Powergrid.Mor.gr);
+  Alcotest.(check bool) "Cr symmetric" true (Linalg.Dense.is_symmetric ~tol:1e-12 red.Powergrid.Mor.cr);
+  Alcotest.(check bool) "Gr positive definite" true
+    (try
+       ignore (Linalg.Cholesky.factor red.Powergrid.Mor.gr);
+       true
+     with Linalg.Cholesky.Not_positive_definite _ -> false)
+
+let test_dc_moment_matched () =
+  (* The zeroth moment (DC solution for any seeded input) is exact. *)
+  let _, a = build_grid () in
+  let n = a.Powergrid.Mna.n in
+  let g = Powergrid.Mna.g_total a and c = Powergrid.Mna.c_total a in
+  let inputs = excitation_snapshots a n in
+  let red = Powergrid.Mor.reduce ~g ~c ~inputs ~blocks:3 in
+  let u = inputs.(1) in
+  let full = Linalg.Sparse_cholesky.solve (Linalg.Sparse_cholesky.factor g) u in
+  let zr = Linalg.Lu.solve (Linalg.Lu.factor red.Powergrid.Mor.gr) (Powergrid.Mor.project_input red u) in
+  for node = 0 to n - 1 do
+    Helpers.check_float
+      ~eps:(1e-6 +. (1e-5 *. Float.abs full.(node)))
+      (Printf.sprintf "dc at node %d" node)
+      full.(node)
+      (Powergrid.Mor.lift red zr ~node)
+  done
+
+let test_reduced_transient_tracks_full () =
+  let spec, a = build_grid () in
+  let n = a.Powergrid.Mna.n in
+  let g = Powergrid.Mna.g_total a and c = Powergrid.Mna.c_total a in
+  let red = Powergrid.Mor.reduce ~g ~c ~inputs:(excitation_snapshots a n) ~blocks:5 in
+  let h = 0.125e-9 and steps = 16 in
+  let probe = Powergrid.Grid_gen.center_node spec in
+  let full = Array.make (steps + 1) 0.0 in
+  let cfg = Powergrid.Transient.default_config ~h ~steps in
+  Powergrid.Transient.run_circuit cfg a ~on_step:(fun k _ x -> full.(k) <- x.(probe));
+  let reduced = Array.make (steps + 1) 0.0 in
+  Powergrid.Mor.transient red ~h ~steps
+    ~inject:(fun t u -> Powergrid.Mna.inject_into a t u)
+    ~n
+    ~on_step:(fun k _ z -> reduced.(k) <- Powergrid.Mor.lift red z ~node:probe);
+  for k = 1 to steps do
+    Helpers.check_float ~eps:2e-4
+      (Printf.sprintf "probe voltage at step %d" k)
+      full.(k) reduced.(k)
+  done
+
+let suite =
+  [
+    Alcotest.test_case "basis orthonormal" `Quick test_basis_orthonormal;
+    Alcotest.test_case "reduced matrices spd" `Quick test_reduced_matrices_spd;
+    Alcotest.test_case "dc moment matched" `Quick test_dc_moment_matched;
+    Alcotest.test_case "reduced transient tracks full" `Quick test_reduced_transient_tracks_full;
+  ]

@@ -1,0 +1,103 @@
+(* Second-order (multiplicative W*T) conductance model. *)
+
+let vdd = 1.2
+
+let model ?(order = 2) () =
+  let spec = Helpers.small_grid_spec in
+  let circuit = Powergrid.Grid_gen.generate spec in
+  let vm =
+    { Opera.Varmodel.paper_default with
+      Opera.Varmodel.mode = Opera.Varmodel.Separate; multiplicative_wt = true }
+  in
+  (spec, Opera.Stochastic_model.build ~order vm ~vdd circuit)
+
+let test_g_of_sample_is_exact_product () =
+  (* G(xi) must equal Ga_fixed + g_var (1 + sw xiW)(1 + st xiT) exactly. *)
+  let _, m = model () in
+  let sw = 0.20 /. 3.0 and st = 0.15 /. 3.0 in
+  let ga = List.assoc 0 m.Opera.Stochastic_model.g_terms in
+  (* recover the varying part from the degree-1 W term *)
+  let gw = List.assoc (Opera.Stochastic_model.xi_rank m 0) m.Opera.Stochastic_model.g_terms in
+  let g_var = Linalg.Sparse.scale (1.0 /. sw) gw in
+  List.iter
+    (fun (xw, xt) ->
+      let sampled = Opera.Stochastic_model.g_of_sample m [| xw; xt; 0.0 |] in
+      let factor = ((1.0 +. (sw *. xw)) *. (1.0 +. (st *. xt))) -. 1.0 in
+      let expected = Linalg.Sparse.axpy ~alpha:factor g_var ga in
+      Alcotest.(check bool)
+        (Printf.sprintf "exact at (%.1f, %.1f)" xw xt)
+        true
+        (Linalg.Sparse.approx_equal ~tol:1e-10 expected sampled))
+    [ (0.0, 0.0); (1.0, 0.0); (0.0, -2.0); (1.5, 2.5); (-3.0, 1.0) ]
+
+let test_requires_separate_and_order2 () =
+  let spec = Helpers.small_grid_spec in
+  let circuit = Powergrid.Grid_gen.generate spec in
+  let bad mode order =
+    let vm =
+      { Opera.Varmodel.paper_default with Opera.Varmodel.mode; multiplicative_wt = true }
+    in
+    try
+      ignore (Opera.Stochastic_model.build ~order vm ~vdd circuit);
+      false
+    with Invalid_argument _ -> true
+  in
+  Alcotest.(check bool) "combined rejected" true (bad Opera.Varmodel.Combined 2);
+  Alcotest.(check bool) "order 1 rejected" true (bad Opera.Varmodel.Separate 1)
+
+let test_galerkin_vs_mc_multiplicative () =
+  let _, m = model ~order:2 () in
+  let response, _ = Opera.Galerkin.solve_transient m ~h:0.25e-9 ~steps:6 in
+  let mc_cfg =
+    { (Opera.Monte_carlo.default_config ~h:0.25e-9 ~steps:6) with
+      Opera.Monte_carlo.samples = 400 }
+  in
+  let mc = Opera.Monte_carlo.run m mc_cfg in
+  (* compare at the max-sigma point *)
+  let step = ref 1 and node = ref 0 in
+  for st = 1 to 6 do
+    for v = 0 to m.Opera.Stochastic_model.n - 1 do
+      if
+        Opera.Monte_carlo.std_at mc ~step:st ~node:v
+        > Opera.Monte_carlo.std_at mc ~step:!step ~node:!node
+      then begin
+        step := st;
+        node := v
+      end
+    done
+  done;
+  let step = !step and node = !node in
+  Helpers.check_float ~eps:(2e-4 *. vdd) "mean"
+    (Opera.Monte_carlo.mean_at mc ~step ~node)
+    (Opera.Response.mean_at response ~step ~node);
+  let sd_m = Opera.Monte_carlo.std_at mc ~step ~node in
+  let sd_o = Opera.Response.std_at response ~step ~node in
+  Alcotest.(check bool)
+    (Printf.sprintf "sigma %.3e vs MC %.3e" sd_o sd_m)
+    true
+    (Float.abs (sd_o -. sd_m) /. sd_m < 0.25)
+
+let test_quadratic_term_small_but_present () =
+  (* The cross term must appear in the expansion with the product
+     coefficient, and remain small relative to the linear terms at the
+     paper's sigmas. *)
+  let _, m = model () in
+  let terms = m.Opera.Stochastic_model.g_terms in
+  Alcotest.(check int) "four terms" 4 (List.length terms);
+  let sw = 0.20 /. 3.0 and st = 0.15 /. 3.0 in
+  let gw = List.assoc (Opera.Stochastic_model.xi_rank m 0) terms in
+  let idx = [| 1; 1; 0 |] in
+  let rwt = Polychaos.Basis.rank_of_index m.Opera.Stochastic_model.basis idx in
+  let gwt = List.assoc rwt terms in
+  ignore sw;
+  let ratio = Linalg.Sparse.max_abs gwt /. Linalg.Sparse.max_abs gw in
+  Helpers.check_close ~rtol:1e-9 "cross coefficient ratio = st" st ratio;
+  Alcotest.(check bool) "second order is a small correction" true (ratio < 0.1)
+
+let suite =
+  [
+    Alcotest.test_case "g_of_sample exact product" `Quick test_g_of_sample_is_exact_product;
+    Alcotest.test_case "mode/order guards" `Quick test_requires_separate_and_order2;
+    Alcotest.test_case "galerkin vs mc (multiplicative)" `Slow test_galerkin_vs_mc_multiplicative;
+    Alcotest.test_case "cross term coefficient" `Quick test_quadratic_term_small_but_present;
+  ]

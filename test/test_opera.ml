@@ -1,0 +1,363 @@
+(* The OPERA core: variation model, stochastic expansion, Galerkin solve,
+   Monte-Carlo agreement, special case. *)
+
+let vdd = 1.2
+
+let small_model ?(order = 2) ?(mode = Opera.Varmodel.Combined) () =
+  let spec = Helpers.small_grid_spec in
+  let circuit = Powergrid.Grid_gen.generate spec in
+  let vm = { Opera.Varmodel.paper_default with Opera.Varmodel.mode } in
+  (spec, Opera.Stochastic_model.build ~order vm ~vdd circuit)
+
+let test_varmodel_sigma_g () =
+  let vm = Opera.Varmodel.paper_default in
+  (* 3-sigma: 20% W, 15% T -> 25% combined (paper Sec. 6). *)
+  Helpers.check_float ~eps:1e-12 "sigma_g" (0.25 /. 3.0) (Opera.Varmodel.sigma_g vm);
+  Alcotest.(check int) "combined dim" 2 (Opera.Varmodel.dim vm);
+  Alcotest.(check int) "separate dim" 3
+    (Opera.Varmodel.dim { vm with Opera.Varmodel.mode = Opera.Varmodel.Separate });
+  Alcotest.(check int) "grouped dim" 5
+    (Opera.Varmodel.dim { vm with Opera.Varmodel.mode = Opera.Varmodel.Grouped_wires 4 })
+
+let test_model_shapes () =
+  let _, m = small_model () in
+  Alcotest.(check int) "basis size (N+1) = 6" 6 (Polychaos.Basis.size m.Opera.Stochastic_model.basis);
+  Alcotest.(check int) "g terms: mean + xiG" 2 (List.length m.Opera.Stochastic_model.g_terms);
+  Alcotest.(check int) "c terms: mean + xiL" 2 (List.length m.Opera.Stochastic_model.c_terms);
+  (* ranks are the degree-1 indices *)
+  Alcotest.(check int) "xiG rank" 1 (Opera.Stochastic_model.xi_rank m 0);
+  Alcotest.(check int) "xiL rank" 2 (Opera.Stochastic_model.xi_rank m 1)
+
+let test_sample_realizations () =
+  let _, m = small_model () in
+  (* xi = 0 gives the nominal matrices. *)
+  let g0 = Opera.Stochastic_model.g_of_sample m [| 0.0; 0.0 |] in
+  let ga = List.assoc 0 m.Opera.Stochastic_model.g_terms in
+  Alcotest.(check bool) "G(0) = Ga" true (Linalg.Sparse.approx_equal ~tol:1e-12 g0 ga);
+  (* G scales linearly in xiG. *)
+  let g1 = Opera.Stochastic_model.g_of_sample m [| 1.0; 0.0 |] in
+  let gm1 = Opera.Stochastic_model.g_of_sample m [| -1.0; 0.0 |] in
+  let avg = Linalg.Sparse.scale 0.5 (Linalg.Sparse.add g1 gm1) in
+  Alcotest.(check bool) "linear in xiG" true (Linalg.Sparse.approx_equal ~tol:1e-10 avg ga);
+  (* C responds to xiL only. *)
+  let c_l = Opera.Stochastic_model.c_of_sample m [| 3.0; 0.0 |] in
+  let ca = List.assoc 0 m.Opera.Stochastic_model.c_terms in
+  Alcotest.(check bool) "C ignores xiG" true (Linalg.Sparse.approx_equal ~tol:1e-15 c_l ca)
+
+let test_u_of_sample () =
+  let _, m = small_model () in
+  let u0 = Opera.Stochastic_model.u_of_sample m [| 0.0; 0.0 |] 0.3e-9 in
+  let u_nominal = Powergrid.Mna.inject m.Opera.Stochastic_model.mna 0.3e-9 in
+  Helpers.check_vec ~eps:1e-12 "U(0) = nominal injection" u_nominal u0
+
+let test_node_pattern_symmetric () =
+  let _, m = small_model () in
+  let p = Opera.Stochastic_model.node_pattern m in
+  Alcotest.(check bool) "pattern symmetric" true (Linalg.Sparse.is_symmetric ~tol:1e-12 p);
+  Alcotest.(check (pair int int)) "pattern dims"
+    (m.Opera.Stochastic_model.n, m.Opera.Stochastic_model.n)
+    (Linalg.Sparse.dims p)
+
+let test_galerkin_matrices_symmetric () =
+  let _, m = small_model () in
+  let gt = Opera.Galerkin.assemble_g m in
+  let ct = Opera.Galerkin.assemble_c m in
+  Alcotest.(check bool) "Gt symmetric" true (Linalg.Sparse.is_symmetric ~tol:1e-9 gt);
+  Alcotest.(check bool) "Ct symmetric" true (Linalg.Sparse.is_symmetric ~tol:1e-12 ct);
+  let size = Polychaos.Basis.size m.Opera.Stochastic_model.basis in
+  Alcotest.(check (pair int int)) "augmented dims"
+    (size * m.Opera.Stochastic_model.n, size * m.Opera.Stochastic_model.n)
+    (Linalg.Sparse.dims gt)
+
+let test_galerkin_block_zero_is_nominal () =
+  (* With zero variation the Galerkin DC solution's block 0 is the nominal
+     DC solution and all other blocks vanish. *)
+  let spec = Helpers.small_grid_spec in
+  let circuit = Powergrid.Grid_gen.generate spec in
+  let vm =
+    { Opera.Varmodel.paper_default with
+      Opera.Varmodel.sigma_w = 0.0; sigma_t = 0.0; sigma_l = 0.0; current_sensitivity = 0.0 }
+  in
+  let m = Opera.Stochastic_model.build ~order:2 vm ~vdd circuit in
+  let a = Opera.Galerkin.solve_dc m in
+  let n = m.Opera.Stochastic_model.n in
+  let nominal = Powergrid.Dc.solve m.Opera.Stochastic_model.mna in
+  let block0 = Array.sub a 0 n in
+  Alcotest.(check bool) "block 0 = nominal dc" true
+    (Linalg.Vec.approx_equal ~tol:1e-8 nominal block0);
+  for k = 1 to 5 do
+    let block = Array.sub a (k * n) n in
+    Alcotest.(check bool)
+      (Printf.sprintf "block %d vanishes" k)
+      true
+      (Linalg.Vec.norm2 block < 1e-10)
+  done
+
+let test_direct_vs_mean_pcg () =
+  let _, m = small_model () in
+  let solve solver =
+    let options = { Opera.Galerkin.default_options with Opera.Galerkin.solver } in
+    fst (Opera.Galerkin.solve_transient ~options m ~h:0.25e-9 ~steps:8)
+  in
+  let r1 = solve Opera.Galerkin.Direct in
+  let r2 = solve (Opera.Galerkin.Mean_pcg { tol = 1e-12; max_iter = 500 }) in
+  let n = m.Opera.Stochastic_model.n in
+  for step = 0 to 8 do
+    for node = 0 to n - 1 do
+      Helpers.check_float ~eps:1e-7 "means agree"
+        (Opera.Response.mean_at r1 ~step ~node)
+        (Opera.Response.mean_at r2 ~step ~node);
+      Helpers.check_float ~eps:1e-7 "variances agree"
+        (Opera.Response.variance_at r1 ~step ~node)
+        (Opera.Response.variance_at r2 ~step ~node)
+    done
+  done
+
+let test_galerkin_dc_vs_monte_carlo_dc () =
+  (* Cross-validate the stochastic DC solve against direct sampling, on a
+     grid that draws DC current (the generated activity profiles are zero
+     at t = 0, which would make sigma vanish). *)
+  let circuit =
+    let r n1 n2 =
+      { Powergrid.Circuit.rnode1 = n1; rnode2 = n2; ohms = 0.8; rkind = Powergrid.Circuit.Metal }
+    in
+    Powergrid.Circuit.make ~num_nodes:4
+      ~resistors:[ r 0 1; r 1 2; r 2 3; r 3 0 ]
+      ~capacitors:
+        [ { Powergrid.Circuit.cnode1 = 2; cnode2 = Powergrid.Circuit.ground; farads = 1e-12;
+            ckind = Powergrid.Circuit.Gate } ]
+      ~isources:[ { Powergrid.Circuit.inode = 2; wave = Powergrid.Waveform.Dc 0.02; region = 0 } ]
+      ~vsources:[ { Powergrid.Circuit.vnode = 0; volts = vdd; series_ohms = 0.3 } ] ()
+  in
+  let m = Opera.Stochastic_model.build ~order:3 Opera.Varmodel.paper_default ~vdd circuit in
+  let a = Opera.Galerkin.solve_dc m in
+  let n = m.Opera.Stochastic_model.n in
+  let node = 2 in
+  let size = Polychaos.Basis.size m.Opera.Stochastic_model.basis in
+  let coefs = Array.init size (fun k -> a.((k * n) + node)) in
+  let pce = Polychaos.Pce.create m.Opera.Stochastic_model.basis coefs in
+  (* Monte-Carlo DC *)
+  let rng = Prob.Rng.create ~seed:13L () in
+  let acc = Prob.Stats.Online.create () in
+  for _ = 1 to 400 do
+    let xi = Prob.Rng.gaussian_vector rng 2 in
+    let g = Opera.Stochastic_model.g_of_sample m xi in
+    let u = Opera.Stochastic_model.u_of_sample m xi 0.0 in
+    let x = Linalg.Sparse_cholesky.solve (Linalg.Sparse_cholesky.factor g) u in
+    Prob.Stats.Online.add acc x.(node)
+  done;
+  let mu_mc = Prob.Stats.Online.mean acc and sd_mc = Prob.Stats.Online.std acc in
+  Helpers.check_float ~eps:(2e-4 *. vdd) "dc mean" mu_mc (Polychaos.Pce.mean pce);
+  Helpers.check_float ~eps:(0.15 *. sd_mc) "dc sigma" sd_mc (Polychaos.Pce.std pce)
+
+let test_response_storage () =
+  let basis = Polychaos.Basis.isotropic Polychaos.Family.hermite ~dim:2 ~order:2 in
+  let r = Opera.Response.create ~basis ~n:3 ~steps:2 ~h:1e-9 ~vdd ~probes:[| 1 |] in
+  let size = 6 in
+  let coefs = Array.init (size * 3) (fun i -> float_of_int i /. 10.0) in
+  Opera.Response.record_step r ~step:1 ~coefs;
+  Helpers.check_float "mean at (1,1)" (coefs.(1)) (Opera.Response.mean_at r ~step:1 ~node:1);
+  (* Variance: Eq. (23) over the stored blocks. *)
+  let expected_var =
+    let acc = ref 0.0 in
+    for k = 1 to size - 1 do
+      let a = coefs.((k * 3) + 1) in
+      acc := !acc +. (a *. a *. Polychaos.Basis.norm_sq basis k)
+    done;
+    !acc
+  in
+  Helpers.check_float ~eps:1e-12 "variance Eq. (23)" expected_var
+    (Opera.Response.variance_at r ~step:1 ~node:1);
+  (* PCE extraction at the probe matches raw coefficients. *)
+  let pce = Opera.Response.pce_at r ~node:1 ~step:1 in
+  Helpers.check_float "pce coef 4" (coefs.((4 * 3) + 1)) pce.Polychaos.Pce.coefs.(4);
+  Alcotest.(check bool) "non-probe raises" true
+    (try
+       ignore (Opera.Response.pce_at r ~node:0 ~step:1);
+       false
+     with Not_found -> true)
+
+let test_special_case_decoupled_equals_coupled () =
+  let spec = { Helpers.small_grid_spec with Powergrid.Grid_spec.regions_x = 2; regions_y = 1 } in
+  let circuit = Powergrid.Grid_gen.generate spec in
+  let leaks =
+    Array.init 16 (fun i ->
+        let node = i * 3 in
+        (node, Powergrid.Grid_gen.region_of_node spec node, 2e-4))
+  in
+  let sc = Opera.Special_case.make ~order:2 ~regions:2 ~lambda:0.35 ~leaks ~vdd circuit in
+  let probes = [| Powergrid.Grid_gen.center_node spec |] in
+  let r1, _ = Opera.Special_case.solve sc ~h:0.25e-9 ~steps:6 ~probes in
+  let r2, _ = Opera.Special_case.solve_coupled sc ~h:0.25e-9 ~steps:6 ~probes in
+  let n = Powergrid.Circuit.node_count circuit in
+  for step = 0 to 6 do
+    for node = 0 to n - 1 do
+      Helpers.check_float ~eps:1e-9 "means equal"
+        (Opera.Response.mean_at r1 ~step ~node)
+        (Opera.Response.mean_at r2 ~step ~node);
+      Helpers.check_float ~eps:1e-9 "variances equal"
+        (Opera.Response.variance_at r1 ~step ~node)
+        (Opera.Response.variance_at r2 ~step ~node)
+    done
+  done
+
+let test_special_case_vs_monte_carlo () =
+  let spec = { Helpers.small_grid_spec with Powergrid.Grid_spec.regions_x = 2; regions_y = 1 } in
+  let circuit = Powergrid.Grid_gen.generate spec in
+  let leaks =
+    Array.init 20 (fun i ->
+        let node = i * 3 in
+        (node, Powergrid.Grid_gen.region_of_node spec node, 3e-4))
+  in
+  (* Order 3 to capture the lognormal tail. *)
+  let sc = Opera.Special_case.make ~order:3 ~regions:2 ~lambda:0.4 ~leaks ~vdd circuit in
+  let probes = [| 0 |] in
+  let resp, _ = Opera.Special_case.solve sc ~h:0.25e-9 ~steps:6 ~probes in
+  let mc = Opera.Special_case.monte_carlo sc ~samples:1500 ~seed:3L ~h:0.25e-9 ~steps:6 ~probes in
+  let node = 0 and step = 6 in
+  let mu_op = Opera.Response.mean_at resp ~step ~node in
+  let mu_mc = Opera.Monte_carlo.mean_at mc ~step ~node in
+  let sd_op = Opera.Response.std_at resp ~step ~node in
+  let sd_mc = Opera.Monte_carlo.std_at mc ~step ~node in
+  Helpers.check_float ~eps:(5e-5 *. vdd) "leakage mean" mu_mc mu_op;
+  Helpers.check_float ~eps:(0.12 *. sd_mc) "leakage sigma" sd_mc sd_op
+
+let test_special_case_mean_analytic () =
+  (* Single node, single region: v = VDD - Rs * I0 exp(lambda xi).
+     E[v] = VDD - Rs I0 e^{lambda^2/2}. *)
+  let rs = 1.0 and i0 = 0.05 and lambda = 0.3 in
+  let circuit =
+    Powergrid.Circuit.make ~num_nodes:1 ~resistors:[]
+      ~capacitors:
+        [ { Powergrid.Circuit.cnode1 = 0; cnode2 = Powergrid.Circuit.ground; farads = 1e-15;
+            ckind = Powergrid.Circuit.Fixed } ]
+      ~isources:[]
+      ~vsources:[ { Powergrid.Circuit.vnode = 0; volts = vdd; series_ohms = rs } ] ()
+  in
+  let sc =
+    Opera.Special_case.make ~order:4 ~regions:1 ~lambda ~leaks:[| (0, 0, i0) |] ~vdd circuit
+  in
+  let resp, _ = Opera.Special_case.solve sc ~h:1e-9 ~steps:3 ~probes:[| 0 |] in
+  let expected_mean = vdd -. (rs *. i0 *. exp (lambda *. lambda /. 2.0)) in
+  Helpers.check_float ~eps:1e-9 "analytic mean" expected_mean
+    (Opera.Response.mean_at resp ~step:3 ~node:0);
+  (* Variance of the lognormal drop: (Rs I0)^2 (e^{l^2}-1) e^{l^2}. *)
+  let l2 = lambda *. lambda in
+  let expected_var = rs *. rs *. i0 *. i0 *. ((exp l2 -. 1.0) *. exp l2) in
+  Helpers.check_close ~rtol:0.01 "analytic variance (order-4 truncation)" expected_var
+    (Opera.Response.variance_at resp ~step:3 ~node:0)
+
+let test_grouped_wires_mode () =
+  let _, m = small_model ~mode:(Opera.Varmodel.Grouped_wires 3) () in
+  Alcotest.(check int) "basis dim 4" 4 (Polychaos.Basis.dim m.Opera.Stochastic_model.basis);
+  (* group terms present *)
+  Alcotest.(check bool) "multiple wire groups" true
+    (List.length m.Opera.Stochastic_model.g_terms >= 3);
+  (* Galerkin still solves *)
+  let r, _ = Opera.Galerkin.solve_transient m ~h:0.25e-9 ~steps:2 in
+  Alcotest.(check bool) "finite response" true
+    (Float.is_finite (Opera.Response.mean_at r ~step:2 ~node:0))
+
+let test_separate_equals_combined_moments () =
+  (* Eq. (14): combining xiW, xiT into xiG preserves the first two moments
+     of the response. *)
+  let _, m2 = small_model ~mode:Opera.Varmodel.Combined () in
+  let _, m3 = small_model ~mode:Opera.Varmodel.Separate () in
+  let r2, _ = Opera.Galerkin.solve_transient m2 ~h:0.25e-9 ~steps:4 in
+  let r3, _ = Opera.Galerkin.solve_transient m3 ~h:0.25e-9 ~steps:4 in
+  let n = m2.Opera.Stochastic_model.n in
+  for node = 0 to n - 1 do
+    Helpers.check_float ~eps:1e-9 "mean invariant under Eq. (14)"
+      (Opera.Response.mean_at r2 ~step:4 ~node)
+      (Opera.Response.mean_at r3 ~step:4 ~node);
+    Helpers.check_float
+      ~eps:(1e-6 *. (1e-9 +. Opera.Response.variance_at r2 ~step:4 ~node))
+      "variance invariant under Eq. (14)"
+      (Opera.Response.variance_at r2 ~step:4 ~node)
+      (Opera.Response.variance_at r3 ~step:4 ~node)
+  done
+
+let suite =
+  [
+    Alcotest.test_case "varmodel sigma_g" `Quick test_varmodel_sigma_g;
+    Alcotest.test_case "model shapes" `Quick test_model_shapes;
+    Alcotest.test_case "sample realizations" `Quick test_sample_realizations;
+    Alcotest.test_case "u_of_sample" `Quick test_u_of_sample;
+    Alcotest.test_case "node pattern" `Quick test_node_pattern_symmetric;
+    Alcotest.test_case "galerkin matrices symmetric" `Quick test_galerkin_matrices_symmetric;
+    Alcotest.test_case "zero variation reduces to nominal" `Quick test_galerkin_block_zero_is_nominal;
+    Alcotest.test_case "direct vs mean-pcg" `Quick test_direct_vs_mean_pcg;
+    Alcotest.test_case "galerkin dc vs mc dc" `Slow test_galerkin_dc_vs_monte_carlo_dc;
+    Alcotest.test_case "response storage" `Quick test_response_storage;
+    Alcotest.test_case "special case decoupled = coupled" `Quick test_special_case_decoupled_equals_coupled;
+    Alcotest.test_case "special case vs mc" `Slow test_special_case_vs_monte_carlo;
+    Alcotest.test_case "special case analytic" `Quick test_special_case_mean_analytic;
+    Alcotest.test_case "grouped wires mode" `Quick test_grouped_wires_mode;
+    Alcotest.test_case "separate = combined (Eq. 14)" `Quick test_separate_equals_combined_moments;
+  ]
+
+let test_galerkin_trapezoidal () =
+  (* TR at coarse step must beat BE at the same step against a fine-step
+     reference, and both schemes agree in the limit. *)
+  let _, m = small_model () in
+  let node = m.Opera.Stochastic_model.n / 2 in
+  let t_end = 1.0e-9 in
+  let run scheme steps =
+    let options = { Opera.Galerkin.default_options with Opera.Galerkin.scheme } in
+    let r, _ = Opera.Galerkin.solve_transient ~options m ~h:(t_end /. float_of_int steps) ~steps in
+    Opera.Response.mean_at r ~step:steps ~node
+  in
+  let reference = run Powergrid.Transient.Backward_euler 256 in
+  let be = run Powergrid.Transient.Backward_euler 8 in
+  let tr = run Powergrid.Transient.Trapezoidal 8 in
+  let err_be = Float.abs (be -. reference) and err_tr = Float.abs (tr -. reference) in
+  Alcotest.(check bool)
+    (Printf.sprintf "TR err %.2e <= BE err %.2e" err_tr err_be)
+    true (err_tr <= err_be +. 1e-12);
+  Helpers.check_float ~eps:1e-4 "schemes agree roughly" be tr
+
+let suite = suite @ [ Alcotest.test_case "galerkin trapezoidal" `Quick test_galerkin_trapezoidal ]
+
+let test_truncation_order_convergence () =
+  (* Single node behind a varying pad: v(xi) = VDD - I R0 / (1 + kappa xi),
+     a genuinely nonlinear response. The truncated expansion must converge
+     to the quadrature-exact mean as the order grows. *)
+  let kappa = 0.25 /. 3.0 in
+  let i_load = 0.05 and r0 = 1.0 in
+  let circuit =
+    Powergrid.Circuit.make ~num_nodes:1 ~resistors:[]
+      ~capacitors:
+        [ { Powergrid.Circuit.cnode1 = 0; cnode2 = Powergrid.Circuit.ground; farads = 1e-15;
+            ckind = Powergrid.Circuit.Fixed } ]
+      ~isources:[ { Powergrid.Circuit.inode = 0; wave = Powergrid.Waveform.Dc i_load; region = 0 } ]
+      ~vsources:[ { Powergrid.Circuit.vnode = 0; volts = vdd; series_ohms = r0 } ]
+      ()
+  in
+  let vm =
+    { Opera.Varmodel.paper_default with
+      Opera.Varmodel.sigma_l = 0.0; current_sensitivity = 0.0 }
+  in
+  (* Exact mean by high-order quadrature of VDD - I R0 / (1 + kappa xi). *)
+  let rule = Polychaos.Quadrature.gauss Polychaos.Family.hermite 40 in
+  let exact_mean =
+    Polychaos.Quadrature.integrate rule (fun xi -> vdd -. (i_load *. r0 /. (1.0 +. (kappa *. xi))))
+  in
+  let errors =
+    List.map
+      (fun order ->
+        let m = Opera.Stochastic_model.build ~order vm ~vdd circuit in
+        let a = Opera.Galerkin.solve_dc m in
+        Float.abs (a.(0) -. exact_mean))
+      [ 1; 2; 4 ]
+  in
+  (match errors with
+  | [ e1; e2; e4 ] ->
+      Alcotest.(check bool)
+        (Printf.sprintf "errors decrease: %.2e > %.2e > %.2e" e1 e2 e4)
+        true
+        (e1 > e2 && e2 > e4);
+      Alcotest.(check bool) "order 4 is tight" true (e4 < 1e-6)
+  | _ -> assert false)
+
+let suite =
+  suite @ [ Alcotest.test_case "truncation convergence" `Quick test_truncation_order_convergence ]

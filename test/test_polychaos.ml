@@ -1,0 +1,209 @@
+(* Orthogonal polynomial families, quadrature, multi-indices, bases. *)
+
+let families =
+  [
+    ("hermite", Polychaos.Family.hermite);
+    ("legendre", Polychaos.Family.legendre);
+    ("laguerre", Polychaos.Family.laguerre);
+    ("jacobi(1,2)", Polychaos.Family.jacobi ~a:1.0 ~b:2.0);
+    ("jacobi(0,0)", Polychaos.Family.jacobi ~a:0.0 ~b:0.0);
+  ]
+
+let test_hermite_values () =
+  (* Monic probabilists' Hermite: He_2 = x^2 - 1, He_3 = x^3 - 3x. *)
+  let f = Polychaos.Family.hermite in
+  let x = 1.3 in
+  Helpers.check_float "He_0" 1.0 (Polychaos.Family.eval f 0 x);
+  Helpers.check_float "He_1" x (Polychaos.Family.eval f 1 x);
+  Helpers.check_float ~eps:1e-12 "He_2" ((x *. x) -. 1.0) (Polychaos.Family.eval f 2 x);
+  Helpers.check_float ~eps:1e-12 "He_3" ((x ** 3.0) -. (3.0 *. x)) (Polychaos.Family.eval f 3 x);
+  Helpers.check_float ~eps:1e-12 "He_4" ((x ** 4.0) -. (6.0 *. x *. x) +. 3.0)
+    (Polychaos.Family.eval f 4 x)
+
+let test_hermite_norms () =
+  let f = Polychaos.Family.hermite in
+  List.iter
+    (fun k ->
+      Helpers.check_float
+        (Printf.sprintf "norm He_%d = %d!" k k)
+        (Prob.Special_functions.factorial k)
+        (Polychaos.Family.norm_sq f k))
+    [ 0; 1; 2; 3; 4; 5 ]
+
+let test_eval_all_consistent () =
+  List.iter
+    (fun (name, f) ->
+      let x = 0.73 in
+      let all = Polychaos.Family.eval_all f 6 x in
+      for k = 0 to 6 do
+        Helpers.check_float ~eps:1e-12
+          (Printf.sprintf "%s eval_all.(%d)" name k)
+          (Polychaos.Family.eval f k x)
+          all.(k)
+      done)
+    families
+
+(* Orthogonality: E[p_i p_j] = delta_ij norm_sq via exact quadrature. *)
+let test_orthogonality () =
+  List.iter
+    (fun (name, f) ->
+      let max_order = 5 in
+      let rule = Polychaos.Quadrature.gauss f (max_order + 1) in
+      for i = 0 to max_order do
+        for j = 0 to max_order do
+          let inner =
+            Polychaos.Quadrature.integrate rule (fun x ->
+                Polychaos.Family.eval f i x *. Polychaos.Family.eval f j x)
+          in
+          let expected = if i = j then Polychaos.Family.norm_sq f i else 0.0 in
+          Helpers.check_float
+            ~eps:(1e-9 *. (1.0 +. expected))
+            (Printf.sprintf "%s <p_%d, p_%d>" name i j)
+            expected inner
+        done
+      done)
+    families
+
+let test_quadrature_weights_sum_to_one () =
+  List.iter
+    (fun (name, f) ->
+      List.iter
+        (fun n ->
+          let rule = Polychaos.Quadrature.gauss f n in
+          Helpers.check_float ~eps:1e-10
+            (Printf.sprintf "%s %d-point weights" name n)
+            1.0
+            (Array.fold_left ( +. ) 0.0 rule.Polychaos.Quadrature.weights))
+        [ 1; 2; 5; 10 ])
+    families
+
+let test_quadrature_moments () =
+  (* Gauss-Hermite must reproduce standard normal moments exactly. *)
+  let f = Polychaos.Family.hermite in
+  let rule = Polychaos.Quadrature.gauss f 6 in
+  let moment k =
+    Polychaos.Quadrature.integrate rule (fun x -> x ** float_of_int k)
+  in
+  Helpers.check_float ~eps:1e-10 "E[x]" 0.0 (moment 1);
+  Helpers.check_float ~eps:1e-10 "E[x^2]" 1.0 (moment 2);
+  Helpers.check_float ~eps:1e-9 "E[x^4]" 3.0 (moment 4);
+  Helpers.check_float ~eps:1e-8 "E[x^6]" 15.0 (moment 6);
+  (* Legendre on uniform(-1,1): E[x^2] = 1/3. *)
+  let rl = Polychaos.Quadrature.gauss Polychaos.Family.legendre 4 in
+  Helpers.check_float ~eps:1e-10 "uniform E[x^2]" (1.0 /. 3.0)
+    (Polychaos.Quadrature.integrate rl (fun x -> x *. x));
+  (* Laguerre on Exp(1): E[x] = 1, E[x^2] = 2. *)
+  let rlag = Polychaos.Quadrature.gauss Polychaos.Family.laguerre 4 in
+  Helpers.check_float ~eps:1e-9 "exp E[x]" 1.0
+    (Polychaos.Quadrature.integrate rlag (fun x -> x));
+  Helpers.check_float ~eps:1e-9 "exp E[x^2]" 2.0
+    (Polychaos.Quadrature.integrate rlag (fun x -> x *. x))
+
+let test_tensor_quadrature () =
+  let fams = [| Polychaos.Family.hermite; Polychaos.Family.hermite |] in
+  (* E[x^2 y^2] = 1 for independent standard normals. *)
+  Helpers.check_float ~eps:1e-9 "E[x^2 y^2]" 1.0
+    (Polychaos.Quadrature.tensor fams 4 (fun p -> p.(0) *. p.(0) *. p.(1) *. p.(1)));
+  Helpers.check_float ~eps:1e-9 "E[x y]" 0.0
+    (Polychaos.Quadrature.tensor fams 4 (fun p -> p.(0) *. p.(1)))
+
+let test_multi_index_count () =
+  Alcotest.(check int) "C(2+2,2)" 6 (Polychaos.Multi_index.count ~dim:2 ~max_degree:2);
+  Alcotest.(check int) "C(3+2,2)" 10 (Polychaos.Multi_index.count ~dim:3 ~max_degree:2);
+  Alcotest.(check int) "C(2+3,3)" 10 (Polychaos.Multi_index.count ~dim:2 ~max_degree:3);
+  Alcotest.(check int) "order 0" 1 (Polychaos.Multi_index.count ~dim:5 ~max_degree:0)
+
+let test_multi_index_generate () =
+  let indices = Polychaos.Multi_index.generate ~dim:2 ~max_degree:2 in
+  Alcotest.(check int) "count matches" 6 (Array.length indices);
+  (* The paper's Eq. (15) ordering: 1, xiG, xiL, xiG^2-1, xiG xiL, xiL^2-1. *)
+  Alcotest.(check (array int)) "psi_0" [| 0; 0 |] indices.(0);
+  Alcotest.(check (array int)) "psi_1" [| 1; 0 |] indices.(1);
+  Alcotest.(check (array int)) "psi_2" [| 0; 1 |] indices.(2);
+  Alcotest.(check (array int)) "psi_3" [| 2; 0 |] indices.(3);
+  Alcotest.(check (array int)) "psi_4" [| 1; 1 |] indices.(4);
+  Alcotest.(check (array int)) "psi_5" [| 0; 2 |] indices.(5);
+  (* All unique, all within degree. *)
+  let seen = Hashtbl.create 16 in
+  Array.iter
+    (fun idx ->
+      Alcotest.(check bool) "unique" false (Hashtbl.mem seen idx);
+      Hashtbl.replace seen idx ();
+      Alcotest.(check bool) "degree bound" true (Polychaos.Multi_index.degree idx <= 2))
+    indices
+
+let test_multi_index_rank () =
+  let indices = Polychaos.Multi_index.generate ~dim:3 ~max_degree:2 in
+  Array.iteri
+    (fun k idx -> Alcotest.(check int) "rank roundtrip" k (Polychaos.Multi_index.rank indices idx))
+    indices
+
+let test_basis_eval () =
+  let b = Polychaos.Basis.isotropic Polychaos.Family.hermite ~dim:2 ~order:2 in
+  Alcotest.(check int) "size" 6 (Polychaos.Basis.size b);
+  let xi = [| 0.5; -1.2 |] in
+  (* psi_4 = xiG * xiL *)
+  Helpers.check_float ~eps:1e-12 "psi_4 = x y" (0.5 *. -1.2) (Polychaos.Basis.eval b 4 xi);
+  (* psi_3 = xiG^2 - 1 *)
+  Helpers.check_float ~eps:1e-12 "psi_3 = x^2-1" ((0.5 *. 0.5) -. 1.0) (Polychaos.Basis.eval b 3 xi);
+  let all = Polychaos.Basis.eval_all b xi in
+  for k = 0 to 5 do
+    Helpers.check_float ~eps:1e-12 (Printf.sprintf "eval_all %d" k) (Polychaos.Basis.eval b k xi)
+      all.(k)
+  done
+
+let test_basis_norms_match_paper () =
+  (* Eq. (23): Var = a1^2 + a2^2 + 2 a3^2 + a4^2 + 2 a5^2 -> norms 1,1,1,2,1,2. *)
+  let b = Polychaos.Basis.isotropic Polychaos.Family.hermite ~dim:2 ~order:2 in
+  let expected = [| 1.0; 1.0; 1.0; 2.0; 1.0; 2.0 |] in
+  Array.iteri
+    (fun k e -> Helpers.check_float (Printf.sprintf "norm_sq %d" k) e (Polychaos.Basis.norm_sq b k))
+    expected
+
+let test_basis_orthogonality_sampled () =
+  (* Monte-Carlo sanity of multivariate orthogonality. *)
+  let b = Polychaos.Basis.isotropic Polychaos.Family.hermite ~dim:2 ~order:2 in
+  let rng = Prob.Rng.create ~seed:42L () in
+  let n = 60_000 in
+  let inner = Array.make_matrix 6 6 0.0 in
+  for _ = 1 to n do
+    let xi = Polychaos.Basis.sample_point b rng in
+    let v = Polychaos.Basis.eval_all b xi in
+    for i = 0 to 5 do
+      for j = 0 to 5 do
+        inner.(i).(j) <- inner.(i).(j) +. (v.(i) *. v.(j) /. float_of_int n)
+      done
+    done
+  done;
+  for i = 0 to 5 do
+    for j = 0 to 5 do
+      let expected = if i = j then Polychaos.Basis.norm_sq b i else 0.0 in
+      Helpers.check_float ~eps:0.12 (Printf.sprintf "sampled <psi_%d psi_%d>" i j) expected
+        inner.(i).(j)
+    done
+  done
+
+let prop_count_matches_generate =
+  Helpers.qcheck_case ~count:30 "count = |generate|"
+    QCheck.(pair (int_range 1 4) (int_range 0 4))
+    (fun (dim, p) ->
+      Polychaos.Multi_index.count ~dim ~max_degree:p
+      = Array.length (Polychaos.Multi_index.generate ~dim ~max_degree:p))
+
+let suite =
+  [
+    Alcotest.test_case "hermite values" `Quick test_hermite_values;
+    Alcotest.test_case "hermite norms" `Quick test_hermite_norms;
+    Alcotest.test_case "eval_all consistent" `Quick test_eval_all_consistent;
+    Alcotest.test_case "orthogonality (all families)" `Quick test_orthogonality;
+    Alcotest.test_case "quadrature weights" `Quick test_quadrature_weights_sum_to_one;
+    Alcotest.test_case "quadrature moments" `Quick test_quadrature_moments;
+    Alcotest.test_case "tensor quadrature" `Quick test_tensor_quadrature;
+    Alcotest.test_case "multi-index count" `Quick test_multi_index_count;
+    Alcotest.test_case "multi-index generate (paper order)" `Quick test_multi_index_generate;
+    Alcotest.test_case "multi-index rank" `Quick test_multi_index_rank;
+    Alcotest.test_case "basis eval" `Quick test_basis_eval;
+    Alcotest.test_case "basis norms match Eq.(23)" `Quick test_basis_norms_match_paper;
+    Alcotest.test_case "basis orthogonality sampled" `Slow test_basis_orthogonality_sampled;
+    prop_count_matches_generate;
+  ]

@@ -1,0 +1,122 @@
+(* RNG, special functions, normal distribution. *)
+
+let test_rng_determinism () =
+  let a = Prob.Rng.create ~seed:99L () in
+  let b = Prob.Rng.create ~seed:99L () in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Prob.Rng.uint64 a) (Prob.Rng.uint64 b)
+  done
+
+let test_rng_seeds_differ () =
+  let a = Prob.Rng.create ~seed:1L () in
+  let b = Prob.Rng.create ~seed:2L () in
+  Alcotest.(check bool) "different seeds differ" false (Prob.Rng.uint64 a = Prob.Rng.uint64 b)
+
+let test_rng_float_range () =
+  let rng = Prob.Rng.create () in
+  for _ = 1 to 1000 do
+    let x = Prob.Rng.float rng in
+    Alcotest.(check bool) "in [0,1)" true (x >= 0.0 && x < 1.0)
+  done;
+  for _ = 1 to 1000 do
+    let x = Prob.Rng.float_range rng 2.0 5.0 in
+    Alcotest.(check bool) "in [2,5)" true (x >= 2.0 && x < 5.0)
+  done
+
+let test_rng_int () =
+  let rng = Prob.Rng.create () in
+  let counts = Array.make 7 0 in
+  for _ = 1 to 7000 do
+    let k = Prob.Rng.int rng 7 in
+    counts.(k) <- counts.(k) + 1
+  done;
+  Array.iteri
+    (fun i c ->
+      Alcotest.(check bool) (Printf.sprintf "bucket %d roughly uniform" i) true
+        (c > 800 && c < 1200))
+    counts
+
+let test_rng_gaussian_moments () =
+  let rng = Prob.Rng.create ~seed:3L () in
+  let n = 200_000 in
+  let acc = Prob.Stats.Online.create () in
+  for _ = 1 to n do
+    Prob.Stats.Online.add acc (Prob.Rng.gaussian rng)
+  done;
+  Helpers.check_float ~eps:0.01 "mean 0" 0.0 (Prob.Stats.Online.mean acc);
+  Helpers.check_float ~eps:0.02 "variance 1" 1.0 (Prob.Stats.Online.variance acc);
+  Helpers.check_float ~eps:0.05 "skewness 0" 0.0 (Prob.Stats.Online.skewness acc);
+  Helpers.check_float ~eps:0.1 "excess kurtosis 0" 0.0 (Prob.Stats.Online.kurtosis_excess acc)
+
+let test_rng_split_independent () =
+  let parent = Prob.Rng.create ~seed:5L () in
+  let child = Prob.Rng.split parent in
+  let xs = Array.init 2000 (fun _ -> Prob.Rng.float parent) in
+  let ys = Array.init 2000 (fun _ -> Prob.Rng.float child) in
+  let corr = Prob.Stats.correlation xs ys in
+  Alcotest.(check bool) "split streams uncorrelated" true (Float.abs corr < 0.06)
+
+let test_shuffle_is_permutation () =
+  let rng = Prob.Rng.create () in
+  let a = Array.init 50 (fun i -> i) in
+  Prob.Rng.shuffle rng a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "elements preserved" (Array.init 50 (fun i -> i)) sorted
+
+let test_erf_known_values () =
+  (* Reference values from tables. *)
+  Helpers.check_float ~eps:2e-7 "erf 0" 0.0 (Prob.Special_functions.erf 0.0);
+  Helpers.check_float ~eps:2e-7 "erf 1" 0.8427007929 (Prob.Special_functions.erf 1.0);
+  Helpers.check_float ~eps:2e-7 "erf -1" (-0.8427007929) (Prob.Special_functions.erf (-1.0));
+  Helpers.check_float ~eps:2e-7 "erf 2" 0.9953222650 (Prob.Special_functions.erf 2.0);
+  Helpers.check_float ~eps:2e-7 "erfc 1" 0.1572992070 (Prob.Special_functions.erfc 1.0)
+
+let test_gamma_function () =
+  Helpers.check_close ~rtol:1e-10 "gamma 5 = 24" 24.0 (Prob.Special_functions.gamma 5.0);
+  Helpers.check_close ~rtol:1e-10 "gamma 0.5 = sqrt pi" (sqrt Float.pi)
+    (Prob.Special_functions.gamma 0.5);
+  Helpers.check_close ~rtol:1e-9 "log_gamma 10" (log (Prob.Special_functions.factorial 9))
+    (Prob.Special_functions.log_gamma 10.0)
+
+let test_factorial_binomial () =
+  Helpers.check_float "0!" 1.0 (Prob.Special_functions.factorial 0);
+  Helpers.check_float "5!" 120.0 (Prob.Special_functions.factorial 5);
+  Helpers.check_float "C(6,2)" 15.0 (Prob.Special_functions.binomial 6 2);
+  Helpers.check_float "C(n,k) out of range" 0.0 (Prob.Special_functions.binomial 3 5)
+
+let test_normal_cdf_pdf () =
+  Helpers.check_float ~eps:1e-7 "cdf 0" 0.5 (Prob.Normal.cdf 0.0);
+  Helpers.check_float ~eps:1e-7 "cdf 1.96" 0.9750021049 (Prob.Normal.cdf 1.96);
+  Helpers.check_float ~eps:1e-7 "pdf 0" 0.3989422804 (Prob.Normal.pdf 0.0);
+  Helpers.check_float ~eps:1e-9 "pdf symmetric" (Prob.Normal.pdf 1.3) (Prob.Normal.pdf (-1.3))
+
+let test_normal_ppf_roundtrip () =
+  List.iter
+    (fun p ->
+      Helpers.check_float ~eps:1e-6
+        (Printf.sprintf "cdf (ppf %g) = %g" p p)
+        p
+        (Prob.Normal.cdf (Prob.Normal.ppf p)))
+    [ 0.001; 0.01; 0.1; 0.25; 0.5; 0.75; 0.9; 0.99; 0.999 ]
+
+let prop_ppf_monotone =
+  Helpers.qcheck_case "ppf is monotone" QCheck.(pair (float_range 0.01 0.49) (float_range 0.51 0.99))
+    (fun (p, q) -> Prob.Normal.ppf p < Prob.Normal.ppf q)
+
+let suite =
+  [
+    Alcotest.test_case "rng determinism" `Quick test_rng_determinism;
+    Alcotest.test_case "rng seeds differ" `Quick test_rng_seeds_differ;
+    Alcotest.test_case "rng float ranges" `Quick test_rng_float_range;
+    Alcotest.test_case "rng int uniform" `Quick test_rng_int;
+    Alcotest.test_case "rng gaussian moments" `Slow test_rng_gaussian_moments;
+    Alcotest.test_case "rng split independence" `Quick test_rng_split_independent;
+    Alcotest.test_case "shuffle permutes" `Quick test_shuffle_is_permutation;
+    Alcotest.test_case "erf known values" `Quick test_erf_known_values;
+    Alcotest.test_case "gamma function" `Quick test_gamma_function;
+    Alcotest.test_case "factorial/binomial" `Quick test_factorial_binomial;
+    Alcotest.test_case "normal cdf/pdf" `Quick test_normal_cdf_pdf;
+    Alcotest.test_case "normal ppf roundtrip" `Quick test_normal_ppf_roundtrip;
+    prop_ppf_monotone;
+  ]

@@ -1,0 +1,218 @@
+(* Property-based (qcheck) coverage of the numeric substrates. *)
+
+let small_float = QCheck.float_range (-5.0) 5.0
+
+let vec n = QCheck.(array_of_size (Gen.return n) small_float)
+
+(* --- sparse algebra ---------------------------------------------------- *)
+
+let prop_add_commutes =
+  Helpers.qcheck_case ~count:40 "sparse add commutes" QCheck.(int_range 3 20) (fun n ->
+      let rng = Helpers.rng () in
+      let a = Helpers.random_sparse_spd rng n ~extra_edges:n in
+      let b = Helpers.random_sparse_spd rng n ~extra_edges:(2 * n) in
+      Linalg.Sparse.approx_equal ~tol:1e-12 (Linalg.Sparse.add a b) (Linalg.Sparse.add b a))
+
+let prop_transpose_involution =
+  Helpers.qcheck_case ~count:40 "transpose involution" QCheck.(int_range 3 25) (fun n ->
+      let rng = Helpers.rng () in
+      let a = Helpers.random_sparse_spd rng n ~extra_edges:n in
+      Linalg.Sparse.approx_equal ~tol:0.0 a (Linalg.Sparse.transpose (Linalg.Sparse.transpose a)))
+
+let prop_spmv_linear =
+  Helpers.qcheck_case ~count:40 "spmv is linear" (QCheck.pair (vec 12) (vec 12)) (fun (x, y) ->
+      let rng = Helpers.rng () in
+      let a = Helpers.random_sparse_spd rng 12 ~extra_edges:12 in
+      let lhs = Linalg.Sparse.mul_vec a (Linalg.Vec.add x y) in
+      let rhs = Linalg.Vec.add (Linalg.Sparse.mul_vec a x) (Linalg.Sparse.mul_vec a y) in
+      Linalg.Vec.approx_equal ~tol:1e-8 lhs rhs)
+
+let prop_permute_preserves_solution =
+  Helpers.qcheck_case ~count:25 "sym permutation preserves quadratic form"
+    QCheck.(int_range 4 16)
+    (fun n ->
+      let rng = Helpers.rng () in
+      let a = Helpers.random_sparse_spd rng n ~extra_edges:n in
+      let p = Array.init n (fun i -> i) in
+      Prob.Rng.shuffle rng p;
+      let ap = Linalg.Sparse.permute_sym a p in
+      let x = Helpers.random_vec rng n in
+      let xp = Linalg.Perm.apply_vec p x in
+      let q1 = Linalg.Vec.dot x (Linalg.Sparse.mul_vec a x) in
+      let q2 = Linalg.Vec.dot xp (Linalg.Sparse.mul_vec ap xp) in
+      Float.abs (q1 -. q2) < 1e-8 *. (1.0 +. Float.abs q1))
+
+let prop_lower_plus_strict_upper =
+  Helpers.qcheck_case ~count:30 "lower + strict upper = all" QCheck.(int_range 3 20) (fun n ->
+      let rng = Helpers.rng () in
+      let a = Helpers.random_sparse_spd rng n ~extra_edges:(2 * n) in
+      let lower = Linalg.Sparse.lower a in
+      let upper = Linalg.Sparse.upper a in
+      let diag = Linalg.Sparse.of_diag (Linalg.Sparse.diag a) in
+      let sum = Linalg.Sparse.axpy ~alpha:(-1.0) diag (Linalg.Sparse.add lower upper) in
+      Linalg.Sparse.approx_equal ~tol:1e-12 a sum)
+
+(* --- factorizations ---------------------------------------------------- *)
+
+let prop_cholesky_solves =
+  Helpers.qcheck_case ~count:25 "sparse cholesky residual" QCheck.(int_range 4 40) (fun n ->
+      let rng = Helpers.rng () in
+      let a = Helpers.random_sparse_spd rng n ~extra_edges:(2 * n) in
+      let b = Helpers.random_vec rng n in
+      let x = Linalg.Sparse_cholesky.solve (Linalg.Sparse_cholesky.factor a) b in
+      let r = Linalg.Vec.sub (Linalg.Sparse.mul_vec a x) b in
+      Linalg.Vec.norm2 r < 1e-8 *. (1.0 +. Linalg.Vec.norm2 b))
+
+let prop_lu_solves_permuted_spd =
+  Helpers.qcheck_case ~count:25 "sparse lu residual" QCheck.(int_range 4 30) (fun n ->
+      let rng = Helpers.rng () in
+      let a = Helpers.random_sparse_spd rng n ~extra_edges:n in
+      let b = Helpers.random_vec rng n in
+      let x = Linalg.Sparse_lu.solve (Linalg.Sparse_lu.factor a) b in
+      let r = Linalg.Vec.sub (Linalg.Sparse.mul_vec a x) b in
+      Linalg.Vec.norm2 r < 1e-8 *. (1.0 +. Linalg.Vec.norm2 b))
+
+let prop_all_orderings_agree =
+  Helpers.qcheck_case ~count:15 "orderings give identical solutions" QCheck.(int_range 6 30)
+    (fun n ->
+      let rng = Helpers.rng () in
+      let a = Helpers.random_sparse_spd rng n ~extra_edges:(2 * n) in
+      let b = Helpers.random_vec rng n in
+      let solve kind = Linalg.Sparse_cholesky.solve (Linalg.Sparse_cholesky.factor ~ordering:kind a) b in
+      let x0 = solve Linalg.Ordering.Natural in
+      List.for_all
+        (fun kind -> Linalg.Vec.approx_equal ~tol:1e-7 x0 (solve kind))
+        [ Linalg.Ordering.Rcm; Linalg.Ordering.Min_degree; Linalg.Ordering.Nested_dissection ])
+
+(* --- probability -------------------------------------------------------- *)
+
+let prop_normal_cdf_monotone =
+  Helpers.qcheck_case "normal cdf monotone" QCheck.(pair small_float small_float) (fun (a, b) ->
+      let lo = Float.min a b and hi = Float.max a b in
+      Prob.Normal.cdf lo <= Prob.Normal.cdf hi +. 1e-12)
+
+let prop_histogram_mass =
+  Helpers.qcheck_case ~count:40 "histogram conserves mass"
+    QCheck.(array_of_size Gen.(int_range 1 200) small_float)
+    (fun xs ->
+      let h = Prob.Histogram.create ~lo:(-5.0) ~hi:5.0 ~bins:7 in
+      Prob.Histogram.add_all h xs;
+      Prob.Histogram.count h = Array.length xs
+      && Float.abs (Array.fold_left ( +. ) 0.0 (Prob.Histogram.percentages h) -. 100.0) < 1e-9)
+
+let prop_quantile_bounds =
+  Helpers.qcheck_case ~count:40 "quantile stays within data"
+    QCheck.(pair (array_of_size Gen.(int_range 1 50) small_float) (float_range 0.0 1.0))
+    (fun (xs, q) ->
+      let v = Prob.Stats.quantile xs q in
+      v >= Linalg.Vec.min xs -. 1e-12 && v <= Linalg.Vec.max xs +. 1e-12)
+
+let prop_online_mean_bounds =
+  Helpers.qcheck_case ~count:40 "online mean within min/max"
+    QCheck.(array_of_size Gen.(int_range 1 100) small_float)
+    (fun xs ->
+      let acc = Prob.Stats.Online.create () in
+      Array.iter (Prob.Stats.Online.add acc) xs;
+      let mu = Prob.Stats.Online.mean acc in
+      mu >= Linalg.Vec.min xs -. 1e-9 && mu <= Linalg.Vec.max xs +. 1e-9)
+
+(* --- polynomial chaos ---------------------------------------------------- *)
+
+let prop_pce_linearity_of_mean =
+  Helpers.qcheck_case ~count:40 "pce mean is linear"
+    QCheck.(pair small_float small_float)
+    (fun (alpha, c) ->
+      let basis = Polychaos.Basis.isotropic Polychaos.Family.hermite ~dim:2 ~order:2 in
+      let x = Polychaos.Pce.variable basis 0 in
+      let y = Polychaos.Pce.add (Polychaos.Pce.scale alpha x) (Polychaos.Pce.constant basis c) in
+      Float.abs (Polychaos.Pce.mean y -. c) < 1e-12)
+
+let prop_pce_variance_scaling =
+  Helpers.qcheck_case ~count:40 "variance scales quadratically" small_float (fun alpha ->
+      let basis = Polychaos.Basis.isotropic Polychaos.Family.hermite ~dim:2 ~order:2 in
+      let x = Polychaos.Pce.variable basis 1 in
+      let y = Polychaos.Pce.scale alpha x in
+      Float.abs (Polychaos.Pce.variance y -. (alpha *. alpha)) < 1e-9)
+
+let prop_eval_consistent_with_sampling =
+  Helpers.qcheck_case ~count:20 "pce eval consistent at random points"
+    QCheck.(pair small_float small_float)
+    (fun (a, b) ->
+      let basis = Polychaos.Basis.isotropic Polychaos.Family.hermite ~dim:2 ~order:2 in
+      let p =
+        Polychaos.Pce.add
+          (Polychaos.Pce.scale a (Polychaos.Pce.variable basis 0))
+          (Polychaos.Pce.scale b (Polychaos.Pce.variable basis 1))
+      in
+      let xi = [| 0.3; -1.1 |] in
+      Float.abs (Polychaos.Pce.eval p xi -. ((a *. 0.3) +. (b *. -1.1))) < 1e-9)
+
+let prop_sobol_total_bounded =
+  Helpers.qcheck_case ~count:40 "sobol indices in [0,1] and total >= main"
+    QCheck.(array_of_size (Gen.return 6) small_float)
+    (fun coefs ->
+      let basis = Polychaos.Basis.isotropic Polychaos.Family.hermite ~dim:2 ~order:2 in
+      let x = Polychaos.Pce.create basis coefs in
+      List.for_all
+        (fun d ->
+          let m = Polychaos.Sobol.main_effect x d and t = Polychaos.Sobol.total_effect x d in
+          m >= -1e-12 && t <= 1.0 +. 1e-12 && t >= m -. 1e-12)
+        [ 0; 1 ])
+
+(* --- grid layer --------------------------------------------------------- *)
+
+let prop_netlist_value_roundtrip =
+  Helpers.qcheck_case ~count:60 "netlist float formatting parses back"
+    QCheck.(float_range 1e-15 1e12)
+    (fun v ->
+      let s = Printf.sprintf "%.9g" v in
+      let parsed = Powergrid.Netlist.parse_value s in
+      Float.abs (parsed -. v) <= 1e-8 *. Float.abs v)
+
+let prop_waveform_pwl_within_bounds =
+  Helpers.qcheck_case ~count:40 "pwl interpolation stays within knot range"
+    QCheck.(array_of_size Gen.(int_range 2 10) (float_range 0.0 2.0))
+    (fun vals ->
+      let points = Array.mapi (fun i v -> (float_of_int i, v)) vals in
+      let w = Powergrid.Waveform.Pwl points in
+      let lo = Linalg.Vec.min vals and hi = Linalg.Vec.max vals in
+      List.for_all
+        (fun t ->
+          let v = Powergrid.Waveform.eval w t in
+          v >= lo -. 1e-12 && v <= hi +. 1e-12)
+        [ -1.0; 0.0; 0.5; 1.7; 3.3; 100.0 ])
+
+let prop_grid_dc_bounded_by_vdd =
+  Helpers.qcheck_case ~count:10 "dc voltages within (0, VDD]" QCheck.(int_range 5 11) (fun side ->
+      let spec =
+        { Helpers.small_grid_spec with Powergrid.Grid_spec.rows = side; cols = side }
+      in
+      let circuit = Powergrid.Grid_gen.generate spec in
+      let a = Powergrid.Mna.assemble circuit in
+      let v = Powergrid.Dc.solve_at a 0.3e-9 in
+      Array.for_all
+        (fun vi -> vi > 0.0 && vi <= spec.Powergrid.Grid_spec.vdd +. 1e-9)
+        v)
+
+let suite =
+  [
+    prop_add_commutes;
+    prop_transpose_involution;
+    prop_spmv_linear;
+    prop_permute_preserves_solution;
+    prop_lower_plus_strict_upper;
+    prop_cholesky_solves;
+    prop_lu_solves_permuted_spd;
+    prop_all_orderings_agree;
+    prop_normal_cdf_monotone;
+    prop_histogram_mass;
+    prop_quantile_bounds;
+    prop_online_mean_bounds;
+    prop_pce_linearity_of_mean;
+    prop_pce_variance_scaling;
+    prop_eval_consistent_with_sampling;
+    prop_sobol_total_bounded;
+    prop_netlist_value_roundtrip;
+    prop_waveform_pwl_within_bounds;
+    prop_grid_dc_bounded_by_vdd;
+  ]

@@ -1,0 +1,109 @@
+(* Smolyak sparse quadrature. *)
+
+let gaussian_moment k =
+  (* E[x^k] for standard normal: (k-1)!! for even k, 0 for odd. *)
+  if k mod 2 = 1 then 0.0
+  else begin
+    let acc = ref 1.0 in
+    let i = ref (k - 1) in
+    while !i > 1 do
+      acc := !acc *. float_of_int !i;
+      i := !i - 2
+    done;
+    !acc
+  end
+
+let test_level1_is_mean () =
+  let fams = Array.make 3 Polychaos.Family.hermite in
+  let s = Polychaos.Smolyak.create fams ~level:1 in
+  Alcotest.(check int) "single node" 1 (Polychaos.Smolyak.node_count s);
+  Helpers.check_float ~eps:1e-12 "integrates constants" 4.2
+    (Polychaos.Smolyak.integrate s (fun _ -> 4.2))
+
+let test_weights_sum_to_one () =
+  List.iter
+    (fun (dim, level) ->
+      let fams = Array.make dim Polychaos.Family.hermite in
+      let s = Polychaos.Smolyak.create fams ~level in
+      Helpers.check_float ~eps:1e-10
+        (Printf.sprintf "dim %d level %d" dim level)
+        1.0
+        (Polychaos.Smolyak.integrate s (fun _ -> 1.0)))
+    [ (1, 3); (2, 3); (3, 2); (4, 3); (5, 2) ]
+
+let test_polynomial_exactness () =
+  (* Level L with linear-growth Gauss rules integrates total degree
+     2L - 1 exactly. Check mixed monomials in 3 dims at level 3. *)
+  let dim = 3 and level = 3 in
+  let fams = Array.make dim Polychaos.Family.hermite in
+  let s = Polychaos.Smolyak.create fams ~level in
+  let check_monomial es =
+    let expected = Array.fold_left (fun acc e -> acc *. gaussian_moment e) 1.0 es in
+    let value =
+      Polychaos.Smolyak.integrate s (fun x ->
+          let acc = ref 1.0 in
+          Array.iteri (fun d e -> acc := !acc *. (x.(d) ** float_of_int e)) es;
+          !acc)
+    in
+    Helpers.check_float
+      ~eps:(1e-8 *. (1.0 +. Float.abs expected))
+      (Printf.sprintf "E[x^%d y^%d z^%d]" es.(0) es.(1) es.(2))
+      expected value
+  in
+  List.iter check_monomial
+    [
+      [| 0; 0; 0 |]; [| 1; 0; 0 |]; [| 2; 0; 0 |]; [| 0; 3; 0 |]; [| 4; 0; 0 |];
+      [| 2; 2; 0 |]; [| 2; 2; 1 |]; [| 1; 1; 1 |]; [| 5; 0; 0 |]; [| 3; 1; 1 |];
+    ]
+
+let test_sparse_vs_tensor_size () =
+  (* The point of Smolyak: far fewer nodes than the tensor rule in high
+     dimension at the same 1-D depth. *)
+  let dim = 8 and level = 3 in
+  let fams = Array.make dim Polychaos.Family.hermite in
+  let s = Polychaos.Smolyak.create fams ~level in
+  let sparse = Polychaos.Smolyak.node_count s in
+  let tensor = Polychaos.Smolyak.tensor_node_count ~dim ~level in
+  Alcotest.(check bool)
+    (Printf.sprintf "sparse %d << tensor %d" sparse tensor)
+    true
+    (sparse * 10 < tensor);
+  (* and it still integrates degree-2 polynomials exactly *)
+  Helpers.check_float ~eps:1e-8 "E[sum x_d^2] = dim" (float_of_int dim)
+    (Polychaos.Smolyak.integrate s (fun x ->
+         Array.fold_left (fun acc v -> acc +. (v *. v)) 0.0 x))
+
+let test_legendre_smolyak () =
+  let fams = Array.make 3 Polychaos.Family.legendre in
+  let s = Polychaos.Smolyak.create fams ~level:3 in
+  (* E[x^2] = 1/3 under uniform(-1,1); E[x^2 y^2] = 1/9. *)
+  Helpers.check_float ~eps:1e-10 "E[x^2]" (1.0 /. 3.0)
+    (Polychaos.Smolyak.integrate s (fun x -> x.(0) *. x.(0)));
+  Helpers.check_float ~eps:1e-10 "E[x^2 y^2]" (1.0 /. 9.0)
+    (Polychaos.Smolyak.integrate s (fun x -> x.(0) *. x.(0) *. x.(1) *. x.(1)))
+
+let suite =
+  [
+    Alcotest.test_case "level 1 is the mean" `Quick test_level1_is_mean;
+    Alcotest.test_case "weights sum to one" `Quick test_weights_sum_to_one;
+    Alcotest.test_case "polynomial exactness" `Quick test_polynomial_exactness;
+    Alcotest.test_case "sparse vs tensor size" `Quick test_sparse_vs_tensor_size;
+    Alcotest.test_case "legendre smolyak" `Quick test_legendre_smolyak;
+  ]
+
+let test_sparse_projection () =
+  (* Project a polynomial inside the span over 6 dims: sparse projection
+     must recover it exactly while the tensor grid would need 3^6 = 729
+     transent-sized evaluations vs far fewer here. *)
+  let dim = 6 in
+  let b = Polychaos.Basis.isotropic Polychaos.Family.hermite ~dim ~order:2 in
+  let f xi = 1.0 +. (0.5 *. xi.(0)) +. (0.25 *. ((xi.(3) *. xi.(3)) -. 1.0)) +. (0.1 *. xi.(1) *. xi.(5)) in
+  let p = Polychaos.Projection.project_sparse b ~level:3 f in
+  let rng = Prob.Rng.create ~seed:5L () in
+  for _ = 1 to 100 do
+    let xi = Polychaos.Basis.sample_point b rng in
+    Helpers.check_float ~eps:1e-8 "recovered exactly" (f xi) (Polychaos.Pce.eval p xi)
+  done;
+  Helpers.check_float ~eps:1e-10 "mean" 1.0 (Polychaos.Pce.mean p)
+
+let suite = suite @ [ Alcotest.test_case "sparse projection" `Quick test_sparse_projection ]

@@ -1,0 +1,75 @@
+let test_create_and_fill () =
+  let v = Linalg.Vec.create 5 in
+  Helpers.check_float "zero init" 0.0 (Linalg.Vec.sum v);
+  Linalg.Vec.fill v 2.0;
+  Helpers.check_float "fill" 10.0 (Linalg.Vec.sum v)
+
+let test_dot () =
+  Helpers.check_float "dot" 32.0 (Linalg.Vec.dot [| 1.0; 2.0; 3.0 |] [| 4.0; 5.0; 6.0 |]);
+  Alcotest.check_raises "length mismatch"
+    (Invalid_argument "Vec.dot: length mismatch (2 vs 3)") (fun () ->
+      ignore (Linalg.Vec.dot [| 1.0; 2.0 |] [| 1.0; 2.0; 3.0 |]))
+
+let test_axpy () =
+  let y = [| 1.0; 1.0; 1.0 |] in
+  Linalg.Vec.axpy ~alpha:2.0 [| 1.0; 2.0; 3.0 |] y;
+  Helpers.check_vec "axpy" [| 3.0; 5.0; 7.0 |] y
+
+let test_scale () =
+  let x = [| 1.0; -2.0 |] in
+  Linalg.Vec.scale (-3.0) x;
+  Helpers.check_vec "scale in place" [| -3.0; 6.0 |] x;
+  Helpers.check_vec "scaled" [| 2.0; 4.0 |] (Linalg.Vec.scaled 2.0 [| 1.0; 2.0 |])
+
+let test_arith () =
+  Helpers.check_vec "add" [| 4.0; 6.0 |] (Linalg.Vec.add [| 1.0; 2.0 |] [| 3.0; 4.0 |]);
+  Helpers.check_vec "sub" [| -2.0; -2.0 |] (Linalg.Vec.sub [| 1.0; 2.0 |] [| 3.0; 4.0 |]);
+  Helpers.check_vec "mul" [| 3.0; 8.0 |]
+    (Linalg.Vec.mul_elementwise [| 1.0; 2.0 |] [| 3.0; 4.0 |]);
+  Helpers.check_vec "neg" [| -1.0; 2.0 |] (Linalg.Vec.neg [| 1.0; -2.0 |])
+
+let test_norms () =
+  Helpers.check_float "norm2" 5.0 (Linalg.Vec.norm2 [| 3.0; 4.0 |]);
+  Helpers.check_float "norm_inf" 4.0 (Linalg.Vec.norm_inf [| 3.0; -4.0 |]);
+  Helpers.check_float "dist2" 5.0 (Linalg.Vec.dist2 [| 3.0; 4.0 |] [| 0.0; 0.0 |])
+
+let test_minmax () =
+  Helpers.check_float "min" (-2.0) (Linalg.Vec.min [| 1.0; -2.0; 3.0 |]);
+  Helpers.check_float "max" 3.0 (Linalg.Vec.max [| 1.0; -2.0; 3.0 |]);
+  Alcotest.(check int) "max_abs_index" 1 (Linalg.Vec.max_abs_index [| 1.0; -5.0; 3.0 |]);
+  Helpers.check_float "mean" 2.0 (Linalg.Vec.mean [| 1.0; 2.0; 3.0 |])
+
+let test_rel_error () =
+  Helpers.check_float "rel_error" 0.5
+    (Linalg.Vec.rel_error [| 1.5 |] ~reference:[| 1.0 |]);
+  Helpers.check_float "rel_error zero ref" 2.0
+    (Linalg.Vec.rel_error [| 2.0 |] ~reference:[| 0.0 |])
+
+let prop_dot_symmetric =
+  Helpers.qcheck_case "dot is symmetric"
+    QCheck.(pair (array_of_size (Gen.return 8) (float_range (-10.) 10.))
+              (array_of_size (Gen.return 8) (float_range (-10.) 10.)))
+    (fun (x, y) ->
+      Float.abs (Linalg.Vec.dot x y -. Linalg.Vec.dot y x) < 1e-9)
+
+let prop_triangle =
+  Helpers.qcheck_case "norm2 triangle inequality"
+    QCheck.(pair (array_of_size (Gen.return 6) (float_range (-10.) 10.))
+              (array_of_size (Gen.return 6) (float_range (-10.) 10.)))
+    (fun (x, y) ->
+      Linalg.Vec.norm2 (Linalg.Vec.add x y)
+      <= Linalg.Vec.norm2 x +. Linalg.Vec.norm2 y +. 1e-9)
+
+let suite =
+  [
+    Alcotest.test_case "create/fill" `Quick test_create_and_fill;
+    Alcotest.test_case "dot" `Quick test_dot;
+    Alcotest.test_case "axpy" `Quick test_axpy;
+    Alcotest.test_case "scale" `Quick test_scale;
+    Alcotest.test_case "arith" `Quick test_arith;
+    Alcotest.test_case "norms" `Quick test_norms;
+    Alcotest.test_case "min/max" `Quick test_minmax;
+    Alcotest.test_case "rel_error" `Quick test_rel_error;
+    prop_dot_symmetric;
+    prop_triangle;
+  ]

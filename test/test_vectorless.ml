@@ -1,0 +1,87 @@
+(* Vectorless worst-case IR-drop bounds. *)
+
+let grid () =
+  let circuit = Powergrid.Grid_gen.generate Helpers.small_grid_spec in
+  Powergrid.Mna.assemble circuit
+
+let test_transfer_impedance_physical () =
+  let a = grid () in
+  let v = Powergrid.Vectorless.prepare a in
+  let node = 27 in
+  let z = Powergrid.Vectorless.transfer_impedance v ~node in
+  (* Positive (passive network), self-impedance is the maximum. *)
+  Array.iter (fun zi -> Alcotest.(check bool) "nonnegative" true (zi >= -1e-12)) z;
+  let self = z.(node) in
+  Array.iter (fun zi -> Alcotest.(check bool) "self is max" true (zi <= self +. 1e-12)) z;
+  (* Symmetry of the impedance matrix: Z(v, w) = Z(w, v). *)
+  let other = 51 in
+  let z2 = Powergrid.Vectorless.transfer_impedance v ~node:other in
+  Helpers.check_close ~rtol:1e-9 "reciprocity" z.(other) z2.(node)
+
+let test_worst_case_matches_brute_force () =
+  let a = grid () in
+  let v = Powergrid.Vectorless.prepare a in
+  let node = 27 in
+  let sources = [| (3, 0.02); (27, 0.01); (40, 0.015); (55, 0.02) |] in
+  let total = 0.03 in
+  let bound, alloc = Powergrid.Vectorless.worst_case_drop v ~node ~local_budgets:sources
+      ~total_budget:total
+  in
+  (* Brute force over a fine grid of feasible allocations (4 sources):
+     the greedy optimum must dominate every sampled feasible point. *)
+  let z = Powergrid.Vectorless.transfer_impedance v ~node in
+  let rng = Helpers.rng () in
+  for _ = 1 to 2000 do
+    (* random feasible allocation *)
+    let draw = Array.map (fun (i, b) -> (i, b *. Prob.Rng.float rng)) sources in
+    let sum = Array.fold_left (fun acc (_, x) -> acc +. x) 0.0 draw in
+    let scale = if sum > total then total /. sum else 1.0 in
+    let drop =
+      Array.fold_left (fun acc (i, x) -> acc +. (z.(i) *. x *. scale)) 0.0 draw
+    in
+    Alcotest.(check bool) "greedy dominates sample" true (drop <= bound +. 1e-12)
+  done;
+  (* Allocation is feasible and exhausts the budget. *)
+  let used = List.fold_left (fun acc (_, x) -> acc +. x) 0.0 alloc in
+  Helpers.check_float ~eps:1e-12 "budget exhausted" total used;
+  List.iter
+    (fun (i, x) ->
+      let _, cap = Array.to_list sources |> List.find (fun (j, _) -> j = i) in
+      Alcotest.(check bool) "within local budget" true (x <= cap +. 1e-12))
+    alloc
+
+let test_worst_case_vs_transient () =
+  (* The vectorless bound must dominate any simulated drop whose currents
+     respect the budgets. *)
+  let spec = Helpers.small_grid_spec in
+  let circuit = Powergrid.Grid_gen.generate spec in
+  let a = Powergrid.Mna.assemble circuit in
+  let v = Powergrid.Vectorless.prepare a in
+  let vdd = spec.Powergrid.Grid_spec.vdd in
+  let node = Powergrid.Grid_gen.center_node spec in
+  (* Budgets: each source's actual waveform peak; total: sum of peaks. *)
+  let budgets =
+    Array.map
+      (fun (s : Powergrid.Circuit.current_source) ->
+        (s.Powergrid.Circuit.inode, Powergrid.Waveform.peak s.Powergrid.Circuit.wave))
+      circuit.Powergrid.Circuit.isources
+  in
+  let total = Array.fold_left (fun acc (_, b) -> acc +. b) 0.0 budgets in
+  let bound, _ = Powergrid.Vectorless.worst_case_drop v ~node ~local_budgets:budgets
+      ~total_budget:total
+  in
+  let observed = ref 0.0 in
+  let cfg = Powergrid.Transient.default_config ~h:0.125e-9 ~steps:16 in
+  Powergrid.Transient.run_circuit cfg a ~on_step:(fun _ _ x ->
+      observed := Float.max !observed (vdd -. x.(node)));
+  Alcotest.(check bool)
+    (Printf.sprintf "bound %.4f >= observed %.4f" bound !observed)
+    true
+    (bound >= !observed -. 1e-12)
+
+let suite =
+  [
+    Alcotest.test_case "transfer impedance physics" `Quick test_transfer_impedance_physical;
+    Alcotest.test_case "greedy = optimum" `Slow test_worst_case_matches_brute_force;
+    Alcotest.test_case "bound dominates transient" `Quick test_worst_case_vs_transient;
+  ]

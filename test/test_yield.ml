@@ -1,0 +1,119 @@
+(* Yield estimation and CSV export. *)
+
+let vdd = 1.2
+
+let gaussian_response ~mu ~sigma =
+  (* Single node, one step: drop = vdd - mu + sigma * xi0. *)
+  let basis = Polychaos.Basis.isotropic Polychaos.Family.hermite ~dim:2 ~order:2 in
+  let r = Opera.Response.create ~basis ~n:1 ~steps:1 ~h:1e-9 ~vdd ~probes:[| 0 |] in
+  let coefs = Array.make 6 0.0 in
+  coefs.(0) <- mu;
+  coefs.(1) <- sigma;
+  Opera.Response.record_step r ~step:0 ~coefs;
+  Opera.Response.record_step r ~step:1 ~coefs;
+  r
+
+let test_gaussian_failure_probability () =
+  let r = gaussian_response ~mu:1.15 ~sigma:0.01 in
+  (* drop ~ N(0.05, 0.01^2); P(drop > 0.05) = 0.5 *)
+  Helpers.check_float ~eps:1e-6 "at the mean" 0.5
+    (Opera.Yield.failure_probability_gaussian r ~node:0 ~step:1 ~budget:0.05);
+  (* one sigma above: 1 - Phi(1) *)
+  Helpers.check_float ~eps:1e-7 "one sigma" (1.0 -. Prob.Normal.cdf 1.0)
+    (Opera.Yield.failure_probability_gaussian r ~node:0 ~step:1 ~budget:0.06);
+  (* generous budget -> ~0 *)
+  Alcotest.(check bool) "generous budget" true
+    (Opera.Yield.failure_probability_gaussian r ~node:0 ~step:1 ~budget:0.2 < 1e-10)
+
+let test_sampled_matches_gaussian () =
+  let r = gaussian_response ~mu:1.15 ~sigma:0.01 in
+  let rng = Prob.Rng.create ~seed:5L () in
+  let sampled =
+    Opera.Yield.failure_probability_sampled r ~node:0 ~step:1 ~budget:0.06 ~samples:40_000 rng
+  in
+  Helpers.check_float ~eps:0.01 "sampled tail" (1.0 -. Prob.Normal.cdf 1.0) sampled
+
+let test_worst_case_drop () =
+  let r = gaussian_response ~mu:1.15 ~sigma:0.01 in
+  Helpers.check_float ~eps:1e-6 "median" 0.05
+    (Opera.Yield.worst_case_drop r ~node:0 ~step:1 ~quantile:0.5);
+  let q999 = Opera.Yield.worst_case_drop r ~node:0 ~step:1 ~quantile:0.999 in
+  Alcotest.(check bool) "99.9% above 3 sigma" true (q999 > 0.05 +. (3.0 *. 0.01))
+
+let test_union_bound () =
+  let r = gaussian_response ~mu:1.15 ~sigma:0.01 in
+  let p, node = Opera.Yield.grid_failure_probability_gaussian r ~step:1 ~budget:0.05 in
+  Alcotest.(check int) "dominating node" 0 node;
+  Helpers.check_float ~eps:1e-6 "single-node union" 0.5 p
+
+let test_probe_yield () =
+  let r = gaussian_response ~mu:1.15 ~sigma:0.01 in
+  let rng = Prob.Rng.create ~seed:9L () in
+  (* Budget at mean + 2 sigma: yield ~ Phi(2). *)
+  let y = Opera.Yield.sampled_probe_yield r ~budget:0.07 ~samples:40_000 rng in
+  Helpers.check_float ~eps:0.01 "yield" (Prob.Normal.cdf 2.0) y
+
+let test_yield_on_real_grid () =
+  let spec = Helpers.small_grid_spec in
+  let circuit = Powergrid.Grid_gen.generate spec in
+  let m = Opera.Stochastic_model.build ~order:2 Opera.Varmodel.paper_default ~vdd circuit in
+  let probe = Powergrid.Grid_gen.center_node spec in
+  let options = { Opera.Galerkin.default_options with Opera.Galerkin.probes = [| probe |] } in
+  let response, _ = Opera.Galerkin.solve_transient ~options m ~h:0.25e-9 ~steps:6 in
+  let rng = Prob.Rng.create ~seed:10L () in
+  (* A generous budget must give ~100% yield; an impossible one ~0%. *)
+  let y_ok = Opera.Yield.sampled_probe_yield response ~budget:(0.5 *. vdd) ~samples:2000 rng in
+  Helpers.check_float ~eps:1e-9 "generous budget" 1.0 y_ok;
+  let y_bad = Opera.Yield.sampled_probe_yield response ~budget:(-1.0) ~samples:2000 rng in
+  Helpers.check_float ~eps:1e-9 "impossible budget" 0.0 y_bad;
+  (* Gaussian and sampled estimates agree at a probe for a mild budget. *)
+  let step = 1 in
+  let mu_drop = vdd -. Opera.Response.mean_at response ~step ~node:probe in
+  let sigma = Opera.Response.std_at response ~step ~node:probe in
+  if sigma > 1e-9 then begin
+    let budget = mu_drop +. sigma in
+    let pg = Opera.Yield.failure_probability_gaussian response ~node:probe ~step ~budget in
+    let ps =
+      Opera.Yield.failure_probability_sampled response ~node:probe ~step ~budget ~samples:20_000
+        rng
+    in
+    Helpers.check_float ~eps:0.03 "gaussian vs sampled on grid" pg ps
+  end
+
+let test_csv_escape () =
+  Alcotest.(check string) "plain" "abc" (Util.Csv.escape "abc");
+  Alcotest.(check string) "comma" "\"a,b\"" (Util.Csv.escape "a,b");
+  Alcotest.(check string) "quote" "\"a\"\"b\"" (Util.Csv.escape "a\"b")
+
+let test_response_csv_export () =
+  let r = gaussian_response ~mu:1.1 ~sigma:0.02 in
+  let path = Filename.temp_file "opera_yield" ".csv" in
+  Opera.Response.export_csv r path;
+  let ic = open_in path in
+  let header = input_line ic in
+  let first = input_line ic in
+  let count = ref 2 in
+  (try
+     while true do
+       ignore (input_line ic);
+       incr count
+     done
+   with End_of_file -> ());
+  close_in ic;
+  Sys.remove path;
+  Alcotest.(check string) "header" "step,time_s,node,mean_v,sigma_v,skewness" header;
+  Alcotest.(check int) "rows: header + 2 steps" 3 !count;
+  Alcotest.(check bool) "first row well-formed" true
+    (String.length first > 0 && String.split_on_char ',' first |> List.length = 6)
+
+let suite =
+  [
+    Alcotest.test_case "gaussian failure probability" `Quick test_gaussian_failure_probability;
+    Alcotest.test_case "sampled matches gaussian" `Slow test_sampled_matches_gaussian;
+    Alcotest.test_case "worst case drop" `Quick test_worst_case_drop;
+    Alcotest.test_case "union bound" `Quick test_union_bound;
+    Alcotest.test_case "probe yield" `Slow test_probe_yield;
+    Alcotest.test_case "yield on real grid" `Slow test_yield_on_real_grid;
+    Alcotest.test_case "csv escape" `Quick test_csv_escape;
+    Alcotest.test_case "response csv export" `Quick test_response_csv_export;
+  ]
