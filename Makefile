@@ -1,4 +1,4 @@
-.PHONY: all build test bench bench-quick bench-paper examples clean
+.PHONY: all build test bench bench-quick bench-paper bench-galerkin examples clean
 
 all: build
 
@@ -19,6 +19,9 @@ bench-quick:
 
 bench-paper:
 	dune exec bench/main.exe -- table1 --paper-mc
+
+bench-galerkin:
+	dune exec bench/main.exe -- galerkin-op --quick
 
 examples:
 	dune exec examples/quickstart.exe

@@ -41,8 +41,21 @@ let seed_arg =
   Arg.(value & opt int 7 & info [ "seed" ] ~doc)
 
 let solver_arg =
-  let doc = "Augmented-system solver: $(b,direct) or $(b,pcg)." in
-  Arg.(value & opt (enum [ ("direct", `Direct); ("pcg", `Pcg) ]) `Pcg & info [ "solver" ] ~doc)
+  let doc =
+    "Augmented-system solver: $(b,direct), $(b,pcg) (assembled, mean-block-preconditioned CG) \
+     or $(b,matrix-free) (same CG but the augmented operator is applied from the per-rank \
+     matrices and the triple-product coupling, never assembled)."
+  in
+  Arg.(value
+       & opt (enum [ ("direct", `Direct); ("pcg", `Pcg); ("matrix-free", `Matrix_free) ]) `Pcg
+       & info [ "solver" ] ~doc)
+
+let domains_arg =
+  let doc =
+    "Domain count for the block-parallel solver paths (0 = use the OPERA_DOMAINS environment \
+     variable, default sequential)."
+  in
+  Arg.(value & opt int 0 & info [ "domains" ] ~docv:"N" ~doc)
 
 let vdd_default = 1.2
 
@@ -58,6 +71,7 @@ let load_circuit netlist nodes =
 let solver_of = function
   | `Direct -> Opera.Galerkin.Direct
   | `Pcg -> Opera.Galerkin.Mean_pcg { tol = 1e-10; max_iter = 500 }
+  | `Matrix_free -> Opera.Galerkin.Matrix_free_pcg { tol = 1e-10; max_iter = 500 }
 
 (* ---- generate -------------------------------------------------------- *)
 
@@ -77,7 +91,7 @@ let generate_cmd =
 
 (* ---- analyze --------------------------------------------------------- *)
 
-let analyze netlist nodes order steps step_ps solver csv svg budget_pct =
+let analyze netlist nodes order steps step_ps solver domains csv svg budget_pct =
   let circuit, vdd, spec = load_circuit netlist nodes in
   Printf.printf "circuit: %s\n" (Powergrid.Circuit.stats circuit);
   let vm = Opera.Varmodel.paper_default in
@@ -90,7 +104,7 @@ let analyze netlist nodes order steps step_ps solver csv svg budget_pct =
   in
   let options =
     { Opera.Galerkin.default_options with
-      Opera.Galerkin.solver = solver_of solver; probes = [| probe |] }
+      Opera.Galerkin.solver = solver_of solver; probes = [| probe |]; domains }
   in
   let h = step_ps *. 1e-12 in
   let (response, stats), seconds =
@@ -219,7 +233,7 @@ let analyze_cmd =
     (Cmd.info "analyze" ~doc:"Stochastic (OPERA) analysis of a grid")
     Term.(
       const analyze $ netlist_arg $ nodes_arg $ order_arg $ steps_arg $ step_ps_arg $ solver_arg
-      $ csv $ svg $ budget)
+      $ domains_arg $ csv $ svg $ budget)
 
 (* ---- mc -------------------------------------------------------------- *)
 
@@ -256,7 +270,7 @@ let mc_cmd =
 
 (* ---- compare --------------------------------------------------------- *)
 
-let compare_run nodes order steps step_ps samples seed solver =
+let compare_run nodes order steps step_ps samples seed solver domains =
   let spec = Powergrid.Grid_spec.scale_to_nodes Powergrid.Grid_spec.default nodes in
   let config =
     {
@@ -268,6 +282,7 @@ let compare_run nodes order steps step_ps samples seed solver =
       solver = solver_of solver;
       ordering = Linalg.Ordering.Nested_dissection;
       probes = [||];
+      domains;
     }
   in
   let outcome = Opera.Driver.run_grid config spec Opera.Varmodel.paper_default in
@@ -281,11 +296,11 @@ let compare_cmd =
     (Cmd.info "compare" ~doc:"OPERA vs Monte Carlo on one grid (a Table-1 row)")
     Term.(
       const compare_run $ nodes_arg $ order_arg $ steps_arg $ step_ps_arg $ samples_arg $ seed_arg
-      $ solver_arg)
+      $ solver_arg $ domains_arg)
 
 (* ---- special --------------------------------------------------------- *)
 
-let special nodes order steps step_ps regions lambda samples =
+let special nodes order steps step_ps regions lambda samples domains =
   let side = int_of_float (Float.round (sqrt (float_of_int regions))) in
   let rx = Int.max 1 side in
   let ry = Int.max 1 (regions / rx) in
@@ -304,7 +319,7 @@ let special nodes order steps step_ps regions lambda samples =
   let sc = Opera.Special_case.make ~order ~regions ~lambda ~leaks ~vdd circuit in
   let h = step_ps *. 1e-12 in
   let probe = Powergrid.Grid_gen.center_node spec in
-  let resp, secs = Opera.Special_case.solve sc ~h ~steps ~probes:[| probe |] in
+  let resp, secs = Opera.Special_case.solve ~domains sc ~h ~steps ~probes:[| probe |] in
   let size = Polychaos.Basis.size sc.Opera.Special_case.basis in
   Printf.printf "decoupled OPERA: %d regions, order %d (N+1 = %d), %.2f s\n" regions order size secs;
   let mc = Opera.Special_case.monte_carlo sc ~samples ~seed:7L ~h ~steps ~probes:[| probe |] in
@@ -330,7 +345,7 @@ let special_cmd =
     (Cmd.info "special" ~doc:"Sec. 5.1 special case: leakage-only variation")
     Term.(
       const special $ nodes_arg $ order_arg $ steps_arg $ step_ps_arg $ regions $ lambda
-      $ samples_arg)
+      $ samples_arg $ domains_arg)
 
 (* ---- walk ------------------------------------------------------------ *)
 

@@ -7,6 +7,7 @@ type config = {
   solver : Galerkin.solver;
   ordering : Linalg.Ordering.kind;
   probes : int array;
+  domains : int;  (* Util.Parallel.resolve convention: 0 = OPERA_DOMAINS *)
 }
 
 let default_config =
@@ -19,6 +20,7 @@ let default_config =
     solver = Galerkin.Mean_pcg { tol = 1e-10; max_iter = 500 };
     ordering = Linalg.Ordering.Nested_dissection;
     probes = [||];
+    domains = 0;
   }
 
 type outcome = {
@@ -51,7 +53,8 @@ let nominal_transient (m : Stochastic_model.t) ~h ~steps =
 let solve_opera config model =
   let options =
     { Galerkin.default_options with
-      Galerkin.solver = config.solver; ordering = config.ordering; probes = config.probes }
+      Galerkin.solver = config.solver; ordering = config.ordering; probes = config.probes;
+      domains = config.domains }
   in
   let t0 = Util.Timer.start () in
   let response, stats = Galerkin.solve_transient ~options model ~h:config.h ~steps:config.steps in

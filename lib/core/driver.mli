@@ -10,6 +10,9 @@ type config = {
   solver : Galerkin.solver;
   ordering : Linalg.Ordering.kind;
   probes : int array;
+  domains : int;
+      (** domain count for the block-parallel Galerkin paths
+          ({!Util.Parallel.resolve} convention: 0 = [OPERA_DOMAINS]) *)
 }
 
 val default_config : config

@@ -1,10 +1,14 @@
-type solver = Direct | Mean_pcg of { tol : float; max_iter : int }
+type solver =
+  | Direct
+  | Mean_pcg of { tol : float; max_iter : int }
+  | Matrix_free_pcg of { tol : float; max_iter : int }
 
 type options = {
   solver : solver;
   ordering : Linalg.Ordering.kind;
   probes : int array;
   scheme : Powergrid.Transient.scheme;
+  domains : int;
 }
 
 let default_options =
@@ -13,6 +17,7 @@ let default_options =
     ordering = Linalg.Ordering.Nested_dissection;
     probes = [||];
     scheme = Powergrid.Transient.Backward_euler;
+    domains = 0;
   }
 
 type stats = {
@@ -63,20 +68,34 @@ let rhs_into (m : Stochastic_model.t) ~drain_buf t out =
   ignore t
 
 (* Mean-block preconditioner: block j solved with the factorized nominal
-   matrix and divided by the basis norm. *)
-let mean_block_preconditioner (m : Stochastic_model.t) nominal_factor =
+   matrix and divided by the basis norm.  All scratch (the output vector,
+   per-chunk block and solve workspaces, the inverse norms) is allocated
+   once in the closure and reused across applications — the returned
+   vector is therefore only valid until the next call, which is exactly
+   the contract CG needs.  Blocks are independent, so the loop chunks
+   across domains; each chunk owns its scratch, and the shared factor is
+   applied through the workspace-explicit solve. *)
+let mean_block_preconditioner ?(domains = 0) (m : Stochastic_model.t) nominal_factor =
   let size = Polychaos.Basis.size m.basis in
+  let n = m.n in
+  let d = Util.Parallel.resolve domains in
+  let chunks = Int.max 1 (Int.min d size) in
+  let z = Array.make (size * n) 0.0 in
+  let block = Array.init chunks (fun _ -> Array.make n 0.0) in
+  let work = Array.init chunks (fun _ -> Array.make n 0.0) in
+  let inv_gamma = Array.init size (fun j -> 1.0 /. Polychaos.Basis.norm_sq m.basis j) in
   fun (r : Linalg.Vec.t) ->
-    let z = Array.copy r in
-    let block = Array.make m.n 0.0 in
-    for j = 0 to size - 1 do
-      Array.blit z (j * m.n) block 0 m.n;
-      Linalg.Sparse_cholesky.solve_in_place nominal_factor block;
-      let gamma = Polychaos.Basis.norm_sq m.basis j in
-      for i = 0 to m.n - 1 do
-        z.((j * m.n) + i) <- block.(i) /. gamma
-      done
-    done;
+    Util.Parallel.for_chunks ~domains:d size (fun ~chunk ~lo ~hi ->
+        let blk = block.(chunk) and wk = work.(chunk) in
+        for j = lo to hi - 1 do
+          let base = j * n in
+          Array.blit r base blk 0 n;
+          Linalg.Sparse_cholesky.solve_in_place_ws nominal_factor ~work:wk blk;
+          let s = inv_gamma.(j) in
+          for i = 0 to n - 1 do
+            z.(base + i) <- blk.(i) *. s
+          done
+        done);
     z
 
 let nominal_matrix (m : Stochastic_model.t) terms =
@@ -99,22 +118,41 @@ let block_ordering ?(kind = Linalg.Ordering.Nested_dissection) (m : Stochastic_m
 
 let solve_dc ?(options = default_options) (m : Stochastic_model.t) =
   let size = Polychaos.Basis.size m.basis in
-  let gt = assemble_g m in
+  let dim = size * m.n in
   let drain_buf = Array.make m.n 0.0 in
-  let rhs = Array.make (size * m.n) 0.0 in
+  let rhs = Array.make dim 0.0 in
   rhs_into m ~drain_buf 0.0 rhs;
   match options.solver with
   | Direct ->
+      let gt = assemble_g m in
       let perm = block_ordering ~kind:options.ordering m in
       let f = Linalg.Sparse_cholesky.factor ~perm gt in
       Linalg.Sparse_cholesky.solve f rhs
   | Mean_pcg { tol; max_iter } ->
+      let gt = assemble_g m in
       let ga = nominal_matrix m m.g_terms in
       let f0 = Linalg.Sparse_cholesky.factor ~ordering:options.ordering ga in
-      let precond = mean_block_preconditioner m f0 in
+      let precond = mean_block_preconditioner ~domains:options.domains m f0 in
       let x, _ =
         Linalg.Cg.solve ~precond ~max_iter ~tol ~matvec:(Linalg.Sparse.mul_vec gt) ~b:rhs
-          ~x0:(Array.make (size * m.n) 0.0) ()
+          ~x0:(Array.make dim 0.0) ()
+      in
+      x
+  | Matrix_free_pcg { tol; max_iter } ->
+      (* Never assembles the augmented operator: the matvec is the
+         block-structured Galerkin_op apply, the preconditioner the
+         factorized n x n nominal block. *)
+      let op = Galerkin_op.gt ~domains:options.domains m in
+      let ga = nominal_matrix m m.g_terms in
+      let f0 = Linalg.Sparse_cholesky.factor ~ordering:options.ordering ga in
+      let precond = mean_block_preconditioner ~domains:options.domains m f0 in
+      let mv = Array.make dim 0.0 in
+      let matvec x =
+        Galerkin_op.apply_into op x mv;
+        mv
+      in
+      let x, _ =
+        Linalg.Cg.solve ~precond ~max_iter ~tol ~matvec ~b:rhs ~x0:(Array.make dim 0.0) ()
       in
       x
 
@@ -122,9 +160,6 @@ let solve_transient ?(options = default_options) (m : Stochastic_model.t) ~h ~st
   if h <= 0.0 then invalid_arg "Galerkin.solve_transient: step must be positive";
   let size = Polychaos.Basis.size m.basis in
   let dim = size * m.n in
-  let t_assemble = Util.Timer.start () in
-  let gt = assemble_g m in
-  let ct = assemble_c m in
   (* Backward Euler factors Gt + Ct/h; trapezoidal factors Gt + 2Ct/h
      (the doubled form of Ct/h + Gt/2, keeping the SPD scaling). *)
   let ct_scale =
@@ -132,8 +167,6 @@ let solve_transient ?(options = default_options) (m : Stochastic_model.t) ~h ~st
     | Powergrid.Transient.Backward_euler -> 1.0 /. h
     | Powergrid.Transient.Trapezoidal -> 2.0 /. h
   in
-  let mt = Linalg.Sparse.axpy ~alpha:ct_scale ct gt in
-  let assemble_seconds = Util.Timer.elapsed_s t_assemble in
   let response =
     Response.create ~basis:m.basis ~n:m.n ~steps ~h ~vdd:m.vdd ~probes:options.probes
   in
@@ -142,13 +175,21 @@ let solve_transient ?(options = default_options) (m : Stochastic_model.t) ~h ~st
   let rhs = Array.make dim 0.0 in
   let ct_a = Array.make dim 0.0 in
   let pcg_iterations = ref 0 in
+  let assemble_seconds = ref 0.0 in
   let factor_seconds = ref 0.0 in
   let nnz_factor = ref 0 in
-  (* One ordering for the whole run: the stochastic DC factor and the
-     backward-Euler factor share the node pattern. *)
-  let a, step_of =
+  let t_assemble = Util.Timer.start () in
+  (* Per-solver setup: initial stochastic DC state [a], the implicit step
+     [step_of] (solving [Mt a = rhs] in place of [a]), the Ct and Gt
+     matvecs used to build right-hand sides, and the operator's stored
+     nonzeros (assembled matrix vs matrix-free block data). *)
+  let a, step_of, mul_ct_into, mul_gt_into, nnz_aug =
     match options.solver with
     | Direct ->
+        let gt = assemble_g m in
+        let ct = assemble_c m in
+        let mt = Linalg.Sparse.axpy ~alpha:ct_scale ct gt in
+        assemble_seconds := Util.Timer.elapsed_s t_assemble;
         let t0 = Util.Timer.start () in
         let perm = block_ordering ~kind:options.ordering m in
         let fdc = Linalg.Sparse_cholesky.factor ~perm gt in
@@ -161,8 +202,13 @@ let solve_transient ?(options = default_options) (m : Stochastic_model.t) ~h ~st
           Array.blit rhs 0 a 0 dim;
           Linalg.Sparse_cholesky.solve_in_place f a
         in
-        (a, step_of)
+        (a, step_of, Linalg.Sparse.mul_vec_into ct, Linalg.Sparse.mul_vec_into gt,
+         Linalg.Sparse.nnz mt)
     | Mean_pcg { tol; max_iter } ->
+        let gt = assemble_g m in
+        let ct = assemble_c m in
+        let mt = Linalg.Sparse.axpy ~alpha:ct_scale ct gt in
+        assemble_seconds := Util.Timer.elapsed_s t_assemble;
         let t0 = Util.Timer.start () in
         let node_perm =
           Linalg.Ordering.compute options.ordering (Stochastic_model.node_pattern m)
@@ -172,8 +218,8 @@ let solve_transient ?(options = default_options) (m : Stochastic_model.t) ~h ~st
         let f0 = Linalg.Sparse_cholesky.factor ~perm:node_perm nominal in
         let fdc0 = Linalg.Sparse_cholesky.factor ~perm:node_perm ga in
         factor_seconds := Util.Timer.elapsed_s t0;
-        let precond = mean_block_preconditioner m f0 in
-        let precond_dc = mean_block_preconditioner m fdc0 in
+        let precond = mean_block_preconditioner ~domains:options.domains m f0 in
+        let precond_dc = mean_block_preconditioner ~domains:options.domains m fdc0 in
         rhs_into m ~drain_buf 0.0 rhs;
         let a, st0 =
           Linalg.Cg.solve ~precond:precond_dc ~max_iter ~tol
@@ -188,7 +234,52 @@ let solve_transient ?(options = default_options) (m : Stochastic_model.t) ~h ~st
           pcg_iterations := !pcg_iterations + st.Linalg.Cg.iterations;
           Array.blit x 0 a 0 dim
         in
-        (a, step_of)
+        (a, step_of, Linalg.Sparse.mul_vec_into ct, Linalg.Sparse.mul_vec_into gt,
+         Linalg.Sparse.nnz mt)
+    | Matrix_free_pcg { tol; max_iter } ->
+        (* The augmented operators are never assembled: Gt, Ct and the
+           stepping operator Gt + ct_scale Ct all live as per-rank n x n
+           matrices plus the sparse triple-product coupling. *)
+        let domains = options.domains in
+        let op_gt = Galerkin_op.gt ~domains m in
+        let op_ct = Galerkin_op.ct ~domains m in
+        let op_mt = Galerkin_op.gt_plus_ct ~domains ~ct_scale m in
+        assemble_seconds := Util.Timer.elapsed_s t_assemble;
+        let t0 = Util.Timer.start () in
+        let node_perm =
+          Linalg.Ordering.compute options.ordering (Stochastic_model.node_pattern m)
+        in
+        let ga = nominal_matrix m m.g_terms in
+        let nominal = Linalg.Sparse.axpy ~alpha:ct_scale (nominal_matrix m m.c_terms) ga in
+        let f0 = Linalg.Sparse_cholesky.factor ~perm:node_perm nominal in
+        let fdc0 = Linalg.Sparse_cholesky.factor ~perm:node_perm ga in
+        factor_seconds := Util.Timer.elapsed_s t0;
+        let precond = mean_block_preconditioner ~domains m f0 in
+        let precond_dc = mean_block_preconditioner ~domains m fdc0 in
+        rhs_into m ~drain_buf 0.0 rhs;
+        let mv = Array.make dim 0.0 in
+        let matvec_gt x =
+          Galerkin_op.apply_into op_gt x mv;
+          mv
+        in
+        let matvec_mt x =
+          Galerkin_op.apply_into op_mt x mv;
+          mv
+        in
+        let a, st0 =
+          Linalg.Cg.solve ~precond:precond_dc ~max_iter ~tol ~matvec:matvec_gt ~b:rhs
+            ~x0:(Array.make dim 0.0) ()
+        in
+        pcg_iterations := !pcg_iterations + st0.Linalg.Cg.iterations;
+        let step_of () =
+          let x, st =
+            Linalg.Cg.solve ~precond ~max_iter ~tol ~matvec:matvec_mt ~b:rhs ~x0:a ()
+          in
+          pcg_iterations := !pcg_iterations + st.Linalg.Cg.iterations;
+          Array.blit x 0 a 0 dim
+        in
+        (a, step_of, Galerkin_op.apply_into op_ct, Galerkin_op.apply_into op_gt,
+         Galerkin_op.nnz op_mt)
   in
   Response.record_step response ~step:0 ~coefs:a;
   let t_steps = Util.Timer.start () in
@@ -197,7 +288,7 @@ let solve_transient ?(options = default_options) (m : Stochastic_model.t) ~h ~st
       for k = 1 to steps do
         let t = float_of_int k *. h in
         rhs_into m ~drain_buf t u;
-        Linalg.Sparse.mul_vec_into ct a ct_a;
+        mul_ct_into a ct_a;
         for i = 0 to dim - 1 do
           rhs.(i) <- u.(i) +. (ct_a.(i) /. h)
         done;
@@ -212,8 +303,8 @@ let solve_transient ?(options = default_options) (m : Stochastic_model.t) ~h ~st
       for k = 1 to steps do
         let t = float_of_int k *. h in
         rhs_into m ~drain_buf t u;
-        Linalg.Sparse.mul_vec_into ct a ct_a;
-        Linalg.Sparse.mul_vec_into gt a gt_a;
+        mul_ct_into a ct_a;
+        mul_gt_into a gt_a;
         for i = 0 to dim - 1 do
           rhs.(i) <- ((2.0 /. h) *. ct_a.(i)) -. gt_a.(i) +. u.(i) +. u_prev.(i)
         done;
@@ -225,9 +316,9 @@ let solve_transient ?(options = default_options) (m : Stochastic_model.t) ~h ~st
   ( response,
     {
       aug_dim = dim;
-      nnz_aug = Linalg.Sparse.nnz mt;
+      nnz_aug;
       nnz_factor = !nnz_factor;
-      assemble_seconds;
+      assemble_seconds = !assemble_seconds;
       factor_seconds = !factor_seconds;
       step_seconds;
       pcg_iterations = !pcg_iterations;

@@ -17,6 +17,13 @@ type solver =
       (** conjugate gradient on the augmented system, preconditioned by the
           factorized nominal block — the "iterative block solver" route of
           Sec. 5.2 *)
+  | Matrix_free_pcg of { tol : float; max_iter : int }
+      (** same mean-block PCG, but the augmented operator is never
+          assembled: the matvec is {!Galerkin_op}'s block-structured
+          apply straight from the per-rank matrices and the sparse
+          triple-product coupling.  Memory drops from
+          [O((N+1)^2 nnz)] to [O(sum_r nnz_r + (N+1) n)], and the matvec
+          parallelizes across chaos blocks (see [options.domains]). *)
 
 type options = {
   solver : solver;
@@ -26,15 +33,24 @@ type options = {
       (** time integration of the augmented system; backward Euler is the
           paper's fixed-step choice, trapezoidal halves the local error at
           the same cost structure *)
+  domains : int;
+      (** domain count for the block-parallel paths (matrix-free matvec,
+          mean-block preconditioner); {!Util.Parallel.resolve} convention:
+          [0] defers to the [OPERA_DOMAINS] environment variable, default
+          sequential.  Results are bitwise identical for any value. *)
 }
 
 val default_options : options
 (** Direct solver, nested-dissection ordering, no probes, backward
-    Euler. *)
+    Euler, domains from the environment. *)
 
 type stats = {
   aug_dim : int;  (** (N+1) * n *)
-  nnz_aug : int;  (** nonzeros of [Gt + Ct/h] *)
+  nnz_aug : int;
+      (** stored nonzeros of the stepping operator: the assembled
+          [Gt + Ct/h] for [Direct]/[Mean_pcg], the matrix-free block
+          data ([sum_r nnz_r] + coupling entries) for
+          [Matrix_free_pcg] — the peak-memory figure of each route *)
   nnz_factor : int;  (** nonzeros of its Cholesky factor (Direct only) *)
   assemble_seconds : float;
   factor_seconds : float;

@@ -1,0 +1,134 @@
+(* Matrix-free application of the augmented stochastic Galerkin operator
+   [At = sum_r T_r (x) A_r] — see galerkin_op.mli.  The coupling tensor is
+   flattened per OUTPUT block j into a dense triplet array so the apply is
+   one linear scan per block, and blocks parallelize trivially (disjoint
+   output slices, per-block summation order fixed => bitwise-deterministic
+   results for any domain count). *)
+
+type t = {
+  n : int;  (* grid dimension per block *)
+  size : int;  (* N+1 chaos blocks *)
+  domains : int;  (* resolved domain count for apply *)
+  terms : Linalg.Sparse.t array;  (* merged per-rank matrices *)
+  block_terms : int array array;  (* per output block j: term indices *)
+  block_inputs : int array array;  (* per output block j: input blocks k *)
+  block_coefs : float array array;  (* per output block j: E(psi_r psi_j psi_k) *)
+  coupling_nnz : int;
+}
+
+let merge_terms terms =
+  List.fold_left
+    (fun acc (r, mat) ->
+      match List.assoc_opt r acc with
+      | Some m0 -> (r, Linalg.Sparse.add m0 mat) :: List.remove_assoc r acc
+      | None -> (r, mat) :: acc)
+    [] terms
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let of_terms ?(domains = 0) ~tp ~n terms =
+  let size = Polychaos.Basis.size (Polychaos.Triple_product.basis tp) in
+  let terms = merge_terms terms in
+  List.iter
+    (fun (r, mat) ->
+      if r < 0 || r >= size then
+        invalid_arg (Printf.sprintf "Galerkin_op.of_terms: rank %d outside basis of size %d" r size);
+      let nr, nc = Linalg.Sparse.dims mat in
+      if nr <> n || nc <> n then
+        invalid_arg
+          (Printf.sprintf "Galerkin_op.of_terms: term %d is %dx%d, expected %dx%d" r nr nc n n))
+    terms;
+  let term_mats = Array.of_list (List.map snd terms) in
+  let ranks = Array.of_list (List.map fst terms) in
+  let nterms = Array.length ranks in
+  (* Flatten the nonzero coupling entries, grouped by output block j. *)
+  let coupling_nnz = ref 0 in
+  let bt = Array.make size [||] and bi = Array.make size [||] and bc = Array.make size [||] in
+  for j = 0 to size - 1 do
+    let ts = ref [] and ks = ref [] and cs = ref [] and cnt = ref 0 in
+    for ti = 0 to nterms - 1 do
+      let r = ranks.(ti) in
+      for k = 0 to size - 1 do
+        let c = Polychaos.Triple_product.value tp r j k in
+        if c <> 0.0 then begin
+          ts := ti :: !ts;
+          ks := k :: !ks;
+          cs := c :: !cs;
+          incr cnt
+        end
+      done
+    done;
+    let m = !cnt in
+    coupling_nnz := !coupling_nnz + m;
+    let ta = Array.make m 0 and ka = Array.make m 0 and ca = Array.make m 0.0 in
+    List.iteri (fun idx v -> ta.(m - 1 - idx) <- v) !ts;
+    List.iteri (fun idx v -> ka.(m - 1 - idx) <- v) !ks;
+    List.iteri (fun idx v -> ca.(m - 1 - idx) <- v) !cs;
+    bt.(j) <- ta;
+    bi.(j) <- ka;
+    bc.(j) <- ca
+  done;
+  {
+    n;
+    size;
+    domains = Util.Parallel.resolve domains;
+    terms = term_mats;
+    block_terms = bt;
+    block_inputs = bi;
+    block_coefs = bc;
+    coupling_nnz = !coupling_nnz;
+  }
+
+let gt ?domains (m : Stochastic_model.t) =
+  of_terms ?domains ~tp:m.Stochastic_model.tp ~n:m.Stochastic_model.n m.Stochastic_model.g_terms
+
+let ct ?domains (m : Stochastic_model.t) =
+  of_terms ?domains ~tp:m.Stochastic_model.tp ~n:m.Stochastic_model.n m.Stochastic_model.c_terms
+
+let gt_plus_ct ?domains ~ct_scale (m : Stochastic_model.t) =
+  (* Merge the capacitance terms into the conductance list rank-by-rank
+     so every rank costs one coupling scan and one kernel per entry. *)
+  let merged =
+    List.fold_left
+      (fun acc (r, mat) ->
+        let scaled = Linalg.Sparse.scale ct_scale mat in
+        match List.assoc_opt r acc with
+        | Some m0 -> (r, Linalg.Sparse.add m0 scaled) :: List.remove_assoc r acc
+        | None -> (r, scaled) :: acc)
+      m.Stochastic_model.g_terms m.Stochastic_model.c_terms
+  in
+  of_terms ?domains ~tp:m.Stochastic_model.tp ~n:m.Stochastic_model.n merged
+
+let dim op = op.size * op.n
+
+let block_dim op = op.n
+
+let blocks op = op.size
+
+let coupling_nnz op = op.coupling_nnz
+
+let nnz op =
+  Array.fold_left (fun acc a -> acc + Linalg.Sparse.nnz a) op.coupling_nnz op.terms
+
+let domains op = op.domains
+
+let with_domains op d = { op with domains = Util.Parallel.resolve d }
+
+let apply_into op x y =
+  let d = dim op in
+  if Array.length x <> d || Array.length y <> d then
+    invalid_arg "Galerkin_op.apply_into: dimension mismatch";
+  if x == y then invalid_arg "Galerkin_op.apply_into: x and y must be distinct";
+  let n = op.n in
+  Util.Parallel.parallel_for ~domains:op.domains op.size (fun j ->
+      let yoff = j * n in
+      Array.fill y yoff n 0.0;
+      let ts = op.block_terms.(j) and ks = op.block_inputs.(j) and cs = op.block_coefs.(j) in
+      for e = 0 to Array.length ts - 1 do
+        Linalg.Sparse.mul_vec_acc_off ~alpha:cs.(e) op.terms.(ts.(e)) x ~xoff:(ks.(e) * n) y
+          ~yoff
+      done)
+
+let apply op x =
+  let y = Array.make (dim op) 0.0 in
+  apply_into op x y;
+  y

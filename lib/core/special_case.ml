@@ -48,7 +48,13 @@ let excitation_term t k =
   | _ -> (* mixed indices never receive single-variable lognormal content *) ());
   u
 
-let run_decoupled t ~h ~steps ~probes ~record =
+(* The N+1 decoupled blocks share two factorizations and nothing else:
+   each block k owns its state x.(k), its slice of [coefs] and (inside a
+   chunk) its scratch, so the per-step block loop runs chunked across
+   domains.  The shared factors are applied through the
+   workspace-explicit solve; the drain profile of the step is computed
+   once, sequentially, before the parallel region. *)
+let run_decoupled ?(domains = 0) t ~h ~steps ~probes ~record =
   let n = t.mna.Powergrid.Mna.n in
   let size = Polychaos.Basis.size t.basis in
   let g = Powergrid.Mna.g_total t.mna in
@@ -58,48 +64,58 @@ let run_decoupled t ~h ~steps ~probes ~record =
   let fbe = Linalg.Sparse_cholesky.factor ~ordering:Linalg.Ordering.Nested_dissection (Linalg.Sparse.axpy ~alpha:(1.0 /. h) c g) in
   let static = Array.init size (excitation_term t) in
   let drain = Linalg.Vec.create n in
-  let u_k = Linalg.Vec.create n in
   (* Per-block state across time. *)
   let x = Array.init size (fun _ -> Linalg.Vec.create n) in
   let coefs = Array.make (size * n) 0.0 in
-  let fill_u k time =
+  let d = Util.Parallel.resolve domains in
+  let chunks = Int.max 1 (Int.min d size) in
+  let u_bufs = Array.init chunks (fun _ -> Linalg.Vec.create n) in
+  let work_bufs = Array.init chunks (fun _ -> Linalg.Vec.create n) in
+  let fill_u u_k k =
     Array.blit static.(k) 0 u_k 0 n;
-    if k = 0 then begin
-      Linalg.Vec.fill drain 0.0;
-      Powergrid.Mna.drain_into t.mna time drain;
-      Linalg.Vec.axpy ~alpha:1.0 drain u_k
-    end
+    (* Rank 0 carries the deterministic drain profile of the step. *)
+    if k = 0 then Linalg.Vec.axpy ~alpha:1.0 drain u_k
+  in
+  let set_drain time =
+    Linalg.Vec.fill drain 0.0;
+    Powergrid.Mna.drain_into t.mna time drain
   in
   (* DC initial condition per block. *)
-  for k = 0 to size - 1 do
-    fill_u k 0.0;
-    Array.blit u_k 0 x.(k) 0 n;
-    Linalg.Sparse_cholesky.solve_in_place fdc x.(k);
-    Array.blit x.(k) 0 coefs (k * n) n
-  done;
+  set_drain 0.0;
+  Util.Parallel.for_chunks ~domains:d size (fun ~chunk ~lo ~hi ->
+      let u_k = u_bufs.(chunk) and work = work_bufs.(chunk) in
+      for k = lo to hi - 1 do
+        fill_u u_k k;
+        Array.blit u_k 0 x.(k) 0 n;
+        Linalg.Sparse_cholesky.solve_in_place_ws fdc ~work x.(k);
+        Array.blit x.(k) 0 coefs (k * n) n
+      done);
   record 0 coefs;
-  let cx = Linalg.Vec.create n in
   for step = 1 to steps do
     let time = float_of_int step *. h in
-    for k = 0 to size - 1 do
-      fill_u k time;
-      Linalg.Sparse.mul_vec_into c x.(k) cx;
-      for i = 0 to n - 1 do
-        x.(k).(i) <- u_k.(i) +. (cx.(i) /. h)
-      done;
-      Linalg.Sparse_cholesky.solve_in_place fbe x.(k);
-      Array.blit x.(k) 0 coefs (k * n) n
-    done;
+    set_drain time;
+    Util.Parallel.for_chunks ~domains:d size (fun ~chunk ~lo ~hi ->
+        let u_k = u_bufs.(chunk) and work = work_bufs.(chunk) in
+        for k = lo to hi - 1 do
+          fill_u u_k k;
+          let xk = x.(k) in
+          (* rhs = u_k + (C/h) x_k, built allocation-free in x_k's slot:
+             stage u_k, then accumulate the capacitance product. *)
+          Linalg.Sparse.mul_vec_acc ~alpha:(1.0 /. h) c xk u_k;
+          Array.blit u_k 0 xk 0 n;
+          Linalg.Sparse_cholesky.solve_in_place_ws fbe ~work xk;
+          Array.blit xk 0 coefs (k * n) n
+        done);
     record step coefs
   done;
   ignore probes;
   Util.Timer.elapsed_s t0
 
-let solve t ~h ~steps ~probes =
+let solve ?domains t ~h ~steps ~probes =
   let n = t.mna.Powergrid.Mna.n in
   let response = Response.create ~basis:t.basis ~n ~steps ~h ~vdd:t.vdd ~probes in
   let elapsed =
-    run_decoupled t ~h ~steps ~probes ~record:(fun step coefs ->
+    run_decoupled ?domains t ~h ~steps ~probes ~record:(fun step coefs ->
         Response.record_step response ~step ~coefs)
   in
   (response, elapsed)

@@ -31,9 +31,14 @@ val excitation_term : t -> int -> Linalg.Vec.t
 (** Static excitation coefficient [U_k] of basis rank [k] (leakage part
     only; rank 0 also carries the mean leakage). *)
 
-val solve : t -> h:float -> steps:int -> probes:int array -> Response.t * float
+val solve :
+  ?domains:int -> t -> h:float -> steps:int -> probes:int array -> Response.t * float
 (** Decoupled solves: one factorization, [ (N+1) * steps ] triangular
-    solves. Returns the response and elapsed seconds. *)
+    solves. Returns the response and elapsed seconds.  The [N+1]
+    independent block solves of each step run chunked across [domains]
+    ({!Util.Parallel.resolve} convention: [0] = [OPERA_DOMAINS]
+    environment variable, default sequential); results are identical for
+    any domain count. *)
 
 val solve_coupled : t -> h:float -> steps:int -> probes:int array -> Response.t * float
 (** The same problem through the full coupled Galerkin machinery (used by

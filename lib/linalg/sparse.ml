@@ -150,6 +150,23 @@ let mul_vec a x =
   mul_vec_into a x y;
   y
 
+let mul_vec_acc_off ?(alpha = 1.0) a x ~xoff y ~yoff =
+  if xoff < 0 || yoff < 0 || xoff + a.ncols > Array.length x || yoff + a.nrows > Array.length y
+  then invalid_arg "Sparse.mul_vec_acc_off: slice out of bounds";
+  let { colptr; rowind; values; ncols; _ } = a in
+  for j = 0 to ncols - 1 do
+    let xj = alpha *. x.(xoff + j) in
+    if xj <> 0.0 then
+      for k = colptr.(j) to colptr.(j + 1) - 1 do
+        y.(yoff + rowind.(k)) <- y.(yoff + rowind.(k)) +. (values.(k) *. xj)
+      done
+  done
+
+let mul_vec_acc ?alpha a x y =
+  if Array.length x <> a.ncols || Array.length y <> a.nrows then
+    invalid_arg "Sparse.mul_vec_acc: dimension mismatch";
+  mul_vec_acc_off ?alpha a x ~xoff:0 y ~yoff:0
+
 let mul_vec_t a x =
   if Array.length x <> a.nrows then invalid_arg "Sparse.mul_vec_t: dimension mismatch";
   let y = Vec.create a.ncols in
@@ -242,7 +259,15 @@ let of_diag d =
   let n = Array.length d in
   of_triplets ~nrows:n ~ncols:n (List.init n (fun i -> (i, i, d.(i))))
 
+(* Process-wide count of kron invocations.  The matrix-free Galerkin
+   path promises never to build the augmented Kronecker operator; tests
+   pin that promise by sampling this counter around a solve. *)
+let kron_calls = Atomic.make 0
+
+let kron_count () = Atomic.get kron_calls
+
 let kron c a =
+  Atomic.incr kron_calls;
   let crows, ccols = Dense.dims c in
   let nrows = crows * a.nrows and ncols = ccols * a.ncols in
   (* Count entries per output column first, then fill. *)

@@ -44,6 +44,18 @@ val mul_vec : t -> Vec.t -> Vec.t
 val mul_vec_into : t -> Vec.t -> Vec.t -> unit
 (** [mul_vec_into a x y] sets [y <- A x] without allocating. *)
 
+val mul_vec_acc : ?alpha:float -> t -> Vec.t -> Vec.t -> unit
+(** [mul_vec_acc ~alpha a x y] accumulates [y <- y + alpha * A x] without
+    allocating ([alpha] defaults to 1).  The allocation-free building
+    block of transient right-hand sides and of the matrix-free Galerkin
+    kernel. *)
+
+val mul_vec_acc_off : ?alpha:float -> t -> Vec.t -> xoff:int -> Vec.t -> yoff:int -> unit
+(** [mul_vec_acc_off ~alpha a x ~xoff y ~yoff] accumulates
+    [y.(yoff..) <- y.(yoff..) + alpha * A x.(xoff..)] on slices of larger
+    vectors — the per-block kernel of the matrix-free augmented operator
+    (block vectors stay flat; no sub-array copies). *)
+
 val mul_vec_t : t -> Vec.t -> Vec.t
 (** [mul_vec_t a x] is [A^T x]. *)
 
@@ -64,6 +76,11 @@ val diag : t -> Vec.t
 (** Diagonal as a vector (square matrices). *)
 
 val of_diag : Vec.t -> t
+
+val kron_count : unit -> int
+(** Process-wide number of {!kron} calls so far.  The matrix-free
+    Galerkin solver promises to never assemble the augmented Kronecker
+    operator; tests sample this counter around a solve to enforce it. *)
 
 val kron : Dense.t -> t -> t
 (** [kron c a] is the Kronecker product [C (X) A]: block (i,j) equals

@@ -143,9 +143,11 @@ let upper_solve f y =
     y.(j) <- !acc /. lx.(lp.(j))
   done
 
-let solve_in_place f b =
+let solve_in_place_ws f ~work b =
   if Array.length b <> f.n then invalid_arg "Sparse_cholesky.solve: dimension mismatch";
-  let y = f.work in
+  if Array.length work <> f.n then
+    invalid_arg "Sparse_cholesky.solve_in_place_ws: workspace dimension mismatch";
+  let y = work in
   (* y = P b *)
   for k = 0 to f.n - 1 do
     y.(k) <- b.(f.p.(k))
@@ -155,6 +157,8 @@ let solve_in_place f b =
   for k = 0 to f.n - 1 do
     b.(f.p.(k)) <- y.(k)
   done
+
+let solve_in_place f b = solve_in_place_ws f ~work:f.work b
 
 let solve f b =
   let x = Array.copy b in

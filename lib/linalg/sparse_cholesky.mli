@@ -24,7 +24,15 @@ val solve : t -> Vec.t -> Vec.t
 
 val solve_in_place : t -> Vec.t -> unit
 (** [solve_in_place f b] overwrites [b] with the solution, reusing an
-    internal workspace — the allocation-free path for transient stepping. *)
+    internal workspace — the allocation-free path for transient stepping.
+    NOT safe for concurrent use of one factor from several domains (the
+    workspace is shared); use {!solve_in_place_ws} there. *)
+
+val solve_in_place_ws : t -> work:Vec.t -> Vec.t -> unit
+(** [solve_in_place_ws f ~work b] is {!solve_in_place} with a
+    caller-provided workspace of length {!dim}.  One factor may serve many
+    domains concurrently as long as every domain passes its own [work]
+    buffer — the factor itself is only read. *)
 
 val nnz_l : t -> int
 (** Number of stored entries of the factor [L]. *)

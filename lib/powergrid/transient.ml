@@ -13,7 +13,6 @@ let run cfg ~g ~c ~inject ~x0 ~on_step =
   let x = Array.copy x0 in
   let u = Linalg.Vec.create n in
   let rhs = Linalg.Vec.create n in
-  let cx = Linalg.Vec.create n in
   (match cfg.scheme with
   | Backward_euler ->
       (* (G + C/h) x_{k+1} = u(t_{k+1}) + (C/h) x_k *)
@@ -22,10 +21,8 @@ let run cfg ~g ~c ~inject ~x0 ~on_step =
       for k = 1 to cfg.steps do
         let t = float_of_int k *. cfg.h in
         inject t u;
-        Linalg.Sparse.mul_vec_into c x cx;
-        for i = 0 to n - 1 do
-          rhs.(i) <- u.(i) +. (cx.(i) /. cfg.h)
-        done;
+        Array.blit u 0 rhs 0 n;
+        Linalg.Sparse.mul_vec_acc ~alpha:(1.0 /. cfg.h) c x rhs;
         Linalg.Sparse_cholesky.solve_in_place f rhs;
         Array.blit rhs 0 x 0 n;
         on_step k t x
@@ -35,17 +32,16 @@ let run cfg ~g ~c ~inject ~x0 ~on_step =
       let m = Linalg.Sparse.axpy ~alpha:(2.0 /. cfg.h) c g in
       (* factor G + 2C/h, i.e. 2 * (C/h + G/2); scale RHS accordingly *)
       let f = Linalg.Sparse_cholesky.factor ~ordering:cfg.ordering m in
-      let gx = Linalg.Vec.create n in
       let u_prev = Linalg.Vec.create n in
       inject 0.0 u_prev;
       for k = 1 to cfg.steps do
         let t = float_of_int k *. cfg.h in
         inject t u;
-        Linalg.Sparse.mul_vec_into c x cx;
-        Linalg.Sparse.mul_vec_into g x gx;
         for i = 0 to n - 1 do
-          rhs.(i) <- ((2.0 /. cfg.h) *. cx.(i)) -. gx.(i) +. u.(i) +. u_prev.(i)
+          rhs.(i) <- u.(i) +. u_prev.(i)
         done;
+        Linalg.Sparse.mul_vec_acc ~alpha:(2.0 /. cfg.h) c x rhs;
+        Linalg.Sparse.mul_vec_acc ~alpha:(-1.0) g x rhs;
         Linalg.Sparse_cholesky.solve_in_place f rhs;
         Array.blit rhs 0 x 0 n;
         Array.blit u 0 u_prev 0 n;
@@ -62,6 +58,10 @@ let run_full cfg (sys : Mna.Full.system) ~on_step =
   let m = Linalg.Sparse.axpy ~alpha:(1.0 /. cfg.h) sys.Mna.Full.c sys.Mna.Full.a in
   let f = Linalg.Sparse_lu.factor ~ordering:cfg.ordering m in
   let cx = Linalg.Vec.create dim in
+  (* Node-view buffer reused across steps: on_step receives the node
+     voltages (MNA state minus branch currents) without a per-step
+     Array.sub allocation.  Callers must copy if they retain it. *)
+  let node_view = Linalg.Vec.create sys.Mna.Full.nodes in
   for k = 1 to cfg.steps do
     let t = float_of_int k *. cfg.h in
     let u = sys.Mna.Full.rhs t in
@@ -70,7 +70,8 @@ let run_full cfg (sys : Mna.Full.system) ~on_step =
       x.(i) <- u.(i) +. (cx.(i) /. cfg.h)
     done;
     Linalg.Sparse_lu.solve_in_place f x;
-    on_step k t (Array.sub x 0 sys.Mna.Full.nodes)
+    Array.blit x 0 node_view 0 sys.Mna.Full.nodes;
+    on_step k t node_view
   done
 
 let run_circuit cfg (a : Mna.t) ~on_step =

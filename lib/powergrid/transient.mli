@@ -40,5 +40,6 @@ val run_full :
   config -> Mna.Full.system -> on_step:(int -> float -> Linalg.Vec.t -> unit) -> unit
 (** Backward-Euler transient of a full-MNA system (ideal pads and/or
     inductors; indefinite matrix, solved with sparse LU).  [on_step]
-    receives node voltages only (branch currents are internal).
-    Trapezoidal is not offered on this path. *)
+    receives node voltages only (branch currents are internal) in a
+    buffer that is OVERWRITTEN on the next step -- copy it if you retain
+    it past the callback.  Trapezoidal is not offered on this path. *)

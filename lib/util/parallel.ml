@@ -1,0 +1,58 @@
+(* Chunked spawn/join parallel-for over OCaml 5 domains — the pattern
+   proven in Monte_carlo.run, factored out so the matrix-free Galerkin
+   operator, the mean-block preconditioner and the decoupled
+   special-case solves can all share it. *)
+
+let env_domains =
+  lazy
+    (match Sys.getenv_opt "OPERA_DOMAINS" with
+    | None -> 1
+    | Some s -> (
+        match int_of_string_opt (String.trim s) with
+        | Some d when d >= 1 -> d
+        | _ -> 1))
+
+let default_domains () = Lazy.force env_domains
+
+let resolve d = if d >= 1 then d else default_domains ()
+
+let chunk_bounds ~n ~chunks c =
+  if chunks < 1 then invalid_arg "Parallel.chunk_bounds: need at least one chunk";
+  if c < 0 || c >= chunks then invalid_arg "Parallel.chunk_bounds: chunk out of range";
+  let base = n / chunks and extra = n mod chunks in
+  let lo = (c * base) + Int.min c extra in
+  let hi = lo + base + if c < extra then 1 else 0 in
+  (lo, hi)
+
+let for_chunks ?(domains = 0) n body =
+  if n < 0 then invalid_arg "Parallel.for_chunks: negative range";
+  if n > 0 then begin
+    let chunks = Int.min (resolve domains) n in
+    if chunks <= 1 then body ~chunk:0 ~lo:0 ~hi:n
+    else begin
+      let run c =
+        let lo, hi = chunk_bounds ~n ~chunks c in
+        body ~chunk:c ~lo ~hi
+      in
+      (* Chunk 0 runs on the calling domain; join re-raises worker
+         exceptions (first one wins). *)
+      let handles = Array.init (chunks - 1) (fun c -> Domain.spawn (fun () -> run (c + 1))) in
+      let main_exn = try run 0; None with e -> Some e in
+      let worker_exn =
+        Array.fold_left
+          (fun acc h -> match (try Domain.join h; None with e -> Some e) with
+            | Some _ as e when acc = None -> e
+            | _ -> acc)
+          None handles
+      in
+      match (main_exn, worker_exn) with
+      | Some e, _ | None, Some e -> raise e
+      | None, None -> ()
+    end
+  end
+
+let parallel_for ?domains n body =
+  for_chunks ?domains n (fun ~chunk:_ ~lo ~hi ->
+      for i = lo to hi - 1 do
+        body i
+      done)

@@ -1,0 +1,43 @@
+(** Chunked fork/join parallelism over OCaml 5 domains.
+
+    A tiny helper shared by every block-structured hot path (matrix-free
+    Galerkin matvec, mean-block preconditioner, decoupled special-case
+    solves, Monte-Carlo sampling): split an index range [0, n) into at
+    most [domains] contiguous chunks, run one chunk per domain with the
+    classic spawn/join pattern, and re-raise the first worker exception.
+
+    Domain count resolution (everywhere a [?domains] argument appears in
+    the library): an explicit positive argument wins; [0] (the default)
+    falls back to the [OPERA_DOMAINS] environment variable; when that is
+    unset or invalid the code runs sequentially.  Sequential execution is
+    the deterministic baseline — parallel results are bitwise identical
+    for the kernels in this library because chunking never changes the
+    per-index work or its internal summation order. *)
+
+val default_domains : unit -> int
+(** Domain count from the [OPERA_DOMAINS] environment variable; [1] when
+    unset, empty, or not a positive integer.  The value is read once and
+    cached for the lifetime of the process. *)
+
+val resolve : int -> int
+(** [resolve d] is [d] if [d >= 1], otherwise {!default_domains} [()] —
+    the uniform interpretation of [?domains] arguments ([0] = "use the
+    environment"). *)
+
+val chunk_bounds : n:int -> chunks:int -> int -> int * int
+(** [chunk_bounds ~n ~chunks c] is the half-open range [(lo, hi)] of
+    chunk [c] when [0, n) is split into [chunks] near-equal contiguous
+    pieces (the first [n mod chunks] chunks get one extra element). *)
+
+val for_chunks : ?domains:int -> int -> (chunk:int -> lo:int -> hi:int -> unit) -> unit
+(** [for_chunks ~domains n body] splits [0, n) into [min domains n]
+    contiguous chunks and runs [body ~chunk ~lo ~hi] for each, one chunk
+    per domain ([chunk] indexes the chunk, so per-chunk scratch arrays
+    can be preallocated and indexed race-free).  Runs inline — spawning
+    nothing — when the resolved domain count is 1 or [n <= 1].  Worker
+    exceptions propagate to the caller via [Domain.join]. *)
+
+val parallel_for : ?domains:int -> int -> (int -> unit) -> unit
+(** [parallel_for ~domains n body] runs [body i] for every [i] in
+    [0, n)], chunked across domains as in {!for_chunks}.  [body] must
+    only write state owned by index [i] (disjoint output slices). *)

@@ -14,6 +14,7 @@ let () =
       ("powergrid", Test_powergrid.suite);
       ("mna", Test_mna.suite);
       ("opera-core", Test_opera.suite);
+      ("galerkin-op", Test_galerkin_op.suite);
       ("extensions", Test_extensions.suite);
       ("mor", Test_mor.suite);
       ("misc", Test_more.suite);

@@ -128,6 +128,58 @@ let test_mul_vec_matches_dense =
       let y_dense = Linalg.Dense.matvec (Linalg.Sparse.to_dense a) x in
       Linalg.Vec.approx_equal ~tol:1e-9 y_sparse y_dense)
 
+let test_mul_vec_acc () =
+  let a =
+    of_triplets ~nrows:3 ~ncols:3 [ (0, 0, 2.0); (1, 0, -1.0); (1, 1, 3.0); (2, 2, 0.5) ]
+  in
+  let x = [| 1.0; 2.0; 4.0 |] in
+  let y = [| 10.0; 20.0; 30.0 |] in
+  Linalg.Sparse.mul_vec_acc ~alpha:2.0 a x y;
+  (* y += 2 * A x with A x = [2; 5; 2] *)
+  Helpers.check_vec ~eps:1e-12 "y += alpha Ax" [| 14.0; 30.0; 34.0 |] y;
+  (* default alpha = 1 accumulates on top *)
+  Linalg.Sparse.mul_vec_acc a x y;
+  Helpers.check_vec ~eps:1e-12 "second accumulate" [| 16.0; 35.0; 36.0 |] y;
+  (try
+     Linalg.Sparse.mul_vec_acc a [| 1.0 |] y;
+     Alcotest.fail "short x accepted"
+   with Invalid_argument _ -> ());
+  (try
+     Linalg.Sparse.mul_vec_acc a x [| 1.0 |];
+     Alcotest.fail "short y accepted"
+   with Invalid_argument _ -> ())
+
+let test_mul_vec_acc_off () =
+  let a = of_triplets ~nrows:2 ~ncols:2 [ (0, 0, 1.0); (0, 1, 2.0); (1, 1, -1.0) ] in
+  (* x, y are flat block vectors: block 1 of x feeds block 0 of y *)
+  let x = [| 9.0; 9.0; 1.0; 3.0 |] in
+  let y = [| 1.0; 1.0; 7.0; 7.0 |] in
+  Linalg.Sparse.mul_vec_acc_off ~alpha:1.0 a x ~xoff:2 y ~yoff:0;
+  (* A [1; 3] = [7; -3] *)
+  Helpers.check_vec ~eps:1e-12 "offset blocks" [| 8.0; -2.0; 7.0; 7.0 |] y;
+  (try
+     Linalg.Sparse.mul_vec_acc_off a x ~xoff:3 y ~yoff:0;
+     Alcotest.fail "x overrun accepted"
+   with Invalid_argument _ -> ());
+  (try
+     Linalg.Sparse.mul_vec_acc_off a x ~xoff:0 y ~yoff:3;
+     Alcotest.fail "y overrun accepted"
+   with Invalid_argument _ -> ())
+
+let test_mul_vec_acc_matches_mul_vec =
+  let arb = QCheck.(array_of_size (Gen.return 6) (float_range (-3.) 3.)) in
+  Helpers.qcheck_case ~count:50 "mul_vec_acc matches mul_vec" arb (fun x ->
+      let rng = Helpers.rng () in
+      let a = Helpers.random_sparse_spd rng 6 ~extra_edges:6 in
+      let alpha = 1.75 in
+      let y = Array.init 6 (fun i -> float_of_int i) in
+      let expected =
+        let ax = Linalg.Sparse.mul_vec a x in
+        Array.init 6 (fun i -> y.(i) +. (alpha *. ax.(i)))
+      in
+      Linalg.Sparse.mul_vec_acc ~alpha a x y;
+      Linalg.Vec.approx_equal ~tol:1e-12 expected y)
+
 let suite =
   [
     Alcotest.test_case "of_triplets dedup" `Quick test_of_triplets_dedup;
@@ -144,4 +196,7 @@ let suite =
     Alcotest.test_case "builder stamping" `Quick test_builder_stamp;
     Alcotest.test_case "builder growth" `Quick test_builder_growth;
     test_mul_vec_matches_dense;
+    Alcotest.test_case "mul_vec_acc" `Quick test_mul_vec_acc;
+    Alcotest.test_case "mul_vec_acc_off" `Quick test_mul_vec_acc_off;
+    test_mul_vec_acc_matches_mul_vec;
   ]
