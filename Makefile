@@ -1,4 +1,4 @@
-.PHONY: all build test bench bench-quick bench-paper bench-galerkin examples clean
+.PHONY: all build test ci bench bench-quick bench-paper bench-galerkin bench-metrics examples clean
 
 all: build
 
@@ -6,6 +6,17 @@ build:
 	dune build @all
 
 test:
+	dune runtest
+
+# Everything a reviewer runs: the format check (when ocamlformat is
+# available), the full build, and the test suite.
+ci:
+	@if command -v ocamlformat >/dev/null 2>&1; then \
+		dune build @fmt || exit 1; \
+	else \
+		echo "ocamlformat not installed; skipping format check"; \
+	fi
+	dune build @all
 	dune runtest
 
 test-verbose:
@@ -22,6 +33,16 @@ bench-paper:
 
 bench-galerkin:
 	dune exec bench/main.exe -- galerkin-op --quick
+
+# Produce a --metrics-out registry dump and the galerkin bench JSON,
+# then check both against the schema with the bundled validator.
+bench-metrics:
+	dune build bin/opera_cli.exe bench/main.exe bench/validate_metrics.exe
+	dune exec bin/opera_cli.exe -- analyze --nodes 400 --steps 4 --solver pcg \
+		--metrics-out metrics_smoke.json > /dev/null
+	dune exec bench/main.exe -- galerkin-op --quick > /dev/null
+	dune exec bench/validate_metrics.exe -- metrics_smoke.json BENCH_galerkin.json
+	rm -f metrics_smoke.json
 
 examples:
 	dune exec examples/quickstart.exe

@@ -446,18 +446,28 @@ let run_galerkin_op () =
   Util.Table.print table;
   let path = "BENCH_galerkin.json" in
   let oc = open_out path in
-  output_string oc "[\n";
+  (* Same top-level shape as the CLI's --metrics-out consumer expects:
+     per-configuration records plus the process-wide metrics registry
+     (phase timers, PCG iteration/unconverged/fallback counters). *)
+  output_string oc "{\n\"records\": [\n";
   let rows = List.rev !records in
   List.iteri
     (fun i (nodes, order, nvars, label, (st : Opera.Galerkin.stats), peak) ->
+      let agg = st.Opera.Galerkin.health in
       Printf.fprintf oc
         "  {\"grid_nodes\": %d, \"order\": %d, \"nvars\": %d, \"solver\": %S, \
-         \"assemble_s\": %.6f, \"factor_s\": %.6f, \"step_s\": %.6f, \"peak_nnz\": %d}%s\n"
+         \"assemble_s\": %.6f, \"factor_s\": %.6f, \"step_s\": %.6f, \"peak_nnz\": %d, \
+         \"pcg_iters\": %d, \"unconverged\": %d, \"fallbacks\": %d, \
+         \"worst_rel_residual\": %.9g}%s\n"
         nodes order nvars label st.Opera.Galerkin.assemble_seconds
         st.Opera.Galerkin.factor_seconds st.Opera.Galerkin.step_seconds peak
+        agg.Linalg.Solve_report.iterations agg.Linalg.Solve_report.unconverged
+        agg.Linalg.Solve_report.fallbacks agg.Linalg.Solve_report.worst_rel_residual
         (if i = List.length rows - 1 then "" else ","))
     rows;
-  output_string oc "]\n";
+  output_string oc "],\n\"metrics\": ";
+  output_string oc (Util.Metrics.to_json Util.Metrics.global);
+  output_string oc "\n}\n";
   close_out oc;
   Printf.printf "wrote %d records to %s\n%!" (List.length rows) path
 

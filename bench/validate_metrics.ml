@@ -1,0 +1,112 @@
+(* Schema check for the JSON this repository emits: the CLI's
+   [--metrics-out FILE] registry dumps and the bench harness's
+   BENCH_galerkin.json ({"records": [...], "metrics": {...}}).
+
+     validate_metrics.exe FILE...
+
+   Exits 0 when every file parses and matches its schema, 1 otherwise —
+   the `make bench-metrics` target runs this over freshly produced
+   artifacts so a schema regression fails CI instead of surfacing
+   downstream in whoever scrapes the files. *)
+
+let fail fmt = Printf.ksprintf (fun s -> Error s) fmt
+
+let validate_metric name (v : Util.Json.t) =
+  match Util.Json.member "type" v with
+  | Some (Util.Json.Str "counter") -> (
+      match Option.bind (Util.Json.member "value" v) Util.Json.to_int with
+      | Some _ -> Ok ()
+      | None -> fail "metric %S: counter without integer \"value\"" name)
+  | Some (Util.Json.Str "histogram") ->
+      let field f =
+        match Option.bind (Util.Json.member f v) Util.Json.to_float with
+        | Some _ -> Ok ()
+        | None -> fail "metric %S: histogram missing numeric %S" name f
+      in
+      let ( let* ) = Result.bind in
+      let* () = field "count" in
+      let* () = field "sum" in
+      let* () = field "mean" in
+      (match Util.Json.member "buckets" v with
+      | Some (Util.Json.Obj buckets) ->
+          if List.mem_assoc "le_inf" buckets then Ok ()
+          else fail "metric %S: histogram buckets lack the le_inf overflow bucket" name
+      | _ -> fail "metric %S: histogram without \"buckets\" object" name)
+  | _ -> fail "metric %S: value is neither a counter nor a histogram" name
+
+let validate_registry (j : Util.Json.t) =
+  match j with
+  | Util.Json.Obj fields ->
+      List.fold_left
+        (fun acc (name, v) -> Result.bind acc (fun () -> validate_metric name v))
+        (Ok ()) fields
+  | _ -> fail "metrics registry is not a JSON object"
+
+let validate_record i (r : Util.Json.t) =
+  let int_field f =
+    match Option.bind (Util.Json.member f r) Util.Json.to_int with
+    | Some _ -> Ok ()
+    | None -> fail "record %d: missing integer %S" i f
+  in
+  let float_field f =
+    match Option.bind (Util.Json.member f r) Util.Json.to_float with
+    | Some _ -> Ok ()
+    | None -> fail "record %d: missing number %S" i f
+  in
+  let ( let* ) = Result.bind in
+  let* () = int_field "grid_nodes" in
+  let* () = int_field "order" in
+  let* () = int_field "pcg_iters" in
+  let* () = int_field "unconverged" in
+  let* () = int_field "fallbacks" in
+  let* () = float_field "assemble_s" in
+  let* () = float_field "factor_s" in
+  let* () = float_field "step_s" in
+  match Option.bind (Util.Json.member "solver" r) Util.Json.to_string with
+  | Some _ -> Ok ()
+  | None -> fail "record %d: missing string \"solver\"" i
+
+let validate_bench (j : Util.Json.t) records =
+  let ( let* ) = Result.bind in
+  let* () =
+    match Util.Json.to_list records with
+    | None -> fail "\"records\" is not an array"
+    | Some rs ->
+        let rec go i = function
+          | [] -> Ok ()
+          | r :: rest -> Result.bind (validate_record i r) (fun () -> go (i + 1) rest)
+        in
+        go 0 rs
+  in
+  match Util.Json.member "metrics" j with
+  | Some m -> validate_registry m
+  | None -> fail "bench file lacks the \"metrics\" object"
+
+let validate_file path =
+  match Util.Json.parse_file path with
+  | Error e -> fail "%s: JSON parse error: %s" path e
+  | Ok j -> (
+      let tag = Result.map_error (fun e -> Printf.sprintf "%s: %s" path e) in
+      match Util.Json.member "records" j with
+      | Some records -> tag (validate_bench j records)
+      | None -> tag (validate_registry j))
+
+let () =
+  let files = List.tl (Array.to_list Sys.argv) in
+  if files = [] then begin
+    prerr_endline "usage: validate_metrics FILE.json [FILE.json ...]";
+    exit 2
+  end;
+  let failures =
+    List.filter_map
+      (fun path ->
+        match validate_file path with
+        | Ok () ->
+            Printf.printf "%s: ok\n" path;
+            None
+        | Error e ->
+            Printf.eprintf "%s\n" e;
+            Some path)
+      files
+  in
+  if failures <> [] then exit 1

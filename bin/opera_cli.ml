@@ -57,6 +57,66 @@ let domains_arg =
   in
   Arg.(value & opt int 0 & info [ "domains" ] ~docv:"N" ~doc)
 
+let policy_arg =
+  let doc =
+    "What an iterative solve does when it exhausts its iteration budget without reaching the \
+     tolerance: $(b,fail) (abort with exit code 3), $(b,warn) (log and keep the approximate \
+     iterate) or $(b,fallback) (re-solve with the assembled direct factor)."
+  in
+  Arg.(value
+       & opt
+           (enum
+              [
+                ("fail", Opera.Galerkin.Fail); ("warn", Opera.Galerkin.Warn);
+                ("fallback", Opera.Galerkin.Fallback);
+              ])
+           Opera.Galerkin.Warn
+       & info [ "solver-policy" ] ~docv:"POLICY" ~doc)
+
+let metrics_out_arg =
+  let doc = "Write the run's metrics registry (counters + phase timers) to FILE as JSON." in
+  Arg.(value & opt (some string) None & info [ "metrics-out" ] ~docv:"FILE" ~doc)
+
+let log_level_arg =
+  let doc = "Diagnostic verbosity on stderr: $(b,error), $(b,warn), $(b,info) or $(b,debug)." in
+  Arg.(value
+       & opt
+           (enum
+              [
+                ("error", Util.Log.Error); ("warn", Util.Log.Warn); ("info", Util.Log.Info);
+                ("debug", Util.Log.Debug);
+              ])
+           Util.Log.Warn
+       & info [ "log-level" ] ~docv:"LEVEL" ~doc)
+
+(* Shared health harness: set verbosity, run the command body, persist the
+   metrics registry (also when the run aborts), and map Solver_diverged to
+   a dedicated exit code so scripts can distinguish "diverged under
+   --solver-policy fail" (3) from argument errors (124/125). *)
+let with_health ~log_level ~metrics_out f =
+  Util.Log.set_level log_level;
+  let write_metrics () =
+    match metrics_out with
+    | None -> ()
+    | Some path ->
+        Util.Metrics.write_file Util.Metrics.global path;
+        Printf.printf "wrote metrics to %s\n" path
+  in
+  match f () with
+  | () -> write_metrics ()
+  | exception Opera.Galerkin.Solver_diverged (context, report) ->
+      Printf.eprintf "opera: solver diverged at %s\n  %s\n" context
+        (Linalg.Solve_report.summary report);
+      write_metrics ();
+      exit 3
+
+let print_health (stats : Opera.Galerkin.stats) =
+  let agg = stats.Opera.Galerkin.health in
+  if agg.Linalg.Solve_report.solves > 0 then
+    Printf.printf "solver health: %s%s\n"
+      (Linalg.Solve_report.agg_summary agg)
+      (if Linalg.Solve_report.agg_healthy agg then "" else "  ** UNHEALTHY **")
+
 let vdd_default = 1.2
 
 let load_circuit netlist nodes =
@@ -91,7 +151,9 @@ let generate_cmd =
 
 (* ---- analyze --------------------------------------------------------- *)
 
-let analyze netlist nodes order steps step_ps solver domains csv svg budget_pct =
+let analyze netlist nodes order steps step_ps solver domains policy metrics_out log_level csv svg
+    budget_pct =
+  with_health ~log_level ~metrics_out @@ fun () ->
   let circuit, vdd, spec = load_circuit netlist nodes in
   Printf.printf "circuit: %s\n" (Powergrid.Circuit.stats circuit);
   let vm = Opera.Varmodel.paper_default in
@@ -104,7 +166,7 @@ let analyze netlist nodes order steps step_ps solver domains csv svg budget_pct 
   in
   let options =
     { Opera.Galerkin.default_options with
-      Opera.Galerkin.solver = solver_of solver; probes = [| probe |]; domains }
+      Opera.Galerkin.solver = solver_of solver; probes = [| probe |]; domains; policy }
   in
   let h = step_ps *. 1e-12 in
   let (response, stats), seconds =
@@ -115,6 +177,7 @@ let analyze netlist nodes order steps step_ps solver domains csv svg budget_pct 
   if stats.Opera.Galerkin.pcg_iterations > 0 then
     Printf.printf " (%d CG iterations)" stats.Opera.Galerkin.pcg_iterations;
   print_newline ();
+  print_health stats;
   (* Worst nodes by mu + 3 sigma drop over time. *)
   let n = model.Opera.Stochastic_model.n in
   let guarded = Array.make n 0.0 in
@@ -233,7 +296,7 @@ let analyze_cmd =
     (Cmd.info "analyze" ~doc:"Stochastic (OPERA) analysis of a grid")
     Term.(
       const analyze $ netlist_arg $ nodes_arg $ order_arg $ steps_arg $ step_ps_arg $ solver_arg
-      $ domains_arg $ csv $ svg $ budget)
+      $ domains_arg $ policy_arg $ metrics_out_arg $ log_level_arg $ csv $ svg $ budget)
 
 (* ---- mc -------------------------------------------------------------- *)
 
@@ -270,7 +333,9 @@ let mc_cmd =
 
 (* ---- compare --------------------------------------------------------- *)
 
-let compare_run nodes order steps step_ps samples seed solver domains =
+let compare_run nodes order steps step_ps samples seed solver domains policy metrics_out log_level
+    =
+  with_health ~log_level ~metrics_out @@ fun () ->
   let spec = Powergrid.Grid_spec.scale_to_nodes Powergrid.Grid_spec.default nodes in
   let config =
     {
@@ -283,24 +348,27 @@ let compare_run nodes order steps step_ps samples seed solver domains =
       ordering = Linalg.Ordering.Nested_dissection;
       probes = [||];
       domains;
+      policy;
     }
   in
   let outcome = Opera.Driver.run_grid config spec Opera.Varmodel.paper_default in
   let table = Util.Table.create Opera.Compare.header in
   Util.Table.add_row table
     (Opera.Compare.row_strings outcome.Opera.Driver.label outcome.Opera.Driver.report);
-  Util.Table.print table
+  Util.Table.print table;
+  print_health outcome.Opera.Driver.galerkin_stats
 
 let compare_cmd =
   Cmd.v
     (Cmd.info "compare" ~doc:"OPERA vs Monte Carlo on one grid (a Table-1 row)")
     Term.(
       const compare_run $ nodes_arg $ order_arg $ steps_arg $ step_ps_arg $ samples_arg $ seed_arg
-      $ solver_arg $ domains_arg)
+      $ solver_arg $ domains_arg $ policy_arg $ metrics_out_arg $ log_level_arg)
 
 (* ---- special --------------------------------------------------------- *)
 
-let special nodes order steps step_ps regions lambda samples domains =
+let special nodes order steps step_ps regions lambda samples domains metrics_out log_level =
+  with_health ~log_level ~metrics_out @@ fun () ->
   let side = int_of_float (Float.round (sqrt (float_of_int regions))) in
   let rx = Int.max 1 side in
   let ry = Int.max 1 (regions / rx) in
@@ -345,7 +413,7 @@ let special_cmd =
     (Cmd.info "special" ~doc:"Sec. 5.1 special case: leakage-only variation")
     Term.(
       const special $ nodes_arg $ order_arg $ steps_arg $ step_ps_arg $ regions $ lambda
-      $ samples_arg $ domains_arg)
+      $ samples_arg $ domains_arg $ metrics_out_arg $ log_level_arg)
 
 (* ---- walk ------------------------------------------------------------ *)
 

@@ -8,6 +8,7 @@ type config = {
   ordering : Linalg.Ordering.kind;
   probes : int array;
   domains : int;  (* Util.Parallel.resolve convention: 0 = OPERA_DOMAINS *)
+  policy : Galerkin.policy;  (* convergence policy for iterative solves *)
 }
 
 let default_config =
@@ -21,6 +22,7 @@ let default_config =
     ordering = Linalg.Ordering.Nested_dissection;
     probes = [||];
     domains = 0;
+    policy = Galerkin.Warn;
   }
 
 type outcome = {
@@ -54,7 +56,7 @@ let solve_opera config model =
   let options =
     { Galerkin.default_options with
       Galerkin.solver = config.solver; ordering = config.ordering; probes = config.probes;
-      domains = config.domains }
+      domains = config.domains; policy = config.policy }
   in
   let t0 = Util.Timer.start () in
   let response, stats = Galerkin.solve_transient ~options model ~h:config.h ~steps:config.steps in

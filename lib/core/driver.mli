@@ -13,12 +13,15 @@ type config = {
   domains : int;
       (** domain count for the block-parallel Galerkin paths
           ({!Util.Parallel.resolve} convention: 0 = [OPERA_DOMAINS]) *)
+  policy : Galerkin.policy;
+      (** what an iterative solve does when it exhausts [max_iter]
+          without converging ({!Galerkin.policy}; default [Warn]) *)
 }
 
 val default_config : config
 (** Order-2 expansion, 1 ns clock sampled at h = 0.125 ns for 40 steps,
     300 MC samples, mean-block-preconditioned CG (the fastest accurate
-    configuration; see the solver ablation bench). *)
+    configuration; see the solver ablation bench), [Warn] policy. *)
 
 type outcome = {
   label : string;

@@ -3,12 +3,26 @@ type solver =
   | Mean_pcg of { tol : float; max_iter : int }
   | Matrix_free_pcg of { tol : float; max_iter : int }
 
+type policy = Fail | Warn | Fallback
+
+exception Solver_diverged of string * Linalg.Solve_report.t
+
+let () =
+  Printexc.register_printer (function
+    | Solver_diverged (context, report) ->
+        Some
+          (Printf.sprintf "Galerkin.Solver_diverged(%s: %s)" context
+             (Linalg.Solve_report.summary report))
+    | _ -> None)
+
 type options = {
   solver : solver;
   ordering : Linalg.Ordering.kind;
   probes : int array;
   scheme : Powergrid.Transient.scheme;
   domains : int;
+  policy : policy;
+  metrics : Util.Metrics.t;
 }
 
 let default_options =
@@ -18,6 +32,8 @@ let default_options =
     probes = [||];
     scheme = Powergrid.Transient.Backward_euler;
     domains = 0;
+    policy = Warn;
+    metrics = Util.Metrics.global;
   }
 
 type stats = {
@@ -28,6 +44,7 @@ type stats = {
   factor_seconds : float;
   step_seconds : float;
   pcg_iterations : int;
+  health : Linalg.Solve_report.aggregate;
 }
 
 let assemble (m : Stochastic_model.t) terms =
@@ -74,8 +91,10 @@ let rhs_into (m : Stochastic_model.t) ~drain_buf t out =
    vector is therefore only valid until the next call, which is exactly
    the contract CG needs.  Blocks are independent, so the loop chunks
    across domains; each chunk owns its scratch, and the shared factor is
-   applied through the workspace-explicit solve. *)
-let mean_block_preconditioner ?(domains = 0) (m : Stochastic_model.t) nominal_factor =
+   applied through the workspace-explicit solve.  Each application is
+   counted and timed into [metrics] (from the calling domain only). *)
+let mean_block_preconditioner ?(domains = 0) ?(metrics = Util.Metrics.global)
+    (m : Stochastic_model.t) nominal_factor =
   let size = Polychaos.Basis.size m.basis in
   let n = m.n in
   let d = Util.Parallel.resolve domains in
@@ -85,18 +104,20 @@ let mean_block_preconditioner ?(domains = 0) (m : Stochastic_model.t) nominal_fa
   let work = Array.init chunks (fun _ -> Array.make n 0.0) in
   let inv_gamma = Array.init size (fun j -> 1.0 /. Polychaos.Basis.norm_sq m.basis j) in
   fun (r : Linalg.Vec.t) ->
-    Util.Parallel.for_chunks ~domains:d size (fun ~chunk ~lo ~hi ->
-        let blk = block.(chunk) and wk = work.(chunk) in
-        for j = lo to hi - 1 do
-          let base = j * n in
-          Array.blit r base blk 0 n;
-          Linalg.Sparse_cholesky.solve_in_place_ws nominal_factor ~work:wk blk;
-          let s = inv_gamma.(j) in
-          for i = 0 to n - 1 do
-            z.(base + i) <- blk.(i) *. s
-          done
-        done);
-    z
+    Util.Metrics.incr metrics "galerkin.precond_applies";
+    Util.Metrics.span metrics "galerkin.precond_s" (fun () ->
+        Util.Parallel.for_chunks ~domains:d size (fun ~chunk ~lo ~hi ->
+            let blk = block.(chunk) and wk = work.(chunk) in
+            for j = lo to hi - 1 do
+              let base = j * n in
+              Array.blit r base blk 0 n;
+              Linalg.Sparse_cholesky.solve_in_place_ws nominal_factor ~work:wk blk;
+              let s = inv_gamma.(j) in
+              for i = 0 to n - 1 do
+                z.(base + i) <- blk.(i) *. s
+              done
+            done);
+        z)
 
 let nominal_matrix (m : Stochastic_model.t) terms =
   match List.assoc_opt 0 terms with
@@ -116,45 +137,87 @@ let block_ordering ?(kind = Linalg.Ordering.Nested_dissection) (m : Stochastic_m
       let v = idx / size and k = idx mod size in
       (k * m.n) + node_perm.(v))
 
+(* Convergence policy on a finished PCG solve: aggregate the report, then
+   accept / raise / warn / repair according to [policy].  [fallback] must
+   return a solution meeting the tolerance (in practice: a direct solve
+   with the assembled augmented factor, built lazily so healthy runs
+   never pay for it). *)
+let apply_policy ~policy ~metrics ~agg ~context ~fallback x (report : Linalg.Solve_report.t) =
+  Linalg.Solve_report.agg_add agg report;
+  Util.Metrics.incr ~by:report.Linalg.Solve_report.iterations metrics "galerkin.pcg_iterations";
+  if report.Linalg.Solve_report.converged then x
+  else begin
+    Util.Metrics.incr metrics "galerkin.pcg_unconverged";
+    match policy with
+    | Fail -> raise (Solver_diverged (context (), report))
+    | Warn ->
+        Util.Log.warnf "galerkin %s: %s" (context ()) (Linalg.Solve_report.summary report);
+        x
+    | Fallback ->
+        Linalg.Solve_report.agg_count_fallback agg;
+        Util.Metrics.incr metrics "galerkin.fallbacks";
+        Util.Log.infof "galerkin %s: %s; falling back to the assembled direct solver"
+          (context ())
+          (Linalg.Solve_report.summary report);
+        Util.Metrics.span metrics "galerkin.fallback_s" fallback
+  end
+
 let solve_dc ?(options = default_options) (m : Stochastic_model.t) =
   let size = Polychaos.Basis.size m.basis in
   let dim = size * m.n in
   let drain_buf = Array.make m.n 0.0 in
   let rhs = Array.make dim 0.0 in
   rhs_into m ~drain_buf 0.0 rhs;
+  let metrics = options.metrics in
+  let agg = Linalg.Solve_report.agg_create () in
+  let direct_gt_solve gt () =
+    let perm = block_ordering ~kind:options.ordering m in
+    let f = Linalg.Sparse_cholesky.factor ~perm gt in
+    Linalg.Sparse_cholesky.solve f rhs
+  in
   match options.solver with
   | Direct ->
       let gt = assemble_g m in
-      let perm = block_ordering ~kind:options.ordering m in
-      let f = Linalg.Sparse_cholesky.factor ~perm gt in
-      Linalg.Sparse_cholesky.solve f rhs
+      Util.Metrics.span metrics "galerkin.factor_s" (fun () -> direct_gt_solve gt ())
   | Mean_pcg { tol; max_iter } ->
       let gt = assemble_g m in
       let ga = nominal_matrix m m.g_terms in
-      let f0 = Linalg.Sparse_cholesky.factor ~ordering:options.ordering ga in
-      let precond = mean_block_preconditioner ~domains:options.domains m f0 in
-      let x, _ =
-        Linalg.Cg.solve ~precond ~max_iter ~tol ~matvec:(Linalg.Sparse.mul_vec gt) ~b:rhs
-          ~x0:(Array.make dim 0.0) ()
+      let f0 =
+        Util.Metrics.span metrics "galerkin.factor_s" (fun () ->
+            Linalg.Sparse_cholesky.factor ~ordering:options.ordering ga)
       in
-      x
+      let precond = mean_block_preconditioner ~domains:options.domains ~metrics m f0 in
+      let x, report =
+        Linalg.Cg.solve_report ~precond ~max_iter ~tol ~matvec:(Linalg.Sparse.mul_vec gt)
+          ~b:rhs ~x0:(Array.make dim 0.0) ()
+      in
+      apply_policy ~policy:options.policy ~metrics ~agg
+        ~context:(fun () -> "dc solve (mean-pcg)")
+        ~fallback:(direct_gt_solve gt) x report
   | Matrix_free_pcg { tol; max_iter } ->
       (* Never assembles the augmented operator: the matvec is the
          block-structured Galerkin_op apply, the preconditioner the
          factorized n x n nominal block. *)
       let op = Galerkin_op.gt ~domains:options.domains m in
       let ga = nominal_matrix m m.g_terms in
-      let f0 = Linalg.Sparse_cholesky.factor ~ordering:options.ordering ga in
-      let precond = mean_block_preconditioner ~domains:options.domains m f0 in
+      let f0 =
+        Util.Metrics.span metrics "galerkin.factor_s" (fun () ->
+            Linalg.Sparse_cholesky.factor ~ordering:options.ordering ga)
+      in
+      let precond = mean_block_preconditioner ~domains:options.domains ~metrics m f0 in
       let mv = Array.make dim 0.0 in
       let matvec x =
         Galerkin_op.apply_into op x mv;
         mv
       in
-      let x, _ =
-        Linalg.Cg.solve ~precond ~max_iter ~tol ~matvec ~b:rhs ~x0:(Array.make dim 0.0) ()
+      let x, report =
+        Linalg.Cg.solve_report ~precond ~max_iter ~tol ~matvec ~b:rhs
+          ~x0:(Array.make dim 0.0) ()
       in
-      x
+      apply_policy ~policy:options.policy ~metrics ~agg
+        ~context:(fun () -> "dc solve (matrix-free-pcg)")
+        ~fallback:(fun () -> direct_gt_solve (assemble_g m) ())
+        x report
 
 let solve_transient ?(options = default_options) (m : Stochastic_model.t) ~h ~steps =
   if h <= 0.0 then invalid_arg "Galerkin.solve_transient: step must be positive";
@@ -170,15 +233,24 @@ let solve_transient ?(options = default_options) (m : Stochastic_model.t) ~h ~st
   let response =
     Response.create ~basis:m.basis ~n:m.n ~steps ~h ~vdd:m.vdd ~probes:options.probes
   in
+  let metrics = options.metrics in
+  let agg = Linalg.Solve_report.agg_create () in
+  let policy = options.policy in
   let drain_buf = Array.make m.n 0.0 in
   let u = Array.make dim 0.0 in
   let rhs = Array.make dim 0.0 in
   let ct_a = Array.make dim 0.0 in
-  let pcg_iterations = ref 0 in
   let assemble_seconds = ref 0.0 in
   let factor_seconds = ref 0.0 in
   let nnz_factor = ref 0 in
-  let t_assemble = Util.Timer.start () in
+  (* Step counter shared with the policy context thunks so diagnostics
+     name the failing transient step. *)
+  let current_step = ref 0 in
+  let step_context what () =
+    if !current_step = 0 then Printf.sprintf "dc solve (%s)" what
+    else Printf.sprintf "transient step %d (%s)" !current_step what
+  in
+  let t_assemble = Util.Metrics.start_span () in
   (* Per-solver setup: initial stochastic DC state [a], the implicit step
      [step_of] (solving [Mt a = rhs] in place of [a]), the Ct and Gt
      matvecs used to build right-hand sides, and the operator's stored
@@ -189,12 +261,12 @@ let solve_transient ?(options = default_options) (m : Stochastic_model.t) ~h ~st
         let gt = assemble_g m in
         let ct = assemble_c m in
         let mt = Linalg.Sparse.axpy ~alpha:ct_scale ct gt in
-        assemble_seconds := Util.Timer.elapsed_s t_assemble;
-        let t0 = Util.Timer.start () in
+        assemble_seconds := Util.Metrics.stop_span metrics "galerkin.assemble_s" t_assemble;
+        let t0 = Util.Metrics.start_span () in
         let perm = block_ordering ~kind:options.ordering m in
         let fdc = Linalg.Sparse_cholesky.factor ~perm gt in
         let f = Linalg.Sparse_cholesky.factor ~perm mt in
-        factor_seconds := Util.Timer.elapsed_s t0;
+        factor_seconds := Util.Metrics.stop_span metrics "galerkin.factor_s" t0;
         nnz_factor := Linalg.Sparse_cholesky.nnz_l f;
         rhs_into m ~drain_buf 0.0 rhs;
         let a = Linalg.Sparse_cholesky.solve fdc rhs in
@@ -208,8 +280,8 @@ let solve_transient ?(options = default_options) (m : Stochastic_model.t) ~h ~st
         let gt = assemble_g m in
         let ct = assemble_c m in
         let mt = Linalg.Sparse.axpy ~alpha:ct_scale ct gt in
-        assemble_seconds := Util.Timer.elapsed_s t_assemble;
-        let t0 = Util.Timer.start () in
+        assemble_seconds := Util.Metrics.stop_span metrics "galerkin.assemble_s" t_assemble;
+        let t0 = Util.Metrics.start_span () in
         let node_perm =
           Linalg.Ordering.compute options.ordering (Stochastic_model.node_pattern m)
         in
@@ -217,21 +289,38 @@ let solve_transient ?(options = default_options) (m : Stochastic_model.t) ~h ~st
         let nominal = Linalg.Sparse.axpy ~alpha:ct_scale (nominal_matrix m m.c_terms) ga in
         let f0 = Linalg.Sparse_cholesky.factor ~perm:node_perm nominal in
         let fdc0 = Linalg.Sparse_cholesky.factor ~perm:node_perm ga in
-        factor_seconds := Util.Timer.elapsed_s t0;
-        let precond = mean_block_preconditioner ~domains:options.domains m f0 in
-        let precond_dc = mean_block_preconditioner ~domains:options.domains m fdc0 in
+        factor_seconds := Util.Metrics.stop_span metrics "galerkin.factor_s" t0;
+        (* Direct fallbacks on the assembled augmented matrices, built
+           lazily: a healthy run never factors them. *)
+        let direct_step =
+          lazy (Linalg.Sparse_cholesky.factor ~perm:(block_ordering ~kind:options.ordering m) mt)
+        in
+        let direct_dc =
+          lazy (Linalg.Sparse_cholesky.factor ~perm:(block_ordering ~kind:options.ordering m) gt)
+        in
+        let precond = mean_block_preconditioner ~domains:options.domains ~metrics m f0 in
+        let precond_dc = mean_block_preconditioner ~domains:options.domains ~metrics m fdc0 in
         rhs_into m ~drain_buf 0.0 rhs;
-        let a, st0 =
-          Linalg.Cg.solve ~precond:precond_dc ~max_iter ~tol
+        let a0, report0 =
+          Linalg.Cg.solve_report ~precond:precond_dc ~max_iter ~tol
             ~matvec:(Linalg.Sparse.mul_vec gt) ~b:rhs ~x0:(Array.make dim 0.0) ()
         in
-        pcg_iterations := !pcg_iterations + st0.Linalg.Cg.iterations;
+        let a =
+          apply_policy ~policy ~metrics ~agg ~context:(step_context "mean-pcg")
+            ~fallback:(fun () -> Linalg.Sparse_cholesky.solve (Lazy.force direct_dc) rhs)
+            a0 report0
+        in
+        let a = Array.copy a in
         let step_of () =
-          let x, st =
-            Linalg.Cg.solve ~precond ~max_iter ~tol ~matvec:(Linalg.Sparse.mul_vec mt) ~b:rhs
-              ~x0:a ()
+          let x, report =
+            Linalg.Cg.solve_report ~precond ~max_iter ~tol ~matvec:(Linalg.Sparse.mul_vec mt)
+              ~b:rhs ~x0:a ()
           in
-          pcg_iterations := !pcg_iterations + st.Linalg.Cg.iterations;
+          let x =
+            apply_policy ~policy ~metrics ~agg ~context:(step_context "mean-pcg")
+              ~fallback:(fun () -> Linalg.Sparse_cholesky.solve (Lazy.force direct_step) rhs)
+              x report
+          in
           Array.blit x 0 a 0 dim
         in
         (a, step_of, Linalg.Sparse.mul_vec_into ct, Linalg.Sparse.mul_vec_into gt,
@@ -244,8 +333,8 @@ let solve_transient ?(options = default_options) (m : Stochastic_model.t) ~h ~st
         let op_gt = Galerkin_op.gt ~domains m in
         let op_ct = Galerkin_op.ct ~domains m in
         let op_mt = Galerkin_op.gt_plus_ct ~domains ~ct_scale m in
-        assemble_seconds := Util.Timer.elapsed_s t_assemble;
-        let t0 = Util.Timer.start () in
+        assemble_seconds := Util.Metrics.stop_span metrics "galerkin.assemble_s" t_assemble;
+        let t0 = Util.Metrics.start_span () in
         let node_perm =
           Linalg.Ordering.compute options.ordering (Stochastic_model.node_pattern m)
         in
@@ -253,9 +342,25 @@ let solve_transient ?(options = default_options) (m : Stochastic_model.t) ~h ~st
         let nominal = Linalg.Sparse.axpy ~alpha:ct_scale (nominal_matrix m m.c_terms) ga in
         let f0 = Linalg.Sparse_cholesky.factor ~perm:node_perm nominal in
         let fdc0 = Linalg.Sparse_cholesky.factor ~perm:node_perm ga in
-        factor_seconds := Util.Timer.elapsed_s t0;
-        let precond = mean_block_preconditioner ~domains m f0 in
-        let precond_dc = mean_block_preconditioner ~domains m fdc0 in
+        factor_seconds := Util.Metrics.stop_span metrics "galerkin.factor_s" t0;
+        (* The matrix-free route owns no assembled operator, so its
+           fallback assembles one on first use — trading the memory wall
+           back for a guaranteed residual when the policy demands it. *)
+        let direct_step =
+          lazy
+            (let gta = assemble_g m in
+             let cta = assemble_c m in
+             let mta = Linalg.Sparse.axpy ~alpha:ct_scale cta gta in
+             Linalg.Sparse_cholesky.factor ~perm:(block_ordering ~kind:options.ordering m) mta)
+        in
+        let direct_dc =
+          lazy
+            (Linalg.Sparse_cholesky.factor
+               ~perm:(block_ordering ~kind:options.ordering m)
+               (assemble_g m))
+        in
+        let precond = mean_block_preconditioner ~domains ~metrics m f0 in
+        let precond_dc = mean_block_preconditioner ~domains ~metrics m fdc0 in
         rhs_into m ~drain_buf 0.0 rhs;
         let mv = Array.make dim 0.0 in
         let matvec_gt x =
@@ -266,26 +371,37 @@ let solve_transient ?(options = default_options) (m : Stochastic_model.t) ~h ~st
           Galerkin_op.apply_into op_mt x mv;
           mv
         in
-        let a, st0 =
-          Linalg.Cg.solve ~precond:precond_dc ~max_iter ~tol ~matvec:matvec_gt ~b:rhs
+        let a0, report0 =
+          Linalg.Cg.solve_report ~precond:precond_dc ~max_iter ~tol ~matvec:matvec_gt ~b:rhs
             ~x0:(Array.make dim 0.0) ()
         in
-        pcg_iterations := !pcg_iterations + st0.Linalg.Cg.iterations;
+        let a =
+          apply_policy ~policy ~metrics ~agg ~context:(step_context "matrix-free-pcg")
+            ~fallback:(fun () -> Linalg.Sparse_cholesky.solve (Lazy.force direct_dc) rhs)
+            a0 report0
+        in
+        let a = Array.copy a in
         let step_of () =
-          let x, st =
-            Linalg.Cg.solve ~precond ~max_iter ~tol ~matvec:matvec_mt ~b:rhs ~x0:a ()
+          let x, report =
+            Linalg.Cg.solve_report ~precond ~max_iter ~tol ~matvec:matvec_mt ~b:rhs ~x0:a ()
           in
-          pcg_iterations := !pcg_iterations + st.Linalg.Cg.iterations;
+          let x =
+            apply_policy ~policy ~metrics ~agg ~context:(step_context "matrix-free-pcg")
+              ~fallback:(fun () -> Linalg.Sparse_cholesky.solve (Lazy.force direct_step) rhs)
+              x report
+          in
           Array.blit x 0 a 0 dim
         in
         (a, step_of, Galerkin_op.apply_into op_ct, Galerkin_op.apply_into op_gt,
          Galerkin_op.nnz op_mt)
   in
   Response.record_step response ~step:0 ~coefs:a;
+  let step_of () = Util.Metrics.span metrics "galerkin.step_s" step_of in
   let t_steps = Util.Timer.start () in
   (match options.scheme with
   | Powergrid.Transient.Backward_euler ->
       for k = 1 to steps do
+        current_step := k;
         let t = float_of_int k *. h in
         rhs_into m ~drain_buf t u;
         mul_ct_into a ct_a;
@@ -301,6 +417,7 @@ let solve_transient ?(options = default_options) (m : Stochastic_model.t) ~h ~st
       let gt_a = Array.make dim 0.0 in
       rhs_into m ~drain_buf 0.0 u_prev;
       for k = 1 to steps do
+        current_step := k;
         let t = float_of_int k *. h in
         rhs_into m ~drain_buf t u;
         mul_ct_into a ct_a;
@@ -313,6 +430,9 @@ let solve_transient ?(options = default_options) (m : Stochastic_model.t) ~h ~st
         Response.record_step response ~step:k ~coefs:a
       done);
   let step_seconds = Util.Timer.elapsed_s t_steps in
+  if not (Linalg.Solve_report.agg_healthy agg) then
+    Util.Log.warnf "galerkin transient finished UNHEALTHY: %s"
+      (Linalg.Solve_report.agg_summary agg);
   ( response,
     {
       aug_dim = dim;
@@ -321,5 +441,6 @@ let solve_transient ?(options = default_options) (m : Stochastic_model.t) ~h ~st
       assemble_seconds = !assemble_seconds;
       factor_seconds = !factor_seconds;
       step_seconds;
-      pcg_iterations = !pcg_iterations;
+      pcg_iterations = agg.Linalg.Solve_report.iterations;
+      health = agg;
     } )

@@ -25,6 +25,21 @@ type solver =
           [O((N+1)^2 nnz)] to [O(sum_r nnz_r + (N+1) n)], and the matvec
           parallelizes across chaos blocks (see [options.domains]). *)
 
+type policy =
+  | Fail  (** raise {!Solver_diverged} on the first unconverged solve *)
+  | Warn
+      (** log the report to stderr, keep the approximate iterate, and
+          mark the run unhealthy in [stats.health] (the default) *)
+  | Fallback
+      (** re-solve with the assembled direct factor (built lazily on
+          first failure) so the returned vector always meets the
+          tolerance; every repair is counted in [stats.health] *)
+
+exception Solver_diverged of string * Linalg.Solve_report.t
+(** Raised under the [Fail] policy: the context string names the solve
+    ("dc solve (mean-pcg)", "transient step 17 (matrix-free-pcg)", ...)
+    and the report carries iterations / relative residual / wall time. *)
+
 type options = {
   solver : solver;
   ordering : Linalg.Ordering.kind;
@@ -38,11 +53,20 @@ type options = {
           mean-block preconditioner); {!Util.Parallel.resolve} convention:
           [0] defers to the [OPERA_DOMAINS] environment variable, default
           sequential.  Results are bitwise identical for any value. *)
+  policy : policy;
+      (** what to do when an iterative solve exhausts [max_iter] without
+          reaching the tolerance *)
+  metrics : Util.Metrics.t;
+      (** registry receiving the per-phase counters and timers
+          ([galerkin.assemble_s], [galerkin.factor_s], [galerkin.step_s],
+          [galerkin.precond_s], [galerkin.pcg_iterations], ...); defaults
+          to {!Util.Metrics.global}.  Updated from the calling domain
+          only. *)
 }
 
 val default_options : options
 (** Direct solver, nested-dissection ordering, no probes, backward
-    Euler, domains from the environment. *)
+    Euler, domains from the environment, [Warn] policy, global metrics. *)
 
 type stats = {
   aug_dim : int;  (** (N+1) * n *)
@@ -55,7 +79,15 @@ type stats = {
   assemble_seconds : float;
   factor_seconds : float;
   step_seconds : float;
-  pcg_iterations : int;  (** total over all steps (Mean_pcg only) *)
+  pcg_iterations : int;
+      (** total over all steps (iterative solvers only; mirrors
+          [health.iterations]) *)
+  health : Linalg.Solve_report.aggregate;
+      (** solver-health ledger of the run: solves, iterations,
+          unconverged count, fallbacks taken, worst relative residual,
+          accumulated iterative wall time.  Check
+          {!Linalg.Solve_report.agg_healthy} before trusting the
+          response of an iterative run under the [Warn] policy. *)
 }
 
 val assemble : Stochastic_model.t -> (int * Linalg.Sparse.t) list -> Linalg.Sparse.t

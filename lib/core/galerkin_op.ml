@@ -119,14 +119,19 @@ let apply_into op x y =
     invalid_arg "Galerkin_op.apply_into: dimension mismatch";
   if x == y then invalid_arg "Galerkin_op.apply_into: x and y must be distinct";
   let n = op.n in
-  Util.Parallel.parallel_for ~domains:op.domains op.size (fun j ->
-      let yoff = j * n in
-      Array.fill y yoff n 0.0;
-      let ts = op.block_terms.(j) and ks = op.block_inputs.(j) and cs = op.block_coefs.(j) in
-      for e = 0 to Array.length ts - 1 do
-        Linalg.Sparse.mul_vec_acc_off ~alpha:cs.(e) op.terms.(ts.(e)) x ~xoff:(ks.(e) * n) y
-          ~yoff
-      done)
+  (* One counter bump and one timed span per operator application, on the
+     calling domain only: the worker domains spawned by [parallel_for]
+     never touch the registry. *)
+  Util.Metrics.incr Util.Metrics.global "galerkin_op.matvecs";
+  Util.Metrics.span Util.Metrics.global "galerkin_op.matvec_s" (fun () ->
+      Util.Parallel.parallel_for ~domains:op.domains op.size (fun j ->
+          let yoff = j * n in
+          Array.fill y yoff n 0.0;
+          let ts = op.block_terms.(j) and ks = op.block_inputs.(j) and cs = op.block_coefs.(j) in
+          for e = 0 to Array.length ts - 1 do
+            Linalg.Sparse.mul_vec_acc_off ~alpha:cs.(e) op.terms.(ts.(e)) x ~xoff:(ks.(e) * n) y
+              ~yoff
+          done))
 
 let apply op x =
   let y = Array.make (dim op) 0.0 in

@@ -59,9 +59,17 @@ let run_decoupled ?(domains = 0) t ~h ~steps ~probes ~record =
   let size = Polychaos.Basis.size t.basis in
   let g = Powergrid.Mna.g_total t.mna in
   let c = Powergrid.Mna.c_total t.mna in
+  let metrics = Util.Metrics.global in
   let t0 = Util.Timer.start () in
-  let fdc = Linalg.Sparse_cholesky.factor ~ordering:Linalg.Ordering.Nested_dissection g in
-  let fbe = Linalg.Sparse_cholesky.factor ~ordering:Linalg.Ordering.Nested_dissection (Linalg.Sparse.axpy ~alpha:(1.0 /. h) c g) in
+  let fdc, fbe =
+    Util.Metrics.span metrics "special.factor_s" (fun () ->
+        let fdc = Linalg.Sparse_cholesky.factor ~ordering:Linalg.Ordering.Nested_dissection g in
+        let fbe =
+          Linalg.Sparse_cholesky.factor ~ordering:Linalg.Ordering.Nested_dissection
+            (Linalg.Sparse.axpy ~alpha:(1.0 /. h) c g)
+        in
+        (fdc, fbe))
+  in
   let static = Array.init size (excitation_term t) in
   let drain = Linalg.Vec.create n in
   (* Per-block state across time. *)
@@ -93,6 +101,7 @@ let run_decoupled ?(domains = 0) t ~h ~steps ~probes ~record =
   record 0 coefs;
   for step = 1 to steps do
     let time = float_of_int step *. h in
+    let span = Util.Metrics.start_span () in
     set_drain time;
     Util.Parallel.for_chunks ~domains:d size (fun ~chunk ~lo ~hi ->
         let u_k = u_bufs.(chunk) and work = work_bufs.(chunk) in
@@ -106,6 +115,7 @@ let run_decoupled ?(domains = 0) t ~h ~steps ~probes ~record =
           Linalg.Sparse_cholesky.solve_in_place_ws fbe ~work xk;
           Array.blit xk 0 coefs (k * n) n
         done);
+    ignore (Util.Metrics.stop_span metrics "special.step_s" span);
     record step coefs
   done;
   ignore probes;
@@ -138,9 +148,11 @@ let to_stochastic_model t =
     vdd = t.vdd;
   }
 
-let solve_coupled t ~h ~steps ~probes =
+let solve_coupled ?solver ?policy t ~h ~steps ~probes =
   let model = to_stochastic_model t in
   let options = { Galerkin.default_options with probes } in
+  let options = match solver with Some s -> { options with solver = s } | None -> options in
+  let options = match policy with Some p -> { options with policy = p } | None -> options in
   let t0 = Util.Timer.start () in
   let response, _stats = Galerkin.solve_transient ~options model ~h ~steps in
   (response, Util.Timer.elapsed_s t0)

@@ -40,9 +40,18 @@ val solve :
     environment variable, default sequential); results are identical for
     any domain count. *)
 
-val solve_coupled : t -> h:float -> steps:int -> probes:int array -> Response.t * float
+val solve_coupled :
+  ?solver:Galerkin.solver ->
+  ?policy:Galerkin.policy ->
+  t ->
+  h:float ->
+  steps:int ->
+  probes:int array ->
+  Response.t * float
 (** The same problem through the full coupled Galerkin machinery (used by
-    tests to verify the decoupling is exact). *)
+    tests to verify the decoupling is exact).  [solver] defaults to
+    {!Galerkin.default_options}' direct route; [policy] (iterative solvers
+    only) defaults to [Warn]. *)
 
 val monte_carlo :
   t -> samples:int -> seed:int64 -> h:float -> steps:int -> probes:int array ->

@@ -1,10 +1,23 @@
-let solve ?(precond = Cg.identity_preconditioner) ?max_iter ?(tol = 1e-10) ~matvec ~b ~x0 () =
+let rec solve_report ?(precond = Cg.identity_preconditioner) ?max_iter ?(tol = 1e-10) ~matvec ~b
+    ~x0 () =
+  let t0 = Util.Timer.start () in
+  let n = Array.length b in
+  let bnorm = Vec.norm2 b in
+  if bnorm = 0.0 then
+    (* Zero right-hand side: the solution of a nonsingular system is
+       exactly zero — don't iterate against a zero target. *)
+    ( Array.make n 0.0,
+      Solve_report.make ~solver:"bicgstab" ~iterations:0 ~residual_norm:0.0 ~rhs_norm:0.0 ~tol
+        ~converged:true ~wall_seconds:(Util.Timer.elapsed_s t0) () )
+  else solve_nonzero ~precond ?max_iter ~tol ~matvec ~b ~x0 ~bnorm ~t0 ()
+
+and solve_nonzero ~precond ?max_iter ~tol ~matvec ~b ~x0 ~bnorm ~t0 () =
   let n = Array.length b in
   let max_iter = match max_iter with Some m -> m | None -> Int.max 100 (10 * n) in
   let x = Array.copy x0 in
   let r = Vec.sub b (matvec x) in
   let r_hat = Array.copy r in
-  let target = tol *. Float.max (Vec.norm2 b) 1e-300 in
+  let target = tol *. bnorm in
   let rho = ref 1.0 and alpha = ref 1.0 and omega = ref 1.0 in
   let v = Vec.create n and p = Vec.create n in
   let iter = ref 0 in
@@ -47,7 +60,14 @@ let solve ?(precond = Cg.identity_preconditioner) ?max_iter ?(tol = 1e-10) ~matv
       end
     end
   done;
-  (x, { Cg.iterations = !iter; residual_norm = !rnorm; converged = !rnorm <= target })
+  ( x,
+    Solve_report.make ~solver:"bicgstab" ~iterations:!iter ~residual_norm:!rnorm ~rhs_norm:bnorm
+      ~tol ~converged:(!rnorm <= target) ~breakdown:!broke_down
+      ~wall_seconds:(Util.Timer.elapsed_s t0) () )
+
+let solve ?precond ?max_iter ?tol ~matvec ~b ~x0 () =
+  let x, report = solve_report ?precond ?max_iter ?tol ~matvec ~b ~x0 () in
+  (x, Cg.stats_of_report report)
 
 let solve_sparse ?precond ?max_iter ?tol a b =
   let n, m = Sparse.dims a in

@@ -13,5 +13,18 @@ val solve :
     Convergence is declared when the residual 2-norm drops below
     [tol * ||b||]. *)
 
+val solve_report :
+  ?precond:Cg.preconditioner ->
+  ?max_iter:int ->
+  ?tol:float ->
+  matvec:(Vec.t -> Vec.t) ->
+  b:Vec.t ->
+  x0:Vec.t ->
+  unit ->
+  Vec.t * Solve_report.t
+(** Same iteration as {!solve} but returns a full {!Solve_report.t}
+    (relative residual, wall time, convergence and breakdown flags).  A
+    zero right-hand side returns [x = 0] immediately. *)
+
 val solve_sparse :
   ?precond:Cg.preconditioner -> ?max_iter:int -> ?tol:float -> Sparse.t -> Vec.t -> Vec.t * Cg.stats

@@ -89,35 +89,83 @@ let ic0 a =
     done;
     y
 
-let solve ?(precond = identity_preconditioner) ?max_iter ?(tol = 1e-10) ~matvec ~b ~x0 () =
+(* Bounded ring buffer of residual norms: keeps the [cap] most recent
+   observations and lists them oldest-first. *)
+type history = { cap : int; data : float array; mutable next : int; mutable count : int }
+
+let history_create cap = { cap; data = Array.make (Int.max cap 1) 0.0; next = 0; count = 0 }
+
+let history_push h v =
+  if h.cap > 0 then begin
+    h.data.(h.next) <- v;
+    h.next <- (h.next + 1) mod h.cap;
+    h.count <- Int.min (h.count + 1) h.cap
+  end
+
+let history_to_array h =
+  if h.cap = 0 || h.count = 0 then [||]
+  else
+    let start = if h.count < h.cap then 0 else h.next in
+    Array.init h.count (fun i -> h.data.((start + i) mod h.cap))
+
+let solve_report ?(precond = identity_preconditioner) ?max_iter ?(tol = 1e-10)
+    ?(history_cap = 0) ~matvec ~b ~x0 () =
+  let t0 = Util.Timer.start () in
   let n = Array.length b in
-  let max_iter = match max_iter with Some m -> m | None -> Int.max 100 (10 * n) in
-  let x = Array.copy x0 in
-  let r = Vec.sub b (matvec x) in
-  let target = tol *. Float.max (Vec.norm2 b) 1e-300 in
-  let z = precond r in
-  let p = Array.copy z in
-  let rz = ref (Vec.dot r z) in
-  let iter = ref 0 in
-  let rnorm = ref (Vec.norm2 r) in
-  while !rnorm > target && !iter < max_iter do
-    incr iter;
-    let ap = matvec p in
-    let alpha = !rz /. Vec.dot p ap in
-    Vec.axpy ~alpha p x;
-    Vec.axpy ~alpha:(-.alpha) ap r;
-    rnorm := Vec.norm2 r;
-    if !rnorm > target then begin
-      let z = precond r in
-      let rz' = Vec.dot r z in
-      let beta = rz' /. !rz in
-      rz := rz';
-      for i = 0 to n - 1 do
-        p.(i) <- z.(i) +. (beta *. p.(i))
-      done
-    end
-  done;
-  (x, { iterations = !iter; residual_norm = !rnorm; converged = !rnorm <= target })
+  let bnorm = Vec.norm2 b in
+  if bnorm = 0.0 then
+    (* The exact solution of an SPD system with a zero right-hand side is
+       zero: return it outright instead of iterating against a zero
+       target (which could never be met from a nonzero initial guess). *)
+    ( Array.make n 0.0,
+      Solve_report.make ~solver:"cg" ~iterations:0 ~residual_norm:0.0 ~rhs_norm:0.0 ~tol
+        ~converged:true ~wall_seconds:(Util.Timer.elapsed_s t0) () )
+  else begin
+    let max_iter = match max_iter with Some m -> m | None -> Int.max 100 (10 * n) in
+    let x = Array.copy x0 in
+    let r = Vec.sub b (matvec x) in
+    let target = tol *. bnorm in
+    let z = precond r in
+    let p = Array.copy z in
+    let rz = ref (Vec.dot r z) in
+    let iter = ref 0 in
+    let rnorm = ref (Vec.norm2 r) in
+    let hist = history_create history_cap in
+    history_push hist !rnorm;
+    while !rnorm > target && !iter < max_iter do
+      incr iter;
+      let ap = matvec p in
+      let alpha = !rz /. Vec.dot p ap in
+      Vec.axpy ~alpha p x;
+      Vec.axpy ~alpha:(-.alpha) ap r;
+      rnorm := Vec.norm2 r;
+      history_push hist !rnorm;
+      if !rnorm > target then begin
+        let z = precond r in
+        let rz' = Vec.dot r z in
+        let beta = rz' /. !rz in
+        rz := rz';
+        for i = 0 to n - 1 do
+          p.(i) <- z.(i) +. (beta *. p.(i))
+        done
+      end
+    done;
+    ( x,
+      Solve_report.make ~solver:"cg" ~iterations:!iter ~residual_norm:!rnorm ~rhs_norm:bnorm
+        ~tol ~converged:(!rnorm <= target) ~wall_seconds:(Util.Timer.elapsed_s t0)
+        ~residual_history:(history_to_array hist) () )
+  end
+
+let stats_of_report (r : Solve_report.t) =
+  {
+    iterations = r.Solve_report.iterations;
+    residual_norm = r.Solve_report.residual_norm;
+    converged = r.Solve_report.converged;
+  }
+
+let solve ?precond ?max_iter ?tol ~matvec ~b ~x0 () =
+  let x, report = solve_report ?precond ?max_iter ?tol ~matvec ~b ~x0 () in
+  (x, stats_of_report report)
 
 let solve_sparse ?precond ?max_iter ?tol a b =
   let n, m = Sparse.dims a in

@@ -31,7 +31,32 @@ val solve :
   Vec.t * stats
 (** [solve ~matvec ~b ~x0 ()] runs (preconditioned) CG until the residual
     2-norm falls below [tol * ||b||] (default [tol = 1e-10]) or [max_iter]
-    iterations (default [10 * n]). *)
+    iterations (default [10 * n]).  A zero right-hand side returns the
+    exact solution [x = 0] immediately ([converged = true], 0 iterations)
+    regardless of [x0].
+
+    CALLERS MUST CHECK [stats.converged] (or use {!solve_report} and a
+    convergence policy): hitting [max_iter] silently otherwise turns the
+    returned vector into an unlabeled approximation. *)
+
+val solve_report :
+  ?precond:preconditioner ->
+  ?max_iter:int ->
+  ?tol:float ->
+  ?history_cap:int ->
+  matvec:(Vec.t -> Vec.t) ->
+  b:Vec.t ->
+  x0:Vec.t ->
+  unit ->
+  Vec.t * Solve_report.t
+(** Same iteration as {!solve} but returns a full {!Solve_report.t}
+    (relative residual, wall time, convergence flag, and — when
+    [history_cap > 0] — the most recent [history_cap] residual norms in a
+    bounded ring buffer, oldest first, starting with the initial
+    residual). *)
+
+val stats_of_report : Solve_report.t -> stats
+(** Project a report onto the legacy {!stats} triple. *)
 
 val solve_sparse :
   ?precond:preconditioner ->

@@ -13,29 +13,39 @@ let run cfg ~g ~c ~inject ~x0 ~on_step =
   let x = Array.copy x0 in
   let u = Linalg.Vec.create n in
   let rhs = Linalg.Vec.create n in
+  let metrics = Util.Metrics.global in
   (match cfg.scheme with
   | Backward_euler ->
       (* (G + C/h) x_{k+1} = u(t_{k+1}) + (C/h) x_k *)
       let m = Linalg.Sparse.axpy ~alpha:(1.0 /. cfg.h) c g in
-      let f = Linalg.Sparse_cholesky.factor ~ordering:cfg.ordering m in
+      let f =
+        Util.Metrics.span metrics "transient.factor_s" (fun () ->
+            Linalg.Sparse_cholesky.factor ~ordering:cfg.ordering m)
+      in
       for k = 1 to cfg.steps do
         let t = float_of_int k *. cfg.h in
+        let span = Util.Metrics.start_span () in
         inject t u;
         Array.blit u 0 rhs 0 n;
         Linalg.Sparse.mul_vec_acc ~alpha:(1.0 /. cfg.h) c x rhs;
         Linalg.Sparse_cholesky.solve_in_place f rhs;
         Array.blit rhs 0 x 0 n;
+        ignore (Util.Metrics.stop_span metrics "transient.step_s" span);
         on_step k t x
       done
   | Trapezoidal ->
       (* (C/h + G/2) x_{k+1} = (C/h - G/2) x_k + (u_k + u_{k+1}) / 2 *)
       let m = Linalg.Sparse.axpy ~alpha:(2.0 /. cfg.h) c g in
       (* factor G + 2C/h, i.e. 2 * (C/h + G/2); scale RHS accordingly *)
-      let f = Linalg.Sparse_cholesky.factor ~ordering:cfg.ordering m in
+      let f =
+        Util.Metrics.span metrics "transient.factor_s" (fun () ->
+            Linalg.Sparse_cholesky.factor ~ordering:cfg.ordering m)
+      in
       let u_prev = Linalg.Vec.create n in
       inject 0.0 u_prev;
       for k = 1 to cfg.steps do
         let t = float_of_int k *. cfg.h in
+        let span = Util.Metrics.start_span () in
         inject t u;
         for i = 0 to n - 1 do
           rhs.(i) <- u.(i) +. u_prev.(i)
@@ -45,6 +55,7 @@ let run cfg ~g ~c ~inject ~x0 ~on_step =
         Linalg.Sparse_cholesky.solve_in_place f rhs;
         Array.blit rhs 0 x 0 n;
         Array.blit u 0 u_prev 0 n;
+        ignore (Util.Metrics.stop_span metrics "transient.step_s" span);
         on_step k t x
       done);
   ignore x
@@ -53,10 +64,17 @@ let run_full cfg (sys : Mna.Full.system) ~on_step =
   if cfg.h <= 0.0 then invalid_arg "Transient.run_full: step must be positive";
   let dim = sys.Mna.Full.dim in
   (* DC start: inductors are shorts, capacitors open — solve A x = u(0). *)
-  let fdc = Linalg.Sparse_lu.factor ~ordering:cfg.ordering sys.Mna.Full.a in
+  let metrics = Util.Metrics.global in
+  let fdc =
+    Util.Metrics.span metrics "transient.factor_s" (fun () ->
+        Linalg.Sparse_lu.factor ~ordering:cfg.ordering sys.Mna.Full.a)
+  in
   let x = Linalg.Sparse_lu.solve fdc (sys.Mna.Full.rhs 0.0) in
   let m = Linalg.Sparse.axpy ~alpha:(1.0 /. cfg.h) sys.Mna.Full.c sys.Mna.Full.a in
-  let f = Linalg.Sparse_lu.factor ~ordering:cfg.ordering m in
+  let f =
+    Util.Metrics.span metrics "transient.factor_s" (fun () ->
+        Linalg.Sparse_lu.factor ~ordering:cfg.ordering m)
+  in
   let cx = Linalg.Vec.create dim in
   (* Node-view buffer reused across steps: on_step receives the node
      voltages (MNA state minus branch currents) without a per-step
@@ -64,12 +82,14 @@ let run_full cfg (sys : Mna.Full.system) ~on_step =
   let node_view = Linalg.Vec.create sys.Mna.Full.nodes in
   for k = 1 to cfg.steps do
     let t = float_of_int k *. cfg.h in
+    let span = Util.Metrics.start_span () in
     let u = sys.Mna.Full.rhs t in
     Linalg.Sparse.mul_vec_into sys.Mna.Full.c x cx;
     for i = 0 to dim - 1 do
       x.(i) <- u.(i) +. (cx.(i) /. cfg.h)
     done;
     Linalg.Sparse_lu.solve_in_place f x;
+    ignore (Util.Metrics.stop_span metrics "transient.step_s" span);
     Array.blit x 0 node_view 0 sys.Mna.Full.nodes;
     on_step k t node_view
   done

@@ -1,0 +1,35 @@
+(** Minimal JSON reader.
+
+    Just enough to validate and introspect the JSON this repository
+    emits ({!Metrics.to_json}, [BENCH_galerkin.json], [--metrics-out]
+    files): objects, arrays, strings (common escapes incl. [\uXXXX]),
+    numbers, booleans, null.  Not a streaming parser; intended for small
+    configuration/metrics files. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+val parse : string -> (t, string) result
+(** Parse a complete JSON document; trailing non-whitespace is an error. *)
+
+val parse_file : string -> (t, string) result
+
+val member : string -> t -> t option
+(** Object field lookup; [None] on missing key or non-object. *)
+
+val to_float : t -> float option
+
+val to_int : t -> int option
+(** [Some] only for numbers with integral value. *)
+
+val to_string : t -> string option
+
+val to_list : t -> t list option
+
+val keys : t -> string list
+(** Object keys in order; [[]] for non-objects. *)

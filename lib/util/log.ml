@@ -1,0 +1,35 @@
+type level = Error | Warn | Info | Debug
+
+let severity = function Error -> 0 | Warn -> 1 | Info -> 2 | Debug -> 3
+
+let tag = function Error -> "error" | Warn -> "warn" | Info -> "info" | Debug -> "debug"
+
+let current = ref Warn
+
+let set_level l = current := l
+
+let level () = !current
+
+let level_of_string s =
+  match String.lowercase_ascii (String.trim s) with
+  | "error" -> Ok Error
+  | "warn" | "warning" -> Ok Warn
+  | "info" -> Ok Info
+  | "debug" -> Ok Debug
+  | other -> Error (Printf.sprintf "unknown log level %S (error|warn|info|debug)" other)
+
+let level_to_string = tag
+
+let enabled l = severity l <= severity !current
+
+let logf l fmt =
+  let k msg = if enabled l then Printf.eprintf "[opera %s] %s\n%!" (tag l) msg in
+  Printf.ksprintf k fmt
+
+let errorf fmt = logf Error fmt
+
+let warnf fmt = logf Warn fmt
+
+let infof fmt = logf Info fmt
+
+let debugf fmt = logf Debug fmt

@@ -3,14 +3,23 @@
    operator, the mean-block preconditioner and the decoupled
    special-case solves can all share it. *)
 
+let parse_domains s =
+  match int_of_string_opt (String.trim s) with
+  | Some d when d >= 1 -> Ok d
+  | Some d -> Error (Printf.sprintf "domain count must be >= 1, got %d" d)
+  | None -> Error "not an integer"
+
 let env_domains =
   lazy
     (match Sys.getenv_opt "OPERA_DOMAINS" with
     | None -> 1
     | Some s -> (
-        match int_of_string_opt (String.trim s) with
-        | Some d when d >= 1 -> d
-        | _ -> 1))
+        match parse_domains s with
+        | Ok d -> d
+        | Error why ->
+            (* The lazy forces once per process, so this warns once. *)
+            Log.warnf "ignoring invalid OPERA_DOMAINS=%S (%s); running sequentially" s why;
+            1))
 
 let default_domains () = Lazy.force env_domains
 

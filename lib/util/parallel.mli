@@ -14,10 +14,16 @@
     for the kernels in this library because chunking never changes the
     per-index work or its internal summation order. *)
 
+val parse_domains : string -> (int, string) result
+(** Validate a domain-count string as [OPERA_DOMAINS] interprets it:
+    [Ok d] for a trimmed positive integer, [Error why] otherwise. *)
+
 val default_domains : unit -> int
 (** Domain count from the [OPERA_DOMAINS] environment variable; [1] when
-    unset, empty, or not a positive integer.  The value is read once and
-    cached for the lifetime of the process. *)
+    unset.  An invalid value (empty, non-numeric, zero or negative) also
+    yields [1] but additionally warns once on stderr through {!Log},
+    naming the rejected value.  The value is read once and cached for
+    the lifetime of the process. *)
 
 val resolve : int -> int
 (** [resolve d] is [d] if [d >= 1], otherwise {!default_domains} [()] —

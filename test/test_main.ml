@@ -7,6 +7,9 @@ let () =
       ("sparse", Test_sparse.suite);
       ("sparse-factor", Test_sparse_factor.suite);
       ("iterative", Test_iterative.suite);
+      ("solver-health", Test_solver_health.suite);
+      ("transient-order", Test_transient_order.suite);
+      ("parallel", Test_parallel.suite);
       ("prob", Test_prob.suite);
       ("stats", Test_stats.suite);
       ("polychaos", Test_polychaos.suite);

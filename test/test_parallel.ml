@@ -1,0 +1,63 @@
+(* OPERA_DOMAINS parsing and the chunking arithmetic behind the
+   fork/join helpers. *)
+
+let domains = Alcotest.(result int string)
+
+let ok what s expected =
+  match Util.Parallel.parse_domains s with
+  | Ok d -> Alcotest.(check int) what expected d
+  | Error e -> Alcotest.failf "%s: unexpectedly rejected %S (%s)" what s e
+
+let rejected what s =
+  match Util.Parallel.parse_domains s with
+  | Ok d -> Alcotest.failf "%s: %S unexpectedly accepted as %d" what s d
+  | Error e -> Alcotest.(check bool) (what ^ ": error message nonempty") true (String.length e > 0)
+
+let test_parse_valid () =
+  ok "plain" "4" 4;
+  ok "one" "1" 1;
+  ok "whitespace is trimmed" " 8 " 8;
+  ok "large" "128" 128
+
+let test_parse_invalid () =
+  rejected "zero" "0";
+  rejected "negative" "-3";
+  rejected "non-numeric" "abc";
+  rejected "empty" "";
+  rejected "trailing junk" "4x";
+  rejected "float" "2.5"
+
+let test_result_type_in_use () =
+  (* parse_domains is the pure face of the env-var validation; keep its
+     error channel stable for callers that report it. *)
+  Alcotest.check domains "ok value" (Ok 4) (Util.Parallel.parse_domains "4");
+  match Util.Parallel.parse_domains "0" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "0 domains must be rejected"
+
+let test_resolve_prefers_explicit () =
+  Alcotest.(check int) "explicit positive wins" 3 (Util.Parallel.resolve 3);
+  Alcotest.(check bool) "0 defers to the environment (>= 1)" true (Util.Parallel.resolve 0 >= 1)
+
+let test_chunk_bounds_cover () =
+  let n = 17 and chunks = 5 in
+  let seen = Array.make n 0 in
+  for c = 0 to chunks - 1 do
+    let lo, hi = Util.Parallel.chunk_bounds ~n ~chunks c in
+    Alcotest.(check bool) "ordered" true (lo <= hi);
+    for i = lo to hi - 1 do
+      seen.(i) <- seen.(i) + 1
+    done
+  done;
+  Array.iteri
+    (fun i count -> Alcotest.(check int) (Printf.sprintf "index %d covered once" i) 1 count)
+    seen
+
+let suite =
+  [
+    Alcotest.test_case "parse_domains accepts positive integers" `Quick test_parse_valid;
+    Alcotest.test_case "parse_domains rejects invalid values" `Quick test_parse_invalid;
+    Alcotest.test_case "parse_domains result shape" `Quick test_result_type_in_use;
+    Alcotest.test_case "resolve prefers an explicit count" `Quick test_resolve_prefers_explicit;
+    Alcotest.test_case "chunk_bounds partition the range" `Quick test_chunk_bounds_cover;
+  ]
