@@ -1,6 +1,22 @@
-.PHONY: all build test ci bench bench-quick bench-paper bench-galerkin bench-metrics examples clean
+.PHONY: all build test ci lint lint-json bench bench-quick bench-paper bench-galerkin bench-metrics examples clean help
 
 all: build
+
+help:
+	@echo "OPERA targets:"
+	@echo "  build          dune build @all"
+	@echo "  test           dune runtest"
+	@echo "  lint           opera-lint static analysis over lib/ (R1-R5; exit 1 on unwaived findings)"
+	@echo "  lint-json      lint + deterministic machine-readable report in LINT_report.json"
+	@echo "  ci             format check, lint, strict-warning build (--profile ci), tests"
+	@echo "  bench*         benchmark drivers (bench, bench-quick, bench-paper, bench-galerkin, bench-metrics)"
+	@echo "  examples       run every example binary"
+	@echo "  clean          dune clean"
+	@echo ""
+	@echo "Waiving a lint finding: put '(* opera-lint: <key> *)' on the offending line"
+	@echo "(or the line above); keys: exact, race, banned, unsafe, mli.  Exact float"
+	@echo "compares may also carry an [@opera.exact] attribute.  See DESIGN.md,"
+	@echo "'Static analysis & invariants'."
 
 build:
 	dune build @all
@@ -8,16 +24,30 @@ build:
 test:
 	dune runtest
 
+# Static analysis: the opera-lint rule catalogue (exact float compares,
+# domain-race heuristics, banned constructs, unsafe indexing, .mli
+# coverage) over lib/.  `dune build @lint` is the hermetic equivalent.
+lint:
+	dune build tools/lint/opera_lint.exe
+	dune exec tools/lint/opera_lint.exe -- lib
+
+lint-json:
+	dune build tools/lint/opera_lint.exe
+	dune exec tools/lint/opera_lint.exe -- --json LINT_report.json lib
+
 # Everything a reviewer runs: the format check (when ocamlformat is
-# available), the full build, and the test suite.
+# available), the lint gate, then a strict-warning build and the test
+# suite under the ci profile (warnings-as-errors for lib/; the dev
+# profile stays lenient).
 ci:
 	@if command -v ocamlformat >/dev/null 2>&1; then \
 		dune build @fmt || exit 1; \
 	else \
 		echo "ocamlformat not installed; skipping format check"; \
 	fi
-	dune build @all
-	dune runtest
+	$(MAKE) lint
+	dune build @all --profile ci
+	dune runtest --profile ci
 
 test-verbose:
 	dune runtest --force --no-buffer

@@ -66,7 +66,7 @@ let run_table1 () =
         @ [ string_of_int samples ]);
       Printf.printf "  done: %s\n%!" outcome.Opera.Driver.label)
     (table1_sizes ());
-  Util.Table.print table;
+  print_string (Util.Table.render table);
   print_newline ()
 
 (* ------------------------------------------------------------------ *)
@@ -241,7 +241,7 @@ let run_order_sweep () =
           Printf.sprintf "%.2f" seconds;
         ])
     [ 1; 2; 3; 4 ];
-  Util.Table.print table;
+  print_string (Util.Table.render table);
   Printf.printf "(MC reference: %d samples, %.2f s)\n%!" samples
     mc.Opera.Monte_carlo.elapsed_seconds
 
@@ -289,7 +289,7 @@ let run_nvars_sweep () =
           string_of_int stats.Opera.Galerkin.pcg_iterations;
         ])
     [ 2; 3; 4; 5 ];
-  Util.Table.print table;
+  print_string (Util.Table.render table);
   print_newline ()
 
 (* ------------------------------------------------------------------ *)
@@ -349,7 +349,7 @@ let run_solver_ablation () =
           Printf.sprintf "%.2e" !dsd;
         ])
     sizes;
-  Util.Table.print table;
+  print_string (Util.Table.render table);
   print_newline ()
 
 (* ------------------------------------------------------------------ *)
@@ -443,7 +443,7 @@ let run_galerkin_op () =
           Printf.printf "  done: %d nodes, order %d\n%!" nodes order)
         orders)
     sizes;
-  Util.Table.print table;
+  print_string (Util.Table.render table);
   let path = "BENCH_galerkin.json" in
   let oc = open_out path in
   (* Same top-level shape as the CLI's --metrics-out consumer expects:
@@ -525,7 +525,7 @@ let run_linear_solvers () =
   add
     (Printf.sprintf "hierarchical (8 blk, %d ports)" (Powergrid.Hierarchical.ports hier))
     t_setup t (-1) x;
-  Util.Table.print table;
+  print_string (Util.Table.render table);
   Printf.printf "(amg hierarchy: %s)\n%!"
     (String.concat " > " (List.map string_of_int (Linalg.Amg.level_dims amg)))
 
@@ -557,7 +557,7 @@ let run_random_walk () =
         [ string_of_int walks; Printf.sprintf "%.6f" est; Printf.sprintf "%.1e" se;
           Printf.sprintf "%.1e" (Float.abs (est -. exact.(node))); Printf.sprintf "%.3f" t ])
     [ 100; 1000; 10_000 ];
-  Util.Table.print table;
+  print_string (Util.Table.render table);
   Printf.printf "(exact v = %.6f V; full direct solve %.3f s, walk prep %.3f s)\n%!" exact.(node)
     t_direct t_prep
 
@@ -598,7 +598,7 @@ let run_qmc () =
           Printf.sprintf "%.3f" (1e6 *. run Opera.Monte_carlo.Quasi_halton 7L);
         ])
     (if !quick then [ 32; 128 ] else [ 32; 128; 512 ]);
-  Util.Table.print table;
+  print_string (Util.Table.render table);
   print_newline ()
 
 (* ------------------------------------------------------------------ *)
@@ -651,7 +651,7 @@ let run_spatial () =
           Printf.sprintf "%.1f" (1e6 *. !sd);
         ])
     [ 2.0; 0.7; 0.3 ];
-  Util.Table.print table;
+  print_string (Util.Table.render table);
   Printf.printf
     "(short correlation lengths need more KL modes; the inter-die limit is one mode)\n%!"
 
@@ -707,7 +707,7 @@ let run_collocation () =
           Printf.sprintf "%.2f" t_g; Printf.sprintf "%.2f" t_c; string_of_int runs;
           Printf.sprintf "%.2e" !dmu; Printf.sprintf "%.2e" !dsd ])
     sizes;
-  Util.Table.print table;
+  print_string (Util.Table.render table);
   Printf.printf
     "(the two methods agree to truncation order; collocation pays (p+1)^r transients,\n\
     \ Galerkin one coupled solve — the crossover favors Galerkin as r grows)\n%!"
@@ -769,7 +769,7 @@ let run_mor () =
           Printf.sprintf "%.3f" t_build; Printf.sprintf "%.3f" t_red;
           Printf.sprintf "%.2f" (1e6 *. !err) ])
     [ 2; 4; 6 ];
-  Util.Table.print table;
+  print_string (Util.Table.render table);
   Printf.printf "(full transient on %d nodes: %.3f s)\n%!" n t_full
 
 (* ------------------------------------------------------------------ *)

@@ -210,7 +210,7 @@ let analyze netlist nodes order steps step_ps solver domains policy metrics_out 
       ]
   done;
   print_newline ();
-  Util.Table.print table;
+  print_string (Util.Table.render table);
   (* Which process parameter drives the probe's variability? The explicit
      expansion answers directly (Sobol decomposition). *)
   let best_step = ref 1 in
@@ -355,7 +355,7 @@ let compare_run nodes order steps step_ps samples seed solver domains policy met
   let table = Util.Table.create Opera.Compare.header in
   Util.Table.add_row table
     (Opera.Compare.row_strings outcome.Opera.Driver.label outcome.Opera.Driver.report);
-  Util.Table.print table;
+  print_string (Util.Table.render table);
   print_health outcome.Opera.Driver.galerkin_stats
 
 let compare_cmd =

@@ -46,7 +46,7 @@ let solve_transient ?points ?(probes = [||]) (m : Stochastic_model.t) ~h ~steps 
         let dst = coefs.(step) in
         for k = 0 to size - 1 do
           let wk = weight *. psi.(k) /. Polychaos.Basis.norm_sq basis k in
-          if wk <> 0.0 then begin
+          if Util.Floats.nonzero wk then begin
             let base = k * n in
             for i = 0 to n - 1 do
               dst.(base + i) <- dst.(base + i) +. (wk *. x.(i))

@@ -49,7 +49,7 @@ let of_terms ?(domains = 0) ~tp ~n terms =
       let r = ranks.(ti) in
       for k = 0 to size - 1 do
         let c = Polychaos.Triple_product.value tp r j k in
-        if c <> 0.0 then begin
+        if Util.Floats.nonzero c then begin
           ts := ti :: !ts;
           ks := k :: !ks;
           cs := c :: !cs;

@@ -77,7 +77,7 @@ let build ?(max_levels = 10) ?(coarsest = 64) a0 =
       else begin
         let diag = Sparse.diag a in
         let inv_diag =
-          Array.map (fun d -> if d = 0.0 then 0.0 else 1.0 /. d) diag
+          Array.map (fun d -> if Util.Floats.is_zero d then 0.0 else 1.0 /. d) diag
         in
         let ac = coarse_operator a agg coarse_n in
         go ac (depth + 1) ({ a; inv_diag; aggregate_of = agg; coarse_n } :: levels)

@@ -3,7 +3,7 @@ let rec solve_report ?(precond = Cg.identity_preconditioner) ?max_iter ?(tol = 1
   let t0 = Util.Timer.start () in
   let n = Array.length b in
   let bnorm = Vec.norm2 b in
-  if bnorm = 0.0 then
+  if Util.Floats.is_zero bnorm then
     (* Zero right-hand side: the solution of a nonsingular system is
        exactly zero — don't iterate against a zero target. *)
     ( Array.make n 0.0,
@@ -47,7 +47,7 @@ and solve_nonzero ~precond ?max_iter ~tol ~matvec ~b ~x0 ~bnorm ~t0 () =
         let s_hat = precond s in
         let t = matvec s_hat in
         let tt = Vec.dot t t in
-        if tt = 0.0 then broke_down := true
+        if Util.Floats.is_zero tt then broke_down := true
         else begin
           omega := Vec.dot t s /. tt;
           for i = 0 to n - 1 do

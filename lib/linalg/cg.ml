@@ -7,7 +7,7 @@ let identity_preconditioner r = Array.copy r
 let jacobi a =
   let d = Sparse.diag a in
   Array.iteri
-    (fun i v -> if v = 0.0 then invalid_arg (Printf.sprintf "Cg.jacobi: zero diagonal at %d" i))
+    (fun i v -> if Util.Floats.is_zero v then invalid_arg (Printf.sprintf "Cg.jacobi: zero diagonal at %d" i))
     d;
   let inv = Array.map (fun v -> 1.0 /. v) d in
   fun r -> Vec.mul_elementwise inv r
@@ -48,7 +48,7 @@ let ic0 a =
       if k < j then begin
         let pjk = find_in_col k j in
         let ljk = if pjk >= 0 then lx.(pjk) else 0.0 in
-        if ljk <> 0.0 then
+        if Util.Floats.nonzero ljk then
           (* for each i >= j with (i,k) and (i,j) in pattern *)
           for p = colptr.(k) to colptr.(k + 1) - 1 do
             let i = rowind.(p) in
@@ -113,7 +113,7 @@ let solve_report ?(precond = identity_preconditioner) ?max_iter ?(tol = 1e-10)
   let t0 = Util.Timer.start () in
   let n = Array.length b in
   let bnorm = Vec.norm2 b in
-  if bnorm = 0.0 then
+  if Util.Floats.is_zero bnorm then
     (* The exact solution of an SPD system with a zero right-hand side is
        zero: return it outright instead of iterating against a zero
        target (which could never be met from a nonzero initial guess). *)

@@ -13,7 +13,7 @@ let prepare f ~u ~c =
   Array.iter
     (fun uj -> if Array.length uj <> n then invalid_arg "Low_rank.prepare: vector length")
     u;
-  Array.iter (fun cj -> if cj = 0.0 then invalid_arg "Low_rank.prepare: zero coefficient") c;
+  Array.iter (fun cj -> if Util.Floats.is_zero cj then invalid_arg "Low_rank.prepare: zero coefficient") c;
   let ainv_u = Array.map (fun uj -> Sparse_cholesky.solve f uj) u in
   (* Small capacitance matrix: diag(1/c) + U^T A^-1 U. *)
   let cap =

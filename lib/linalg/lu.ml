@@ -36,7 +36,7 @@ let factor a =
     for i = k + 1 to n - 1 do
       let lik = get i k /. pivot in
       set i k lik;
-      if lik <> 0.0 then
+      if Util.Floats.nonzero lik then
         for j = k + 1 to n - 1 do
           set i j (get i j -. (lik *. get k j))
         done

@@ -59,7 +59,7 @@ let of_triplets ~nrows ~ncols triplets =
       acc := !acc +. v;
       incr k
     done;
-    if !acc <> 0.0 then begin
+    if Util.Floats.nonzero !acc then begin
       ri := i :: !ri;
       vs := !acc :: !vs;
       counts.(j + 1) <- counts.(j + 1) + 1;
@@ -99,7 +99,7 @@ let of_dense d =
   for j = ncols - 1 downto 0 do
     for i = nrows - 1 downto 0 do
       let v = Dense.get d i j in
-      if v <> 0.0 then triplets := (i, j, v) :: !triplets
+      if Util.Floats.nonzero v then triplets := (i, j, v) :: !triplets
     done
   done;
   of_triplets ~nrows ~ncols !triplets
@@ -139,7 +139,7 @@ let mul_vec_into a x y =
   Array.fill y 0 a.nrows 0.0;
   for j = 0 to a.ncols - 1 do
     let xj = x.(j) in
-    if xj <> 0.0 then
+    if Util.Floats.nonzero xj then
       for k = a.colptr.(j) to a.colptr.(j + 1) - 1 do
         y.(a.rowind.(k)) <- y.(a.rowind.(k)) +. (a.values.(k) *. xj)
       done
@@ -156,7 +156,7 @@ let mul_vec_acc_off ?(alpha = 1.0) a x ~xoff y ~yoff =
   let { colptr; rowind; values; ncols; _ } = a in
   for j = 0 to ncols - 1 do
     let xj = alpha *. x.(xoff + j) in
-    if xj <> 0.0 then
+    if Util.Floats.nonzero xj then
       for k = colptr.(j) to colptr.(j + 1) - 1 do
         y.(yoff + rowind.(k)) <- y.(yoff + rowind.(k)) +. (values.(k) *. xj)
       done
@@ -213,7 +213,7 @@ let axpy ~alpha a b =
     let ea = a.colptr.(j + 1) and eb = b.colptr.(j + 1) in
     while !ka < ea || !kb < eb do
       let push i v =
-        if v <> 0.0 then begin
+        if Util.Floats.nonzero v then begin
           rowind.(!pos) <- i;
           values.(!pos) <- v;
           incr pos
@@ -246,7 +246,7 @@ let axpy ~alpha a b =
 let add a b = axpy ~alpha:1.0 a b
 
 let scale alpha a =
-  if alpha = 0.0 then zero ~nrows:a.nrows ~ncols:a.ncols
+  if Util.Floats.is_zero alpha then zero ~nrows:a.nrows ~ncols:a.ncols
   else { a with values = Array.map (fun v -> alpha *. v) a.values }
 
 let map_values f a = { a with values = Array.map f a.values }
@@ -275,7 +275,7 @@ let kron c a =
   for jc = 0 to ccols - 1 do
     let cnt = ref 0 in
     for ic = 0 to crows - 1 do
-      if Dense.get c ic jc <> 0.0 then incr cnt
+      if Util.Floats.nonzero (Dense.get c ic jc) then incr cnt
     done;
     nz_per_col_c.(jc) <- !cnt
   done;
@@ -297,7 +297,7 @@ let kron c a =
       let pos = ref colptr.(j) in
       for ic = 0 to crows - 1 do
         let cij = Dense.get c ic jc in
-        if cij <> 0.0 then
+        if Util.Floats.nonzero cij then
           for k = a.colptr.(ja) to a.colptr.(ja + 1) - 1 do
             rowind.(!pos) <- (ic * a.nrows) + a.rowind.(k);
             values.(!pos) <- cij *. a.values.(k);

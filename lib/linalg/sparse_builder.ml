@@ -91,7 +91,7 @@ let to_csc b =
         acc := !acc +. snd seg.(!k);
         incr k
       done;
-      if !acc <> 0.0 then begin
+      if Util.Floats.nonzero !acc then begin
         rowind.(!pos) <- r;
         values.(!pos) <- !acc;
         incr pos

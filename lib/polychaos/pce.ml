@@ -61,12 +61,12 @@ let mul tp a b =
   let n = Basis.size a.basis in
   let coefs = Array.make n 0.0 in
   for i = 0 to n - 1 do
-    if a.coefs.(i) <> 0.0 then
+    if Util.Floats.nonzero a.coefs.(i) then
       for j = 0 to n - 1 do
-        if b.coefs.(j) <> 0.0 then
+        if Util.Floats.nonzero b.coefs.(j) then
           for k = 0 to n - 1 do
             let c = Triple_product.value tp i j k in
-            if c <> 0.0 then coefs.(k) <- coefs.(k) +. (a.coefs.(i) *. b.coefs.(j) *. c)
+            if Util.Floats.nonzero c then coefs.(k) <- coefs.(k) +. (a.coefs.(i) *. b.coefs.(j) *. c)
           done
       done
   done;

@@ -28,7 +28,7 @@ let create families ~level =
       let coeff =
         (if (q - total) mod 2 = 0 then 1.0 else -1.0) *. binomial (dim - 1) (q - total)
       in
-      if coeff <> 0.0 then begin
+      if Util.Floats.nonzero coeff then begin
         (* Tensor product of the selected 1-D rules. *)
         let point = Array.make dim 0.0 in
         let rec tensor di w =

@@ -7,8 +7,6 @@ type block = {
 type t = {
   n : int;
   port_of : int array;  (** global node -> port id, -1 for internal *)
-  local_of : int array;  (** global node -> local internal index *)
-  block_of : int array;  (** global node -> block id (internal nodes only) *)
   blocks : block array;
   schur : Linalg.Cholesky.t;
   nports : int;
@@ -111,7 +109,7 @@ let build a ~part =
                    for k = bp.(r) to bp.(r + 1) - 1 do
                      acc := !acc +. (bv.(k) *. w.(bi.(k)))
                    done;
-                   if !acc <> 0.0 then Linalg.Dense.add_entry schur_dense r c (-. !acc)
+                   if Util.Floats.nonzero !acc then Linalg.Dense.add_entry schur_dense r c (-. !acc)
                  end
                done
              end
@@ -120,7 +118,9 @@ let build a ~part =
     |> Array.of_list
   in
   let schur = Linalg.Cholesky.factor schur_dense in
-  { n; port_of; local_of; block_of; blocks; schur; nports }
+  (* local_of / block_of are build-time scratch only: solves never map
+     back from global ids, so the record does not retain them. *)
+  { n; port_of; blocks; schur; nports }
 
 let ports t = t.nports
 

@@ -5,7 +5,7 @@ type t = { v : Linalg.Dense.t; gr : Linalg.Dense.t; cr : Linalg.Dense.t }
 let orthonormalize columns w =
   let w = Array.copy w in
   let initial = Linalg.Vec.norm2 w in
-  if initial = 0.0 then None
+  if Util.Floats.is_zero initial then None
   else begin
     List.iter
       (fun q ->
@@ -19,7 +19,7 @@ let orthonormalize columns w =
         Linalg.Vec.axpy ~alpha:(-.proj) q w)
       columns;
     let nrm = Linalg.Vec.norm2 w in
-    if nrm < 1e-10 *. initial || nrm = 0.0 then None
+    if nrm < 1e-10 *. initial || Util.Floats.is_zero nrm then None
     else begin
       Linalg.Vec.scale (1.0 /. nrm) w;
       Some w

@@ -198,7 +198,7 @@ let parse_string text =
                     end
                     else Waveform.Dc (value lineno spec)
                   in
-                  let wave = if sign = 1.0 then wave else Waveform.scale sign wave in
+                  let wave = if Util.Floats.equal_exact sign 1.0 then wave else Waveform.scale sign wave in
                   let region =
                     match keyword_arg extra "region" with
                     | Some r -> int_of_string r

@@ -65,7 +65,9 @@ let parse_string_raw st =
             if st.pos + 4 > String.length st.s then error st "truncated \\u escape";
             let hex = String.sub st.s st.pos 4 in
             let code =
-              try int_of_string ("0x" ^ hex) with _ -> error st "bad \\u escape"
+              match int_of_string_opt ("0x" ^ hex) with
+              | Some c -> c
+              | None -> error st "bad \\u escape"
             in
             st.pos <- st.pos + 4;
             if code < 0x80 then Buffer.add_char buf (Char.chr code)

@@ -53,5 +53,3 @@ let render t =
   Buffer.add_char buf '\n';
   List.iter emit_row rows;
   Buffer.contents buf
-
-let print t = print_string (render t)

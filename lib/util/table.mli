@@ -14,7 +14,6 @@ val add_row : t -> string list -> unit
     padded with empty cells; longer rows are truncated.  *)
 
 val render : t -> string
-(** [render t] lays the table out with column separators and a header rule. *)
-
-val print : t -> unit
-(** [print t] writes [render t] to standard output. *)
+(** [render t] lays the table out with column separators and a header
+    rule.  [Util.Table] is pure — it never writes to stdout itself;
+    callers (the CLI, the bench driver) print the rendered string. *)

@@ -1,0 +1,15 @@
+(* opera-lint: mli — fixture file, deliberately interface-free. *)
+(* Seeded R3 [banned-construct] violations for test_lint.ml. *)
+
+let shout s = print_endline s
+
+let sneak x = Obj.magic x
+
+let quit () = exit 1
+
+let swallow f = try f () with _ -> 0
+
+let waived_print s = print_string s (* opera-lint: banned *)
+
+(* Binding the exception is fine: must NOT be flagged. *)
+let rethrow f = try f () with e -> raise e

@@ -1,0 +1,17 @@
+(* opera-lint: mli — fixture file, deliberately interface-free. *)
+(* Seeded R1 [exact-float] violations for test_lint.ml.  These files are
+   parsed by the lint engine but never compiled. *)
+
+let bad_eq x = x = 0.0
+
+let bad_ne x = x <> 1.5
+
+let waived_comment x = x = 0.0 (* opera-lint: exact *)
+
+let waived_attr x = (x = 0.0) [@opera.exact]
+
+(* Ordering comparisons are not equality: must NOT be flagged. *)
+let fine x = x > 0.0 && x < 1.0
+
+(* Integer equality: must NOT be flagged. *)
+let fine_int x = x = 0

@@ -1,0 +1,4 @@
+(* Seeded R5 [missing-mli] violation for test_lint.ml: this fixture has
+   no .mli sibling and no waiver comment on line 1. *)
+
+let answer = 42

@@ -1,0 +1,32 @@
+(* opera-lint: mli — fixture file, deliberately interface-free. *)
+(* Seeded R2 [domain-race] violations for test_lint.ml. *)
+
+let total = ref 0
+
+let tally = Hashtbl.create 8
+
+let shared = Array.make 4 0.0
+
+(* Captured ref mutated across domains: flagged. *)
+let bad_ref n = Util.Parallel.parallel_for n (fun _i -> incr total)
+
+(* Shared Hashtbl mutated across domains: flagged. *)
+let bad_hashtbl n =
+  Util.Parallel.for_chunks n (fun ~chunk ~lo:_ ~hi:_ -> Hashtbl.replace tally chunk 1)
+
+(* Captured-array write; only legal in race-allowlisted files. *)
+let bad_array n = Util.Parallel.parallel_for n (fun _i -> shared.(0) <- shared.(0) +. 1.0)
+
+(* Metrics registries are not thread-safe: flagged. *)
+let bad_metrics n =
+  Util.Parallel.parallel_for n (fun _i -> Util.Metrics.incr Util.Metrics.global "races")
+
+(* Closure-local state is fine: must NOT be flagged. *)
+let ok_local n =
+  Util.Parallel.parallel_for n (fun i ->
+      let acc = ref 0 in
+      acc := i;
+      ignore !acc)
+
+(* Waived capture (e.g. a deliberately benign write). *)
+let waived n = Util.Parallel.parallel_for n (fun _i -> incr total (* opera-lint: race *))

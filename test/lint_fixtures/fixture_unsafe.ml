@@ -1,0 +1,11 @@
+(* opera-lint: mli — fixture file, deliberately interface-free. *)
+(* Seeded R4 [unsafe-index] violations for test_lint.ml. *)
+
+let hot a i = Array.unsafe_get a i
+
+let hot_set a i v = Array.unsafe_set a i v
+
+let waived a i = Bytes.unsafe_get a i (* opera-lint: unsafe *)
+
+(* Bounds-checked access: must NOT be flagged. *)
+let checked a i = a.(i)

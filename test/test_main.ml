@@ -30,4 +30,5 @@ let () =
       ("smolyak", Test_smolyak.suite);
       ("vectorless", Test_vectorless.suite);
       ("integration", Test_integration.suite);
+      ("lint", Test_lint.suite);
     ]

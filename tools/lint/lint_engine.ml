@@ -1,0 +1,689 @@
+(* opera-lint — a compiler-libs static-analysis pass over the OPERA
+   library sources.
+
+   The Galerkin/PCE kernels are exactly the code where an exact float
+   compare, a swallowed exception, or a shared-mutable capture inside a
+   [Util.Parallel] domain closure corrupts results without failing a
+   test.  This engine parses every [lib/**/*.ml] into a Parsetree
+   (compiler-libs, same compiler the build uses, so anything that builds
+   also parses here) and runs a rule catalogue over it:
+
+   R1 [exact-float]     — exact [=] / [<>] / [==] / [!=] comparisons where
+                          either operand is syntactically a float (float
+                          literal, float arithmetic, [Float.*] call).
+                          Use [Util.Floats.is_zero]/[equal_exact] for
+                          intent-revealing guards, or waive.
+   R2 [domain-race]     — heuristic race detector: mutation of
+                          closure-captured refs / arrays / [Hashtbl] /
+                          [Buffer] / [Metrics] registries inside a
+                          function literal passed to a [Util.Parallel]
+                          entry point.  Captured-array writes (the
+                          disjoint-slice idiom of the PR-1 kernels) are
+                          permitted in files on [race_allowlist].
+   R3 [banned-construct] — [Obj.magic], [exit], stdout printing
+                          ([print_string] & friends, [Printf.printf],
+                          [Format.printf]) in library code (route
+                          through [Util.Log] or return strings), and
+                          catch-all [try ... with _ ->] that discards
+                          the exception.
+   R4 [unsafe-index]    — [Array.unsafe_get]/[unsafe_set] (and Bytes /
+                          String / Float.Array variants) outside the
+                          explicit hot-kernel [unsafe_allowlist].
+   R5 [missing-mli]     — every [lib/] module must ship a [.mli].
+
+   Waivers: a finding on line L is waived when line L or L-1 carries a
+   comment [(* opera-lint: <key> *)] with the rule's key (exact, race,
+   banned, unsafe, mli; several keys may share one comment), or — for R1
+   — when the comparison expression carries an [[@opera.exact]]
+   attribute.  Waived findings are counted and reported but do not fail
+   the run; the exit code is 1 iff any unwaived finding exists. *)
+
+module P = Parsetree
+
+(* ------------------------------------------------------------------ *)
+(* Rules, findings, configuration                                     *)
+(* ------------------------------------------------------------------ *)
+
+type rule =
+  | Exact_float
+  | Domain_race
+  | Banned
+  | Unsafe_index
+  | Missing_mli
+  | Parse_failure
+
+let all_rules = [ Exact_float; Domain_race; Banned; Unsafe_index; Missing_mli; Parse_failure ]
+
+let rule_id = function
+  | Exact_float -> "exact-float"
+  | Domain_race -> "domain-race"
+  | Banned -> "banned-construct"
+  | Unsafe_index -> "unsafe-index"
+  | Missing_mli -> "missing-mli"
+  | Parse_failure -> "parse-error"
+
+(* The keyword accepted in an [(* opera-lint: ... *)] waiver comment.
+   Parse failures cannot be waived: unparseable code cannot be linted. *)
+let waiver_key = function
+  | Exact_float -> Some "exact"
+  | Domain_race -> Some "race"
+  | Banned -> Some "banned"
+  | Unsafe_index -> Some "unsafe"
+  | Missing_mli -> Some "mli"
+  | Parse_failure -> None
+
+type finding = {
+  rule : rule;
+  file : string;
+  line : int;
+  col : int;
+  msg : string;
+  waived : bool;
+}
+
+type config = {
+  unsafe_allowlist : string list;
+      (* basenames of hot-kernel files where R4 unsafe indexing is
+         permitted outright (use sparingly; prefer bounds-checked). *)
+  race_allowlist : string list;
+      (* basenames whose captured-array writes inside parallel closures
+         are trusted as disjoint-slice kernels (R2 still flags captured
+         refs / Hashtbl / Metrics mutation in these files). *)
+  check_mli : bool;
+}
+
+let default_config =
+  {
+    unsafe_allowlist = [ "sparse.ml" ];
+    (* The PR-1 domain-parallel kernels: every captured-array write is a
+       disjoint slice indexed by the parallel chunk/block index. *)
+    race_allowlist = [ "galerkin.ml"; "galerkin_op.ml"; "special_case.ml" ];
+    check_mli = true;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Small AST helpers                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let loc_pos (loc : Location.t) =
+  let p = loc.loc_start in
+  (p.pos_lnum, p.pos_cnum - p.pos_bol)
+
+let ident_path (e : P.expression) =
+  match e.pexp_desc with Pexp_ident { txt; _ } -> Some (Longident.flatten txt) | _ -> None
+
+(* Last two components of an ident path: [Util.Parallel.for_chunks] ->
+   ("Parallel", "for_chunks"); [incr] -> ("", "incr"). *)
+let last_two path =
+  match List.rev path with
+  | f :: m :: _ -> Some (m, f)
+  | [ f ] -> Some ("", f)
+  | [] -> None
+
+let path_is e expected = match ident_path e with Some p -> p = expected | None -> false
+
+module StrSet = Set.Make (String)
+
+(* All value names bound by a pattern (vars and aliases, at any depth). *)
+let pat_vars (p : P.pattern) =
+  let acc = ref [] in
+  let iter =
+    {
+      Ast_iterator.default_iterator with
+      pat =
+        (fun self p ->
+          (match p.ppat_desc with
+          | Ppat_var { txt; _ } -> acc := txt :: !acc
+          | Ppat_alias (_, { txt; _ }) -> acc := txt :: !acc
+          | _ -> ());
+          Ast_iterator.default_iterator.pat self p);
+    }
+  in
+  iter.pat iter p;
+  !acc
+
+let add_vars vars env = List.fold_left (fun acc v -> StrSet.add v acc) env vars
+
+(* ------------------------------------------------------------------ *)
+(* R1 — syntactic "this is a float" heuristic                         *)
+(* ------------------------------------------------------------------ *)
+
+let float_binops = [ "+."; "-."; "*."; "/."; "**"; "~-."; "~+." ]
+
+let float_stdlib_fns =
+  [
+    "sqrt"; "exp"; "log"; "log10"; "log1p"; "expm1"; "cos"; "sin"; "tan"; "acos"; "asin";
+    "atan"; "atan2"; "cosh"; "sinh"; "tanh"; "ceil"; "floor"; "abs_float"; "mod_float";
+    "float_of_int"; "float_of_string"; "ldexp"; "copysign"; "hypot"; "min_float"; "max_float";
+    "infinity"; "nan"; "epsilon_float";
+  ]
+
+(* [Float.*] members that do NOT return float (predicates etc.) — calls
+   to anything else under [Float] are treated as float-valued. *)
+let float_module_non_float =
+  [
+    "to_int"; "to_string"; "compare"; "equal"; "is_nan"; "is_finite"; "is_integer"; "hash";
+    "sign_bit";
+  ]
+
+let rec is_floatish (e : P.expression) =
+  match e.pexp_desc with
+  | Pexp_constant (Pconst_float _) -> true
+  | Pexp_constraint (inner, { ptyp_desc = Ptyp_constr ({ txt = Lident "float"; _ }, []); _ }) ->
+      ignore inner;
+      true
+  | Pexp_constraint (inner, _) -> is_floatish inner
+  | Pexp_ifthenelse (_, a, Some b) -> is_floatish a || is_floatish b
+  | Pexp_sequence (_, b) -> is_floatish b
+  | Pexp_let (_, _, body) -> is_floatish body
+  | Pexp_ident { txt = Lident n; _ } -> List.mem n float_stdlib_fns
+  | Pexp_ident { txt = Ldot (Lident "Float", n); _ } -> not (List.mem n float_module_non_float)
+  | Pexp_apply (f, args) -> (
+      match ident_path f with
+      | Some [ op ] when List.mem op float_binops -> true
+      | Some [ fn ] when List.mem fn float_stdlib_fns -> true
+      | Some [ "Float"; fn ] -> not (List.mem fn float_module_non_float)
+      | Some [ op ] when op = "~-" || op = "~+" ->
+          (* Unary minus distributes over the operand's type. *)
+          List.exists (fun (_, a) -> is_floatish a) args
+      | _ -> false)
+  | _ -> false
+
+let compare_ops = [ "="; "<>"; "=="; "!=" ]
+
+(* ------------------------------------------------------------------ *)
+(* R3 — banned constructs                                             *)
+(* ------------------------------------------------------------------ *)
+
+let banned_paths =
+  [
+    ([ "Obj"; "magic" ], "Obj.magic defeats the type system");
+    ([ "Stdlib"; "Obj"; "magic" ], "Obj.magic defeats the type system");
+    ([ "exit" ], "exit in library code; return a result or raise");
+    ([ "Stdlib"; "exit" ], "exit in library code; return a result or raise");
+    ([ "print_string" ], "stdout printing in library code; route through Util.Log or return the string");
+    ([ "print_endline" ], "stdout printing in library code; route through Util.Log or return the string");
+    ([ "print_newline" ], "stdout printing in library code; route through Util.Log or return the string");
+    ([ "print_char" ], "stdout printing in library code; route through Util.Log or return the string");
+    ([ "print_int" ], "stdout printing in library code; route through Util.Log or return the string");
+    ([ "print_float" ], "stdout printing in library code; route through Util.Log or return the string");
+    ([ "Printf"; "printf" ], "Printf.printf in library code; route through Util.Log or return the string");
+    ([ "Format"; "printf" ], "Format.printf in library code; route through Util.Log or return the string");
+    ([ "Format"; "print_string" ], "Format.print_string in library code; route through Util.Log or return the string");
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* R4 — unsafe indexing                                               *)
+(* ------------------------------------------------------------------ *)
+
+let unsafe_paths =
+  [
+    [ "Array"; "unsafe_get" ]; [ "Array"; "unsafe_set" ];
+    [ "Bytes"; "unsafe_get" ]; [ "Bytes"; "unsafe_set" ];
+    [ "String"; "unsafe_get" ];
+    [ "Float"; "Array"; "unsafe_get" ]; [ "Float"; "Array"; "unsafe_set" ];
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* R2 — domain-race heuristic                                         *)
+(* ------------------------------------------------------------------ *)
+
+let parallel_entry e =
+  match ident_path e with
+  | Some path -> (
+      match last_two path with
+      | Some ("Parallel", ("parallel_for" | "for_chunks")) -> true
+      | _ -> false)
+  | None -> false
+
+let hashtbl_mutators =
+  [ "add"; "replace"; "remove"; "reset"; "clear"; "filter_map_inplace"; "add_seq"; "replace_seq" ]
+
+let metrics_mutators = [ "incr"; "observe"; "span"; "start_span"; "stop_span"; "reset"; "write_file" ]
+
+let buffer_mutators =
+  [ "add_string"; "add_char"; "add_bytes"; "add_substring"; "add_buffer"; "clear"; "reset"; "truncate" ]
+
+(* Root identifier of an lvalue-ish expression: follows record fields
+   and [Array.get]-style projections down to the base identifier.
+   [`Simple x] — a plain local/captured name; [`Qualified] — a
+   module-qualified path, i.e. module-level (hence shared) state. *)
+let rec lvalue_root (e : P.expression) =
+  match e.pexp_desc with
+  | Pexp_ident { txt = Lident x; _ } -> Some (`Simple x)
+  | Pexp_ident _ -> Some `Qualified
+  | Pexp_field (inner, _) -> lvalue_root inner
+  | Pexp_apply (f, (_, first) :: _) -> (
+      match ident_path f with
+      | Some p when
+          (match last_two p with
+          | Some (("Array" | "String" | "Bytes"), "get") -> true
+          | Some ("", "!") -> true
+          | _ -> false) ->
+          lvalue_root first
+      | _ -> None)
+  | _ -> None
+
+let captured env e =
+  match lvalue_root e with
+  | Some (`Simple x) -> not (StrSet.mem x env)
+  | Some `Qualified -> true
+  | None -> false
+
+(* ------------------------------------------------------------------ *)
+(* The per-file pass                                                  *)
+(* ------------------------------------------------------------------ *)
+
+type ctx = {
+  cfg : config;
+  file : string; (* path as reported *)
+  base : string; (* basename, for allowlists *)
+  mutable found : finding list;
+}
+
+let report ctx rule (loc : Location.t) ?(waived = false) msg =
+  let line, col = loc_pos loc in
+  ctx.found <- { rule; file = ctx.file; line; col; msg; waived } :: ctx.found
+
+let has_attr name (attrs : P.attributes) =
+  List.exists (fun (a : P.attribute) -> a.attr_name.txt = name) attrs
+
+(* --- R2: scan the body of a closure passed to Util.Parallel --------- *)
+
+let race_scan ctx env0 (body : P.expression) =
+  let array_writes_allowed = List.mem ctx.base ctx.cfg.race_allowlist in
+  let rec scan env (e : P.expression) =
+    match e.pexp_desc with
+    | Pexp_let (rf, vbs, body) ->
+        let bound = List.concat_map (fun (vb : P.value_binding) -> pat_vars vb.pvb_pat) vbs in
+        let env_rhs = if rf = Asttypes.Recursive then add_vars bound env else env in
+        List.iter (fun (vb : P.value_binding) -> scan env_rhs vb.pvb_expr) vbs;
+        scan (add_vars bound env) body
+    | Pexp_fun (_, default, pat, body) ->
+        Option.iter (scan env) default;
+        scan (add_vars (pat_vars pat) env) body
+    | Pexp_for ({ ppat_desc = Ppat_var { txt; _ }; _ }, e1, e2, _, body) ->
+        scan env e1;
+        scan env e2;
+        scan (StrSet.add txt env) body
+    | Pexp_match (scrut, cases) | Pexp_try (scrut, cases) ->
+        scan env scrut;
+        List.iter
+          (fun (c : P.case) ->
+            let env' = add_vars (pat_vars c.pc_lhs) env in
+            Option.iter (scan env') c.pc_guard;
+            scan env' c.pc_rhs)
+          cases
+    | Pexp_setfield (obj, _, v) ->
+        if captured env obj then
+          report ctx Domain_race e.pexp_loc
+            "mutates a field of closure-captured state inside a parallel closure";
+        scan env obj;
+        scan env v
+    | Pexp_apply (f, args) ->
+        check_call env e f args;
+        scan env f;
+        List.iter (fun (_, a) -> scan env a) args
+    | _ ->
+        (* Generic descent with the same environment.  Binders of exotic
+           forms (letop, letmodule, ...) are not tracked — acceptable
+           for a heuristic aimed at numeric kernels. *)
+        let sub =
+          { Ast_iterator.default_iterator with expr = (fun _self e' -> scan env e') }
+        in
+        Ast_iterator.default_iterator.expr sub e
+  and check_call env (app : P.expression) f args =
+    let nth_arg k = match List.nth_opt args k with Some (_, a) -> Some a | None -> None in
+    let arg_captured k = match nth_arg k with Some a -> captured env a | None -> false in
+    match ident_path f with
+    | Some [ (":=" | "incr" | "decr") ] when arg_captured 0 ->
+        report ctx Domain_race app.pexp_loc
+          "mutates a closure-captured ref inside a parallel closure"
+    | Some p -> (
+        match last_two p with
+        | Some (("Array" | "Floatarray"), ("set" | "fill")) when arg_captured 0 ->
+            if not array_writes_allowed then
+              report ctx Domain_race app.pexp_loc
+                "writes a closure-captured array inside a parallel closure (allowlist the \
+                 file if every write is a disjoint slice)"
+        | Some ("Array", "blit") when arg_captured 2 ->
+            if not array_writes_allowed then
+              report ctx Domain_race app.pexp_loc
+                "blits into a closure-captured array inside a parallel closure (allowlist \
+                 the file if every write is a disjoint slice)"
+        | Some ("Hashtbl", fn) when List.mem fn hashtbl_mutators ->
+            report ctx Domain_race app.pexp_loc
+              (Printf.sprintf "Hashtbl.%s on shared state inside a parallel closure" fn)
+        | Some ("Metrics", fn) when List.mem fn metrics_mutators ->
+            report ctx Domain_race app.pexp_loc
+              (Printf.sprintf
+                 "Metrics.%s inside a parallel closure (registries are not thread-safe; \
+                  record from the calling domain only)"
+                 fn)
+        | Some ("Buffer", fn) when List.mem fn buffer_mutators && arg_captured 0 ->
+            report ctx Domain_race app.pexp_loc
+              (Printf.sprintf "Buffer.%s on a closure-captured buffer inside a parallel closure" fn)
+        | _ -> ())
+    | None -> ()
+  in
+  scan env0 body
+
+(* Peel the [fun p1 p2 ... -> body] chain of a closure literal,
+   returning the parameter-bound environment and the body. *)
+let rec peel_fun env (e : P.expression) =
+  match e.pexp_desc with
+  | Pexp_fun (_, _, pat, body) -> peel_fun (add_vars (pat_vars pat) env) body
+  | Pexp_newtype (_, body) -> peel_fun env body
+  | _ -> (env, e)
+
+(* --- Main expression walk (R1, R2 entry, R3, R4) ------------------- *)
+
+let walk_structure ctx (str : P.structure) =
+  let expr_rule (e : P.expression) =
+    (match e.pexp_desc with
+    (* R1 — exact float comparison. *)
+    | Pexp_apply (op, [ (_, a); (_, b) ]) -> (
+        match ident_path op with
+        | Some [ o ] when List.mem o compare_ops && (is_floatish a || is_floatish b) ->
+            let waived = has_attr "opera.exact" e.pexp_attributes in
+            report ctx Exact_float e.pexp_loc ~waived
+              (Printf.sprintf
+                 "exact float `%s` comparison; use Util.Floats.(is_zero|nonzero|equal_exact) \
+                  or a tolerance, or waive with (* opera-lint: exact *) / [@opera.exact]"
+                 o)
+        | _ -> ())
+    | _ -> ());
+    (match e.pexp_desc with
+    (* R3 — catch-all try that discards the exception. *)
+    | Pexp_try (_, cases) ->
+        List.iter
+          (fun (c : P.case) ->
+            match (c.pc_lhs.ppat_desc, c.pc_guard) with
+            | Ppat_any, None ->
+                report ctx Banned c.pc_lhs.ppat_loc
+                  "catch-all `try ... with _ ->` discards the exception; match specific \
+                   exceptions or bind and log it"
+            | _ -> ())
+          cases
+    | _ -> ());
+    match e.pexp_desc with
+    (* R3/R4 — banned or unsafe identifiers (flagged wherever they are
+       referenced, including partial application / function arguments). *)
+    | Pexp_ident _ -> (
+        match ident_path e with
+        | Some p -> (
+            (match List.assoc_opt p banned_paths with
+            | Some why -> report ctx Banned e.pexp_loc why
+            | None -> ());
+            if List.mem p unsafe_paths && not (List.mem ctx.base ctx.cfg.unsafe_allowlist) then
+              report ctx Unsafe_index e.pexp_loc
+                (Printf.sprintf
+                   "%s outside the hot-kernel allowlist; use bounds-checked access or \
+                    allowlist the file"
+                   (String.concat "." p)))
+        | None -> ())
+    (* R2 — closure literal handed to a Util.Parallel entry point. *)
+    | Pexp_apply (f, args) when parallel_entry f ->
+        List.iter
+          (fun ((_, a) : Asttypes.arg_label * P.expression) ->
+            match a.pexp_desc with
+            | Pexp_fun _ | Pexp_newtype _ ->
+                let env, body = peel_fun StrSet.empty a in
+                race_scan ctx env body
+            | _ -> ())
+          args
+    | _ -> ()
+  in
+  let iter =
+    {
+      Ast_iterator.default_iterator with
+      expr =
+        (fun self e ->
+          expr_rule e;
+          Ast_iterator.default_iterator.expr self e);
+    }
+  in
+  iter.structure iter str
+
+(* ------------------------------------------------------------------ *)
+(* Waiver comments                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let split_lines s =
+  let lines = String.split_on_char '\n' s in
+  Array.of_list lines
+
+(* Does [line] carry an [(* opera-lint: ... *)] comment naming [key]?
+   Several keys may share one comment: [(* opera-lint: exact race *)]. *)
+let line_waives line key =
+  let marker = "opera-lint:" in
+  let mlen = String.length marker in
+  let llen = String.length line in
+  let rec find i =
+    if i + mlen > llen then None
+    else if String.sub line i mlen = marker then Some (i + mlen)
+    else find (i + 1)
+  in
+  match find 0 with
+  | None -> false
+  | Some start ->
+      let stop =
+        let rec close i =
+          if i + 1 >= llen then llen
+          else if line.[i] = '*' && line.[i + 1] = ')' then i
+          else close (i + 1)
+        in
+        close start
+      in
+      let body = String.sub line start (stop - start) in
+      let words =
+        String.split_on_char ' ' body
+        |> List.concat_map (String.split_on_char ',')
+        |> List.map String.trim
+        |> List.filter (fun w -> w <> "")
+      in
+      List.mem key words
+
+let apply_waivers lines findings =
+  let nlines = Array.length lines in
+  let get i = if i >= 1 && i <= nlines then lines.(i - 1) else "" in
+  List.map
+    (fun f ->
+      if f.waived then f
+      else
+        match waiver_key f.rule with
+        | None -> f
+        | Some key ->
+            if line_waives (get f.line) key || line_waives (get (f.line - 1)) key then
+              { f with waived = true }
+            else f)
+    findings
+
+(* ------------------------------------------------------------------ *)
+(* Driving: files, directories, reports                               *)
+(* ------------------------------------------------------------------ *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let lint_source cfg ~filename ?(mli_exists = true) source =
+  let ctx = { cfg; file = filename; base = Filename.basename filename; found = [] } in
+  let lines = split_lines source in
+  (if cfg.check_mli && not mli_exists then
+     ctx.found <-
+       {
+         rule = Missing_mli;
+         file = filename;
+         line = 1;
+         col = 0;
+         msg = "module has no .mli interface; add one or waive with (* opera-lint: mli *)";
+         waived = false;
+       }
+       :: ctx.found);
+  (try
+     let lexbuf = Lexing.from_string source in
+     Location.init lexbuf filename;
+     let str = Parse.implementation lexbuf in
+     walk_structure ctx str
+   with exn ->
+     let line, col, detail =
+       match exn with
+       | Syntaxerr.Error err ->
+           let loc = Syntaxerr.location_of_error err in
+           let l, c = loc_pos loc in
+           (l, c, "syntax error")
+       | e -> (1, 0, Printexc.to_string e)
+     in
+     ctx.found <-
+       {
+         rule = Parse_failure;
+         file = filename;
+         line;
+         col;
+         msg = Printf.sprintf "failed to parse: %s" detail;
+         waived = false;
+       }
+       :: ctx.found);
+  apply_waivers lines ctx.found
+
+let lint_file cfg path =
+  let source = read_file path in
+  let mli_exists = Sys.file_exists (Filename.remove_extension path ^ ".mli") in
+  lint_source cfg ~filename:path ~mli_exists source
+
+(* Collect .ml files (sorted, recursive) under each root; a root may
+   also name a single file. *)
+let collect paths =
+  let acc = ref [] in
+  let rec visit p =
+    if Sys.is_directory p then
+      Sys.readdir p |> Array.to_list |> List.sort String.compare
+      |> List.iter (fun entry ->
+             if entry <> "" && entry.[0] <> '.' && entry <> "_build" then
+               visit (Filename.concat p entry))
+    else if Filename.check_suffix p ".ml" then acc := p :: !acc
+  in
+  List.iter visit paths;
+  List.rev !acc
+
+let finding_order (a : finding) (b : finding) =
+  let c = String.compare a.file b.file in
+  if c <> 0 then c
+  else
+    let c = Int.compare a.line b.line in
+    if c <> 0 then c
+    else
+      let c = Int.compare a.col b.col in
+      if c <> 0 then c
+      else
+        let c = String.compare (rule_id a.rule) (rule_id b.rule) in
+        if c <> 0 then c else String.compare a.msg b.msg
+
+let run cfg paths =
+  let files = collect paths in
+  let findings = List.concat_map (lint_file cfg) files in
+  let findings = List.sort_uniq finding_order findings in
+  (List.length files, findings)
+
+(* --- Summaries ----------------------------------------------------- *)
+
+type summary = {
+  total : int;
+  unwaived : int;
+  waived : int;
+  per_rule : (string * (int * int)) list; (* rule-id -> (unwaived, waived) *)
+}
+
+let summarize findings =
+  let tally rule =
+    let u, w =
+      List.fold_left
+        (fun (u, w) f ->
+          if f.rule <> rule then (u, w) else if f.waived then (u, w + 1) else (u + 1, w))
+        (0, 0) findings
+    in
+    (rule_id rule, (u, w))
+  in
+  let per_rule = List.map tally all_rules in
+  let unwaived = List.fold_left (fun a (_, (u, _)) -> a + u) 0 per_rule in
+  let waived = List.fold_left (fun a (_, (_, w)) -> a + w) 0 per_rule in
+  { total = unwaived + waived; unwaived; waived; per_rule }
+
+let exit_code findings = if (summarize findings).unwaived > 0 then 1 else 0
+
+(* --- Human report -------------------------------------------------- *)
+
+let human_report ?(verbose = false) ~files_scanned findings =
+  let buf = Buffer.create 1024 in
+  List.iter
+    (fun (f : finding) ->
+      if (not f.waived) || verbose then
+        Buffer.add_string buf
+          (Printf.sprintf "%s:%d:%d: [%s]%s %s\n" f.file f.line f.col (rule_id f.rule)
+             (if f.waived then " (waived)" else "")
+             f.msg))
+    findings;
+  let s = summarize findings in
+  Buffer.add_string buf
+    (Printf.sprintf "opera-lint: %d file(s), %d finding(s): %d unwaived, %d waived\n"
+       files_scanned s.total s.unwaived s.waived);
+  List.iter
+    (fun (id, (u, w)) ->
+      if u + w > 0 then
+        Buffer.add_string buf (Printf.sprintf "  %-16s unwaived %d, waived %d\n" id u w))
+    s.per_rule;
+  Buffer.contents buf
+
+(* --- JSON report (deterministic: fixed key order, sorted findings) -- *)
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let json_report ~files_scanned findings =
+  let s = summarize findings in
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "{\n";
+  Buffer.add_string buf "  \"tool\": \"opera-lint\",\n";
+  Buffer.add_string buf "  \"version\": 1,\n";
+  Buffer.add_string buf (Printf.sprintf "  \"files_scanned\": %d,\n" files_scanned);
+  Buffer.add_string buf
+    (Printf.sprintf "  \"summary\": { \"total\": %d, \"unwaived\": %d, \"waived\": %d },\n"
+       s.total s.unwaived s.waived);
+  Buffer.add_string buf "  \"rules\": {\n";
+  let nrules = List.length s.per_rule in
+  List.iteri
+    (fun i (id, (u, w)) ->
+      Buffer.add_string buf
+        (Printf.sprintf "    \"%s\": { \"unwaived\": %d, \"waived\": %d }%s\n" id u w
+           (if i = nrules - 1 then "" else ",")))
+    s.per_rule;
+  Buffer.add_string buf "  },\n";
+  Buffer.add_string buf "  \"findings\": [\n";
+  let n = List.length findings in
+  List.iteri
+    (fun i f ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "    { \"rule\": \"%s\", \"file\": \"%s\", \"line\": %d, \"col\": %d, \"waived\": \
+            %b, \"message\": \"%s\" }%s\n"
+           (rule_id f.rule) (json_escape f.file) f.line f.col f.waived (json_escape f.msg)
+           (if i = n - 1 then "" else ",")))
+    findings;
+  Buffer.add_string buf "  ]\n";
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf

@@ -1,0 +1,68 @@
+(* opera-lint CLI — see lint_engine.ml for the rule catalogue.
+
+   Usage: opera_lint [--root DIR] [--json FILE] [--verbose] [--quiet]
+                     [--no-mli] [PATH ...]
+
+   PATHs (default: lib) are files or directories scanned recursively for
+   .ml sources.  Exit code 1 iff any unwaived finding exists, 2 on usage
+   errors. *)
+
+let usage () =
+  prerr_endline
+    "usage: opera_lint [--root DIR] [--json FILE] [--verbose] [--quiet] [--no-mli] [PATH ...]";
+  exit 2
+
+let () =
+  let root = ref None in
+  let json_out = ref None in
+  let verbose = ref false in
+  let quiet = ref false in
+  let check_mli = ref true in
+  let paths = ref [] in
+  let rec parse = function
+    | [] -> ()
+    | "--root" :: dir :: rest ->
+        root := Some dir;
+        parse rest
+    | "--json" :: file :: rest ->
+        json_out := Some file;
+        parse rest
+    | "--verbose" :: rest ->
+        verbose := true;
+        parse rest
+    | "--quiet" :: rest ->
+        quiet := true;
+        parse rest
+    | "--no-mli" :: rest ->
+        check_mli := false;
+        parse rest
+    | ("--help" | "-h") :: _ -> usage ()
+    | arg :: _ when String.length arg > 1 && arg.[0] = '-' ->
+        Printf.eprintf "opera_lint: unknown option %s\n" arg;
+        usage ()
+    | path :: rest ->
+        paths := path :: !paths;
+        parse rest
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  (match !root with Some dir -> Sys.chdir dir | None -> ());
+  let paths = match List.rev !paths with [] -> [ "lib" ] | ps -> ps in
+  List.iter
+    (fun p ->
+      if not (Sys.file_exists p) then begin
+        Printf.eprintf "opera_lint: no such path %s\n" p;
+        exit 2
+      end)
+    paths;
+  let cfg = { Lint_engine.default_config with check_mli = !check_mli } in
+  let files_scanned, findings = Lint_engine.run cfg paths in
+  (match !json_out with
+  | Some file ->
+      let oc = open_out file in
+      Fun.protect
+        ~finally:(fun () -> close_out oc)
+        (fun () -> output_string oc (Lint_engine.json_report ~files_scanned findings))
+  | None -> ());
+  if not !quiet then
+    print_string (Lint_engine.human_report ~verbose:!verbose ~files_scanned findings);
+  exit (Lint_engine.exit_code findings)
