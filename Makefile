@@ -1,4 +1,4 @@
-.PHONY: all build test ci lint lint-json bench bench-quick bench-paper bench-galerkin bench-metrics examples clean help
+.PHONY: all build test ci lint lint-json bench bench-quick bench-paper bench-galerkin bench-metrics bench-batch examples clean help
 
 all: build
 
@@ -6,10 +6,10 @@ help:
 	@echo "OPERA targets:"
 	@echo "  build          dune build @all"
 	@echo "  test           dune runtest"
-	@echo "  lint           opera-lint static analysis over lib/ (R1-R5; exit 1 on unwaived findings)"
+	@echo "  lint           opera-lint static analysis over lib/ and tools/ (R1-R5; exit 1 on unwaived findings)"
 	@echo "  lint-json      lint + deterministic machine-readable report in LINT_report.json"
 	@echo "  ci             format check, lint, strict-warning build (--profile ci), tests"
-	@echo "  bench*         benchmark drivers (bench, bench-quick, bench-paper, bench-galerkin, bench-metrics)"
+	@echo "  bench*         benchmark drivers (bench, bench-quick, bench-paper, bench-galerkin, bench-metrics, bench-batch)"
 	@echo "  examples       run every example binary"
 	@echo "  clean          dune clean"
 	@echo ""
@@ -26,14 +26,15 @@ test:
 
 # Static analysis: the opera-lint rule catalogue (exact float compares,
 # domain-race heuristics, banned constructs, unsafe indexing, .mli
-# coverage) over lib/.  `dune build @lint` is the hermetic equivalent.
+# coverage) over lib/ and tools/.  `dune build @lint` is the hermetic
+# equivalent.
 lint:
 	dune build tools/lint/opera_lint.exe
-	dune exec tools/lint/opera_lint.exe -- lib
+	dune exec tools/lint/opera_lint.exe -- lib tools
 
 lint-json:
 	dune build tools/lint/opera_lint.exe
-	dune exec tools/lint/opera_lint.exe -- --json LINT_report.json lib
+	dune exec tools/lint/opera_lint.exe -- --json LINT_report.json lib tools
 
 # Everything a reviewer runs: the format check (when ocamlformat is
 # available), the lint gate, then a strict-warning build and the test
@@ -66,6 +67,14 @@ bench-galerkin:
 
 # Produce a --metrics-out registry dump and the galerkin bench JSON,
 # then check both against the schema with the bundled validator.
+# Batch-engine throughput: one mixed batch, cold vs warm store, 1/2/4
+# jobs in flight; the run aborts if a warm run factors anything or any
+# stream drifts from the cold one, and the JSON is schema-checked.
+bench-batch:
+	dune build bench/batch_bench.exe bench/validate_metrics.exe
+	dune exec bench/batch_bench.exe -- --quick
+	dune exec bench/validate_metrics.exe -- BENCH_batch.json
+
 bench-metrics:
 	dune build bin/opera_cli.exe bench/main.exe bench/validate_metrics.exe
 	dune exec bin/opera_cli.exe -- analyze --nodes 400 --steps 4 --solver pcg \
@@ -83,6 +92,7 @@ examples:
 	dune exec examples/spatial_variation.exe
 	dune exec examples/yield_signoff.exe
 	dune exec examples/decap_insertion.exe
+	dune exec examples/batch_sweep.exe
 
 clean:
 	dune clean

@@ -1,0 +1,174 @@
+(* Batch-engine throughput bench.
+
+   Runs one mixed batch (transient excitation corners sharing a single
+   Galerkin operator, plus special-case leakage corners sharing one
+   deterministic factor pair) four times against one artifact store:
+
+     cold   jobs_parallel=1   (factors built and written)
+     warm   jobs_parallel=1   (factors read back, zero factorizations)
+     warm   jobs_parallel=2
+     warm   jobs_parallel=4
+
+   and writes BENCH_batch.json:
+
+     { "batch": { "jobs": J, "groups": G, "runs": [
+         { "label": "cold", "jobs_parallel": 1, "factorizations": F,
+           "cache_hits": H, "cache_misses": M, "elapsed_s": S,
+           "jobs_per_s": R }, ... ] },
+       "metrics": { ... } }
+
+   validated by validate_metrics.exe (the `make bench-batch` target).
+   The bench also asserts the engine's core guarantees — warm runs
+   factor nothing, and every run's JSONL is byte-identical — so a
+   caching regression fails the target rather than just skewing the
+   numbers. *)
+
+let nodes = ref 600
+let steps = ref 6
+let out_file = ref "BENCH_batch.json"
+
+let transient_job name drain_scale =
+  {
+    Scenario.Job.name;
+    source = Scenario.Job.Generated { nodes = !nodes };
+    analysis = Scenario.Job.Transient;
+    order = 2;
+    h = 125e-12;
+    steps = !steps;
+    solver = Opera.Galerkin.Direct;
+    policy = Opera.Galerkin.Warn;
+    sigma_scale = 1.0;
+    drain_scale;
+    leak_scale = 1.0;
+    probe = None;
+  }
+
+let special_job name leak_scale =
+  {
+    (transient_job name 1.0) with
+    Scenario.Job.analysis = Scenario.Job.Special { regions = 4; lambda = 0.5 };
+    leak_scale;
+  }
+
+let batch () =
+  Array.append
+    (Array.init 6 (fun i -> transient_job (Printf.sprintf "tr%d" i) (0.8 +. (0.1 *. float_of_int i))))
+    (Array.init 4 (fun i -> special_job (Printf.sprintf "sp%d" i) (0.7 +. (0.2 *. float_of_int i))))
+
+let clear_dir dir =
+  if Sys.file_exists dir then
+    Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir)
+
+let jsonl_of results =
+  String.concat "\n"
+    (Array.to_list (Array.map (fun r -> Util.Json.render r.Scenario.Engine.record) results))
+
+let run_once ~label ~cache_dir ~jobs_parallel jobs =
+  let config =
+    {
+      Scenario.Engine.cache_dir = Some cache_dir;
+      jobs_parallel;
+      domains = 1;
+      metrics = Util.Metrics.global;
+    }
+  in
+  let results, summary = Scenario.Engine.run ~config jobs in
+  Printf.printf "%-6s jobs_parallel=%d  %s\n%!" label jobs_parallel
+    (Scenario.Engine.summary_line summary);
+  (summary, jsonl_of results)
+
+let run_json ~label ~jobs_parallel (s : Scenario.Engine.summary) =
+  Util.Json.Obj
+    [
+      ("label", Util.Json.Str label);
+      ("jobs_parallel", Util.Json.Num (float_of_int jobs_parallel));
+      ("factorizations", Util.Json.Num (float_of_int s.Scenario.Engine.factorizations));
+      ("cache_hits", Util.Json.Num (float_of_int s.Scenario.Engine.cache_hits));
+      ("cache_misses", Util.Json.Num (float_of_int s.Scenario.Engine.cache_misses));
+      ("elapsed_s", Util.Json.Num s.Scenario.Engine.elapsed_seconds);
+      ( "jobs_per_s",
+        Util.Json.Num
+          (if s.Scenario.Engine.elapsed_seconds > 0.0 then
+             float_of_int s.Scenario.Engine.jobs /. s.Scenario.Engine.elapsed_seconds
+           else 0.0) );
+    ]
+
+let () =
+  let rec parse = function
+    | [] -> ()
+    | "--quick" :: rest ->
+        nodes := 240;
+        steps := 4;
+        parse rest
+    | "--nodes" :: v :: rest ->
+        nodes := int_of_string v;
+        parse rest
+    | "--steps" :: v :: rest ->
+        steps := int_of_string v;
+        parse rest
+    | "--out" :: v :: rest ->
+        out_file := v;
+        parse rest
+    | arg :: _ ->
+        Printf.eprintf "batch_bench: unknown argument %s\n" arg;
+        exit 2
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  let jobs = batch () in
+  let cache_dir = "_bench_batch_cache" in
+  clear_dir cache_dir;
+  let cold, cold_stream = run_once ~label:"cold" ~cache_dir ~jobs_parallel:1 jobs in
+  let runs =
+    (("cold", 1), cold, cold_stream)
+    :: List.map
+         (fun jp ->
+           let s, stream = run_once ~label:"warm" ~cache_dir ~jobs_parallel:jp jobs in
+           (("warm", jp), s, stream))
+         [ 1; 2; 4 ]
+  in
+  (* The engine's contract, enforced: warm runs factor nothing and every
+     stream is byte-identical to the cold one. *)
+  List.iter
+    (fun ((label, jp), (s : Scenario.Engine.summary), stream) ->
+      if label = "warm" && s.Scenario.Engine.factorizations <> 0 then begin
+        Printf.eprintf "batch_bench: warm run (jobs_parallel=%d) factored %d times\n" jp
+          s.Scenario.Engine.factorizations;
+        exit 1
+      end;
+      if stream <> cold_stream then begin
+        Printf.eprintf "batch_bench: %s run (jobs_parallel=%d) JSONL differs from cold stream\n"
+          label jp;
+        exit 1
+      end)
+    runs;
+  let metrics =
+    match Util.Json.parse (Util.Metrics.to_json Util.Metrics.global) with
+    | Ok j -> j
+    | Error e ->
+        Printf.eprintf "batch_bench: metrics registry is not valid JSON: %s\n" e;
+        exit 1
+  in
+  let doc =
+    Util.Json.Obj
+      [
+        ( "batch",
+          Util.Json.Obj
+            [
+              ("jobs", Util.Json.Num (float_of_int (Array.length jobs)));
+              ( "groups",
+                Util.Json.Num (float_of_int (Array.length (Scenario.Engine.plan jobs))) );
+              ( "runs",
+                Util.Json.List
+                  (List.map (fun ((label, jp), s, _) -> run_json ~label ~jobs_parallel:jp s) runs)
+              );
+            ] );
+        ("metrics", metrics);
+      ]
+  in
+  let oc = open_out !out_file in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc (Util.Json.render doc);
+      output_char oc '\n');
+  Printf.printf "wrote %s\n" !out_file

@@ -1,6 +1,7 @@
 (* Schema check for the JSON this repository emits: the CLI's
-   [--metrics-out FILE] registry dumps and the bench harness's
-   BENCH_galerkin.json ({"records": [...], "metrics": {...}}).
+   [--metrics-out FILE] registry dumps, the bench harness's
+   BENCH_galerkin.json ({"records": [...], "metrics": {...}}) and the
+   batch bench's BENCH_batch.json ({"batch": {...}, "metrics": {...}}).
 
      validate_metrics.exe FILE...
 
@@ -82,14 +83,62 @@ let validate_bench (j : Util.Json.t) records =
   | Some m -> validate_registry m
   | None -> fail "bench file lacks the \"metrics\" object"
 
+let validate_batch_run i (r : Util.Json.t) =
+  let int_field f =
+    match Option.bind (Util.Json.member f r) Util.Json.to_int with
+    | Some _ -> Ok ()
+    | None -> fail "run %d: missing integer %S" i f
+  in
+  let float_field f =
+    match Option.bind (Util.Json.member f r) Util.Json.to_float with
+    | Some _ -> Ok ()
+    | None -> fail "run %d: missing number %S" i f
+  in
+  let ( let* ) = Result.bind in
+  let* () =
+    match Option.bind (Util.Json.member "label" r) Util.Json.to_string with
+    | Some _ -> Ok ()
+    | None -> fail "run %d: missing string \"label\"" i
+  in
+  let* () = int_field "jobs_parallel" in
+  let* () = int_field "factorizations" in
+  let* () = int_field "cache_hits" in
+  let* () = int_field "cache_misses" in
+  let* () = float_field "elapsed_s" in
+  float_field "jobs_per_s"
+
+let validate_batch (j : Util.Json.t) batch =
+  let ( let* ) = Result.bind in
+  let int_field f =
+    match Option.bind (Util.Json.member f batch) Util.Json.to_int with
+    | Some _ -> Ok ()
+    | None -> fail "\"batch\": missing integer %S" f
+  in
+  let* () = int_field "jobs" in
+  let* () = int_field "groups" in
+  let* () =
+    match Option.bind (Util.Json.member "runs" batch) Util.Json.to_list with
+    | None -> fail "\"batch\": missing \"runs\" array"
+    | Some runs ->
+        let rec go i = function
+          | [] -> Ok ()
+          | r :: rest -> Result.bind (validate_batch_run i r) (fun () -> go (i + 1) rest)
+        in
+        go 0 runs
+  in
+  match Util.Json.member "metrics" j with
+  | Some m -> validate_registry m
+  | None -> fail "batch file lacks the \"metrics\" object"
+
 let validate_file path =
   match Util.Json.parse_file path with
   | Error e -> fail "%s: JSON parse error: %s" path e
   | Ok j -> (
       let tag = Result.map_error (fun e -> Printf.sprintf "%s: %s" path e) in
-      match Util.Json.member "records" j with
-      | Some records -> tag (validate_bench j records)
-      | None -> tag (validate_registry j))
+      match (Util.Json.member "records" j, Util.Json.member "batch" j) with
+      | Some records, _ -> tag (validate_bench j records)
+      | None, Some batch -> tag (validate_batch j batch)
+      | None, None -> tag (validate_registry j))
 
 let () =
   let files = List.tl (Array.to_list Sys.argv) in

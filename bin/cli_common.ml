@@ -1,0 +1,129 @@
+(* Shared plumbing of the opera subcommands: the flag vocabularies every
+   parser reuses, the health/metrics harness, and the one error
+   discipline — [--help] prints usage on stdout and exits 0, an unknown
+   flag or malformed value prints the message (and a usage pointer) on
+   stderr and exits 2, a solve diverging under [--solver-policy fail]
+   exits 3. *)
+
+let vdd_default = 1.2
+
+(* ---- flag vocabularies ----------------------------------------------- *)
+
+let solver_enum =
+  [
+    ("direct", Opera.Galerkin.Direct);
+    ("pcg", Opera.Galerkin.Mean_pcg { tol = 1e-10; max_iter = 500 });
+    ("matrix-free", Opera.Galerkin.Matrix_free_pcg { tol = 1e-10; max_iter = 500 });
+  ]
+
+let policy_enum =
+  [ ("fail", Opera.Galerkin.Fail); ("warn", Opera.Galerkin.Warn); ("fallback", Opera.Galerkin.Fallback) ]
+
+let log_level_enum =
+  [ ("error", Util.Log.Error); ("warn", Util.Log.Warn); ("info", Util.Log.Info); ("debug", Util.Log.Debug) ]
+
+let nodes_arg r = Util.Args.int [ "--nodes" ] ~doc:"Target node count of a generated synthetic grid." r
+
+let netlist_arg r =
+  Util.Args.string_opt [ "--netlist" ] ~docv:"FILE"
+    ~doc:"Analyze this SPICE-subset netlist instead of a generated grid." r
+
+let order_arg r = Util.Args.int [ "--order" ] ~doc:"Polynomial-chaos expansion order (the paper uses 2-3)." r
+
+let steps_arg r = Util.Args.int [ "--steps" ] ~doc:"Number of transient steps." r
+
+let step_ps_arg r = Util.Args.float [ "--step-ps" ] ~doc:"Time step in picoseconds." r
+
+let samples_arg r = Util.Args.int [ "--samples" ] ~doc:"Monte-Carlo sample count." r
+
+let seed_arg r = Util.Args.int [ "--seed" ] ~doc:"Random seed." r
+
+let solver_arg r =
+  Util.Args.enum [ "--solver" ]
+    ~doc:"Augmented-system solver: direct, pcg (assembled, mean-block-preconditioned CG) or \
+          matrix-free (same CG, operator applied from the per-rank matrices, never assembled)."
+    solver_enum r
+
+let domains_arg r =
+  Util.Args.int [ "--domains" ]
+    ~doc:"Domain count for the block-parallel solver paths (0 = the OPERA_DOMAINS environment \
+          variable, default sequential)." r
+
+let policy_arg r =
+  Util.Args.enum [ "--solver-policy" ]
+    ~doc:"What an iterative solve does on an exhausted iteration budget: fail (exit 3), warn \
+          (keep the approximate iterate) or fallback (re-solve directly)."
+    policy_enum r
+
+let metrics_out_arg r =
+  Util.Args.string_opt [ "--metrics-out" ] ~docv:"FILE"
+    ~doc:"Write the run's metrics registry (counters + phase timers) to FILE as JSON." r
+
+let log_level_arg r =
+  Util.Args.enum [ "--log-level" ] ~doc:"Diagnostic verbosity on stderr: error, warn, info or debug."
+    log_level_enum r
+
+let cache_dir_arg r =
+  Util.Args.string_opt [ "--cache-dir" ] ~docv:"DIR"
+    ~doc:"Artifact store for orderings, factors and tensors; warm runs skip setup entirely." r
+
+(* ---- run harness ------------------------------------------------------ *)
+
+(* Set verbosity, run the body, persist the metrics registry (also when
+   the run aborts), map Solver_diverged to exit code 3. *)
+let with_health ~log_level ~metrics_out f =
+  Util.Log.set_level log_level;
+  let write_metrics () =
+    match metrics_out with
+    | None -> ()
+    | Some path ->
+        Util.Metrics.write_file Util.Metrics.global path;
+        (* stderr so [batch]'s JSONL stream on stdout stays pure *)
+        Printf.eprintf "wrote metrics to %s\n" path
+  in
+  match f () with
+  | () ->
+      write_metrics ();
+      0
+  | exception Opera.Galerkin.Solver_diverged (context, report) ->
+      Printf.eprintf "opera: solver diverged at %s\n  %s\n" context
+        (Linalg.Solve_report.summary report);
+      write_metrics ();
+      3
+
+let print_health (stats : Opera.Galerkin.stats) =
+  let agg = stats.Opera.Galerkin.health in
+  if agg.Linalg.Solve_report.solves > 0 then
+    Printf.printf "solver health: %s%s\n"
+      (Linalg.Solve_report.agg_summary agg)
+      (if Linalg.Solve_report.agg_healthy agg then "" else "  ** UNHEALTHY **")
+
+let load_circuit netlist nodes =
+  match netlist with
+  | Some path ->
+      let parsed = Powergrid.Netlist.parse_file path in
+      (parsed.Powergrid.Netlist.circuit, vdd_default, None)
+  | None ->
+      let spec = Powergrid.Grid_spec.scale_to_nodes Powergrid.Grid_spec.default nodes in
+      (Powergrid.Grid_gen.generate spec, spec.Powergrid.Grid_spec.vdd, Some spec)
+
+(* ---- the shared usage / unknown-flag error path ----------------------- *)
+
+(* Parse [argv] against [args]; on success check positionals and run the
+   body.  Every subcommand flows through here, so help and error
+   behavior cannot drift between parsers. *)
+let dispatch ~prog ~summary ?positional ~args ~argv body =
+  match Util.Args.parse args argv with
+  | Util.Args.Help ->
+      print_string (Util.Args.usage ~prog ?positional ~summary args);
+      0
+  | Util.Args.Failed msg ->
+      Printf.eprintf "%s: %s\nTry '%s --help'.\n" prog msg prog;
+      2
+  | Util.Args.Parsed positionals -> (
+      match (positional, positionals) with
+      | None, [] -> body []
+      | None, extra :: _ ->
+          Printf.eprintf "%s: unexpected argument %S\nTry '%s --help'.\n" prog extra prog;
+          2
+      | Some _, ps -> body ps)

@@ -1,0 +1,88 @@
+(* opera batch — run a JSON batch of jobs through the scenario engine.
+
+   Jobs sharing an operator signature share one factorization; with
+   --cache-dir the setup artifacts (orderings, Cholesky factors,
+   triple-product tensors) persist across runs.  The JSONL stream goes
+   to stdout (or --stream-out FILE) and is byte-identical across cold
+   runs, warm runs and any --jobs-parallel; the human summary goes to
+   stderr. *)
+
+let run argv =
+  let cache_dir = ref None
+  and jobs_parallel = ref 0
+  and domains = ref 0
+  and stream_out = ref None
+  and dry_run = ref false
+  and metrics_out = ref None
+  and log_level = ref Util.Log.Warn in
+  let args =
+    [
+      Cli_common.cache_dir_arg cache_dir;
+      Util.Args.int [ "--jobs-parallel" ]
+        ~doc:"Jobs in flight at once (0 = the OPERA_DOMAINS environment variable, default \
+              sequential); inner solver parallelism drops to 1 when > 1."
+        jobs_parallel;
+      Cli_common.domains_arg domains;
+      Util.Args.string_opt [ "--stream-out" ] ~docv:"FILE"
+        ~doc:"Write the JSONL result stream to FILE instead of stdout." stream_out;
+      Util.Args.flag [ "--dry-run" ]
+        ~doc:"Only parse and plan: print the job groups sharing a factorization, solve nothing."
+        dry_run;
+      Cli_common.metrics_out_arg metrics_out;
+      Cli_common.log_level_arg log_level;
+    ]
+  in
+  Cli_common.dispatch ~prog:"opera batch"
+    ~summary:
+      "Run a batch of analysis jobs from a JSON file; jobs sharing a grid and solver route share \
+       one factorization, and --cache-dir persists the setup artifacts across runs."
+    ~positional:"JOBS.json" ~args ~argv
+  @@ fun positionals ->
+  match positionals with
+  | [] ->
+      Printf.eprintf "opera batch: missing JOBS.json argument\nTry 'opera batch --help'.\n";
+      2
+  | _ :: _ :: _ ->
+      Printf.eprintf "opera batch: expected exactly one JOBS.json argument\nTry 'opera batch --help'.\n";
+      2
+  | [ path ] -> (
+      match Scenario.Job.batch_of_file path with
+      | Error msg ->
+          Printf.eprintf "opera batch: %s: %s\n" path msg;
+          2
+      | Ok jobs when !dry_run ->
+          let groups = Scenario.Engine.plan jobs in
+          Printf.printf "%d jobs in %d groups:\n" (Array.length jobs) (Array.length groups);
+          Array.iteri
+            (fun g members ->
+              let names =
+                members |> Array.to_list
+                |> List.map (fun i -> jobs.(i).Scenario.Job.name)
+                |> String.concat ", "
+              in
+              Printf.printf "  group %d: %d job%s sharing one operator: %s\n" g
+                (Array.length members)
+                (if Array.length members = 1 then "" else "s")
+                names)
+            groups;
+          0
+      | Ok jobs ->
+          Cli_common.with_health ~log_level:!log_level ~metrics_out:!metrics_out @@ fun () ->
+          let config =
+            {
+              Scenario.Engine.cache_dir = !cache_dir;
+              jobs_parallel = !jobs_parallel;
+              domains = !domains;
+              metrics = Util.Metrics.global;
+            }
+          in
+          let summary =
+            match !stream_out with
+            | None -> Scenario.Engine.run_jsonl ~config stdout jobs
+            | Some file ->
+                let oc = open_out file in
+                Fun.protect
+                  ~finally:(fun () -> close_out oc)
+                  (fun () -> Scenario.Engine.run_jsonl ~config oc jobs)
+          in
+          prerr_endline (Scenario.Engine.summary_line summary))

@@ -1,0 +1,47 @@
+(* opera mc — Monte-Carlo baseline analysis. *)
+
+let run argv =
+  let netlist = ref None
+  and nodes = ref 2000
+  and steps = ref 24
+  and step_ps = ref 125.0
+  and samples = ref 300
+  and seed = ref 7 in
+  let args =
+    [
+      Cli_common.netlist_arg netlist;
+      Cli_common.nodes_arg nodes;
+      Cli_common.steps_arg steps;
+      Cli_common.step_ps_arg step_ps;
+      Cli_common.samples_arg samples;
+      Cli_common.seed_arg seed;
+    ]
+  in
+  Cli_common.dispatch ~prog:"opera mc" ~summary:"Monte-Carlo baseline analysis." ~args ~argv
+  @@ fun _ ->
+  let circuit, vdd, _ = Cli_common.load_circuit !netlist !nodes in
+  Printf.printf "circuit: %s\n%!" (Powergrid.Circuit.stats circuit);
+  let model = Opera.Stochastic_model.build ~order:2 Opera.Varmodel.paper_default ~vdd circuit in
+  let h = !step_ps *. 1e-12 in
+  let steps = !steps and samples = !samples in
+  let cfg =
+    { (Opera.Monte_carlo.default_config ~h ~steps) with
+      Opera.Monte_carlo.samples; seed = Int64.of_int !seed }
+  in
+  let result = Opera.Monte_carlo.run model cfg in
+  Printf.printf "%d samples in %.2f s (%.1f ms/sample)\n" samples
+    result.Opera.Monte_carlo.elapsed_seconds
+    (1e3 *. result.Opera.Monte_carlo.elapsed_seconds /. float_of_int samples);
+  (* Worst node at the final step. *)
+  let n = result.Opera.Monte_carlo.n in
+  let worst = ref 0 in
+  for node = 1 to n - 1 do
+    if
+      Opera.Monte_carlo.mean_at result ~step:steps ~node
+      < Opera.Monte_carlo.mean_at result ~step:steps ~node:!worst
+    then worst := node
+  done;
+  Printf.printf "worst node %d at final step: mean %.6f V, sigma %.3e V\n" !worst
+    (Opera.Monte_carlo.mean_at result ~step:steps ~node:!worst)
+    (Opera.Monte_carlo.std_at result ~step:steps ~node:!worst);
+  0

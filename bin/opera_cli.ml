@@ -6,448 +6,58 @@
      opera mc        --nodes 5000 --samples 500
      opera compare   --nodes 5000 --samples 300   (a Table-1 row)
      opera special   --nodes 2000 --regions 4     (Sec. 5.1 special case)
-*)
+     opera batch     jobs.json --cache-dir .opera-cache
+     opera walk      --nodes 5000 --walks 20000
 
-open Cmdliner
+   Each subcommand owns its parser (bin/cmd_*.ml) but all of them share
+   Cli_common.dispatch, so the error discipline is uniform: --help
+   prints usage on stdout and exits 0; an unknown subcommand, unknown
+   flag or malformed value prints on stderr and exits 2; a solve that
+   diverges under --solver-policy fail exits 3. *)
 
-(* ---- shared arguments ------------------------------------------------ *)
+let version = "1.0.0"
 
-let nodes_arg =
-  let doc = "Target node count of a generated synthetic grid." in
-  Arg.(value & opt int 2000 & info [ "nodes" ] ~docv:"N" ~doc)
+let commands =
+  [
+    ("generate", "Generate a synthetic power-grid netlist", Cmd_generate.run);
+    ("analyze", "Stochastic (OPERA) analysis of a grid", Cmd_analyze.run);
+    ("mc", "Monte-Carlo baseline analysis", Cmd_mc.run);
+    ("compare", "OPERA vs Monte Carlo on one grid (a Table-1 row)", Cmd_compare.run);
+    ("special", "Sec. 5.1 special case: leakage-only variation", Cmd_special.run);
+    ("batch", "Run a JSON batch of jobs with shared factors and caching", Cmd_batch.run);
+    ("walk", "Localized single-node DC estimate by random walks", Cmd_walk.run);
+  ]
 
-let netlist_arg =
-  let doc = "Analyze this SPICE-subset netlist instead of a generated grid." in
-  Arg.(value & opt (some file) None & info [ "netlist" ] ~docv:"FILE" ~doc)
+let usage () =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf
+    "usage: opera COMMAND [OPTION]...\n\n\
+     Stochastic power-grid analysis under process variations (DATE 2005 reproduction).\n\n\
+     commands:\n";
+  List.iter
+    (fun (name, doc, _) -> Buffer.add_string buf (Printf.sprintf "  %-10s %s\n" name doc))
+    commands;
+  Buffer.add_string buf "\nRun 'opera COMMAND --help' for command options.\n";
+  Buffer.contents buf
 
-let order_arg =
-  let doc = "Polynomial-chaos expansion order (the paper uses 2-3)." in
-  Arg.(value & opt int 2 & info [ "order" ] ~docv:"P" ~doc)
+let main () =
+  match Array.to_list Sys.argv with
+  | _ :: name :: rest -> (
+      match List.find_opt (fun (n, _, _) -> n = name) commands with
+      | Some (_, _, run) -> run rest
+      | None -> (
+          match name with
+          | "--help" | "-h" | "help" ->
+              print_string (usage ());
+              0
+          | "--version" ->
+              print_endline version;
+              0
+          | _ ->
+              Printf.eprintf "opera: unknown command %S\n%s" name (usage ());
+              2))
+  | _ ->
+      prerr_string (usage ());
+      2
 
-let steps_arg =
-  let doc = "Number of transient steps." in
-  Arg.(value & opt int 24 & info [ "steps" ] ~doc)
-
-let step_ps_arg =
-  let doc = "Time step in picoseconds." in
-  Arg.(value & opt float 125.0 & info [ "step-ps" ] ~doc)
-
-let samples_arg =
-  let doc = "Monte-Carlo sample count." in
-  Arg.(value & opt int 300 & info [ "samples" ] ~doc)
-
-let seed_arg =
-  let doc = "Random seed." in
-  Arg.(value & opt int 7 & info [ "seed" ] ~doc)
-
-let solver_arg =
-  let doc =
-    "Augmented-system solver: $(b,direct), $(b,pcg) (assembled, mean-block-preconditioned CG) \
-     or $(b,matrix-free) (same CG but the augmented operator is applied from the per-rank \
-     matrices and the triple-product coupling, never assembled)."
-  in
-  Arg.(value
-       & opt (enum [ ("direct", `Direct); ("pcg", `Pcg); ("matrix-free", `Matrix_free) ]) `Pcg
-       & info [ "solver" ] ~doc)
-
-let domains_arg =
-  let doc =
-    "Domain count for the block-parallel solver paths (0 = use the OPERA_DOMAINS environment \
-     variable, default sequential)."
-  in
-  Arg.(value & opt int 0 & info [ "domains" ] ~docv:"N" ~doc)
-
-let policy_arg =
-  let doc =
-    "What an iterative solve does when it exhausts its iteration budget without reaching the \
-     tolerance: $(b,fail) (abort with exit code 3), $(b,warn) (log and keep the approximate \
-     iterate) or $(b,fallback) (re-solve with the assembled direct factor)."
-  in
-  Arg.(value
-       & opt
-           (enum
-              [
-                ("fail", Opera.Galerkin.Fail); ("warn", Opera.Galerkin.Warn);
-                ("fallback", Opera.Galerkin.Fallback);
-              ])
-           Opera.Galerkin.Warn
-       & info [ "solver-policy" ] ~docv:"POLICY" ~doc)
-
-let metrics_out_arg =
-  let doc = "Write the run's metrics registry (counters + phase timers) to FILE as JSON." in
-  Arg.(value & opt (some string) None & info [ "metrics-out" ] ~docv:"FILE" ~doc)
-
-let log_level_arg =
-  let doc = "Diagnostic verbosity on stderr: $(b,error), $(b,warn), $(b,info) or $(b,debug)." in
-  Arg.(value
-       & opt
-           (enum
-              [
-                ("error", Util.Log.Error); ("warn", Util.Log.Warn); ("info", Util.Log.Info);
-                ("debug", Util.Log.Debug);
-              ])
-           Util.Log.Warn
-       & info [ "log-level" ] ~docv:"LEVEL" ~doc)
-
-(* Shared health harness: set verbosity, run the command body, persist the
-   metrics registry (also when the run aborts), and map Solver_diverged to
-   a dedicated exit code so scripts can distinguish "diverged under
-   --solver-policy fail" (3) from argument errors (124/125). *)
-let with_health ~log_level ~metrics_out f =
-  Util.Log.set_level log_level;
-  let write_metrics () =
-    match metrics_out with
-    | None -> ()
-    | Some path ->
-        Util.Metrics.write_file Util.Metrics.global path;
-        Printf.printf "wrote metrics to %s\n" path
-  in
-  match f () with
-  | () -> write_metrics ()
-  | exception Opera.Galerkin.Solver_diverged (context, report) ->
-      Printf.eprintf "opera: solver diverged at %s\n  %s\n" context
-        (Linalg.Solve_report.summary report);
-      write_metrics ();
-      exit 3
-
-let print_health (stats : Opera.Galerkin.stats) =
-  let agg = stats.Opera.Galerkin.health in
-  if agg.Linalg.Solve_report.solves > 0 then
-    Printf.printf "solver health: %s%s\n"
-      (Linalg.Solve_report.agg_summary agg)
-      (if Linalg.Solve_report.agg_healthy agg then "" else "  ** UNHEALTHY **")
-
-let vdd_default = 1.2
-
-let load_circuit netlist nodes =
-  match netlist with
-  | Some path ->
-      let parsed = Powergrid.Netlist.parse_file path in
-      (parsed.Powergrid.Netlist.circuit, vdd_default, None)
-  | None ->
-      let spec = Powergrid.Grid_spec.scale_to_nodes Powergrid.Grid_spec.default nodes in
-      (Powergrid.Grid_gen.generate spec, spec.Powergrid.Grid_spec.vdd, Some spec)
-
-let solver_of = function
-  | `Direct -> Opera.Galerkin.Direct
-  | `Pcg -> Opera.Galerkin.Mean_pcg { tol = 1e-10; max_iter = 500 }
-  | `Matrix_free -> Opera.Galerkin.Matrix_free_pcg { tol = 1e-10; max_iter = 500 }
-
-(* ---- generate -------------------------------------------------------- *)
-
-let generate nodes out =
-  let spec = Powergrid.Grid_spec.scale_to_nodes Powergrid.Grid_spec.default nodes in
-  let circuit = Powergrid.Grid_gen.generate spec in
-  Powergrid.Netlist.write_file out ~title:(Powergrid.Grid_spec.describe spec) circuit;
-  Printf.printf "wrote %s: %s\n" out (Powergrid.Circuit.stats circuit)
-
-let generate_cmd =
-  let out =
-    Arg.(value & opt string "grid.sp" & info [ "out"; "o" ] ~docv:"FILE" ~doc:"Output netlist.")
-  in
-  Cmd.v
-    (Cmd.info "generate" ~doc:"Generate a synthetic power-grid netlist")
-    Term.(const generate $ nodes_arg $ out)
-
-(* ---- analyze --------------------------------------------------------- *)
-
-let analyze netlist nodes order steps step_ps solver domains policy metrics_out log_level csv svg
-    budget_pct =
-  with_health ~log_level ~metrics_out @@ fun () ->
-  let circuit, vdd, spec = load_circuit netlist nodes in
-  Printf.printf "circuit: %s\n" (Powergrid.Circuit.stats circuit);
-  let vm = Opera.Varmodel.paper_default in
-  Printf.printf "variations: %s\n%!" (Opera.Varmodel.describe vm);
-  let model = Opera.Stochastic_model.build ~order vm ~vdd circuit in
-  let probe =
-    match spec with
-    | Some s -> Powergrid.Grid_gen.center_node s
-    | None -> Powergrid.Circuit.node_count circuit / 2
-  in
-  let options =
-    { Opera.Galerkin.default_options with
-      Opera.Galerkin.solver = solver_of solver; probes = [| probe |]; domains; policy }
-  in
-  let h = step_ps *. 1e-12 in
-  let (response, stats), seconds =
-    Util.Timer.time (fun () -> Opera.Galerkin.solve_transient ~options model ~h ~steps)
-  in
-  Printf.printf "\nsolved: augmented dim %d, nnz %d, %.2f s total" stats.Opera.Galerkin.aug_dim
-    stats.Opera.Galerkin.nnz_aug seconds;
-  if stats.Opera.Galerkin.pcg_iterations > 0 then
-    Printf.printf " (%d CG iterations)" stats.Opera.Galerkin.pcg_iterations;
-  print_newline ();
-  print_health stats;
-  (* Worst nodes by mu + 3 sigma drop over time. *)
-  let n = model.Opera.Stochastic_model.n in
-  let guarded = Array.make n 0.0 in
-  let nominal = Array.make n 0.0 in
-  for step = 1 to steps do
-    for node = 0 to n - 1 do
-      let mu = Opera.Response.mean_at response ~step ~node in
-      let sd = Opera.Response.std_at response ~step ~node in
-      nominal.(node) <- Float.max nominal.(node) (vdd -. mu);
-      guarded.(node) <- Float.max guarded.(node) (vdd -. mu +. (3.0 *. sd))
-    done
-  done;
-  let idx = Array.init n (fun i -> i) in
-  Array.sort (fun a b -> compare guarded.(b) guarded.(a)) idx;
-  let table =
-    Util.Table.create
-      [
-        ("node", Util.Table.Right); ("mu drop (mV)", Util.Table.Right);
-        ("+3sigma (mV)", Util.Table.Right); ("mu+3sigma (%VDD)", Util.Table.Right);
-      ]
-  in
-  for r = 0 to Int.min 9 (n - 1) do
-    let v = idx.(r) in
-    Util.Table.add_row table
-      [
-        string_of_int v;
-        Printf.sprintf "%.2f" (1e3 *. nominal.(v));
-        Printf.sprintf "%.2f" (1e3 *. (guarded.(v) -. nominal.(v)));
-        Printf.sprintf "%.2f" (100.0 *. guarded.(v) /. vdd);
-      ]
-  done;
-  print_newline ();
-  print_string (Util.Table.render table);
-  (* Which process parameter drives the probe's variability? The explicit
-     expansion answers directly (Sobol decomposition). *)
-  let best_step = ref 1 in
-  for step = 2 to steps do
-    if
-      Opera.Response.variance_at response ~step ~node:probe
-      > Opera.Response.variance_at response ~step:!best_step ~node:probe
-    then best_step := step
-  done;
-  let pce = Opera.Response.pce_at response ~node:probe ~step:!best_step in
-  if Polychaos.Pce.variance pce > 0.0 then begin
-    let names =
-      match vm.Opera.Varmodel.mode with
-      | Opera.Varmodel.Combined -> [| "xiG"; "xiL" |]
-      | Opera.Varmodel.Separate -> [| "xiW"; "xiT"; "xiL" |]
-      | Opera.Varmodel.Grouped_wires k ->
-          Array.init (k + 1) (fun d -> if d = k then "xiL" else Printf.sprintf "xiG_%d" d)
-    in
-    Printf.printf "\nvariance decomposition at probe node %d (t = %g ps):\n%s" probe
-      (float_of_int !best_step *. step_ps)
-      (Polychaos.Sobol.report ~names pce)
-  end;
-  (* Yield against a drop budget (Gaussian union bound per step). *)
-  (match budget_pct with
-  | None -> ()
-  | Some pct ->
-      let budget = pct /. 100.0 *. vdd in
-      let worst_p = ref 0.0 and worst_step = ref 1 and worst_node = ref 0 in
-      for step = 1 to steps do
-        let p, node = Opera.Yield.grid_failure_probability_gaussian response ~step ~budget in
-        if p > !worst_p then begin
-          worst_p := p;
-          worst_step := step;
-          worst_node := node
-        end
-      done;
-      Printf.printf
-        "\nyield vs %.1f%%-VDD drop budget: worst-step failure probability %.2e\n\
-         (union bound; step %d, dominated by node %d)\n"
-        pct !worst_p !worst_step !worst_node);
-  (match csv with
-  | None -> ()
-  | Some path ->
-      Opera.Response.export_csv response path;
-      Printf.printf "\nwrote probe trajectories to %s\n" path);
-  match (svg, spec) with
-  | Some _, None -> prerr_endline "note: --svg needs a generated grid (geometry unknown for netlists)"
-  | Some path, Some spec ->
-      (* worst-over-time drop and sigma maps of the bottom layer *)
-      let drops = Array.make n 0.0 and sigmas = Array.make n 0.0 in
-      for step = 1 to steps do
-        for node = 0 to n - 1 do
-          drops.(node) <-
-            Float.max drops.(node) (vdd -. Opera.Response.mean_at response ~step ~node);
-          sigmas.(node) <-
-            Float.max sigmas.(node) (Opera.Response.std_at response ~step ~node)
-        done
-      done;
-      Powergrid.Svg_map.save path spec
-        ~values:(Array.map (fun d -> 1e3 *. d) drops)
-        ~title:"worst mean IR drop" ~unit_label:"mV" ();
-      let sigma_path = Filename.remove_extension path ^ "_sigma" ^ Filename.extension path in
-      Powergrid.Svg_map.save sigma_path spec
-        ~values:(Array.map (fun s -> 1e3 *. s) sigmas)
-        ~title:"worst sigma of the voltage" ~unit_label:"mV" ();
-      Printf.printf "wrote %s and %s\n" path sigma_path
-  | None, _ -> ()
-
-let analyze_cmd =
-  let csv =
-    Arg.(value & opt (some string) None
-         & info [ "csv" ] ~docv:"FILE" ~doc:"Export probe trajectories as CSV.")
-  in
-  let svg =
-    Arg.(value & opt (some string) None
-         & info [ "svg" ] ~docv:"FILE" ~doc:"Export drop/sigma heat maps as SVG.")
-  in
-  let budget =
-    Arg.(value & opt (some float) None
-         & info [ "budget" ] ~docv:"PCT" ~doc:"Drop budget as %% of VDD for yield reporting.")
-  in
-  Cmd.v
-    (Cmd.info "analyze" ~doc:"Stochastic (OPERA) analysis of a grid")
-    Term.(
-      const analyze $ netlist_arg $ nodes_arg $ order_arg $ steps_arg $ step_ps_arg $ solver_arg
-      $ domains_arg $ policy_arg $ metrics_out_arg $ log_level_arg $ csv $ svg $ budget)
-
-(* ---- mc -------------------------------------------------------------- *)
-
-let mc netlist nodes steps step_ps samples seed =
-  let circuit, vdd, _ = load_circuit netlist nodes in
-  Printf.printf "circuit: %s\n%!" (Powergrid.Circuit.stats circuit);
-  let model = Opera.Stochastic_model.build ~order:2 Opera.Varmodel.paper_default ~vdd circuit in
-  let h = step_ps *. 1e-12 in
-  let cfg =
-    { (Opera.Monte_carlo.default_config ~h ~steps) with
-      Opera.Monte_carlo.samples; seed = Int64.of_int seed }
-  in
-  let result = Opera.Monte_carlo.run model cfg in
-  Printf.printf "%d samples in %.2f s (%.1f ms/sample)\n" samples
-    result.Opera.Monte_carlo.elapsed_seconds
-    (1e3 *. result.Opera.Monte_carlo.elapsed_seconds /. float_of_int samples);
-  (* Worst node at the final step. *)
-  let n = result.Opera.Monte_carlo.n in
-  let worst = ref 0 in
-  for node = 1 to n - 1 do
-    if
-      Opera.Monte_carlo.mean_at result ~step:steps ~node
-      < Opera.Monte_carlo.mean_at result ~step:steps ~node:!worst
-    then worst := node
-  done;
-  Printf.printf "worst node %d at final step: mean %.6f V, sigma %.3e V\n" !worst
-    (Opera.Monte_carlo.mean_at result ~step:steps ~node:!worst)
-    (Opera.Monte_carlo.std_at result ~step:steps ~node:!worst)
-
-let mc_cmd =
-  Cmd.v
-    (Cmd.info "mc" ~doc:"Monte-Carlo baseline analysis")
-    Term.(const mc $ netlist_arg $ nodes_arg $ steps_arg $ step_ps_arg $ samples_arg $ seed_arg)
-
-(* ---- compare --------------------------------------------------------- *)
-
-let compare_run nodes order steps step_ps samples seed solver domains policy metrics_out log_level
-    =
-  with_health ~log_level ~metrics_out @@ fun () ->
-  let spec = Powergrid.Grid_spec.scale_to_nodes Powergrid.Grid_spec.default nodes in
-  let config =
-    {
-      Opera.Driver.order;
-      h = step_ps *. 1e-12;
-      steps;
-      mc_samples = samples;
-      seed = Int64.of_int seed;
-      solver = solver_of solver;
-      ordering = Linalg.Ordering.Nested_dissection;
-      probes = [||];
-      domains;
-      policy;
-    }
-  in
-  let outcome = Opera.Driver.run_grid config spec Opera.Varmodel.paper_default in
-  let table = Util.Table.create Opera.Compare.header in
-  Util.Table.add_row table
-    (Opera.Compare.row_strings outcome.Opera.Driver.label outcome.Opera.Driver.report);
-  print_string (Util.Table.render table);
-  print_health outcome.Opera.Driver.galerkin_stats
-
-let compare_cmd =
-  Cmd.v
-    (Cmd.info "compare" ~doc:"OPERA vs Monte Carlo on one grid (a Table-1 row)")
-    Term.(
-      const compare_run $ nodes_arg $ order_arg $ steps_arg $ step_ps_arg $ samples_arg $ seed_arg
-      $ solver_arg $ domains_arg $ policy_arg $ metrics_out_arg $ log_level_arg)
-
-(* ---- special --------------------------------------------------------- *)
-
-let special nodes order steps step_ps regions lambda samples domains metrics_out log_level =
-  with_health ~log_level ~metrics_out @@ fun () ->
-  let side = int_of_float (Float.round (sqrt (float_of_int regions))) in
-  let rx = Int.max 1 side in
-  let ry = Int.max 1 (regions / rx) in
-  let spec =
-    { (Powergrid.Grid_spec.scale_to_nodes Powergrid.Grid_spec.default nodes) with
-      Powergrid.Grid_spec.regions_x = rx; regions_y = ry }
-  in
-  let regions = rx * ry in
-  let vdd = spec.Powergrid.Grid_spec.vdd in
-  let circuit = Powergrid.Grid_gen.generate spec in
-  let leaks =
-    Array.init
-      (spec.Powergrid.Grid_spec.rows * spec.Powergrid.Grid_spec.cols)
-      (fun node -> (node, Powergrid.Grid_gen.region_of_node spec node, 5e-6))
-  in
-  let sc = Opera.Special_case.make ~order ~regions ~lambda ~leaks ~vdd circuit in
-  let h = step_ps *. 1e-12 in
-  let probe = Powergrid.Grid_gen.center_node spec in
-  let resp, secs = Opera.Special_case.solve ~domains sc ~h ~steps ~probes:[| probe |] in
-  let size = Polychaos.Basis.size sc.Opera.Special_case.basis in
-  Printf.printf "decoupled OPERA: %d regions, order %d (N+1 = %d), %.2f s\n" regions order size secs;
-  let mc = Opera.Special_case.monte_carlo sc ~samples ~seed:7L ~h ~steps ~probes:[| probe |] in
-  Printf.printf "MC %d samples: %.2f s (speedup %.0fx)\n" samples
-    mc.Opera.Monte_carlo.elapsed_seconds
-    (mc.Opera.Monte_carlo.elapsed_seconds /. secs);
-  let pce = Opera.Response.pce_at resp ~node:probe ~step:steps in
-  Printf.printf "probe node %d: mean %.6f V (MC %.6f), sigma %.3e (MC %.3e), skew %+.3f\n" probe
-    (Polychaos.Pce.mean pce)
-    (Opera.Monte_carlo.mean_at mc ~step:steps ~node:probe)
-    (Polychaos.Pce.std pce)
-    (Opera.Monte_carlo.std_at mc ~step:steps ~node:probe)
-    (Polychaos.Pce.skewness pce)
-
-let special_cmd =
-  let regions =
-    Arg.(value & opt int 4 & info [ "regions" ] ~doc:"Number of chip regions for Vth variation.")
-  in
-  let lambda =
-    Arg.(value & opt float 0.5 & info [ "lambda" ] ~doc:"Lognormal leakage shape parameter.")
-  in
-  Cmd.v
-    (Cmd.info "special" ~doc:"Sec. 5.1 special case: leakage-only variation")
-    Term.(
-      const special $ nodes_arg $ order_arg $ steps_arg $ step_ps_arg $ regions $ lambda
-      $ samples_arg $ domains_arg $ metrics_out_arg $ log_level_arg)
-
-(* ---- walk ------------------------------------------------------------ *)
-
-let walk netlist nodes walks seed =
-  let circuit, _, spec = load_circuit netlist nodes in
-  let a = Powergrid.Mna.assemble circuit in
-  let time = 0.3e-9 in
-  let node =
-    match spec with
-    | Some s -> Powergrid.Grid_gen.center_node s
-    | None -> Powergrid.Circuit.node_count circuit / 2
-  in
-  let w = Powergrid.Random_walk.prepare a ~time in
-  let rng = Prob.Rng.create ~seed:(Int64.of_int seed) () in
-  let (est, se), t = Util.Timer.time (fun () -> Powergrid.Random_walk.estimate w rng ~node ~walks) in
-  Printf.printf "node %d at t = %.3g ns: %.6f V +- %.2e (%d walks, %.3f s)\n" node (time *. 1e9)
-    est se walks t;
-  let exact = Powergrid.Dc.solve_at a time in
-  Printf.printf "direct solve reference: %.6f V (error %.2e)\n" exact.(node)
-    (Float.abs (est -. exact.(node)))
-
-let walk_cmd =
-  let walks = Arg.(value & opt int 5000 & info [ "walks" ] ~doc:"Number of random walks.") in
-  Cmd.v
-    (Cmd.info "walk" ~doc:"Localized single-node DC estimate by random walks")
-    Term.(const walk $ netlist_arg $ nodes_arg $ walks $ seed_arg)
-
-(* ---- main ------------------------------------------------------------ *)
-
-let () =
-  let info =
-    Cmd.info "opera" ~version:"1.0.0"
-      ~doc:"Stochastic power-grid analysis under process variations (DATE 2005 reproduction)"
-  in
-  exit
-    (Cmd.eval
-       (Cmd.group info [ generate_cmd; analyze_cmd; mc_cmd; compare_cmd; special_cmd; walk_cmd ]))
+let () = exit (main ())

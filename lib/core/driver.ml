@@ -62,19 +62,20 @@ let solve_opera config model =
   let response, stats = Galerkin.solve_transient ~options model ~h:config.h ~steps:config.steps in
   (response, stats, Util.Timer.elapsed_s t0)
 
-let run_grid ?label config spec vm =
+let probes_for config spec =
+  if Array.length config.probes > 0 then config.probes
+  else [| Powergrid.Grid_gen.center_node spec |]
+
+let build_model ?tp config spec vm =
   let circuit = Powergrid.Grid_gen.generate spec in
-  let label =
-    match label with
-    | Some l -> l
-    | None -> Printf.sprintf "%dn" (Powergrid.Grid_spec.node_count spec)
-  in
-  let probes =
-    if Array.length config.probes > 0 then config.probes
-    else [| Powergrid.Grid_gen.center_node spec |]
-  in
-  let config = { config with probes } in
-  let model = Stochastic_model.build ~order:config.order vm ~vdd:spec.Powergrid.Grid_spec.vdd circuit in
+  Stochastic_model.build ~order:config.order ?tp vm ~vdd:spec.Powergrid.Grid_spec.vdd circuit
+
+(* Everything downstream of the expanded model: the Galerkin solve, the
+   Monte-Carlo baseline, the deterministic reference and the comparison
+   report.  [run_grid] is this after a one-model "batch" of setup work;
+   the scenario engine calls the same pieces with models (and cached
+   artifacts) it prepared itself. *)
+let evaluate ~label config spec model =
   let response, galerkin_stats, opera_seconds = solve_opera config model in
   let mc_config =
     {
@@ -83,7 +84,7 @@ let run_grid ?label config spec vm =
       h = config.h;
       steps = config.steps;
       ordering = config.ordering;
-      probes;
+      probes = config.probes;
       sampler = Monte_carlo.Pseudo;
     }
   in
@@ -93,3 +94,13 @@ let run_grid ?label config spec vm =
     Compare.compare ~response ~mc ~nominal ~vdd:spec.Powergrid.Grid_spec.vdd ~opera_seconds
   in
   { label; spec; model; response; galerkin_stats; opera_seconds; mc; nominal; report }
+
+let run_grid ?label config spec vm =
+  let label =
+    match label with
+    | Some l -> l
+    | None -> Printf.sprintf "%dn" (Powergrid.Grid_spec.node_count spec)
+  in
+  let config = { config with probes = probes_for config spec } in
+  let model = build_model config spec vm in
+  evaluate ~label config spec model

@@ -42,6 +42,25 @@ val solve_opera :
   config -> Stochastic_model.t -> Response.t * Galerkin.stats * float
 (** Galerkin solve only; returns (response, stats, wall seconds). *)
 
+val probes_for : config -> Powergrid.Grid_spec.t -> int array
+(** [config.probes] if non-empty, else the grid's center node. *)
+
+val build_model :
+  ?tp:(Polychaos.Basis.t -> Polychaos.Triple_product.t) ->
+  config ->
+  Powergrid.Grid_spec.t ->
+  Varmodel.t ->
+  Stochastic_model.t
+(** Generate the grid and expand it into chaos form ([tp] is forwarded to
+    {!Stochastic_model.build} — the artifact-store hook). *)
+
+val evaluate :
+  label:string -> config -> Powergrid.Grid_spec.t -> Stochastic_model.t -> outcome
+(** Everything downstream of the expanded model: OPERA solve, Monte-Carlo
+    baseline, nominal reference, comparison report.  [config.probes] must
+    already be resolved (see {!probes_for}); {!run_grid} is
+    [evaluate ~label config spec (build_model config spec vm)]. *)
+
 val run_grid : ?label:string -> config -> Powergrid.Grid_spec.t -> Varmodel.t -> outcome
 (** Full Table-1 pipeline for one grid: generate, expand, OPERA solve,
     Monte-Carlo baseline, nominal reference, comparison report.

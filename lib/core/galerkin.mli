@@ -102,6 +102,14 @@ val rhs_into :
 (** Augmented excitation [Ut(t)]: block j receives
     [norm_sq j * (u_static_j + drain_coef_j * i(t))]. *)
 
+val block_ordering : ?kind:Linalg.Ordering.kind -> Stochastic_model.t -> Linalg.Perm.t
+(** The fill-reducing elimination order of the augmented system: the grid's
+    node connectivity is ordered once (on [n] nodes, default nested
+    dissection), then each node's [N+1] chaos coefficients are kept
+    adjacent.  Exposed so batch engines can compute (or cache) one symbolic
+    ordering and reuse it across every factorization that shares the
+    grid pattern. *)
+
 val solve_dc : ?options:options -> Stochastic_model.t -> Linalg.Vec.t
 (** Stochastic DC solution (augmented coefficients at t = 0). *)
 

@@ -54,21 +54,29 @@ let excitation_term t k =
    domains.  The shared factors are applied through the
    workspace-explicit solve; the drain profile of the step is computed
    once, sequentially, before the parallel region. *)
-let run_decoupled ?(domains = 0) t ~h ~steps ~probes ~record =
+let run_decoupled ?(domains = 0) ?(metrics = Util.Metrics.global) ?factors t ~h ~steps ~probes
+    ~record =
   let n = t.mna.Powergrid.Mna.n in
   let size = Polychaos.Basis.size t.basis in
-  let g = Powergrid.Mna.g_total t.mna in
   let c = Powergrid.Mna.c_total t.mna in
-  let metrics = Util.Metrics.global in
   let t0 = Util.Timer.start () in
   let fdc, fbe =
-    Util.Metrics.span metrics "special.factor_s" (fun () ->
-        let fdc = Linalg.Sparse_cholesky.factor ~ordering:Linalg.Ordering.Nested_dissection g in
-        let fbe =
-          Linalg.Sparse_cholesky.factor ~ordering:Linalg.Ordering.Nested_dissection
-            (Linalg.Sparse.axpy ~alpha:(1.0 /. h) c g)
-        in
-        (fdc, fbe))
+    match factors with
+    | Some (fdc, fbe) ->
+        if Linalg.Sparse_cholesky.dim fdc <> n || Linalg.Sparse_cholesky.dim fbe <> n then
+          invalid_arg "Special_case.run_decoupled: factor dimension mismatch";
+        (fdc, fbe)
+    | None ->
+        Util.Metrics.span metrics "special.factor_s" (fun () ->
+            let g = Powergrid.Mna.g_total t.mna in
+            let fdc =
+              Linalg.Sparse_cholesky.factor ~ordering:Linalg.Ordering.Nested_dissection g
+            in
+            let fbe =
+              Linalg.Sparse_cholesky.factor ~ordering:Linalg.Ordering.Nested_dissection
+                (Linalg.Sparse.axpy ~alpha:(1.0 /. h) c g)
+            in
+            (fdc, fbe))
   in
   let static = Array.init size (excitation_term t) in
   let drain = Linalg.Vec.create n in
@@ -121,11 +129,11 @@ let run_decoupled ?(domains = 0) t ~h ~steps ~probes ~record =
   ignore probes;
   Util.Timer.elapsed_s t0
 
-let solve ?domains t ~h ~steps ~probes =
+let solve ?domains ?metrics ?factors t ~h ~steps ~probes =
   let n = t.mna.Powergrid.Mna.n in
   let response = Response.create ~basis:t.basis ~n ~steps ~h ~vdd:t.vdd ~probes in
   let elapsed =
-    run_decoupled ?domains t ~h ~steps ~probes ~record:(fun step coefs ->
+    run_decoupled ?domains ?metrics ?factors t ~h ~steps ~probes ~record:(fun step coefs ->
         Response.record_step response ~step ~coefs)
   in
   (response, elapsed)

@@ -32,13 +32,27 @@ val excitation_term : t -> int -> Linalg.Vec.t
     only; rank 0 also carries the mean leakage). *)
 
 val solve :
-  ?domains:int -> t -> h:float -> steps:int -> probes:int array -> Response.t * float
+  ?domains:int ->
+  ?metrics:Util.Metrics.t ->
+  ?factors:Linalg.Sparse_cholesky.t * Linalg.Sparse_cholesky.t ->
+  t ->
+  h:float ->
+  steps:int ->
+  probes:int array ->
+  Response.t * float
 (** Decoupled solves: one factorization, [ (N+1) * steps ] triangular
     solves. Returns the response and elapsed seconds.  The [N+1]
     independent block solves of each step run chunked across [domains]
     ({!Util.Parallel.resolve} convention: [0] = [OPERA_DOMAINS]
     environment variable, default sequential); results are identical for
-    any domain count. *)
+    any domain count.
+
+    [metrics] receives the [special.factor_s] / [special.step_s] spans
+    (default {!Util.Metrics.global}).  [factors] injects prefactorized
+    [(G, G + C/h)] Cholesky factors — the batch engine's
+    factor-once/solve-many hook; both must match the grid dimension
+    ([Invalid_argument] otherwise), and the factor of the stepping
+    matrix must of course correspond to the same [h]. *)
 
 val solve_coupled :
   ?solver:Galerkin.solver ->

@@ -34,7 +34,7 @@ let grouped_wire_matrices (circuit : Powergrid.Circuit.t) k =
     circuit.resistors;
   Array.map Linalg.Sparse_builder.to_csc builders
 
-let build ?(order = 2) (vm : Varmodel.t) ~vdd circuit =
+let build ?(order = 2) ?tp (vm : Varmodel.t) ~vdd circuit =
   let mna = Powergrid.Mna.assemble circuit in
   let n = mna.Powergrid.Mna.n in
   let dim = Varmodel.dim vm in
@@ -51,7 +51,11 @@ let build ?(order = 2) (vm : Varmodel.t) ~vdd circuit =
         Polychaos.Family.legendre
   in
   let basis = Polychaos.Basis.isotropic family ~dim ~order in
-  let tp = Polychaos.Triple_product.create basis in
+  let tp =
+    match tp with
+    | Some provider -> provider basis
+    | None -> Polychaos.Triple_product.create basis
+  in
   let rank = degree1_rank basis in
   (* A degree-1 basis polynomial has variance norm_sq 1 (= 1 for Hermite,
      1/3 for Legendre); scale its coefficient so the parameter's standard

@@ -20,9 +20,18 @@ type t = {
   vdd : float;
 }
 
-val build : ?order:int -> Varmodel.t -> vdd:float -> Powergrid.Circuit.t -> t
+val build :
+  ?order:int ->
+  ?tp:(Polychaos.Basis.t -> Polychaos.Triple_product.t) ->
+  Varmodel.t ->
+  vdd:float ->
+  Powergrid.Circuit.t ->
+  t
 (** Expand a circuit under a variation model into chaos form.
     [order] (default 2) is the truncation order of the response basis.
+    [tp] supplies the triple-product tensor for the constructed basis
+    (default {!Polychaos.Triple_product.create}) — the hook the artifact
+    store uses to serve a cached tensor instead of recomputing it.
     In [Grouped_wires k] mode, wire resistors are assigned to [k] vertical
     stripes by their first node's index. *)
 

@@ -165,6 +165,47 @@ let solve f b =
   solve_in_place f x;
   x
 
+(* ---- artifact serialization ----------------------------------------
+   A factor is five arrays; the bytes are exact (floats cross the codec
+   as bit patterns), so a decoded factor solves bitwise identically to
+   the one that was encoded.  [decode] re-validates every structural
+   invariant — the artifact store's checksum catches corruption, this
+   catches a well-formed frame holding a malformed factor. *)
+
+let encode (f : t) (e : Util.Codec.encoder) =
+  Util.Codec.write_int e f.n;
+  Util.Codec.write_int_array e f.p;
+  Util.Codec.write_int_array e f.lp;
+  Util.Codec.write_int_array e f.li;
+  Util.Codec.write_float_array e f.lx
+
+let decode (d : Util.Codec.decoder) =
+  let fail fmt = Printf.ksprintf (fun s -> raise (Util.Codec.Corrupt s)) fmt in
+  let n = Util.Codec.read_int d in
+  if n < 0 then fail "cholesky: negative dimension %d" n;
+  let p = Util.Codec.read_int_array d in
+  let lp = Util.Codec.read_int_array d in
+  let li = Util.Codec.read_int_array d in
+  let lx = Util.Codec.read_float_array d in
+  if Array.length p <> n then fail "cholesky: permutation length %d <> %d" (Array.length p) n;
+  if not (Perm.is_valid p) then fail "cholesky: invalid permutation";
+  if Array.length lp <> n + 1 then fail "cholesky: colptr length %d <> %d" (Array.length lp) (n + 1);
+  if n > 0 && lp.(0) <> 0 then fail "cholesky: colptr does not start at 0";
+  for j = 0 to n - 1 do
+    if lp.(j + 1) < lp.(j) + 1 then fail "cholesky: non-monotone colptr at column %d" j
+  done;
+  let total = if n = 0 then 0 else lp.(n) in
+  if Array.length li <> total then fail "cholesky: rowind length %d <> %d" (Array.length li) total;
+  if Array.length lx <> total then fail "cholesky: values length %d <> %d" (Array.length lx) total;
+  for j = 0 to n - 1 do
+    (* diagonal entry first in each column, rows in range *)
+    if li.(lp.(j)) <> j then fail "cholesky: column %d does not start at its diagonal" j;
+    for q = lp.(j) to lp.(j + 1) - 1 do
+      if li.(q) < 0 || li.(q) >= n then fail "cholesky: row index %d out of range" li.(q)
+    done
+  done;
+  { n; p; lp; li; lx; work = Array.make n 0.0 }
+
 let nnz_l f = f.lp.(f.n)
 
 let dim f = f.n

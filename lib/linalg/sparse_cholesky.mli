@@ -34,6 +34,17 @@ val solve_in_place_ws : t -> work:Vec.t -> Vec.t -> unit
     domains concurrently as long as every domain passes its own [work]
     buffer — the factor itself is only read. *)
 
+val encode : t -> Util.Codec.encoder -> unit
+(** Serialize the factor (permutation + CSC arrays of [L]) for the
+    artifact store.  Floats are written as IEEE-754 bit patterns, so a
+    decoded factor solves bitwise identically. *)
+
+val decode : Util.Codec.decoder -> t
+(** Inverse of {!encode}.  Re-validates every structural invariant
+    (permutation validity, monotone column pointers, in-range and
+    diagonal-first row indices) and raises {!Util.Codec.Corrupt} on any
+    violation — artifacts from disk are never trusted. *)
+
 val nnz_l : t -> int
 (** Number of stored entries of the factor [L]. *)
 

@@ -65,3 +65,38 @@ let coupling_matrix t i =
   Linalg.Dense.init n n (fun j k -> value t i j k)
 
 let basis t = t.basis
+
+(* ---- artifact serialization ----------------------------------------
+   The tensor factorizes into one (order+1)^3 univariate table per
+   dimension; that is exactly what crosses the codec.  [decode] checks
+   the stored shape against the basis it is asked to serve and raises
+   [Util.Codec.Corrupt] on any mismatch, so a cached tensor can never be
+   silently applied to the wrong basis. *)
+
+let encode (t : t) (e : Util.Codec.encoder) =
+  let m = Basis.order t.basis + 1 in
+  Util.Codec.write_int e (Array.length t.per_dim);
+  Util.Codec.write_int e m;
+  Array.iter
+    (fun tbl ->
+      Array.iter (fun plane -> Array.iter (fun row -> Util.Codec.write_float_array e row) plane) tbl)
+    t.per_dim
+
+let decode (basis : Basis.t) (d : Util.Codec.decoder) =
+  let fail fmt = Printf.ksprintf (fun s -> raise (Util.Codec.Corrupt s)) fmt in
+  let dims = Util.Codec.read_int d in
+  let m = Util.Codec.read_int d in
+  if dims <> Basis.dim basis then
+    fail "triple-product: stored for %d dimensions, basis has %d" dims (Basis.dim basis);
+  if m <> Basis.order basis + 1 then
+    fail "triple-product: stored order %d, basis order %d" (m - 1) (Basis.order basis);
+  let per_dim =
+    Array.init dims (fun _ ->
+        Array.init m (fun _ ->
+            Array.init m (fun _ ->
+                let row = Util.Codec.read_float_array d in
+                if Array.length row <> m then
+                  fail "triple-product: table row length %d <> %d" (Array.length row) m;
+                row)))
+  in
+  { basis; per_dim }

@@ -25,3 +25,15 @@ val coupling_matrix : t -> int -> Linalg.Dense.t
     diagonal of basis norms. *)
 
 val basis : t -> Basis.t
+
+val encode : t -> Util.Codec.encoder -> unit
+(** Serialize the per-dimension univariate tables for the artifact
+    store.  Floats cross the codec as IEEE-754 bit patterns, so a
+    decoded tensor evaluates bitwise identically. *)
+
+val decode : Basis.t -> Util.Codec.decoder -> t
+(** [decode basis d] is the inverse of {!encode}, checked against
+    [basis]: the stored dimension count and order must match, and every
+    table row must have the right length.  Raises {!Util.Codec.Corrupt}
+    on any mismatch — a cached tensor can never be silently applied to
+    the wrong basis. *)

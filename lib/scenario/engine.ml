@@ -1,0 +1,563 @@
+type config = {
+  cache_dir : string option;
+  jobs_parallel : int;
+  domains : int;
+  metrics : Util.Metrics.t;
+}
+
+let default_config =
+  { cache_dir = None; jobs_parallel = 1; domains = 0; metrics = Util.Metrics.global }
+
+type result = { job : Job.t; record : Util.Json.t; response : Opera.Response.t option }
+
+type summary = {
+  jobs : int;
+  groups : int;
+  factorizations : int;
+  cache_hits : int;
+  cache_misses : int;
+  cache_corrupt : int;
+  elapsed_seconds : float;
+}
+
+let vdd_default = 1.2
+
+(* ---- planning ------------------------------------------------------- *)
+
+let plan jobs =
+  let tbl = Hashtbl.create 8 in
+  let order = ref [] in
+  Array.iteri
+    (fun i job ->
+      let s = Job.signature job in
+      match Hashtbl.find_opt tbl s with
+      | Some l -> l := i :: !l
+      | None ->
+          let l = ref [ i ] in
+          Hashtbl.add tbl s l;
+          order := l :: !order)
+    jobs;
+  List.rev !order |> List.map (fun l -> Array.of_list (List.rev !l)) |> Array.of_list
+
+(* ---- artifact keys --------------------------------------------------- *)
+
+let tagged_key job tag =
+  Store.key_of_bytes (Job.operator_bytes job ^ "\x00" ^ tag)
+
+let h_key job tag h =
+  let e = Util.Codec.encoder () in
+  Util.Codec.write_string e tag;
+  Util.Codec.write_float e h;
+  Store.key_of_bytes (Job.operator_bytes job ^ "\x00" ^ Util.Codec.contents e)
+
+let chol_version = 1
+
+let cached_factor store ~count ~key ~dim build =
+  Store.find_or_build store ~kind:"chol" ~version:chol_version ~key
+    ~encode:Linalg.Sparse_cholesky.encode
+    ~decode:(fun d ->
+      let f = Linalg.Sparse_cholesky.decode d in
+      if Linalg.Sparse_cholesky.dim f <> dim then
+        raise
+          (Util.Codec.Corrupt
+             (Printf.sprintf "cholesky artifact has dimension %d, operator needs %d"
+                (Linalg.Sparse_cholesky.dim f) dim));
+      f)
+    ~build:(fun () ->
+      count ();
+      build ())
+
+let tp_provider store basis =
+  let e = Util.Codec.encoder () in
+  Util.Codec.write_string e "triple";
+  Array.iter
+    (fun f -> Util.Codec.write_string e f.Polychaos.Family.name)
+    (Polychaos.Basis.families basis);
+  Util.Codec.write_int e (Polychaos.Basis.dim basis);
+  Util.Codec.write_int e (Polychaos.Basis.order basis);
+  Store.find_or_build store ~kind:"triple" ~version:1
+    ~key:(Store.key_of_bytes (Util.Codec.contents e))
+    ~encode:Polychaos.Triple_product.encode
+    ~decode:(Polychaos.Triple_product.decode basis)
+    ~build:(fun () -> Polychaos.Triple_product.create basis)
+
+(* ---- group contexts --------------------------------------------------
+
+   All artifact IO and every factorization happens here, on the main
+   domain, before any job fans out: the store is single-domain, and a
+   shared factor must be complete before two jobs apply it
+   concurrently (read-only, through workspace-explicit solves). *)
+
+type galerkin_ctx = {
+  model : Opera.Stochastic_model.t;
+  gspec : Powergrid.Grid_spec.t option;
+  gvdd : float;
+  fdc : Linalg.Sparse_cholesky.t option;  (** Direct route: factor of Gt *)
+  fmt : (float * Linalg.Sparse_cholesky.t) list;  (** Direct route: Gt + Ct/h per h *)
+  ct : Linalg.Sparse.t option;  (** assembled Ct for stepping right-hand sides *)
+}
+
+type special_ctx = {
+  sc : Opera.Special_case.t;
+  sspec : Powergrid.Grid_spec.t;
+  sfdc : Linalg.Sparse_cholesky.t;  (** factor of G *)
+  sfbe : (float * Linalg.Sparse_cholesky.t) list;  (** factor of G + C/h per h *)
+}
+
+type ctx = Galerkin_ctx of galerkin_ctx | Special_ctx of special_ctx
+
+let scaled_varmodel s =
+  let vm = Opera.Varmodel.paper_default in
+  {
+    vm with
+    Opera.Varmodel.sigma_w = vm.Opera.Varmodel.sigma_w *. s;
+    sigma_t = vm.Opera.Varmodel.sigma_t *. s;
+    sigma_l = vm.Opera.Varmodel.sigma_l *. s;
+  }
+
+let stepping_hs members =
+  Array.to_list members
+  |> List.filter_map (fun (j : Job.t) ->
+         match j.analysis with Job.Dc -> None | _ -> Some j.h)
+  |> List.sort_uniq compare
+
+let build_galerkin_ctx store count (rep : Job.t) members =
+  let circuit, gvdd, gspec =
+    match rep.Job.source with
+    | Job.Generated { nodes } ->
+        let spec = Powergrid.Grid_spec.scale_to_nodes Powergrid.Grid_spec.default nodes in
+        (Powergrid.Grid_gen.generate spec, spec.Powergrid.Grid_spec.vdd, Some spec)
+    | Job.Netlist path ->
+        let parsed = Powergrid.Netlist.parse_file path in
+        (parsed.Powergrid.Netlist.circuit, vdd_default, None)
+  in
+  let vm = scaled_varmodel rep.sigma_scale in
+  let model =
+    Opera.Stochastic_model.build ~order:rep.order ~tp:(tp_provider store) vm ~vdd:gvdd circuit
+  in
+  match rep.solver with
+  | Opera.Galerkin.Mean_pcg _ | Opera.Galerkin.Matrix_free_pcg _ ->
+      (* Iterative jobs run through the full Galerkin machinery; they
+         share the expanded model (and the cached triple-product tensor)
+         but factor their small nominal blocks per job. *)
+      Galerkin_ctx { model; gspec; gvdd; fdc = None; fmt = []; ct = None }
+  | Opera.Galerkin.Direct ->
+      let size = Polychaos.Basis.size model.Opera.Stochastic_model.basis in
+      let dim = size * model.Opera.Stochastic_model.n in
+      let perm =
+        Store.find_or_build store ~kind:"perm" ~version:1 ~key:(tagged_key rep "block-ordering")
+          ~encode:(fun p e -> Util.Codec.write_int_array e p)
+          ~decode:(fun d ->
+            let p = Util.Codec.read_int_array d in
+            if Array.length p <> dim || not (Linalg.Perm.is_valid p) then
+              raise (Util.Codec.Corrupt "perm artifact does not match the operator");
+            p)
+          ~build:(fun () -> Opera.Galerkin.block_ordering model)
+      in
+      let gt = lazy (Opera.Galerkin.assemble_g model) in
+      let fdc =
+        cached_factor store ~count ~key:(tagged_key rep "gt") ~dim (fun () ->
+            Linalg.Sparse_cholesky.factor ~perm (Lazy.force gt))
+      in
+      let hs = stepping_hs members in
+      let ct = if hs = [] then None else Some (Opera.Galerkin.assemble_c model) in
+      let fmt =
+        List.map
+          (fun h ->
+            let f =
+              cached_factor store ~count ~key:(h_key rep "mt" h) ~dim (fun () ->
+                  Linalg.Sparse_cholesky.factor ~perm
+                    (Linalg.Sparse.axpy ~alpha:(1.0 /. h) (Option.get ct) (Lazy.force gt)))
+            in
+            (h, f))
+          hs
+      in
+      Galerkin_ctx { model; gspec; gvdd; fdc = Some fdc; fmt; ct }
+
+let build_special_ctx store count (rep : Job.t) members =
+  let regions, lambda =
+    match rep.Job.analysis with
+    | Job.Special { regions; lambda } -> (regions, lambda)
+    | _ -> invalid_arg "Engine.build_special_ctx: not a special-case job"
+  in
+  let nodes =
+    match rep.source with
+    | Job.Generated { nodes } -> nodes
+    | Job.Netlist _ ->
+        (* Job.of_json rejects this combination; keep the invariant local. *)
+        invalid_arg "Engine.build_special_ctx: special-case jobs need a generated grid"
+  in
+  let side = int_of_float (Float.round (sqrt (float_of_int regions))) in
+  let rx = Int.max 1 side in
+  let ry = Int.max 1 (regions / rx) in
+  let sspec =
+    {
+      (Powergrid.Grid_spec.scale_to_nodes Powergrid.Grid_spec.default nodes) with
+      Powergrid.Grid_spec.regions_x = rx;
+      regions_y = ry;
+    }
+  in
+  let circuit = Powergrid.Grid_gen.generate sspec in
+  let leaks =
+    Array.init
+      (sspec.Powergrid.Grid_spec.rows * sspec.Powergrid.Grid_spec.cols)
+      (fun node -> (node, Powergrid.Grid_gen.region_of_node sspec node, 5e-6))
+  in
+  let sc =
+    Opera.Special_case.make ~order:rep.order ~regions:(rx * ry) ~lambda ~leaks
+      ~vdd:sspec.Powergrid.Grid_spec.vdd circuit
+  in
+  let g = Powergrid.Mna.g_total sc.Opera.Special_case.mna in
+  let n = sc.Opera.Special_case.mna.Powergrid.Mna.n in
+  let sfdc =
+    cached_factor store ~count ~key:(tagged_key rep "g") ~dim:n (fun () ->
+        Linalg.Sparse_cholesky.factor ~ordering:Linalg.Ordering.Nested_dissection g)
+  in
+  let hs = stepping_hs members in
+  let c = lazy (Powergrid.Mna.c_total sc.Opera.Special_case.mna) in
+  let sfbe =
+    List.map
+      (fun h ->
+        let f =
+          cached_factor store ~count ~key:(h_key rep "be" h) ~dim:n (fun () ->
+              Linalg.Sparse_cholesky.factor ~ordering:Linalg.Ordering.Nested_dissection
+                (Linalg.Sparse.axpy ~alpha:(1.0 /. h) (Lazy.force c) g))
+        in
+        (h, f))
+      hs
+  in
+  Special_ctx { sc; sspec; sfdc; sfbe }
+
+let build_ctx store count (rep : Job.t) members =
+  match rep.analysis with
+  | Job.Special _ -> build_special_ctx store count rep members
+  | Job.Dc | Job.Transient | Job.Yield _ -> build_galerkin_ctx store count rep members
+
+(* ---- per-job execution ----------------------------------------------- *)
+
+let resolve_probe (job : Job.t) spec n =
+  match job.probe with
+  | Some p ->
+      if p < 0 || p >= n then
+        invalid_arg (Printf.sprintf "job %s: probe %d out of range [0, %d)" job.name p n)
+      else p
+  | None -> (
+      match spec with Some s -> Powergrid.Grid_gen.center_node s | None -> n / 2)
+
+let scaled_model (ctx : galerkin_ctx) (job : Job.t) =
+  if Util.Floats.equal_exact job.drain_scale 1.0 then ctx.model
+  else
+    {
+      ctx.model with
+      Opera.Stochastic_model.u_drain_coefs =
+        List.map
+          (fun (rank, c) -> (rank, c *. job.drain_scale))
+          ctx.model.Opera.Stochastic_model.u_drain_coefs;
+    }
+
+let num v = Util.Json.Num v
+
+let base_fields (job : Job.t) ~probe extra =
+  Util.Json.Obj
+    ([
+       ("job", Util.Json.Str job.name);
+       ("analysis", Util.Json.Str (Job.analysis_name job.analysis));
+       ("solver", Util.Json.Str (Job.solver_name job.solver));
+       ("probe", num (float_of_int probe));
+     ]
+    @ extra)
+
+(* DC moments straight from the augmented coefficient vector: block 0 is
+   the mean, the variance is the norm-weighted sum of squares of the
+   higher blocks. *)
+let dc_record (job : Job.t) ~vdd ~(model : Opera.Stochastic_model.t) ~probe coefs =
+  let n = model.Opera.Stochastic_model.n in
+  let basis = model.Opera.Stochastic_model.basis in
+  let size = Polychaos.Basis.size basis in
+  let variance_at node =
+    let acc = ref 0.0 in
+    for k = 1 to size - 1 do
+      let a = coefs.((k * n) + node) in
+      acc := !acc +. (a *. a *. Polychaos.Basis.norm_sq basis k)
+    done;
+    !acc
+  in
+  let worst = ref 0.0 and worst_node = ref 0 in
+  for node = 0 to n - 1 do
+    let drop = vdd -. coefs.(node) in
+    if drop > !worst then begin
+      worst := drop;
+      worst_node := node
+    end
+  done;
+  base_fields job ~probe
+    [
+      ("n", num (float_of_int n));
+      ("probe_mean", num coefs.(probe));
+      ("probe_std", num (sqrt (variance_at probe)));
+      ("worst_drop_mean", num !worst);
+      ("worst_drop_node", num (float_of_int !worst_node));
+    ]
+
+let guarded_worst response ~vdd ~steps ~n =
+  let worst = ref 0.0 and worst_node = ref 0 and worst_step = ref 1 in
+  for step = 1 to steps do
+    for node = 0 to n - 1 do
+      let g =
+        vdd
+        -. Opera.Response.mean_at response ~step ~node
+        +. (3.0 *. Opera.Response.std_at response ~step ~node)
+      in
+      if g > !worst then begin
+        worst := g;
+        worst_node := node;
+        worst_step := step
+      end
+    done
+  done;
+  (!worst, !worst_node, !worst_step)
+
+let transient_fields response ~vdd ~probe ~steps ~n =
+  let worst, worst_node, worst_step = guarded_worst response ~vdd ~steps ~n in
+  [
+    ("n", num (float_of_int n));
+    ("steps", num (float_of_int steps));
+    ("final_mean", num (Opera.Response.mean_at response ~step:steps ~node:probe));
+    ("final_std", num (Opera.Response.std_at response ~step:steps ~node:probe));
+    ("worst_guarded_drop", num worst);
+    ("worst_guarded_node", num (float_of_int worst_node));
+    ("worst_guarded_step", num (float_of_int worst_step));
+  ]
+
+let yield_fields response ~vdd ~steps ~budget_pct =
+  let budget = budget_pct /. 100.0 *. vdd in
+  let worst_p = ref 0.0 and worst_step = ref 1 and worst_node = ref 0 in
+  for step = 1 to steps do
+    let p, node = Opera.Yield.grid_failure_probability_gaussian response ~step ~budget in
+    if p > !worst_p then begin
+      worst_p := p;
+      worst_step := step;
+      worst_node := node
+    end
+  done;
+  [
+    ("budget_pct", num budget_pct);
+    ("worst_fail_p", num !worst_p);
+    ("worst_fail_step", num (float_of_int !worst_step));
+    ("worst_fail_node", num (float_of_int !worst_node));
+  ]
+
+(* Backward-Euler stepping against the group's shared factors — the
+   allocation pattern of Galerkin.solve_transient's Direct route with
+   the factorizations replaced by workspace-explicit applications of the
+   shared, read-only factors. *)
+let direct_transient (ctx : galerkin_ctx) (job : Job.t) ~probe reg =
+  let model = scaled_model ctx job in
+  let n = model.Opera.Stochastic_model.n in
+  let basis = model.Opera.Stochastic_model.basis in
+  let size = Polychaos.Basis.size basis in
+  let dim = size * n in
+  let fdc = Option.get ctx.fdc in
+  let f = List.assoc job.h ctx.fmt in
+  let ct = Option.get ctx.ct in
+  let response =
+    Opera.Response.create ~basis ~n ~steps:job.steps ~h:job.h ~vdd:ctx.gvdd
+      ~probes:[| probe |]
+  in
+  let drain_buf = Array.make n 0.0 in
+  let u = Array.make dim 0.0 in
+  let rhs = Array.make dim 0.0 in
+  let ct_a = Array.make dim 0.0 in
+  let work = Array.make dim 0.0 in
+  let a = Array.make dim 0.0 in
+  Opera.Galerkin.rhs_into model ~drain_buf 0.0 a;
+  Linalg.Sparse_cholesky.solve_in_place_ws fdc ~work a;
+  Opera.Response.record_step response ~step:0 ~coefs:a;
+  for k = 1 to job.steps do
+    let t = float_of_int k *. job.h in
+    Opera.Galerkin.rhs_into model ~drain_buf t u;
+    Linalg.Sparse.mul_vec_into ct a ct_a;
+    for i = 0 to dim - 1 do
+      rhs.(i) <- u.(i) +. (ct_a.(i) /. job.h)
+    done;
+    Util.Metrics.span reg "engine.step_s" (fun () ->
+        Array.blit rhs 0 a 0 dim;
+        Linalg.Sparse_cholesky.solve_in_place_ws f ~work a);
+    Opera.Response.record_step response ~step:k ~coefs:a
+  done;
+  response
+
+let direct_dc (ctx : galerkin_ctx) (job : Job.t) reg =
+  let model = scaled_model ctx job in
+  let n = model.Opera.Stochastic_model.n in
+  let size = Polychaos.Basis.size model.Opera.Stochastic_model.basis in
+  let dim = size * n in
+  let fdc = Option.get ctx.fdc in
+  let drain_buf = Array.make n 0.0 in
+  let coefs = Array.make dim 0.0 in
+  let work = Array.make dim 0.0 in
+  Opera.Galerkin.rhs_into model ~drain_buf 0.0 coefs;
+  Util.Metrics.span reg "engine.step_s" (fun () ->
+      Linalg.Sparse_cholesky.solve_in_place_ws fdc ~work coefs);
+  coefs
+
+let galerkin_options (job : Job.t) reg ~probe ~inner =
+  {
+    Opera.Galerkin.default_options with
+    Opera.Galerkin.solver = job.solver;
+    probes = [| probe |];
+    domains = inner;
+    policy = job.policy;
+    metrics = reg;
+  }
+
+let run_galerkin_job (ctx : galerkin_ctx) (job : Job.t) reg ~inner =
+  let n = ctx.model.Opera.Stochastic_model.n in
+  let probe = resolve_probe job ctx.gspec n in
+  let vdd = ctx.gvdd in
+  match (job.analysis, ctx.fdc) with
+  | Job.Dc, Some _ ->
+      let coefs = direct_dc ctx job reg in
+      (dc_record job ~vdd ~model:ctx.model ~probe coefs, None)
+  | Job.Dc, None ->
+      let model = scaled_model ctx job in
+      let options = galerkin_options job reg ~probe ~inner in
+      let coefs = Opera.Galerkin.solve_dc ~options model in
+      (dc_record job ~vdd ~model ~probe coefs, None)
+  | (Job.Transient | Job.Yield _), _ ->
+      let response =
+        match ctx.fdc with
+        | Some _ -> direct_transient ctx job ~probe reg
+        | None ->
+            let model = scaled_model ctx job in
+            let options = galerkin_options job reg ~probe ~inner in
+            let response, _stats =
+              Opera.Galerkin.solve_transient ~options model ~h:job.h ~steps:job.steps
+            in
+            response
+      in
+      let fields = transient_fields response ~vdd ~probe ~steps:job.steps ~n in
+      let fields =
+        match job.analysis with
+        | Job.Yield { budget_pct } ->
+            fields @ yield_fields response ~vdd ~steps:job.steps ~budget_pct
+        | _ -> fields
+      in
+      (base_fields job ~probe fields, Some response)
+  | Job.Special _, _ -> invalid_arg "Engine.run_galerkin_job: special job in a Galerkin group"
+
+let run_special_job (ctx : special_ctx) (job : Job.t) reg ~inner =
+  let lambda =
+    match job.analysis with
+    | Job.Special { lambda; _ } -> lambda
+    | _ -> invalid_arg "Engine.run_special_job: not a special-case job"
+  in
+  let n = ctx.sc.Opera.Special_case.mna.Powergrid.Mna.n in
+  let probe = resolve_probe job (Some ctx.sspec) n in
+  let sc =
+    {
+      ctx.sc with
+      Opera.Special_case.lambda;
+      leaks =
+        (if Util.Floats.equal_exact job.leak_scale 1.0 then ctx.sc.Opera.Special_case.leaks
+         else
+           Array.map
+             (fun (node, region, i0) -> (node, region, i0 *. job.leak_scale))
+             ctx.sc.Opera.Special_case.leaks);
+    }
+  in
+  let fbe = List.assoc job.h ctx.sfbe in
+  let response, _elapsed =
+    Opera.Special_case.solve ~domains:inner ~metrics:reg ~factors:(ctx.sfdc, fbe) sc ~h:job.h
+      ~steps:job.steps ~probes:[| probe |]
+  in
+  let vdd = ctx.sspec.Powergrid.Grid_spec.vdd in
+  let pce = Opera.Response.pce_at response ~node:probe ~step:job.steps in
+  let fields =
+    transient_fields response ~vdd ~probe ~steps:job.steps ~n
+    @ [
+        ("regions", num (float_of_int ctx.sc.Opera.Special_case.regions));
+        ("lambda", num lambda);
+        ("basis_size", num (float_of_int (Polychaos.Basis.size ctx.sc.Opera.Special_case.basis)));
+        ("final_skew", num (Polychaos.Pce.skewness pce));
+      ]
+  in
+  (base_fields job ~probe fields, Some response)
+
+let run_job ctx job reg ~inner =
+  Util.Metrics.incr reg "engine.jobs";
+  Util.Metrics.span reg "engine.job_s" (fun () ->
+      match ctx with
+      | Galerkin_ctx g -> run_galerkin_job g job reg ~inner
+      | Special_ctx s -> run_special_job s job reg ~inner)
+
+(* ---- batch execution ------------------------------------------------- *)
+
+let run ?(config = default_config) jobs =
+  let t0 = Util.Timer.start () in
+  let metrics = config.metrics in
+  let store = Store.create ~metrics ~dir:config.cache_dir () in
+  let njobs = Array.length jobs in
+  if njobs = 0 then invalid_arg "Engine.run: empty batch";
+  let groups = plan jobs in
+  let factorizations = ref 0 in
+  let count () =
+    incr factorizations;
+    Util.Metrics.incr metrics "engine.factorizations"
+  in
+  let ctx_of = Array.make njobs None in
+  Array.iter
+    (fun members ->
+      let rep = jobs.(members.(0)) in
+      let ctx =
+        Util.Metrics.span metrics "engine.group_setup_s" (fun () ->
+            build_ctx store count rep (Array.map (fun i -> jobs.(i)) members))
+      in
+      Array.iter (fun i -> ctx_of.(i) <- Some ctx) members)
+    groups;
+  let jp = Int.min (Util.Parallel.resolve config.jobs_parallel) njobs in
+  (* Jobs in flight own their domain: inner solver parallelism is forced
+     sequential whenever the batch itself fans out, so the domain count
+     stays bounded by [jobs_parallel]. *)
+  let inner = if jp > 1 then 1 else config.domains in
+  let regs = Array.init njobs (fun _ -> Util.Metrics.create ()) in
+  let out = Array.make njobs None in
+  Util.Parallel.for_chunks ~domains:jp njobs (fun ~chunk:_ ~lo ~hi ->
+      for i = lo to hi - 1 do
+        out.(i) <- Some (run_job (Option.get ctx_of.(i)) jobs.(i) regs.(i) ~inner)
+      done);
+  Array.iter (fun reg -> Util.Metrics.merge_into reg ~into:metrics) regs;
+  let results =
+    Array.mapi
+      (fun i job ->
+        let record, response = Option.get out.(i) in
+        { job; record; response })
+      jobs
+  in
+  let st = Store.stats store in
+  ( results,
+    {
+      jobs = njobs;
+      groups = Array.length groups;
+      factorizations = !factorizations;
+      cache_hits = st.Store.hits;
+      cache_misses = st.Store.misses;
+      cache_corrupt = st.Store.corrupt;
+      elapsed_seconds = Util.Timer.elapsed_s t0;
+    } )
+
+let run_jsonl ?config out jobs =
+  let results, summary = run ?config jobs in
+  Array.iter
+    (fun r ->
+      output_string out (Util.Json.render r.record);
+      output_char out '\n')
+    results;
+  summary
+
+let summary_line s =
+  Printf.sprintf
+    "batch: %d job(s) in %d group(s), %d factorization(s), cache %d hit(s) / %d miss(es)%s, %.2f s"
+    s.jobs s.groups s.factorizations s.cache_hits s.cache_misses
+    (if s.cache_corrupt > 0 then Printf.sprintf " (%d corrupt)" s.cache_corrupt else "")
+    s.elapsed_seconds

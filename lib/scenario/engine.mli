@@ -1,0 +1,75 @@
+(** The batch scenario engine: plan, share, execute, stream.
+
+    A batch of {!Job.t}s is grouped by {!Job.signature} — jobs sharing a
+    deterministic operator share one group.  Each group's setup (grid
+    generation, chaos expansion, symbolic ordering, numeric Cholesky
+    factors, triple-product tensor) runs once on the main domain,
+    read-through against the artifact {!Store}; jobs then execute across
+    {!Util.Parallel} domains, applying the shared factors read-only
+    through workspace-explicit solves, each with its own metrics
+    registry (merged into the engine registry after the join).
+
+    Factor sharing covers the [Direct] solver route and the special-case
+    path; iterative jobs ([pcg], [matrix-free]) share the expanded model
+    and cached tensor but factor their small nominal blocks per job.
+    Batch transients use backward Euler.
+
+    Determinism: job records contain only analysis results (no timings,
+    no cache status), floats are rendered exactly ({!Util.Json.render}),
+    and every solve is bitwise independent of [jobs_parallel] — so the
+    JSONL stream of a batch is byte-identical across cold runs, warm
+    runs and any domain count. *)
+
+type config = {
+  cache_dir : string option;  (** [None] disables the artifact store *)
+  jobs_parallel : int;
+      (** jobs in flight ({!Util.Parallel.resolve} convention: 0 =
+          [OPERA_DOMAINS], default sequential) *)
+  domains : int;
+      (** inner solver parallelism per job; forced to 1 whenever
+          [jobs_parallel > 1] so the domain count stays bounded *)
+  metrics : Util.Metrics.t;
+      (** receives [engine.factorizations], [engine.jobs],
+          [engine.group_setup_s], [engine.step_s], the [store.*]
+          counters, and every per-job registry (merged post-join) *)
+}
+
+val default_config : config
+(** No cache, sequential jobs, inner domains from the environment,
+    global metrics. *)
+
+type result = {
+  job : Job.t;
+  record : Util.Json.t;  (** the job's deterministic JSONL record *)
+  response : Opera.Response.t option;
+      (** full stochastic response for transient-family analyses ([None]
+          for DC) — the hook the single-run CLI path uses to print rich
+          reports from a one-job batch *)
+}
+
+type summary = {
+  jobs : int;
+  groups : int;
+  factorizations : int;  (** numeric factorizations performed by the engine *)
+  cache_hits : int;
+  cache_misses : int;
+  cache_corrupt : int;
+  elapsed_seconds : float;
+}
+
+val plan : Job.t array -> int array array
+(** Group job indices by operator signature, in order of first
+    occurrence; each inner array keeps batch order.  Exposed for tests
+    and dry-run reporting. *)
+
+val run : ?config:config -> Job.t array -> result array * summary
+(** Execute a batch; results are indexed like the input jobs.  Raises
+    [Invalid_argument] on an empty batch or an out-of-range probe, and
+    propagates {!Opera.Galerkin.Solver_diverged} from jobs running under
+    the [fail] policy. *)
+
+val run_jsonl : ?config:config -> out_channel -> Job.t array -> summary
+(** {!run}, then write one record per line in batch order. *)
+
+val summary_line : summary -> string
+(** One-line human summary (for stderr — never part of the JSONL). *)

@@ -1,0 +1,72 @@
+(** Declarative batch-job specifications.
+
+    A job names one stochastic analysis: a grid (generated spec or
+    netlist path), a variation model scaling, excitation deltas and an
+    analysis kind.  Jobs are parsed from JSON ({!batch_of_json}) and
+    grouped by {!signature} — the canonical hash of everything that
+    shapes the deterministic operator — so the engine factors each
+    operator exactly once per batch. *)
+
+type analysis =
+  | Dc  (** stochastic DC solve of the augmented system *)
+  | Transient  (** backward-Euler transient of the augmented system *)
+  | Special of { regions : int; lambda : float }
+      (** Sec. 5.1 decoupled special case: deterministic grid, lognormal
+          leakage per chip region *)
+  | Yield of { budget_pct : float }
+      (** transient plus a worst-step yield bound against a drop budget
+          given as a percentage of VDD *)
+
+type source =
+  | Generated of { nodes : int }  (** synthetic grid scaled to ~[nodes] *)
+  | Netlist of string  (** SPICE-subset netlist path *)
+
+type t = {
+  name : string;
+  source : source;
+  analysis : analysis;
+  order : int;  (** chaos expansion order *)
+  h : float;  (** timestep, seconds *)
+  steps : int;
+  solver : Opera.Galerkin.solver;
+  policy : Opera.Galerkin.policy;
+  sigma_scale : float;
+      (** multiplies every sigma of the paper-default variation model —
+          part of the operator signature *)
+  drain_scale : float;
+      (** scales the drain-current excitation only; never invalidates a
+          factorization *)
+  leak_scale : float;  (** scales the special case's nominal leak currents *)
+  probe : int option;  (** probed node; default = grid center *)
+}
+
+val analysis_name : analysis -> string
+
+val solver_of_string : string -> (Opera.Galerkin.solver, string) result
+(** ["direct"], ["pcg"], ["matrix-free"] — the CLI vocabulary. *)
+
+val solver_name : Opera.Galerkin.solver -> string
+
+val policy_of_string : string -> (Opera.Galerkin.policy, string) result
+(** ["fail"], ["warn"], ["fallback"]. *)
+
+val policy_name : Opera.Galerkin.policy -> string
+
+val of_json : ?defaults:Util.Json.t -> ?name:string -> Util.Json.t -> (t, string) result
+(** Parse one job object.  Missing fields fall back to [defaults] (an
+    object) and then to built-in defaults; unknown fields are an error. *)
+
+val batch_of_json : Util.Json.t -> (t array, string) result
+(** Parse [{"jobs": [...], "defaults": {...}?}].  Jobs keep their array
+    order; a nameless job [i] is named ["job<i>"]. *)
+
+val batch_of_file : string -> (t array, string) result
+
+val operator_bytes : t -> string
+(** Canonical {!Util.Codec} bytes of the job's operator-shaping fields
+    (analysis family, source, variation scaling, order, solver route).
+    Excitation deltas, timestep, step count, probe and policy are
+    excluded — see DESIGN.md §9 for the invalidation rules. *)
+
+val signature : t -> string
+(** Hex digest of {!operator_bytes}; equal signatures share factors. *)

@@ -1,0 +1,71 @@
+type stats = { mutable hits : int; mutable misses : int; mutable corrupt : int; mutable writes : int }
+
+type t = {
+  dir : string option;
+  metrics : Util.Metrics.t;
+  stats : stats;
+}
+
+let rec mkdir_p dir =
+  if dir = "" || dir = "." || dir = "/" || Sys.file_exists dir then ()
+  else begin
+    mkdir_p (Filename.dirname dir);
+    try Sys.mkdir dir 0o755 with Sys_error _ when Sys.file_exists dir -> ()
+  end
+
+let create ?(metrics = Util.Metrics.global) ~dir () =
+  (match dir with Some d -> mkdir_p d | None -> ());
+  { dir; metrics; stats = { hits = 0; misses = 0; corrupt = 0; writes = 0 } }
+
+let disabled = { dir = None; metrics = Util.Metrics.global; stats = { hits = 0; misses = 0; corrupt = 0; writes = 0 } }
+
+let enabled t = t.dir <> None
+
+let stats t = t.stats
+
+let key_of_bytes bytes = Digest.to_hex (Digest.string bytes)
+
+(* One artifact = one file, named by kind and content key.  The key hex
+   comes from a Digest of canonical bytes, so it is filename-safe. *)
+let path t ~kind ~key =
+  match t.dir with
+  | None -> None
+  | Some dir -> Some (Filename.concat dir (Printf.sprintf "%s-%s.opra" kind key))
+
+let remove_corrupt path =
+  try Sys.remove path with Sys_error _ -> ()
+
+let find_or_build t ~kind ~version ~key ~encode ~decode ~build =
+  match path t ~kind ~key with
+  | None -> build ()
+  | Some file ->
+      let rebuild () =
+        t.stats.misses <- t.stats.misses + 1;
+        Util.Metrics.incr t.metrics "store.misses";
+        let value = build () in
+        let bytes = Util.Codec.frame ~kind ~version (encode value) in
+        Util.Codec.write_file file bytes;
+        t.stats.writes <- t.stats.writes + 1;
+        Util.Metrics.incr t.metrics "store.writes";
+        value
+      in
+      (match Util.Codec.read_file file with
+      | None -> rebuild ()
+      | Some bytes -> (
+          match
+            let d = Util.Codec.unframe ~kind ~version bytes in
+            let value = decode d in
+            Util.Codec.expect_end d;
+            value
+          with
+          | value ->
+              t.stats.hits <- t.stats.hits + 1;
+              Util.Metrics.incr t.metrics "store.hits";
+              value
+          | exception Util.Codec.Corrupt why ->
+              (* Never trust a damaged artifact: log, drop, rebuild. *)
+              t.stats.corrupt <- t.stats.corrupt + 1;
+              Util.Metrics.incr t.metrics "store.corrupt";
+              Util.Log.warnf "store: rebuilding corrupt artifact %s (%s)" file why;
+              remove_corrupt file;
+              rebuild ()))

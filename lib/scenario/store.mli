@@ -1,0 +1,57 @@
+(** Content-addressed on-disk artifact cache.
+
+    One artifact per file, [<kind>-<key>.opra], where [key] is the hex
+    digest of the canonical {!Util.Codec} bytes of everything the
+    artifact depends on (grid, variation model, solver route, schema
+    version — see DESIGN.md §9).  Payloads are {!Util.Codec} frames with
+    versioned headers and checksums; a file that fails any validation —
+    missing, truncated, bit-flipped, wrong kind, older schema version,
+    malformed payload — is logged, deleted and rebuilt, never trusted.
+    Floats cross the codec bit-exactly, so a warm run reproduces the
+    cold run bitwise. *)
+
+type stats = {
+  mutable hits : int;
+  mutable misses : int;
+  mutable corrupt : int;  (** subset of [misses] caused by damaged files *)
+  mutable writes : int;
+}
+
+type t
+
+val create : ?metrics:Util.Metrics.t -> dir:string option -> unit -> t
+(** [dir = None] disables the store (every lookup builds); [Some d]
+    creates [d] (and parents) if needed.  [metrics] receives the
+    [store.hits] / [store.misses] / [store.corrupt] / [store.writes]
+    counters.  A store must only be used from one domain at a time —
+    the batch engine does all artifact IO on the main domain before
+    fanning jobs out. *)
+
+val disabled : t
+(** A store with no directory: {!find_or_build} always builds. *)
+
+val enabled : t -> bool
+
+val stats : t -> stats
+
+val key_of_bytes : string -> string
+(** Hex digest of canonical artifact-identity bytes (filename-safe). *)
+
+val path : t -> kind:string -> key:string -> string option
+(** On-disk location of an artifact ([None] when the store is disabled).
+    Exposed so corruption tests can damage a cached file in place. *)
+
+val find_or_build :
+  t ->
+  kind:string ->
+  version:int ->
+  key:string ->
+  encode:('a -> Util.Codec.encoder -> unit) ->
+  decode:(Util.Codec.decoder -> 'a) ->
+  build:(unit -> 'a) ->
+  'a
+(** Read-through lookup.  On hit, [decode] runs on the validated frame
+    payload (and may itself raise {!Util.Codec.Corrupt} on semantic
+    mismatch, e.g. a tensor stored for a different basis — that counts
+    as corruption and triggers a rebuild).  On miss, [build ()] runs and
+    its encoding is written back atomically (temp file + rename). *)

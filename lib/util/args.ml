@@ -1,0 +1,122 @@
+(* Declarative command-line flag parsing for the per-subcommand parsers
+   of the CLI.
+
+   The library is deliberately pure: parsing returns an outcome and the
+   usage text is returned as a string — printing and [exit] belong to
+   the executable, never here.  Every subcommand shares one error path
+   (unknown flag, missing or malformed value -> [Failed], which the CLI
+   maps to exit code 2 with a message on stderr) and one help path
+   ([--help]/[-h] -> [Help]). *)
+
+type handler =
+  | Flag of (unit -> unit)
+  | Value of string * (string -> (unit, string) result)
+
+type arg = { names : string list; handler : handler; doc : string }
+
+type outcome = Parsed of string list | Help | Failed of string
+
+let make names handler doc = { names; handler; doc }
+
+let flag names ~doc r = make names (Flag (fun () -> r := true)) doc
+
+let unit names ~doc f = make names (Flag f) doc
+
+let value names ~docv ~doc set = make names (Value (docv, set)) doc
+
+let int names ~doc r =
+  value names ~docv:"N" ~doc (fun s ->
+      match int_of_string_opt (String.trim s) with
+      | Some v ->
+          r := v;
+          Ok ()
+      | None -> Error (Printf.sprintf "expected an integer, got %S" s))
+
+let float names ~doc r =
+  value names ~docv:"X" ~doc (fun s ->
+      match float_of_string_opt (String.trim s) with
+      | Some v ->
+          r := v;
+          Ok ()
+      | None -> Error (Printf.sprintf "expected a number, got %S" s))
+
+let string names ~docv ~doc r =
+  value names ~docv ~doc (fun s ->
+      r := s;
+      Ok ())
+
+let string_opt names ~docv ~doc r =
+  value names ~docv ~doc (fun s ->
+      r := Some s;
+      Ok ())
+
+let enum names ~doc choices r =
+  let docv = String.concat "|" (List.map fst choices) in
+  value names ~docv ~doc (fun s ->
+      match List.assoc_opt (String.lowercase_ascii (String.trim s)) choices with
+      | Some v ->
+          r := v;
+          Ok ()
+      | None -> Error (Printf.sprintf "expected one of %s, got %S" docv s))
+
+let is_option s = String.length s > 1 && s.[0] = '-' && s <> "--"
+
+(* Split "--flag=value" into ("--flag", Some "value"). *)
+let split_eq s =
+  match String.index_opt s '=' with
+  | Some i when String.length s > 2 && s.[0] = '-' && s.[1] = '-' ->
+      (String.sub s 0 i, Some (String.sub s (i + 1) (String.length s - i - 1)))
+  | _ -> (s, None)
+
+let find_arg args name = List.find_opt (fun a -> List.mem name a.names) args
+
+let parse (args : arg list) (argv : string list) : outcome =
+  let rec go acc = function
+    | [] -> Parsed (List.rev acc)
+    | "--" :: rest -> Parsed (List.rev_append acc rest)
+    | ("--help" | "-h") :: _ -> Help
+    | tok :: rest when is_option tok -> (
+        let name, inline = split_eq tok in
+        match find_arg args name with
+        | None -> Failed (Printf.sprintf "unknown option %s" name)
+        | Some { handler = Flag f; _ } -> (
+            match inline with
+            | Some _ -> Failed (Printf.sprintf "option %s takes no value" name)
+            | None ->
+                f ();
+                go acc rest)
+        | Some { handler = Value (docv, set); _ } -> (
+            let consume v rest =
+              match set v with
+              | Ok () -> go acc rest
+              | Error why -> Failed (Printf.sprintf "option %s: %s" name why)
+            in
+            match inline with
+            | Some v -> consume v rest
+            | None -> (
+                match rest with
+                | v :: rest' -> consume v rest'
+                | [] -> Failed (Printf.sprintf "option %s requires a %s value" name docv))))
+    | tok :: rest -> go (tok :: acc) rest
+  in
+  go [] argv
+
+let usage ~prog ?positional ~summary (args : arg list) =
+  let buf = Buffer.create 512 in
+  let pos = match positional with Some p -> " " ^ p | None -> "" in
+  Buffer.add_string buf (Printf.sprintf "usage: %s [OPTION]...%s\n\n%s\n" prog pos summary);
+  if args <> [] then begin
+    Buffer.add_string buf "\noptions:\n";
+    List.iter
+      (fun a ->
+        let names = String.concat ", " a.names in
+        let left =
+          match a.handler with
+          | Flag _ -> names
+          | Value (docv, _) -> Printf.sprintf "%s %s" names docv
+        in
+        Buffer.add_string buf (Printf.sprintf "  %-28s %s\n" left a.doc))
+      args
+  end;
+  Buffer.add_string buf "  --help, -h                   show this help\n";
+  Buffer.contents buf

@@ -1,0 +1,49 @@
+(** Declarative command-line flag parsing for subcommand CLIs.
+
+    Pure: {!parse} returns an {!outcome} and {!usage} returns a string;
+    printing and process exit stay in the executable.  This gives every
+    subcommand the same error discipline — unknown flags and malformed
+    values produce [Failed], which the CLI maps to exit code 2 with a
+    message on stderr, and [--help]/[-h] produce [Help]. *)
+
+type handler =
+  | Flag of (unit -> unit)  (** takes no value *)
+  | Value of string * (string -> (unit, string) result)
+      (** docv and setter; [Error why] rejects the value *)
+
+type arg = { names : string list; handler : handler; doc : string }
+
+type outcome =
+  | Parsed of string list  (** leftover positional arguments, in order *)
+  | Help  (** [--help] or [-h] was present *)
+  | Failed of string  (** parse error message (no prefix, no newline) *)
+
+(** {1 Arg builders} *)
+
+val flag : string list -> doc:string -> bool ref -> arg
+(** Presence sets the ref to [true]. *)
+
+val unit : string list -> doc:string -> (unit -> unit) -> arg
+
+val value : string list -> docv:string -> doc:string -> (string -> (unit, string) result) -> arg
+
+val int : string list -> doc:string -> int ref -> arg
+
+val float : string list -> doc:string -> float ref -> arg
+
+val string : string list -> docv:string -> doc:string -> string ref -> arg
+
+val string_opt : string list -> docv:string -> doc:string -> string option ref -> arg
+
+val enum : string list -> doc:string -> (string * 'a) list -> 'a ref -> arg
+(** Case-insensitive choice among the given names. *)
+
+(** {1 Parsing} *)
+
+val parse : arg list -> string list -> outcome
+(** Processes [--name value], [--name=value] and grouped positionals;
+    [--] ends option processing.  Setters run in argument order; on
+    [Failed] earlier setters have already fired (the CLI exits anyway). *)
+
+val usage : prog:string -> ?positional:string -> summary:string -> arg list -> string
+(** Rendered help text, one line per option plus the implicit [--help]. *)

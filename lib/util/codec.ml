@@ -1,0 +1,207 @@
+(* Binary artifact serializer for the on-disk store.
+
+   Design goals, in order: (1) never trust bytes read back from disk —
+   every frame carries a magic, a format version, an artifact kind, an
+   artifact version and an FNV-1a checksum of the payload, and every
+   primitive read is bounds-checked; (2) bit-exact floats — values cross
+   the codec as their IEEE-754 bit patterns, so a factor loaded from a
+   warm cache reproduces a cold run bitwise; (3) zero dependencies.
+
+   Wire format of a frame:
+
+     magic   "OPRA"            4 bytes
+     format  u8 = 1            codec layout version (this file)
+     kind    string            artifact kind tag, e.g. "cholesky"
+     version i64le             artifact schema version (caller-owned)
+     length  i64le             payload byte count
+     check   i64le             FNV-1a 64 of the payload bytes
+     payload bytes
+
+   Primitives are fixed-width little-endian (i64 for ints, IEEE bits for
+   floats, length-prefixed strings) — simple, portable across OCaml
+   versions, and trivially checkable. *)
+
+exception Corrupt of string
+
+let corrupt fmt = Printf.ksprintf (fun s -> raise (Corrupt s)) fmt
+
+(* ---- encoder -------------------------------------------------------- *)
+
+type encoder = Buffer.t
+
+let encoder ?(initial_size = 1024) () = Buffer.create initial_size
+
+let contents (e : encoder) = Buffer.contents e
+
+let write_i64 (e : encoder) (v : int64) = Buffer.add_int64_le e v
+
+let write_int (e : encoder) (v : int) = write_i64 e (Int64.of_int v)
+
+let write_bool (e : encoder) b = Buffer.add_char e (if b then '\001' else '\000')
+
+let write_float (e : encoder) (v : float) = write_i64 e (Int64.bits_of_float v)
+
+let write_string (e : encoder) (s : string) =
+  write_int e (String.length s);
+  Buffer.add_string e s
+
+let write_int_array (e : encoder) (a : int array) =
+  write_int e (Array.length a);
+  Array.iter (fun v -> write_int e v) a
+
+let write_float_array (e : encoder) (a : float array) =
+  write_int e (Array.length a);
+  Array.iter (fun v -> write_float e v) a
+
+(* ---- decoder -------------------------------------------------------- *)
+
+type decoder = { s : string; mutable pos : int; limit : int }
+
+let decoder_of_string ?(pos = 0) ?limit s =
+  let limit = match limit with Some l -> l | None -> String.length s in
+  if pos < 0 || limit > String.length s || pos > limit then
+    invalid_arg "Codec.decoder_of_string: bad bounds";
+  { s; pos; limit }
+
+let remaining d = d.limit - d.pos
+
+let need d n =
+  if n < 0 || remaining d < n then
+    corrupt "truncated artifact: need %d bytes at offset %d, have %d" n d.pos (remaining d)
+
+let read_i64 d =
+  need d 8;
+  let v = String.get_int64_le d.s d.pos in
+  d.pos <- d.pos + 8;
+  v
+
+let max_int64 = Int64.of_int max_int
+
+let min_int64 = Int64.of_int min_int
+
+let read_int d =
+  let v = read_i64 d in
+  if Int64.compare v min_int64 < 0 || Int64.compare v max_int64 > 0 then
+    corrupt "integer out of native range at offset %d" (d.pos - 8);
+  Int64.to_int v
+
+let read_bool d =
+  need d 1;
+  let c = d.s.[d.pos] in
+  d.pos <- d.pos + 1;
+  match c with
+  | '\000' -> false
+  | '\001' -> true
+  | c -> corrupt "bad boolean byte %d at offset %d" (Char.code c) (d.pos - 1)
+
+let read_float d = Int64.float_of_bits (read_i64 d)
+
+let read_length d what =
+  let n = read_int d in
+  if n < 0 then corrupt "negative %s length %d at offset %d" what n (d.pos - 8);
+  n
+
+let read_string d =
+  let n = read_length d "string" in
+  need d n;
+  let s = String.sub d.s d.pos n in
+  d.pos <- d.pos + n;
+  s
+
+let read_int_array d =
+  let n = read_length d "array" in
+  (* Each element needs 8 bytes; reject absurd lengths before allocating. *)
+  need d (n * 8);
+  Array.init n (fun _ -> read_int d)
+
+let read_float_array d =
+  let n = read_length d "array" in
+  need d (n * 8);
+  Array.init n (fun _ -> read_float d)
+
+let expect_end d =
+  if remaining d <> 0 then corrupt "trailing garbage: %d bytes left after payload" (remaining d)
+
+(* ---- checksum ------------------------------------------------------- *)
+
+(* FNV-1a 64-bit over a substring.  Not cryptographic — it guards against
+   torn writes, truncation and bit rot, not adversaries. *)
+let fnv1a ?(pos = 0) ?len (s : string) =
+  let len = match len with Some l -> l | None -> String.length s - pos in
+  let h = ref 0xCBF29CE484222325L in
+  for i = pos to pos + len - 1 do
+    h := Int64.logxor !h (Int64.of_int (Char.code s.[i]));
+    h := Int64.mul !h 0x100000001B3L
+  done;
+  !h
+
+(* ---- framing -------------------------------------------------------- *)
+
+let magic = "OPRA"
+
+let format_version = 1
+
+let frame ~kind ~version (write : encoder -> unit) =
+  let payload = encoder ~initial_size:4096 () in
+  write payload;
+  let payload = Buffer.contents payload in
+  let e = encoder ~initial_size:(String.length payload + 64) () in
+  Buffer.add_string e magic;
+  Buffer.add_char e (Char.chr format_version);
+  write_string e kind;
+  write_int e version;
+  write_int e (String.length payload);
+  write_i64 e (fnv1a payload);
+  Buffer.add_string e payload;
+  Buffer.contents e
+
+let unframe ~kind ~version (s : string) =
+  let d = decoder_of_string s in
+  need d (String.length magic + 1);
+  let m = String.sub s 0 (String.length magic) in
+  if m <> magic then corrupt "bad magic %S (want %S)" m magic;
+  d.pos <- String.length magic;
+  let fmt = Char.code s.[d.pos] in
+  d.pos <- d.pos + 1;
+  if fmt <> format_version then corrupt "unsupported codec format %d (want %d)" fmt format_version;
+  let k = read_string d in
+  if k <> kind then corrupt "artifact kind %S does not match %S" k kind;
+  let v = read_int d in
+  if v <> version then corrupt "artifact version %d does not match %d" v version;
+  let len = read_length d "payload" in
+  let check = read_i64 d in
+  if remaining d <> len then
+    corrupt "payload length %d does not match frame (%d bytes present)" len (remaining d);
+  let actual = fnv1a ~pos:d.pos ~len s in
+  if not (Int64.equal check actual) then
+    corrupt "checksum mismatch (stored %Lx, computed %Lx)" check actual;
+  decoder_of_string ~pos:d.pos ~limit:(d.pos + len) s
+
+(* ---- files ---------------------------------------------------------- *)
+
+let write_file path (data : string) =
+  (* Atomic-ish: write a sibling temp file, then rename over the target,
+     so a crash mid-write never leaves a half-frame under the final name
+     (the checksum would catch it anyway; this avoids even transient
+     corruption being visible). *)
+  let dir = Filename.dirname path in
+  let tmp = Filename.temp_file ~temp_dir:dir "codec" ".tmp" in
+  let oc = open_out_bin tmp in
+  (match output_string oc data with
+  | () -> close_out oc
+  | exception e ->
+      close_out_noerr oc;
+      (try Sys.remove tmp with Sys_error _ -> ());
+      raise e);
+  Sys.rename tmp path
+
+let read_file path =
+  match open_in_bin path with
+  | exception Sys_error _ -> None
+  | ic ->
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () ->
+          match really_input_string ic (in_channel_length ic) with
+          | s -> Some s
+          | exception End_of_file -> None)

@@ -1,0 +1,90 @@
+(** Binary artifact serializer with versioned headers and checksums.
+
+    The substrate of the on-disk artifact store ({!Opera} scenario
+    engine): fixed-width little-endian primitives, bit-exact floats
+    (IEEE-754 bit patterns, so cached factors reproduce cold runs
+    bitwise), and a self-describing frame
+
+    [magic | format | kind | version | length | FNV-1a checksum | payload]
+
+    so corrupt, truncated or schema-mismatched files are detected on
+    read — {!Corrupt} — and never trusted. *)
+
+exception Corrupt of string
+(** Raised by every read path on malformed bytes: truncation, bad magic,
+    kind/version mismatch, checksum failure, out-of-range values.
+    Callers treat it as "rebuild the artifact". *)
+
+(** {1 Encoding} *)
+
+type encoder
+
+val encoder : ?initial_size:int -> unit -> encoder
+
+val contents : encoder -> string
+
+val write_int : encoder -> int -> unit
+
+val write_i64 : encoder -> int64 -> unit
+
+val write_bool : encoder -> bool -> unit
+
+val write_float : encoder -> float -> unit
+(** Exact: the IEEE-754 bit pattern crosses the codec unchanged
+    (including NaNs, infinities and signed zeros). *)
+
+val write_string : encoder -> string -> unit
+(** Length-prefixed; arbitrary bytes. *)
+
+val write_int_array : encoder -> int array -> unit
+
+val write_float_array : encoder -> float array -> unit
+
+(** {1 Decoding} *)
+
+type decoder
+
+val decoder_of_string : ?pos:int -> ?limit:int -> string -> decoder
+
+val remaining : decoder -> int
+
+val read_int : decoder -> int
+
+val read_i64 : decoder -> int64
+
+val read_bool : decoder -> bool
+
+val read_float : decoder -> float
+
+val read_string : decoder -> string
+
+val read_int_array : decoder -> int array
+
+val read_float_array : decoder -> float array
+
+val expect_end : decoder -> unit
+(** Raise {!Corrupt} unless the payload was consumed exactly. *)
+
+(** {1 Framing} *)
+
+val frame : kind:string -> version:int -> (encoder -> unit) -> string
+(** [frame ~kind ~version write] serializes a payload produced by [write]
+    into a self-describing frame carrying the artifact [kind] tag, the
+    caller's schema [version] and an FNV-1a checksum of the payload. *)
+
+val unframe : kind:string -> version:int -> string -> decoder
+(** Validate a frame (magic, codec format, kind, version, length,
+    checksum) and return a decoder positioned on the payload.  Raises
+    {!Corrupt} on any mismatch. *)
+
+val fnv1a : ?pos:int -> ?len:int -> string -> int64
+(** FNV-1a 64-bit hash of a substring (integrity, not cryptography). *)
+
+(** {1 Files} *)
+
+val write_file : string -> string -> unit
+(** Write bytes through a same-directory temp file and [rename], so the
+    final path never holds a partially written frame. *)
+
+val read_file : string -> string option
+(** Whole-file read; [None] when the file is missing or unreadable. *)

@@ -184,6 +184,74 @@ let parse_file path =
   in
   parse contents
 
+(* ---- writer --------------------------------------------------------- *)
+
+(* Every control character below 0x20 is escaped (named escapes where JSON
+   has them, \u00XX otherwise), so [parse (to_string (Str s)) = Ok (Str s)]
+   for arbitrary byte strings — the reader/writer round-trip the store and
+   the batch engine rely on.  Bytes >= 0x80 pass through verbatim. *)
+let escape_into buf s =
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\b' -> Buffer.add_string buf "\\b"
+      | '\012' -> Buffer.add_string buf "\\f"
+      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s
+
+let escape s =
+  let buf = Buffer.create (String.length s + 2) in
+  escape_into buf s;
+  Buffer.contents buf
+
+(* Deterministic number rendering: integral values print without a
+   fractional part, everything else with 17 significant digits (enough
+   for float_of_string to reproduce the exact double).  JSON has no
+   non-finite numbers; they render as null. *)
+let number_to_string v =
+  if not (Float.is_finite v) then "null"
+  else if Float.is_integer v && Float.abs v < 1e15 then Printf.sprintf "%.0f" v
+  else Printf.sprintf "%.17g" v
+
+let rec write_into buf = function
+  | Null -> Buffer.add_string buf "null"
+  | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+  | Num v -> Buffer.add_string buf (number_to_string v)
+  | Str s ->
+      Buffer.add_char buf '"';
+      escape_into buf s;
+      Buffer.add_char buf '"'
+  | List items ->
+      Buffer.add_char buf '[';
+      List.iteri
+        (fun i item ->
+          if i > 0 then Buffer.add_char buf ',';
+          write_into buf item)
+        items;
+      Buffer.add_char buf ']'
+  | Obj fields ->
+      Buffer.add_char buf '{';
+      List.iteri
+        (fun i (key, v) ->
+          if i > 0 then Buffer.add_char buf ',';
+          Buffer.add_char buf '"';
+          escape_into buf key;
+          Buffer.add_string buf "\":";
+          write_into buf v)
+        fields;
+      Buffer.add_char buf '}'
+
+let render t =
+  let buf = Buffer.create 256 in
+  write_into buf t;
+  Buffer.contents buf
+
 let member key = function Obj fields -> List.assoc_opt key fields | _ -> None
 
 let to_float = function Num v -> Some v | _ -> None

@@ -19,6 +19,22 @@ val parse : string -> (t, string) result
 
 val parse_file : string -> (t, string) result
 
+val render : t -> string
+(** Compact, deterministic serialization.  Strings escape every control
+    character below 0x20 ([\n], [\t], ... or [\u00XX]) plus the quote
+    and backslash characters,
+    so [parse (to_string v)] reproduces [v] for arbitrary byte strings.
+    Numbers print integrally when integral, with 17 significant digits
+    otherwise (exact double round-trip); non-finite numbers render as
+    [null]. *)
+
+val escape : string -> string
+(** The writer's string escaping, without the surrounding quotes. *)
+
+val number_to_string : float -> string
+(** The writer's number rendering (exposed for line-oriented emitters
+    that format records by hand). *)
+
 val member : string -> t -> t option
 (** Object field lookup; [None] on missing key or non-object. *)
 

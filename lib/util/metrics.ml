@@ -84,6 +84,26 @@ let observations t name =
 let total t name =
   match Hashtbl.find_opt t.table name with Some (Histogram h) -> h.sum | _ -> 0.0
 
+(* Fold a registry into another under a name prefix: counters add,
+   histograms merge component-wise.  Used by the batch engine to roll
+   per-job registries (owned by the worker domain while the job runs)
+   into the engine registry after the join — so the merge itself always
+   happens on one domain. *)
+let merge_into ?(prefix = "") src ~into =
+  Hashtbl.iter
+    (fun name m ->
+      let name = prefix ^ name in
+      match m with
+      | Counter r -> incr ~by:!r into name
+      | Histogram h ->
+          let dst = histogram_ref into name in
+          dst.count <- dst.count + h.count;
+          dst.sum <- dst.sum +. h.sum;
+          if h.minv < dst.minv then dst.minv <- h.minv;
+          if h.maxv > dst.maxv then dst.maxv <- h.maxv;
+          Array.iteri (fun i c -> dst.buckets.(i) <- dst.buckets.(i) + c) h.buckets)
+    src.table
+
 (* ---- monotonic-clock spans ---------------------------------------- *)
 
 type span = int64 (* Monotonic_clock.now () in nanoseconds *)

@@ -49,6 +49,13 @@ val observations : t -> string -> int
 val total : t -> string -> float
 (** Sum of all observations; 0 when absent. *)
 
+val merge_into : ?prefix:string -> t -> into:t -> unit
+(** [merge_into ~prefix src ~into] folds every metric of [src] into
+    [into] under [prefix ^ name]: counters add, histograms merge
+    component-wise (count/sum/min/max/buckets).  Both registries must be
+    owned by the calling domain — the batch engine merges per-job
+    registries only after joining their workers. *)
+
 type span
 (** A started monotonic-clock stopwatch. *)
 

@@ -1,0 +1,94 @@
+(* Util.Args: the shared subcommand parser.
+
+   One error discipline for every subcommand: unknown flags and
+   malformed values are [Failed] (the CLI maps them to exit 2),
+   [--help]/[-h] is [Help], leftover tokens come back as positionals. *)
+
+module A = Util.Args
+
+let make_refs () =
+  let n = ref 10 and x = ref 1.0 and s = ref None and v = ref false in
+  let args =
+    [
+      A.int [ "--n" ] ~doc:"count" n;
+      A.float [ "--x" ] ~doc:"scale" x;
+      A.string_opt [ "--out"; "-o" ] ~docv:"FILE" ~doc:"output" s;
+      A.flag [ "--verbose" ] ~doc:"chatty" v;
+    ]
+  in
+  (args, n, x, s, v)
+
+let check_outcome = Alcotest.(check bool)
+
+let test_parse_values () =
+  let args, n, x, s, v = make_refs () in
+  (match A.parse args [ "--n"; "5"; "--x=2.5"; "-o"; "f.json"; "--verbose"; "pos1"; "pos2" ] with
+  | A.Parsed ps -> Alcotest.(check (list string)) "positionals" [ "pos1"; "pos2" ] ps
+  | _ -> Alcotest.fail "expected Parsed");
+  Alcotest.(check int) "--n" 5 !n;
+  Alcotest.(check (float 0.0)) "--x=" 2.5 !x;
+  Alcotest.(check (option string)) "-o alias" (Some "f.json") !s;
+  check_outcome "--verbose" true !v
+
+let test_defaults_survive () =
+  let args, n, x, s, v = make_refs () in
+  (match A.parse args [] with A.Parsed [] -> () | _ -> Alcotest.fail "expected Parsed []");
+  Alcotest.(check int) "default n" 10 !n;
+  Alcotest.(check (float 0.0)) "default x" 1.0 !x;
+  Alcotest.(check (option string)) "default out" None !s;
+  check_outcome "default verbose" false !v
+
+let test_help () =
+  let args, _, _, _, _ = make_refs () in
+  (match A.parse args [ "--n"; "5"; "--help" ] with
+  | A.Help -> ()
+  | _ -> Alcotest.fail "--help must yield Help");
+  match A.parse args [ "-h" ] with A.Help -> () | _ -> Alcotest.fail "-h must yield Help"
+
+let expect_failed what outcome =
+  match outcome with
+  | A.Failed _ -> ()
+  | A.Parsed _ -> Alcotest.failf "%s: parsed instead of failing" what
+  | A.Help -> Alcotest.failf "%s: became Help" what
+
+let test_errors () =
+  let args, _, _, _, _ = make_refs () in
+  expect_failed "unknown flag" (A.parse args [ "--bogus" ]);
+  expect_failed "malformed int" (A.parse args [ "--n"; "five" ]);
+  expect_failed "malformed float" (A.parse args [ "--x"; "wide" ]);
+  expect_failed "missing value" (A.parse args [ "--n" ]);
+  expect_failed "value on a flag" (A.parse args [ "--verbose=yes" ])
+
+let test_enum_and_double_dash () =
+  let e = ref 0 in
+  let args = [ A.enum [ "--mode" ] ~doc:"mode" [ ("one", 1); ("two", 2) ] e ] in
+  (match A.parse args [ "--mode"; "TWO" ] with
+  | A.Parsed [] -> Alcotest.(check int) "case-insensitive enum" 2 !e
+  | _ -> Alcotest.fail "enum parse failed");
+  expect_failed "bad enum" (A.parse args [ "--mode"; "three" ]);
+  match A.parse args [ "--"; "--mode" ] with
+  | A.Parsed ps -> Alcotest.(check (list string)) "-- ends options" [ "--mode" ] ps
+  | _ -> Alcotest.fail "-- handling"
+
+let contains haystack needle =
+  let nl = String.length needle and hl = String.length haystack in
+  let rec go i = i + nl <= hl && (String.sub haystack i nl = needle || go (i + 1)) in
+  nl = 0 || go 0
+
+let test_usage_text () =
+  let args, _, _, _, _ = make_refs () in
+  let u = A.usage ~prog:"opera test" ~positional:"JOBS.json" ~summary:"A test." args in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) (Printf.sprintf "usage mentions %s" needle) true (contains u needle))
+    [ "opera test"; "JOBS.json"; "--n"; "--out"; "--help" ]
+
+let suite =
+  [
+    Alcotest.test_case "values, =, aliases, positionals" `Quick test_parse_values;
+    Alcotest.test_case "defaults survive empty argv" `Quick test_defaults_survive;
+    Alcotest.test_case "--help/-h" `Quick test_help;
+    Alcotest.test_case "unknown/malformed -> Failed" `Quick test_errors;
+    Alcotest.test_case "enum and --" `Quick test_enum_and_double_dash;
+    Alcotest.test_case "usage text" `Quick test_usage_text;
+  ]

@@ -1,0 +1,69 @@
+(* CLI exit-code discipline, exercised on the real executable.
+
+   Contract (shared by every subcommand through Cli_common.dispatch):
+     0  success, --help, --version
+     2  unknown subcommand, unknown flag, malformed value, bad job file
+   The tests shell out to the built opera binary (a test dep), with
+   stdout/stderr sent to /dev/null — only the exit codes matter here. *)
+
+let exe = "../bin/opera_cli.exe"
+
+let exit_code args =
+  Sys.command (Printf.sprintf "%s %s >/dev/null 2>&1" (Filename.quote exe) args)
+
+let check what expected args = Alcotest.(check int) what expected (exit_code args)
+
+let test_help_exits_zero () =
+  check "opera --help" 0 "--help";
+  check "opera -h" 0 "-h";
+  check "opera help" 0 "help";
+  check "opera --version" 0 "--version";
+  List.iter
+    (fun sub -> check (sub ^ " --help") 0 (sub ^ " --help"))
+    [ "generate"; "analyze"; "mc"; "compare"; "special"; "batch"; "walk" ];
+  check "analyze -h" 0 "analyze -h"
+
+let test_usage_errors_exit_two () =
+  check "no arguments" 2 "";
+  check "unknown subcommand" 2 "frobnicate";
+  check "unknown flag" 2 "analyze --bogus";
+  check "unknown flag (generate)" 2 "generate --bogus";
+  check "malformed int" 2 "analyze --nodes many";
+  check "malformed enum" 2 "analyze --solver qr";
+  check "flag missing its value" 2 "analyze --nodes";
+  check "unexpected positional" 2 "analyze stray";
+  check "batch without a file" 2 "batch";
+  check "batch with a missing file" 2 "batch /nonexistent/jobs.json";
+  check "batch with extra positionals" 2 "batch a.json b.json"
+
+let with_temp_file contents f =
+  let path = Filename.temp_file "opera_cli_test" ".json" in
+  let oc = open_out path in
+  output_string oc contents;
+  close_out oc;
+  Fun.protect ~finally:(fun () -> Sys.remove path) (fun () -> f path)
+
+let test_batch_rejects_malformed_jobs () =
+  with_temp_file "{ not json" (fun path ->
+      check "malformed JSON" 2 ("batch " ^ Filename.quote path));
+  with_temp_file {|{"jobs": [{"analysis": "dc", "nodez": 10}]}|} (fun path ->
+      check "unknown job field" 2 ("batch " ^ Filename.quote path));
+  with_temp_file {|{"jobs": []}|} (fun path ->
+      check "empty batch" 2 ("batch " ^ Filename.quote path))
+
+let test_batch_runs_a_tiny_batch () =
+  with_temp_file
+    {|{"defaults": {"nodes": 120, "steps": 2, "solver": "direct"},
+       "jobs": [{"name": "a", "analysis": "dc"},
+                {"name": "b", "analysis": "dc", "drain_scale": 1.5}]}|}
+    (fun path ->
+      check "tiny batch runs clean" 0 ("batch " ^ Filename.quote path);
+      check "dry-run plans without solving" 0 ("batch --dry-run " ^ Filename.quote path))
+
+let suite =
+  [
+    Alcotest.test_case "--help and --version exit 0" `Quick test_help_exits_zero;
+    Alcotest.test_case "usage errors exit 2" `Quick test_usage_errors_exit_two;
+    Alcotest.test_case "bad job files exit 2" `Quick test_batch_rejects_malformed_jobs;
+    Alcotest.test_case "a tiny batch exits 0" `Slow test_batch_runs_a_tiny_batch;
+  ]

@@ -1,0 +1,107 @@
+(* Util.Json writer: escaping and parse/render round-trips.
+
+   The batch engine's JSONL determinism rides on this writer, so the
+   property tests feed it adversarial strings (every control character,
+   arbitrary bytes) and arbitrary documents, and require that parsing
+   the rendered text reproduces the value exactly. *)
+
+module J = Util.Json
+
+let test_escape_control_chars () =
+  (* every byte below 0x20 must come back through parse *)
+  for c = 0 to 0x1F do
+    let s = Printf.sprintf "a%cb" (Char.chr c) in
+    let rendered = J.render (J.Str s) in
+    (match J.parse rendered with
+    | Ok (J.Str s') -> Alcotest.(check string) (Printf.sprintf "ctrl 0x%02x" c) s s'
+    | Ok _ -> Alcotest.failf "ctrl 0x%02x: parsed to a non-string" c
+    | Error e -> Alcotest.failf "ctrl 0x%02x: %s (rendered %S)" c e rendered);
+    (* and the rendered form itself must contain no raw control bytes *)
+    String.iter
+      (fun ch ->
+        if Char.code ch < 0x20 then
+          Alcotest.failf "ctrl 0x%02x: raw control byte in %S" c rendered)
+      rendered
+  done
+
+let test_escape_specials () =
+  Alcotest.(check string) "quote" "\"a\\\"b\"" (J.render (J.Str "a\"b"));
+  Alcotest.(check string) "backslash" "\"a\\\\b\"" (J.render (J.Str "a\\b"));
+  Alcotest.(check string) "newline" "\"a\\nb\"" (J.render (J.Str "a\nb"));
+  Alcotest.(check string) "tab" "\"a\\tb\"" (J.render (J.Str "a\tb"))
+
+let test_number_rendering () =
+  Alcotest.(check string) "integral" "42" (J.number_to_string 42.0);
+  Alcotest.(check string) "negative integral" "-7" (J.number_to_string (-7.0));
+  Alcotest.(check string) "nan is null" "null" (J.number_to_string Float.nan);
+  Alcotest.(check string) "inf is null" "null" (J.number_to_string Float.infinity);
+  (* 17 significant digits: exact double round-trip *)
+  let v = 0.1 +. 0.2 in
+  match J.parse (J.number_to_string v) with
+  | Ok (J.Num v') -> Alcotest.(check bool) "exact round-trip" true (v = v' (* opera-lint: exact *))
+  | _ -> Alcotest.fail "number did not parse back"
+
+(* Structural equality where numbers compare by bit pattern.  Rendered
+   non-finite numbers become null by design, so the generator below only
+   produces finite numbers. *)
+let rec equal a b =
+  match (a, b) with
+  | J.Null, J.Null -> true
+  | J.Bool x, J.Bool y -> x = y
+  | J.Num x, J.Num y -> Int64.bits_of_float x = Int64.bits_of_float y
+  | J.Str x, J.Str y -> x = y
+  | J.List xs, J.List ys -> List.length xs = List.length ys && List.for_all2 equal xs ys
+  | J.Obj xs, J.Obj ys ->
+      List.length xs = List.length ys
+      && List.for_all2 (fun (k, x) (k', y) -> k = k' && equal x y) xs ys
+  | _ -> false
+
+let gen_json =
+  QCheck.Gen.(
+    sized @@ fix (fun self size ->
+        let scalar =
+          oneof
+            [
+              return J.Null;
+              map (fun b -> J.Bool b) bool;
+              map (fun f -> J.Num f) (float_bound_inclusive 1e15);
+              map (fun f -> J.Num (-1.0 *. f)) (float_bound_inclusive 1e9);
+              map (fun s -> J.Str s) (string_size ~gen:(int_range 0 255 >|= Char.chr) (0 -- 12));
+            ]
+        in
+        if size = 0 then scalar
+        else
+          oneof
+            [
+              scalar;
+              map (fun xs -> J.List xs) (list_size (0 -- 4) (self (size / 2)));
+              map
+                (fun kvs -> J.Obj kvs)
+                (list_size (0 -- 4)
+                   (pair (string_size ~gen:(char_range 'a' 'z') (1 -- 6)) (self (size / 2))));
+            ]))
+
+let arbitrary_json = QCheck.make ~print:J.render gen_json
+
+let prop_roundtrip =
+  QCheck.Test.make ~name:"parse (render v) = v" ~count:500 arbitrary_json (fun v ->
+      match J.parse (J.render v) with
+      | Ok v' -> equal v v'
+      | Error e -> QCheck.Test.fail_reportf "parse error: %s on %s" e (J.render v))
+
+let prop_string_roundtrip =
+  QCheck.Test.make ~name:"arbitrary byte strings survive render/parse" ~count:500
+    QCheck.(string_gen QCheck.Gen.(int_range 0 255 >|= Char.chr))
+    (fun s ->
+      match J.parse (J.render (J.Str s)) with
+      | Ok (J.Str s') -> s = s'
+      | _ -> false)
+
+let suite =
+  [
+    Alcotest.test_case "control characters are escaped" `Quick test_escape_control_chars;
+    Alcotest.test_case "quote/backslash/common escapes" `Quick test_escape_specials;
+    Alcotest.test_case "number rendering" `Quick test_number_rendering;
+    QCheck_alcotest.to_alcotest prop_roundtrip;
+    QCheck_alcotest.to_alcotest prop_string_roundtrip;
+  ]

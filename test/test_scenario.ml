@@ -1,0 +1,316 @@
+(* Scenario engine acceptance tests.
+
+   The contract under test:
+     - jobs sharing an operator signature share exactly one
+       factorization per needed factor (asserted through the summary and
+       the engine.factorizations metrics counter);
+     - a warm run against the artifact store performs zero
+       factorizations and reproduces the cold JSONL bitwise;
+     - the JSONL stream is byte-identical for any jobs_parallel;
+     - engine-owned solves match the library solvers they share factors
+       with. *)
+
+module Job = Scenario.Job
+module Engine = Scenario.Engine
+
+let nodes = 160
+
+let base_job name =
+  {
+    Job.name;
+    source = Job.Generated { nodes };
+    analysis = Job.Dc;
+    order = 2;
+    h = 125e-12;
+    steps = 4;
+    solver = Opera.Galerkin.Direct;
+    policy = Opera.Galerkin.Warn;
+    sigma_scale = 1.0;
+    drain_scale = 1.0;
+    leak_scale = 1.0;
+    probe = None;
+  }
+
+let fresh_dir () =
+  let marker = Filename.temp_file "opera_engine_test" "" in
+  Sys.remove marker;
+  marker ^ ".d"
+
+let records_of results =
+  Array.to_list (Array.map (fun r -> Util.Json.render r.Engine.record) results)
+
+let run ?cache_dir ?(jobs_parallel = 1) ?metrics jobs =
+  let metrics = match metrics with Some m -> m | None -> Util.Metrics.create () in
+  let config = { Engine.cache_dir; jobs_parallel; domains = 1; metrics } in
+  Engine.run ~config jobs
+
+(* --- planning ------------------------------------------------------- *)
+
+let test_plan_groups () =
+  let jobs =
+    [|
+      base_job "a";
+      { (base_job "b") with Job.drain_scale = 2.0 } (* excitation: same operator *);
+      { (base_job "c") with Job.source = Job.Generated { nodes = nodes * 2 } };
+      { (base_job "d") with Job.solver = Opera.Galerkin.Mean_pcg { tol = 1e-10; max_iter = 500 } };
+      { (base_job "e") with Job.analysis = Job.Transient; steps = 9 } (* steps: same operator *);
+    |]
+  in
+  let groups = Engine.plan jobs in
+  Alcotest.(check (list (list int)))
+    "3 operators; first-occurrence order, members in batch order"
+    [ [ 0; 1; 4 ]; [ 2 ]; [ 3 ] ]
+    (Array.to_list (Array.map Array.to_list groups))
+
+let test_signature_excludes_excitation () =
+  let a = base_job "a" in
+  Alcotest.(check string)
+    "drain_scale shares the operator"
+    (Job.signature a)
+    (Job.signature { a with Job.drain_scale = 3.0 });
+  Alcotest.(check string)
+    "h and steps share the operator (factors are keyed per h)"
+    (Job.signature a)
+    (Job.signature { a with Job.h = 250e-12; steps = 16 });
+  Alcotest.(check bool)
+    "sigma_scale changes the operator" true
+    (Job.signature a <> Job.signature { a with Job.sigma_scale = 2.0 });
+  Alcotest.(check bool)
+    "order changes the operator" true
+    (Job.signature a <> Job.signature { a with Job.order = 3 })
+
+(* --- the factor-once guarantee -------------------------------------- *)
+
+let test_shared_grid_one_factorization () =
+  let jobs =
+    [|
+      base_job "dc-a";
+      { (base_job "dc-b") with Job.drain_scale = 1.5 };
+      { (base_job "dc-c") with Job.drain_scale = 0.5 };
+    |]
+  in
+  let metrics = Util.Metrics.create () in
+  let results, summary = run ~metrics jobs in
+  Alcotest.(check int) "3 jobs" 3 summary.Engine.jobs;
+  Alcotest.(check int) "1 group" 1 summary.Engine.groups;
+  Alcotest.(check int) "exactly one factorization" 1 summary.Engine.factorizations;
+  Alcotest.(check int)
+    "engine.factorizations counter agrees" 1
+    (Util.Metrics.counter metrics "engine.factorizations");
+  Alcotest.(check int)
+    "engine.jobs counter" 3
+    (Util.Metrics.counter metrics "engine.jobs");
+  Array.iter
+    (fun r ->
+      Alcotest.(check bool) "dc jobs carry no response" true (r.Engine.response = None))
+    results
+
+(* --- cold/warm bitwise reproduction --------------------------------- *)
+
+let test_warm_run_zero_factorizations_bitwise () =
+  let jobs =
+    [|
+      { (base_job "tr") with Job.analysis = Job.Transient };
+      { (base_job "tr-drain") with Job.analysis = Job.Transient; drain_scale = 1.3 };
+      base_job "dc";
+      { (base_job "sp") with Job.analysis = Job.Special { regions = 4; lambda = 0.5 } };
+      { (base_job "yld") with Job.analysis = Job.Yield { budget_pct = 5.0 } };
+    |]
+  in
+  let cache_dir = fresh_dir () in
+  let _, cold_summary = run ~cache_dir jobs in
+  let cold = run ~cache_dir jobs in
+  Alcotest.(check bool)
+    "cold run factored" true
+    (cold_summary.Engine.factorizations > 0);
+  Alcotest.(check bool) "cold run missed the store" true (cold_summary.Engine.cache_misses > 0);
+  let warm_results, warm_summary = cold in
+  Alcotest.(check int) "warm run: zero factorizations" 0 warm_summary.Engine.factorizations;
+  Alcotest.(check int) "warm run: zero misses" 0 warm_summary.Engine.cache_misses;
+  Alcotest.(check bool) "warm run: hits" true (warm_summary.Engine.cache_hits > 0);
+  (* rerun truly cold (no cache) and compare record-for-record *)
+  let nocache_results, _ = run jobs in
+  Alcotest.(check (list string))
+    "warm records match uncached run bitwise"
+    (records_of nocache_results)
+    (records_of warm_results)
+
+let test_corrupt_artifact_recovers_bitwise () =
+  let jobs = [| { (base_job "tr") with Job.analysis = Job.Transient } |] in
+  let cache_dir = fresh_dir () in
+  let cold_results, _ = run ~cache_dir jobs in
+  (* damage every cached artifact in place *)
+  Array.iter
+    (fun f ->
+      let path = Filename.concat cache_dir f in
+      let ic = open_in_bin path in
+      let len = in_channel_length ic in
+      let bytes = really_input_string ic (len / 2) in
+      close_in ic;
+      let oc = open_out_bin path in
+      output_string oc bytes;
+      close_out oc)
+    (Sys.readdir cache_dir);
+  let damaged_results, damaged_summary = run ~cache_dir jobs in
+  Alcotest.(check bool)
+    "damage detected as corrupt" true
+    (damaged_summary.Engine.cache_corrupt > 0);
+  Alcotest.(check bool) "damage forced refactorization" true (damaged_summary.Engine.factorizations > 0);
+  Alcotest.(check (list string))
+    "rebuilt run matches the cold run bitwise"
+    (records_of cold_results)
+    (records_of damaged_results);
+  (* and the store healed: next run is warm again *)
+  let _, healed = run ~cache_dir jobs in
+  Alcotest.(check int) "healed store: zero factorizations" 0 healed.Engine.factorizations
+
+(* --- jobs_parallel determinism --------------------------------------- *)
+
+let test_jobs_parallel_deterministic () =
+  let jobs =
+    Array.init 6 (fun i ->
+        match i mod 3 with
+        | 0 -> { (base_job (Printf.sprintf "tr%d" i)) with Job.analysis = Job.Transient;
+                 drain_scale = 1.0 +. (0.1 *. float_of_int i) }
+        | 1 -> { (base_job (Printf.sprintf "dc%d" i)) with Job.drain_scale = float_of_int i }
+        | _ -> { (base_job (Printf.sprintf "sp%d" i)) with
+                 Job.analysis = Job.Special { regions = 4; lambda = 0.5 };
+                 leak_scale = 1.0 +. (0.2 *. float_of_int i) })
+  in
+  let sequential, _ = run ~jobs_parallel:1 jobs in
+  let parallel4, _ = run ~jobs_parallel:4 jobs in
+  Alcotest.(check (list string))
+    "jobs_parallel=4 stream is byte-identical to sequential"
+    (records_of sequential) (records_of parallel4);
+  Array.iteri
+    (fun i r ->
+      Alcotest.(check string) "results indexed like inputs" jobs.(i).Job.name
+        r.Engine.job.Job.name)
+    parallel4
+
+(* --- engine solves match the library solvers ------------------------- *)
+
+let spec = Powergrid.Grid_spec.scale_to_nodes Powergrid.Grid_spec.default nodes
+
+let test_transient_matches_galerkin () =
+  let job = { (base_job "tr") with Job.analysis = Job.Transient } in
+  let results, _ = run [| job |] in
+  let resp =
+    match results.(0).Engine.response with
+    | Some r -> r
+    | None -> Alcotest.fail "transient job must carry a response"
+  in
+  (* reference: the library transient solve on the same model *)
+  let circuit = Powergrid.Grid_gen.generate spec in
+  let model =
+    Opera.Stochastic_model.build ~order:job.Job.order Opera.Varmodel.paper_default
+      ~vdd:spec.Powergrid.Grid_spec.vdd circuit
+  in
+  let probe = Powergrid.Grid_gen.center_node spec in
+  let options =
+    { Opera.Galerkin.default_options with Opera.Galerkin.probes = [| probe |] }
+  in
+  let reference, _ =
+    Opera.Galerkin.solve_transient ~options model ~h:job.Job.h ~steps:job.Job.steps
+  in
+  for step = 1 to job.Job.steps do
+    Helpers.check_float ~eps:1e-12
+      (Printf.sprintf "probe mean, step %d" step)
+      (Opera.Response.mean_at reference ~step ~node:probe)
+      (Opera.Response.mean_at resp ~step ~node:probe);
+    Helpers.check_float ~eps:1e-12
+      (Printf.sprintf "probe std, step %d" step)
+      (Opera.Response.std_at reference ~step ~node:probe)
+      (Opera.Response.std_at resp ~step ~node:probe)
+  done
+
+let test_special_matches_special_case () =
+  let lambda = 0.5 in
+  let job =
+    { (base_job "sp") with Job.analysis = Job.Special { regions = 4; lambda } }
+  in
+  let results, _ = run [| job |] in
+  let resp =
+    match results.(0).Engine.response with
+    | Some r -> r
+    | None -> Alcotest.fail "special job must carry a response"
+  in
+  let sspec =
+    { (Powergrid.Grid_spec.scale_to_nodes Powergrid.Grid_spec.default nodes) with
+      Powergrid.Grid_spec.regions_x = 2; regions_y = 2 }
+  in
+  let circuit = Powergrid.Grid_gen.generate sspec in
+  let leaks =
+    Array.init
+      (sspec.Powergrid.Grid_spec.rows * sspec.Powergrid.Grid_spec.cols)
+      (fun node -> (node, Powergrid.Grid_gen.region_of_node sspec node, 5e-6))
+  in
+  let sc =
+    Opera.Special_case.make ~order:job.Job.order ~regions:4 ~lambda ~leaks
+      ~vdd:sspec.Powergrid.Grid_spec.vdd circuit
+  in
+  let probe = Powergrid.Grid_gen.center_node sspec in
+  let reference, _ =
+    Opera.Special_case.solve sc ~h:job.Job.h ~steps:job.Job.steps ~probes:[| probe |]
+  in
+  for step = 1 to job.Job.steps do
+    Helpers.check_float ~eps:1e-12
+      (Printf.sprintf "special probe mean, step %d" step)
+      (Opera.Response.mean_at reference ~step ~node:probe)
+      (Opera.Response.mean_at resp ~step ~node:probe)
+  done
+
+(* --- job JSON parsing ------------------------------------------------ *)
+
+let parse_batch s =
+  match Util.Json.parse s with
+  | Ok j -> Job.batch_of_json j
+  | Error e -> Error ("json: " ^ e)
+
+let test_job_json () =
+  (match
+     parse_batch
+       {|{"defaults": {"nodes": 160, "solver": "direct"},
+          "jobs": [{"name": "a", "analysis": "dc"},
+                   {"analysis": "transient", "steps": 3, "drain_scale": 1.5}]}|}
+   with
+  | Ok jobs ->
+      Alcotest.(check int) "two jobs" 2 (Array.length jobs);
+      Alcotest.(check string) "named job" "a" jobs.(0).Job.name;
+      Alcotest.(check string) "nameless job gets an index name" "job1" jobs.(1).Job.name;
+      Alcotest.(check int) "defaults flow into jobs" 160
+        (match jobs.(0).Job.source with Job.Generated { nodes } -> nodes | _ -> -1);
+      Alcotest.(check int) "per-job override" 3 jobs.(1).Job.steps
+  | Error e -> Alcotest.failf "batch rejected: %s" e);
+  let expect_error what s =
+    match parse_batch s with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.failf "%s: accepted" what
+  in
+  expect_error "unknown job field" {|{"jobs": [{"analysis": "dc", "nodez": 100}]}|};
+  expect_error "unknown batch field" {|{"jobs": [], "jbos": []}|};
+  expect_error "empty jobs" {|{"jobs": []}|};
+  expect_error "bad analysis" {|{"jobs": [{"analysis": "frequency"}]}|};
+  expect_error "bad solver" {|{"jobs": [{"analysis": "dc", "solver": "lu"}]}|};
+  expect_error "special needs a generated grid"
+    {|{"jobs": [{"analysis": "special", "netlist": "x.sp"}]}|}
+
+let suite =
+  [
+    Alcotest.test_case "plan groups by operator signature" `Quick test_plan_groups;
+    Alcotest.test_case "signature excludes excitation and h" `Quick
+      test_signature_excludes_excitation;
+    Alcotest.test_case "3 jobs, one grid, one factorization" `Quick
+      test_shared_grid_one_factorization;
+    Alcotest.test_case "warm run: 0 factorizations, bitwise equal" `Slow
+      test_warm_run_zero_factorizations_bitwise;
+    Alcotest.test_case "corrupt artifacts rebuild bitwise" `Slow
+      test_corrupt_artifact_recovers_bitwise;
+    Alcotest.test_case "jobs_parallel never changes the stream" `Slow
+      test_jobs_parallel_deterministic;
+    Alcotest.test_case "engine transient = Galerkin.solve_transient" `Quick
+      test_transient_matches_galerkin;
+    Alcotest.test_case "engine special = Special_case.solve" `Quick
+      test_special_matches_special_case;
+    Alcotest.test_case "job JSON parsing and rejection" `Quick test_job_json;
+  ]

@@ -1,3 +1,4 @@
+(* opera-lint: mli — the finding list and config records are internal to the tool. *)
 (* opera-lint — a compiler-libs static-analysis pass over the OPERA
    library sources.
 
@@ -95,9 +96,10 @@ type config = {
 let default_config =
   {
     unsafe_allowlist = [ "sparse.ml" ];
-    (* The PR-1 domain-parallel kernels: every captured-array write is a
-       disjoint slice indexed by the parallel chunk/block index. *)
-    race_allowlist = [ "galerkin.ml"; "galerkin_op.ml"; "special_case.ml" ];
+    (* The PR-1 domain-parallel kernels plus the batch engine: every
+       captured-array write is a disjoint slice indexed by the parallel
+       chunk/block/job index. *)
+    race_allowlist = [ "galerkin.ml"; "galerkin_op.ml"; "special_case.ml"; "engine.ml" ];
     check_mli = true;
   }
 

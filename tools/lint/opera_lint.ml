@@ -1,3 +1,4 @@
+(* opera-lint: mli — executable entry point, no interface needed. *)
 (* opera-lint CLI — see lint_engine.ml for the rule catalogue.
 
    Usage: opera_lint [--root DIR] [--json FILE] [--verbose] [--quiet]
@@ -10,7 +11,7 @@
 let usage () =
   prerr_endline
     "usage: opera_lint [--root DIR] [--json FILE] [--verbose] [--quiet] [--no-mli] [PATH ...]";
-  exit 2
+  exit 2 (* opera-lint: banned *)
 
 let () =
   let root = ref None in
@@ -51,7 +52,7 @@ let () =
     (fun p ->
       if not (Sys.file_exists p) then begin
         Printf.eprintf "opera_lint: no such path %s\n" p;
-        exit 2
+        exit 2 (* opera-lint: banned *)
       end)
     paths;
   let cfg = { Lint_engine.default_config with check_mli = !check_mli } in
@@ -63,6 +64,6 @@ let () =
         ~finally:(fun () -> close_out oc)
         (fun () -> output_string oc (Lint_engine.json_report ~files_scanned findings))
   | None -> ());
-  if not !quiet then
+  if not !quiet then (* opera-lint: banned *)
     print_string (Lint_engine.human_report ~verbose:!verbose ~files_scanned findings);
-  exit (Lint_engine.exit_code findings)
+  exit (Lint_engine.exit_code findings) (* opera-lint: banned *)
