@@ -66,23 +66,31 @@ let run argv =
                 names)
             groups;
           0
-      | Ok jobs ->
-          Cli_common.with_health ~log_level:!log_level ~metrics_out:!metrics_out @@ fun () ->
-          let config =
-            {
-              Scenario.Engine.cache_dir = !cache_dir;
-              jobs_parallel = !jobs_parallel;
-              domains = !domains;
-              metrics = Util.Metrics.global;
-            }
+      | Ok jobs -> (
+          let solve () =
+            Cli_common.with_health ~log_level:!log_level ~metrics_out:!metrics_out @@ fun () ->
+            let config =
+              {
+                Scenario.Engine.cache_dir = !cache_dir;
+                jobs_parallel = !jobs_parallel;
+                domains = !domains;
+                metrics = Util.Metrics.global;
+              }
+            in
+            let summary =
+              match !stream_out with
+              | None -> Scenario.Engine.run_jsonl ~config stdout jobs
+              | Some file ->
+                  let oc = open_out file in
+                  Fun.protect
+                    ~finally:(fun () -> close_out oc)
+                    (fun () -> Scenario.Engine.run_jsonl ~config oc jobs)
+            in
+            prerr_endline (Scenario.Engine.summary_line summary)
           in
-          let summary =
-            match !stream_out with
-            | None -> Scenario.Engine.run_jsonl ~config stdout jobs
-            | Some file ->
-                let oc = open_out file in
-                Fun.protect
-                  ~finally:(fun () -> close_out oc)
-                  (fun () -> Scenario.Engine.run_jsonl ~config oc jobs)
-          in
-          prerr_endline (Scenario.Engine.summary_line summary))
+          try solve ()
+          with Scenario.Engine.Invalid_batch msg ->
+            (* The engine refuses before any job runs (e.g. a probe out of
+               range for its grid) — same discipline as a bad flag. *)
+            Printf.eprintf "opera batch: %s: %s\nTry 'opera batch --help'.\n" path msg;
+            2))

@@ -1,3 +1,5 @@
+exception Invalid_batch of string
+
 type config = {
   cache_dir : string option;
   jobs_parallel : int;
@@ -187,9 +189,13 @@ let build_special_ctx store count (rep : Job.t) members =
         (* Job.of_json rejects this combination; keep the invariant local. *)
         invalid_arg "Engine.build_special_ctx: special-case jobs need a generated grid"
   in
-  let side = int_of_float (Float.round (sqrt (float_of_int regions))) in
-  let rx = Int.max 1 side in
-  let ry = Int.max 1 (regions / rx) in
+  let rx, ry = Job.region_split regions in
+  if rx * ry <> regions then
+    (* Job.of_json rejects these; a hand-built job must not silently run
+       with a different region count than its signature was hashed on. *)
+    invalid_arg
+      (Printf.sprintf "Engine.build_special_ctx: regions %d is not a near-square rx*ry tiling"
+         regions);
   let sspec =
     {
       (Powergrid.Grid_spec.scale_to_nodes Powergrid.Grid_spec.default nodes) with
@@ -204,7 +210,7 @@ let build_special_ctx store count (rep : Job.t) members =
       (fun node -> (node, Powergrid.Grid_gen.region_of_node sspec node, 5e-6))
   in
   let sc =
-    Opera.Special_case.make ~order:rep.order ~regions:(rx * ry) ~lambda ~leaks
+    Opera.Special_case.make ~order:rep.order ~regions ~lambda ~leaks
       ~vdd:sspec.Powergrid.Grid_spec.vdd circuit
   in
   let g = Powergrid.Mna.g_total sc.Opera.Special_case.mna in
@@ -237,10 +243,7 @@ let build_ctx store count (rep : Job.t) members =
 
 let resolve_probe (job : Job.t) spec n =
   match job.probe with
-  | Some p ->
-      if p < 0 || p >= n then
-        invalid_arg (Printf.sprintf "job %s: probe %d out of range [0, %d)" job.name p n)
-      else p
+  | Some p -> p (* range-checked against n in [run], before jobs fan out *)
   | None -> (
       match spec with Some s -> Powergrid.Grid_gen.center_node s | None -> n / 2)
 
@@ -498,7 +501,7 @@ let run ?(config = default_config) jobs =
   let metrics = config.metrics in
   let store = Store.create ~metrics ~dir:config.cache_dir () in
   let njobs = Array.length jobs in
-  if njobs = 0 then invalid_arg "Engine.run: empty batch";
+  if njobs = 0 then raise (Invalid_batch "empty batch");
   let groups = plan jobs in
   let factorizations = ref 0 in
   let count () =
@@ -515,6 +518,25 @@ let run ?(config = default_config) jobs =
       in
       Array.iter (fun i -> ctx_of.(i) <- Some ctx) members)
     groups;
+  (* Probe bounds need the built contexts (a netlist's node count is only
+     known after parsing), but must be checked BEFORE the parallel fan-out
+     so a bad spec surfaces as a normal usage error, not a backtrace out
+     of a worker domain. *)
+  Array.iteri
+    (fun i (job : Job.t) ->
+      match job.Job.probe with
+      | None -> ()
+      | Some p ->
+          let n =
+            match Option.get ctx_of.(i) with
+            | Galerkin_ctx g -> g.model.Opera.Stochastic_model.n
+            | Special_ctx s -> s.sc.Opera.Special_case.mna.Powergrid.Mna.n
+          in
+          if p < 0 || p >= n then
+            raise
+              (Invalid_batch
+                 (Printf.sprintf "job %s: probe %d out of range [0, %d)" job.Job.name p n)))
+    jobs;
   let jp = Int.min (Util.Parallel.resolve config.jobs_parallel) njobs in
   (* Jobs in flight own their domain: inner solver parallelism is forced
      sequential whenever the batch itself fans out, so the domain count

@@ -20,6 +20,12 @@
     JSONL stream of a batch is byte-identical across cold runs, warm
     runs and any domain count. *)
 
+exception Invalid_batch of string
+(** A batch that cannot run: empty, or a probe out of range for its
+    job's grid.  Raised by {!run} on the main domain before any job
+    executes, so the CLI can map it to the usage-error discipline
+    (message on stderr, exit 2) instead of crashing out of a worker. *)
+
 type config = {
   cache_dir : string option;  (** [None] disables the artifact store *)
   jobs_parallel : int;
@@ -64,9 +70,10 @@ val plan : Job.t array -> int array array
 
 val run : ?config:config -> Job.t array -> result array * summary
 (** Execute a batch; results are indexed like the input jobs.  Raises
-    [Invalid_argument] on an empty batch or an out-of-range probe, and
-    propagates {!Opera.Galerkin.Solver_diverged} from jobs running under
-    the [fail] policy. *)
+    {!Invalid_batch} on an empty batch or an out-of-range probe (checked
+    after group setup, before any job runs), and propagates
+    {!Opera.Galerkin.Solver_diverged} from jobs running under the [fail]
+    policy. *)
 
 val run_jsonl : ?config:config -> out_channel -> Job.t array -> summary
 (** {!run}, then write one record per line in batch order. *)

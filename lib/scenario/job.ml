@@ -95,6 +95,34 @@ let positive name v = if v > 0.0 then Ok v else Error (Printf.sprintf "field %S 
 
 let positive_int name v = if v > 0 then Ok v else Error (Printf.sprintf "field %S must be > 0" name)
 
+(* Near-square tiling of a special-case region count: rx = round(sqrt
+   regions), ry = regions / rx.  The engine builds the grid with exactly
+   this split, so counts where rx * ry <> regions (5, 7, 8, ...) cannot
+   be honored; [of_json] rejects them instead of silently running with a
+   different region count (which would also desynchronize the operator
+   signature from the grid actually built). *)
+let region_split regions =
+  let side = int_of_float (Float.round (sqrt (float_of_int regions))) in
+  let rx = Int.max 1 side in
+  (rx, Int.max 1 (regions / rx))
+
+let tileable regions =
+  let rx, ry = region_split regions in
+  rx * ry = regions
+
+let check_regions regions =
+  if tileable regions then Ok regions
+  else begin
+    let below = ref (regions - 1) in
+    while not (tileable !below) do decr below done;
+    let above = ref (regions + 1) in
+    while not (tileable !above) do incr above done;
+    Error
+      (Printf.sprintf
+         "field \"regions\" must tile a near-square rx*ry grid; %d does not (nearest are %d and %d)"
+         regions !below !above)
+  end
+
 let of_json ?(defaults = Util.Json.Obj []) ?(name = "job") json =
   match json with
   | Util.Json.Obj _ ->
@@ -131,7 +159,9 @@ let of_json ?(defaults = Util.Json.Obj []) ?(name = "job") json =
         | "special" ->
             if netlist <> "" then
               Error "special-case jobs need a generated grid (region geometry unknown for netlists)"
-            else Ok (Special { regions; lambda })
+            else
+              let* regions = check_regions regions in
+              Ok (Special { regions; lambda })
         | "yield" -> Ok (Yield { budget_pct })
         | s -> Error (Printf.sprintf "unknown analysis %S (dc, transient, special, yield)" s)
       in
@@ -184,7 +214,24 @@ let batch_of_json json =
           (List.mapi (fun i j -> (i, j)) jobs)
       in
       if parsed = [] then Error "batch spec has no jobs"
-      else Ok (Array.of_list (List.rev parsed))
+      else
+        (* Names key the JSONL records downstream consumers join on —
+           a collision makes two records indistinguishable. *)
+        let jobs = Array.of_list (List.rev parsed) in
+        let seen = Hashtbl.create (Array.length jobs) in
+        let* () =
+          Array.fold_left
+            (fun acc job ->
+              let* () = acc in
+              if Hashtbl.mem seen job.name then
+                Error (Printf.sprintf "duplicate job name %S (job names must be unique)" job.name)
+              else begin
+                Hashtbl.add seen job.name ();
+                Ok ()
+              end)
+            (Ok ()) jobs
+        in
+        Ok jobs
   | Some _ -> Error "\"jobs\" must be an array"
   | None -> Error "batch spec must carry a \"jobs\" array"
 
@@ -203,6 +250,18 @@ let batch_of_file path =
    the convergence policy — none of them change the matrices, so jobs
    differing only there still share one factorization. *)
 
+(* A netlist-sourced operator is shaped by the file's CONTENTS, not its
+   name: editing a netlist in place must change the signature, or a warm
+   --cache-dir run would silently reuse orderings and factors of the old
+   circuit — breaking the store's contract that a stale cache can only
+   cost time, never correctness.  An unreadable file digests to a fixed
+   marker; the engine then fails with a proper parse error when it
+   actually opens the file. *)
+let netlist_digest path =
+  match Digest.file path with
+  | d -> Digest.to_hex d
+  | exception Sys_error _ -> "<unreadable>"
+
 let operator_bytes job =
   let e = Util.Codec.encoder () in
   (match job.analysis with
@@ -218,7 +277,8 @@ let operator_bytes job =
       Util.Codec.write_int e nodes
   | Netlist path ->
       Util.Codec.write_string e "netlist";
-      Util.Codec.write_string e path);
+      Util.Codec.write_string e path;
+      Util.Codec.write_string e (netlist_digest path));
   Util.Codec.write_int e job.order;
   Util.Codec.write_string e (solver_name job.solver);
   Util.Codec.contents e

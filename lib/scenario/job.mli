@@ -52,21 +52,33 @@ val policy_of_string : string -> (Opera.Galerkin.policy, string) result
 
 val policy_name : Opera.Galerkin.policy -> string
 
+val region_split : int -> int * int
+(** [(rx, ry)] near-square tiling of a special-case region count:
+    [rx = round(sqrt regions)], [ry = regions / rx].  The engine builds
+    its grid with exactly this split; {!of_json} only accepts region
+    counts where [rx * ry = regions], so parsed jobs always run with the
+    region count they asked for. *)
+
 val of_json : ?defaults:Util.Json.t -> ?name:string -> Util.Json.t -> (t, string) result
 (** Parse one job object.  Missing fields fall back to [defaults] (an
-    object) and then to built-in defaults; unknown fields are an error. *)
+    object) and then to built-in defaults; unknown fields are an error,
+    as is a special-case region count {!region_split} cannot honor. *)
 
 val batch_of_json : Util.Json.t -> (t array, string) result
 (** Parse [{"jobs": [...], "defaults": {...}?}].  Jobs keep their array
-    order; a nameless job [i] is named ["job<i>"]. *)
+    order; a nameless job [i] is named ["job<i>"]; duplicate names are
+    an error (records are keyed by name downstream). *)
 
 val batch_of_file : string -> (t array, string) result
 
 val operator_bytes : t -> string
 (** Canonical {!Util.Codec} bytes of the job's operator-shaping fields
     (analysis family, source, variation scaling, order, solver route).
-    Excitation deltas, timestep, step count, probe and policy are
-    excluded — see DESIGN.md §9 for the invalidation rules. *)
+    For a netlist source this includes a digest of the file's {e
+    contents}, so editing a netlist in place invalidates every cached
+    artifact derived from it.  Excitation deltas, timestep, step count,
+    probe and policy are excluded — see DESIGN.md §9 for the
+    invalidation rules. *)
 
 val signature : t -> string
 (** Hex digest of {!operator_bytes}; equal signatures share factors. *)

@@ -49,7 +49,13 @@ let test_batch_rejects_malformed_jobs () =
   with_temp_file {|{"jobs": [{"analysis": "dc", "nodez": 10}]}|} (fun path ->
       check "unknown job field" 2 ("batch " ^ Filename.quote path));
   with_temp_file {|{"jobs": []}|} (fun path ->
-      check "empty batch" 2 ("batch " ^ Filename.quote path))
+      check "empty batch" 2 ("batch " ^ Filename.quote path));
+  with_temp_file {|{"jobs": [{"name": "a", "analysis": "dc"}, {"name": "a", "analysis": "dc"}]}|}
+    (fun path -> check "duplicate job names" 2 ("batch " ^ Filename.quote path));
+  with_temp_file {|{"jobs": [{"analysis": "special", "regions": 5}]}|} (fun path ->
+      check "non-tileable region count" 2 ("batch " ^ Filename.quote path));
+  with_temp_file {|{"jobs": [{"analysis": "dc", "nodes": 60, "probe": 1000000}]}|} (fun path ->
+      check "out-of-range probe" 2 ("batch " ^ Filename.quote path))
 
 let test_batch_runs_a_tiny_batch () =
   with_temp_file

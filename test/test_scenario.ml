@@ -79,6 +79,66 @@ let test_signature_excludes_excitation () =
     "order changes the operator" true
     (Job.signature a <> Job.signature { a with Job.order = 3 })
 
+(* --- netlist sources are keyed by contents --------------------------- *)
+
+let write_file path text =
+  let oc = open_out_bin path in
+  output_string oc text;
+  close_out oc
+
+let test_signature_tracks_netlist_contents () =
+  let path = Filename.temp_file "opera_netlist" ".sp" in
+  write_file path "* v1\nR1 a 0 1.0\nV1 a 0 1.2 RS=0.1\n.end\n";
+  let job = { (base_job "nl") with Job.source = Job.Netlist path } in
+  let sig1 = Job.signature job in
+  Alcotest.(check string) "signature is stable while the file is" sig1 (Job.signature job);
+  write_file path "* v2\nR1 a 0 2.0\nV1 a 0 1.2 RS=0.1\n.end\n";
+  Alcotest.(check bool)
+    "editing the netlist in place changes the signature" true
+    (sig1 <> Job.signature job);
+  Sys.remove path;
+  (* An unreadable path must not crash planning; parsing fails later. *)
+  ignore (Job.signature job)
+
+let test_netlist_edit_invalidates_cache () =
+  let spec = Powergrid.Grid_spec.scale_to_nodes Powergrid.Grid_spec.default 60 in
+  let circuit = Powergrid.Grid_gen.generate spec in
+  let doubled =
+    Powergrid.Circuit.make ~num_nodes:circuit.Powergrid.Circuit.num_nodes
+      ~resistors:
+        (Array.to_list circuit.Powergrid.Circuit.resistors
+        |> List.map (fun (r : Powergrid.Circuit.resistor) ->
+               { r with Powergrid.Circuit.ohms = r.Powergrid.Circuit.ohms *. 2.0 }))
+      ~capacitors:(Array.to_list circuit.Powergrid.Circuit.capacitors)
+      ~isources:(Array.to_list circuit.Powergrid.Circuit.isources)
+      ~vsources:(Array.to_list circuit.Powergrid.Circuit.vsources)
+      ~inductors:(Array.to_list circuit.Powergrid.Circuit.inductors)
+      ()
+  in
+  let path = Filename.temp_file "opera_netlist" ".sp" in
+  let jobs =
+    [| { (base_job "nl") with Job.source = Job.Netlist path; analysis = Job.Transient } |]
+  in
+  let cache_dir = fresh_dir () in
+  (* Cold run on v1 warms the cache for v1's operator... *)
+  write_file path (Powergrid.Netlist.to_string circuit);
+  let _, cold1 = run ~cache_dir jobs in
+  Alcotest.(check bool) "v1 cold run factored" true (cold1.Engine.factorizations > 0);
+  (* ...then the netlist is edited IN PLACE: same path, same dimension,
+     different conductances.  The warm run must rebuild, not silently
+     reuse v1's factors. *)
+  write_file path (Powergrid.Netlist.to_string doubled);
+  let edited_results, edited_summary = run ~cache_dir jobs in
+  Alcotest.(check bool)
+    "edited netlist forces refactorization" true
+    (edited_summary.Engine.factorizations > 0);
+  let fresh_results, _ = run jobs in
+  Alcotest.(check (list string))
+    "cached run on the edited netlist matches an uncached run bitwise"
+    (records_of fresh_results)
+    (records_of edited_results);
+  Sys.remove path
+
 (* --- the factor-once guarantee -------------------------------------- *)
 
 let test_shared_grid_one_factorization () =
@@ -293,7 +353,44 @@ let test_job_json () =
   expect_error "bad analysis" {|{"jobs": [{"analysis": "frequency"}]}|};
   expect_error "bad solver" {|{"jobs": [{"analysis": "dc", "solver": "lu"}]}|};
   expect_error "special needs a generated grid"
-    {|{"jobs": [{"analysis": "special", "netlist": "x.sp"}]}|}
+    {|{"jobs": [{"analysis": "special", "netlist": "x.sp"}]}|};
+  expect_error "duplicate job names"
+    {|{"jobs": [{"name": "a", "analysis": "dc"}, {"name": "a", "analysis": "dc"}]}|};
+  expect_error "explicit name colliding with an index name"
+    {|{"jobs": [{"name": "job1", "analysis": "dc"}, {"analysis": "dc"}]}|};
+  expect_error "non-tileable region count"
+    {|{"jobs": [{"analysis": "special", "regions": 5}]}|};
+  match parse_batch {|{"jobs": [{"analysis": "special", "regions": 6}]}|} with
+  | Ok jobs ->
+      Alcotest.(check bool) "tileable region count parses with the requested value" true
+        (jobs.(0).Job.analysis = Job.Special { regions = 6; lambda = 0.5 })
+  | Error e -> Alcotest.failf "regions 6 rejected: %s" e
+
+let test_region_split () =
+  List.iter
+    (fun (regions, rx, ry) ->
+      let gx, gy = Job.region_split regions in
+      Alcotest.(check (pair int int))
+        (Printf.sprintf "split of %d" regions)
+        (rx, ry) (gx, gy))
+    [ (1, 1, 1); (2, 1, 2); (4, 2, 2); (6, 2, 3); (9, 3, 3); (12, 3, 4); (16, 4, 4) ]
+
+(* --- batch-level usage errors ---------------------------------------- *)
+
+let test_invalid_batch () =
+  (match run [||] with
+  | _ -> Alcotest.fail "empty batch accepted"
+  | exception Engine.Invalid_batch _ -> ());
+  (* An out-of-range probe must surface as Invalid_batch from the main
+     domain — before the parallel fan-out — even when jobs_parallel > 1. *)
+  let jobs =
+    [| base_job "ok"; { (base_job "bad") with Job.probe = Some 1_000_000 } |]
+  in
+  match run ~jobs_parallel:2 jobs with
+  | _ -> Alcotest.fail "out-of-range probe accepted"
+  | exception Engine.Invalid_batch msg ->
+      Alcotest.(check bool) "message names the offending job" true
+        (String.starts_with ~prefix:"job bad: probe" msg)
 
 let suite =
   [
@@ -313,4 +410,10 @@ let suite =
     Alcotest.test_case "engine special = Special_case.solve" `Quick
       test_special_matches_special_case;
     Alcotest.test_case "job JSON parsing and rejection" `Quick test_job_json;
+    Alcotest.test_case "netlist signature tracks file contents" `Quick
+      test_signature_tracks_netlist_contents;
+    Alcotest.test_case "editing a netlist invalidates its cache entries" `Slow
+      test_netlist_edit_invalidates_cache;
+    Alcotest.test_case "region_split near-square tilings" `Quick test_region_split;
+    Alcotest.test_case "empty batch / bad probe raise Invalid_batch" `Quick test_invalid_batch;
   ]
