@@ -1,4 +1,4 @@
-.PHONY: all build test ci lint lint-json bench bench-quick bench-paper bench-galerkin bench-metrics bench-batch examples clean help
+.PHONY: all build test ci lint lint-json bench bench-quick bench-paper bench-galerkin bench-metrics bench-batch bench-transient examples clean help
 
 all: build
 
@@ -9,7 +9,7 @@ help:
 	@echo "  lint           opera-lint static analysis over lib/ and tools/ (R1-R5; exit 1 on unwaived findings)"
 	@echo "  lint-json      lint + deterministic machine-readable report in LINT_report.json"
 	@echo "  ci             format check, lint, strict-warning build (--profile ci), tests"
-	@echo "  bench*         benchmark drivers (bench, bench-quick, bench-paper, bench-galerkin, bench-metrics, bench-batch)"
+	@echo "  bench*         benchmark drivers (bench, bench-quick, bench-paper, bench-galerkin, bench-metrics, bench-batch, bench-transient)"
 	@echo "  examples       run every example binary"
 	@echo "  clean          dune clean"
 	@echo ""
@@ -49,6 +49,9 @@ ci:
 	$(MAKE) lint
 	dune build @all --profile ci
 	dune runtest --profile ci
+	dune exec bench/transient_bench.exe -- --quick --out transient_smoke.json > /dev/null
+	dune exec bench/validate_metrics.exe -- transient_smoke.json
+	rm -f transient_smoke.json
 
 test-verbose:
 	dune runtest --force --no-buffer
@@ -74,6 +77,16 @@ bench-batch:
 	dune build bench/batch_bench.exe bench/validate_metrics.exe
 	dune exec bench/batch_bench.exe -- --quick
 	dune exec bench/validate_metrics.exe -- BENCH_batch.json
+
+# Transient hot-path perf trajectory: {direct, pcg} x {sequential,
+# level-scheduled} x {cold, warm-start} over grid sizes and chaos
+# orders, plus the pool's per-dispatch overhead.  The bench itself
+# asserts bitwise waveform identity of the pooled path and the
+# warm-start iteration savings, and the JSON is schema-checked.
+bench-transient:
+	dune build bench/transient_bench.exe bench/validate_metrics.exe
+	dune exec bench/transient_bench.exe
+	dune exec bench/validate_metrics.exe -- BENCH_transient.json
 
 bench-metrics:
 	dune build bin/opera_cli.exe bench/main.exe bench/validate_metrics.exe

@@ -70,6 +70,7 @@ let run_once ~label ~cache_dir ~jobs_parallel jobs =
       jobs_parallel;
       domains = 1;
       metrics = Util.Metrics.global;
+      warm_start = true;
     }
   in
   let results, summary = Scenario.Engine.run ~config jobs in

@@ -1,0 +1,248 @@
+(* Transient hot-path bench: persistent pool, level-scheduled solves,
+   warm-started PCG.
+
+   For each grid size x chaos order the same expanded model is stepped
+   through four solver configurations:
+
+     direct/seq     Direct solver, domains=1 (sequential CSC sweeps)
+     direct/pooled  Direct solver, domains=4 (level-scheduled sweeps;
+                    chunks drain through Util.Parallel's persistent
+                    pool, or inline on single-core machines)
+     pcg/cold       Mean-block PCG, zero initial guess every step
+     pcg/warm       Mean-block PCG, warm-started from the previous
+                    step's coefficients (linear extrapolation)
+
+   and writes BENCH_transient.json:
+
+     { "transient": { "cores": C, "pool_workers": W,
+         "pool": { "dispatches": D, "per_dispatch_ns": T },
+         "records": [
+           { "nodes": N, "order": P, "steps": S, "solver": "direct",
+             "domains": 1, "warm_start": false, "reps": R,
+             "step_s": ..., "factor_s": ..., "pcg_iters": 0 }, ... ] },
+       "metrics": { ... } }
+
+   validated by validate_metrics.exe (the `make bench-transient`
+   target).  The bench also *asserts* the hot path's contracts — the
+   pooled level-scheduled waveforms are bitwise identical to the
+   sequential ones, warm starts agree with cold starts within solver
+   tolerance while spending fewer total PCG iterations (>= 30% fewer on
+   the flagship 1000-node/order-3 case), and the pooled direct stepping
+   is no slower than the sequential path — so a hot-path regression
+   fails the target rather than just skewing the numbers.  Timings take
+   the best of [--reps] runs to damp scheduler noise. *)
+
+let sizes = ref [ 500; 1000 ]
+let orders = ref [ 2; 3 ]
+let steps = ref 24
+let reps = ref 3
+let quick = ref false
+let out_file = ref "BENCH_transient.json"
+
+type run = {
+  nodes : int;
+  order : int;
+  solver : string;  (* "direct" | "pcg" *)
+  domains : int;
+  warm_start : bool;
+  step_s : float;  (* best-of-reps stepping wall time *)
+  factor_s : float;
+  pcg_iters : int;  (* total over all steps (0 for direct) *)
+  response : Opera.Response.t;  (* last rep's waveforms *)
+}
+
+let options_for ~probes ~solver ~domains ~warm_start =
+  {
+    Opera.Galerkin.default_options with
+    Opera.Galerkin.solver;
+    ordering = Linalg.Ordering.Nested_dissection;
+    probes;
+    domains;
+    policy = Opera.Galerkin.Fail;
+    warm_start;
+  }
+
+let run_config ~nodes ~order ~probes model ~label ~solver ~domains ~warm_start =
+  let solver_kind, solver_name =
+    match solver with
+    | `Direct -> (Opera.Galerkin.Direct, "direct")
+    | `Pcg -> (Opera.Galerkin.Mean_pcg { tol = 1e-10; max_iter = 500 }, "pcg")
+  in
+  let options = options_for ~probes ~solver:solver_kind ~domains ~warm_start in
+  let best = ref infinity and factor = ref 0.0 and iters = ref 0 in
+  let response = ref None in
+  for _ = 1 to Int.max 1 !reps do
+    let r, stats = Opera.Galerkin.solve_transient ~options model ~h:125e-12 ~steps:!steps in
+    if stats.Opera.Galerkin.step_seconds < !best then best := stats.Opera.Galerkin.step_seconds;
+    factor := stats.Opera.Galerkin.factor_seconds;
+    iters := stats.Opera.Galerkin.pcg_iterations;
+    response := Some r
+  done;
+  let response = Option.get !response in
+  Printf.printf "  %-14s domains=%d warm=%-5b  step_s=%.4f  pcg_iters=%d\n%!" label domains
+    warm_start !best !iters;
+  {
+    nodes;
+    order;
+    solver = solver_name;
+    domains;
+    warm_start;
+    step_s = !best;
+    factor_s = !factor;
+    pcg_iters = !iters;
+    response;
+  }
+
+(* Bitwise waveform identity: the level-scheduled/pooled paths promise
+   the exact floats of the sequential sweeps, not an approximation. *)
+let identical_response (a : Opera.Response.t) (b : Opera.Response.t) =
+  a.Opera.Response.mean = b.Opera.Response.mean
+  && a.Opera.Response.variance = b.Opera.Response.variance
+  && a.Opera.Response.probe_coefs = b.Opera.Response.probe_coefs
+
+let max_abs_diff (a : float array) (b : float array) =
+  let m = ref 0.0 in
+  Array.iteri (fun i x -> m := Float.max !m (Float.abs (x -. b.(i)))) a;
+  !m
+
+let die fmt = Printf.ksprintf (fun s -> prerr_endline ("transient_bench: " ^ s); exit 1) fmt
+
+(* Per-dispatch overhead of the persistent pool, measured against a
+   forced single-worker pool on an empty body.  [set_pool_cap] tears the
+   pool down afterwards so the solver runs above are unaffected. *)
+let measure_pool_overhead () =
+  Util.Parallel.set_pool_cap (Some 1);
+  let body ~chunk:_ ~lo:_ ~hi:_ = () in
+  (* warm-up dispatch creates the pool and parks the worker *)
+  Util.Parallel.for_chunks ~domains:2 2 body;
+  let rounds = 2000 in
+  let d0 = Util.Parallel.pool_dispatches () in
+  let t0 = Util.Timer.start () in
+  for _ = 1 to rounds do
+    Util.Parallel.for_chunks ~domains:2 2 body
+  done;
+  let elapsed = Util.Timer.elapsed_s t0 in
+  let dispatched = Util.Parallel.pool_dispatches () - d0 in
+  Util.Parallel.set_pool_cap None;
+  if dispatched <> rounds then die "pool dispatched %d jobs, expected %d" dispatched rounds;
+  (dispatched, elapsed /. float_of_int rounds *. 1e9)
+
+let run_json (r : run) =
+  Util.Json.Obj
+    [
+      ("nodes", Util.Json.Num (float_of_int r.nodes));
+      ("order", Util.Json.Num (float_of_int r.order));
+      ("steps", Util.Json.Num (float_of_int !steps));
+      ("solver", Util.Json.Str r.solver);
+      ("domains", Util.Json.Num (float_of_int r.domains));
+      ("warm_start", Util.Json.Bool r.warm_start);
+      ("reps", Util.Json.Num (float_of_int (Int.max 1 !reps)));
+      ("step_s", Util.Json.Num r.step_s);
+      ("factor_s", Util.Json.Num r.factor_s);
+      ("pcg_iters", Util.Json.Num (float_of_int r.pcg_iters));
+    ]
+
+let () =
+  let rec parse = function
+    | [] -> ()
+    | "--quick" :: rest ->
+        quick := true;
+        sizes := [ 240 ];
+        orders := [ 2 ];
+        steps := 6;
+        reps := 1;
+        parse rest
+    | "--steps" :: v :: rest ->
+        steps := int_of_string v;
+        parse rest
+    | "--reps" :: v :: rest ->
+        reps := int_of_string v;
+        parse rest
+    | "--out" :: v :: rest ->
+        out_file := v;
+        parse rest
+    | arg :: _ ->
+        Printf.eprintf "transient_bench: unknown argument %s\n" arg;
+        exit 2
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  let vm = Opera.Varmodel.paper_default in
+  let records = ref [] in
+  List.iter
+    (fun nodes ->
+      let spec = Powergrid.Grid_spec.scale_to_nodes Powergrid.Grid_spec.default nodes in
+      let circuit = Powergrid.Grid_gen.generate spec in
+      let probes = [| Powergrid.Grid_gen.center_node spec |] in
+      List.iter
+        (fun order ->
+          Printf.printf "%d nodes, order %d, %d steps:\n%!" nodes order !steps;
+          let model =
+            Opera.Stochastic_model.build ~order vm ~vdd:spec.Powergrid.Grid_spec.vdd circuit
+          in
+          let go = run_config ~nodes ~order ~probes model in
+          let direct_seq = go ~label:"direct/seq" ~solver:`Direct ~domains:1 ~warm_start:false in
+          let direct_pool =
+            go ~label:"direct/pooled" ~solver:`Direct ~domains:4 ~warm_start:false
+          in
+          let pcg_cold = go ~label:"pcg/cold" ~solver:`Pcg ~domains:1 ~warm_start:false in
+          let pcg_warm = go ~label:"pcg/warm" ~solver:`Pcg ~domains:1 ~warm_start:true in
+          (* Contracts, enforced. *)
+          if not (identical_response direct_seq.response direct_pool.response) then
+            die "%dn/o%d: pooled level-scheduled waveforms differ bitwise from sequential" nodes
+              order;
+          let drift =
+            max_abs_diff pcg_warm.response.Opera.Response.mean
+              pcg_cold.response.Opera.Response.mean
+          in
+          if drift > 1e-6 then
+            die "%dn/o%d: warm-start mean drifted %.3e from cold start" nodes order drift;
+          if pcg_warm.pcg_iters >= pcg_cold.pcg_iters then
+            die "%dn/o%d: warm start did not reduce pcg iterations (%d >= %d)" nodes order
+              pcg_warm.pcg_iters pcg_cold.pcg_iters;
+          let flagship = nodes = 1000 && order = 3 in
+          if flagship then begin
+            if float_of_int pcg_warm.pcg_iters > 0.7 *. float_of_int pcg_cold.pcg_iters then
+              die "1000n/o3: warm start saved < 30%% of pcg iterations (%d vs %d)"
+                pcg_warm.pcg_iters pcg_cold.pcg_iters;
+            if direct_pool.step_s > direct_seq.step_s then
+              die "1000n/o3: pooled level-scheduled stepping slower than sequential (%.4fs > %.4fs)"
+                direct_pool.step_s direct_seq.step_s
+          end;
+          records := !records @ [ direct_seq; direct_pool; pcg_cold; pcg_warm ])
+        !orders)
+    !sizes;
+  let dispatches, per_dispatch_ns = measure_pool_overhead () in
+  Printf.printf "pool: %d dispatches, %.0f ns/dispatch (forced 1-worker pool)\n%!" dispatches
+    per_dispatch_ns;
+  let metrics =
+    match Util.Json.parse (Util.Metrics.to_json Util.Metrics.global) with
+    | Ok j -> j
+    | Error e -> die "metrics registry is not valid JSON: %s" e
+  in
+  let doc =
+    Util.Json.Obj
+      [
+        ( "transient",
+          Util.Json.Obj
+            [
+              ( "cores",
+                Util.Json.Num (float_of_int (Domain.recommended_domain_count ())) );
+              ("pool_workers", Util.Json.Num (float_of_int (Util.Parallel.pool_workers ())));
+              ( "pool",
+                Util.Json.Obj
+                  [
+                    ("dispatches", Util.Json.Num (float_of_int dispatches));
+                    ("per_dispatch_ns", Util.Json.Num per_dispatch_ns);
+                  ] );
+              ("records", Util.Json.List (List.map run_json !records));
+            ] );
+        ("metrics", metrics);
+      ]
+  in
+  let oc = open_out !out_file in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc (Util.Json.render doc);
+      output_char oc '\n');
+  Printf.printf "wrote %s\n" !out_file

@@ -1,7 +1,9 @@
 (* Schema check for the JSON this repository emits: the CLI's
    [--metrics-out FILE] registry dumps, the bench harness's
-   BENCH_galerkin.json ({"records": [...], "metrics": {...}}) and the
-   batch bench's BENCH_batch.json ({"batch": {...}, "metrics": {...}}).
+   BENCH_galerkin.json ({"records": [...], "metrics": {...}}), the
+   batch bench's BENCH_batch.json ({"batch": {...}, "metrics": {...}})
+   and the transient hot-path bench's BENCH_transient.json
+   ({"transient": {...}, "metrics": {...}}).
 
      validate_metrics.exe FILE...
 
@@ -130,15 +132,83 @@ let validate_batch (j : Util.Json.t) batch =
   | Some m -> validate_registry m
   | None -> fail "batch file lacks the \"metrics\" object"
 
+let validate_transient_record i (r : Util.Json.t) =
+  let int_field f =
+    match Option.bind (Util.Json.member f r) Util.Json.to_int with
+    | Some _ -> Ok ()
+    | None -> fail "transient record %d: missing integer %S" i f
+  in
+  let float_field f =
+    match Option.bind (Util.Json.member f r) Util.Json.to_float with
+    | Some _ -> Ok ()
+    | None -> fail "transient record %d: missing number %S" i f
+  in
+  let ( let* ) = Result.bind in
+  let* () = int_field "nodes" in
+  let* () = int_field "order" in
+  let* () = int_field "steps" in
+  let* () = int_field "domains" in
+  let* () = int_field "reps" in
+  let* () = int_field "pcg_iters" in
+  let* () = float_field "step_s" in
+  let* () = float_field "factor_s" in
+  let* () =
+    match Util.Json.member "warm_start" r with
+    | Some (Util.Json.Bool _) -> Ok ()
+    | _ -> fail "transient record %d: missing boolean \"warm_start\"" i
+  in
+  match Option.bind (Util.Json.member "solver" r) Util.Json.to_string with
+  | Some ("direct" | "pcg") -> Ok ()
+  | Some s -> fail "transient record %d: unknown solver %S" i s
+  | None -> fail "transient record %d: missing string \"solver\"" i
+
+let validate_transient (j : Util.Json.t) transient =
+  let ( let* ) = Result.bind in
+  let int_field f =
+    match Option.bind (Util.Json.member f transient) Util.Json.to_int with
+    | Some _ -> Ok ()
+    | None -> fail "\"transient\": missing integer %S" f
+  in
+  let* () = int_field "cores" in
+  let* () = int_field "pool_workers" in
+  let* () =
+    match Util.Json.member "pool" transient with
+    | Some pool -> (
+        match
+          ( Option.bind (Util.Json.member "dispatches" pool) Util.Json.to_int,
+            Option.bind (Util.Json.member "per_dispatch_ns" pool) Util.Json.to_float )
+        with
+        | Some _, Some _ -> Ok ()
+        | _ -> fail "\"transient\".\"pool\": needs \"dispatches\" and \"per_dispatch_ns\"")
+    | None -> fail "\"transient\": missing \"pool\" object"
+  in
+  let* () =
+    match Option.bind (Util.Json.member "records" transient) Util.Json.to_list with
+    | None -> fail "\"transient\": missing \"records\" array"
+    | Some [] -> fail "\"transient\": empty \"records\" array"
+    | Some rs ->
+        let rec go i = function
+          | [] -> Ok ()
+          | r :: rest -> Result.bind (validate_transient_record i r) (fun () -> go (i + 1) rest)
+        in
+        go 0 rs
+  in
+  match Util.Json.member "metrics" j with
+  | Some m -> validate_registry m
+  | None -> fail "transient file lacks the \"metrics\" object"
+
 let validate_file path =
   match Util.Json.parse_file path with
   | Error e -> fail "%s: JSON parse error: %s" path e
   | Ok j -> (
       let tag = Result.map_error (fun e -> Printf.sprintf "%s: %s" path e) in
-      match (Util.Json.member "records" j, Util.Json.member "batch" j) with
-      | Some records, _ -> tag (validate_bench j records)
-      | None, Some batch -> tag (validate_batch j batch)
-      | None, None -> tag (validate_registry j))
+      match
+        (Util.Json.member "records" j, Util.Json.member "batch" j, Util.Json.member "transient" j)
+      with
+      | Some records, _, _ -> tag (validate_bench j records)
+      | None, Some batch, _ -> tag (validate_batch j batch)
+      | None, None, Some transient -> tag (validate_transient j transient)
+      | None, None, None -> tag (validate_registry j))
 
 let () =
   let files = List.tl (Array.to_list Sys.argv) in

@@ -63,6 +63,15 @@ let log_level_arg r =
   Util.Args.enum [ "--log-level" ] ~doc:"Diagnostic verbosity on stderr: error, warn, info or debug."
     log_level_enum r
 
+let warm_start_enum = [ ("on", true); ("off", false) ]
+
+let warm_start_arg r =
+  Util.Args.enum [ "--warm-start" ]
+    ~doc:"Seed each transient step's iterative solve from the previous step (linearly \
+          extrapolated): on (default) or off (zero guess every step).  Only iteration counts \
+          change; converged results agree within solver tolerance."
+    warm_start_enum r
+
 let cache_dir_arg r =
   Util.Args.string_opt [ "--cache-dir" ] ~docv:"DIR"
     ~doc:"Artifact store for orderings, factors and tensors; warm runs skip setup entirely." r

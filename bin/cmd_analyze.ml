@@ -15,6 +15,7 @@ let run argv =
   and solver = ref (Opera.Galerkin.Mean_pcg { tol = 1e-10; max_iter = 500 })
   and domains = ref 0
   and policy = ref Opera.Galerkin.Warn
+  and warm_start = ref true
   and metrics_out = ref None
   and log_level = ref Util.Log.Warn
   and cache_dir = ref None
@@ -31,6 +32,7 @@ let run argv =
       Cli_common.solver_arg solver;
       Cli_common.domains_arg domains;
       Cli_common.policy_arg policy;
+      Cli_common.warm_start_arg warm_start;
       Cli_common.cache_dir_arg cache_dir;
       Cli_common.metrics_out_arg metrics_out;
       Cli_common.log_level_arg log_level;
@@ -73,7 +75,12 @@ let run argv =
     }
   in
   let config =
-    { Scenario.Engine.default_config with cache_dir = !cache_dir; domains = !domains }
+    {
+      Scenario.Engine.default_config with
+      cache_dir = !cache_dir;
+      domains = !domains;
+      warm_start = !warm_start;
+    }
   in
   let results, summary = Scenario.Engine.run ~config [| job |] in
   let response =

@@ -14,6 +14,7 @@ let run argv =
   and stream_out = ref None
   and dry_run = ref false
   and metrics_out = ref None
+  and warm_start = ref true
   and log_level = ref Util.Log.Warn in
   let args =
     [
@@ -29,6 +30,7 @@ let run argv =
         ~doc:"Only parse and plan: print the job groups sharing a factorization, solve nothing."
         dry_run;
       Cli_common.metrics_out_arg metrics_out;
+      Cli_common.warm_start_arg warm_start;
       Cli_common.log_level_arg log_level;
     ]
   in
@@ -75,6 +77,7 @@ let run argv =
                 jobs_parallel = !jobs_parallel;
                 domains = !domains;
                 metrics = Util.Metrics.global;
+                warm_start = !warm_start;
               }
             in
             let summary =

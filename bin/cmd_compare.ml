@@ -10,6 +10,7 @@ let run argv =
   and solver = ref (Opera.Galerkin.Mean_pcg { tol = 1e-10; max_iter = 500 })
   and domains = ref 0
   and policy = ref Opera.Galerkin.Warn
+  and warm_start = ref true
   and metrics_out = ref None
   and log_level = ref Util.Log.Warn in
   let args =
@@ -23,6 +24,7 @@ let run argv =
       Cli_common.solver_arg solver;
       Cli_common.domains_arg domains;
       Cli_common.policy_arg policy;
+      Cli_common.warm_start_arg warm_start;
       Cli_common.metrics_out_arg metrics_out;
       Cli_common.log_level_arg log_level;
     ]
@@ -44,6 +46,7 @@ let run argv =
       probes = [||];
       domains = !domains;
       policy = !policy;
+      warm_start = !warm_start;
     }
   in
   let outcome = Opera.Driver.run_grid config spec Opera.Varmodel.paper_default in

@@ -9,6 +9,7 @@ type config = {
   probes : int array;
   domains : int;  (* Util.Parallel.resolve convention: 0 = OPERA_DOMAINS *)
   policy : Galerkin.policy;  (* convergence policy for iterative solves *)
+  warm_start : bool;  (* seed per-step Krylov solves from the previous step *)
 }
 
 let default_config =
@@ -23,6 +24,7 @@ let default_config =
     probes = [||];
     domains = 0;
     policy = Galerkin.Warn;
+    warm_start = true;
   }
 
 type outcome = {
@@ -56,7 +58,7 @@ let solve_opera config model =
   let options =
     { Galerkin.default_options with
       Galerkin.solver = config.solver; ordering = config.ordering; probes = config.probes;
-      domains = config.domains; policy = config.policy }
+      domains = config.domains; policy = config.policy; warm_start = config.warm_start }
   in
   let t0 = Util.Timer.start () in
   let response, stats = Galerkin.solve_transient ~options model ~h:config.h ~steps:config.steps in

@@ -16,12 +16,16 @@ type config = {
   policy : Galerkin.policy;
       (** what an iterative solve does when it exhausts [max_iter]
           without converging ({!Galerkin.policy}; default [Warn]) *)
+  warm_start : bool;
+      (** seed per-step Krylov solves from the previous accepted step,
+          linearly extrapolated; see {!Galerkin.options} (default on) *)
 }
 
 val default_config : config
 (** Order-2 expansion, 1 ns clock sampled at h = 0.125 ns for 40 steps,
     300 MC samples, mean-block-preconditioned CG (the fastest accurate
-    configuration; see the solver ablation bench), [Warn] policy. *)
+    configuration; see the solver ablation bench), [Warn] policy,
+    warm starting on. *)
 
 type outcome = {
   label : string;

@@ -23,6 +23,12 @@ type options = {
   domains : int;
   policy : policy;
   metrics : Util.Metrics.t;
+  warm_start : bool;
+      (* Seed each transient step's Krylov solve from the previous
+         step's coefficients, linearly extrapolated once two steps
+         exist ([2 a_k - a_{k-1}]).  Off = zero initial guess every
+         step.  Affects only iteration counts, not the converged
+         solution (same tolerance either way). *)
 }
 
 let default_options =
@@ -34,6 +40,7 @@ let default_options =
     domains = 0;
     policy = Warn;
     metrics = Util.Metrics.global;
+    warm_start = true;
   }
 
 type stats = {
@@ -99,6 +106,10 @@ let mean_block_preconditioner ?(domains = 0) ?(metrics = Util.Metrics.global)
   let n = m.n in
   let d = Util.Parallel.resolve domains in
   let chunks = Int.max 1 (Int.min d size) in
+  (* Parallelism goes across blocks first; when only one chunk exists
+     (a single-block basis) the spare domains instead level-schedule
+     the triangular sweeps inside the nominal-factor solve. *)
+  let inner_domains = if chunks > 1 then 1 else d in
   let z = Array.make (size * n) 0.0 in
   let block = Array.init chunks (fun _ -> Array.make n 0.0) in
   let work = Array.init chunks (fun _ -> Array.make n 0.0) in
@@ -111,7 +122,8 @@ let mean_block_preconditioner ?(domains = 0) ?(metrics = Util.Metrics.global)
             for j = lo to hi - 1 do
               let base = j * n in
               Array.blit r base blk 0 n;
-              Linalg.Sparse_cholesky.solve_in_place_ws nominal_factor ~work:wk blk;
+              Linalg.Sparse_cholesky.solve_in_place_ws nominal_factor ~domains:inner_domains
+                ~work:wk blk;
               let s = inv_gamma.(j) in
               for i = 0 to n - 1 do
                 z.(base + i) <- blk.(i) *. s
@@ -145,6 +157,10 @@ let block_ordering ?(kind = Linalg.Ordering.Nested_dissection) (m : Stochastic_m
 let apply_policy ~policy ~metrics ~agg ~context ~fallback x (report : Linalg.Solve_report.t) =
   Linalg.Solve_report.agg_add agg report;
   Util.Metrics.incr ~by:report.Linalg.Solve_report.iterations metrics "galerkin.pcg_iterations";
+  (* Per-solve iteration distribution: this is where the warm-start
+     win (fewer iterations per transient step) becomes observable. *)
+  Util.Metrics.observe metrics "galerkin.pcg_iters_per_solve"
+    (float_of_int report.Linalg.Solve_report.iterations);
   if report.Linalg.Solve_report.converged then x
   else begin
     Util.Metrics.incr metrics "galerkin.pcg_unconverged";
@@ -219,6 +235,34 @@ let solve_dc ?(options = default_options) (m : Stochastic_model.t) =
         ~fallback:(fun () -> direct_gt_solve (assemble_g m) ())
         x report
 
+(* Warm-started stepping state shared by the iterative transient
+   branches.  [guess] is the in/out buffer handed to the allocation-free
+   CG: zero when warm starting is off, the previous accepted solution on
+   the first step, and the linear extrapolation [2 a_k - a_{k-1}] once
+   two accepted solutions exist.  [accept] rotates the accepted solution
+   into [a]/[a_prev].  The extrapolated seed only changes where the
+   Krylov iteration *starts* — the tolerance test is unchanged, so
+   converged answers agree with cold starts within solver tolerance. *)
+let warm_stepper ~warm_start ~dim a =
+  let ws = Linalg.Cg.workspace_create dim in
+  let guess = Array.make dim 0.0 in
+  let a_prev = Array.make dim 0.0 in
+  let have_prev = ref false in
+  let prepare () =
+    if not warm_start then Linalg.Vec.fill guess 0.0
+    else if !have_prev then
+      for i = 0 to dim - 1 do
+        guess.(i) <- (2.0 *. a.(i)) -. a_prev.(i)
+      done
+    else Array.blit a 0 guess 0 dim
+  in
+  let accept x =
+    Array.blit a 0 a_prev 0 dim;
+    have_prev := true;
+    Array.blit x 0 a 0 dim
+  in
+  (ws, guess, prepare, accept)
+
 let solve_transient ?(options = default_options) (m : Stochastic_model.t) ~h ~steps =
   if h <= 0.0 then invalid_arg "Galerkin.solve_transient: step must be positive";
   let size = Polychaos.Basis.size m.basis in
@@ -270,9 +314,13 @@ let solve_transient ?(options = default_options) (m : Stochastic_model.t) ~h ~st
         nnz_factor := Linalg.Sparse_cholesky.nnz_l f;
         rhs_into m ~drain_buf 0.0 rhs;
         let a = Linalg.Sparse_cholesky.solve fdc rhs in
+        (* Assembled-direct stepping goes through the level-scheduled
+           triangular sweeps when domains allow (bitwise identical to
+           the sequential sweeps either way). *)
+        let step_work = Array.make dim 0.0 in
         let step_of () =
           Array.blit rhs 0 a 0 dim;
-          Linalg.Sparse_cholesky.solve_in_place f a
+          Linalg.Sparse_cholesky.solve_in_place_ws f ~domains:options.domains ~work:step_work a
         in
         (a, step_of, Linalg.Sparse.mul_vec_into ct, Linalg.Sparse.mul_vec_into gt,
          Linalg.Sparse.nnz mt)
@@ -311,17 +359,26 @@ let solve_transient ?(options = default_options) (m : Stochastic_model.t) ~h ~st
             a0 report0
         in
         let a = Array.copy a in
+        let ws, guess, prepare_guess, accept =
+          warm_stepper ~warm_start:options.warm_start ~dim a
+        in
+        let mv = Array.make dim 0.0 in
+        let matvec_mt x =
+          Linalg.Sparse.mul_vec_into mt x mv;
+          mv
+        in
         let step_of () =
-          let x, report =
-            Linalg.Cg.solve_report ~precond ~max_iter ~tol ~matvec:(Linalg.Sparse.mul_vec mt)
-              ~b:rhs ~x0:a ()
+          prepare_guess ();
+          let report =
+            Linalg.Cg.solve_report_in_place ~precond ~max_iter ~tol ~ws ~matvec:matvec_mt
+              ~b:rhs ~x:guess ()
           in
           let x =
             apply_policy ~policy ~metrics ~agg ~context:(step_context "mean-pcg")
               ~fallback:(fun () -> Linalg.Sparse_cholesky.solve (Lazy.force direct_step) rhs)
-              x report
+              guess report
           in
-          Array.blit x 0 a 0 dim
+          accept x
         in
         (a, step_of, Linalg.Sparse.mul_vec_into ct, Linalg.Sparse.mul_vec_into gt,
          Linalg.Sparse.nnz mt)
@@ -381,16 +438,21 @@ let solve_transient ?(options = default_options) (m : Stochastic_model.t) ~h ~st
             a0 report0
         in
         let a = Array.copy a in
+        let ws, guess, prepare_guess, accept =
+          warm_stepper ~warm_start:options.warm_start ~dim a
+        in
         let step_of () =
-          let x, report =
-            Linalg.Cg.solve_report ~precond ~max_iter ~tol ~matvec:matvec_mt ~b:rhs ~x0:a ()
+          prepare_guess ();
+          let report =
+            Linalg.Cg.solve_report_in_place ~precond ~max_iter ~tol ~ws ~matvec:matvec_mt
+              ~b:rhs ~x:guess ()
           in
           let x =
             apply_policy ~policy ~metrics ~agg ~context:(step_context "matrix-free-pcg")
               ~fallback:(fun () -> Linalg.Sparse_cholesky.solve (Lazy.force direct_step) rhs)
-              x report
+              guess report
           in
-          Array.blit x 0 a 0 dim
+          accept x
         in
         (a, step_of, Galerkin_op.apply_into op_ct, Galerkin_op.apply_into op_gt,
          Galerkin_op.nnz op_mt)

@@ -59,14 +59,24 @@ type options = {
   metrics : Util.Metrics.t;
       (** registry receiving the per-phase counters and timers
           ([galerkin.assemble_s], [galerkin.factor_s], [galerkin.step_s],
-          [galerkin.precond_s], [galerkin.pcg_iterations], ...); defaults
-          to {!Util.Metrics.global}.  Updated from the calling domain
+          [galerkin.precond_s], [galerkin.pcg_iterations], the per-solve
+          [galerkin.pcg_iters_per_solve] histogram, ...); defaults to
+          {!Util.Metrics.global}.  Updated from the calling domain
           only. *)
+  warm_start : bool;
+      (** seed each transient step's Krylov solve from the previous
+          accepted coefficients, linearly extrapolated ([2 a_k -
+          a_{k-1}]) once two steps exist; [false] restarts every step
+          from a zero guess.  Changes only where the iteration starts —
+          the convergence test is unchanged, so results agree with cold
+          starts within solver tolerance while using (typically far)
+          fewer iterations per step.  Ignored by the [Direct] solver. *)
 }
 
 val default_options : options
 (** Direct solver, nested-dissection ordering, no probes, backward
-    Euler, domains from the environment, [Warn] policy, global metrics. *)
+    Euler, domains from the environment, [Warn] policy, global metrics,
+    warm starting on. *)
 
 type stats = {
   aug_dim : int;  (** (N+1) * n *)

@@ -85,6 +85,10 @@ let run_decoupled ?(domains = 0) ?(metrics = Util.Metrics.global) ?factors t ~h 
   let coefs = Array.make (size * n) 0.0 in
   let d = Util.Parallel.resolve domains in
   let chunks = Int.max 1 (Int.min d size) in
+  (* Blocks are decoupled, so parallelism goes across blocks first;
+     with a single block the spare domains level-schedule the
+     triangular sweeps inside each factor solve instead. *)
+  let inner_domains = if chunks > 1 then 1 else d in
   let u_bufs = Array.init chunks (fun _ -> Linalg.Vec.create n) in
   let work_bufs = Array.init chunks (fun _ -> Linalg.Vec.create n) in
   let fill_u u_k k =
@@ -103,7 +107,7 @@ let run_decoupled ?(domains = 0) ?(metrics = Util.Metrics.global) ?factors t ~h 
       for k = lo to hi - 1 do
         fill_u u_k k;
         Array.blit u_k 0 x.(k) 0 n;
-        Linalg.Sparse_cholesky.solve_in_place_ws fdc ~work x.(k);
+        Linalg.Sparse_cholesky.solve_in_place_ws fdc ~domains:inner_domains ~work x.(k);
         Array.blit x.(k) 0 coefs (k * n) n
       done);
   record 0 coefs;
@@ -120,7 +124,7 @@ let run_decoupled ?(domains = 0) ?(metrics = Util.Metrics.global) ?factors t ~h 
              stage u_k, then accumulate the capacitance product. *)
           Linalg.Sparse.mul_vec_acc ~alpha:(1.0 /. h) c xk u_k;
           Array.blit u_k 0 xk 0 n;
-          Linalg.Sparse_cholesky.solve_in_place_ws fbe ~work xk;
+          Linalg.Sparse_cholesky.solve_in_place_ws fbe ~domains:inner_domains ~work xk;
           Array.blit xk 0 coefs (k * n) n
         done);
     ignore (Util.Metrics.stop_span metrics "special.step_s" span);

@@ -108,25 +108,45 @@ let history_to_array h =
     let start = if h.count < h.cap then 0 else h.next in
     Array.init h.count (fun i -> h.data.((start + i) mod h.cap))
 
-let solve_report ?(precond = identity_preconditioner) ?max_iter ?(tol = 1e-10)
-    ?(history_cap = 0) ~matvec ~b ~x0 () =
+type workspace = { ws_r : Vec.t; ws_p : Vec.t }
+
+let workspace_create n = { ws_r = Vec.create n; ws_p = Vec.create n }
+
+let workspace_dim ws = Array.length ws.ws_r
+
+(* Allocation-free PCG: the caller owns the solution buffer [x] (initial
+   guess on entry, solution on exit) and the residual/direction scratch
+   [ws], so a transient loop running 50+ solves per run allocates
+   nothing per step.  [matvec] and [precond] may return shared internal
+   buffers, valid until their next call — both are consumed immediately.
+   The iteration is operation-for-operation the one in {!solve_report},
+   so the two produce bitwise-identical solutions and reports. *)
+let solve_report_in_place ?(precond = identity_preconditioner) ?max_iter ?(tol = 1e-10)
+    ?(history_cap = 0) ~ws ~matvec ~b ~x () =
   let t0 = Util.Timer.start () in
   let n = Array.length b in
+  if Array.length x <> n then invalid_arg "Cg.solve_report_in_place: x/b dimension mismatch";
+  if workspace_dim ws <> n then
+    invalid_arg "Cg.solve_report_in_place: workspace dimension mismatch";
   let bnorm = Vec.norm2 b in
-  if Util.Floats.is_zero bnorm then
+  if Util.Floats.is_zero bnorm then begin
     (* The exact solution of an SPD system with a zero right-hand side is
        zero: return it outright instead of iterating against a zero
        target (which could never be met from a nonzero initial guess). *)
-    ( Array.make n 0.0,
-      Solve_report.make ~solver:"cg" ~iterations:0 ~residual_norm:0.0 ~rhs_norm:0.0 ~tol
-        ~converged:true ~wall_seconds:(Util.Timer.elapsed_s t0) () )
+    Vec.fill x 0.0;
+    Solve_report.make ~solver:"cg" ~iterations:0 ~residual_norm:0.0 ~rhs_norm:0.0 ~tol
+      ~converged:true ~wall_seconds:(Util.Timer.elapsed_s t0) ()
+  end
   else begin
     let max_iter = match max_iter with Some m -> m | None -> Int.max 100 (10 * n) in
-    let x = Array.copy x0 in
-    let r = Vec.sub b (matvec x) in
+    let r = ws.ws_r and p = ws.ws_p in
+    let ax = matvec x in
+    for i = 0 to n - 1 do
+      r.(i) <- b.(i) -. ax.(i)
+    done;
     let target = tol *. bnorm in
     let z = precond r in
-    let p = Array.copy z in
+    Array.blit z 0 p 0 n;
     let rz = ref (Vec.dot r z) in
     let iter = ref 0 in
     let rnorm = ref (Vec.norm2 r) in
@@ -150,11 +170,18 @@ let solve_report ?(precond = identity_preconditioner) ?max_iter ?(tol = 1e-10)
         done
       end
     done;
-    ( x,
-      Solve_report.make ~solver:"cg" ~iterations:!iter ~residual_norm:!rnorm ~rhs_norm:bnorm
-        ~tol ~converged:(!rnorm <= target) ~wall_seconds:(Util.Timer.elapsed_s t0)
-        ~residual_history:(history_to_array hist) () )
+    Solve_report.make ~solver:"cg" ~iterations:!iter ~residual_norm:!rnorm ~rhs_norm:bnorm
+      ~tol ~converged:(!rnorm <= target) ~wall_seconds:(Util.Timer.elapsed_s t0)
+      ~residual_history:(history_to_array hist) ()
   end
+
+let solve_report ?precond ?max_iter ?tol ?history_cap ~matvec ~b ~x0 () =
+  let x = Array.copy x0 in
+  let ws = workspace_create (Array.length b) in
+  let report =
+    solve_report_in_place ?precond ?max_iter ?tol ?history_cap ~ws ~matvec ~b ~x ()
+  in
+  (x, report)
 
 let stats_of_report (r : Solve_report.t) =
   {

@@ -55,6 +55,37 @@ val solve_report :
     bounded ring buffer, oldest first, starting with the initial
     residual). *)
 
+type workspace
+(** Reusable residual/direction scratch for {!solve_report_in_place}. *)
+
+val workspace_create : int -> workspace
+(** [workspace_create n] allocates scratch for systems of dimension [n]. *)
+
+val workspace_dim : workspace -> int
+
+val solve_report_in_place :
+  ?precond:preconditioner ->
+  ?max_iter:int ->
+  ?tol:float ->
+  ?history_cap:int ->
+  ws:workspace ->
+  matvec:(Vec.t -> Vec.t) ->
+  b:Vec.t ->
+  x:Vec.t ->
+  unit ->
+  Solve_report.t
+(** Allocation-free variant of {!solve_report}: [x] holds the initial
+    guess on entry and is overwritten with the solution; residual and
+    search-direction scratch live in [ws].  A transient loop calling
+    this once per step allocates nothing — the per-step [Array.copy] of
+    the guess that {!solve_report} performs is exactly the garbage this
+    variant exists to remove.  [matvec] and [precond] may return shared
+    internal buffers (each result is consumed before the next call).
+    The iteration is operation-for-operation identical to
+    {!solve_report}, so solutions and reports are bitwise equal given
+    equal inputs.  Raises [Invalid_argument] on dimension mismatch
+    between [b], [x] and [ws]. *)
+
 val stats_of_report : Solve_report.t -> stats
 (** Project a report onto the legacy {!stats} triple. *)
 

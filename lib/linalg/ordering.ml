@@ -17,8 +17,12 @@ let adjacency a =
 (* --- Reverse Cuthill–McKee ------------------------------------------- *)
 
 let bfs_levels adj start visited =
-  (* Returns the BFS levels from [start] over unvisited nodes, without
-     marking [visited]. *)
+  (* Returns the BFS levels from [start] over unvisited nodes —
+     DEEPEST level first — without marking [visited].  The
+     deepest-first order lets the pseudo-peripheral search read the
+     last frontier as [List.hd] instead of an O(levels) [List.nth]
+     (which made the whole refinement loop quadratic in the graph
+     diameter — painful on long thin grids). *)
   let seen = Hashtbl.create 64 in
   Hashtbl.replace seen start ();
   let rec go frontier levels =
@@ -34,7 +38,7 @@ let bfs_levels adj start visited =
                  end))
         frontier
     in
-    if next = [] then List.rev (frontier :: levels) else go next (frontier :: levels)
+    if next = [] then frontier :: levels else go next (frontier :: levels)
   in
   go [ start ] []
 
@@ -46,7 +50,8 @@ let pseudo_peripheral adj visited start =
     let ecc' = List.length levels in
     if ecc' <= ecc then v
     else
-      let last = List.nth levels (ecc' - 1) in
+      (* [bfs_levels] lists levels deepest first. *)
+      let last = List.hd levels in
       let best =
         List.fold_left (fun acc u -> if degree u < degree acc then u else acc) (List.hd last) last
       in

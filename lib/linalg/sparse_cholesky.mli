@@ -28,11 +28,23 @@ val solve_in_place : t -> Vec.t -> unit
     NOT safe for concurrent use of one factor from several domains (the
     workspace is shared); use {!solve_in_place_ws} there. *)
 
-val solve_in_place_ws : t -> work:Vec.t -> Vec.t -> unit
+val solve_in_place_ws : t -> ?domains:int -> work:Vec.t -> Vec.t -> unit
 (** [solve_in_place_ws f ~work b] is {!solve_in_place} with a
     caller-provided workspace of length {!dim}.  One factor may serve many
     domains concurrently as long as every domain passes its own [work]
-    buffer — the factor itself is only read. *)
+    buffer — the factor itself is only read.
+
+    [domains] (default [1] = sequential) selects the level-scheduled
+    triangular sweeps when it resolves to more than one domain: rows of
+    [L] (and columns of [L^T]) are grouped into dependency levels at
+    factorization time and each level is swept with disjoint-slice
+    kernels over {!Util.Parallel.for_chunks}, fusing the permutation
+    passes into the sweeps.  Results are bitwise identical to the
+    sequential path for every domain count; [0] defers to
+    [OPERA_DOMAINS] as everywhere else.  Nested inside an already
+    parallel region the sweeps degrade to inline execution (see
+    {!Util.Parallel.for_chunks}), so passing the ambient domain count
+    from block-parallel callers is always safe. *)
 
 val encode : t -> Util.Codec.encoder -> unit
 (** Serialize the factor (permutation + CSC arrays of [L]) for the
@@ -52,3 +64,4 @@ val dim : t -> int
 
 val permutation : t -> Perm.t
 (** The fill-reducing permutation used (elimination order of old indices). *)
+

@@ -5,10 +5,17 @@ type config = {
   jobs_parallel : int;
   domains : int;
   metrics : Util.Metrics.t;
+  warm_start : bool;
 }
 
 let default_config =
-  { cache_dir = None; jobs_parallel = 1; domains = 0; metrics = Util.Metrics.global }
+  {
+    cache_dir = None;
+    jobs_parallel = 1;
+    domains = 0;
+    metrics = Util.Metrics.global;
+    warm_start = true;
+  }
 
 type result = { job : Job.t; record : Util.Json.t; response : Opera.Response.t option }
 
@@ -354,7 +361,7 @@ let yield_fields response ~vdd ~steps ~budget_pct =
    allocation pattern of Galerkin.solve_transient's Direct route with
    the factorizations replaced by workspace-explicit applications of the
    shared, read-only factors. *)
-let direct_transient (ctx : galerkin_ctx) (job : Job.t) ~probe reg =
+let direct_transient (ctx : galerkin_ctx) (job : Job.t) ~probe ~inner reg =
   let model = scaled_model ctx job in
   let n = model.Opera.Stochastic_model.n in
   let basis = model.Opera.Stochastic_model.basis in
@@ -374,7 +381,7 @@ let direct_transient (ctx : galerkin_ctx) (job : Job.t) ~probe reg =
   let work = Array.make dim 0.0 in
   let a = Array.make dim 0.0 in
   Opera.Galerkin.rhs_into model ~drain_buf 0.0 a;
-  Linalg.Sparse_cholesky.solve_in_place_ws fdc ~work a;
+  Linalg.Sparse_cholesky.solve_in_place_ws fdc ~domains:inner ~work a;
   Opera.Response.record_step response ~step:0 ~coefs:a;
   for k = 1 to job.steps do
     let t = float_of_int k *. job.h in
@@ -385,12 +392,14 @@ let direct_transient (ctx : galerkin_ctx) (job : Job.t) ~probe reg =
     done;
     Util.Metrics.span reg "engine.step_s" (fun () ->
         Array.blit rhs 0 a 0 dim;
-        Linalg.Sparse_cholesky.solve_in_place_ws f ~work a);
+        (* Level-scheduled sweeps when the job owns spare domains;
+           bitwise identical to the sequential path. *)
+        Linalg.Sparse_cholesky.solve_in_place_ws f ~domains:inner ~work a);
     Opera.Response.record_step response ~step:k ~coefs:a
   done;
   response
 
-let direct_dc (ctx : galerkin_ctx) (job : Job.t) reg =
+let direct_dc (ctx : galerkin_ctx) (job : Job.t) ~inner reg =
   let model = scaled_model ctx job in
   let n = model.Opera.Stochastic_model.n in
   let size = Polychaos.Basis.size model.Opera.Stochastic_model.basis in
@@ -401,10 +410,10 @@ let direct_dc (ctx : galerkin_ctx) (job : Job.t) reg =
   let work = Array.make dim 0.0 in
   Opera.Galerkin.rhs_into model ~drain_buf 0.0 coefs;
   Util.Metrics.span reg "engine.step_s" (fun () ->
-      Linalg.Sparse_cholesky.solve_in_place_ws fdc ~work coefs);
+      Linalg.Sparse_cholesky.solve_in_place_ws fdc ~domains:inner ~work coefs);
   coefs
 
-let galerkin_options (job : Job.t) reg ~probe ~inner =
+let galerkin_options (job : Job.t) reg ~probe ~inner ~warm_start =
   {
     Opera.Galerkin.default_options with
     Opera.Galerkin.solver = job.solver;
@@ -412,28 +421,29 @@ let galerkin_options (job : Job.t) reg ~probe ~inner =
     domains = inner;
     policy = job.policy;
     metrics = reg;
+    warm_start;
   }
 
-let run_galerkin_job (ctx : galerkin_ctx) (job : Job.t) reg ~inner =
+let run_galerkin_job (ctx : galerkin_ctx) (job : Job.t) reg ~inner ~warm_start =
   let n = ctx.model.Opera.Stochastic_model.n in
   let probe = resolve_probe job ctx.gspec n in
   let vdd = ctx.gvdd in
   match (job.analysis, ctx.fdc) with
   | Job.Dc, Some _ ->
-      let coefs = direct_dc ctx job reg in
+      let coefs = direct_dc ctx job ~inner reg in
       (dc_record job ~vdd ~model:ctx.model ~probe coefs, None)
   | Job.Dc, None ->
       let model = scaled_model ctx job in
-      let options = galerkin_options job reg ~probe ~inner in
+      let options = galerkin_options job reg ~probe ~inner ~warm_start in
       let coefs = Opera.Galerkin.solve_dc ~options model in
       (dc_record job ~vdd ~model ~probe coefs, None)
   | (Job.Transient | Job.Yield _), _ ->
       let response =
         match ctx.fdc with
-        | Some _ -> direct_transient ctx job ~probe reg
+        | Some _ -> direct_transient ctx job ~probe ~inner reg
         | None ->
             let model = scaled_model ctx job in
-            let options = galerkin_options job reg ~probe ~inner in
+            let options = galerkin_options job reg ~probe ~inner ~warm_start in
             let response, _stats =
               Opera.Galerkin.solve_transient ~options model ~h:job.h ~steps:job.steps
             in
@@ -487,11 +497,11 @@ let run_special_job (ctx : special_ctx) (job : Job.t) reg ~inner =
   in
   (base_fields job ~probe fields, Some response)
 
-let run_job ctx job reg ~inner =
+let run_job ctx job reg ~inner ~warm_start =
   Util.Metrics.incr reg "engine.jobs";
   Util.Metrics.span reg "engine.job_s" (fun () ->
       match ctx with
-      | Galerkin_ctx g -> run_galerkin_job g job reg ~inner
+      | Galerkin_ctx g -> run_galerkin_job g job reg ~inner ~warm_start
       | Special_ctx s -> run_special_job s job reg ~inner)
 
 (* ---- batch execution ------------------------------------------------- *)
@@ -546,7 +556,13 @@ let run ?(config = default_config) jobs =
   let out = Array.make njobs None in
   Util.Parallel.for_chunks ~domains:jp njobs (fun ~chunk:_ ~lo ~hi ->
       for i = lo to hi - 1 do
-        out.(i) <- Some (run_job (Option.get ctx_of.(i)) jobs.(i) regs.(i) ~inner)
+        (* Disjoint by construction: job [i] writes only slot [i], and
+           each job owns its private metrics registry [regs.(i)]. *)
+        (* opera-lint: race *)
+        out.(i) <-
+          Some
+            (run_job (Option.get ctx_of.(i)) jobs.(i) regs.(i) ~inner
+               ~warm_start:config.warm_start)
       done);
   Array.iter (fun reg -> Util.Metrics.merge_into reg ~into:metrics) regs;
   let results =

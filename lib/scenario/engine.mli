@@ -38,11 +38,16 @@ type config = {
       (** receives [engine.factorizations], [engine.jobs],
           [engine.group_setup_s], [engine.step_s], the [store.*]
           counters, and every per-job registry (merged post-join) *)
+  warm_start : bool;
+      (** seed each transient step's Krylov solve from the previous
+          step (with linear extrapolation) for iterative jobs; see
+          {!Opera.Galerkin.options}.  Does not affect records of
+          converged runs beyond iteration counts. *)
 }
 
 val default_config : config
 (** No cache, sequential jobs, inner domains from the environment,
-    global metrics. *)
+    global metrics, warm starting on. *)
 
 type result = {
   job : Job.t;

@@ -41,7 +41,7 @@ let records_of results =
 
 let run ?cache_dir ?(jobs_parallel = 1) ?metrics jobs =
   let metrics = match metrics with Some m -> m | None -> Util.Metrics.create () in
-  let config = { Engine.cache_dir; jobs_parallel; domains = 1; metrics } in
+  let config = { Engine.cache_dir; jobs_parallel; domains = 1; metrics; warm_start = true } in
   Engine.run ~config jobs
 
 (* --- planning ------------------------------------------------------- *)

@@ -96,10 +96,15 @@ type config = {
 let default_config =
   {
     unsafe_allowlist = [ "sparse.ml" ];
-    (* The PR-1 domain-parallel kernels plus the batch engine: every
-       captured-array write is a disjoint slice indexed by the parallel
-       chunk/block/job index. *)
-    race_allowlist = [ "galerkin.ml"; "galerkin_op.ml"; "special_case.ml"; "engine.ml" ];
+    (* The domain-parallel kernels: every captured-array write is a
+       disjoint slice indexed by the parallel chunk/block/row index —
+       the PR-1 Galerkin kernels plus the level-scheduled triangular
+       sweeps ([sparse_cholesky.ml]: each level writes [work]/[b] only
+       at its own rows, and the permutation keeps the [b] slots
+       disjoint).  The batch engine is deliberately NOT here: its one
+       fan-out closure carries an inline [(* opera-lint: race *)]
+       waiver instead of a whole-file exemption. *)
+    race_allowlist = [ "galerkin.ml"; "galerkin_op.ml"; "special_case.ml"; "sparse_cholesky.ml" ];
     check_mli = true;
   }
 
