@@ -1,4 +1,4 @@
-.PHONY: all build test ci lint lint-json bench bench-quick bench-paper bench-galerkin bench-metrics bench-batch bench-transient examples clean help
+.PHONY: all build test ci lint lint-json bench bench-quick bench-paper bench-galerkin bench-metrics bench-batch bench-transient bench-st examples clean help
 
 all: build
 
@@ -9,7 +9,7 @@ help:
 	@echo "  lint           opera-lint static analysis over lib/ and tools/ (R1-R5; exit 1 on unwaived findings)"
 	@echo "  lint-json      lint + deterministic machine-readable report in LINT_report.json"
 	@echo "  ci             format check, lint, strict-warning build (--profile ci), tests"
-	@echo "  bench*         benchmark drivers (bench, bench-quick, bench-paper, bench-galerkin, bench-metrics, bench-batch, bench-transient)"
+	@echo "  bench*         benchmark drivers (bench, bench-quick, bench-paper, bench-galerkin, bench-metrics, bench-batch, bench-transient, bench-st)"
 	@echo "  examples       run every example binary"
 	@echo "  clean          dune clean"
 	@echo ""
@@ -50,8 +50,9 @@ ci:
 	dune build @all --profile ci
 	dune runtest --profile ci
 	dune exec bench/transient_bench.exe -- --quick --out transient_smoke.json > /dev/null
-	dune exec bench/validate_metrics.exe -- transient_smoke.json
-	rm -f transient_smoke.json
+	dune exec bench/st_bench.exe -- --quick --out st_smoke.json > /dev/null
+	dune exec bench/validate_metrics.exe -- transient_smoke.json st_smoke.json
+	rm -f transient_smoke.json st_smoke.json
 
 test-verbose:
 	dune runtest --force --no-buffer
@@ -87,6 +88,16 @@ bench-transient:
 	dune build bench/transient_bench.exe bench/validate_metrics.exe
 	dune exec bench/transient_bench.exe
 	dune exec bench/validate_metrics.exe -- BENCH_transient.json
+
+# Stochastic-testing backend head-to-head: st vs matrix-free PCG vs
+# assembled-direct transients over chaos orders 2-5 on the flagship
+# grid.  The bench asserts the moment-drift bounds and the crossover
+# order (st must beat matrix-free pcg from order 3 on), and the JSON is
+# schema-checked, moment bounds included.
+bench-st:
+	dune build bench/st_bench.exe bench/validate_metrics.exe
+	dune exec bench/st_bench.exe
+	dune exec bench/validate_metrics.exe -- BENCH_st.json
 
 bench-metrics:
 	dune build bin/opera_cli.exe bench/main.exe bench/validate_metrics.exe

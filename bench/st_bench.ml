@@ -1,0 +1,259 @@
+(* Stochastic-testing backend bench: decoupled point solves vs the
+   coupled solvers.
+
+   For each chaos order the same flagship-grid model is stepped through
+   three backends:
+
+     st           N+1 decoupled point transients on per-point factors
+                  (Opera.St_solver, sequential fan-out)
+     matrix-free  coupled PCG, operator applied from the per-rank
+                  matrices, warm-started
+     direct       assembled augmented system, one big factorization
+
+   and writes BENCH_st.json:
+
+     { "st": { "nodes": N, "steps": S, "crossover_order": O,
+         "records": [
+           { "order": P, "basis": N+1, "points": N+1,
+             "st_factor_s": ..., "st_step_s": ..., "st_total_s": ...,
+             "refine_sweeps": ..., "refine_fallbacks": ...,
+             "pcg_total_s": ..., "pcg_iters": ...,
+             "direct_total_s": ..., "speedup_vs_pcg": ...,
+             "mean_drift": ..., "std_drift_rel": ... }, ... ] },
+       "metrics": { ... } }
+
+   validated by validate_metrics.exe (the `make bench-st` target).  The
+   bench *asserts* the backend's contracts — ST moments track the
+   coupled direct solution within chaos-truncation tolerance (means to
+   5e-4 V, sigmas to 8% of the peak sigma), the DC refinement stays
+   healthy, and on the full run the crossover order (first order where
+   ST beats matrix-free PCG wall-clock) is <= 3 with ST winning at every
+   order from there on — so a backend regression fails the target
+   rather than just skewing the numbers.  Timings take the best of
+   [--reps] runs to damp scheduler noise. *)
+
+let nodes = ref 1000
+let orders = ref [ 2; 3; 4; 5 ]
+let steps = ref 24
+let reps = ref 3
+let quick = ref false
+let out_file = ref "BENCH_st.json"
+
+let die fmt = Printf.ksprintf (fun s -> prerr_endline ("st_bench: " ^ s); exit 1) fmt
+
+type run = {
+  order : int;
+  basis : int;
+  points : int;
+  st_factor_s : float;
+  st_step_s : float;
+  st_total_s : float;
+  refine_sweeps : int;
+  refine_fallbacks : int;
+  pcg_total_s : float;
+  pcg_iters : int;
+  direct_total_s : float;
+  mean_drift : float;
+  std_drift_rel : float;
+}
+
+let best_of f =
+  let best = ref infinity and keep = ref None in
+  for _ = 1 to Int.max 1 !reps do
+    let t0 = Util.Timer.start () in
+    let r = f () in
+    let elapsed = Util.Timer.elapsed_s t0 in
+    if elapsed < !best then begin
+      best := elapsed;
+      keep := Some r
+    end
+  done;
+  (Option.get !keep, !best)
+
+let galerkin_options ~probes ~solver =
+  {
+    Opera.Galerkin.default_options with
+    Opera.Galerkin.solver;
+    ordering = Linalg.Ordering.Nested_dissection;
+    probes;
+    domains = 1;
+    policy = Opera.Galerkin.Fail;
+    warm_start = true;
+  }
+
+let max_abs_diff (a : float array) (b : float array) =
+  let m = ref 0.0 in
+  Array.iteri (fun i x -> m := Float.max !m (Float.abs (x -. b.(i)))) a;
+  !m
+
+(* sigma drift relative to the peak sigma of the reference — the sigmas
+   themselves are sub-mV, so an absolute bound would be vacuous. *)
+let std_drift_rel (a : Opera.Response.t) (b : Opera.Response.t) =
+  let std v = Array.map (fun x -> sqrt (Float.max 0.0 x)) v in
+  let sa = std a.Opera.Response.variance and sb = std b.Opera.Response.variance in
+  let peak = Array.fold_left Float.max 0.0 sb in
+  if peak <= 0.0 then 0.0 else max_abs_diff sa sb /. peak
+
+let () =
+  let rec parse = function
+    | [] -> ()
+    | "--quick" :: rest ->
+        quick := true;
+        nodes := 240;
+        orders := [ 2; 3 ];
+        steps := 6;
+        reps := 1;
+        parse rest
+    | "--steps" :: v :: rest ->
+        steps := int_of_string v;
+        parse rest
+    | "--reps" :: v :: rest ->
+        reps := int_of_string v;
+        parse rest
+    | "--out" :: v :: rest ->
+        out_file := v;
+        parse rest
+    | arg :: _ ->
+        Printf.eprintf "st_bench: unknown argument %s\n" arg;
+        exit 2
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  let spec = Powergrid.Grid_spec.scale_to_nodes Powergrid.Grid_spec.default !nodes in
+  let circuit = Powergrid.Grid_gen.generate spec in
+  let probes = [| Powergrid.Grid_gen.center_node spec |] in
+  let vm = Opera.Varmodel.paper_default in
+  let h = 125e-12 in
+  let records = ref [] in
+  List.iter
+    (fun order ->
+      Printf.printf "%d nodes, order %d, %d steps:\n%!" !nodes order !steps;
+      let model =
+        Opera.Stochastic_model.build ~order vm ~vdd:spec.Powergrid.Grid_spec.vdd circuit
+      in
+      let basis = Polychaos.Basis.size model.Opera.Stochastic_model.basis in
+      let st_options = { Opera.St_solver.default_options with Opera.St_solver.probes; domains = 1 } in
+      let (st_resp, st_stats), st_total_s =
+        best_of (fun () -> Opera.St_solver.solve_transient ~options:st_options model ~h ~steps:!steps)
+      in
+      let (pcg_resp, pcg_stats), pcg_total_s =
+        best_of (fun () ->
+            Opera.Galerkin.solve_transient
+              ~options:
+                (galerkin_options ~probes
+                   ~solver:(Opera.Galerkin.Matrix_free_pcg { tol = 1e-10; max_iter = 500 }))
+              model ~h ~steps:!steps)
+      in
+      let (direct_resp, _), direct_total_s =
+        best_of (fun () ->
+            Opera.Galerkin.solve_transient
+              ~options:(galerkin_options ~probes ~solver:Opera.Galerkin.Direct)
+              model ~h ~steps:!steps)
+      in
+      let mean_drift =
+        max_abs_diff st_resp.Opera.Response.mean direct_resp.Opera.Response.mean
+      in
+      let sdrift = std_drift_rel st_resp direct_resp in
+      let pcg_drift =
+        max_abs_diff pcg_resp.Opera.Response.mean direct_resp.Opera.Response.mean
+      in
+      Printf.printf
+        "  st     %d points  total_s=%.4f (factor %.4f, step %.4f)\n\
+        \  mf-pcg %4d iters  total_s=%.4f\n\
+        \  direct            total_s=%.4f\n\
+        \  drift: st mean %.2e, st sigma %.2f%% of peak, pcg mean %.2e\n%!"
+        st_stats.Opera.St_solver.points st_total_s st_stats.Opera.St_solver.factor_seconds
+        st_stats.Opera.St_solver.step_seconds pcg_stats.Opera.Galerkin.pcg_iterations pcg_total_s
+        direct_total_s mean_drift (100.0 *. sdrift) pcg_drift;
+      (* Contracts, enforced. *)
+      if not (Linalg.Solve_report.agg_healthy st_stats.Opera.St_solver.health) then
+        die "order %d: st refinement unhealthy (%s)" order
+          (Linalg.Solve_report.agg_summary st_stats.Opera.St_solver.health);
+      if st_stats.Opera.St_solver.points <> basis then
+        die "order %d: expected %d testing points, solved %d" order basis
+          st_stats.Opera.St_solver.points;
+      if mean_drift > 5e-4 then
+        die "order %d: st mean drifted %.3e V from the coupled direct solution" order mean_drift;
+      if sdrift > 0.08 then
+        die "order %d: st sigma drifted %.1f%% of the peak sigma" order (100.0 *. sdrift);
+      records :=
+        !records
+        @ [
+            {
+              order;
+              basis;
+              points = st_stats.Opera.St_solver.points;
+              st_factor_s = st_stats.Opera.St_solver.factor_seconds;
+              st_step_s = st_stats.Opera.St_solver.step_seconds;
+              st_total_s;
+              refine_sweeps = st_stats.Opera.St_solver.refine_sweeps;
+              refine_fallbacks = st_stats.Opera.St_solver.health.Linalg.Solve_report.fallbacks;
+              pcg_total_s;
+              pcg_iters = pcg_stats.Opera.Galerkin.pcg_iterations;
+              direct_total_s;
+              mean_drift;
+              std_drift_rel = sdrift;
+            };
+          ])
+    !orders;
+  let crossover =
+    List.fold_left
+      (fun acc r -> if acc < 0 && r.st_total_s < r.pcg_total_s then r.order else acc)
+      (-1) !records
+  in
+  Printf.printf "crossover order (st beats matrix-free pcg): %d\n%!" crossover;
+  if not !quick then begin
+    if crossover < 0 || crossover > 3 then
+      die "st does not overtake matrix-free pcg by order 3 (crossover %d)" crossover;
+    List.iter
+      (fun r ->
+        if r.order >= 3 && r.st_total_s >= r.pcg_total_s then
+          die "order %d: st (%.4fs) did not beat matrix-free pcg (%.4fs)" r.order r.st_total_s
+            r.pcg_total_s)
+      !records
+  end;
+  let num v = Util.Json.Num v in
+  let run_json (r : run) =
+    Util.Json.Obj
+      [
+        ("order", num (float_of_int r.order));
+        ("basis", num (float_of_int r.basis));
+        ("points", num (float_of_int r.points));
+        ("st_factor_s", num r.st_factor_s);
+        ("st_step_s", num r.st_step_s);
+        ("st_total_s", num r.st_total_s);
+        ("refine_sweeps", num (float_of_int r.refine_sweeps));
+        ("refine_fallbacks", num (float_of_int r.refine_fallbacks));
+        ("pcg_total_s", num r.pcg_total_s);
+        ("pcg_iters", num (float_of_int r.pcg_iters));
+        ("direct_total_s", num r.direct_total_s);
+        ("speedup_vs_pcg", num (r.pcg_total_s /. r.st_total_s));
+        ("mean_drift", num r.mean_drift);
+        ("std_drift_rel", num r.std_drift_rel);
+      ]
+  in
+  let metrics =
+    match Util.Json.parse (Util.Metrics.to_json Util.Metrics.global) with
+    | Ok j -> j
+    | Error e -> die "metrics registry is not valid JSON: %s" e
+  in
+  let doc =
+    Util.Json.Obj
+      [
+        ( "st",
+          Util.Json.Obj
+            [
+              ("nodes", num (float_of_int !nodes));
+              ("steps", num (float_of_int !steps));
+              ("crossover_order", num (float_of_int crossover));
+              ("records", Util.Json.List (List.map run_json !records));
+            ] );
+        ("metrics", metrics);
+      ]
+  in
+  let oc = open_out !out_file in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc (Util.Json.render doc);
+      output_char oc '\n');
+  Printf.printf "wrote %s\n" !out_file

@@ -1,9 +1,11 @@
 (* Schema check for the JSON this repository emits: the CLI's
    [--metrics-out FILE] registry dumps, the bench harness's
    BENCH_galerkin.json ({"records": [...], "metrics": {...}}), the
-   batch bench's BENCH_batch.json ({"batch": {...}, "metrics": {...}})
-   and the transient hot-path bench's BENCH_transient.json
-   ({"transient": {...}, "metrics": {...}}).
+   batch bench's BENCH_batch.json ({"batch": {...}, "metrics": {...}}),
+   the transient hot-path bench's BENCH_transient.json
+   ({"transient": {...}, "metrics": {...}}) and the stochastic-testing
+   bench's BENCH_st.json ({"st": {...}, "metrics": {...}}, including
+   the moment-drift bounds and the points-per-basis invariant).
 
      validate_metrics.exe FILE...
 
@@ -197,18 +199,91 @@ let validate_transient (j : Util.Json.t) transient =
   | Some m -> validate_registry m
   | None -> fail "transient file lacks the \"metrics\" object"
 
+let validate_st_record i (r : Util.Json.t) =
+  let int_field f =
+    match Option.bind (Util.Json.member f r) Util.Json.to_int with
+    | Some v -> Ok v
+    | None -> fail "st record %d: missing integer %S" i f
+  in
+  let float_field f =
+    match Option.bind (Util.Json.member f r) Util.Json.to_float with
+    | Some v -> Ok v
+    | None -> fail "st record %d: missing number %S" i f
+  in
+  let ( let* ) = Result.bind in
+  let* _ = int_field "order" in
+  let* basis = int_field "basis" in
+  let* points = int_field "points" in
+  let* () =
+    if points = basis then Ok ()
+    else fail "st record %d: %d testing points for a %d-term basis" i points basis
+  in
+  let* _ = int_field "refine_sweeps" in
+  let* _ = int_field "refine_fallbacks" in
+  let* _ = int_field "pcg_iters" in
+  let* _ = float_field "st_factor_s" in
+  let* _ = float_field "st_step_s" in
+  let* _ = float_field "st_total_s" in
+  let* _ = float_field "pcg_total_s" in
+  let* _ = float_field "direct_total_s" in
+  let* _ = float_field "speedup_vs_pcg" in
+  (* The moment-drift bounds st_bench enforces at generation time are
+     re-checked here, so a hand-edited or stale artifact cannot claim
+     agreement the numbers do not show. *)
+  let* mean_drift = float_field "mean_drift" in
+  let* () =
+    if mean_drift <= 5e-4 then Ok ()
+    else fail "st record %d: mean_drift %g exceeds the 5e-4 V bound" i mean_drift
+  in
+  let* sdrift = float_field "std_drift_rel" in
+  if sdrift <= 0.08 then Ok ()
+  else fail "st record %d: std_drift_rel %g exceeds the 8%% bound" i sdrift
+
+let validate_st (j : Util.Json.t) st =
+  let ( let* ) = Result.bind in
+  let int_field f =
+    match Option.bind (Util.Json.member f st) Util.Json.to_int with
+    | Some v -> Ok v
+    | None -> fail "\"st\": missing integer %S" f
+  in
+  let* _ = int_field "nodes" in
+  let* _ = int_field "steps" in
+  let* crossover = int_field "crossover_order" in
+  let* () =
+    if crossover >= -1 then Ok ()
+    else fail "\"st\": crossover_order %d is not an order or the -1 sentinel" crossover
+  in
+  let* () =
+    match Option.bind (Util.Json.member "records" st) Util.Json.to_list with
+    | None -> fail "\"st\": missing \"records\" array"
+    | Some [] -> fail "\"st\": empty \"records\" array"
+    | Some rs ->
+        let rec go i = function
+          | [] -> Ok ()
+          | r :: rest -> Result.bind (validate_st_record i r) (fun () -> go (i + 1) rest)
+        in
+        go 0 rs
+  in
+  match Util.Json.member "metrics" j with
+  | Some m -> validate_registry m
+  | None -> fail "st file lacks the \"metrics\" object"
+
 let validate_file path =
   match Util.Json.parse_file path with
   | Error e -> fail "%s: JSON parse error: %s" path e
   | Ok j -> (
       let tag = Result.map_error (fun e -> Printf.sprintf "%s: %s" path e) in
       match
-        (Util.Json.member "records" j, Util.Json.member "batch" j, Util.Json.member "transient" j)
+        ( Util.Json.member "records" j,
+          Util.Json.member "batch" j,
+          Util.Json.member "transient" j,
+          Util.Json.member "st" j )
       with
-      | Some records, _, _ -> tag (validate_bench j records)
-      | None, Some batch, _ -> tag (validate_batch j batch)
-      | None, None, Some transient -> tag (validate_transient j transient)
-      | None, None, None -> tag (validate_registry j))
+      | Some records, _, _, _ -> tag (validate_bench j records)
+      | None, Some batch, _, _ -> tag (validate_batch j batch)
+      | None, None, Some transient, _ -> tag (validate_transient j transient)
+      | None, None, None, Some st -> tag (validate_st j st)
+      | None, None, None, None -> tag (validate_registry j))
 
 let () =
   let files = List.tl (Array.to_list Sys.argv) in

@@ -14,6 +14,7 @@ let solver_enum =
     ("direct", Opera.Galerkin.Direct);
     ("pcg", Opera.Galerkin.Mean_pcg { tol = 1e-10; max_iter = 500 });
     ("matrix-free", Opera.Galerkin.Matrix_free_pcg { tol = 1e-10; max_iter = 500 });
+    ("st", Opera.Galerkin.default_st);
   ]
 
 let policy_enum =
@@ -40,9 +41,31 @@ let seed_arg r = Util.Args.int [ "--seed" ] ~doc:"Random seed." r
 
 let solver_arg r =
   Util.Args.enum [ "--solver" ]
-    ~doc:"Augmented-system solver: direct, pcg (assembled, mean-block-preconditioned CG) or \
-          matrix-free (same CG, operator applied from the per-rank matrices, never assembled)."
+    ~doc:"Augmented-system solver: direct, pcg (assembled, mean-block-preconditioned CG), \
+          matrix-free (same CG, operator applied from the per-rank matrices, never assembled) \
+          or st (stochastic-testing collocation: N+1 decoupled point solves on per-point \
+          factors, coefficients recovered by a dense transform)."
     solver_enum r
+
+(* The st knobs ride along as plain flags; they only matter when
+   --solver st is selected, and rewrite the St payload in place so the
+   solver value stays a single source of truth. *)
+let st_candidates_arg r =
+  Util.Args.int [ "--st-candidates" ]
+    ~doc:"Candidate-pool bound for stochastic-testing point selection (0 = the full tensor \
+          grid; larger values top the pool up with seeded random draws).  Only used by \
+          --solver st." r
+
+let st_seed_arg r =
+  Util.Args.int [ "--st-seed" ]
+    ~doc:"Seed of the stochastic-testing point-selection top-up draws.  Only used by --solver \
+          st with --st-candidates beyond the tensor grid." r
+
+let apply_st_knobs solver ~candidates ~seed =
+  match solver with
+  | Opera.Galerkin.St k ->
+      Opera.Galerkin.St { k with candidates; seed = Int64.of_int seed }
+  | s -> s
 
 let domains_arg r =
   Util.Args.int [ "--domains" ]

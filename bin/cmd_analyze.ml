@@ -13,6 +13,8 @@ let run argv =
   and steps = ref 24
   and step_ps = ref 125.0
   and solver = ref (Opera.Galerkin.Mean_pcg { tol = 1e-10; max_iter = 500 })
+  and st_candidates = ref 0
+  and st_seed = ref 1
   and domains = ref 0
   and policy = ref Opera.Galerkin.Warn
   and warm_start = ref true
@@ -30,6 +32,8 @@ let run argv =
       Cli_common.steps_arg steps;
       Cli_common.step_ps_arg step_ps;
       Cli_common.solver_arg solver;
+      Cli_common.st_candidates_arg st_candidates;
+      Cli_common.st_seed_arg st_seed;
       Cli_common.domains_arg domains;
       Cli_common.policy_arg policy;
       Cli_common.warm_start_arg warm_start;
@@ -66,7 +70,7 @@ let run argv =
       order = !order;
       h = !step_ps *. 1e-12;
       steps = !steps;
-      solver = !solver;
+      solver = Cli_common.apply_st_knobs !solver ~candidates:!st_candidates ~seed:!st_seed;
       policy = !policy;
       sigma_scale = 1.0;
       drain_scale = 1.0;

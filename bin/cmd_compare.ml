@@ -8,6 +8,8 @@ let run argv =
   and samples = ref 300
   and seed = ref 7
   and solver = ref (Opera.Galerkin.Mean_pcg { tol = 1e-10; max_iter = 500 })
+  and st_candidates = ref 0
+  and st_seed = ref 1
   and domains = ref 0
   and policy = ref Opera.Galerkin.Warn
   and warm_start = ref true
@@ -22,6 +24,8 @@ let run argv =
       Cli_common.samples_arg samples;
       Cli_common.seed_arg seed;
       Cli_common.solver_arg solver;
+      Cli_common.st_candidates_arg st_candidates;
+      Cli_common.st_seed_arg st_seed;
       Cli_common.domains_arg domains;
       Cli_common.policy_arg policy;
       Cli_common.warm_start_arg warm_start;
@@ -41,7 +45,7 @@ let run argv =
       steps = !steps;
       mc_samples = !samples;
       seed = Int64.of_int !seed;
-      solver = !solver;
+      solver = Cli_common.apply_st_knobs !solver ~candidates:!st_candidates ~seed:!st_seed;
       ordering = Linalg.Ordering.Nested_dissection;
       probes = [||];
       domains = !domains;

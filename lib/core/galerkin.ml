@@ -2,6 +2,9 @@ type solver =
   | Direct
   | Mean_pcg of { tol : float; max_iter : int }
   | Matrix_free_pcg of { tol : float; max_iter : int }
+  | St of { tol : float; max_refine : int; candidates : int; seed : int64 }
+
+let default_st = St { tol = 1e-10; max_refine = 100; candidates = 0; seed = 1L }
 
 type policy = Fail | Warn | Fallback
 
@@ -178,6 +181,32 @@ let apply_policy ~policy ~metrics ~agg ~context ~fallback x (report : Linalg.Sol
         Util.Metrics.span metrics "galerkin.fallback_s" fallback
   end
 
+(* Map the shared option record onto the ST backend's knobs; the St
+   variant carries what the coupled solvers put in their payloads. *)
+let st_options (o : options) ~tol ~max_refine ~candidates ~seed =
+  {
+    St_solver.candidates;
+    seed;
+    refine_tol = tol;
+    refine_max = max_refine;
+    ordering = o.ordering;
+    probes = o.probes;
+    domains = o.domains;
+    metrics = o.metrics;
+  }
+
+let st_stats (m : Stochastic_model.t) (st : St_solver.stats) =
+  {
+    aug_dim = Polychaos.Basis.size m.basis * m.n;
+    nnz_aug = st.St_solver.nnz_point;
+    nnz_factor = st.St_solver.nnz_factor;
+    assemble_seconds = st.St_solver.select_seconds;
+    factor_seconds = st.St_solver.factor_seconds;
+    step_seconds = st.St_solver.step_seconds;
+    pcg_iterations = st.St_solver.refine_sweeps;
+    health = st.St_solver.health;
+  }
+
 let solve_dc ?(options = default_options) (m : Stochastic_model.t) =
   let size = Polychaos.Basis.size m.basis in
   let dim = size * m.n in
@@ -234,6 +263,13 @@ let solve_dc ?(options = default_options) (m : Stochastic_model.t) =
         ~context:(fun () -> "dc solve (matrix-free-pcg)")
         ~fallback:(fun () -> direct_gt_solve (assemble_g m) ())
         x report
+  | St { tol; max_refine; candidates; seed } ->
+      (* Decoupled testing-point route; every point is refined to [tol]
+         (or repaired by its own factorization), so the convergence
+         policy never has an approximate iterate to rule on. *)
+      let st_opts = st_options options ~tol ~max_refine ~candidates ~seed in
+      let coefs, _stats = St_solver.solve_dc ~options:st_opts m in
+      coefs
 
 (* Warm-started stepping state shared by the iterative transient
    branches.  [guess] is the in/out buffer handed to the allocation-free
@@ -263,8 +299,7 @@ let warm_stepper ~warm_start ~dim a =
   in
   (ws, guess, prepare, accept)
 
-let solve_transient ?(options = default_options) (m : Stochastic_model.t) ~h ~steps =
-  if h <= 0.0 then invalid_arg "Galerkin.solve_transient: step must be positive";
+let solve_transient_coupled ~options (m : Stochastic_model.t) ~h ~steps =
   let size = Polychaos.Basis.size m.basis in
   let dim = size * m.n in
   (* Backward Euler factors Gt + Ct/h; trapezoidal factors Gt + 2Ct/h
@@ -456,6 +491,9 @@ let solve_transient ?(options = default_options) (m : Stochastic_model.t) ~h ~st
         in
         (a, step_of, Galerkin_op.apply_into op_ct, Galerkin_op.apply_into op_gt,
          Galerkin_op.nnz op_mt)
+    | St _ ->
+        (* solve_transient dispatches St before reaching the coupled body. *)
+        assert false
   in
   Response.record_step response ~step:0 ~coefs:a;
   let step_of () = Util.Metrics.span metrics "galerkin.step_s" step_of in
@@ -506,3 +544,18 @@ let solve_transient ?(options = default_options) (m : Stochastic_model.t) ~h ~st
       pcg_iterations = agg.Linalg.Solve_report.iterations;
       health = agg;
     } )
+
+let solve_transient ?(options = default_options) (m : Stochastic_model.t) ~h ~steps =
+  if h <= 0.0 then invalid_arg "Galerkin.solve_transient: step must be positive";
+  match options.solver with
+  | St { tol; max_refine; candidates; seed } ->
+      (* Decoupled testing-point stepping; per-point factors carry
+         across all steps and the point states warm-start structurally.
+         Fixed-step backward Euler only — the per-point factors are
+         [G(xi) + C(xi)/h] by construction. *)
+      if options.scheme <> Powergrid.Transient.Backward_euler then
+        invalid_arg "Galerkin.solve_transient: the st solver supports backward Euler only";
+      let st_opts = st_options options ~tol ~max_refine ~candidates ~seed in
+      let response, st = St_solver.solve_transient ~options:st_opts m ~h ~steps in
+      (response, st_stats m st)
+  | Direct | Mean_pcg _ | Matrix_free_pcg _ -> solve_transient_coupled ~options m ~h ~steps

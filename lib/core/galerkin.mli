@@ -24,6 +24,22 @@ type solver =
           triple-product coupling.  Memory drops from
           [O((N+1)^2 nnz)] to [O(sum_r nnz_r + (N+1) n)], and the matvec
           parallelizes across chaos blocks (see [options.domains]). *)
+  | St of { tol : float; max_refine : int; candidates : int; seed : int64 }
+      (** stochastic-testing collocation ({!St_solver}): the gPC system
+          is solved at [N+1] selected testing points as fully decoupled
+          deterministic systems and the coefficients recovered through a
+          dense [(N+1) x (N+1)] transform — no coupled Krylov iteration
+          at all.  [tol]/[max_refine] control the DC refinement against
+          the one mean-matrix factorization; [candidates]/[seed] shape
+          the point-selection pool (see {!St_solver.select_points}).
+          Every point is refined to [tol] or repaired by its own
+          factorization, so [options.policy] is never consulted; the
+          transient supports backward Euler only ([Invalid_argument]
+          under a trapezoidal scheme). *)
+
+val default_st : solver
+(** [St] with the stock knobs: tol 1e-10, 100 refinement sweeps,
+    tensor-grid candidates, seed 1 — the CLI's [--solver st]. *)
 
 type policy =
   | Fail  (** raise {!Solver_diverged} on the first unconverged solve *)
@@ -84,8 +100,11 @@ type stats = {
       (** stored nonzeros of the stepping operator: the assembled
           [Gt + Ct/h] for [Direct]/[Mean_pcg], the matrix-free block
           data ([sum_r nnz_r] + coupling entries) for
-          [Matrix_free_pcg] — the peak-memory figure of each route *)
-  nnz_factor : int;  (** nonzeros of its Cholesky factor (Direct only) *)
+          [Matrix_free_pcg], the per-point realizations summed for
+          [St] — the peak-memory figure of each route *)
+  nnz_factor : int;
+      (** nonzeros of its Cholesky factor ([Direct]; summed over the
+          per-point factors for [St]) *)
   assemble_seconds : float;
   factor_seconds : float;
   step_seconds : float;
@@ -126,4 +145,9 @@ val solve_dc : ?options:options -> Stochastic_model.t -> Linalg.Vec.t
 val solve_transient :
   ?options:options -> Stochastic_model.t -> h:float -> steps:int -> Response.t * stats
 (** Backward-Euler transient of the augmented system starting from the
-    stochastic DC state; one factorization, [steps] solves. *)
+    stochastic DC state; one factorization, [steps] solves.  Under the
+    [St] solver the same response comes from [N+1] decoupled per-point
+    transients (one small factorization per point, reused across every
+    step) with the coefficients recovered each step — [stats] then maps
+    the ST ledger: [pcg_iterations] counts DC refinement sweeps and
+    [factor_seconds]/[nnz_factor] cover the per-point factors. *)

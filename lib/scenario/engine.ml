@@ -59,6 +59,17 @@ let h_key job tag h =
   Util.Codec.write_float e h;
   Store.key_of_bytes (Job.operator_bytes job ^ "\x00" ^ Util.Codec.contents e)
 
+(* One artifact per (h, testing point): the st route factors a distinct
+   stepping matrix per point, and the point set is pinned by the
+   operator bytes (candidates + seed live there), so index [i] always
+   names the same matrix on a warm run. *)
+let st_point_key job h i =
+  let e = Util.Codec.encoder () in
+  Util.Codec.write_string e "st-mt";
+  Util.Codec.write_float e h;
+  Util.Codec.write_int e i;
+  Store.key_of_bytes (Job.operator_bytes job ^ "\x00" ^ Util.Codec.contents e)
+
 let chol_version = 1
 
 let cached_factor store ~count ~key ~dim build =
@@ -113,7 +124,17 @@ type special_ctx = {
   sfbe : (float * Linalg.Sparse_cholesky.t) list;  (** factor of G + C/h per h *)
 }
 
-type ctx = Galerkin_ctx of galerkin_ctx | Special_ctx of special_ctx
+type st_ctx = {
+  stmodel : Opera.Stochastic_model.t;
+  stspec : Powergrid.Grid_spec.t option;
+  stvdd : float;
+  stpoints : Opera.St_solver.points;
+  stf0 : Linalg.Sparse_cholesky.t;  (** factor of the mean G(0) *)
+  stfstep : (float * Linalg.Sparse_cholesky.t array) list;
+      (** per h: one factor of [G(xi_i) + C(xi_i)/h] per testing point *)
+}
+
+type ctx = Galerkin_ctx of galerkin_ctx | Special_ctx of special_ctx | St_ctx of st_ctx
 
 let scaled_varmodel s =
   let vm = Opera.Varmodel.paper_default in
@@ -182,6 +203,46 @@ let build_galerkin_ctx store count (rep : Job.t) members =
           hs
       in
       Galerkin_ctx { model; gspec; gvdd; fdc = Some fdc; fmt; ct }
+  | Opera.Galerkin.St { candidates; seed; _ } ->
+      (* Decoupled point solves on grid-sized (n, not size*n) matrices.
+         Selection is deterministic given (basis, candidates, seed) and
+         cheap next to a factorization, so only the factors and the node
+         ordering go through the store. *)
+      let n = model.Opera.Stochastic_model.n in
+      let points =
+        Opera.St_solver.select_points ~candidates ~seed model.Opera.Stochastic_model.basis
+      in
+      let size = Polychaos.Basis.size model.Opera.Stochastic_model.basis in
+      let perm =
+        Store.find_or_build store ~kind:"perm" ~version:1
+          ~key:(tagged_key rep "st-node-ordering")
+          ~encode:(fun p e -> Util.Codec.write_int_array e p)
+          ~decode:(fun d ->
+            let p = Util.Codec.read_int_array d in
+            if Array.length p <> n || not (Linalg.Perm.is_valid p) then
+              raise (Util.Codec.Corrupt "st node ordering does not match the grid");
+            p)
+          ~build:(fun () ->
+            Linalg.Ordering.compute Linalg.Ordering.Nested_dissection
+              (Opera.Stochastic_model.node_pattern model))
+      in
+      let stf0 =
+        cached_factor store ~count ~key:(tagged_key rep "st-g0") ~dim:n (fun () ->
+            Linalg.Sparse_cholesky.factor ~perm (Opera.St_solver.mean_g model))
+      in
+      let stfstep =
+        List.map
+          (fun h ->
+            let fs =
+              Array.init size (fun i ->
+                  cached_factor store ~count ~key:(st_point_key rep h i) ~dim:n (fun () ->
+                      Linalg.Sparse_cholesky.factor ~perm
+                        (Opera.St_solver.step_matrix model points i ~h)))
+            in
+            (h, fs))
+          (stepping_hs members)
+      in
+      St_ctx { stmodel = model; stspec = gspec; stvdd = gvdd; stpoints = points; stf0; stfstep }
 
 let build_special_ctx store count (rep : Job.t) members =
   let regions, lambda =
@@ -254,15 +315,15 @@ let resolve_probe (job : Job.t) spec n =
   | None -> (
       match spec with Some s -> Powergrid.Grid_gen.center_node s | None -> n / 2)
 
-let scaled_model (ctx : galerkin_ctx) (job : Job.t) =
-  if Util.Floats.equal_exact job.drain_scale 1.0 then ctx.model
+let scaled_model (model : Opera.Stochastic_model.t) (job : Job.t) =
+  if Util.Floats.equal_exact job.drain_scale 1.0 then model
   else
     {
-      ctx.model with
+      model with
       Opera.Stochastic_model.u_drain_coefs =
         List.map
           (fun (rank, c) -> (rank, c *. job.drain_scale))
-          ctx.model.Opera.Stochastic_model.u_drain_coefs;
+          model.Opera.Stochastic_model.u_drain_coefs;
     }
 
 let num v = Util.Json.Num v
@@ -362,7 +423,7 @@ let yield_fields response ~vdd ~steps ~budget_pct =
    the factorizations replaced by workspace-explicit applications of the
    shared, read-only factors. *)
 let direct_transient (ctx : galerkin_ctx) (job : Job.t) ~probe ~inner reg =
-  let model = scaled_model ctx job in
+  let model = scaled_model ctx.model job in
   let n = model.Opera.Stochastic_model.n in
   let basis = model.Opera.Stochastic_model.basis in
   let size = Polychaos.Basis.size basis in
@@ -400,7 +461,7 @@ let direct_transient (ctx : galerkin_ctx) (job : Job.t) ~probe ~inner reg =
   response
 
 let direct_dc (ctx : galerkin_ctx) (job : Job.t) ~inner reg =
-  let model = scaled_model ctx job in
+  let model = scaled_model ctx.model job in
   let n = model.Opera.Stochastic_model.n in
   let size = Polychaos.Basis.size model.Opera.Stochastic_model.basis in
   let dim = size * n in
@@ -433,7 +494,7 @@ let run_galerkin_job (ctx : galerkin_ctx) (job : Job.t) reg ~inner ~warm_start =
       let coefs = direct_dc ctx job ~inner reg in
       (dc_record job ~vdd ~model:ctx.model ~probe coefs, None)
   | Job.Dc, None ->
-      let model = scaled_model ctx job in
+      let model = scaled_model ctx.model job in
       let options = galerkin_options job reg ~probe ~inner ~warm_start in
       let coefs = Opera.Galerkin.solve_dc ~options model in
       (dc_record job ~vdd ~model ~probe coefs, None)
@@ -442,7 +503,7 @@ let run_galerkin_job (ctx : galerkin_ctx) (job : Job.t) reg ~inner ~warm_start =
         match ctx.fdc with
         | Some _ -> direct_transient ctx job ~probe ~inner reg
         | None ->
-            let model = scaled_model ctx job in
+            let model = scaled_model ctx.model job in
             let options = galerkin_options job reg ~probe ~inner ~warm_start in
             let response, _stats =
               Opera.Galerkin.solve_transient ~options model ~h:job.h ~steps:job.steps
@@ -497,12 +558,59 @@ let run_special_job (ctx : special_ctx) (job : Job.t) reg ~inner =
   in
   (base_fields job ~probe fields, Some response)
 
+(* The engine precomputes everything (candidates, seed) shapes — the
+   point set and every factor — so only the convergence knobs of the
+   job's [St] payload still matter here. *)
+let st_options_of (job : Job.t) reg ~probe ~inner =
+  let tol, max_refine, candidates, seed =
+    match job.solver with
+    | Opera.Galerkin.St { tol; max_refine; candidates; seed } -> (tol, max_refine, candidates, seed)
+    | _ -> invalid_arg "Engine.run_st_job: not an st job"
+  in
+  {
+    Opera.St_solver.candidates;
+    seed;
+    refine_tol = tol;
+    refine_max = max_refine;
+    ordering = Linalg.Ordering.Nested_dissection;
+    probes = [| probe |];
+    domains = inner;
+    metrics = reg;
+  }
+
+let run_st_job (ctx : st_ctx) (job : Job.t) reg ~inner =
+  let model = scaled_model ctx.stmodel job in
+  let n = model.Opera.Stochastic_model.n in
+  let probe = resolve_probe job ctx.stspec n in
+  let vdd = ctx.stvdd in
+  let options = st_options_of job reg ~probe ~inner in
+  match job.analysis with
+  | Job.Dc ->
+      let coefs, _stats = Opera.St_solver.solve_dc ~options ~points:ctx.stpoints ~f0:ctx.stf0 model in
+      (dc_record job ~vdd ~model ~probe coefs, None)
+  | Job.Transient | Job.Yield _ ->
+      let fstep = List.assoc job.h ctx.stfstep in
+      let response, _stats =
+        Opera.St_solver.solve_transient ~options ~points:ctx.stpoints ~f0:ctx.stf0 ~fstep model
+          ~h:job.h ~steps:job.steps
+      in
+      let fields = transient_fields response ~vdd ~probe ~steps:job.steps ~n in
+      let fields =
+        match job.analysis with
+        | Job.Yield { budget_pct } ->
+            fields @ yield_fields response ~vdd ~steps:job.steps ~budget_pct
+        | _ -> fields
+      in
+      (base_fields job ~probe fields, Some response)
+  | Job.Special _ -> invalid_arg "Engine.run_st_job: special job in an st group"
+
 let run_job ctx job reg ~inner ~warm_start =
   Util.Metrics.incr reg "engine.jobs";
   Util.Metrics.span reg "engine.job_s" (fun () ->
       match ctx with
       | Galerkin_ctx g -> run_galerkin_job g job reg ~inner ~warm_start
-      | Special_ctx s -> run_special_job s job reg ~inner)
+      | Special_ctx s -> run_special_job s job reg ~inner
+      | St_ctx s -> run_st_job s job reg ~inner)
 
 (* ---- batch execution ------------------------------------------------- *)
 
@@ -541,6 +649,7 @@ let run ?(config = default_config) jobs =
             match Option.get ctx_of.(i) with
             | Galerkin_ctx g -> g.model.Opera.Stochastic_model.n
             | Special_ctx s -> s.sc.Opera.Special_case.mna.Powergrid.Mna.n
+            | St_ctx s -> s.stmodel.Opera.Stochastic_model.n
           in
           if p < 0 || p >= n then
             raise

@@ -9,10 +9,13 @@
     through workspace-explicit solves, each with its own metrics
     registry (merged into the engine registry after the join).
 
-    Factor sharing covers the [Direct] solver route and the special-case
-    path; iterative jobs ([pcg], [matrix-free]) share the expanded model
-    and cached tensor but factor their small nominal blocks per job.
-    Batch transients use backward Euler.
+    Factor sharing covers the [Direct] solver route, the special-case
+    path and the stochastic-testing route ([st] — the node ordering, the
+    mean-matrix factor and one stepping factor {e per testing point} all
+    go through the store, so a warm [st] batch performs zero
+    factorizations); iterative jobs ([pcg], [matrix-free]) share the
+    expanded model and cached tensor but factor their small nominal
+    blocks per job.  Batch transients use backward Euler.
 
     Determinism: job records contain only analysis results (no timings,
     no cache status), floats are rendered exactly ({!Util.Json.render}),

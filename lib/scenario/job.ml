@@ -27,16 +27,22 @@ let analysis_name = function
   | Special _ -> "special"
   | Yield _ -> "yield"
 
-let solver_of_string = function
+let solver_of_string ?(st_candidates = 0) ?(st_seed = 1L) = function
   | "direct" -> Ok Opera.Galerkin.Direct
   | "pcg" -> Ok (Opera.Galerkin.Mean_pcg { tol = 1e-10; max_iter = 500 })
   | "matrix-free" -> Ok (Opera.Galerkin.Matrix_free_pcg { tol = 1e-10; max_iter = 500 })
-  | s -> Error (Printf.sprintf "unknown solver %S (direct, pcg, matrix-free)" s)
+  | "st" -> (
+      match Opera.Galerkin.default_st with
+      | Opera.Galerkin.St k ->
+          Ok (Opera.Galerkin.St { k with candidates = st_candidates; seed = st_seed })
+      | _ -> assert false)
+  | s -> Error (Printf.sprintf "unknown solver %S (direct, pcg, matrix-free, st)" s)
 
 let solver_name = function
   | Opera.Galerkin.Direct -> "direct"
   | Opera.Galerkin.Mean_pcg _ -> "pcg"
   | Opera.Galerkin.Matrix_free_pcg _ -> "matrix-free"
+  | Opera.Galerkin.St _ -> "st"
 
 let policy_of_string = function
   | "fail" -> Ok Opera.Galerkin.Fail
@@ -60,6 +66,7 @@ let known_keys =
   [
     "name"; "analysis"; "nodes"; "netlist"; "order"; "steps"; "step_ps"; "solver"; "policy";
     "sigma_scale"; "drain_scale"; "leak_scale"; "regions"; "lambda"; "budget_pct"; "probe";
+    "st_candidates"; "st_seed";
   ]
 
 let ( let* ) = Result.bind
@@ -140,7 +147,13 @@ let of_json ?(defaults = Util.Json.Obj []) ?(name = "job") json =
       let* step_ps = float_field ~default:125.0 defaults json "step_ps" in
       let* step_ps = positive "step_ps" step_ps in
       let* solver = string_field ~default:"direct" defaults json "solver" in
-      let* solver = solver_of_string solver in
+      let* st_candidates = int_field ~default:0 defaults json "st_candidates" in
+      let* st_candidates =
+        if st_candidates >= 0 then Ok st_candidates
+        else Error "field \"st_candidates\" must be >= 0"
+      in
+      let* st_seed = int_field ~default:1 defaults json "st_seed" in
+      let* solver = solver_of_string ~st_candidates ~st_seed:(Int64.of_int st_seed) solver in
       let* policy = string_field ~default:"warn" defaults json "policy" in
       let* policy = policy_of_string policy in
       let* sigma_scale = float_field ~default:1.0 defaults json "sigma_scale" in
@@ -281,6 +294,15 @@ let operator_bytes job =
       Util.Codec.write_string e (netlist_digest path));
   Util.Codec.write_int e job.order;
   Util.Codec.write_string e (solver_name job.solver);
+  (* The st testing points (hence every per-point factor) are a
+     deterministic function of (basis, candidates, seed): the knobs
+     must invalidate cached point factors, while tol/max_refine are
+     convergence-only and stay out — like pcg's tol/max_iter. *)
+  (match job.solver with
+  | Opera.Galerkin.St { candidates; seed; _ } ->
+      Util.Codec.write_int e candidates;
+      Util.Codec.write_i64 e seed
+  | _ -> ());
   Util.Codec.contents e
 
 let signature job = Digest.to_hex (Digest.string (operator_bytes job))

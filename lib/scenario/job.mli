@@ -42,8 +42,14 @@ type t = {
 
 val analysis_name : analysis -> string
 
-val solver_of_string : string -> (Opera.Galerkin.solver, string) result
-(** ["direct"], ["pcg"], ["matrix-free"] — the CLI vocabulary. *)
+val solver_of_string :
+  ?st_candidates:int -> ?st_seed:int64 -> string -> (Opera.Galerkin.solver, string) result
+(** ["direct"], ["pcg"], ["matrix-free"], ["st"] — the CLI vocabulary.
+    Any other string is an [Error] naming the vocabulary, which the
+    batch parser surfaces under the exit-2 usage discipline.  The
+    [st_*] knobs land in the [St] payload (candidate-pool bound and
+    point-selection seed; defaults 0 = tensor grid, seed 1) and are
+    ignored by the other solvers. *)
 
 val solver_name : Opera.Galerkin.solver -> string
 
@@ -62,7 +68,10 @@ val region_split : int -> int * int
 val of_json : ?defaults:Util.Json.t -> ?name:string -> Util.Json.t -> (t, string) result
 (** Parse one job object.  Missing fields fall back to [defaults] (an
     object) and then to built-in defaults; unknown fields are an error,
-    as is a special-case region count {!region_split} cannot honor. *)
+    as is a special-case region count {!region_split} cannot honor, an
+    unknown ["solver"]/["policy"] string, or a negative
+    ["st_candidates"].  ["st_candidates"]/["st_seed"] configure the
+    stochastic-testing point selection of [solver = "st"]. *)
 
 val batch_of_json : Util.Json.t -> (t array, string) result
 (** Parse [{"jobs": [...], "defaults": {...}?}].  Jobs keep their array
@@ -76,9 +85,11 @@ val operator_bytes : t -> string
     (analysis family, source, variation scaling, order, solver route).
     For a netlist source this includes a digest of the file's {e
     contents}, so editing a netlist in place invalidates every cached
-    artifact derived from it.  Excitation deltas, timestep, step count,
-    probe and policy are excluded — see DESIGN.md §9 for the
-    invalidation rules. *)
+    artifact derived from it.  The [St] candidate/seed knobs are
+    included (they determine the testing points, hence every cached
+    per-point factor); excitation deltas, timestep, step count, probe,
+    policy and convergence tolerances are excluded — see DESIGN.md §9
+    for the invalidation rules. *)
 
 val signature : t -> string
 (** Hex digest of {!operator_bytes}; equal signatures share factors. *)

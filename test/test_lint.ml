@@ -130,6 +130,21 @@ let test_json_report () =
       Alcotest.(check (option int)) (id ^ ".unwaived") (Some eu) u;
       Alcotest.(check (option int)) (id ^ ".waived") (Some ew) w)
     [ "exact-float"; "domain-race"; "banned-construct"; "unsafe-index"; "missing-mli"; "parse-error" ];
+  (* The active R2/R4 allowlists are recorded so the report shows which
+     files are exempt, not just which findings survived. *)
+  let allowlists = member "allowlists" in
+  let allow k =
+    List.filter_map Util.Json.to_string
+      (get_exn ("allowlists." ^ k) (Util.Json.to_list (get_exn ("allowlists." ^ k) (Util.Json.member k allowlists))))
+  in
+  List.iter
+    (fun f ->
+      Alcotest.(check bool) ("race allowlist notes " ^ f) true (List.mem f (allow "race")))
+    L.default_config.L.race_allowlist;
+  List.iter
+    (fun f ->
+      Alcotest.(check bool) ("unsafe allowlist notes " ^ f) true (List.mem f (allow "unsafe")))
+    L.default_config.L.unsafe_allowlist;
   let items = get_exn "findings list" (Util.Json.to_list (member "findings")) in
   Alcotest.(check int) "findings length" (List.length findings) (List.length items);
   (* Each serialized finding carries the full schema. *)

@@ -104,7 +104,8 @@ let default_config =
        disjoint).  The batch engine is deliberately NOT here: its one
        fan-out closure carries an inline [(* opera-lint: race *)]
        waiver instead of a whole-file exemption. *)
-    race_allowlist = [ "galerkin.ml"; "galerkin_op.ml"; "special_case.ml"; "sparse_cholesky.ml" ];
+    race_allowlist =
+      [ "galerkin.ml"; "galerkin_op.ml"; "special_case.ml"; "sparse_cholesky.ml"; "st_solver.ml" ];
     check_mli = true;
   }
 
@@ -661,7 +662,7 @@ let json_escape s =
     s;
   Buffer.contents buf
 
-let json_report ~files_scanned findings =
+let json_report ?(config = default_config) ~files_scanned findings =
   let s = summarize findings in
   let buf = Buffer.create 4096 in
   Buffer.add_string buf "{\n";
@@ -680,6 +681,17 @@ let json_report ~files_scanned findings =
            (if i = nrules - 1 then "" else ",")))
     s.per_rule;
   Buffer.add_string buf "  },\n";
+  (* The per-file allowlists are config, not findings — but a reviewer
+     auditing the report needs to see which files are exempt from R2/R4,
+     so the active lists are recorded verbatim (sorted for determinism). *)
+  let string_list names =
+    String.concat ", "
+      (List.map (fun f -> Printf.sprintf "\"%s\"" (json_escape f)) (List.sort compare names))
+  in
+  Buffer.add_string buf
+    (Printf.sprintf "  \"allowlists\": { \"race\": [%s], \"unsafe\": [%s] },\n"
+       (string_list config.race_allowlist)
+       (string_list config.unsafe_allowlist));
   Buffer.add_string buf "  \"findings\": [\n";
   let n = List.length findings in
   List.iteri

@@ -62,7 +62,7 @@ let () =
       let oc = open_out file in
       Fun.protect
         ~finally:(fun () -> close_out oc)
-        (fun () -> output_string oc (Lint_engine.json_report ~files_scanned findings))
+        (fun () -> output_string oc (Lint_engine.json_report ~config:cfg ~files_scanned findings))
   | None -> ());
   if not !quiet then (* opera-lint: banned *)
     print_string (Lint_engine.human_report ~verbose:!verbose ~files_scanned findings);
