@@ -51,8 +51,10 @@ ci:
 	dune runtest --profile ci
 	dune exec bench/transient_bench.exe -- --quick --out transient_smoke.json > /dev/null
 	dune exec bench/st_bench.exe -- --quick --out st_smoke.json > /dev/null
-	dune exec bench/validate_metrics.exe -- transient_smoke.json st_smoke.json
-	rm -f transient_smoke.json st_smoke.json
+	dune exec bench/batch_bench.exe -- --quick --out batch_smoke.json > /dev/null
+	dune exec bench/validate_metrics.exe -- transient_smoke.json st_smoke.json batch_smoke.json
+	rm -f transient_smoke.json st_smoke.json batch_smoke.json
+	rm -rf _bench_batch_cache _bench_batch_resume _bench_batch_shard
 
 test-verbose:
 	dune runtest --force --no-buffer
@@ -71,9 +73,12 @@ bench-galerkin:
 
 # Produce a --metrics-out registry dump and the galerkin bench JSON,
 # then check both against the schema with the bundled validator.
-# Batch-engine throughput: one mixed batch, cold vs warm store, 1/2/4
-# jobs in flight; the run aborts if a warm run factors anything or any
-# stream drifts from the cold one, and the JSON is schema-checked.
+# Batch-engine throughput + crash safety: one mixed batch, cold vs warm
+# store, 1/2/4 jobs in flight, then a kill-and-resume replay and a
+# 2-shard partition over a shared store; the run aborts if a warm run
+# factors anything, any stream drifts from the cold one, the resumed
+# stream isn't bitwise-identical, or the shards overlap or miss a job.
+# The JSON (including journal replay/write counts) is schema-checked.
 bench-batch:
 	dune build bench/batch_bench.exe bench/validate_metrics.exe
 	dune exec bench/batch_bench.exe -- --quick

@@ -1,4 +1,4 @@
-(* Batch-engine throughput bench.
+(* Batch-engine throughput + crash-safety bench.
 
    Runs one mixed batch (transient excitation corners sharing a single
    Galerkin operator, plus special-case leakage corners sharing one
@@ -9,19 +9,30 @@
      warm   jobs_parallel=2
      warm   jobs_parallel=4
 
+   then exercises the crash-safety machinery on fresh stores:
+
+     resume      kill the batch mid-stream (the emit callback raises
+                 after KILL_AFTER records), then rerun with --resume
+                 semantics: the replayed+executed stream must be
+                 byte-identical to the uninterrupted one, with zero
+                 factorizations (everything was cached before the kill)
+     shard-i/2   run shards 0/2 and 1/2 against one shared store: the
+                 two streams must partition the cold stream exactly
+                 (every job once, nothing twice) and together factor no
+                 more than one cold run does
+
    and writes BENCH_batch.json:
 
      { "batch": { "jobs": J, "groups": G, "runs": [
          { "label": "cold", "jobs_parallel": 1, "factorizations": F,
-           "cache_hits": H, "cache_misses": M, "elapsed_s": S,
-           "jobs_per_s": R }, ... ] },
+           "cache_hits": H, "cache_misses": M, "replayed": P,
+           "journaled": W, "elapsed_s": S, "jobs_per_s": R }, ... ] },
        "metrics": { ... } }
 
-   validated by validate_metrics.exe (the `make bench-batch` target).
-   The bench also asserts the engine's core guarantees — warm runs
-   factor nothing, and every run's JSONL is byte-identical — so a
-   caching regression fails the target rather than just skewing the
-   numbers. *)
+   validated by validate_metrics.exe (the `make bench-batch` target,
+   and `make ci` in --quick mode).  Every guarantee above is asserted,
+   so a caching/journaling regression fails the target rather than just
+   skewing the numbers. *)
 
 let nodes = ref 600
 let steps = ref 6
@@ -63,18 +74,21 @@ let jsonl_of results =
   String.concat "\n"
     (Array.to_list (Array.map (fun r -> Util.Json.render r.Scenario.Engine.record) results))
 
-let run_once ~label ~cache_dir ~jobs_parallel jobs =
-  let config =
-    {
-      Scenario.Engine.cache_dir = Some cache_dir;
-      jobs_parallel;
-      domains = 1;
-      metrics = Util.Metrics.global;
-      warm_start = true;
-    }
-  in
+let config ~cache_dir ~jobs_parallel ?(resume = false) ?shard () =
+  {
+    Scenario.Engine.cache_dir = Some cache_dir;
+    jobs_parallel;
+    domains = 1;
+    metrics = Util.Metrics.global;
+    warm_start = true;
+    resume;
+    shard;
+  }
+
+let run_once ~label ~cache_dir ~jobs_parallel ?resume ?shard jobs =
+  let config = config ~cache_dir ~jobs_parallel ?resume ?shard () in
   let results, summary = Scenario.Engine.run ~config jobs in
-  Printf.printf "%-6s jobs_parallel=%d  %s\n%!" label jobs_parallel
+  Printf.printf "%-9s jobs_parallel=%d  %s\n%!" label jobs_parallel
     (Scenario.Engine.summary_line summary);
   (summary, jsonl_of results)
 
@@ -86,6 +100,8 @@ let run_json ~label ~jobs_parallel (s : Scenario.Engine.summary) =
       ("factorizations", Util.Json.Num (float_of_int s.Scenario.Engine.factorizations));
       ("cache_hits", Util.Json.Num (float_of_int s.Scenario.Engine.cache_hits));
       ("cache_misses", Util.Json.Num (float_of_int s.Scenario.Engine.cache_misses));
+      ("replayed", Util.Json.Num (float_of_int s.Scenario.Engine.replayed));
+      ("journaled", Util.Json.Num (float_of_int s.Scenario.Engine.journaled));
       ("elapsed_s", Util.Json.Num s.Scenario.Engine.elapsed_seconds);
       ( "jobs_per_s",
         Util.Json.Num
@@ -93,6 +109,92 @@ let run_json ~label ~jobs_parallel (s : Scenario.Engine.summary) =
              float_of_int s.Scenario.Engine.jobs /. s.Scenario.Engine.elapsed_seconds
            else 0.0) );
     ]
+
+let die fmt = Printf.ksprintf (fun msg -> prerr_endline ("batch_bench: " ^ msg); exit 1) fmt
+
+exception Killed
+
+(* Simulated crash: the stream consumer dies after [kill_after] records.
+   Returns the prefix that made it out before the kill. *)
+let killed_run ~cache_dir ~kill_after jobs =
+  let buf = Buffer.create 1024 in
+  let emitted = ref 0 in
+  let emit (r : Scenario.Engine.result) =
+    incr emitted;
+    if !emitted > kill_after then raise Killed;
+    if Buffer.length buf > 0 then Buffer.add_char buf '\n';
+    Buffer.add_string buf (Util.Json.render r.Scenario.Engine.record)
+  in
+  match Scenario.Engine.run ~config:(config ~cache_dir ~jobs_parallel:1 ()) ~emit jobs with
+  | _ -> die "killed run was not killed (emit callback never fired %d times)" (kill_after + 1)
+  | exception Killed ->
+      Printf.printf "%-9s jobs_parallel=1  killed after %d streamed record(s)\n%!" "killed"
+        kill_after;
+      Buffer.contents buf
+
+let resume_scenario ~cold_stream jobs =
+  let cache_dir = "_bench_batch_resume" in
+  clear_dir cache_dir;
+  let kill_after = 3 in
+  let prefix = killed_run ~cache_dir ~kill_after jobs in
+  let cold_lines = String.split_on_char '\n' cold_stream in
+  let expected_prefix =
+    String.concat "\n" (List.filteri (fun i _ -> i < kill_after) cold_lines)
+  in
+  if prefix <> expected_prefix then
+    die "killed run streamed something other than the first %d records" kill_after;
+  let s, stream =
+    run_once ~label:"resume" ~cache_dir ~jobs_parallel:1 ~resume:true jobs
+  in
+  if stream <> cold_stream then die "resumed run's JSONL differs from the uninterrupted stream";
+  if s.Scenario.Engine.factorizations <> 0 then
+    die "resumed run factored %d times (the killed run cached every factor)"
+      s.Scenario.Engine.factorizations;
+  if s.Scenario.Engine.replayed < kill_after then
+    die "resumed run replayed %d jobs; the killed run journaled at least %d"
+      s.Scenario.Engine.replayed kill_after;
+  if s.Scenario.Engine.replayed + s.Scenario.Engine.journaled <> Array.length jobs then
+    die "resume accounting: %d replayed + %d journaled <> %d jobs" s.Scenario.Engine.replayed
+      s.Scenario.Engine.journaled (Array.length jobs);
+  s
+
+let shard_scenario ~cold_stream ~cold_factorizations jobs =
+  let cache_dir = "_bench_batch_shard" in
+  clear_dir cache_dir;
+  let cold_lines = Array.of_list (String.split_on_char '\n' cold_stream) in
+  let njobs = Array.length jobs in
+  if Array.length cold_lines <> njobs then die "cold stream has %d lines for %d jobs"
+      (Array.length cold_lines) njobs;
+  let shards = 2 in
+  let runs =
+    List.map
+      (fun i ->
+        let label = Printf.sprintf "shard-%d/%d" i shards in
+        let s, stream = run_once ~label ~cache_dir ~jobs_parallel:1 ~shard:(i, shards) jobs in
+        let expected =
+          String.concat "\n"
+            (List.filteri
+               (fun idx _ -> Scenario.Engine.shard_of idx ~shards = i)
+               (Array.to_list cold_lines))
+        in
+        if stream <> expected then
+          die "%s streamed something other than its slice of the cold stream" label;
+        (label, s))
+      (List.init shards (fun i -> i))
+  in
+  (* Completeness + disjointness: the per-shard job counts partition the
+     batch (each index hashes into exactly one shard), and the streams
+     above matched disjoint slices of the cold stream. *)
+  let covered = List.fold_left (fun acc (_, s) -> acc + s.Scenario.Engine.jobs) 0 runs in
+  if covered <> njobs then die "shards covered %d of %d jobs" covered njobs;
+  let factored =
+    List.fold_left (fun acc (_, s) -> acc + s.Scenario.Engine.factorizations) 0 runs
+  in
+  (* Shared store, zero duplicated factorizations: the k runs together
+     factor exactly what one cold run does. *)
+  if factored <> cold_factorizations then
+    die "2 shards factored %d times; one cold run factors %d" factored cold_factorizations;
+  runs
 
 let () =
   let rec parse = function
@@ -142,6 +244,10 @@ let () =
         exit 1
       end)
     runs;
+  let resume_summary = resume_scenario ~cold_stream jobs in
+  let shard_runs =
+    shard_scenario ~cold_stream ~cold_factorizations:cold.Scenario.Engine.factorizations jobs
+  in
   let metrics =
     match Util.Json.parse (Util.Metrics.to_json Util.Metrics.global) with
     | Ok j -> j
@@ -160,8 +266,11 @@ let () =
                 Util.Json.Num (float_of_int (Array.length (Scenario.Engine.plan jobs))) );
               ( "runs",
                 Util.Json.List
-                  (List.map (fun ((label, jp), s, _) -> run_json ~label ~jobs_parallel:jp s) runs)
-              );
+                  (List.map (fun ((label, jp), s, _) -> run_json ~label ~jobs_parallel:jp s) runs
+                  @ [ run_json ~label:"resume" ~jobs_parallel:1 resume_summary ]
+                  @ List.map
+                      (fun (label, s) -> run_json ~label ~jobs_parallel:1 s)
+                      shard_runs) );
             ] );
         ("metrics", metrics);
       ]

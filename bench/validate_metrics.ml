@@ -108,6 +108,8 @@ let validate_batch_run i (r : Util.Json.t) =
   let* () = int_field "factorizations" in
   let* () = int_field "cache_hits" in
   let* () = int_field "cache_misses" in
+  let* () = int_field "replayed" in
+  let* () = int_field "journaled" in
   let* () = float_field "elapsed_s" in
   float_field "jobs_per_s"
 
@@ -131,7 +133,19 @@ let validate_batch (j : Util.Json.t) batch =
         go 0 runs
   in
   match Util.Json.member "metrics" j with
-  | Some m -> validate_registry m
+  | Some m ->
+      let* () = validate_registry m in
+      (* The resume/shard journal shows up as registry.* counters; a
+         batch artifact without them means the bench stopped exercising
+         the journaling path. *)
+      let counter name =
+        match Util.Json.member name m with
+        | Some v -> validate_metric name v
+        | None -> fail "batch metrics lack the %S counter" name
+      in
+      let* () = counter "registry.replays" in
+      let* () = counter "registry.writes" in
+      counter "registry.corrupt"
   | None -> fail "batch file lacks the \"metrics\" object"
 
 let validate_transient_record i (r : Util.Json.t) =

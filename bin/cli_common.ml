@@ -97,7 +97,27 @@ let warm_start_arg r =
 
 let cache_dir_arg r =
   Util.Args.string_opt [ "--cache-dir" ] ~docv:"DIR"
-    ~doc:"Artifact store for orderings, factors and tensors; warm runs skip setup entirely." r
+    ~doc:"Artifact store for orderings, factors and tensors; warm runs skip setup entirely.  \
+          Also holds the results journal of batch --resume/--shard." r
+
+(* "I/K" shard specs, the vocabulary of batch --shard.  Validation lives
+   here (not in the engine) so a typo surfaces as a normal exit-2 usage
+   error with the flag's own spelling in the message. *)
+let parse_shard s =
+  let malformed () =
+    Error (Printf.sprintf "--shard %s: expected I/K with integers 0 <= I < K (e.g. 0/4)" s)
+  in
+  match String.index_opt s '/' with
+  | None -> malformed ()
+  | Some slash -> (
+      let i = String.sub s 0 slash in
+      let k = String.sub s (slash + 1) (String.length s - slash - 1) in
+      match (int_of_string_opt i, int_of_string_opt k) with
+      | Some i, Some k when k >= 1 && i >= 0 && i < k -> Ok (i, k)
+      | Some _, Some k when k < 1 ->
+          Error (Printf.sprintf "--shard %s: shard count must be >= 1" s)
+      | Some i, Some k -> Error (Printf.sprintf "--shard %s: index %d out of range [0, %d)" s i k)
+      | _ -> malformed ())
 
 (* ---- run harness ------------------------------------------------------ *)
 

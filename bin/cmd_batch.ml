@@ -15,6 +15,9 @@ let run argv =
   and dry_run = ref false
   and metrics_out = ref None
   and warm_start = ref true
+  and resume = ref false
+  and shard_spec = ref None
+  and gc_results = ref false
   and log_level = ref Util.Log.Warn in
   let args =
     [
@@ -29,6 +32,19 @@ let run argv =
       Util.Args.flag [ "--dry-run" ]
         ~doc:"Only parse and plan: print the job groups sharing a factorization, solve nothing."
         dry_run;
+      Util.Args.flag [ "--resume" ]
+        ~doc:"Skip jobs whose results are journaled in --cache-dir and replay their records \
+              bitwise; everything else runs (and journals) as usual."
+        resume;
+      Util.Args.string_opt [ "--shard" ] ~docv:"I/K"
+        ~doc:"Run only shard I of K (0 <= I < K): jobs are partitioned deterministically by \
+              their position in JOBS.json, so K processes sharing one --cache-dir cover the \
+              batch exactly once."
+        shard_spec;
+      Util.Args.flag [ "--gc-results" ]
+        ~doc:"After the run, drop journaled results in --cache-dir that belong to no job of \
+              this batch (factors and tensors are kept)."
+        gc_results;
       Cli_common.metrics_out_arg metrics_out;
       Cli_common.warm_start_arg warm_start;
       Cli_common.log_level_arg log_level;
@@ -48,52 +64,95 @@ let run argv =
       Printf.eprintf "opera batch: expected exactly one JOBS.json argument\nTry 'opera batch --help'.\n";
       2
   | [ path ] -> (
-      match Scenario.Job.batch_of_file path with
-      | Error msg ->
-          Printf.eprintf "opera batch: %s: %s\n" path msg;
-          2
-      | Ok jobs when !dry_run ->
-          let groups = Scenario.Engine.plan jobs in
-          Printf.printf "%d jobs in %d groups:\n" (Array.length jobs) (Array.length groups);
-          Array.iteri
-            (fun g members ->
-              let names =
-                members |> Array.to_list
-                |> List.map (fun i -> jobs.(i).Scenario.Job.name)
-                |> String.concat ", "
-              in
-              Printf.printf "  group %d: %d job%s sharing one operator: %s\n" g
-                (Array.length members)
-                (if Array.length members = 1 then "" else "s")
-                names)
-            groups;
-          0
-      | Ok jobs -> (
-          let solve () =
-            Cli_common.with_health ~log_level:!log_level ~metrics_out:!metrics_out @@ fun () ->
-            let config =
-              {
-                Scenario.Engine.cache_dir = !cache_dir;
-                jobs_parallel = !jobs_parallel;
-                domains = !domains;
-                metrics = Util.Metrics.global;
-                warm_start = !warm_start;
-              }
-            in
-            let summary =
-              match !stream_out with
-              | None -> Scenario.Engine.run_jsonl ~config stdout jobs
-              | Some file ->
-                  let oc = open_out file in
-                  Fun.protect
-                    ~finally:(fun () -> close_out oc)
-                    (fun () -> Scenario.Engine.run_jsonl ~config oc jobs)
-            in
-            prerr_endline (Scenario.Engine.summary_line summary)
+      let usage_error msg =
+        Printf.eprintf "opera batch: %s\nTry 'opera batch --help'.\n" msg;
+        2
+      in
+      let shard =
+        match !shard_spec with
+        | None -> Ok None
+        | Some s -> Result.map Option.some (Cli_common.parse_shard s)
+      in
+      match shard with
+      | Error msg -> usage_error msg
+      | Ok _ when !resume && !cache_dir = None ->
+          usage_error "--resume needs --cache-dir (the journal lives there)"
+      | Ok _ when !gc_results && !cache_dir = None ->
+          usage_error "--gc-results needs --cache-dir (the journal lives there)"
+      | Ok shard -> (
+          let shard_filter jobs =
+            match shard with
+            | None -> jobs
+            | Some (i, k) ->
+                Array.to_list jobs
+                |> List.filteri (fun idx _ -> Scenario.Engine.shard_of idx ~shards:k = i)
+                |> Array.of_list
           in
-          try solve ()
-          with Scenario.Engine.Invalid_batch msg ->
-            (* The engine refuses before any job runs (e.g. a probe out of
-               range for its grid) — same discipline as a bad flag. *)
-            Printf.eprintf "opera batch: %s: %s\nTry 'opera batch --help'.\n" path msg;
-            2))
+          match Scenario.Job.batch_of_file path with
+          | Error msg ->
+              Printf.eprintf "opera batch: %s: %s\n" path msg;
+              2
+          | Ok jobs when !dry_run ->
+              let total = Array.length jobs in
+              let jobs = shard_filter jobs in
+              let groups = Scenario.Engine.plan jobs in
+              (match shard with
+              | Some (i, k) ->
+                  Printf.printf "shard %d/%d: %d of %d jobs in %d groups:\n" i k
+                    (Array.length jobs) total (Array.length groups)
+              | None -> Printf.printf "%d jobs in %d groups:\n" total (Array.length groups));
+              Array.iteri
+                (fun g members ->
+                  let names =
+                    members |> Array.to_list
+                    |> List.map (fun i -> jobs.(i).Scenario.Job.name)
+                    |> String.concat ", "
+                  in
+                  Printf.printf "  group %d: %d job%s sharing one operator: %s\n" g
+                    (Array.length members)
+                    (if Array.length members = 1 then "" else "s")
+                    names)
+                groups;
+              0
+          | Ok jobs -> (
+              let solve () =
+                Cli_common.with_health ~log_level:!log_level ~metrics_out:!metrics_out
+                @@ fun () ->
+                let config =
+                  {
+                    Scenario.Engine.cache_dir = !cache_dir;
+                    jobs_parallel = !jobs_parallel;
+                    domains = !domains;
+                    metrics = Util.Metrics.global;
+                    warm_start = !warm_start;
+                    resume = !resume;
+                    shard;
+                  }
+                in
+                let summary =
+                  match !stream_out with
+                  | None -> Scenario.Engine.run_jsonl ~config stdout jobs
+                  | Some file ->
+                      let oc = open_out file in
+                      Fun.protect
+                        ~finally:(fun () -> close_out oc)
+                        (fun () -> Scenario.Engine.run_jsonl ~config oc jobs)
+                in
+                prerr_endline (Scenario.Engine.summary_line summary);
+                if !gc_results then begin
+                  (* Keep every job of the batch FILE, not just this
+                     shard's slice — cooperating shard processes must not
+                     collect each other's journal entries. *)
+                  let registry = Scenario.Registry.create ~dir:!cache_dir () in
+                  let removed = Scenario.Registry.gc registry ~keep:jobs in
+                  if removed > 0 then
+                    Printf.eprintf "gc: dropped %d stale journal entr%s\n" removed
+                      (if removed = 1 then "y" else "ies")
+                end
+              in
+              try solve ()
+              with Scenario.Engine.Invalid_batch msg ->
+                (* The engine refuses before any job runs (e.g. a probe out
+                   of range for its grid) — same discipline as a bad flag. *)
+                Printf.eprintf "opera batch: %s: %s\nTry 'opera batch --help'.\n" path msg;
+                2)))

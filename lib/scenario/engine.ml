@@ -6,6 +6,8 @@ type config = {
   domains : int;
   metrics : Util.Metrics.t;
   warm_start : bool;
+  resume : bool;
+  shard : (int * int) option;
 }
 
 let default_config =
@@ -15,6 +17,8 @@ let default_config =
     domains = 0;
     metrics = Util.Metrics.global;
     warm_start = true;
+    resume = false;
+    shard = None;
   }
 
 type result = { job : Job.t; record : Util.Json.t; response : Opera.Response.t option }
@@ -26,8 +30,20 @@ type summary = {
   cache_hits : int;
   cache_misses : int;
   cache_corrupt : int;
+  replayed : int;
+  journaled : int;
+  registry_corrupt : int;
   elapsed_seconds : float;
 }
+
+(* Shard membership is a pure function of the job's position in the
+   batch file, so k processes parsing the same file agree on the
+   partition without coordinating — and every index lands in exactly
+   one shard. *)
+let shard_of i ~shards =
+  if shards < 1 then invalid_arg "Engine.shard_of: shard count must be >= 1";
+  let h = Util.Codec.fnv1a (Printf.sprintf "job-index:%d" i) in
+  Int64.to_int (Int64.rem (Int64.logand h Int64.max_int) (Int64.of_int shards))
 
 let vdd_default = 1.2
 
@@ -614,13 +630,48 @@ let run_job ctx job reg ~inner ~warm_start =
 
 (* ---- batch execution ------------------------------------------------- *)
 
-let run ?(config = default_config) jobs =
+let shard_filter config jobs =
+  match config.shard with
+  | None -> jobs
+  | Some (i, k) ->
+      if k < 1 || i < 0 || i >= k then
+        raise
+          (Invalid_batch
+             (Printf.sprintf "shard %d/%d is not a valid partition (need 0 <= i < k)" i k));
+      let sel = ref [] in
+      Array.iteri (fun idx job -> if shard_of idx ~shards:k = i then sel := job :: !sel) jobs;
+      Array.of_list (List.rev !sel)
+
+let run ?(config = default_config) ?emit jobs =
   let t0 = Util.Timer.start () in
   let metrics = config.metrics in
-  let store = Store.create ~metrics ~dir:config.cache_dir () in
+  if Array.length jobs = 0 then raise (Invalid_batch "empty batch");
+  (* Shard membership is decided on batch-file positions, BEFORE resume
+     or planning, so k cooperating processes partition the same job set
+     no matter which of them already journaled what. *)
+  let jobs = shard_filter config jobs in
   let njobs = Array.length jobs in
-  if njobs = 0 then raise (Invalid_batch "empty batch");
-  let groups = plan jobs in
+  let store = Store.create ~metrics ~dir:config.cache_dir () in
+  let registry = Registry.create ~dir:config.cache_dir () in
+  (* Resume replays journaled records without building anything: a
+     replayed job needs no context, no factors, not even its group. *)
+  let out : result option array = Array.make njobs None in
+  let done_ = Array.make njobs false in
+  if config.resume then
+    Array.iteri
+      (fun i job ->
+        match Registry.lookup registry job with
+        | Some record ->
+            out.(i) <- Some { job; record; response = None };
+            done_.(i) <- true
+        | None -> ())
+      jobs;
+  let pending =
+    Array.of_list
+      (List.filter (fun i -> not done_.(i)) (List.init njobs (fun i -> i)))
+  in
+  let npending = Array.length pending in
+  let groups = plan (Array.map (fun i -> jobs.(i)) pending) in
   let factorizations = ref 0 in
   let count () =
     incr factorizations;
@@ -629,19 +680,22 @@ let run ?(config = default_config) jobs =
   let ctx_of = Array.make njobs None in
   Array.iter
     (fun members ->
-      let rep = jobs.(members.(0)) in
+      let rep = jobs.(pending.(members.(0))) in
       let ctx =
         Util.Metrics.span metrics "engine.group_setup_s" (fun () ->
-            build_ctx store count rep (Array.map (fun i -> jobs.(i)) members))
+            build_ctx store count rep (Array.map (fun i -> jobs.(pending.(i))) members))
       in
-      Array.iter (fun i -> ctx_of.(i) <- Some ctx) members)
+      Array.iter (fun i -> ctx_of.(pending.(i)) <- Some ctx) members)
     groups;
   (* Probe bounds need the built contexts (a netlist's node count is only
      known after parsing), but must be checked BEFORE the parallel fan-out
      so a bad spec surfaces as a normal usage error, not a backtrace out
-     of a worker domain. *)
-  Array.iteri
-    (fun i (job : Job.t) ->
+     of a worker domain.  Replayed jobs were validated by the run that
+     journaled them (an out-of-range probe never completes, hence never
+     journals). *)
+  Array.iter
+    (fun i ->
+      let job = jobs.(i) in
       match job.Job.probe with
       | None -> ()
       | Some p ->
@@ -655,32 +709,118 @@ let run ?(config = default_config) jobs =
             raise
               (Invalid_batch
                  (Printf.sprintf "job %s: probe %d out of range [0, %d)" job.Job.name p n)))
-    jobs;
-  let jp = Int.min (Util.Parallel.resolve config.jobs_parallel) njobs in
+    pending;
+  let jp = Int.max 1 (Int.min (Util.Parallel.resolve config.jobs_parallel) npending) in
   (* Jobs in flight own their domain: inner solver parallelism is forced
      sequential whenever the batch itself fans out, so the domain count
      stays bounded by [jobs_parallel]. *)
   let inner = if jp > 1 then 1 else config.domains in
-  let regs = Array.init njobs (fun _ -> Util.Metrics.create ()) in
-  let out = Array.make njobs None in
-  Util.Parallel.for_chunks ~domains:jp njobs (fun ~chunk:_ ~lo ~hi ->
-      for i = lo to hi - 1 do
-        (* Disjoint by construction: job [i] writes only slot [i], and
-           each job owns its private metrics registry [regs.(i)]. *)
-        (* opera-lint: race *)
-        out.(i) <-
-          Some
-            (run_job (Option.get ctx_of.(i)) jobs.(i) regs.(i) ~inner
-               ~warm_start:config.warm_start)
-      done);
-  Array.iter (fun reg -> Util.Metrics.merge_into reg ~into:metrics) regs;
-  let results =
-    Array.mapi
-      (fun i job ->
-        let record, response = Option.get out.(i) in
-        { job; record; response })
-      jobs
+  let regs = Array.init npending (fun _ -> Util.Metrics.create ()) in
+  (* Streaming fan-out.  Workers claim pending jobs off an atomic
+     counter; every completion journals its record, then publishes the
+     result under [lock] and signals [cond].  Only the main domain
+     emits: records leave in input order, each flushed as soon as it and
+     every earlier-indexed job are done, so a killed run's JSONL is
+     always an exact prefix of the uninterrupted stream.  A failing job
+     parks its exception (lowest input index wins, matching the
+     deterministic re-raise discipline of Util.Parallel.for_chunks) and
+     later jobs still run; a failing emit callback stops further claims
+     and re-raises after the in-flight jobs drain. *)
+  let lock = Mutex.create () in
+  let cond = Condition.create () in
+  let claim = Atomic.make 0 in
+  let stop = Atomic.make false in
+  let remaining = ref npending in
+  let job_failure = ref None in
+  let emit_failure = ref None in
+  let work_one c =
+    let i = pending.(c) in
+    (match
+       run_job (Option.get ctx_of.(i)) jobs.(i) regs.(c) ~inner ~warm_start:config.warm_start
+     with
+    | record, response ->
+        (* Journal-ahead: the record is on disk (atomically) before it
+           can reach the stream, so --resume never misses an emitted
+           record.  Registry serializes its own writes. *)
+        Registry.record registry jobs.(i) record;
+        Mutex.lock lock;
+        out.(i) <- Some { job = jobs.(i); record; response };
+        done_.(i) <- true
+    | exception e ->
+        Mutex.lock lock;
+        (match !job_failure with
+        | Some (j, _) when j <= i -> ()
+        | _ -> job_failure := Some (i, e)));
+    decr remaining;
+    Condition.broadcast cond;
+    Mutex.unlock lock
   in
+  let rec worker_loop () =
+    if not (Atomic.get stop) then begin
+      let c = Atomic.fetch_and_add claim 1 in
+      if c < npending then begin
+        work_one c;
+        worker_loop ()
+      end
+    end
+  in
+  let next_emit = ref 0 in
+  let drain_ready () =
+    match emit with
+    | None -> ()
+    | Some emit when !emit_failure = None ->
+        let ready = ref [] in
+        Mutex.lock lock;
+        while !next_emit < njobs && done_.(!next_emit) do
+          ready := Option.get out.(!next_emit) :: !ready;
+          incr next_emit
+        done;
+        Mutex.unlock lock;
+        (* The callback runs unlocked: it may flush to a pipe, block on a
+           slow consumer, or raise — none of which may stall workers. *)
+        List.iter
+          (fun r ->
+            if !emit_failure = None then
+              match emit r with
+              | () -> ()
+              | exception e ->
+                  emit_failure := Some e;
+                  Atomic.set stop true)
+          (List.rev !ready)
+    | Some _ -> ()
+  in
+  let workers = Array.init (jp - 1) (fun _ -> Domain.spawn worker_loop) in
+  let rec main_loop () =
+    drain_ready ();
+    if not (Atomic.get stop) then begin
+      let c = Atomic.fetch_and_add claim 1 in
+      if c < npending then begin
+        work_one c;
+        main_loop ()
+      end
+    end
+  in
+  main_loop ();
+  (* Emit stragglers as their prefixes complete; on an emit failure the
+     sink is dead, so just drain the in-flight jobs via the joins. *)
+  Mutex.lock lock;
+  while !remaining > 0 && !emit_failure = None do
+    Condition.wait cond lock;
+    Mutex.unlock lock;
+    drain_ready ();
+    Mutex.lock lock
+  done;
+  Mutex.unlock lock;
+  Array.iter Domain.join workers;
+  drain_ready ();
+  Array.iter (fun reg -> Util.Metrics.merge_into reg ~into:metrics) regs;
+  let rstats = Registry.stats registry in
+  Util.Metrics.incr metrics ~by:rstats.Registry.replayed "registry.replays";
+  Util.Metrics.incr metrics ~by:rstats.Registry.journaled "registry.writes";
+  Util.Metrics.incr metrics ~by:rstats.Registry.corrupt "registry.corrupt";
+  (match !job_failure with Some (_, e) -> raise e | None -> ());
+  (match !emit_failure with Some e -> raise e | None -> ());
+  let results = Array.map Option.get out in
   let st = Store.stats store in
   ( results,
     {
@@ -690,21 +830,27 @@ let run ?(config = default_config) jobs =
       cache_hits = st.Store.hits;
       cache_misses = st.Store.misses;
       cache_corrupt = st.Store.corrupt;
+      replayed = rstats.Registry.replayed;
+      journaled = rstats.Registry.journaled;
+      registry_corrupt = rstats.Registry.corrupt;
       elapsed_seconds = Util.Timer.elapsed_s t0;
     } )
 
 let run_jsonl ?config out jobs =
-  let results, summary = run ?config jobs in
-  Array.iter
-    (fun r ->
-      output_string out (Util.Json.render r.record);
-      output_char out '\n')
-    results;
+  (* Stream: each record leaves the process the moment its prefix is
+     complete, so a crash at job N loses nothing of jobs 0..N-1. *)
+  let emit r =
+    output_string out (Util.Json.render r.record);
+    output_char out '\n';
+    flush out
+  in
+  let _, summary = run ?config ~emit jobs in
   summary
 
 let summary_line s =
   Printf.sprintf
-    "batch: %d job(s) in %d group(s), %d factorization(s), cache %d hit(s) / %d miss(es)%s, %.2f s"
+    "batch: %d job(s) in %d group(s), %d factorization(s), cache %d hit(s) / %d miss(es)%s%s, %.2f s"
     s.jobs s.groups s.factorizations s.cache_hits s.cache_misses
     (if s.cache_corrupt > 0 then Printf.sprintf " (%d corrupt)" s.cache_corrupt else "")
+    (if s.replayed > 0 then Printf.sprintf ", %d replayed" s.replayed else "")
     s.elapsed_seconds

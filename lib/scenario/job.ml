@@ -306,3 +306,50 @@ let operator_bytes job =
   Util.Codec.contents e
 
 let signature job = Digest.to_hex (Digest.string (operator_bytes job))
+
+(* ---- result signature ------------------------------------------------
+
+   The registry journals completed RECORDS, so its key must pin down
+   everything that can change a record: the operator bytes plus exactly
+   the knobs [operator_bytes] excludes because they don't reshape the
+   matrices — excitation scales, timestep, step count, probe, analysis
+   payload (lambda, budget), policy and convergence tolerances.  Two
+   jobs with equal [result_bytes] produce bitwise-equal records, so a
+   journaled record can be replayed without re-running the solve. *)
+
+let result_bytes job =
+  let e = Util.Codec.encoder () in
+  Util.Codec.write_string e (operator_bytes job);
+  Util.Codec.write_string e job.name;
+  Util.Codec.write_string e (analysis_name job.analysis);
+  (match job.analysis with
+  | Dc | Transient -> ()
+  | Special { regions = _; lambda } ->
+      (* regions already live in the operator bytes *)
+      Util.Codec.write_float e lambda
+  | Yield { budget_pct } -> Util.Codec.write_float e budget_pct);
+  Util.Codec.write_float e job.h;
+  Util.Codec.write_int e job.steps;
+  (* Convergence knobs can change how far an iterative solve runs, hence
+     the digits of the record; [operator_bytes] deliberately leaves them
+     out (they never invalidate a factorization). *)
+  (match job.solver with
+  | Opera.Galerkin.Direct -> ()
+  | Opera.Galerkin.Mean_pcg { tol; max_iter } | Opera.Galerkin.Matrix_free_pcg { tol; max_iter }
+    ->
+      Util.Codec.write_float e tol;
+      Util.Codec.write_int e max_iter
+  | Opera.Galerkin.St { tol; max_refine; candidates = _; seed = _ } ->
+      Util.Codec.write_float e tol;
+      Util.Codec.write_int e max_refine);
+  Util.Codec.write_string e (policy_name job.policy);
+  Util.Codec.write_float e job.drain_scale;
+  Util.Codec.write_float e job.leak_scale;
+  (match job.probe with
+  | None -> Util.Codec.write_bool e false
+  | Some p ->
+      Util.Codec.write_bool e true;
+      Util.Codec.write_int e p);
+  Util.Codec.contents e
+
+let result_signature job = Digest.to_hex (Digest.string (result_bytes job))

@@ -93,3 +93,14 @@ val operator_bytes : t -> string
 
 val signature : t -> string
 (** Hex digest of {!operator_bytes}; equal signatures share factors. *)
+
+val result_bytes : t -> string
+(** Canonical bytes of everything that shapes the job's {e record}:
+    {!operator_bytes} plus the fields it deliberately excludes — name,
+    analysis payload (lambda, budget), excitation scales, timestep,
+    step count, probe, convergence policy and tolerances.  Jobs with
+    equal [result_bytes] produce bitwise-equal JSONL records, which is
+    the replay contract of the results {!Registry}. *)
+
+val result_signature : t -> string
+(** Hex digest of {!result_bytes}; the journal key of [--resume]. *)

@@ -27,10 +27,12 @@ let key_of_bytes bytes = Digest.to_hex (Digest.string bytes)
 
 (* One artifact = one file, named by kind and content key.  The key hex
    comes from a Digest of canonical bytes, so it is filename-safe. *)
+let file_name ~kind ~key = Printf.sprintf "%s-%s.opra" kind key
+
 let path t ~kind ~key =
   match t.dir with
   | None -> None
-  | Some dir -> Some (Filename.concat dir (Printf.sprintf "%s-%s.opra" kind key))
+  | Some dir -> Some (Filename.concat dir (file_name ~kind ~key))
 
 let remove_corrupt path =
   try Sys.remove path with Sys_error _ -> ()
@@ -49,6 +51,14 @@ let find_or_build t ~kind ~version ~key ~encode ~decode ~build =
         Util.Metrics.incr t.metrics "store.writes";
         value
       in
+      let corrupt why =
+        (* Never trust a damaged artifact: log, drop, rebuild. *)
+        t.stats.corrupt <- t.stats.corrupt + 1;
+        Util.Metrics.incr t.metrics "store.corrupt";
+        Util.Log.warnf "store: rebuilding corrupt artifact %s (%s)" file why;
+        remove_corrupt file;
+        rebuild ()
+      in
       (match Util.Codec.read_file file with
       | None -> rebuild ()
       | Some bytes -> (
@@ -62,10 +72,42 @@ let find_or_build t ~kind ~version ~key ~encode ~decode ~build =
               t.stats.hits <- t.stats.hits + 1;
               Util.Metrics.incr t.metrics "store.hits";
               value
-          | exception Util.Codec.Corrupt why ->
-              (* Never trust a damaged artifact: log, drop, rebuild. *)
-              t.stats.corrupt <- t.stats.corrupt + 1;
-              Util.Metrics.incr t.metrics "store.corrupt";
-              Util.Log.warnf "store: rebuilding corrupt artifact %s (%s)" file why;
-              remove_corrupt file;
-              rebuild ()))
+          | exception Util.Codec.Corrupt why -> corrupt why
+          | exception ((Out_of_memory | Stack_overflow) as fatal) -> raise fatal
+          | exception e ->
+              (* A checksum-valid frame whose payload still blows up the
+                 decoder (stale encoder, schema drift the version tag
+                 missed) is cache damage, not a bug worth crashing the
+                 batch over — same drop-and-rebuild path as Corrupt. *)
+              corrupt (Printexc.to_string e)))
+
+(* ---- garbage collection ----------------------------------------------
+
+   Artifacts are content-addressed, so nothing ever dangles — GC is a
+   policy decision (drop entries of [kind] whose key the caller no
+   longer wants), used by the results registry to evict journal records
+   of jobs that left the batch. *)
+
+let gc_dir ~dir ~kind ~keep =
+  match Sys.readdir dir with
+  | exception Sys_error _ -> 0
+  | files ->
+      let prefix = kind ^ "-" and suffix = ".opra" in
+      Array.fold_left
+        (fun removed f ->
+          if String.starts_with ~prefix f && Filename.check_suffix f suffix then begin
+            let key =
+              String.sub f (String.length prefix)
+                (String.length f - String.length prefix - String.length suffix)
+            in
+            if keep key then removed
+            else begin
+              (try Sys.remove (Filename.concat dir f) with Sys_error _ -> ());
+              removed + 1
+            end
+          end
+          else removed)
+        0 files
+
+let gc t ~kind ~keep =
+  match t.dir with None -> 0 | Some dir -> gc_dir ~dir ~kind ~keep

@@ -37,6 +37,10 @@ val stats : t -> stats
 val key_of_bytes : string -> string
 (** Hex digest of canonical artifact-identity bytes (filename-safe). *)
 
+val file_name : kind:string -> key:string -> string
+(** Basename of an artifact file, [<kind>-<key>.opra] — the naming
+    contract shared by the store and the results {!Registry}. *)
+
 val path : t -> kind:string -> key:string -> string option
 (** On-disk location of an artifact ([None] when the store is disabled).
     Exposed so corruption tests can damage a cached file in place. *)
@@ -53,5 +57,19 @@ val find_or_build :
 (** Read-through lookup.  On hit, [decode] runs on the validated frame
     payload (and may itself raise {!Util.Codec.Corrupt} on semantic
     mismatch, e.g. a tensor stored for a different basis — that counts
-    as corruption and triggers a rebuild).  On miss, [build ()] runs and
-    its encoding is written back atomically (temp file + rename). *)
+    as corruption and triggers a rebuild).  Any other exception [decode]
+    raises — a stale encoder leaving a checksum-valid but semantically
+    malformed payload, say [Invalid_argument] out of an array build —
+    is treated the same way: logged, dropped, rebuilt.  Only
+    [Out_of_memory] and [Stack_overflow] stay fatal.  On miss,
+    [build ()] runs and its encoding is written back atomically (temp
+    file + rename, world-readable). *)
+
+val gc_dir : dir:string -> kind:string -> keep:(string -> bool) -> int
+(** Remove every [<kind>-<key>.opra] under [dir] whose [key] fails the
+    [keep] predicate; returns the number removed.  Other kinds and
+    foreign files are untouched.  Missing or unreadable directories
+    count as empty. *)
+
+val gc : t -> kind:string -> keep:(string -> bool) -> int
+(** {!gc_dir} against the store's directory; [0] when disabled. *)

@@ -179,6 +179,14 @@ let unframe ~kind ~version (s : string) =
 
 (* ---- files ---------------------------------------------------------- *)
 
+(* Read once at module init (single-domain by construction): umask can
+   only be queried by setting it, which would race once domains fan
+   out. *)
+let process_umask =
+  let m = Unix.umask 0o022 in
+  ignore (Unix.umask m);
+  m
+
 let write_file path (data : string) =
   (* Atomic-ish: write a sibling temp file, then rename over the target,
      so a crash mid-write never leaves a half-frame under the final name
@@ -193,6 +201,10 @@ let write_file path (data : string) =
       close_out_noerr oc;
       (try Sys.remove tmp with Sys_error _ -> ());
       raise e);
+  (* temp_file creates mode 0600; artifacts are shared-cache currency
+     (other users/hosts mount the dir read-only), so widen to the usual
+     0644 modulo the process umask before publishing the name. *)
+  (try Unix.chmod tmp (0o644 land lnot process_umask) with Unix.Unix_error _ -> ());
   Sys.rename tmp path
 
 let read_file path =

@@ -84,7 +84,10 @@ val fnv1a : ?pos:int -> ?len:int -> string -> int64
 
 val write_file : string -> string -> unit
 (** Write bytes through a same-directory temp file and [rename], so the
-    final path never holds a partially written frame. *)
+    final path never holds a partially written frame.  The file lands
+    with mode [0o644] masked by the process umask (not the 0600 of the
+    temp file), so readers sharing the cache directory — the sharded
+    multi-process batch scenario — can open it. *)
 
 val read_file : string -> string option
 (** Whole-file read; [None] when the file is missing or unreadable. *)

@@ -1,8 +1,13 @@
-type t = float
+(* Monotonic stopwatch: [Monotonic_clock.now] counts nanoseconds on
+   CLOCK_MONOTONIC (the same source Metrics histograms use), so elapsed
+   times cannot jump or go negative when NTP steps the wall clock
+   mid-run — batch summaries and bench records stay trustworthy. *)
 
-let start () = Unix.gettimeofday ()
+type t = int64
 
-let elapsed_s t0 = Unix.gettimeofday () -. t0
+let start () = Monotonic_clock.now ()
+
+let elapsed_s t0 = Int64.to_float (Int64.sub (Monotonic_clock.now ()) t0) *. 1e-9
 
 let time f =
   let t0 = start () in

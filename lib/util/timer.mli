@@ -1,4 +1,6 @@
-(** Wall-clock timing helpers used by the benchmark harness. *)
+(** Elapsed-time helpers used by the benchmark harness and the batch
+    engine.  Backed by the monotonic clock, not the wall clock, so
+    elapsed readings are immune to NTP steps. *)
 
 type t
 (** A started stopwatch. *)
@@ -7,7 +9,8 @@ val start : unit -> t
 (** [start ()] starts a stopwatch. *)
 
 val elapsed_s : t -> float
-(** [elapsed_s t] is the wall-clock time in seconds since [start]. *)
+(** [elapsed_s t] is the monotonic elapsed time in seconds since
+    [start]; never negative. *)
 
 val time : (unit -> 'a) -> 'a * float
 (** [time f] runs [f ()] and returns its result together with the elapsed

@@ -34,7 +34,13 @@ let test_usage_errors_exit_two () =
   check "unexpected positional" 2 "analyze stray";
   check "batch without a file" 2 "batch";
   check "batch with a missing file" 2 "batch /nonexistent/jobs.json";
-  check "batch with extra positionals" 2 "batch a.json b.json"
+  check "batch with extra positionals" 2 "batch a.json b.json";
+  check "--resume without --cache-dir" 2 "batch --resume /nonexistent/jobs.json";
+  check "--gc-results without --cache-dir" 2 "batch --gc-results /nonexistent/jobs.json";
+  check "malformed --shard" 2 "batch --shard x /nonexistent/jobs.json";
+  check "--shard missing the slash" 2 "batch --shard 2 /nonexistent/jobs.json";
+  check "--shard index out of range" 2 "batch --shard 3/2 /nonexistent/jobs.json";
+  check "--shard count of zero" 2 "batch --shard 0/0 /nonexistent/jobs.json"
 
 let with_temp_file contents f =
   let path = Filename.temp_file "opera_cli_test" ".json" in
@@ -66,10 +72,39 @@ let test_batch_runs_a_tiny_batch () =
       check "tiny batch runs clean" 0 ("batch " ^ Filename.quote path);
       check "dry-run plans without solving" 0 ("batch --dry-run " ^ Filename.quote path))
 
+let with_temp_dir f =
+  let dir = Filename.temp_file "opera_cli_cache" "" in
+  Sys.remove dir;
+  let rm_rf () =
+    if Sys.file_exists dir then begin
+      Array.iter (fun name -> Sys.remove (Filename.concat dir name)) (Sys.readdir dir);
+      Sys.rmdir dir
+    end
+  in
+  Fun.protect ~finally:rm_rf (fun () -> f dir)
+
+let test_batch_resume_and_shard_exit_zero () =
+  with_temp_file
+    {|{"defaults": {"nodes": 120, "steps": 2, "solver": "direct"},
+       "jobs": [{"name": "a", "analysis": "dc"},
+                {"name": "b", "analysis": "dc", "drain_scale": 1.5}]}|}
+    (fun path ->
+      with_temp_dir (fun dir ->
+          let d = Filename.quote dir and p = Filename.quote path in
+          check "cold cached batch" 0 (Printf.sprintf "batch --cache-dir %s %s" d p);
+          check "resumed batch" 0 (Printf.sprintf "batch --cache-dir %s --resume %s" d p);
+          (* with 2 jobs one of the 2 shards may be empty; both must still
+             succeed, and together they cover the batch *)
+          check "shard 0/2" 0 (Printf.sprintf "batch --cache-dir %s --shard 0/2 %s" d p);
+          check "shard 1/2" 0 (Printf.sprintf "batch --cache-dir %s --shard 1/2 %s" d p);
+          check "gc keeps a live batch" 0
+            (Printf.sprintf "batch --cache-dir %s --resume --gc-results %s" d p)))
+
 let suite =
   [
     Alcotest.test_case "--help and --version exit 0" `Quick test_help_exits_zero;
     Alcotest.test_case "usage errors exit 2" `Quick test_usage_errors_exit_two;
     Alcotest.test_case "bad job files exit 2" `Quick test_batch_rejects_malformed_jobs;
     Alcotest.test_case "a tiny batch exits 0" `Slow test_batch_runs_a_tiny_batch;
+    Alcotest.test_case "resume and shard flags exit 0" `Slow test_batch_resume_and_shard_exit_zero;
   ]

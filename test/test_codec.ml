@@ -146,6 +146,23 @@ let test_file_roundtrip () =
   Sys.remove path;
   Alcotest.(check bool) "missing file" true (C.read_file path = None)
 
+let test_write_file_permissions () =
+  (* temp_file creates 0600 scratch files; write_file must not leak that
+     mode into the store — artifacts are shared-readable (0644 masked by
+     the process umask) so cooperating shard processes under different
+     users can replay each other's results. *)
+  let path = Filename.temp_file "codec_perm" ".opra" in
+  C.write_file path (frame_payload ());
+  let umask =
+    let m = Unix.umask 0o022 in
+    ignore (Unix.umask m);
+    m
+  in
+  let st = Unix.stat path in
+  Alcotest.(check int) "mode is 0o644 masked by umask" (0o644 land lnot umask)
+    (st.Unix.st_perm land 0o777);
+  Sys.remove path
+
 let suite =
   [
     Alcotest.test_case "int round-trip" `Quick test_int_roundtrip;
@@ -160,4 +177,5 @@ let suite =
     Alcotest.test_case "bit flips fail the checksum" `Quick test_bit_flip_checksum;
     Alcotest.test_case "fnv1a test vectors" `Quick test_fnv1a_known;
     Alcotest.test_case "file round-trip" `Quick test_file_roundtrip;
+    Alcotest.test_case "write_file chmods artifacts" `Quick test_write_file_permissions;
   ]

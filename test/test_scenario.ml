@@ -39,10 +39,20 @@ let fresh_dir () =
 let records_of results =
   Array.to_list (Array.map (fun r -> Util.Json.render r.Engine.record) results)
 
-let run ?cache_dir ?(jobs_parallel = 1) ?metrics jobs =
+let run ?cache_dir ?(jobs_parallel = 1) ?(resume = false) ?shard ?metrics ?emit jobs =
   let metrics = match metrics with Some m -> m | None -> Util.Metrics.create () in
-  let config = { Engine.cache_dir; jobs_parallel; domains = 1; metrics; warm_start = true } in
-  Engine.run ~config jobs
+  let config =
+    {
+      Engine.cache_dir;
+      jobs_parallel;
+      domains = 1;
+      metrics;
+      warm_start = true;
+      resume;
+      shard;
+    }
+  in
+  Engine.run ~config ?emit jobs
 
 (* --- planning ------------------------------------------------------- *)
 
@@ -392,6 +402,215 @@ let test_invalid_batch () =
       Alcotest.(check bool) "message names the offending job" true
         (String.starts_with ~prefix:"job bad: probe" msg)
 
+(* --- resume: journaled results replay bitwise ------------------------- *)
+
+let truncate_in_place path =
+  let ic = open_in_bin path in
+  let len = in_channel_length ic in
+  let bytes = really_input_string ic (len / 2) in
+  close_in ic;
+  let oc = open_out_bin path in
+  output_string oc bytes;
+  close_out oc
+
+let test_resume_replays_bitwise () =
+  let jobs =
+    [|
+      { (base_job "tr") with Job.analysis = Job.Transient };
+      base_job "dc";
+      { (base_job "sp") with Job.analysis = Job.Special { regions = 4; lambda = 0.5 } };
+    |]
+  in
+  let cache_dir = fresh_dir () in
+  let cold_results, cold_summary = run ~cache_dir jobs in
+  Alcotest.(check int) "cold run journals every job" 3 cold_summary.Engine.journaled;
+  Alcotest.(check int) "cold run replays nothing" 0 cold_summary.Engine.replayed;
+  (* Resume: every record replays from the journal; no job executes. *)
+  let metrics = Util.Metrics.create () in
+  let resumed_results, resumed_summary = run ~cache_dir ~resume:true ~metrics jobs in
+  Alcotest.(check int) "resume replays every job" 3 resumed_summary.Engine.replayed;
+  Alcotest.(check int) "resume journals nothing new" 0 resumed_summary.Engine.journaled;
+  Alcotest.(check int) "resume factors nothing" 0 resumed_summary.Engine.factorizations;
+  Alcotest.(check int) "no job executed" 0 (Util.Metrics.counter metrics "engine.jobs");
+  Alcotest.(check (list string))
+    "replayed records match the cold run bitwise"
+    (records_of cold_results) (records_of resumed_results);
+  Array.iter
+    (fun r -> Alcotest.(check bool) "replayed results carry no response" true (r.Engine.response = None))
+    resumed_results;
+  (* Truncate one journal entry mid-record: the damaged entry must be
+     dropped and its job re-run, never trusted. *)
+  let registry = Scenario.Registry.create ~dir:(Some cache_dir) () in
+  (match Scenario.Registry.path registry jobs.(0) with
+  | Some path -> truncate_in_place path
+  | None -> Alcotest.fail "registry path missing");
+  let damaged_results, damaged_summary = run ~cache_dir ~resume:true jobs in
+  Alcotest.(check int) "two intact entries replay" 2 damaged_summary.Engine.replayed;
+  Alcotest.(check int) "the damaged job re-runs and re-journals" 1 damaged_summary.Engine.journaled;
+  Alcotest.(check int) "one corrupt journal entry dropped" 1 damaged_summary.Engine.registry_corrupt;
+  Alcotest.(check (list string))
+    "stream after journal damage still matches the cold run bitwise"
+    (records_of cold_results) (records_of damaged_results);
+  (* ...and the journal healed: a further resume replays everything. *)
+  let _, healed = run ~cache_dir ~resume:true jobs in
+  Alcotest.(check int) "healed journal replays every job" 3 healed.Engine.replayed
+
+(* --- a simulated kill mid-stream, then resume ------------------------- *)
+
+exception Kill
+
+let test_kill_then_resume () =
+  let jobs =
+    Array.init 5 (fun i ->
+        { (base_job (Printf.sprintf "dc%d" i)) with Job.drain_scale = 0.5 +. (0.25 *. float_of_int i) })
+  in
+  let cache_dir = fresh_dir () in
+  let reference_results, _ = run jobs in
+  let emitted = ref 0 in
+  let emit _ =
+    incr emitted;
+    if !emitted > 2 then raise Kill
+  in
+  (match run ~cache_dir ~emit jobs with
+  | _ -> Alcotest.fail "killed run was not killed"
+  | exception Kill -> ());
+  Alcotest.(check int) "two records left; the third emit was the kill" 3 !emitted;
+  (* The journal survived the kill: resume replays the finished prefix,
+     runs the rest, and the full stream is bitwise identical to an
+     uninterrupted run — with zero factorizations, because the killed
+     run's group setup already cached the factor. *)
+  let resumed_results, s = run ~cache_dir ~resume:true jobs in
+  Alcotest.(check bool) "the killed run journaled its completions" true (s.Engine.replayed >= 2);
+  Alcotest.(check int) "replays + reruns cover the batch" 5 (s.Engine.replayed + s.Engine.journaled);
+  Alcotest.(check int) "nothing refactored on resume" 0 s.Engine.factorizations;
+  Alcotest.(check (list string))
+    "resumed stream is bitwise identical to an uninterrupted run"
+    (records_of reference_results) (records_of resumed_results)
+
+(* --- shard partitioning ----------------------------------------------- *)
+
+let test_shard_partition () =
+  let jobs =
+    Array.init 7 (fun i ->
+        { (base_job (Printf.sprintf "dc%d" i)) with Job.drain_scale = 1.0 +. (0.1 *. float_of_int i) })
+  in
+  let names jobs = Array.to_list (Array.map (fun (r : Engine.result) -> r.Engine.job.Job.name) jobs) in
+  List.iter
+    (fun k ->
+      let slices =
+        List.init k (fun i ->
+            let results, s = run ~shard:(i, k) jobs in
+            Alcotest.(check int)
+              (Printf.sprintf "summary jobs = slice size (shard %d/%d)" i k)
+              (Array.length results) s.Engine.jobs;
+            (* Each shard keeps batch order and is exactly the subset the
+               index hash assigns to it. *)
+            let expected =
+              List.filteri (fun idx _ -> Engine.shard_of idx ~shards:k = i) (Array.to_list jobs)
+              |> List.map (fun (j : Job.t) -> j.Job.name)
+            in
+            Alcotest.(check (list string))
+              (Printf.sprintf "shard %d/%d is its hash slice, in batch order" i k)
+              expected (names results);
+            names results)
+        |> List.concat
+      in
+      (* Completeness and disjointness: k shards together are a
+         permutation-free partition — every job exactly once. *)
+      Alcotest.(check (list string))
+        (Printf.sprintf "%d shards cover every job exactly once" k)
+        (List.sort compare (Array.to_list (Array.map (fun (j : Job.t) -> j.Job.name) jobs)))
+        (List.sort compare slices))
+    [ 1; 2; 3 ];
+  List.iter
+    (fun shard ->
+      match run ~shard jobs with
+      | _ -> Alcotest.failf "invalid shard accepted"
+      | exception Engine.Invalid_batch _ -> ())
+    [ (2, 2); (-1, 3); (0, 0) ]
+
+(* --- streamed JSONL survives a mid-batch abort ------------------------ *)
+
+let test_streaming_prefix_survives_abort () =
+  let diverging =
+    {
+      (base_job "diverge") with
+      Job.solver = Opera.Galerkin.Mean_pcg { tol = 1e-30; max_iter = 1 };
+      policy = Opera.Galerkin.Fail;
+    }
+  in
+  let ok_a = base_job "a" and ok_b = { (base_job "b") with Job.drain_scale = 1.5 } in
+  let jobs = [| ok_a; ok_b; diverging; { (base_job "d") with Job.drain_scale = 0.25 } |] in
+  let path = Filename.temp_file "opera_stream" ".jsonl" in
+  let oc = open_out path in
+  let config = { Engine.default_config with Engine.metrics = Util.Metrics.create () } in
+  (match
+     Fun.protect ~finally:(fun () -> close_out oc) (fun () -> Engine.run_jsonl ~config oc jobs)
+   with
+  | _ -> Alcotest.fail "diverging fail-policy job did not abort the batch"
+  | exception Opera.Galerkin.Solver_diverged _ -> ());
+  let ic = open_in_bin path in
+  let streamed = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  Sys.remove path;
+  (* Jobs before the failure were flushed as they completed; nothing at
+     or past the failing index leaked out. *)
+  let reference, _ = run [| ok_a; ok_b |] in
+  Alcotest.(check string)
+    "the flushed stream is exactly the pre-failure prefix"
+    (String.concat "" (List.map (fun r -> r ^ "\n") (records_of reference)))
+    streamed
+
+(* --- journal GC ------------------------------------------------------- *)
+
+let test_registry_gc () =
+  let keep = base_job "keep" in
+  let drop = { (base_job "drop") with Job.drain_scale = 2.0 } in
+  let cache_dir = fresh_dir () in
+  let _, s = run ~cache_dir [| keep; drop |] in
+  Alcotest.(check int) "both jobs journaled" 2 s.Engine.journaled;
+  let registry = Scenario.Registry.create ~dir:(Some cache_dir) () in
+  Alcotest.(check int) "gc drops the job that left the batch" 1
+    (Scenario.Registry.gc registry ~keep:[| keep |]);
+  Alcotest.(check int) "gc again: nothing left to drop" 0
+    (Scenario.Registry.gc registry ~keep:[| keep |]);
+  let _, kept = run ~cache_dir ~resume:true [| keep |] in
+  Alcotest.(check int) "kept journal entry still replays" 1 kept.Engine.replayed;
+  let _, dropped = run ~cache_dir ~resume:true [| drop |] in
+  Alcotest.(check int) "dropped entry is gone (job re-runs)" 0 dropped.Engine.replayed;
+  (* GC only touches journal entries: the shared factor is still cached. *)
+  Alcotest.(check int) "factors survived the gc" 0 dropped.Engine.factorizations
+
+(* --- result signature ------------------------------------------------- *)
+
+let test_result_signature_covers_record_knobs () =
+  let a = base_job "a" in
+  Alcotest.(check string)
+    "result signature is stable" (Job.result_signature a) (Job.result_signature a);
+  List.iter
+    (fun (what, b) ->
+      Alcotest.(check bool) (what ^ " changes the result signature") true
+        (Job.result_signature a <> Job.result_signature b))
+    [
+      ("name", { a with Job.name = "b" });
+      ("drain_scale", { a with Job.drain_scale = 2.0 });
+      ("leak_scale", { a with Job.leak_scale = 2.0 });
+      ("steps", { a with Job.steps = 9 });
+      ("h", { a with Job.h = 250e-12 });
+      ("probe", { a with Job.probe = Some 3 });
+      ("policy", { a with Job.policy = Opera.Galerkin.Fail });
+      ("analysis payload", { a with Job.analysis = Job.Yield { budget_pct = 5.0 } });
+    ];
+  (* Convergence knobs stay out of the OPERATOR signature (same factors)
+     but must key the RESULT journal: a looser tolerance can change the
+     digits of an iterative record. *)
+  let pcg tol = { a with Job.solver = Opera.Galerkin.Mean_pcg { tol; max_iter = 500 } } in
+  Alcotest.(check string)
+    "pcg tolerance shares the operator"
+    (Job.signature (pcg 1e-10)) (Job.signature (pcg 1e-6));
+  Alcotest.(check bool) "pcg tolerance changes the result signature" true
+    (Job.result_signature (pcg 1e-10) <> Job.result_signature (pcg 1e-6))
+
 let suite =
   [
     Alcotest.test_case "plan groups by operator signature" `Quick test_plan_groups;
@@ -416,4 +635,14 @@ let suite =
       test_netlist_edit_invalidates_cache;
     Alcotest.test_case "region_split near-square tilings" `Quick test_region_split;
     Alcotest.test_case "empty batch / bad probe raise Invalid_batch" `Quick test_invalid_batch;
+    Alcotest.test_case "resume replays journaled records bitwise" `Slow
+      test_resume_replays_bitwise;
+    Alcotest.test_case "kill mid-stream, resume completes bitwise" `Slow test_kill_then_resume;
+    Alcotest.test_case "shards partition the batch exactly once" `Slow test_shard_partition;
+    Alcotest.test_case "streamed JSONL keeps the pre-abort prefix" `Quick
+      test_streaming_prefix_survives_abort;
+    Alcotest.test_case "registry gc drops only departed journal entries" `Quick
+      test_registry_gc;
+    Alcotest.test_case "result signature covers record-shaping knobs" `Quick
+      test_result_signature_covers_record_knobs;
   ]

@@ -122,6 +122,42 @@ let test_deleted_file () =
   Alcotest.(check int) "plain miss, not corrupt" 0 s.Store.corrupt;
   Alcotest.(check int) "two misses" 2 s.Store.misses
 
+(* A decoder may blow up with something other than Codec.Corrupt — an
+   Invalid_argument from a stale schema indexing out of bounds, say.
+   The store must treat that exactly like corruption: rebuild, count it,
+   heal.  Crashing the whole batch over one stale artifact is the bug
+   this guards against. *)
+let lookup_decoding_with store decode =
+  Store.find_or_build store ~kind:"test" ~version:1 ~key:"k0"
+    ~encode:(fun v e -> C.write_float_array e v)
+    ~decode
+    ~build:(fun () ->
+      incr builds;
+      Array.copy payload)
+
+let test_decoder_exception_rebuilds () =
+  builds := 0;
+  let store = Store.create ~metrics:(Util.Metrics.create ()) ~dir:(Some (fresh_dir ())) () in
+  check_payload "cold" (lookup store);
+  let v = lookup_decoding_with store (fun _ -> invalid_arg "index out of bounds") in
+  check_payload "after decoder exception" v;
+  Alcotest.(check int) "rebuilt" 2 !builds;
+  Alcotest.(check int) "decoder exception counts as corrupt" 1 (Store.stats store).Store.corrupt;
+  (* the rebuild rewrote the artifact, so a sane decoder now hits *)
+  check_payload "healed" (lookup store);
+  Alcotest.(check int) "no third build" 2 !builds
+
+let test_fatal_exceptions_propagate () =
+  builds := 0;
+  let store = Store.create ~metrics:(Util.Metrics.create ()) ~dir:(Some (fresh_dir ())) () in
+  check_payload "cold" (lookup store);
+  Alcotest.check_raises "Out_of_memory is never swallowed" Out_of_memory (fun () ->
+      ignore (lookup_decoding_with store (fun _ -> raise Out_of_memory)));
+  (* and the artifact must survive — OOM is the machine's problem, not
+     evidence the file is damaged *)
+  Alcotest.(check bool) "artifact not removed" true (Sys.file_exists (artifact_path store));
+  Alcotest.(check int) "not counted as corrupt" 0 (Store.stats store).Store.corrupt
+
 let suite =
   [
     Alcotest.test_case "miss builds once, hits after" `Quick test_miss_then_hit;
@@ -132,4 +168,6 @@ let suite =
     Alcotest.test_case "version-mismatched artifact is rebuilt" `Quick test_version_mismatch;
     Alcotest.test_case "semantic decode mismatch is rebuilt" `Quick test_semantic_decode_mismatch;
     Alcotest.test_case "deleted artifact is a plain miss" `Quick test_deleted_file;
+    Alcotest.test_case "decoder exception is rebuilt" `Quick test_decoder_exception_rebuilds;
+    Alcotest.test_case "fatal exceptions propagate" `Quick test_fatal_exceptions_propagate;
   ]
