@@ -1,4 +1,4 @@
-.PHONY: all build test ci lint lint-json bench bench-quick bench-paper bench-galerkin bench-metrics bench-batch bench-transient bench-st examples clean help
+.PHONY: all build test ci lint lint-json lint-sarif bench bench-quick bench-paper bench-galerkin bench-metrics bench-batch bench-transient bench-st examples clean help
 
 all: build
 
@@ -6,16 +6,19 @@ help:
 	@echo "OPERA targets:"
 	@echo "  build          dune build @all"
 	@echo "  test           dune runtest"
-	@echo "  lint           opera-lint static analysis over lib/ and tools/ (R1-R5; exit 1 on unwaived findings)"
-	@echo "  lint-json      lint + deterministic machine-readable report in LINT_report.json"
+	@echo "  lint           opera-lint typedtree analysis over lib/ and tools/ (R1-R8; exit 1 on unwaived findings)"
+	@echo "  lint-json      lint + machine-readable LINT_report.json (v2: per-rule, race, cache, timings)"
+	@echo "  lint-sarif     lint + SARIF 2.1.0 report in LINT_report.sarif"
 	@echo "  ci             format check, lint, strict-warning build (--profile ci), tests"
 	@echo "  bench*         benchmark drivers (bench, bench-quick, bench-paper, bench-galerkin, bench-metrics, bench-batch, bench-transient, bench-st)"
 	@echo "  examples       run every example binary"
 	@echo "  clean          dune clean"
 	@echo ""
 	@echo "Waiving a lint finding: put '(* opera-lint: <key> *)' on the offending line"
-	@echo "(or the line above); keys: exact, race, banned, unsafe, mli.  Exact float"
-	@echo "compares may also carry an [@opera.exact] attribute.  See DESIGN.md,"
+	@echo "(or the line above; race waivers may also sit on the closure head line);"
+	@echo "keys: exact, race, banned, unsafe, mli, order, alloc, resource.  Exact float"
+	@echo "compares may also carry an [@opera.exact] attribute.  Lint results are"
+	@echo "cached per file under _build/lint-cache.  See DESIGN.md,"
 	@echo "'Static analysis & invariants'."
 
 build:
@@ -25,16 +28,24 @@ test:
 	dune runtest
 
 # Static analysis: the opera-lint rule catalogue (exact float compares,
-# domain-race heuristics, banned constructs, unsafe indexing, .mli
-# coverage) over lib/ and tools/.  `dune build @lint` is the hermetic
-# equivalent.
+# per-closure capture analysis, banned constructs, unsafe indexing,
+# .mli coverage, determinism, hot-path allocation discipline, resource
+# safety) over lib/ and tools/, typechecked through compiler-libs
+# against the dune build plan.  Per-file results are cached under
+# _build/lint-cache keyed by source + rule-config digest, so warm runs
+# re-analyze only edited files.  `dune build @lint` is the hermetic
+# (uncached) equivalent.
 lint:
 	dune build tools/lint/opera_lint.exe
-	dune exec tools/lint/opera_lint.exe -- lib tools
+	dune exec tools/lint/opera_lint.exe -- --cache-dir _build/lint-cache lib tools
 
 lint-json:
 	dune build tools/lint/opera_lint.exe
-	dune exec tools/lint/opera_lint.exe -- --json LINT_report.json lib tools
+	dune exec tools/lint/opera_lint.exe -- --cache-dir _build/lint-cache --json LINT_report.json lib tools
+
+lint-sarif:
+	dune build tools/lint/opera_lint.exe
+	dune exec tools/lint/opera_lint.exe -- --cache-dir _build/lint-cache --sarif LINT_report.sarif lib tools
 
 # Everything a reviewer runs: the format check (when ocamlformat is
 # available), the lint gate, then a strict-warning build and the test
@@ -46,7 +57,8 @@ ci:
 	else \
 		echo "ocamlformat not installed; skipping format check"; \
 	fi
-	$(MAKE) lint
+	$(MAKE) lint-json
+	dune exec bench/validate_metrics.exe -- LINT_report.json
 	dune build @all --profile ci
 	dune runtest --profile ci
 	dune exec bench/transient_bench.exe -- --quick --out transient_smoke.json > /dev/null

@@ -5,7 +5,9 @@
    the transient hot-path bench's BENCH_transient.json
    ({"transient": {...}, "metrics": {...}}) and the stochastic-testing
    bench's BENCH_st.json ({"st": {...}, "metrics": {...}}, including
-   the moment-drift bounds and the points-per-basis invariant).
+   the moment-drift bounds and the points-per-basis invariant), and
+   opera-lint's LINT_report.json v2 ({"tool": "opera-lint", ...} with
+   per-rule, race, cache and timing blocks).
 
      validate_metrics.exe FILE...
 
@@ -282,22 +284,182 @@ let validate_st (j : Util.Json.t) st =
   | Some m -> validate_registry m
   | None -> fail "st file lacks the \"metrics\" object"
 
+(* LINT_report.json v2 (tools/lint).  The rule-id list mirrors the
+   opera-lint catalogue; extending the catalogue must extend this list
+   or the report fails validation here. *)
+let lint_rule_ids =
+  [
+    "exact-float";
+    "domain-race";
+    "banned-construct";
+    "unsafe-index";
+    "missing-mli";
+    "determinism";
+    "hot-alloc";
+    "resource-safety";
+    "parse-error";
+    "type-error";
+  ]
+
+let validate_lint (j : Util.Json.t) =
+  let ( let* ) = Result.bind in
+  let int_of obj what f =
+    match Option.bind (Util.Json.member f obj) Util.Json.to_int with
+    | Some v -> Ok v
+    | None -> fail "%s: missing integer %S" what f
+  in
+  let* version = int_of j "lint report" "version" in
+  let* () =
+    if version = 2 then Ok () else fail "lint report: version %d, want 2" version
+  in
+  let* files = int_of j "lint report" "files_scanned" in
+  let* () = if files >= 0 then Ok () else fail "lint report: negative files_scanned" in
+  let* summary =
+    match Util.Json.member "summary" j with
+    | Some s -> Ok s
+    | None -> fail "lint report: missing \"summary\""
+  in
+  let* total = int_of summary "summary" "total" in
+  let* unwaived = int_of summary "summary" "unwaived" in
+  let* waived = int_of summary "summary" "waived" in
+  let* () =
+    if total = unwaived + waived then Ok ()
+    else fail "summary: total %d <> unwaived %d + waived %d" total unwaived waived
+  in
+  let* rules =
+    match Util.Json.member "rules" j with
+    | Some r -> Ok r
+    | None -> fail "lint report: missing \"rules\""
+  in
+  let* per_rule_total =
+    List.fold_left
+      (fun acc id ->
+        let* acc = acc in
+        match Util.Json.member id rules with
+        | None -> fail "rules: missing rule %S" id
+        | Some entry ->
+            let* u = int_of entry ("rules." ^ id) "unwaived" in
+            let* w = int_of entry ("rules." ^ id) "waived" in
+            Ok (acc + u + w))
+      (Ok 0) lint_rule_ids
+  in
+  let* () =
+    if per_rule_total = total then Ok ()
+    else fail "rules: per-rule counts sum to %d, summary says %d" per_rule_total total
+  in
+  let* race =
+    match Util.Json.member "race" j with
+    | Some r -> Ok r
+    | None -> fail "lint report: missing \"race\""
+  in
+  let* closures = int_of race "race" "closures" in
+  let* proven = int_of race "race" "proven" in
+  let* waived_closures = int_of race "race" "waived_closures" in
+  let* () =
+    if proven + waived_closures <= closures then Ok ()
+    else
+      fail "race: proven %d + waived %d exceeds %d closures" proven waived_closures
+        closures
+  in
+  let* cache =
+    match Util.Json.member "cache" j with
+    | Some c -> Ok c
+    | None -> fail "lint report: missing \"cache\""
+  in
+  let* _ = int_of cache "cache" "hits" in
+  let* _ = int_of cache "cache" "misses" in
+  let* timings =
+    match Util.Json.member "timings_s" j with
+    | Some t -> Ok t
+    | None -> fail "lint report: missing \"timings_s\""
+  in
+  let* () =
+    List.fold_left
+      (fun acc f ->
+        let* () = acc in
+        match Option.bind (Util.Json.member f timings) Util.Json.to_float with
+        | Some v when v >= 0. -> Ok ()
+        | Some v -> fail "timings_s.%s: negative duration %g" f v
+        | None -> fail "timings_s: missing number %S" f)
+      (Ok ())
+      [ "total"; "typecheck"; "rules"; "cache" ]
+  in
+  let* allowlists =
+    match Util.Json.member "allowlists" j with
+    | Some a -> Ok a
+    | None -> fail "lint report: missing \"allowlists\""
+  in
+  let* () =
+    List.fold_left
+      (fun acc k ->
+        let* () = acc in
+        match Option.bind (Util.Json.member k allowlists) Util.Json.to_list with
+        | Some entries ->
+            if List.for_all (fun e -> Util.Json.to_string e <> None) entries then Ok ()
+            else fail "allowlists.%s: non-string entry" k
+        | None -> fail "allowlists: missing array %S" k)
+      (Ok ())
+      [ "unsafe"; "clock" ]
+  in
+  match Option.bind (Util.Json.member "findings" j) Util.Json.to_list with
+  | None -> fail "lint report: missing \"findings\" array"
+  | Some items ->
+      let* () =
+        if List.length items = total then Ok ()
+        else
+          fail "findings: %d entries, summary says %d" (List.length items) total
+      in
+      let rec go i = function
+        | [] -> Ok ()
+        | item :: rest ->
+            let* rule =
+              match Option.bind (Util.Json.member "rule" item) Util.Json.to_string with
+              | Some r -> Ok r
+              | None -> fail "finding %d: missing string \"rule\"" i
+            in
+            let* () =
+              if List.mem rule lint_rule_ids then Ok ()
+              else fail "finding %d: unknown rule %S" i rule
+            in
+            let* () =
+              match Option.bind (Util.Json.member "file" item) Util.Json.to_string with
+              | Some _ -> Ok ()
+              | None -> fail "finding %d: missing string \"file\"" i
+            in
+            let* _ = int_of item (Printf.sprintf "finding %d" i) "line" in
+            let* _ = int_of item (Printf.sprintf "finding %d" i) "col" in
+            let* () =
+              match Util.Json.member "waived" item with
+              | Some (Util.Json.Bool _) -> Ok ()
+              | _ -> fail "finding %d: missing boolean \"waived\"" i
+            in
+            let* () =
+              match Option.bind (Util.Json.member "message" item) Util.Json.to_string with
+              | Some _ -> Ok ()
+              | None -> fail "finding %d: missing string \"message\"" i
+            in
+            go (i + 1) rest
+      in
+      go 0 items
+
 let validate_file path =
   match Util.Json.parse_file path with
   | Error e -> fail "%s: JSON parse error: %s" path e
   | Ok j -> (
       let tag = Result.map_error (fun e -> Printf.sprintf "%s: %s" path e) in
       match
-        ( Util.Json.member "records" j,
+        ( Util.Json.member "tool" j,
+          Util.Json.member "records" j,
           Util.Json.member "batch" j,
           Util.Json.member "transient" j,
           Util.Json.member "st" j )
       with
-      | Some records, _, _, _ -> tag (validate_bench j records)
-      | None, Some batch, _, _ -> tag (validate_batch j batch)
-      | None, None, Some transient, _ -> tag (validate_transient j transient)
-      | None, None, None, Some st -> tag (validate_st j st)
-      | None, None, None, None -> tag (validate_registry j))
+      | Some (Util.Json.Str "opera-lint"), _, _, _, _ -> tag (validate_lint j)
+      | _, Some records, _, _, _ -> tag (validate_bench j records)
+      | _, None, Some batch, _, _ -> tag (validate_batch j batch)
+      | _, None, None, Some transient, _ -> tag (validate_transient j transient)
+      | _, None, None, None, Some st -> tag (validate_st j st)
+      | _, None, None, None, None -> tag (validate_registry j))
 
 let () =
   let files = List.tl (Array.to_list Sys.argv) in

@@ -113,7 +113,7 @@ let domains op = op.domains
 
 let with_domains op d = { op with domains = Util.Parallel.resolve d }
 
-let apply_into op x y =
+let[@opera.hot] apply_into op x y =
   let d = dim op in
   if Array.length x <> d || Array.length y <> d then
     invalid_arg "Galerkin_op.apply_into: dimension mismatch";
@@ -124,6 +124,7 @@ let apply_into op x y =
      never touch the registry. *)
   Util.Metrics.incr Util.Metrics.global "galerkin_op.matvecs";
   Util.Metrics.span Util.Metrics.global "galerkin_op.matvec_s" (fun () ->
+      (* opera-lint: race — j owns slice y[j*n,(j+1)*n); x is read-only *)
       Util.Parallel.parallel_for ~domains:op.domains op.size (fun j ->
           let yoff = j * n in
           Array.fill y yoff n 0.0;

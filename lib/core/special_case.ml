@@ -102,6 +102,7 @@ let run_decoupled ?(domains = 0) ?(metrics = Util.Metrics.global) ?factors t ~h 
   in
   (* DC initial condition per block. *)
   set_drain 0.0;
+  (* opera-lint: race — fill_u writes only the chunk-owned u_k buffer *)
   Util.Parallel.for_chunks ~domains:d size (fun ~chunk ~lo ~hi ->
       let u_k = u_bufs.(chunk) and work = work_bufs.(chunk) in
       for k = lo to hi - 1 do
@@ -115,6 +116,7 @@ let run_decoupled ?(domains = 0) ?(metrics = Util.Metrics.global) ?factors t ~h 
     let time = float_of_int step *. h in
     let span = Util.Metrics.start_span () in
     set_drain time;
+    (* opera-lint: race — fill_u writes only the chunk-owned u_k buffer *)
     Util.Parallel.for_chunks ~domains:d size (fun ~chunk ~lo ~hi ->
         let u_k = u_bufs.(chunk) and work = work_bufs.(chunk) in
         for k = lo to hi - 1 do

@@ -234,7 +234,7 @@ let refine_point ~f0 ~ordering ~tol ~max_refine ~g ~b ~work ~resid x =
 (* Coefficient recovery: block k of [coefs] is [sum_i inv(k,i) x_i],
    chunked over blocks with disjoint writes (i ascends in a fixed order,
    so the summation is bitwise stable). *)
-let transform_into (p : points) ~n ~domains x_pts coefs =
+let[@opera.hot] transform_into (p : points) ~n ~domains x_pts coefs =
   let size = Array.length p.pts in
   Util.Parallel.for_chunks ~domains size (fun ~chunk:_ ~lo ~hi ->
       for k = lo to hi - 1 do
@@ -407,6 +407,7 @@ let solve_transient ?(options = default_options) ?points ?f0 ?fstep
   for k = 1 to steps do
     let t = float_of_int k *. h in
     Stochastic_model.drain_profile_into m t drain_buf;
+    (* opera-lint: race — drain_buf is read-only inside (axpy source) *)
     Util.Parallel.for_chunks ~domains:d size (fun ~chunk ~lo ~hi ->
         let u = ubuf.(chunk) and wk = work.(chunk) in
         for i = lo to hi - 1 do

@@ -121,7 +121,7 @@ let workspace_dim ws = Array.length ws.ws_r
    buffers, valid until their next call — both are consumed immediately.
    The iteration is operation-for-operation the one in {!solve_report},
    so the two produce bitwise-identical solutions and reports. *)
-let solve_report_in_place ?(precond = identity_preconditioner) ?max_iter ?(tol = 1e-10)
+let[@opera.hot] solve_report_in_place ?(precond = identity_preconditioner) ?max_iter ?(tol = 1e-10)
     ?(history_cap = 0) ~ws ~matvec ~b ~x () =
   let t0 = Util.Timer.start () in
   let n = Array.length b in

@@ -150,7 +150,7 @@ let mul_vec a x =
   mul_vec_into a x y;
   y
 
-let mul_vec_acc_off ?(alpha = 1.0) a x ~xoff y ~yoff =
+let[@opera.hot] mul_vec_acc_off ?(alpha = 1.0) a x ~xoff y ~yoff =
   if xoff < 0 || yoff < 0 || xoff + a.ncols > Array.length x || yoff + a.nrows > Array.length y
   then invalid_arg "Sparse.mul_vec_acc_off: slice out of bounds";
   let { colptr; rowind; values; ncols; _ } = a in
@@ -162,7 +162,7 @@ let mul_vec_acc_off ?(alpha = 1.0) a x ~xoff y ~yoff =
       done
   done
 
-let mul_vec_acc ?alpha a x y =
+let[@opera.hot] mul_vec_acc ?alpha a x y =
   if Array.length x <> a.ncols || Array.length y <> a.nrows then
     invalid_arg "Sparse.mul_vec_acc: dimension mismatch";
   mul_vec_acc_off ?alpha a x ~xoff:0 y ~yoff:0

@@ -413,7 +413,7 @@ let upper_solve f y =
    changes which chains run concurrently, never the order of adds within
    a chain, so results stay bitwise identical for any chunking. *)
 
-let fwd_rows f ~work b lo hi =
+let[@opera.hot] fwd_rows f ~work b lo hi =
   let { f_rows; fp; fc; fx; fd; _ } = f.levels in
   let p = f.p in
   let one t =
@@ -452,7 +452,7 @@ let fwd_rows f ~work b lo hi =
    the rhs start minus every contribution from head columns.  Tail slots
    are independent of each other (they read only head results), so this
    is one wide level; the same two-chain interleave applies. *)
-let fwd_tail_prefix f ~work b lo hi =
+let[@opera.hot] fwd_tail_prefix f ~work b lo hi =
   let { f_cut; tp; tc; tx; _ } = f.levels in
   let p = f.p in
   let one k =
@@ -489,7 +489,7 @@ let fwd_tail_prefix f ~work b lo hi =
    partial accumulators phase 2 left in [work] — {!lower_solve}
    restricted to columns [f_cut..n) (every sub-diagonal entry of a tail
    column lands in a tail row). *)
-let fwd_tail_scatter f ~work =
+let[@opera.hot] fwd_tail_scatter f ~work =
   let { lp; li; lx; n; _ } = f in
   let f_cut = f.levels.f_cut in
   for j = f_cut to n - 1 do
@@ -500,7 +500,7 @@ let fwd_tail_scatter f ~work =
     done
   done
 
-let bwd_cols f ~work b lo hi =
+let[@opera.hot] bwd_cols f ~work b lo hi =
   let { b_cols; bp; bi; bx; bd; _ } = f.levels in
   let p = f.p in
   let one t =
@@ -554,6 +554,7 @@ let solve_level_scheduled f ~domains ~work b =
       let lo = nlev_ptr.(l) and hi = nlev_ptr.(l + 1) in
       if hi - lo < level_dispatch_cutoff then kernel lo hi
       else
+        (* opera-lint: race — rows within one level are dependence-free *)
         Util.Parallel.for_chunks ~domains (hi - lo) (fun ~chunk:_ ~lo:clo ~hi:chi ->
             kernel (lo + clo) (lo + chi))
     done
@@ -563,13 +564,14 @@ let solve_level_scheduled f ~domains ~work b =
   if tn > 0 then begin
     (if tn < level_dispatch_cutoff then fwd_tail_prefix f ~work b 0 tn
      else
+       (* opera-lint: race — tail rows write disjoint work/b entries *)
        Util.Parallel.for_chunks ~domains tn (fun ~chunk:_ ~lo ~hi ->
            fwd_tail_prefix f ~work b lo hi));
     fwd_tail_scatter f ~work
   end;
   sweep lv.b_ptr (bwd_cols f ~work b)
 
-let solve_in_place_ws f ?(domains = 1) ~work b =
+let[@opera.hot] solve_in_place_ws f ?(domains = 1) ~work b =
   if Array.length b <> f.n then invalid_arg "Sparse_cholesky.solve: dimension mismatch";
   if Array.length work <> f.n then
     invalid_arg "Sparse_cholesky.solve_in_place_ws: workspace dimension mismatch";

@@ -295,5 +295,8 @@ let to_string ?(title = "generated by opera") (c : Circuit.t) =
 
 let write_file path ?title c =
   let oc = open_out path in
-  output_string oc (to_string ?title c);
-  close_out oc
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      output_string oc (to_string ?title c);
+      close_out oc)

@@ -81,5 +81,8 @@ let render (spec : Grid_spec.t) ~values ?(title = "") ?(unit_label = "") () =
 
 let save path spec ~values ?title ?unit_label () =
   let oc = open_out path in
-  output_string oc (render spec ~values ?title ?unit_label ());
-  close_out oc
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      output_string oc (render spec ~values ?title ?unit_label ());
+      close_out oc)

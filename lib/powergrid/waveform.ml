@@ -34,7 +34,10 @@ let eval_pwl points t =
       if fst points.(mid) <= t then lo := mid else hi := mid
     done;
     let t0, v0 = points.(!lo) and t1, v1 = points.(!hi) in
-    if t1 = t0 then v1 else v0 +. ((v1 -. v0) *. (t -. t0) /. (t1 -. t0))
+    (* exact compare is the point: guard the zero-width segment that
+       would otherwise divide by zero *)
+    if (t1 = t0) [@opera.exact] then v1
+    else v0 +. ((v1 -. v0) *. (t -. t0) /. (t1 -. t0))
   end
 
 let eval w t =

@@ -121,7 +121,18 @@ let lookup t job =
   match path t job with
   | None -> None
   | Some file -> (
+      (* Same contract as the Store: a damaged journal entry —
+         truncated mid-record, bit-flipped, stale schema — is never
+         trusted.  Drop it and let the engine re-run the job; the
+         fresh completion re-journals a good entry. *)
+      let drop why =
+        t.stats.corrupt <- t.stats.corrupt + 1;
+        Util.Log.warnf "registry: dropping corrupt journal entry %s (%s)" file why;
+        (try Sys.remove file with Sys_error _ -> ());
+        None
+      in
       match Util.Codec.read_file file with
+      | exception Util.Codec.Corrupt why -> drop why
       | None -> None
       | Some bytes -> (
           match
@@ -135,17 +146,10 @@ let lookup t job =
               Some json
           | exception ((Out_of_memory | Stack_overflow) as fatal) -> raise fatal
           | exception e ->
-              (* Same contract as the Store: a damaged journal entry —
-                 truncated mid-record, bit-flipped, stale schema — is
-                 never trusted.  Drop it and let the engine re-run the
-                 job; the fresh completion re-journals a good entry. *)
               let why =
                 match e with Util.Codec.Corrupt why -> why | e -> Printexc.to_string e
               in
-              t.stats.corrupt <- t.stats.corrupt + 1;
-              Util.Log.warnf "registry: dropping corrupt journal entry %s (%s)" file why;
-              (try Sys.remove file with Sys_error _ -> ());
-              None))
+              drop why))
 
 let gc t ~keep =
   match t.dir with

@@ -60,6 +60,7 @@ let find_or_build t ~kind ~version ~key ~encode ~decode ~build =
         rebuild ()
       in
       (match Util.Codec.read_file file with
+      | exception Util.Codec.Corrupt why -> corrupt why
       | None -> rebuild ()
       | Some bytes -> (
           match

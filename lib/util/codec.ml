@@ -195,12 +195,17 @@ let write_file path (data : string) =
   let dir = Filename.dirname path in
   let tmp = Filename.temp_file ~temp_dir:dir "codec" ".tmp" in
   let oc = open_out_bin tmp in
-  (match output_string oc data with
-  | () -> close_out oc
-  | exception e ->
-      close_out_noerr oc;
-      (try Sys.remove tmp with Sys_error _ -> ());
-      raise e);
+  (try
+     Fun.protect
+       ~finally:(fun () -> close_out_noerr oc)
+       (fun () ->
+         output_string oc data;
+         (* flush errors must propagate, not be swallowed by the
+            finally's noerr close; closing twice is harmless *)
+         close_out oc)
+   with e ->
+     (try Sys.remove tmp with Sys_error _ -> ());
+     raise e);
   (* temp_file creates mode 0600; artifacts are shared-cache currency
      (other users/hosts mount the dir read-only), so widen to the usual
      0644 modulo the process umask before publishing the name. *)
@@ -208,12 +213,19 @@ let write_file path (data : string) =
   Sys.rename tmp path
 
 let read_file path =
+  (* [None] means only "no file to read" (open failed).  A file that
+     opens but is empty or shrinks mid-read is damage, and reports as
+     [Corrupt] so callers take their drop-and-rebuild path instead of
+     mistaking it for a clean miss. *)
   match open_in_bin path with
   | exception Sys_error _ -> None
   | ic ->
       Fun.protect
         ~finally:(fun () -> close_in_noerr ic)
         (fun () ->
-          match really_input_string ic (in_channel_length ic) with
+          let len = in_channel_length ic in
+          if len = 0 then corrupt "artifact file %s is empty" path;
+          match really_input_string ic len with
           | s -> Some s
-          | exception End_of_file -> None)
+          | exception End_of_file ->
+              corrupt "artifact file %s truncated below its %d bytes" path len)

@@ -90,4 +90,7 @@ val write_file : string -> string -> unit
     multi-process batch scenario — can open it. *)
 
 val read_file : string -> string option
-(** Whole-file read; [None] when the file is missing or unreadable. *)
+(** Whole-file read; [None] when the file is missing or unreadable
+    (open failed).  A file that opens but is zero-length or truncates
+    mid-read raises {!Corrupt} — that is cache damage, not a miss, and
+    callers must take their drop-and-rebuild path. *)

@@ -23,7 +23,10 @@ let write_rows oc rows =
 
 let save path ~header ~rows =
   let oc = open_out path in
-  write_rows oc (header :: rows);
-  close_out oc
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      write_rows oc (header :: rows);
+      close_out oc)
 
 let float_cell v = Printf.sprintf "%.12g" v

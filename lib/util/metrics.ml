@@ -90,8 +90,16 @@ let total t name =
    into the engine registry after the join — so the merge itself always
    happens on one domain. *)
 let merge_into ?(prefix = "") src ~into =
-  Hashtbl.iter
-    (fun name m ->
+  (* Merge in sorted key order: per-key merging is commutative, but a
+     deterministic order keeps float summation (histogram sums) and the
+     destination table's insertion order reproducible across runs. *)
+  let entries =
+    List.sort
+      (fun (a, _) (b, _) -> compare a b)
+      (Hashtbl.fold (fun name m acc -> (name, m) :: acc) src.table [])
+  in
+  List.iter
+    (fun (name, m) ->
       let name = prefix ^ name in
       match m with
       | Counter r -> incr ~by:!r into name
@@ -102,7 +110,7 @@ let merge_into ?(prefix = "") src ~into =
           if h.minv < dst.minv then dst.minv <- h.minv;
           if h.maxv > dst.maxv then dst.maxv <- h.maxv;
           Array.iteri (fun i c -> dst.buckets.(i) <- dst.buckets.(i) + c) h.buckets)
-    src.table
+    entries
 
 (* ---- monotonic-clock spans ---------------------------------------- *)
 
@@ -150,8 +158,9 @@ let metric_to_json = function
 
 let to_json t =
   let entries =
-    Hashtbl.fold (fun name m acc -> (name, m) :: acc) t.table []
-    |> List.sort (fun (a, _) (b, _) -> compare a b)
+    List.sort
+      (fun (a, _) (b, _) -> compare a b)
+      (Hashtbl.fold (fun name m acc -> (name, m) :: acc) t.table [])
   in
   let buf = Buffer.create 1024 in
   Buffer.add_string buf "{\n";

@@ -97,7 +97,9 @@ let drain pool =
     let c = pool.next in
     pool.next <- pool.next + 1;
     Mutex.unlock pool.lock;
-    let failed = (try job c; None with e -> Some e) in
+    (* capture-and-rethrow, not a swallow: the exception is re-raised
+       on the submitting domain after the join *)
+    let failed = (try job c; None with e -> Some e) (* opera-lint: banned *) in
     Mutex.lock pool.lock;
     (match failed with
     | Some e -> pool.failures <- (c, e) :: pool.failures
@@ -173,6 +175,7 @@ let pool_dispatches () = match !the_pool with Some p -> p.dispatches | None -> 0
 let run_inline chunks job =
   let first_failure = ref None in
   for c = 0 to chunks - 1 do
+    (* capture-and-rethrow, not a swallow: opera-lint: banned *)
     try job c with e -> if !first_failure = None then first_failure := Some e
   done;
   match !first_failure with Some e -> raise e | None -> ()
@@ -229,6 +232,7 @@ let for_chunks ?(domains = 0) n body =
   end
 
 let parallel_for ?domains n body =
+  (* opera-lint: race — adapter; caller's body is analyzed at its site *)
   for_chunks ?domains n (fun ~chunk:_ ~lo ~hi ->
       for i = lo to hi - 1 do
         body i

@@ -1,9 +1,8 @@
-(* opera-lint: mli — fixture file, deliberately interface-free. *)
 (* Seeded R3 [banned-construct] violations for test_lint.ml. *)
 
 let shout s = print_endline s
 
-let sneak x = Obj.magic x
+let sneak (x : int) : float = Obj.magic x
 
 let quit () = exit 1
 
@@ -11,5 +10,13 @@ let swallow f = try f () with _ -> 0
 
 let waived_print s = print_string s (* opera-lint: banned *)
 
-(* Binding the exception is fine: must NOT be flagged. *)
+(* Binding and re-raising the exception is fine: must NOT be flagged. *)
 let rethrow f = try f () with e -> raise e
+
+(* Cleanup-and-rethrow — run a handler, then re-raise on every path:
+   must NOT be flagged. *)
+let cleanup g f =
+  try f ()
+  with e ->
+    g ();
+    raise e

@@ -1,0 +1,26 @@
+(* Seeded R6 [nondeterminism] violations for test_lint.ml: unordered
+   container iteration, ambient PRNG state, wall-clock reads. *)
+
+let t : (string, int) Hashtbl.t = Hashtbl.create 8
+
+(* Unordered Hashtbl traversal: flagged. *)
+let bad_iter f = Hashtbl.iter f t
+
+let bad_fold () = Hashtbl.fold (fun k _ acc -> k :: acc) t []
+
+(* Ambient PRNG: flagged. *)
+let bad_self_init () = Random.self_init ()
+
+let bad_ambient n = Random.int n
+
+(* Wall-clock read outside Util.Timer: flagged. *)
+let bad_clock () = Unix.gettimeofday ()
+
+(* Fold whose result is immediately sorted: order laundered away, must
+   NOT be flagged. *)
+let ordered () = List.sort compare (Hashtbl.fold (fun k _ acc -> k :: acc) t [])
+
+(* Explicit PRNG state threaded by the caller: must NOT be flagged. *)
+let seeded st n = Random.State.int st n
+
+let waived f = Hashtbl.iter f t (* opera-lint: order *)

@@ -1,10 +1,14 @@
-(* opera-lint: mli — fixture file, deliberately interface-free. *)
-(* Seeded R1 [exact-float] violations for test_lint.ml.  These files are
-   parsed by the lint engine but never compiled. *)
+(* Seeded R1 [exact-float] violations for test_lint.ml.  Fixtures are
+   typechecked against the project's libraries, so comparisons are
+   classified by resolved type, not syntax. *)
 
 let bad_eq x = x = 0.0
 
 let bad_ne x = x <> 1.5
+
+(* Float equality reached through an abstract alias ([Linalg.Vec.t] is a
+   [float array] underneath): flagged. *)
+let bad_elem (v : Linalg.Vec.t) = v.(0) = 1.0
 
 let waived_comment x = x = 0.0 (* opera-lint: exact *)
 
@@ -14,4 +18,4 @@ let waived_attr x = (x = 0.0) [@opera.exact]
 let fine x = x > 0.0 && x < 1.0
 
 (* Integer equality: must NOT be flagged. *)
-let fine_int x = x = 0
+let fine_int (x : int) = x = 0

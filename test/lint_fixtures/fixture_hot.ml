@@ -1,0 +1,31 @@
+(* Seeded R7 [hot-alloc] violations for test_lint.ml: allocating
+   constructs inside [@opera.hot] functions. *)
+
+(* Fresh array per call: flagged. *)
+let[@opera.hot] bad_make n =
+  let scratch = Array.make n 0.0 in
+  scratch.(0) <- 1.0;
+  scratch
+
+(* Tuple construction allocates: flagged. *)
+let[@opera.hot] bad_pair a b = (a, b)
+
+(* Closure literal allocates: flagged. *)
+let[@opera.hot] bad_closure f = f (fun x -> x + 1)
+
+(* Allocation is fine OUTSIDE hot functions: must NOT be flagged. *)
+let cold_make n = Array.make n 0.0
+
+(* Clean kernel: a let-bound ref accumulator and a let-bound local
+   helper are both compiler-eliminated, must NOT be flagged. *)
+let[@opera.hot] ok_kernel (a : float array) =
+  let acc = ref 0.0 in
+  let add lo hi =
+    for i = lo to hi - 1 do
+      acc := !acc +. a.(i)
+    done
+  in
+  add 0 (Array.length a);
+  !acc
+
+let[@opera.hot] waived n = Array.make n 0 (* opera-lint: alloc *)

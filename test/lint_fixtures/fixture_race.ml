@@ -1,5 +1,5 @@
-(* opera-lint: mli — fixture file, deliberately interface-free. *)
-(* Seeded R2 [domain-race] violations for test_lint.ml. *)
+(* Seeded R2 [domain-race] violations for test_lint.ml: every parallel
+   closure in this file races and must be flagged unwaived. *)
 
 let total = ref 0
 
@@ -14,12 +14,20 @@ let bad_ref n = Util.Parallel.parallel_for n (fun _i -> incr total)
 let bad_hashtbl n =
   Util.Parallel.for_chunks n (fun ~chunk ~lo:_ ~hi:_ -> Hashtbl.replace tally chunk 1)
 
-(* Captured-array write; only legal in race-allowlisted files. *)
+(* Captured-array write at a chunk-invariant index: flagged. *)
 let bad_array n = Util.Parallel.parallel_for n (fun _i -> shared.(0) <- shared.(0) +. 1.0)
 
 (* Metrics registries are not thread-safe: flagged. *)
 let bad_metrics n =
   Util.Parallel.parallel_for n (fun _i -> Util.Metrics.incr Util.Metrics.global "races")
+
+(* Call to a captured closure: effects unanalyzable, flagged. *)
+let bad_captured_call f n = Util.Parallel.parallel_for n (fun i -> f i)
+
+(* Captured mutable value handed to a module call that may write it.
+   [Linalg.Vec.t] is an abstract alias of [float array], so this also
+   exercises mutability detection through type expansion. *)
+let bad_vec_arg n = Util.Parallel.parallel_for n (fun _i -> Linalg.Vec.fill shared 0.0)
 
 (* Closure-local state is fine: must NOT be flagged. *)
 let ok_local n =
@@ -27,6 +35,3 @@ let ok_local n =
       let acc = ref 0 in
       acc := i;
       ignore !acc)
-
-(* Waived capture (e.g. a deliberately benign write). *)
-let waived n = Util.Parallel.parallel_for n (fun _i -> incr total (* opera-lint: race *))

@@ -1,0 +1,34 @@
+(* R2 capture-analysis fixture: every write below is provably
+   chunk-disjoint, so this file must produce ZERO findings and its
+   closures must count as proven in the race stats. *)
+
+let out = Array.make 64 0.0
+
+let nblocks = 4
+
+let blocks = Array.init 4 (fun _ -> Array.make 16 0.0)
+
+(* Direct write at the parallel index. *)
+let direct n = Util.Parallel.parallel_for n (fun i -> out.(i) <- float_of_int i)
+
+(* Strided slice: row [k] owns [out.(k*n .. k*n + n - 1)]. *)
+let strided n =
+  Util.Parallel.for_chunks nblocks (fun ~chunk:_ ~lo ~hi ->
+      for k = lo to hi - 1 do
+        for j = 0 to n - 1 do
+          out.((k * n) + j) <- 0.0
+        done
+      done)
+
+(* Chunk-owned buffer: each domain writes only [blocks.(chunk)]. *)
+let owned () =
+  Util.Parallel.for_chunks nblocks (fun ~chunk ~lo:_ ~hi:_ ->
+      let b = blocks.(chunk) in
+      b.(0) <- 1.0)
+
+(* Array.fill whose offset stride matches its length: rows disjoint. *)
+let filled n =
+  Util.Parallel.for_chunks nblocks (fun ~chunk:_ ~lo ~hi ->
+      for k = lo to hi - 1 do
+        Array.fill out (k * n) n 0.0
+      done)

@@ -1,0 +1,18 @@
+(* R2 per-closure waiver fixture: indirect indexing the analysis cannot
+   prove disjoint, vouched for by `opera-lint: race` waivers.  Both
+   findings must come back waived; both closures must count as waived
+   (not proven) in the race stats. *)
+
+let acc = Array.make 8 0.0
+
+let idx = [| 3; 1; 4; 1; 5; 9; 2; 6 |]
+
+(* Waiver on the closure head line. *)
+let scatter n =
+  (* opera-lint: race — idx is a permutation, writes are distinct *)
+  Util.Parallel.parallel_for n (fun i -> acc.(idx.(i)) <- float_of_int i)
+
+(* Waiver on the finding line itself. *)
+let scatter_inline n =
+  Util.Parallel.parallel_for n (fun i ->
+      acc.(idx.(i)) <- 1.0 (* opera-lint: race *))

@@ -1,0 +1,28 @@
+(* Seeded R8 [resource-leak] violations for test_lint.ml: channels that
+   are opened but not closed on all paths. *)
+
+(* Never closed at all: flagged. *)
+let bad_read path =
+  let ic = open_in path in
+  let line = input_line ic in
+  String.trim line
+
+(* Fun.protect with a closing finally: must NOT be flagged. *)
+let ok_protect path =
+  let ic = open_in path in
+  Fun.protect ~finally:(fun () -> close_in_noerr ic) (fun () -> input_line ic)
+
+(* Closes in every branch: must NOT be flagged. *)
+let ok_branches path =
+  let ic = open_in path in
+  match input_line ic with
+  | line ->
+      close_in ic;
+      Some line
+  | exception End_of_file ->
+      close_in ic;
+      None
+
+let waived path =
+  let oc = open_out path (* opera-lint: resource *) in
+  ignore oc

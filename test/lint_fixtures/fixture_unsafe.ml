@@ -1,11 +1,16 @@
-(* opera-lint: mli — fixture file, deliberately interface-free. *)
 (* Seeded R4 [unsafe-index] violations for test_lint.ml. *)
+
+module A = Array
 
 let hot a i = Array.unsafe_get a i
 
 let hot_set a i v = Array.unsafe_set a i v
 
-let waived a i = Bytes.unsafe_get a i (* opera-lint: unsafe *)
+(* Laundered through a module alias: the typedtree resolves [A] back to
+   [Stdlib.Array], so this is still flagged. *)
+let via_alias (a : int array) i v = A.unsafe_set a i v
+
+let waived (a : bytes) i = Bytes.unsafe_get a i (* opera-lint: unsafe *)
 
 (* Bounds-checked access: must NOT be flagged. *)
 let checked a i = a.(i)

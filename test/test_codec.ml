@@ -146,6 +146,19 @@ let test_file_roundtrip () =
   Sys.remove path;
   Alcotest.(check bool) "missing file" true (C.read_file path = None)
 
+let test_zero_length_file_is_corrupt () =
+  (* Regression: a crash can leave a zero-length file under an artifact
+     name (e.g. a journal entry opened but never written).  That is
+     cache damage, not a miss: read_file must raise Corrupt — not
+     return "" or None — so Store, Registry and the lint cache all take
+     their drop-and-rebuild path. *)
+  let path = Filename.temp_file "codec_test" ".opra" in
+  (match C.read_file path with
+  | exception C.Corrupt _ -> ()
+  | Some _ -> Alcotest.fail "zero-length file read back as data"
+  | None -> Alcotest.fail "zero-length file reported as a clean miss");
+  Sys.remove path
+
 let test_write_file_permissions () =
   (* temp_file creates 0600 scratch files; write_file must not leak that
      mode into the store — artifacts are shared-readable (0644 masked by
@@ -177,5 +190,6 @@ let suite =
     Alcotest.test_case "bit flips fail the checksum" `Quick test_bit_flip_checksum;
     Alcotest.test_case "fnv1a test vectors" `Quick test_fnv1a_known;
     Alcotest.test_case "file round-trip" `Quick test_file_roundtrip;
+    Alcotest.test_case "zero-length file raises Corrupt" `Quick test_zero_length_file_is_corrupt;
     Alcotest.test_case "write_file chmods artifacts" `Quick test_write_file_permissions;
   ]

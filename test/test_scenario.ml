@@ -453,7 +453,19 @@ let test_resume_replays_bitwise () =
     (records_of cold_results) (records_of damaged_results);
   (* ...and the journal healed: a further resume replays everything. *)
   let _, healed = run ~cache_dir ~resume:true jobs in
-  Alcotest.(check int) "healed journal replays every job" 3 healed.Engine.replayed
+  Alcotest.(check int) "healed journal replays every job" 3 healed.Engine.replayed;
+  (* Zero-length journal entry (a crash between open and first write):
+     Codec.read_file raises Corrupt, and the registry must take the same
+     drop-and-re-run path, not crash or replay an empty record. *)
+  (match Scenario.Registry.path registry jobs.(1) with
+  | Some path -> close_out (open_out_bin path)
+  | None -> Alcotest.fail "registry path missing");
+  let zeroed_results, zeroed_summary = run ~cache_dir ~resume:true jobs in
+  Alcotest.(check int) "zero-length entry dropped" 1 zeroed_summary.Engine.registry_corrupt;
+  Alcotest.(check int) "its job re-runs and re-journals" 1 zeroed_summary.Engine.journaled;
+  Alcotest.(check (list string))
+    "stream after zero-length damage still matches the cold run bitwise"
+    (records_of cold_results) (records_of zeroed_results)
 
 (* --- a simulated kill mid-stream, then resume ------------------------- *)
 

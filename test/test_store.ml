@@ -117,6 +117,12 @@ let test_semantic_decode_mismatch () =
   in
   Alcotest.(check bool) "decode rejection counts as corrupt" true (s.Store.corrupt >= 1)
 
+let test_zero_length_artifact () =
+  (* read_file raises Corrupt on a zero-length file; the store must fold
+     that into the usual drop-and-rebuild path. *)
+  let s = corruption_case "zero-length" (fun _ -> Some "") in
+  Alcotest.(check int) "zero-length counts as corrupt" 1 s.Store.corrupt
+
 let test_deleted_file () =
   let s = corruption_case "deleted artifact" (fun _ -> None) in
   Alcotest.(check int) "plain miss, not corrupt" 0 s.Store.corrupt;
@@ -167,6 +173,7 @@ let suite =
     Alcotest.test_case "wrong-kind artifact is rebuilt" `Quick test_wrong_kind;
     Alcotest.test_case "version-mismatched artifact is rebuilt" `Quick test_version_mismatch;
     Alcotest.test_case "semantic decode mismatch is rebuilt" `Quick test_semantic_decode_mismatch;
+    Alcotest.test_case "zero-length artifact is rebuilt" `Quick test_zero_length_artifact;
     Alcotest.test_case "deleted artifact is a plain miss" `Quick test_deleted_file;
     Alcotest.test_case "decoder exception is rebuilt" `Quick test_decoder_exception_rebuilds;
     Alcotest.test_case "fatal exceptions propagate" `Quick test_fatal_exceptions_propagate;

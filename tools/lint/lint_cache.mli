@@ -1,0 +1,31 @@
+(** Incremental lint cache: one checksummed [Util.Codec] frame per
+    analyzed file, keyed by (source digest, rule-config digest).
+    Corrupt or stale entries behave as misses and are removed. *)
+
+type entry = {
+  findings : Lint_rules.finding list;
+  race_closures : int list;  (** head lines of R2-analyzed closures *)
+}
+
+val load :
+  dir:string ->
+  rel_path:string ->
+  src_digest:string ->
+  cfg_digest:string ->
+  entry option
+(** Probe the cache; [None] on miss, digest mismatch, or corruption
+    (never raises). *)
+
+val store :
+  dir:string ->
+  rel_path:string ->
+  src_digest:string ->
+  cfg_digest:string ->
+  entry ->
+  unit
+(** Write an entry atomically (temp + rename via [Util.Codec]).
+    Creates [dir] if needed; I/O failures are swallowed (the cache is
+    best-effort). *)
+
+val file_for : dir:string -> rel_path:string -> string
+(** Cache file path used for a source, exposed for tests. *)

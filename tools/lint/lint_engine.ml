@@ -1,465 +1,63 @@
-(* opera-lint: mli — the finding list and config records are internal to the tool. *)
-(* opera-lint — a compiler-libs static-analysis pass over the OPERA
-   library sources.
+(* opera-lint v2: typedtree-driven project lint.
 
-   The Galerkin/PCE kernels are exactly the code where an exact float
-   compare, a swallowed exception, or a shared-mutable capture inside a
-   [Util.Parallel] domain closure corrupts results without failing a
-   test.  This engine parses every [lib/**/*.ml] into a Parsetree
-   (compiler-libs, same compiler the build uses, so anything that builds
-   also parses here) and runs a rule catalogue over it:
+   Orchestration: discover sources, map each onto its dune compilation
+   plan (unit name, alias open, cmi load path), probe the incremental
+   cache, typecheck misses through compiler-libs, run the rule passes,
+   apply source waiver comments, and aggregate per-closure race stats.
 
-   R1 [exact-float]     — exact [=] / [<>] / [==] / [!=] comparisons where
-                          either operand is syntactically a float (float
-                          literal, float arithmetic, [Float.*] call).
-                          Use [Util.Floats.is_zero]/[equal_exact] for
-                          intent-revealing guards, or waive.
-   R2 [domain-race]     — heuristic race detector: mutation of
-                          closure-captured refs / arrays / [Hashtbl] /
-                          [Buffer] / [Metrics] registries inside a
-                          function literal passed to a [Util.Parallel]
-                          entry point.  Captured-array writes (the
-                          disjoint-slice idiom of the PR-1 kernels) are
-                          permitted in files on [race_allowlist].
-   R3 [banned-construct] — [Obj.magic], [exit], stdout printing
-                          ([print_string] & friends, [Printf.printf],
-                          [Format.printf]) in library code (route
-                          through [Util.Log] or return strings), and
-                          catch-all [try ... with _ ->] that discards
-                          the exception.
-   R4 [unsafe-index]    — [Array.unsafe_get]/[unsafe_set] (and Bytes /
-                          String / Float.Array variants) outside the
-                          explicit hot-kernel [unsafe_allowlist].
-   R5 [missing-mli]     — every [lib/] module must ship a [.mli].
+   The per-file work fans out over the [Util.Parallel] worker pool;
+   the typechecker itself (global compiler-libs state) is serialized
+   inside [Lint_typed].  Results land in a pre-sized array indexed by
+   file, chunk-disjoint by construction. *)
 
-   Waivers: a finding on line L is waived when line L or L-1 carries a
-   comment [(* opera-lint: <key> *)] with the rule's key (exact, race,
-   banned, unsafe, mli; several keys may share one comment), or — for R1
-   — when the comparison expression carries an [[@opera.exact]]
-   attribute.  Waived findings are counted and reported but do not fail
-   the run; the exit code is 1 iff any unwaived finding exists. *)
+module Rules = Lint_rules
+module Project = Lint_project
+module Typed = Lint_typed
+module Cache = Lint_cache
+module Report = Lint_report
 
-module P = Parsetree
-
-(* ------------------------------------------------------------------ *)
-(* Rules, findings, configuration                                     *)
-(* ------------------------------------------------------------------ *)
-
-type rule =
+type rule = Rules.rule =
   | Exact_float
   | Domain_race
-  | Banned
+  | Banned_construct
   | Unsafe_index
   | Missing_mli
+  | Determinism
+  | Hot_alloc
+  | Resource_safety
   | Parse_failure
+  | Type_failure
 
-let all_rules = [ Exact_float; Domain_race; Banned; Unsafe_index; Missing_mli; Parse_failure ]
-
-let rule_id = function
-  | Exact_float -> "exact-float"
-  | Domain_race -> "domain-race"
-  | Banned -> "banned-construct"
-  | Unsafe_index -> "unsafe-index"
-  | Missing_mli -> "missing-mli"
-  | Parse_failure -> "parse-error"
-
-(* The keyword accepted in an [(* opera-lint: ... *)] waiver comment.
-   Parse failures cannot be waived: unparseable code cannot be linted. *)
-let waiver_key = function
-  | Exact_float -> Some "exact"
-  | Domain_race -> Some "race"
-  | Banned -> Some "banned"
-  | Unsafe_index -> Some "unsafe"
-  | Missing_mli -> Some "mli"
-  | Parse_failure -> None
-
-type finding = {
+type finding = Rules.finding = {
   rule : rule;
   file : string;
   line : int;
   col : int;
+  anchor : int;
   msg : string;
   waived : bool;
 }
 
-type config = {
+type config = Rules.config = {
   unsafe_allowlist : string list;
-      (* basenames of hot-kernel files where R4 unsafe indexing is
-         permitted outright (use sparingly; prefer bounds-checked). *)
-  race_allowlist : string list;
-      (* basenames whose captured-array writes inside parallel closures
-         are trusted as disjoint-slice kernels (R2 still flags captured
-         refs / Hashtbl / Metrics mutation in these files). *)
+  clock_allowlist : string list;
   check_mli : bool;
 }
 
-let default_config =
-  {
-    unsafe_allowlist = [ "sparse.ml" ];
-    (* The domain-parallel kernels: every captured-array write is a
-       disjoint slice indexed by the parallel chunk/block/row index —
-       the PR-1 Galerkin kernels plus the level-scheduled triangular
-       sweeps ([sparse_cholesky.ml]: each level writes [work]/[b] only
-       at its own rows, and the permutation keeps the [b] slots
-       disjoint).  The batch engine is deliberately NOT here: its one
-       fan-out closure carries an inline [(* opera-lint: race *)]
-       waiver instead of a whole-file exemption. *)
-    race_allowlist =
-      [ "galerkin.ml"; "galerkin_op.ml"; "special_case.ml"; "sparse_cholesky.ml"; "st_solver.ml" ];
-    check_mli = true;
-  }
+let default_config = Rules.default_config
+let rule_id = Rules.rule_id
+let all_rules = Rules.all_rules
+let waiver_key = Rules.waiver_key
+let finding_order = Report.finding_order
+let summarize = Report.summarize
+let exit_code = Report.exit_code
+let human_report = Report.human_report
+let json_report = Report.json_report
+let sarif_report = Report.sarif_report
 
-(* ------------------------------------------------------------------ *)
-(* Small AST helpers                                                  *)
-(* ------------------------------------------------------------------ *)
+(* ---- waiver comments --------------------------------------------------- *)
 
-let loc_pos (loc : Location.t) =
-  let p = loc.loc_start in
-  (p.pos_lnum, p.pos_cnum - p.pos_bol)
-
-let ident_path (e : P.expression) =
-  match e.pexp_desc with Pexp_ident { txt; _ } -> Some (Longident.flatten txt) | _ -> None
-
-(* Last two components of an ident path: [Util.Parallel.for_chunks] ->
-   ("Parallel", "for_chunks"); [incr] -> ("", "incr"). *)
-let last_two path =
-  match List.rev path with
-  | f :: m :: _ -> Some (m, f)
-  | [ f ] -> Some ("", f)
-  | [] -> None
-
-let path_is e expected = match ident_path e with Some p -> p = expected | None -> false
-
-module StrSet = Set.Make (String)
-
-(* All value names bound by a pattern (vars and aliases, at any depth). *)
-let pat_vars (p : P.pattern) =
-  let acc = ref [] in
-  let iter =
-    {
-      Ast_iterator.default_iterator with
-      pat =
-        (fun self p ->
-          (match p.ppat_desc with
-          | Ppat_var { txt; _ } -> acc := txt :: !acc
-          | Ppat_alias (_, { txt; _ }) -> acc := txt :: !acc
-          | _ -> ());
-          Ast_iterator.default_iterator.pat self p);
-    }
-  in
-  iter.pat iter p;
-  !acc
-
-let add_vars vars env = List.fold_left (fun acc v -> StrSet.add v acc) env vars
-
-(* ------------------------------------------------------------------ *)
-(* R1 — syntactic "this is a float" heuristic                         *)
-(* ------------------------------------------------------------------ *)
-
-let float_binops = [ "+."; "-."; "*."; "/."; "**"; "~-."; "~+." ]
-
-let float_stdlib_fns =
-  [
-    "sqrt"; "exp"; "log"; "log10"; "log1p"; "expm1"; "cos"; "sin"; "tan"; "acos"; "asin";
-    "atan"; "atan2"; "cosh"; "sinh"; "tanh"; "ceil"; "floor"; "abs_float"; "mod_float";
-    "float_of_int"; "float_of_string"; "ldexp"; "copysign"; "hypot"; "min_float"; "max_float";
-    "infinity"; "nan"; "epsilon_float";
-  ]
-
-(* [Float.*] members that do NOT return float (predicates etc.) — calls
-   to anything else under [Float] are treated as float-valued. *)
-let float_module_non_float =
-  [
-    "to_int"; "to_string"; "compare"; "equal"; "is_nan"; "is_finite"; "is_integer"; "hash";
-    "sign_bit";
-  ]
-
-let rec is_floatish (e : P.expression) =
-  match e.pexp_desc with
-  | Pexp_constant (Pconst_float _) -> true
-  | Pexp_constraint (inner, { ptyp_desc = Ptyp_constr ({ txt = Lident "float"; _ }, []); _ }) ->
-      ignore inner;
-      true
-  | Pexp_constraint (inner, _) -> is_floatish inner
-  | Pexp_ifthenelse (_, a, Some b) -> is_floatish a || is_floatish b
-  | Pexp_sequence (_, b) -> is_floatish b
-  | Pexp_let (_, _, body) -> is_floatish body
-  | Pexp_ident { txt = Lident n; _ } -> List.mem n float_stdlib_fns
-  | Pexp_ident { txt = Ldot (Lident "Float", n); _ } -> not (List.mem n float_module_non_float)
-  | Pexp_apply (f, args) -> (
-      match ident_path f with
-      | Some [ op ] when List.mem op float_binops -> true
-      | Some [ fn ] when List.mem fn float_stdlib_fns -> true
-      | Some [ "Float"; fn ] -> not (List.mem fn float_module_non_float)
-      | Some [ op ] when op = "~-" || op = "~+" ->
-          (* Unary minus distributes over the operand's type. *)
-          List.exists (fun (_, a) -> is_floatish a) args
-      | _ -> false)
-  | _ -> false
-
-let compare_ops = [ "="; "<>"; "=="; "!=" ]
-
-(* ------------------------------------------------------------------ *)
-(* R3 — banned constructs                                             *)
-(* ------------------------------------------------------------------ *)
-
-let banned_paths =
-  [
-    ([ "Obj"; "magic" ], "Obj.magic defeats the type system");
-    ([ "Stdlib"; "Obj"; "magic" ], "Obj.magic defeats the type system");
-    ([ "exit" ], "exit in library code; return a result or raise");
-    ([ "Stdlib"; "exit" ], "exit in library code; return a result or raise");
-    ([ "print_string" ], "stdout printing in library code; route through Util.Log or return the string");
-    ([ "print_endline" ], "stdout printing in library code; route through Util.Log or return the string");
-    ([ "print_newline" ], "stdout printing in library code; route through Util.Log or return the string");
-    ([ "print_char" ], "stdout printing in library code; route through Util.Log or return the string");
-    ([ "print_int" ], "stdout printing in library code; route through Util.Log or return the string");
-    ([ "print_float" ], "stdout printing in library code; route through Util.Log or return the string");
-    ([ "Printf"; "printf" ], "Printf.printf in library code; route through Util.Log or return the string");
-    ([ "Format"; "printf" ], "Format.printf in library code; route through Util.Log or return the string");
-    ([ "Format"; "print_string" ], "Format.print_string in library code; route through Util.Log or return the string");
-  ]
-
-(* ------------------------------------------------------------------ *)
-(* R4 — unsafe indexing                                               *)
-(* ------------------------------------------------------------------ *)
-
-let unsafe_paths =
-  [
-    [ "Array"; "unsafe_get" ]; [ "Array"; "unsafe_set" ];
-    [ "Bytes"; "unsafe_get" ]; [ "Bytes"; "unsafe_set" ];
-    [ "String"; "unsafe_get" ];
-    [ "Float"; "Array"; "unsafe_get" ]; [ "Float"; "Array"; "unsafe_set" ];
-  ]
-
-(* ------------------------------------------------------------------ *)
-(* R2 — domain-race heuristic                                         *)
-(* ------------------------------------------------------------------ *)
-
-let parallel_entry e =
-  match ident_path e with
-  | Some path -> (
-      match last_two path with
-      | Some ("Parallel", ("parallel_for" | "for_chunks")) -> true
-      | _ -> false)
-  | None -> false
-
-let hashtbl_mutators =
-  [ "add"; "replace"; "remove"; "reset"; "clear"; "filter_map_inplace"; "add_seq"; "replace_seq" ]
-
-let metrics_mutators = [ "incr"; "observe"; "span"; "start_span"; "stop_span"; "reset"; "write_file" ]
-
-let buffer_mutators =
-  [ "add_string"; "add_char"; "add_bytes"; "add_substring"; "add_buffer"; "clear"; "reset"; "truncate" ]
-
-(* Root identifier of an lvalue-ish expression: follows record fields
-   and [Array.get]-style projections down to the base identifier.
-   [`Simple x] — a plain local/captured name; [`Qualified] — a
-   module-qualified path, i.e. module-level (hence shared) state. *)
-let rec lvalue_root (e : P.expression) =
-  match e.pexp_desc with
-  | Pexp_ident { txt = Lident x; _ } -> Some (`Simple x)
-  | Pexp_ident _ -> Some `Qualified
-  | Pexp_field (inner, _) -> lvalue_root inner
-  | Pexp_apply (f, (_, first) :: _) -> (
-      match ident_path f with
-      | Some p when
-          (match last_two p with
-          | Some (("Array" | "String" | "Bytes"), "get") -> true
-          | Some ("", "!") -> true
-          | _ -> false) ->
-          lvalue_root first
-      | _ -> None)
-  | _ -> None
-
-let captured env e =
-  match lvalue_root e with
-  | Some (`Simple x) -> not (StrSet.mem x env)
-  | Some `Qualified -> true
-  | None -> false
-
-(* ------------------------------------------------------------------ *)
-(* The per-file pass                                                  *)
-(* ------------------------------------------------------------------ *)
-
-type ctx = {
-  cfg : config;
-  file : string; (* path as reported *)
-  base : string; (* basename, for allowlists *)
-  mutable found : finding list;
-}
-
-let report ctx rule (loc : Location.t) ?(waived = false) msg =
-  let line, col = loc_pos loc in
-  ctx.found <- { rule; file = ctx.file; line; col; msg; waived } :: ctx.found
-
-let has_attr name (attrs : P.attributes) =
-  List.exists (fun (a : P.attribute) -> a.attr_name.txt = name) attrs
-
-(* --- R2: scan the body of a closure passed to Util.Parallel --------- *)
-
-let race_scan ctx env0 (body : P.expression) =
-  let array_writes_allowed = List.mem ctx.base ctx.cfg.race_allowlist in
-  let rec scan env (e : P.expression) =
-    match e.pexp_desc with
-    | Pexp_let (rf, vbs, body) ->
-        let bound = List.concat_map (fun (vb : P.value_binding) -> pat_vars vb.pvb_pat) vbs in
-        let env_rhs = if rf = Asttypes.Recursive then add_vars bound env else env in
-        List.iter (fun (vb : P.value_binding) -> scan env_rhs vb.pvb_expr) vbs;
-        scan (add_vars bound env) body
-    | Pexp_fun (_, default, pat, body) ->
-        Option.iter (scan env) default;
-        scan (add_vars (pat_vars pat) env) body
-    | Pexp_for ({ ppat_desc = Ppat_var { txt; _ }; _ }, e1, e2, _, body) ->
-        scan env e1;
-        scan env e2;
-        scan (StrSet.add txt env) body
-    | Pexp_match (scrut, cases) | Pexp_try (scrut, cases) ->
-        scan env scrut;
-        List.iter
-          (fun (c : P.case) ->
-            let env' = add_vars (pat_vars c.pc_lhs) env in
-            Option.iter (scan env') c.pc_guard;
-            scan env' c.pc_rhs)
-          cases
-    | Pexp_setfield (obj, _, v) ->
-        if captured env obj then
-          report ctx Domain_race e.pexp_loc
-            "mutates a field of closure-captured state inside a parallel closure";
-        scan env obj;
-        scan env v
-    | Pexp_apply (f, args) ->
-        check_call env e f args;
-        scan env f;
-        List.iter (fun (_, a) -> scan env a) args
-    | _ ->
-        (* Generic descent with the same environment.  Binders of exotic
-           forms (letop, letmodule, ...) are not tracked — acceptable
-           for a heuristic aimed at numeric kernels. *)
-        let sub =
-          { Ast_iterator.default_iterator with expr = (fun _self e' -> scan env e') }
-        in
-        Ast_iterator.default_iterator.expr sub e
-  and check_call env (app : P.expression) f args =
-    let nth_arg k = match List.nth_opt args k with Some (_, a) -> Some a | None -> None in
-    let arg_captured k = match nth_arg k with Some a -> captured env a | None -> false in
-    match ident_path f with
-    | Some [ (":=" | "incr" | "decr") ] when arg_captured 0 ->
-        report ctx Domain_race app.pexp_loc
-          "mutates a closure-captured ref inside a parallel closure"
-    | Some p -> (
-        match last_two p with
-        | Some (("Array" | "Floatarray"), ("set" | "fill")) when arg_captured 0 ->
-            if not array_writes_allowed then
-              report ctx Domain_race app.pexp_loc
-                "writes a closure-captured array inside a parallel closure (allowlist the \
-                 file if every write is a disjoint slice)"
-        | Some ("Array", "blit") when arg_captured 2 ->
-            if not array_writes_allowed then
-              report ctx Domain_race app.pexp_loc
-                "blits into a closure-captured array inside a parallel closure (allowlist \
-                 the file if every write is a disjoint slice)"
-        | Some ("Hashtbl", fn) when List.mem fn hashtbl_mutators ->
-            report ctx Domain_race app.pexp_loc
-              (Printf.sprintf "Hashtbl.%s on shared state inside a parallel closure" fn)
-        | Some ("Metrics", fn) when List.mem fn metrics_mutators ->
-            report ctx Domain_race app.pexp_loc
-              (Printf.sprintf
-                 "Metrics.%s inside a parallel closure (registries are not thread-safe; \
-                  record from the calling domain only)"
-                 fn)
-        | Some ("Buffer", fn) when List.mem fn buffer_mutators && arg_captured 0 ->
-            report ctx Domain_race app.pexp_loc
-              (Printf.sprintf "Buffer.%s on a closure-captured buffer inside a parallel closure" fn)
-        | _ -> ())
-    | None -> ()
-  in
-  scan env0 body
-
-(* Peel the [fun p1 p2 ... -> body] chain of a closure literal,
-   returning the parameter-bound environment and the body. *)
-let rec peel_fun env (e : P.expression) =
-  match e.pexp_desc with
-  | Pexp_fun (_, _, pat, body) -> peel_fun (add_vars (pat_vars pat) env) body
-  | Pexp_newtype (_, body) -> peel_fun env body
-  | _ -> (env, e)
-
-(* --- Main expression walk (R1, R2 entry, R3, R4) ------------------- *)
-
-let walk_structure ctx (str : P.structure) =
-  let expr_rule (e : P.expression) =
-    (match e.pexp_desc with
-    (* R1 — exact float comparison. *)
-    | Pexp_apply (op, [ (_, a); (_, b) ]) -> (
-        match ident_path op with
-        | Some [ o ] when List.mem o compare_ops && (is_floatish a || is_floatish b) ->
-            let waived = has_attr "opera.exact" e.pexp_attributes in
-            report ctx Exact_float e.pexp_loc ~waived
-              (Printf.sprintf
-                 "exact float `%s` comparison; use Util.Floats.(is_zero|nonzero|equal_exact) \
-                  or a tolerance, or waive with (* opera-lint: exact *) / [@opera.exact]"
-                 o)
-        | _ -> ())
-    | _ -> ());
-    (match e.pexp_desc with
-    (* R3 — catch-all try that discards the exception. *)
-    | Pexp_try (_, cases) ->
-        List.iter
-          (fun (c : P.case) ->
-            match (c.pc_lhs.ppat_desc, c.pc_guard) with
-            | Ppat_any, None ->
-                report ctx Banned c.pc_lhs.ppat_loc
-                  "catch-all `try ... with _ ->` discards the exception; match specific \
-                   exceptions or bind and log it"
-            | _ -> ())
-          cases
-    | _ -> ());
-    match e.pexp_desc with
-    (* R3/R4 — banned or unsafe identifiers (flagged wherever they are
-       referenced, including partial application / function arguments). *)
-    | Pexp_ident _ -> (
-        match ident_path e with
-        | Some p -> (
-            (match List.assoc_opt p banned_paths with
-            | Some why -> report ctx Banned e.pexp_loc why
-            | None -> ());
-            if List.mem p unsafe_paths && not (List.mem ctx.base ctx.cfg.unsafe_allowlist) then
-              report ctx Unsafe_index e.pexp_loc
-                (Printf.sprintf
-                   "%s outside the hot-kernel allowlist; use bounds-checked access or \
-                    allowlist the file"
-                   (String.concat "." p)))
-        | None -> ())
-    (* R2 — closure literal handed to a Util.Parallel entry point. *)
-    | Pexp_apply (f, args) when parallel_entry f ->
-        List.iter
-          (fun ((_, a) : Asttypes.arg_label * P.expression) ->
-            match a.pexp_desc with
-            | Pexp_fun _ | Pexp_newtype _ ->
-                let env, body = peel_fun StrSet.empty a in
-                race_scan ctx env body
-            | _ -> ())
-          args
-    | _ -> ()
-  in
-  let iter =
-    {
-      Ast_iterator.default_iterator with
-      expr =
-        (fun self e ->
-          expr_rule e;
-          Ast_iterator.default_iterator.expr self e);
-    }
-  in
-  iter.structure iter str
-
-(* ------------------------------------------------------------------ *)
-(* Waiver comments                                                    *)
-(* ------------------------------------------------------------------ *)
-
-let split_lines s =
-  let lines = String.split_on_char '\n' s in
-  Array.of_list lines
+let split_lines s = Array.of_list (String.split_on_char '\n' s)
 
 (* Does [line] carry an [(* opera-lint: ... *)] comment naming [key]?
    Several keys may share one comment: [(* opera-lint: exact race *)]. *)
@@ -492,217 +90,277 @@ let line_waives line key =
       in
       List.mem key words
 
+(* A finding is waived by a comment on its own line or the line above;
+   race findings are also waived by a comment at (or just above) the
+   head line of their parallel closure, so one [(* opera-lint: race *)]
+   covers the whole closure. *)
 let apply_waivers lines findings =
   let nlines = Array.length lines in
   let get i = if i >= 1 && i <= nlines then lines.(i - 1) else "" in
+  let waived_at i key = line_waives (get i) key || line_waives (get (i - 1)) key in
   List.map
-    (fun f ->
+    (fun (f : finding) ->
       if f.waived then f
       else
         match waiver_key f.rule with
         | None -> f
         | Some key ->
-            if line_waives (get f.line) key || line_waives (get (f.line - 1)) key then
-              { f with waived = true }
+            if waived_at f.line key || (f.anchor > 0 && waived_at f.anchor key)
+            then { f with waived = true }
             else f)
     findings
 
-(* ------------------------------------------------------------------ *)
-(* Driving: files, directories, reports                               *)
-(* ------------------------------------------------------------------ *)
+(* ---- per-file analysis ------------------------------------------------- *)
 
-let read_file path =
-  let ic = open_in_bin path in
-  Fun.protect
-    ~finally:(fun () -> close_in ic)
-    (fun () -> really_input_string ic (in_channel_length ic))
+let read_source path =
+  match open_in_bin path with
+  | exception Sys_error _ -> None
+  | ic ->
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () ->
+          match really_input_string ic (in_channel_length ic) with
+          | s -> Some s
+          | exception End_of_file -> None)
 
-let lint_source cfg ~filename ?(mli_exists = true) source =
-  let ctx = { cfg; file = filename; base = Filename.basename filename; found = [] } in
-  let lines = split_lines source in
-  (if cfg.check_mli && not mli_exists then
-     ctx.found <-
-       {
-         rule = Missing_mli;
-         file = filename;
-         line = 1;
-         col = 0;
-         msg = "module has no .mli interface; add one or waive with (* opera-lint: mli *)";
-         waived = false;
-       }
-       :: ctx.found);
-  (try
-     let lexbuf = Lexing.from_string source in
-     Location.init lexbuf filename;
-     let str = Parse.implementation lexbuf in
-     walk_structure ctx str
-   with exn ->
-     let line, col, detail =
-       match exn with
-       | Syntaxerr.Error err ->
-           let loc = Syntaxerr.location_of_error err in
-           let l, c = loc_pos loc in
-           (l, c, "syntax error")
-       | e -> (1, 0, Printexc.to_string e)
-     in
-     ctx.found <-
-       {
-         rule = Parse_failure;
-         file = filename;
-         line;
-         col;
-         msg = Printf.sprintf "failed to parse: %s" detail;
-         waived = false;
-       }
-       :: ctx.found);
-  apply_waivers lines ctx.found
+type file_result = {
+  fr_findings : finding list;
+  fr_closures : int list;
+  fr_cache_hit : bool;
+  fr_typecheck_s : float;
+  fr_rules_s : float;
+  fr_cache_s : float;
+}
 
-let lint_file cfg path =
-  let source = read_file path in
-  let mli_exists = Sys.file_exists (Filename.remove_extension path ^ ".mli") in
-  lint_source cfg ~filename:path ~mli_exists source
+let src_digest_of ~(plan : Project.plan) source =
+  Digest.to_hex
+    (Digest.string
+       (Printf.sprintf "%s\x00%s\x00%b\x00%b" source plan.Project.unit_name
+          plan.Project.is_exe plan.Project.mli_exists))
 
-(* Collect .ml files (sorted, recursive) under each root; a root may
-   also name a single file. *)
-let collect paths =
+let missing_mli_finding file =
+  {
+    rule = Missing_mli;
+    file;
+    line = 1;
+    col = 0;
+    anchor = 0;
+    msg =
+      "module has no .mli interface; add one or waive with (* opera-lint: \
+       mli *)";
+    waived = false;
+  }
+
+let failure_finding rule file (e : Typed.error) =
+  {
+    rule;
+    file;
+    line = e.Typed.err_line;
+    col = e.Typed.err_col;
+    anchor = 0;
+    msg = e.Typed.err_msg;
+    waived = false;
+  }
+
+(* Analyze one source string against a compilation plan: typecheck, run
+   the rule passes, apply waivers.  Used directly by tests (no cache)
+   and by [analyze_file] below. *)
+let lint_source cfg ~(plan : Project.plan) source :
+    finding list * int list * float * float =
+  let file = plan.Project.rel_path in
+  let tt = Util.Timer.start () in
+  (* The rule passes expand types through the typing environment, which
+     touches the same compiler-libs globals as the typechecker, so they
+     run inside [analyze]'s continuation (still holding its lock). *)
+  let (findings, closures), rules_s =
+    Typed.analyze ~plan source ~k:(fun outcome ->
+        let rt = Util.Timer.start () in
+        let r =
+          match outcome with
+          | Typed.Typed tstr ->
+              Rules.run_passes cfg ~file ~is_exe:plan.Project.is_exe tstr
+          | Typed.Parse_error e -> ([ failure_finding Parse_failure file e ], [])
+          | Typed.Type_error e -> ([ failure_finding Type_failure file e ], [])
+        in
+        (r, Util.Timer.elapsed_s rt))
+  in
+  let typecheck_s = Util.Timer.elapsed_s tt -. rules_s in
+  let findings =
+    if cfg.check_mli && (not plan.Project.is_exe) && not plan.Project.mli_exists
+    then missing_mli_finding file :: findings
+    else findings
+  in
+  let findings = apply_waivers (split_lines source) findings in
+  let findings = List.sort_uniq finding_order findings in
+  (findings, closures, typecheck_s, rules_s)
+
+let analyze_file cfg ~cache_dir ~project rel : file_result =
+  let root = Project.root project in
+  let abs = Filename.concat root rel in
+  let plan =
+    match Project.plan_for project rel with
+    | Some p -> p
+    | None -> Project.orphan_plan project ~rel_path:rel
+  in
+  match read_source abs with
+  | None ->
+      {
+        fr_findings =
+          [
+            {
+              rule = Parse_failure;
+              file = rel;
+              line = 1;
+              col = 0;
+              anchor = 0;
+              msg = "source file unreadable";
+              waived = false;
+            };
+          ];
+        fr_closures = [];
+        fr_cache_hit = false;
+        fr_typecheck_s = 0.;
+        fr_rules_s = 0.;
+        fr_cache_s = 0.;
+      }
+  | Some source -> (
+      let src_digest = src_digest_of ~plan source in
+      let cfg_digest =
+        Digest.to_hex (Digest.string (Rules.config_digest_input cfg))
+      in
+      let ct = Util.Timer.start () in
+      let cached =
+        match cache_dir with
+        | None -> None
+        | Some dir ->
+            Cache.load ~dir ~rel_path:rel ~src_digest ~cfg_digest
+      in
+      let cache_s = Util.Timer.elapsed_s ct in
+      match cached with
+      | Some entry ->
+          {
+            fr_findings = entry.Cache.findings;
+            fr_closures = entry.Cache.race_closures;
+            fr_cache_hit = true;
+            fr_typecheck_s = 0.;
+            fr_rules_s = 0.;
+            fr_cache_s = cache_s;
+          }
+      | None ->
+          let findings, closures, typecheck_s, rules_s =
+            lint_source cfg ~plan source
+          in
+          let ct2 = Util.Timer.start () in
+          (match cache_dir with
+          | None -> ()
+          | Some dir ->
+              Cache.store ~dir ~rel_path:rel ~src_digest ~cfg_digest
+                { Cache.findings; race_closures = closures });
+          {
+            fr_findings = findings;
+            fr_closures = closures;
+            fr_cache_hit = false;
+            fr_typecheck_s = typecheck_s;
+            fr_rules_s = rules_s;
+            fr_cache_s = cache_s +. Util.Timer.elapsed_s ct2;
+          })
+
+(* ---- file collection --------------------------------------------------- *)
+
+let collect ~root paths =
   let acc = ref [] in
-  let rec visit p =
-    if Sys.is_directory p then
-      Sys.readdir p |> Array.to_list |> List.sort String.compare
-      |> List.iter (fun entry ->
-             if entry <> "" && entry.[0] <> '.' && entry <> "_build" then
-               visit (Filename.concat p entry))
-    else if Filename.check_suffix p ".ml" then acc := p :: !acc
+  let rec visit rel =
+    let abs = Filename.concat root rel in
+    if Sys.file_exists abs && Sys.is_directory abs then begin
+      let entries = Sys.readdir abs in
+      Array.sort compare entries;
+      Array.iter
+        (fun e ->
+          if
+            String.length e > 0 && e.[0] <> '.' && e.[0] <> '_'
+            && e <> "lint_fixtures"
+          then visit (Filename.concat rel e))
+        entries
+    end
+    else if Filename.check_suffix rel ".ml" && Sys.file_exists abs then
+      acc := rel :: !acc
   in
   List.iter visit paths;
   List.rev !acc
 
-let finding_order (a : finding) (b : finding) =
-  let c = String.compare a.file b.file in
-  if c <> 0 then c
-  else
-    let c = Int.compare a.line b.line in
-    if c <> 0 then c
-    else
-      let c = Int.compare a.col b.col in
-      if c <> 0 then c
-      else
-        let c = String.compare (rule_id a.rule) (rule_id b.rule) in
-        if c <> 0 then c else String.compare a.msg b.msg
+(* ---- project run ------------------------------------------------------- *)
 
-let run cfg paths =
-  let files = collect paths in
-  let findings = List.concat_map (lint_file cfg) files in
-  let findings = List.sort_uniq finding_order findings in
-  (List.length files, findings)
-
-(* --- Summaries ----------------------------------------------------- *)
-
-type summary = {
-  total : int;
-  unwaived : int;
-  waived : int;
-  per_rule : (string * (int * int)) list; (* rule-id -> (unwaived, waived) *)
+type run_result = {
+  files_scanned : int;
+  findings : finding list;
+  race : Report.race_stats;
+  cache : Report.cache_stats;
+  timings : Report.timings;
 }
 
-let summarize findings =
-  let tally rule =
-    let u, w =
-      List.fold_left
-        (fun (u, w) f ->
-          if f.rule <> rule then (u, w) else if f.waived then (u, w + 1) else (u + 1, w))
-        (0, 0) findings
-    in
-    (rule_id rule, (u, w))
-  in
-  let per_rule = List.map tally all_rules in
-  let unwaived = List.fold_left (fun a (_, (u, _)) -> a + u) 0 per_rule in
-  let waived = List.fold_left (fun a (_, (_, w)) -> a + w) 0 per_rule in
-  { total = unwaived + waived; unwaived; waived; per_rule }
-
-let exit_code findings = if (summarize findings).unwaived > 0 then 1 else 0
-
-(* --- Human report -------------------------------------------------- *)
-
-let human_report ?(verbose = false) ~files_scanned findings =
-  let buf = Buffer.create 1024 in
+let race_stats_of results =
+  let closures = ref 0 and proven = ref 0 and waived_closures = ref 0 in
   List.iter
-    (fun (f : finding) ->
-      if (not f.waived) || verbose then
-        Buffer.add_string buf
-          (Printf.sprintf "%s:%d:%d: [%s]%s %s\n" f.file f.line f.col (rule_id f.rule)
-             (if f.waived then " (waived)" else "")
-             f.msg))
-    findings;
-  let s = summarize findings in
-  Buffer.add_string buf
-    (Printf.sprintf "opera-lint: %d file(s), %d finding(s): %d unwaived, %d waived\n"
-       files_scanned s.total s.unwaived s.waived);
-  List.iter
-    (fun (id, (u, w)) ->
-      if u + w > 0 then
-        Buffer.add_string buf (Printf.sprintf "  %-16s unwaived %d, waived %d\n" id u w))
-    s.per_rule;
-  Buffer.contents buf
+    (fun fr ->
+      List.iter
+        (fun head ->
+          incr closures;
+          let in_closure =
+            List.filter
+              (fun (f : finding) -> f.rule = Domain_race && f.anchor = head)
+              fr.fr_findings
+          in
+          if in_closure = [] then incr proven
+          else if List.for_all (fun (f : finding) -> f.waived) in_closure then
+            incr waived_closures)
+        fr.fr_closures)
+    results;
+  {
+    Report.closures = !closures;
+    proven = !proven;
+    waived_closures = !waived_closures;
+  }
 
-(* --- JSON report (deterministic: fixed key order, sorted findings) -- *)
-
-let json_escape s =
-  let buf = Buffer.create (String.length s + 8) in
-  String.iter
-    (fun c ->
-      match c with
-      | '"' -> Buffer.add_string buf "\\\""
-      | '\\' -> Buffer.add_string buf "\\\\"
-      | '\n' -> Buffer.add_string buf "\\n"
-      | '\t' -> Buffer.add_string buf "\\t"
-      | '\r' -> Buffer.add_string buf "\\r"
-      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
-      | c -> Buffer.add_char buf c)
-    s;
-  Buffer.contents buf
-
-let json_report ?(config = default_config) ~files_scanned findings =
-  let s = summarize findings in
-  let buf = Buffer.create 4096 in
-  Buffer.add_string buf "{\n";
-  Buffer.add_string buf "  \"tool\": \"opera-lint\",\n";
-  Buffer.add_string buf "  \"version\": 1,\n";
-  Buffer.add_string buf (Printf.sprintf "  \"files_scanned\": %d,\n" files_scanned);
-  Buffer.add_string buf
-    (Printf.sprintf "  \"summary\": { \"total\": %d, \"unwaived\": %d, \"waived\": %d },\n"
-       s.total s.unwaived s.waived);
-  Buffer.add_string buf "  \"rules\": {\n";
-  let nrules = List.length s.per_rule in
-  List.iteri
-    (fun i (id, (u, w)) ->
-      Buffer.add_string buf
-        (Printf.sprintf "    \"%s\": { \"unwaived\": %d, \"waived\": %d }%s\n" id u w
-           (if i = nrules - 1 then "" else ",")))
-    s.per_rule;
-  Buffer.add_string buf "  },\n";
-  (* The per-file allowlists are config, not findings — but a reviewer
-     auditing the report needs to see which files are exempt from R2/R4,
-     so the active lists are recorded verbatim (sorted for determinism). *)
-  let string_list names =
-    String.concat ", "
-      (List.map (fun f -> Printf.sprintf "\"%s\"" (json_escape f)) (List.sort compare names))
+let run ?(config = default_config) ?cache_dir ?(root = ".") paths : run_result =
+  let total = Util.Timer.start () in
+  let project = Project.scan ~root in
+  let files = Array.of_list (collect ~root:(Project.root project) paths) in
+  let n = Array.length files in
+  let results = Array.make n None in
+  Util.Parallel.for_chunks n (fun ~chunk:_ ~lo ~hi ->
+      for i = lo to hi - 1 do
+        results.(i) <- Some (analyze_file config ~cache_dir ~project files.(i))
+      done);
+  let results =
+    Array.to_list results
+    |> List.filter_map (fun r -> r)
   in
-  Buffer.add_string buf
-    (Printf.sprintf "  \"allowlists\": { \"race\": [%s], \"unsafe\": [%s] },\n"
-       (string_list config.race_allowlist)
-       (string_list config.unsafe_allowlist));
-  Buffer.add_string buf "  \"findings\": [\n";
-  let n = List.length findings in
-  List.iteri
-    (fun i f ->
-      Buffer.add_string buf
-        (Printf.sprintf
-           "    { \"rule\": \"%s\", \"file\": \"%s\", \"line\": %d, \"col\": %d, \"waived\": \
-            %b, \"message\": \"%s\" }%s\n"
-           (rule_id f.rule) (json_escape f.file) f.line f.col f.waived (json_escape f.msg)
-           (if i = n - 1 then "" else ",")))
+  let findings =
+    List.concat_map (fun fr -> fr.fr_findings) results
+    |> List.sort_uniq finding_order
+  in
+  let cache =
+    List.fold_left
+      (fun (acc : Report.cache_stats) fr ->
+        if fr.fr_cache_hit then { acc with Report.hits = acc.Report.hits + 1 }
+        else { acc with Report.misses = acc.Report.misses + 1 })
+      Report.zero_cache results
+  in
+  let typecheck_s =
+    List.fold_left (fun a fr -> a +. fr.fr_typecheck_s) 0. results
+  in
+  let rules_s = List.fold_left (fun a fr -> a +. fr.fr_rules_s) 0. results in
+  let cache_s = List.fold_left (fun a fr -> a +. fr.fr_cache_s) 0. results in
+  {
+    files_scanned = n;
     findings;
-  Buffer.add_string buf "  ]\n";
-  Buffer.add_string buf "}\n";
-  Buffer.contents buf
+    race = race_stats_of results;
+    cache;
+    timings =
+      {
+        Report.total_s = Util.Timer.elapsed_s total;
+        typecheck_s;
+        rules_s;
+        cache_s;
+      };
+  }

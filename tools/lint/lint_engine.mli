@@ -1,0 +1,107 @@
+(** opera-lint v2: typedtree-driven, incrementally cached project lint.
+
+    [run] maps every requested source onto its dune compilation plan,
+    typechecks cache misses through compiler-libs, runs the rule
+    passes, applies [(* opera-lint: <key> *)] waiver comments, and
+    aggregates per-closure race statistics.  Per-file work fans out
+    over the [Util.Parallel] worker pool. *)
+
+module Rules = Lint_rules
+module Project = Lint_project
+module Typed = Lint_typed
+module Cache = Lint_cache
+module Report = Lint_report
+
+type rule = Rules.rule =
+  | Exact_float
+  | Domain_race
+  | Banned_construct
+  | Unsafe_index
+  | Missing_mli
+  | Determinism
+  | Hot_alloc
+  | Resource_safety
+  | Parse_failure
+  | Type_failure
+
+type finding = Rules.finding = {
+  rule : rule;
+  file : string;
+  line : int;
+  col : int;
+  anchor : int;
+  msg : string;
+  waived : bool;
+}
+
+type config = Rules.config = {
+  unsafe_allowlist : string list;
+  clock_allowlist : string list;
+  check_mli : bool;
+}
+
+val default_config : config
+val rule_id : rule -> string
+val all_rules : rule list
+val waiver_key : rule -> string option
+
+val finding_order : finding -> finding -> int
+val summarize : finding list -> Report.summary
+val exit_code : finding list -> int
+
+val human_report :
+  ?verbose:bool ->
+  files_scanned:int ->
+  race:Report.race_stats ->
+  cache:Report.cache_stats ->
+  finding list ->
+  string
+
+val json_report :
+  ?config:config ->
+  files_scanned:int ->
+  race:Report.race_stats ->
+  cache:Report.cache_stats ->
+  timings:Report.timings ->
+  finding list ->
+  string
+
+val sarif_report : finding list -> string
+
+val line_waives : string -> string -> bool
+(** [line_waives line key]: does [line] carry an
+    [(* opera-lint: ... *)] comment naming [key]? *)
+
+val apply_waivers : string array -> finding list -> finding list
+(** Waive findings whose line (or the line above, or for race findings
+    the closure head line) carries the rule's waiver key. *)
+
+val lint_source :
+  config ->
+  plan:Project.plan ->
+  string ->
+  finding list * int list * float * float
+(** [lint_source cfg ~plan source] analyzes one source string without
+    touching the cache: (findings after waivers, parallel-closure head
+    lines, typecheck seconds, rule-pass seconds). *)
+
+type run_result = {
+  files_scanned : int;
+  findings : finding list;
+  race : Report.race_stats;
+  cache : Report.cache_stats;
+  timings : Report.timings;
+}
+
+val collect : root:string -> string list -> string list
+(** Root-relative .ml files under the given paths, sorted, skipping
+    [_build], dot directories, and [lint_fixtures]. *)
+
+val run :
+  ?config:config ->
+  ?cache_dir:string ->
+  ?root:string ->
+  string list ->
+  run_result
+(** Lint the given root-relative paths. [root] defaults to ["."];
+    omitting [cache_dir] disables the incremental cache. *)

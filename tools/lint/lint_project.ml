@@ -1,0 +1,370 @@
+(* Project map for the typedtree front-end.
+
+   opera-lint typechecks sources exactly the way dune compiles them:
+   each module of a wrapped library [l] becomes compilation unit
+   [L__Module] (the library's main module keeps the plain name), is
+   compiled with the generated alias module opened, and resolves its
+   dependencies against the cmi directories of the libraries it links.
+   This module recovers that picture from the dune files themselves —
+   a tiny s-expression scanner, not a build-system reimplementation —
+   so the lint needs no hand-maintained manifest of the tree. *)
+
+(* ---- minimal s-expressions ------------------------------------------- *)
+
+type sexp = Atom of string | Sexps of sexp list
+
+let parse_sexps (s : string) : sexp list =
+  let n = String.length s in
+  let pos = ref 0 in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let advance () = incr pos in
+  let rec skip_ws () =
+    match peek () with
+    | Some (' ' | '\t' | '\n' | '\r') ->
+        advance ();
+        skip_ws ()
+    | Some ';' ->
+        while !pos < n && s.[!pos] <> '\n' do
+          advance ()
+        done;
+        skip_ws ()
+    | _ -> ()
+  in
+  let atom_char c =
+    match c with
+    | ' ' | '\t' | '\n' | '\r' | '(' | ')' | ';' | '"' -> false
+    | _ -> true
+  in
+  let read_string () =
+    (* opening quote consumed by caller *)
+    let b = Buffer.create 16 in
+    let rec go () =
+      match peek () with
+      | None -> Buffer.contents b
+      | Some '"' ->
+          advance ();
+          Buffer.contents b
+      | Some '\\' ->
+          advance ();
+          (match peek () with
+          | Some c ->
+              advance ();
+              Buffer.add_char b c
+          | None -> ());
+          go ()
+      | Some c ->
+          advance ();
+          Buffer.add_char b c;
+          go ()
+    in
+    go ()
+  in
+  let rec read_one () : sexp option =
+    skip_ws ();
+    match peek () with
+    | None -> None
+    | Some '(' ->
+        advance ();
+        let items = ref [] in
+        let rec loop () =
+          skip_ws ();
+          match peek () with
+          | None -> ()
+          | Some ')' -> advance ()
+          | Some _ -> (
+              match read_one () with
+              | Some x ->
+                  items := x :: !items;
+                  loop ()
+              | None -> ())
+        in
+        loop ();
+        Some (Sexps (List.rev !items))
+    | Some ')' ->
+        advance ();
+        read_one ()
+    | Some '"' ->
+        advance ();
+        Some (Atom (read_string ()))
+    | Some _ ->
+        let start = !pos in
+        while !pos < n && atom_char s.[!pos] do
+          advance ()
+        done;
+        Some (Atom (String.sub s start (!pos - start)))
+  in
+  let out = ref [] in
+  let rec all () =
+    match read_one () with
+    | Some x ->
+        out := x :: !out;
+        all ()
+    | None -> ()
+  in
+  all ();
+  List.rev !out
+
+(* ---- dune stanzas ----------------------------------------------------- *)
+
+type stanza = {
+  stanza_kind : [ `Library | `Executable ];
+  names : string list; (* library name, or executable name(s) *)
+  libraries : string list;
+  modules : string list option; (* lowercased module names; None = all in dir *)
+}
+
+let field name items =
+  List.find_map
+    (function Sexps (Atom f :: rest) when f = name -> Some rest | _ -> None)
+    items
+
+let atoms rest =
+  List.filter_map (function Atom a -> Some a | Sexps _ -> None) rest
+
+let stanzas_of_dune (source : string) : stanza list =
+  parse_sexps source
+  |> List.filter_map (function
+       | Sexps (Atom kind :: items)
+         when kind = "library" || kind = "executable" || kind = "executables"
+         ->
+           let get f = match field f items with Some r -> atoms r | None -> [] in
+           let names =
+             match kind with
+             | "library" | "executable" -> get "name"
+             | _ -> get "names"
+           in
+           let modules =
+             match field "modules" items with
+             | Some r -> Some (List.map String.lowercase_ascii (atoms r))
+             | None -> None
+           in
+           if names = [] then None
+           else
+             Some
+               {
+                 stanza_kind = (if kind = "library" then `Library else `Executable);
+                 names;
+                 libraries = get "libraries";
+                 modules;
+               }
+       | _ -> None)
+
+(* ---- project scan ----------------------------------------------------- *)
+
+type lib_info = {
+  lib_name : string;
+  lib_dir : string; (* relative to root *)
+  lib_deps : string list; (* library names as written in dune *)
+}
+
+type plan = {
+  rel_path : string;
+  unit_name : string;
+  alias_opens : string list; (* candidate alias modules, first that loads wins *)
+  load_dirs : string list; (* absolute cmi directories *)
+  is_exe : bool;
+  mli_exists : bool;
+}
+
+type t = {
+  root : string;
+  build_root : string;
+  stdlib_dir : string;
+  libs : lib_info list;
+  plans : (string, plan) Hashtbl.t; (* rel_path -> plan *)
+  all_lib_dirs : string list; (* every resolvable cmi dir, for orphan sources *)
+}
+
+let capitalize = String.capitalize_ascii
+
+let module_of_file file = String.lowercase_ascii (Filename.remove_extension file)
+
+let ( / ) = Filename.concat
+
+let is_dir d = Sys.file_exists d && Sys.is_directory d
+
+let rec find_dune_dirs root rel acc =
+  let abs = if rel = "" then root else root / rel in
+  let acc =
+    if Sys.file_exists (abs / "dune") then rel :: acc else acc
+  in
+  match Sys.readdir abs with
+  | entries ->
+      Array.sort compare entries;
+      Array.fold_left
+        (fun acc entry ->
+          if String.length entry > 0 && entry.[0] = '_' then acc
+          else if String.length entry > 0 && entry.[0] = '.' then acc
+          else
+            let sub = if rel = "" then entry else rel / entry in
+            if is_dir (root / sub) then find_dune_dirs root sub acc else acc)
+        acc entries
+  | exception Sys_error _ -> acc
+
+let read_text path =
+  match open_in_bin path with
+  | exception Sys_error _ -> None
+  | ic ->
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () -> Some (really_input_string ic (in_channel_length ic)))
+
+(* The build root is where the [.objs] cmi directories live.  Running
+   from a checkout that has been built, that is [_build/default]; when
+   the linter itself runs from inside [_build/default] (the hermetic
+   [@lint] rule), the root already is the build root. *)
+let find_build_root root =
+  let candidate = root / "_build" / "default" in
+  if is_dir candidate then candidate else root
+
+let stdlib_dir () = Config.standard_library
+
+(* [fmt] -> <opam-lib>/fmt, [bechamel.monotonic_clock] ->
+   <opam-lib>/bechamel/monotonic_clock, [unix] -> <stdlib>/unix,
+   [compiler-libs.common] -> <stdlib>/compiler-libs. *)
+let resolve_external ~stdlib name =
+  let libroot = Filename.dirname stdlib in
+  let as_path root n = root / String.concat "/" (String.split_on_char '.' n) in
+  let candidates =
+    if String.length name >= 13 && String.sub name 0 13 = "compiler-libs" then
+      [ stdlib / "compiler-libs" ]
+    else [ as_path libroot name; as_path stdlib name ]
+  in
+  List.find_opt is_dir candidates
+
+let objs_dir ~build_root ~dir ~lib = build_root / dir / ("." ^ lib ^ ".objs") / "byte"
+let eobjs_dir ~build_root ~dir ~exe = build_root / dir / ("." ^ exe ^ ".eobjs") / "byte"
+
+let scan ~root =
+  let root =
+    if Filename.is_relative root then Sys.getcwd () / root else root
+  in
+  let build_root = find_build_root root in
+  let stdlib = stdlib_dir () in
+  let dune_dirs = List.rev (find_dune_dirs root "" []) in
+  let dir_stanzas =
+    List.filter_map
+      (fun dir ->
+        match read_text (root / dir / "dune") with
+        | None -> None
+        | Some src -> Some (dir, stanzas_of_dune src))
+      dune_dirs
+  in
+  let libs =
+    List.concat_map
+      (fun (dir, stanzas) ->
+        List.filter_map
+          (fun st ->
+            match (st.stanza_kind, st.names) with
+            | `Library, [ name ] ->
+                Some { lib_name = name; lib_dir = dir; lib_deps = st.libraries }
+            | _ -> None)
+          stanzas)
+      dir_stanzas
+  in
+  let lib_by_name = Hashtbl.create 16 in
+  List.iter (fun l -> Hashtbl.replace lib_by_name l.lib_name l) libs;
+  (* cmi directories for a dependency list: internal libraries
+     transitively, externals as leaf opam/stdlib directories. *)
+  let closure_dirs deps =
+    let seen = Hashtbl.create 16 in
+    let dirs = ref [] in
+    let add d = if not (List.mem d !dirs) then dirs := d :: !dirs in
+    let rec visit name =
+      if not (Hashtbl.mem seen name) then begin
+        Hashtbl.replace seen name ();
+        match Hashtbl.find_opt lib_by_name name with
+        | Some l ->
+            add (objs_dir ~build_root ~dir:l.lib_dir ~lib:l.lib_name);
+            List.iter visit l.lib_deps
+        | None -> (
+            match resolve_external ~stdlib name with
+            | Some d -> add d
+            | None -> ())
+      end
+    in
+    List.iter visit deps;
+    List.rev !dirs
+  in
+  let plans = Hashtbl.create 64 in
+  let claim_plan rel plan =
+    if not (Hashtbl.mem plans rel) then Hashtbl.replace plans rel plan
+  in
+  List.iter
+    (fun (dir, stanzas) ->
+      let files_here =
+        match Sys.readdir (root / dir) with
+        | files ->
+            Array.to_list files
+            |> List.filter (fun f -> Filename.check_suffix f ".ml")
+            |> List.sort compare
+        | exception Sys_error _ -> []
+      in
+      List.iter
+        (fun st ->
+          let owns file =
+            match st.modules with
+            | Some ms -> List.mem (module_of_file file) ms
+            | None -> true
+          in
+          let owned = List.filter owns files_here in
+          List.iter
+            (fun file ->
+              let rel = if dir = "" then file else dir / file in
+              let modname = capitalize (module_of_file file) in
+              let mli_exists =
+                Sys.file_exists (root / dir / (Filename.remove_extension file ^ ".mli"))
+              in
+              match st.stanza_kind with
+              | `Library ->
+                  let lib = List.hd st.names in
+                  let lib_mod = capitalize lib in
+                  let unit_name, alias_opens =
+                    if modname = lib_mod then (modname, [ lib_mod ^ "__" ])
+                    else (lib_mod ^ "__" ^ modname, [ lib_mod ^ "__"; lib_mod ])
+                  in
+                  let load_dirs =
+                    objs_dir ~build_root ~dir ~lib :: closure_dirs st.libraries
+                  in
+                  claim_plan rel
+                    { rel_path = rel; unit_name; alias_opens; load_dirs;
+                      is_exe = false; mli_exists }
+              | `Executable ->
+                  let exe = List.hd st.names in
+                  let load_dirs =
+                    eobjs_dir ~build_root ~dir ~exe :: closure_dirs st.libraries
+                  in
+                  claim_plan rel
+                    { rel_path = rel;
+                      unit_name = "Dune__exe__" ^ modname;
+                      alias_opens = [ "Dune__exe__" ]; load_dirs;
+                      is_exe = true; mli_exists })
+            owned)
+        stanzas)
+    dir_stanzas;
+  let all_lib_dirs =
+    List.filter_map
+      (fun l ->
+        let d = objs_dir ~build_root ~dir:l.lib_dir ~lib:l.lib_name in
+        if is_dir d then Some d else None)
+      libs
+    @ closure_dirs (List.concat_map (fun l -> l.lib_deps) libs)
+  in
+  { root; build_root; stdlib_dir = stdlib; libs; plans; all_lib_dirs }
+
+let plan_for t rel = Hashtbl.find_opt t.plans rel
+
+(* Sources outside any dune stanza (test fixtures, ad-hoc files): type
+   them as a standalone unit that can see every library in the tree. *)
+let orphan_plan t ~rel_path =
+  let modname = capitalize (module_of_file (Filename.basename rel_path)) in
+  {
+    rel_path;
+    unit_name = modname;
+    alias_opens = [];
+    load_dirs = t.all_lib_dirs;
+    is_exe = false;
+    mli_exists = true (* orphans are exempt from R5 *);
+  }
+
+let root t = t.root

@@ -1,0 +1,33 @@
+(** Project map: recover dune's compilation model (unit names, alias
+    opens, cmi load paths) so sources can be typechecked exactly as
+    they are built. *)
+
+type plan = {
+  rel_path : string;  (** path relative to the project root *)
+  unit_name : string;  (** mangled compilation unit, e.g. [Util__Parallel] *)
+  alias_opens : string list;
+      (** candidate generated alias modules; the first whose cmi loads
+          reproduces dune's [-open] *)
+  load_dirs : string list;  (** absolute cmi directories *)
+  is_exe : bool;  (** module of an executable stanza *)
+  mli_exists : bool;
+}
+
+type t
+
+val scan : root:string -> t
+(** Scan every [dune] file under [root] (skipping [_build] and dot
+    directories) and build compilation plans for all stanza-owned
+    modules. *)
+
+val root : t -> string
+(** Absolute project root the scan ran over. *)
+
+val plan_for : t -> string -> plan option
+(** [plan_for t rel] is the compilation plan of the source at
+    root-relative path [rel], if some dune stanza owns it. *)
+
+val orphan_plan : t -> rel_path:string -> plan
+(** Plan for a source outside any stanza (test fixtures): standalone
+    unit named after the file, able to see every library in the tree.
+    Orphans are exempt from the missing-mli rule. *)

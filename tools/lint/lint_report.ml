@@ -1,0 +1,260 @@
+(* Report emitters: human text, LINT_report.json v2, SARIF 2.1.0.
+
+   The JSON report is deterministic (fixed key order, findings sorted
+   by the engine) except for the timing block, which records real
+   wall-clock seconds; schema validation treats timings as opaque
+   non-negative numbers. *)
+
+open Lint_rules
+
+type race_stats = { closures : int; proven : int; waived_closures : int }
+
+type cache_stats = { hits : int; misses : int }
+
+type timings = {
+  total_s : float;
+  typecheck_s : float;
+  rules_s : float;
+  cache_s : float;
+}
+
+let zero_race = { closures = 0; proven = 0; waived_closures = 0 }
+let zero_cache = { hits = 0; misses = 0 }
+let zero_timings = { total_s = 0.; typecheck_s = 0.; rules_s = 0.; cache_s = 0. }
+
+(* ---- ordering & summary ----------------------------------------------- *)
+
+let finding_order (a : finding) (b : finding) =
+  let c = String.compare a.file b.file in
+  if c <> 0 then c
+  else
+    let c = Int.compare a.line b.line in
+    if c <> 0 then c
+    else
+      let c = Int.compare a.col b.col in
+      if c <> 0 then c
+      else
+        let c = String.compare (rule_id a.rule) (rule_id b.rule) in
+        if c <> 0 then c else String.compare a.msg b.msg
+
+type summary = {
+  total : int;
+  unwaived : int;
+  waived : int;
+  per_rule : (string * (int * int)) list; (* rule-id -> (unwaived, waived) *)
+}
+
+let summarize findings =
+  let tally rule =
+    let u, w =
+      List.fold_left
+        (fun (u, w) f ->
+          if f.rule <> rule then (u, w)
+          else if f.waived then (u, w + 1)
+          else (u + 1, w))
+        (0, 0) findings
+    in
+    (rule_id rule, (u, w))
+  in
+  let per_rule = List.map tally all_rules in
+  let unwaived = List.fold_left (fun a (_, (u, _)) -> a + u) 0 per_rule in
+  let waived = List.fold_left (fun a (_, (_, w)) -> a + w) 0 per_rule in
+  { total = unwaived + waived; unwaived; waived; per_rule }
+
+let exit_code findings = if (summarize findings).unwaived > 0 then 1 else 0
+
+(* ---- human report ----------------------------------------------------- *)
+
+let human_report ?(verbose = false) ~files_scanned ~race ~cache findings =
+  let buf = Buffer.create 1024 in
+  List.iter
+    (fun (f : finding) ->
+      if (not f.waived) || verbose then
+        Buffer.add_string buf
+          (Printf.sprintf "%s:%d:%d: [%s]%s %s\n" f.file f.line f.col
+             (rule_id f.rule)
+             (if f.waived then " (waived)" else "")
+             f.msg))
+    findings;
+  let s = summarize findings in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "opera-lint: %d file(s), %d finding(s): %d unwaived, %d waived\n"
+       files_scanned s.total s.unwaived s.waived);
+  List.iter
+    (fun (id, (u, w)) ->
+      if u + w > 0 then
+        Buffer.add_string buf
+          (Printf.sprintf "  %-16s unwaived %d, waived %d\n" id u w))
+    s.per_rule;
+  Buffer.add_string buf
+    (Printf.sprintf
+       "  parallel closures: %d analyzed, %d proven disjoint, %d waived\n"
+       race.closures race.proven race.waived_closures);
+  Buffer.add_string buf
+    (Printf.sprintf "  cache: %d hit(s), %d miss(es)\n" cache.hits cache.misses);
+  Buffer.contents buf
+
+(* ---- LINT_report.json v2 ---------------------------------------------- *)
+
+let json_escape = Util.Json.escape
+
+let json_report ?(config = default_config) ~files_scanned ~race ~cache
+    ~timings findings =
+  let s = summarize findings in
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "{\n";
+  Buffer.add_string buf "  \"tool\": \"opera-lint\",\n";
+  Buffer.add_string buf "  \"version\": 2,\n";
+  Buffer.add_string buf
+    (Printf.sprintf "  \"files_scanned\": %d,\n" files_scanned);
+  Buffer.add_string buf
+    (Printf.sprintf
+       "  \"summary\": { \"total\": %d, \"unwaived\": %d, \"waived\": %d },\n"
+       s.total s.unwaived s.waived);
+  Buffer.add_string buf "  \"rules\": {\n";
+  let nrules = List.length s.per_rule in
+  List.iteri
+    (fun i (id, (u, w)) ->
+      Buffer.add_string buf
+        (Printf.sprintf "    \"%s\": { \"unwaived\": %d, \"waived\": %d }%s\n"
+           id u w
+           (if i = nrules - 1 then "" else ",")))
+    s.per_rule;
+  Buffer.add_string buf "  },\n";
+  Buffer.add_string buf
+    (Printf.sprintf
+       "  \"race\": { \"closures\": %d, \"proven\": %d, \"waived_closures\": \
+        %d },\n"
+       race.closures race.proven race.waived_closures);
+  Buffer.add_string buf
+    (Printf.sprintf "  \"cache\": { \"hits\": %d, \"misses\": %d },\n"
+       cache.hits cache.misses);
+  Buffer.add_string buf
+    (Printf.sprintf
+       "  \"timings_s\": { \"total\": %.6f, \"typecheck\": %.6f, \"rules\": \
+        %.6f, \"cache\": %.6f },\n"
+       timings.total_s timings.typecheck_s timings.rules_s timings.cache_s);
+  let string_list names =
+    String.concat ", "
+      (List.map
+         (fun f -> Printf.sprintf "\"%s\"" (json_escape f))
+         (List.sort compare names))
+  in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "  \"allowlists\": { \"unsafe\": [%s], \"clock\": [%s] },\n"
+       (string_list config.unsafe_allowlist)
+       (string_list config.clock_allowlist));
+  Buffer.add_string buf "  \"findings\": [\n";
+  let n = List.length findings in
+  List.iteri
+    (fun i (f : finding) ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "    { \"rule\": \"%s\", \"file\": \"%s\", \"line\": %d, \"col\": \
+            %d, \"waived\": %b, \"message\": \"%s\" }%s\n"
+           (rule_id f.rule) (json_escape f.file) f.line f.col f.waived
+           (json_escape f.msg)
+           (if i = n - 1 then "" else ",")))
+    findings;
+  Buffer.add_string buf "  ]\n";
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+(* ---- SARIF 2.1.0 ------------------------------------------------------ *)
+
+let rule_help = function
+  | Exact_float -> "Exact float comparison; use Util.Floats."
+  | Domain_race ->
+      "Unproven write to captured state inside a Util.Parallel closure."
+  | Banned_construct -> "Banned construct (Obj.magic, catch-all try, prints)."
+  | Unsafe_index -> "Unsafe (unchecked) array/bytes/string access."
+  | Missing_mli -> "Library module without an .mli interface."
+  | Determinism ->
+      "Nondeterminism source: unordered Hashtbl iteration, ambient Random, \
+       raw wall-clock read."
+  | Hot_alloc -> "Allocation inside an [@opera.hot] function."
+  | Resource_safety -> "Channel open without close on all paths."
+  | Parse_failure -> "Source failed to parse."
+  | Type_failure -> "Source failed to typecheck."
+
+let sarif_report findings =
+  let open Util.Json in
+  let driver_rules =
+    List
+      (List.map
+         (fun r ->
+           Obj
+             [
+               ("id", Str (rule_id r));
+               ("shortDescription", Obj [ ("text", Str (rule_help r)) ]);
+             ])
+         all_rules)
+  in
+  let results =
+    List
+      (List.map
+         (fun (f : finding) ->
+           let base =
+             [
+               ("ruleId", Str (rule_id f.rule));
+               ("level", Str (if f.waived then "note" else "error"));
+               ("message", Obj [ ("text", Str f.msg) ]);
+               ( "locations",
+                 List
+                   [
+                     Obj
+                       [
+                         ( "physicalLocation",
+                           Obj
+                             [
+                               ( "artifactLocation",
+                                 Obj [ ("uri", Str f.file) ] );
+                               ( "region",
+                                 Obj
+                                   [
+                                     ("startLine", Num (float_of_int f.line));
+                                     ( "startColumn",
+                                       Num (float_of_int (f.col + 1)) );
+                                   ] );
+                             ] );
+                       ];
+                   ] );
+             ]
+           in
+           let base =
+             if f.waived then
+               base @ [ ("suppressions", List [ Obj [ ("kind", Str "inSource") ] ]) ]
+             else base
+           in
+           Obj base)
+         findings)
+  in
+  let doc =
+    Obj
+      [
+        ("$schema", Str "https://json.schemastore.org/sarif-2.1.0.json");
+        ("version", Str "2.1.0");
+        ( "runs",
+          List
+            [
+              Obj
+                [
+                  ( "tool",
+                    Obj
+                      [
+                        ( "driver",
+                          Obj
+                            [
+                              ("name", Str "opera-lint");
+                              ("version", Str "2.0.0");
+                              ("rules", driver_rules);
+                            ] );
+                      ] );
+                  ("results", results);
+                ];
+            ] );
+      ]
+  in
+  render doc

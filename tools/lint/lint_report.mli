@@ -1,0 +1,51 @@
+(** Report emitters: human text, LINT_report.json v2, SARIF 2.1.0. *)
+
+type race_stats = { closures : int; proven : int; waived_closures : int }
+type cache_stats = { hits : int; misses : int }
+
+type timings = {
+  total_s : float;
+  typecheck_s : float;
+  rules_s : float;
+  cache_s : float;
+}
+
+val zero_race : race_stats
+val zero_cache : cache_stats
+val zero_timings : timings
+
+val finding_order : Lint_rules.finding -> Lint_rules.finding -> int
+(** Total order on findings: file, line, col, rule id, message. *)
+
+type summary = {
+  total : int;
+  unwaived : int;
+  waived : int;
+  per_rule : (string * (int * int)) list;
+      (** rule-id -> (unwaived, waived), in catalogue order *)
+}
+
+val summarize : Lint_rules.finding list -> summary
+val exit_code : Lint_rules.finding list -> int
+
+val human_report :
+  ?verbose:bool ->
+  files_scanned:int ->
+  race:race_stats ->
+  cache:cache_stats ->
+  Lint_rules.finding list ->
+  string
+
+val json_report :
+  ?config:Lint_rules.config ->
+  files_scanned:int ->
+  race:race_stats ->
+  cache:cache_stats ->
+  timings:timings ->
+  Lint_rules.finding list ->
+  string
+(** LINT_report.json v2: deterministic except the timing block. *)
+
+val sarif_report : Lint_rules.finding list -> string
+(** SARIF 2.1.0 document (compact JSON); waived findings carry an
+    in-source suppression and level "note". *)

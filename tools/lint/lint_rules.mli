@@ -1,0 +1,65 @@
+(** The opera-lint rule catalogue, run over typedtrees.
+
+    R1 exact-float, R2 domain-race (capture analysis of Util.Parallel
+    closures), R3 banned-construct, R4 unsafe-index, R5 missing-mli
+    (engine-level), R6 determinism, R7 hot-alloc ([@opera.hot]),
+    R8 resource-safety, plus unwaivable parse/type failures. *)
+
+type rule =
+  | Exact_float
+  | Domain_race
+  | Banned_construct
+  | Unsafe_index
+  | Missing_mli
+  | Determinism
+  | Hot_alloc
+  | Resource_safety
+  | Parse_failure
+  | Type_failure
+
+val rule_id : rule -> string
+val rule_of_id : string -> rule option
+val all_rules : rule list
+
+val waiver_key : rule -> string option
+(** Waiver comment key ([(* opera-lint: <key> *)]); [None] for
+    unwaivable rules (parse/type failures). *)
+
+type finding = {
+  rule : rule;
+  file : string;
+  line : int;
+  col : int;
+  anchor : int;
+      (** for race findings, the head line of the parallel closure: a
+          waiver there covers the whole closure; 0 = no anchor *)
+  msg : string;
+  waived : bool;
+}
+
+type config = {
+  unsafe_allowlist : string list;
+      (** basenames allowed to use [unsafe_get]/[unsafe_set] (R4) *)
+  clock_allowlist : string list;
+      (** basenames allowed raw wall-clock reads (R6) *)
+  check_mli : bool;
+}
+
+val default_config : config
+
+val catalogue_version : int
+(** Bumped when rule behavior changes; part of the cache key. *)
+
+val config_digest_input : config -> string
+(** Canonical string fed into the rule-config digest. *)
+
+val run_passes :
+  config ->
+  file:string ->
+  is_exe:bool ->
+  Typedtree.structure ->
+  finding list * int list
+(** Run the typedtree passes (R1-R4, R6-R8) over one unit.  Returns
+    unwaived findings plus the head lines of every parallel closure R2
+    analyzed (the engine derives proven/waived closure stats after
+    waiver application). *)

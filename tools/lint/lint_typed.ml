@@ -1,0 +1,111 @@
+(* In-process typechecking front-end.
+
+   Rules run on the typedtree, so every identifier carries its resolved
+   path and defining compilation unit: [=] at type [float] is caught
+   through any alias, [Array.unsafe_get] through [module A = Array],
+   and [Util.Parallel.for_chunks] however it is opened.
+
+   compiler-libs keeps global state (load path, persistent-structure
+   tables, current unit name), none of it domain-safe, so every
+   typecheck is serialized under one mutex.  The surrounding engine
+   parallelizes the pure per-file work (digesting, cache probes, rule
+   passes over already-built typedtrees) instead. *)
+
+type error = { err_line : int; err_col : int; err_msg : string }
+
+type outcome =
+  | Typed of Typedtree.structure
+  | Parse_error of error
+  | Type_error of error
+
+let lock = Mutex.create ()
+
+let initialized = ref false
+
+let init_once () =
+  if not !initialized then begin
+    initialized := true;
+    (* The lint reports findings, not compiler warnings: silence both
+       the warning and alert channels before any typing happens. *)
+    ignore (Warnings.parse_options false "-a");
+    Location.warning_reporter := (fun _ _ -> None);
+    Location.alert_reporter := (fun _ _ -> None)
+  end
+
+let error_of_exn exn =
+  match Location.error_of_exn exn with
+  | Some (`Ok report) ->
+      let loc = report.Location.main.Location.loc in
+      let pos = loc.Location.loc_start in
+      let msg = Format.asprintf "%t" report.Location.main.Location.txt in
+      let msg =
+        String.concat " " (String.split_on_char '\n' msg |> List.map String.trim)
+      in
+      Some
+        {
+          err_line = pos.Lexing.pos_lnum;
+          err_col = pos.Lexing.pos_cnum - pos.Lexing.pos_bol;
+          err_msg = msg;
+        }
+  | Some `Already_displayed | None -> None
+
+(* Typecheck [source] and run [k] on the outcome while still holding
+   the compiler-libs lock: rule passes that consult the typing
+   environment (e.g. [Ctype.expand_head] to see through [type t =
+   float array] aliases) touch the same global tables the typechecker
+   does, so they must not race with another domain's typecheck. *)
+let analyze ~(plan : Lint_project.plan) (source : string) ~(k : outcome -> 'a) :
+    'a =
+  Mutex.lock lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock lock)
+    (fun () ->
+      init_once ();
+      Clflags.include_dirs := plan.Lint_project.load_dirs;
+      Compmisc.init_path ();
+      Env.reset_cache ();
+      Env.set_unit_name plan.Lint_project.unit_name;
+      Typecore.reset_delayed_checks ();
+      let env = Compmisc.initial_env () in
+      (* Reproduce dune's [-open] of the generated alias module; the
+         first candidate whose cmi exists wins (a library with a
+         hand-written main module generates [Lib__], one without
+         generates [Lib]). *)
+      let env =
+        List.fold_left
+          (fun acc m ->
+            match acc with
+            | Some _ -> acc
+            | None -> (
+                match Env.open_pers_signature m env with
+                | Ok e -> Some e
+                | Error `Not_found -> None
+                | exception _ -> None))
+          None plan.Lint_project.alias_opens
+        |> Option.value ~default:env
+      in
+      let lexbuf = Lexing.from_string source in
+      Location.init lexbuf plan.Lint_project.rel_path;
+      Location.input_name := plan.Lint_project.rel_path;
+      match Parse.implementation lexbuf with
+      | exception exn ->
+          k
+            (match error_of_exn exn with
+            | Some e -> Parse_error e
+            | None ->
+                Parse_error
+                  { err_line = 1; err_col = 0; err_msg = Printexc.to_string exn })
+      | ast ->
+          k
+            (match Typemod.type_structure env ast with
+            | tstr, _sig, _names, _shape, _env -> Typed tstr
+            | exception ((Out_of_memory | Stack_overflow) as fatal) ->
+                raise fatal
+            | exception exn -> (
+                match error_of_exn exn with
+                | Some e -> Type_error e
+                | None ->
+                    Type_error
+                      { err_line = 1; err_col = 0; err_msg = Printexc.to_string exn })))
+
+let typecheck ~plan source = analyze ~plan source ~k:(fun o -> o)

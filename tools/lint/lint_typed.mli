@@ -1,0 +1,26 @@
+(** Typechecking front-end over compiler-libs.
+
+    Drives [Parse.implementation] + [Typemod.type_structure] against
+    the cmi load path of a {!Lint_project.plan}.  compiler-libs global
+    state is not domain-safe, so calls are serialized internally under
+    a mutex; callers may invoke this from any domain. *)
+
+type error = { err_line : int; err_col : int; err_msg : string }
+
+type outcome =
+  | Typed of Typedtree.structure
+  | Parse_error of error
+  | Type_error of error
+
+val analyze : plan:Lint_project.plan -> string -> k:(outcome -> 'a) -> 'a
+(** [analyze ~plan source ~k] parses and typechecks [source] as the
+    compilation unit described by [plan], then runs [k] on the outcome
+    while still holding the compiler-libs lock.  Rule passes that
+    consult the typing environment (type expansion) must run inside
+    [k].  Never raises for malformed input; compiler diagnostics come
+    back as [Parse_error] / [Type_error]. *)
+
+val typecheck : plan:Lint_project.plan -> string -> outcome
+(** [analyze] with the identity continuation.  The returned typedtree
+    may be traversed freely, but environment-dependent queries on it
+    are only safe inside [analyze]'s [k]. *)

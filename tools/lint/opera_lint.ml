@@ -1,32 +1,58 @@
-(* opera-lint: mli — executable entry point, no interface needed. *)
-(* opera-lint CLI — see lint_engine.ml for the rule catalogue.
+(* opera-lint CLI: thin main over the Lint_engine library.
 
-   Usage: opera_lint [--root DIR] [--json FILE] [--verbose] [--quiet]
-                     [--no-mli] [PATH ...]
-
-   PATHs (default: lib) are files or directories scanned recursively for
-   .ml sources.  Exit code 1 iff any unwaived finding exists, 2 on usage
-   errors. *)
+   All process concerns (argv, stdout, exit codes) live here, in the
+   executable, so the library itself stays free of banned constructs
+   (executable modules are exempt from R3's exit/print bans and R5).
+   Exit codes: 0 clean (waived findings allowed), 1 unwaived findings,
+   2 usage error. *)
 
 let usage () =
-  prerr_endline
-    "usage: opera_lint [--root DIR] [--json FILE] [--verbose] [--quiet] [--no-mli] [PATH ...]";
-  exit 2 (* opera-lint: banned *)
+  print_string
+    "usage: opera_lint [options] [paths...]\n\
+     Run the opera-lint rule catalogue (R1-R8) over OCaml sources.\n\
+     Paths are directories or .ml files relative to the project root;\n\
+     default: lib tools.\n\n\
+     options:\n\
+    \  --root DIR       project root (default: .)\n\
+    \  --json FILE      write LINT_report.json v2 to FILE\n\
+    \  --sarif FILE     write a SARIF 2.1.0 report to FILE\n\
+    \  --cache-dir DIR  incremental cache directory\n\
+    \                   (default: <root>/_build/lint-cache)\n\
+    \  --no-cache       disable the incremental cache\n\
+    \  --no-mli         disable the missing-mli rule (R5)\n\
+    \  --verbose        also print waived findings\n\
+    \  --quiet          print nothing; exit code only\n\
+    \  --help           this message\n"
 
 let () =
-  let root = ref None in
+  let root = ref "." in
   let json_out = ref None in
+  let sarif_out = ref None in
+  let cache_dir = ref None in
+  let use_cache = ref true in
   let verbose = ref false in
   let quiet = ref false in
   let check_mli = ref true in
   let paths = ref [] in
   let rec parse = function
     | [] -> ()
-    | "--root" :: dir :: rest ->
-        root := Some dir;
+    | "--root" :: v :: rest ->
+        root := v;
         parse rest
-    | "--json" :: file :: rest ->
-        json_out := Some file;
+    | "--json" :: v :: rest ->
+        json_out := Some v;
+        parse rest
+    | "--sarif" :: v :: rest ->
+        sarif_out := Some v;
+        parse rest
+    | "--cache-dir" :: v :: rest ->
+        cache_dir := Some v;
+        parse rest
+    | "--no-cache" :: rest ->
+        use_cache := false;
+        parse rest
+    | "--no-mli" :: rest ->
+        check_mli := false;
         parse rest
     | "--verbose" :: rest ->
         verbose := true;
@@ -34,36 +60,46 @@ let () =
     | "--quiet" :: rest ->
         quiet := true;
         parse rest
-    | "--no-mli" :: rest ->
-        check_mli := false;
-        parse rest
-    | ("--help" | "-h") :: _ -> usage ()
+    | ("--help" | "-h") :: _ ->
+        usage ();
+        exit 0
     | arg :: _ when String.length arg > 1 && arg.[0] = '-' ->
-        Printf.eprintf "opera_lint: unknown option %s\n" arg;
-        usage ()
-    | path :: rest ->
-        paths := path :: !paths;
+        prerr_endline ("opera_lint: unknown option " ^ arg);
+        exit 2
+    | p :: rest ->
+        paths := p :: !paths;
         parse rest
   in
   parse (List.tl (Array.to_list Sys.argv));
-  (match !root with Some dir -> Sys.chdir dir | None -> ());
-  let paths = match List.rev !paths with [] -> [ "lib" ] | ps -> ps in
+  let paths = match List.rev !paths with [] -> [ "lib"; "tools" ] | ps -> ps in
   List.iter
     (fun p ->
-      if not (Sys.file_exists p) then begin
-        Printf.eprintf "opera_lint: no such path %s\n" p;
-        exit 2 (* opera-lint: banned *)
+      if not (Sys.file_exists (Filename.concat !root p)) then begin
+        prerr_endline ("opera_lint: no such path " ^ p);
+        exit 2
       end)
     paths;
-  let cfg = { Lint_engine.default_config with check_mli = !check_mli } in
-  let files_scanned, findings = Lint_engine.run cfg paths in
+  let config = { Lint_engine.default_config with check_mli = !check_mli } in
+  let cache_dir =
+    if not !use_cache then None
+    else
+      match !cache_dir with
+      | Some d -> Some d
+      | None -> Some (Filename.concat !root "_build/lint-cache")
+  in
+  let result = Lint_engine.run ~config ?cache_dir ~root:!root paths in
+  let { Lint_engine.files_scanned; findings; race; cache; timings } = result in
   (match !json_out with
   | Some file ->
-      let oc = open_out file in
-      Fun.protect
-        ~finally:(fun () -> close_out oc)
-        (fun () -> output_string oc (Lint_engine.json_report ~config:cfg ~files_scanned findings))
+      Util.Codec.write_file file
+        (Lint_engine.json_report ~config ~files_scanned ~race ~cache ~timings
+           findings)
   | None -> ());
-  if not !quiet then (* opera-lint: banned *)
-    print_string (Lint_engine.human_report ~verbose:!verbose ~files_scanned findings);
-  exit (Lint_engine.exit_code findings) (* opera-lint: banned *)
+  (match !sarif_out with
+  | Some file -> Util.Codec.write_file file (Lint_engine.sarif_report findings)
+  | None -> ());
+  if not !quiet then
+    print_string
+      (Lint_engine.human_report ~verbose:!verbose ~files_scanned ~race ~cache
+         findings);
+  exit (Lint_engine.exit_code findings)
