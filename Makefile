@@ -1,4 +1,4 @@
-.PHONY: all build test ci lint lint-json lint-sarif bench bench-quick bench-paper bench-galerkin bench-metrics bench-batch bench-transient bench-st examples clean help
+.PHONY: all build test ci lint lint-json lint-sarif bench bench-quick bench-paper bench-galerkin bench-metrics bench-batch bench-transient bench-st bench-service examples clean help
 
 all: build
 
@@ -10,7 +10,7 @@ help:
 	@echo "  lint-json      lint + machine-readable LINT_report.json (v2: per-rule, race, cache, timings)"
 	@echo "  lint-sarif     lint + SARIF 2.1.0 report in LINT_report.sarif"
 	@echo "  ci             format check, lint, strict-warning build (--profile ci), tests"
-	@echo "  bench*         benchmark drivers (bench, bench-quick, bench-paper, bench-galerkin, bench-metrics, bench-batch, bench-transient, bench-st)"
+	@echo "  bench*         benchmark drivers (bench, bench-quick, bench-paper, bench-galerkin, bench-metrics, bench-batch, bench-transient, bench-st, bench-service)"
 	@echo "  examples       run every example binary"
 	@echo "  clean          dune clean"
 	@echo ""
@@ -64,9 +64,10 @@ ci:
 	dune exec bench/transient_bench.exe -- --quick --out transient_smoke.json > /dev/null
 	dune exec bench/st_bench.exe -- --quick --out st_smoke.json > /dev/null
 	dune exec bench/batch_bench.exe -- --quick --out batch_smoke.json > /dev/null
-	dune exec bench/validate_metrics.exe -- transient_smoke.json st_smoke.json batch_smoke.json
-	rm -f transient_smoke.json st_smoke.json batch_smoke.json
-	rm -rf _bench_batch_cache _bench_batch_resume _bench_batch_shard
+	dune exec bench/service_bench.exe -- --quick --out service_smoke.json > /dev/null
+	dune exec bench/validate_metrics.exe -- transient_smoke.json st_smoke.json batch_smoke.json service_smoke.json
+	rm -f transient_smoke.json st_smoke.json batch_smoke.json service_smoke.json
+	rm -rf _bench_batch_cache _bench_batch_resume _bench_batch_shard _bench_service_cache
 
 test-verbose:
 	dune runtest --force --no-buffer
@@ -115,6 +116,18 @@ bench-st:
 	dune build bench/st_bench.exe bench/validate_metrics.exe
 	dune exec bench/st_bench.exe
 	dune exec bench/validate_metrics.exe -- BENCH_st.json
+
+# Analysis-service throughput: an in-process `opera serve` daemon on a
+# Unix-domain socket, one flagship batch submitted cold, warm and from
+# concurrent clients.  The bench asserts the service contract (every
+# response byte-identical to the cold stream, zero factorizations after
+# the cold run, warm jobs/s >= 5x cold, nothing rejected) and the JSON
+# is schema-checked, replay counts and latency percentiles included.
+bench-service:
+	dune build bench/service_bench.exe bench/validate_metrics.exe
+	dune exec bench/service_bench.exe
+	dune exec bench/validate_metrics.exe -- BENCH_service.json
+	rm -rf _bench_service_cache
 
 bench-metrics:
 	dune build bin/opera_cli.exe bench/main.exe bench/validate_metrics.exe

@@ -1,0 +1,391 @@
+(* Analysis-service throughput bench: an in-process `opera serve`
+   daemon, exercised over its Unix-domain socket exactly the way a
+   production client would.
+
+   One flagship mixed batch (the batch_bench workload) is submitted
+
+     cold         once, on an empty cache (factors built, results
+                  journaled)
+     warm         REPEAT times from one client (pure registry replay)
+     concurrent   CLIENTS client domains x REPEAT submissions each,
+                  interleaved through the admission queue
+
+   and the bench asserts the service contract rather than just timing
+   it: every response must be byte-identical to the cold run's record
+   stream, warm submissions must perform zero factorizations and zero
+   solves (engine.factorizations over the socket's stats op must not
+   move after the cold run), nothing may be rejected, and warm
+   throughput must beat cold by at least 5x.
+
+   BENCH_service.json:
+
+     { "service": {
+         "jobs": J, "clients": C,
+         "runs": [ { "label": "cold"|"warm"|"concurrent",
+                     "requests": R, "elapsed_s": S, "jobs_per_s": T,
+                     "replayed": P }, ... ],
+         "warm_speedup": X,
+         "factorizations": { "cold": F, "warm": 0 },
+         "latency": { "count": N, "p50_s": A, "p99_s": B } },
+       "metrics": { ... } }
+
+   validated by validate_metrics.exe (the `make bench-service` target,
+   and `make ci` in --quick mode). *)
+
+let nodes = ref 600
+let steps = ref 6
+let clients = ref 4
+let repeat = ref 3
+let out_file = ref "BENCH_service.json"
+
+let sock_path = "_bench_service.sock"
+let cache_dir = "_bench_service_cache"
+
+let die fmt = Printf.ksprintf (fun msg -> prerr_endline ("service_bench: " ^ msg); exit 1) fmt
+
+(* The batch_bench flagship workload: transient corners sharing one
+   operator plus special-case leakage corners. *)
+let transient_job name drain_scale =
+  {
+    Scenario.Job.name;
+    source = Scenario.Job.Generated { nodes = !nodes };
+    analysis = Scenario.Job.Transient;
+    order = 2;
+    h = 125e-12;
+    steps = !steps;
+    solver = Opera.Galerkin.Direct;
+    policy = Opera.Galerkin.Warn;
+    sigma_scale = 1.0;
+    drain_scale;
+    leak_scale = 1.0;
+    probe = None;
+  }
+
+let special_job name leak_scale =
+  {
+    (transient_job name 1.0) with
+    Scenario.Job.analysis = Scenario.Job.Special { regions = 4; lambda = 0.5 };
+    leak_scale;
+  }
+
+let batch_doc () =
+  (* Submissions travel as the JOBS.json document they would live in on
+     disk, through Job's own JSON vocabulary. *)
+  let job_json (j : Scenario.Job.t) =
+    let fields =
+      [
+        ("name", Util.Json.Str j.name);
+        ("nodes", Util.Json.Num (float_of_int !nodes));
+        ("order", Util.Json.Num (float_of_int j.order));
+        ("solver", Util.Json.Str "direct");
+        ("drain_scale", Util.Json.Num j.drain_scale);
+        ("leak_scale", Util.Json.Num j.leak_scale);
+      ]
+    in
+    match j.analysis with
+    | Scenario.Job.Special { regions; lambda } ->
+        Util.Json.Obj
+          (fields
+          @ [
+              ("analysis", Util.Json.Str "special");
+              ("regions", Util.Json.Num (float_of_int regions));
+              ("lambda", Util.Json.Num lambda);
+            ])
+    | _ ->
+        Util.Json.Obj
+          (fields
+          @ [
+              ("analysis", Util.Json.Str "transient");
+              ("step_ps", Util.Json.Num (j.h *. 1e12));
+              ("steps", Util.Json.Num (float_of_int j.steps));
+            ])
+  in
+  let jobs =
+    Array.append
+      (Array.init 6 (fun i ->
+           transient_job (Printf.sprintf "tr%d" i) (0.8 +. (0.1 *. float_of_int i))))
+      (Array.init 4 (fun i -> special_job (Printf.sprintf "sp%d" i) (0.7 +. (0.2 *. float_of_int i))))
+  in
+  ( Array.length jobs,
+    Util.Json.Obj [ ("jobs", Util.Json.List (Array.to_list (Array.map job_json jobs))) ] )
+
+let clear_dir dir =
+  if Sys.file_exists dir then
+    Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir)
+
+(* ---- socket client ---------------------------------------------------- *)
+
+type client = { fd : Unix.file_descr; ic : in_channel; oc : out_channel }
+
+let connect () =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  match Unix.connect fd (Unix.ADDR_UNIX sock_path) with
+  | () -> { fd; ic = Unix.in_channel_of_descr fd; oc = Unix.out_channel_of_descr fd }
+  | exception e ->
+      Unix.close fd;
+      raise e
+
+let disconnect c =
+  flush c.oc;
+  Unix.close c.fd
+
+let is_terminator json =
+  match json with
+  | Ok j ->
+      Util.Json.member "done" j <> None
+      || Util.Json.member "error" j <> None
+      || Util.Json.member "pong" j <> None
+      || Util.Json.member "stats" j <> None
+      || Util.Json.member "ok" j <> None
+  | Error _ -> true
+
+(* Send one request line; read lines until the terminator object.
+   Returns (record lines in order, terminator line). *)
+let rpc c line =
+  output_string c.oc line;
+  output_char c.oc '\n';
+  flush c.oc;
+  let rec go acc =
+    let l = input_line c.ic in
+    if is_terminator (Util.Json.parse l) then (List.rev acc, l) else go (l :: acc)
+  in
+  go []
+
+let submit c batch_line ~expect_jobs ~expect_stream =
+  let t = Util.Timer.start () in
+  let records, terminator = rpc c batch_line in
+  let dt = Util.Timer.elapsed_s t in
+  (match Util.Json.parse terminator with
+  | Ok j when Util.Json.member "done" j <> None -> (
+      match Util.Json.member "jobs" j with
+      | Some (Util.Json.Num n) when int_of_float n = expect_jobs -> ()
+      | _ -> die "done line reports wrong job count: %s" terminator)
+  | _ -> die "batch ended with %s" terminator);
+  let stream = String.concat "\n" records in
+  (match expect_stream with
+  | Some expected when stream <> expected -> die "response stream differs from the cold run"
+  | _ -> ());
+  (stream, dt)
+
+let counter_of stats name =
+  match Util.Json.member name stats with
+  | Some j -> (
+      match Util.Json.member "value" j with
+      | Some (Util.Json.Num v) -> int_of_float v
+      | _ -> 0)
+  | None -> 0
+
+let stats_snapshot c =
+  let _, line = rpc c {|{"op":"stats"}|} in
+  match Util.Json.parse line with
+  | Ok j -> (
+      match Util.Json.member "stats" j with
+      | Some stats -> stats
+      | None -> die "stats response missing \"stats\": %s" line)
+  | Error e -> die "stats response unparsable: %s" e
+
+(* ---- percentiles ------------------------------------------------------ *)
+
+let percentile sorted q =
+  let n = Array.length sorted in
+  if n = 0 then 0.0
+  else sorted.(min (n - 1) (int_of_float (ceil (q *. float_of_int n)) - 1 |> max 0))
+
+(* ---- the bench -------------------------------------------------------- *)
+
+let () =
+  let rec parse = function
+    | [] -> ()
+    | "--quick" :: rest ->
+        nodes := 240;
+        steps := 4;
+        clients := 2;
+        repeat := 2;
+        parse rest
+    | "--nodes" :: v :: rest ->
+        nodes := int_of_string v;
+        parse rest
+    | "--steps" :: v :: rest ->
+        steps := int_of_string v;
+        parse rest
+    | "--clients" :: v :: rest ->
+        clients := int_of_string v;
+        parse rest
+    | "--repeat" :: v :: rest ->
+        repeat := int_of_string v;
+        parse rest
+    | "--out" :: v :: rest ->
+        out_file := v;
+        parse rest
+    | arg :: _ ->
+        Printf.eprintf "service_bench: unknown argument %s\n" arg;
+        exit 2
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  clear_dir cache_dir;
+  if Sys.file_exists sock_path then Sys.remove sock_path;
+  let njobs, doc = batch_doc () in
+  let batch_line =
+    Util.Json.render (Util.Json.Obj [ ("op", Util.Json.Str "batch"); ("batch", doc) ])
+  in
+  let config =
+    {
+      Service.Server.default_config with
+      Service.Server.listen = sock_path;
+      cache_dir = Some cache_dir;
+      queue_capacity = max 16 (!clients * !repeat * 2);
+      jobs_parallel = 1;
+      domains = 1;
+      handle_signals = false;
+    }
+  in
+  let server = Domain.spawn (fun () -> Service.Server.run config) in
+  let deadline = 100 in
+  let rec await n =
+    if Sys.file_exists sock_path then ()
+    else if n = 0 then die "server did not bind %s" sock_path
+    else begin
+      Unix.sleepf 0.1;
+      await (n - 1)
+    end
+  in
+  await deadline;
+
+  (* cold: first submission on an empty cache *)
+  let c = connect () in
+  let cold_stream, cold_s = submit c batch_line ~expect_jobs:njobs ~expect_stream:None in
+  let f_cold = counter_of (stats_snapshot c) "engine.factorizations" in
+  if f_cold <= 0 then die "cold run factored nothing";
+  Printf.printf "%-11s %d jobs  %.3f s  %.1f jobs/s  (%d factorizations)\n%!" "cold" njobs
+    cold_s
+    (float_of_int njobs /. cold_s)
+    f_cold;
+
+  (* warm: sequential resubmissions, pure registry replay *)
+  let latencies = ref [] in
+  let warm_t = Util.Timer.start () in
+  for _ = 1 to !repeat do
+    let _, dt = submit c batch_line ~expect_jobs:njobs ~expect_stream:(Some cold_stream) in
+    latencies := dt :: !latencies
+  done;
+  let warm_s = Util.Timer.elapsed_s warm_t in
+  let f_warm = counter_of (stats_snapshot c) "engine.factorizations" - f_cold in
+  if f_warm <> 0 then die "warm submissions factored %d times" f_warm;
+  Printf.printf "%-11s %d requests  %.3f s  %.1f jobs/s\n%!" "warm" !repeat warm_s
+    (float_of_int (njobs * !repeat) /. warm_s);
+
+  (* concurrent: CLIENTS domains x REPEAT submissions each *)
+  let conc_t = Util.Timer.start () in
+  let workers =
+    Array.init !clients (fun _ ->
+        Domain.spawn (fun () ->
+            let c = connect () in
+            let lats =
+              List.init !repeat (fun _ ->
+                  let _, dt =
+                    submit c batch_line ~expect_jobs:njobs ~expect_stream:(Some cold_stream)
+                  in
+                  dt)
+            in
+            disconnect c;
+            lats))
+  in
+  let conc_lats = Array.to_list workers |> List.concat_map Domain.join in
+  let conc_s = Util.Timer.elapsed_s conc_t in
+  let conc_requests = !clients * !repeat in
+  Printf.printf "%-11s %d clients x %d  %.3f s  %.1f jobs/s sustained\n%!" "concurrent" !clients
+    !repeat conc_s
+    (float_of_int (njobs * conc_requests) /. conc_s);
+
+  (* contract checks over the stats op *)
+  let stats = stats_snapshot c in
+  let f_total = counter_of stats "engine.factorizations" in
+  if f_total <> f_cold then
+    die "concurrent submissions factored %d times" (f_total - f_cold);
+  let rejects = counter_of stats "service.rejects" in
+  if rejects <> 0 then die "%d submissions were rejected (queue sized for the load)" rejects;
+  let requests = counter_of stats "service.requests" in
+  let expect_requests = 1 + !repeat + conc_requests in
+  if requests <> expect_requests then
+    die "service.requests = %d, expected %d" requests expect_requests;
+  let replays = counter_of stats "service.replays" in
+  let expect_replays = njobs * (!repeat + conc_requests) in
+  if replays <> expect_replays then
+    die "service.replays = %d, expected %d" replays expect_replays;
+
+  (* shutdown and collect the server's own metrics registry *)
+  let _, ack = rpc c {|{"op":"shutdown"}|} in
+  (match Util.Json.parse ack with
+  | Ok j when Util.Json.member "ok" j <> None -> ()
+  | _ -> die "shutdown not acknowledged: %s" ack);
+  disconnect c;
+  Domain.join server;
+  if Sys.file_exists sock_path then die "socket file survived shutdown";
+
+  let all_lats = Array.of_list (!latencies @ conc_lats) in
+  Array.sort compare all_lats;
+  let p50 = percentile all_lats 0.50 and p99 = percentile all_lats 0.99 in
+  let cold_rate = float_of_int njobs /. cold_s in
+  let warm_rate = float_of_int (njobs * !repeat) /. warm_s in
+  let speedup = warm_rate /. cold_rate in
+  if speedup < 5.0 then
+    die "warm throughput only %.1fx cold (contract: >= 5x; registry replay is broken)" speedup;
+  Printf.printf "warm speedup %.1fx cold;  latency p50 %.4f s  p99 %.4f s\n%!" speedup p50 p99;
+
+  let run_json label requests elapsed replayed =
+    Util.Json.Obj
+      [
+        ("label", Util.Json.Str label);
+        ("requests", Util.Json.Num (float_of_int requests));
+        ("elapsed_s", Util.Json.Num elapsed);
+        ( "jobs_per_s",
+          Util.Json.Num
+            (if elapsed > 0.0 then float_of_int (njobs * requests) /. elapsed else 0.0) );
+        ("replayed", Util.Json.Num (float_of_int replayed));
+      ]
+  in
+  let metrics =
+    match Util.Json.parse (Util.Metrics.to_json Util.Metrics.global) with
+    | Ok j -> j
+    | Error e -> die "metrics registry is not valid JSON: %s" e
+  in
+  let doc =
+    Util.Json.Obj
+      [
+        ( "service",
+          Util.Json.Obj
+            [
+              ("jobs", Util.Json.Num (float_of_int njobs));
+              ("clients", Util.Json.Num (float_of_int !clients));
+              ( "runs",
+                Util.Json.List
+                  [
+                    run_json "cold" 1 cold_s 0;
+                    run_json "warm" !repeat warm_s (njobs * !repeat);
+                    run_json "concurrent" conc_requests conc_s (njobs * conc_requests);
+                  ] );
+              ("warm_speedup", Util.Json.Num speedup);
+              ( "factorizations",
+                Util.Json.Obj
+                  [
+                    ("cold", Util.Json.Num (float_of_int f_cold));
+                    ("warm", Util.Json.Num (float_of_int f_warm));
+                  ] );
+              ( "latency",
+                Util.Json.Obj
+                  [
+                    ("count", Util.Json.Num (float_of_int (Array.length all_lats)));
+                    ("p50_s", Util.Json.Num p50);
+                    ("p99_s", Util.Json.Num p99);
+                  ] );
+            ] );
+        ("metrics", metrics);
+      ]
+  in
+  let oc = open_out !out_file in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc (Util.Json.render doc);
+      output_char oc '\n');
+  Printf.printf "wrote %s\n" !out_file

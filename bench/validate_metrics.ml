@@ -5,9 +5,12 @@
    the transient hot-path bench's BENCH_transient.json
    ({"transient": {...}, "metrics": {...}}) and the stochastic-testing
    bench's BENCH_st.json ({"st": {...}, "metrics": {...}}, including
-   the moment-drift bounds and the points-per-basis invariant), and
-   opera-lint's LINT_report.json v2 ({"tool": "opera-lint", ...} with
-   per-rule, race, cache and timing blocks).
+   the moment-drift bounds and the points-per-basis invariant), the
+   analysis-service bench's BENCH_service.json ({"service": {...},
+   "metrics": {...}}, gating the 5x warm-replay speedup and the
+   zero-factorization warm contract), and opera-lint's
+   LINT_report.json v2 ({"tool": "opera-lint", ...} with per-rule,
+   race, cache and timing blocks).
 
      validate_metrics.exe FILE...
 
@@ -442,6 +445,95 @@ let validate_lint (j : Util.Json.t) =
       in
       go 0 items
 
+(* BENCH_service.json: {"service": {jobs, clients, runs, warm_speedup,
+   factorizations, latency}, "metrics": {...}}.  Beyond shape, this
+   gates the service contract itself: warm throughput must be at least
+   5x cold (registry replay, not recomputation) and warm submissions
+   must factor nothing. *)
+let validate_service_run i (r : Util.Json.t) =
+  let ( let* ) = Result.bind in
+  let field f =
+    match Option.bind (Util.Json.member f r) Util.Json.to_float with
+    | Some v when v >= 0.0 -> Ok v
+    | Some _ -> fail "service run %d: %S is negative" i f
+    | None -> fail "service run %d: missing number %S" i f
+  in
+  let* () =
+    match Option.bind (Util.Json.member "label" r) Util.Json.to_string with
+    | Some ("cold" | "warm" | "concurrent") -> Ok ()
+    | Some l -> fail "service run %d: unknown label %S" i l
+    | None -> fail "service run %d: missing string \"label\"" i
+  in
+  let* _ = field "requests" in
+  let* _ = field "elapsed_s" in
+  let* _ = field "jobs_per_s" in
+  let* _ = field "replayed" in
+  Ok ()
+
+let validate_service (j : Util.Json.t) service =
+  let ( let* ) = Result.bind in
+  let num f o =
+    match Option.bind (Util.Json.member f o) Util.Json.to_float with
+    | Some v -> Ok v
+    | None -> fail "\"service\": missing number %S" f
+  in
+  let* jobs = num "jobs" service in
+  let* () = if jobs >= 1.0 then Ok () else fail "\"service\": jobs must be >= 1" in
+  let* _ = num "clients" service in
+  let* () =
+    match Option.bind (Util.Json.member "runs" service) Util.Json.to_list with
+    | None -> fail "\"service\": missing \"runs\" array"
+    | Some runs ->
+        let rec go i = function
+          | [] -> Ok ()
+          | r :: rest -> Result.bind (validate_service_run i r) (fun () -> go (i + 1) rest)
+        in
+        go 0 runs
+  in
+  let* speedup = num "warm_speedup" service in
+  let* () =
+    if speedup >= 5.0 then Ok ()
+    else fail "\"service\": warm_speedup %.2f below the 5x replay contract" speedup
+  in
+  let* () =
+    match Util.Json.member "factorizations" service with
+    | None -> fail "\"service\": missing \"factorizations\" object"
+    | Some f -> (
+        let* cold = num "cold" f in
+        let* warm = num "warm" f in
+        let* () =
+          if cold >= 1.0 then Ok () else fail "\"service\": cold run factored nothing"
+        in
+        if warm = 0.0 then Ok ()
+        else fail "\"service\": warm submissions factored %.0f times" warm)
+  in
+  let* () =
+    match Util.Json.member "latency" service with
+    | None -> fail "\"service\": missing \"latency\" object"
+    | Some l ->
+        let* count = num "count" l in
+        let* p50 = num "p50_s" l in
+        let* p99 = num "p99_s" l in
+        if count < 1.0 then fail "\"service\": latency over zero requests"
+        else if p50 < 0.0 || p99 < p50 then
+          fail "\"service\": latency percentiles disordered (p50 %.6f, p99 %.6f)" p50 p99
+        else Ok ()
+  in
+  match Util.Json.member "metrics" j with
+  | Some m ->
+      let* () = validate_registry m in
+      let counter name =
+        match Util.Json.member name m with
+        | Some v -> validate_metric name v
+        | None -> fail "service metrics lack the %S counter" name
+      in
+      let* () = counter "service.requests" in
+      let* () = counter "service.replays" in
+      (match Util.Json.member "service.queue_depth" m with
+      | Some v -> validate_metric "service.queue_depth" v
+      | None -> fail "service metrics lack the \"service.queue_depth\" histogram")
+  | None -> fail "service file lacks the \"metrics\" object"
+
 let validate_file path =
   match Util.Json.parse_file path with
   | Error e -> fail "%s: JSON parse error: %s" path e
@@ -452,14 +544,16 @@ let validate_file path =
           Util.Json.member "records" j,
           Util.Json.member "batch" j,
           Util.Json.member "transient" j,
-          Util.Json.member "st" j )
+          Util.Json.member "st" j,
+          Util.Json.member "service" j )
       with
-      | Some (Util.Json.Str "opera-lint"), _, _, _, _ -> tag (validate_lint j)
-      | _, Some records, _, _, _ -> tag (validate_bench j records)
-      | _, None, Some batch, _, _ -> tag (validate_batch j batch)
-      | _, None, None, Some transient, _ -> tag (validate_transient j transient)
-      | _, None, None, None, Some st -> tag (validate_st j st)
-      | _, None, None, None, None -> tag (validate_registry j))
+      | Some (Util.Json.Str "opera-lint"), _, _, _, _, _ -> tag (validate_lint j)
+      | _, Some records, _, _, _, _ -> tag (validate_bench j records)
+      | _, None, Some batch, _, _, _ -> tag (validate_batch j batch)
+      | _, None, None, Some transient, _, _ -> tag (validate_transient j transient)
+      | _, None, None, None, Some st, _ -> tag (validate_st j st)
+      | _, None, None, None, None, Some service -> tag (validate_service j service)
+      | _, None, None, None, None, None -> tag (validate_registry j))
 
 let () =
   let files = List.tl (Array.to_list Sys.argv) in

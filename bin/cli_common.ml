@@ -119,6 +119,30 @@ let parse_shard s =
       | Some i, Some k -> Error (Printf.sprintf "--shard %s: index %d out of range [0, %d)" s i k)
       | _ -> malformed ())
 
+(* "SIZE[K|M|G]" byte budgets, the vocabulary of --cache-max-bytes.
+   Plain integers are bytes; a suffix scales by binary powers. *)
+let parse_bytes s =
+  let malformed () =
+    Error
+      (Printf.sprintf
+         "--cache-max-bytes %s: expected a byte count with an optional K/M/G suffix (e.g. \
+          512M)"
+         s)
+  in
+  if s = "" then malformed ()
+  else
+    let scale, digits =
+      match s.[String.length s - 1] with
+      | ('k' | 'K') -> (1024, String.sub s 0 (String.length s - 1))
+      | ('m' | 'M') -> (1024 * 1024, String.sub s 0 (String.length s - 1))
+      | ('g' | 'G') -> (1024 * 1024 * 1024, String.sub s 0 (String.length s - 1))
+      | _ -> (1, s)
+    in
+    match int_of_string_opt digits with
+    | Some n when n >= 0 -> Ok (n * scale)
+    | Some _ -> Error (Printf.sprintf "--cache-max-bytes %s: must be >= 0" s)
+    | None -> malformed ()
+
 (* ---- run harness ------------------------------------------------------ *)
 
 (* Set verbosity, run the body, persist the metrics registry (also when

@@ -18,6 +18,7 @@ let run argv =
   and resume = ref false
   and shard_spec = ref None
   and gc_results = ref false
+  and cache_max_bytes = ref None
   and log_level = ref Util.Log.Warn in
   let args =
     [
@@ -45,6 +46,10 @@ let run argv =
         ~doc:"After the run, drop journaled results in --cache-dir that belong to no job of \
               this batch (factors and tensors are kept)."
         gc_results;
+      Util.Args.string_opt [ "--cache-max-bytes" ] ~docv:"SIZE"
+        ~doc:"After the run, evict least-recently-used artifacts from --cache-dir until its \
+              total size is under SIZE bytes (K/M/G suffixes allowed)."
+        cache_max_bytes;
       Cli_common.metrics_out_arg metrics_out;
       Cli_common.warm_start_arg warm_start;
       Cli_common.log_level_arg log_level;
@@ -73,13 +78,20 @@ let run argv =
         | None -> Ok None
         | Some s -> Result.map Option.some (Cli_common.parse_shard s)
       in
-      match shard with
-      | Error msg -> usage_error msg
-      | Ok _ when !resume && !cache_dir = None ->
+      let max_bytes =
+        match !cache_max_bytes with
+        | None -> Ok None
+        | Some s -> Result.map Option.some (Cli_common.parse_bytes s)
+      in
+      match (shard, max_bytes) with
+      | Error msg, _ | _, Error msg -> usage_error msg
+      | Ok _, _ when !resume && !cache_dir = None ->
           usage_error "--resume needs --cache-dir (the journal lives there)"
-      | Ok _ when !gc_results && !cache_dir = None ->
+      | Ok _, _ when !gc_results && !cache_dir = None ->
           usage_error "--gc-results needs --cache-dir (the journal lives there)"
-      | Ok shard -> (
+      | Ok _, Ok (Some _) when !cache_dir = None ->
+          usage_error "--cache-max-bytes needs --cache-dir (the artifacts live there)"
+      | Ok shard, Ok max_bytes -> (
           let shard_filter jobs =
             match shard with
             | None -> jobs
@@ -148,7 +160,14 @@ let run argv =
                   if removed > 0 then
                     Printf.eprintf "gc: dropped %d stale journal entr%s\n" removed
                       (if removed = 1 then "y" else "ies")
-                end
+                end;
+                match (max_bytes, !cache_dir) with
+                | Some cap, Some dir ->
+                    let removed = Scenario.Store.evict_dir ~dir ~max_bytes:cap () in
+                    if removed > 0 then
+                      Printf.eprintf "evict: dropped %d artifact(s) over the %d-byte budget\n"
+                        removed cap
+                | _ -> ()
               in
               try solve ()
               with Scenario.Engine.Invalid_batch msg ->

@@ -7,6 +7,7 @@
      opera compare   --nodes 5000 --samples 300   (a Table-1 row)
      opera special   --nodes 2000 --regions 4     (Sec. 5.1 special case)
      opera batch     jobs.json --cache-dir .opera-cache
+     opera serve     --listen opera.sock --cache-dir .opera-cache
      opera walk      --nodes 5000 --walks 20000
 
    Each subcommand owns its parser (bin/cmd_*.ml) but all of them share
@@ -25,6 +26,7 @@ let commands =
     ("compare", "OPERA vs Monte Carlo on one grid (a Table-1 row)", Cmd_compare.run);
     ("special", "Sec. 5.1 special case: leakage-only variation", Cmd_special.run);
     ("batch", "Run a JSON batch of jobs with shared factors and caching", Cmd_batch.run);
+    ("serve", "Long-running analysis service over a Unix-domain socket", Cmd_serve.run);
     ("walk", "Localized single-node DC estimate by random walks", Cmd_walk.run);
   ]
 

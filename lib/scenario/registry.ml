@@ -143,6 +143,7 @@ let lookup t job =
           with
           | json ->
               t.stats.replayed <- t.stats.replayed + 1;
+              Store.touch file;
               Some json
           | exception ((Out_of_memory | Stack_overflow) as fatal) -> raise fatal
           | exception e ->
@@ -158,3 +159,40 @@ let gc t ~keep =
       let keys = Hashtbl.create (Array.length keep) in
       Array.iter (fun job -> Hashtbl.replace keys (Job.result_signature job) ()) keep;
       Store.gc_dir ~dir ~kind ~keep:(Hashtbl.mem keys)
+
+let sweep t ~max_entries =
+  match t.dir with
+  | None -> 0
+  | Some dir -> (
+      match Sys.readdir dir with
+      | exception Sys_error _ -> 0
+      | files ->
+          let prefix = kind ^ "-" and suffix = ".opra" in
+          let entries =
+            Array.to_list files
+            |> List.filter_map (fun f ->
+                   if String.starts_with ~prefix f && Filename.check_suffix f suffix then
+                     match Unix.stat (Filename.concat dir f) with
+                     | exception Unix.Unix_error (_, _, _) -> None
+                     | st -> Some (f, st.Unix.st_mtime)
+                   else None)
+          in
+          let excess = List.length entries - max_entries in
+          if excess <= 0 then 0
+          else begin
+            (* Oldest first, name-tie-broken, same clock as Store.evict:
+               replay touches mtimes, so recently reused results stay. *)
+            let by_age =
+              List.sort
+                (fun (fa, ta) (fb, tb) ->
+                  let c = Float.compare ta tb in
+                  if c <> 0 then c else String.compare fa fb)
+                entries
+            in
+            List.iteri
+              (fun i (f, _) ->
+                if i < excess then
+                  try Sys.remove (Filename.concat dir f) with Sys_error _ -> ())
+              by_age;
+            excess
+          end)

@@ -53,3 +53,11 @@ val lookup : t -> Job.t -> Util.Json.t option
 val gc : t -> keep:Job.t array -> int
 (** Drop journal entries whose key matches no job in [keep]; returns the
     number removed.  Artifact files of other kinds are untouched. *)
+
+val sweep : t -> max_entries:int -> int
+(** Bound the journal by *count*: drop the oldest-mtime entries (ties
+    broken by name) until at most [max_entries] remain; returns the
+    number removed.  Replays refresh mtimes ({!Store.touch}), so the
+    surviving entries are the most recently reused — the periodic-GC
+    half of the service's disk budget, next to byte-capped
+    {!Store.evict}. *)

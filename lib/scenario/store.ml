@@ -37,6 +37,12 @@ let path t ~kind ~key =
 let remove_corrupt path =
   try Sys.remove path with Sys_error _ -> ()
 
+let touch file =
+  (* Refresh the artifact's mtime so byte-capped eviction sees reused
+     entries as hot (the LRU clock is the filesystem).  Best effort: a
+     read-only cache dir must not fail the lookup that reused it. *)
+  try Unix.utimes file 0.0 0.0 with Unix.Unix_error _ -> ()
+
 let find_or_build t ~kind ~version ~key ~encode ~decode ~build =
   match path t ~kind ~key with
   | None -> build ()
@@ -72,6 +78,7 @@ let find_or_build t ~kind ~version ~key ~encode ~decode ~build =
           | value ->
               t.stats.hits <- t.stats.hits + 1;
               Util.Metrics.incr t.metrics "store.hits";
+              touch file;
               value
           | exception Util.Codec.Corrupt why -> corrupt why
           | exception ((Out_of_memory | Stack_overflow) as fatal) -> raise fatal
@@ -112,3 +119,63 @@ let gc_dir ~dir ~kind ~keep =
 
 let gc t ~kind ~keep =
   match t.dir with None -> 0 | Some dir -> gc_dir ~dir ~kind ~keep
+
+(* ---- byte-capped LRU eviction ----------------------------------------
+
+   GC above drops entries the caller explicitly disowned; eviction is a
+   *budget* policy for a long-running service: keep total artifact bytes
+   under a cap by removing the least-recently-used files first.
+   Recency is the filesystem mtime — refreshed by [touch] on every
+   store hit and registry replay — so hot artifacts survive and cold
+   ones age out.  [protect] shields artifacts that are open in an
+   in-flight request from the axe. *)
+
+let scan_opra dir =
+  match Sys.readdir dir with
+  | exception Sys_error _ -> [||]
+  | files ->
+      let entries =
+        Array.to_list files
+        |> List.filter_map (fun f ->
+               if Filename.check_suffix f ".opra" then
+                 match Unix.stat (Filename.concat dir f) with
+                 | exception Unix.Unix_error (_, _, _) -> None
+                 | st when st.Unix.st_kind = Unix.S_REG ->
+                     Some (f, st.Unix.st_mtime, st.Unix.st_size)
+                 | _ -> None
+               else None)
+      in
+      Array.of_list entries
+
+let evict_dir ~dir ~max_bytes ?(protect = fun (_ : string) -> false) () =
+  let entries = scan_opra dir in
+  let total = Array.fold_left (fun acc (_, _, size) -> acc + size) 0 entries in
+  if total <= max_bytes then 0
+  else begin
+    (* Oldest first; mtime ties break on the file name so the eviction
+       order — and therefore the surviving set — is deterministic. *)
+    let by_age = Array.copy entries in
+    Array.sort
+      (fun (fa, ta, _) (fb, tb, _) ->
+        let c = Float.compare ta tb in
+        if c <> 0 then c else String.compare fa fb)
+      by_age;
+    let live = ref total and removed = ref 0 in
+    Array.iter
+      (fun (f, _, size) ->
+        if !live > max_bytes && not (protect f) then begin
+          (try Sys.remove (Filename.concat dir f) with Sys_error _ -> ());
+          live := !live - size;
+          Stdlib.incr removed
+        end)
+      by_age;
+    !removed
+  end
+
+let evict t ~max_bytes ?(protect = fun (_ : string) -> false) () =
+  match t.dir with
+  | None -> 0
+  | Some dir ->
+      let removed = evict_dir ~dir ~max_bytes ~protect () in
+      if removed > 0 then Util.Metrics.incr ~by:removed t.metrics "store.evicted";
+      removed

@@ -73,3 +73,22 @@ val gc_dir : dir:string -> kind:string -> keep:(string -> bool) -> int
 
 val gc : t -> kind:string -> keep:(string -> bool) -> int
 (** {!gc_dir} against the store's directory; [0] when disabled. *)
+
+val touch : string -> unit
+(** Refresh a file's mtime (best effort, errors swallowed).  The store
+    touches every artifact it reuses and the results {!Registry} touches
+    every journal entry it replays, so mtime order is LRU order for
+    {!evict}. *)
+
+val evict_dir : dir:string -> max_bytes:int -> ?protect:(string -> bool) -> unit -> int
+(** Byte-capped LRU eviction: while the total size of [*.opra] files
+    under [dir] exceeds [max_bytes], remove the least-recently-used
+    (oldest-mtime; ties broken by name for determinism) file whose
+    basename fails the [protect] predicate ([protect] defaults to
+    nothing).  Returns the number of files removed.  Missing or
+    unreadable directories count as empty.  Foreign (non-[.opra]) files
+    are never counted or removed. *)
+
+val evict : t -> max_bytes:int -> ?protect:(string -> bool) -> unit -> int
+(** {!evict_dir} against the store's directory; [0] when disabled.
+    Removals are counted in the [store.evicted] metric. *)

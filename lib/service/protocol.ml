@@ -1,0 +1,58 @@
+(* The service wire protocol: line-delimited JSON, one request or
+   response per line.
+
+   Requests are small JSON objects dispatched on their "op" member;
+   batch submissions embed the very same document `opera batch` reads
+   from JOBS.json, so a file-driven workflow moves to the socket
+   unchanged.  Responses reuse Util.Json.render, which is deterministic
+   and renders floats exactly — record lines answered from the results
+   registry are byte-identical to the lines a cold run streamed. *)
+
+type request =
+  | Ping
+  | Stats
+  | Shutdown
+  | Batch of { jobs : Scenario.Job.t array; reuse : bool }
+
+let parse line =
+  match Util.Json.parse line with
+  | Error msg -> Error (Printf.sprintf "invalid JSON: %s" msg)
+  | Ok json -> (
+      match Util.Json.member "op" json with
+      | None -> Error "missing \"op\" member"
+      | Some op -> (
+          match Util.Json.to_string op with
+          | None -> Error "\"op\" must be a string"
+          | Some "ping" -> Ok Ping
+          | Some "stats" -> Ok Stats
+          | Some "shutdown" -> Ok Shutdown
+          | Some "batch" -> (
+              let reuse =
+                match Util.Json.member "reuse" json with
+                | Some (Util.Json.Bool b) -> b
+                | Some _ | None -> true
+              in
+              match Util.Json.member "batch" json with
+              | None -> Error "batch request needs a \"batch\" member (the JOBS.json document)"
+              | Some doc -> (
+                  match Scenario.Job.batch_of_json doc with
+                  | Error msg -> Error msg
+                  | Ok jobs -> Ok (Batch { jobs; reuse })))
+          | Some op -> Error (Printf.sprintf "unknown op %S" op)))
+
+(* ---- response lines (no trailing newline; the server appends it) ---- *)
+
+let pong = Util.Json.render (Util.Json.Obj [ ("pong", Util.Json.Bool true) ])
+
+let shutdown_ack =
+  Util.Json.render
+    (Util.Json.Obj [ ("ok", Util.Json.Bool true); ("draining", Util.Json.Bool true) ])
+
+let error_line msg = Util.Json.render (Util.Json.Obj [ ("error", Util.Json.Str msg) ])
+
+let done_line ~jobs =
+  Util.Json.render
+    (Util.Json.Obj
+       [ ("done", Util.Json.Bool true); ("jobs", Util.Json.Num (float_of_int jobs)) ])
+
+let stats_line stats = Util.Json.render (Util.Json.Obj [ ("stats", stats) ])

@@ -1,0 +1,44 @@
+(** The `opera serve` wire protocol: line-delimited JSON (JSONL), one
+    request or response object per line, over a Unix-domain or TCP
+    stream.
+
+    Requests dispatch on their ["op"] member:
+    - [{"op":"ping"}] — liveness probe, answered with {!pong};
+    - [{"op":"stats"}] — service metrics snapshot, answered with one
+      [{"stats": ...}] object ({!stats_line});
+    - [{"op":"shutdown"}] — acknowledged with {!shutdown_ack}, then the
+      server drains queued work and exits;
+    - [{"op":"batch","batch":<JOBS.json document>}] — submit a batch;
+      the optional ["reuse":false] member disables result-registry
+      replay for this request (every job recomputes and re-journals).
+
+    A batch response is the job records in batch order, one JSON object
+    per line — byte-identical to the `opera batch` JSONL stream of the
+    same document — terminated by one [{"done":true,"jobs":N}] line
+    ({!done_line}).  Errors (malformed request, full admission queue,
+    failed batch) are a single [{"error":"..."}] line ({!error_line});
+    record lines never carry a ["done"] or ["error"] key, so clients
+    read until either terminator. *)
+
+type request =
+  | Ping
+  | Stats
+  | Shutdown
+  | Batch of { jobs : Scenario.Job.t array; reuse : bool }
+
+val parse : string -> (request, string) result
+(** Parse one request line.  Batch documents go through
+    {!Scenario.Job.batch_of_json}, so job-level validation errors (bad
+    solver names, malformed sweeps) surface here, before admission. *)
+
+val pong : string
+
+val shutdown_ack : string
+
+val error_line : string -> string
+
+val done_line : jobs:int -> string
+
+val stats_line : Util.Json.t -> string
+(** Wrap a metrics-registry JSON document (parsed from
+    {!Util.Metrics.to_json}) as a one-line [{"stats": ...}] response. *)

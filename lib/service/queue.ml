@@ -1,0 +1,61 @@
+(* Bounded multi-producer / multi-consumer FIFO — the admission queue
+   between the socket reader and the engine executor.
+
+   Admission never blocks: a full (or closed) queue rejects the push so
+   the reader can answer the client with a queue-full error instead of
+   stalling every connection behind one slow batch.  Consumers block in
+   [pop] until an item arrives or the queue is closed and drained —
+   [close] is how shutdown tells the executor "finish what's queued,
+   then stop". *)
+
+type 'a t = {
+  lock : Mutex.t;
+  nonempty : Condition.t;
+  items : 'a Stdlib.Queue.t;
+  capacity : int;
+  mutable closed : bool;
+}
+
+let create ~capacity =
+  if capacity < 1 then invalid_arg "Service.Queue.create: capacity must be >= 1";
+  {
+    lock = Mutex.create ();
+    nonempty = Condition.create ();
+    items = Stdlib.Queue.create ();
+    capacity;
+    closed = false;
+  }
+
+let with_lock t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+let push t x =
+  with_lock t (fun () ->
+      if t.closed || Stdlib.Queue.length t.items >= t.capacity then false
+      else begin
+        Stdlib.Queue.add x t.items;
+        Condition.signal t.nonempty;
+        true
+      end)
+
+let pop t =
+  with_lock t (fun () ->
+      let rec wait () =
+        match Stdlib.Queue.take_opt t.items with
+        | Some x -> Some x
+        | None ->
+            if t.closed then None
+            else begin
+              Condition.wait t.nonempty t.lock;
+              wait ()
+            end
+      in
+      wait ())
+
+let close t =
+  with_lock t (fun () ->
+      t.closed <- true;
+      Condition.broadcast t.nonempty)
+
+let length t = with_lock t (fun () -> Stdlib.Queue.length t.items)

@@ -1,0 +1,24 @@
+(** Bounded thread-safe FIFO: the admission queue between the socket
+    reader and the engine executor.  Pushes never block (a full or
+    closed queue rejects); pops block until an item arrives or the
+    queue is closed and drained. *)
+
+type 'a t
+
+val create : capacity:int -> 'a t
+(** Raises [Invalid_argument] when [capacity < 1]. *)
+
+val push : 'a t -> 'a -> bool
+(** Enqueue without blocking; [false] when the queue is full or closed
+    (the item is NOT admitted). *)
+
+val pop : 'a t -> 'a option
+(** Block until an item is available (FIFO) or the queue is closed with
+    nothing left; [None] means "closed and drained" — consumers should
+    exit. *)
+
+val close : 'a t -> unit
+(** Reject all future pushes and wake every blocked consumer; items
+    already queued are still delivered. *)
+
+val length : 'a t -> int

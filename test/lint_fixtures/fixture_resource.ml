@@ -26,3 +26,17 @@ let ok_branches path =
 let waived path =
   let oc = open_out path (* opera-lint: resource *) in
   ignore oc
+
+(* Unix file descriptors count too: a socket that can leak on the
+   exceptional path is flagged. *)
+let bad_socket () =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_UNIX "/tmp/x.sock");
+  fd
+
+(* ... and Fun.protect heading into Unix.close is the sanctioned shape. *)
+let ok_socket path =
+  let fd = Unix.openfile path [ Unix.O_RDONLY ] 0 in
+  Fun.protect
+    ~finally:(fun () -> Unix.close fd)
+    (fun () -> (Unix.fstat fd).Unix.st_size)

@@ -59,6 +59,31 @@ let test_errors () =
   expect_failed "missing value" (A.parse args [ "--n" ]);
   expect_failed "value on a flag" (A.parse args [ "--verbose=yes" ])
 
+(* --flag=value forms, the vocabulary `opera serve --listen=/path.sock`
+   leans on: values may themselves contain '=', only long options split,
+   and every malformed form stays a Failed (exit 2 at the CLI). *)
+let test_eq_forms () =
+  let args, n, x, s, _ = make_refs () in
+  (match A.parse args [ "--out=/tmp/opera.sock"; "--n=7" ] with
+  | A.Parsed [] ->
+      Alcotest.(check (option string)) "--out=PATH" (Some "/tmp/opera.sock") !s;
+      Alcotest.(check int) "--n=7" 7 !n
+  | _ -> Alcotest.fail "expected Parsed");
+  (match A.parse args [ "--out=a=b" ] with
+  | A.Parsed [] ->
+      Alcotest.(check (option string)) "value containing '='" (Some "a=b") !s
+  | _ -> Alcotest.fail "expected Parsed");
+  (match A.parse args [ "--x=2.5e-3" ] with
+  | A.Parsed [] -> Alcotest.(check (float 0.0)) "--x=2.5e-3" 2.5e-3 !x
+  | _ -> Alcotest.fail "expected Parsed");
+  expect_failed "empty int value" (A.parse args [ "--n=" ]);
+  expect_failed "malformed int value" (A.parse args [ "--n=five" ]);
+  expect_failed "empty float value" (A.parse args [ "--x=" ]);
+  expect_failed "= on an unknown flag" (A.parse args [ "--bogus=1" ]);
+  expect_failed "= on a boolean flag" (A.parse args [ "--verbose=" ]);
+  (* short options never split: "-o=f" is the unknown name "-o=f" *)
+  expect_failed "short option with =" (A.parse args [ "-o=f.json" ])
+
 let test_enum_and_double_dash () =
   let e = ref 0 in
   let args = [ A.enum [ "--mode" ] ~doc:"mode" [ ("one", 1); ("two", 2) ] e ] in
@@ -89,6 +114,7 @@ let suite =
     Alcotest.test_case "defaults survive empty argv" `Quick test_defaults_survive;
     Alcotest.test_case "--help/-h" `Quick test_help;
     Alcotest.test_case "unknown/malformed -> Failed" `Quick test_errors;
+    Alcotest.test_case "--flag=value forms" `Quick test_eq_forms;
     Alcotest.test_case "enum and --" `Quick test_enum_and_double_dash;
     Alcotest.test_case "usage text" `Quick test_usage_text;
   ]

@@ -40,7 +40,12 @@ let test_usage_errors_exit_two () =
   check "malformed --shard" 2 "batch --shard x /nonexistent/jobs.json";
   check "--shard missing the slash" 2 "batch --shard 2 /nonexistent/jobs.json";
   check "--shard index out of range" 2 "batch --shard 3/2 /nonexistent/jobs.json";
-  check "--shard count of zero" 2 "batch --shard 0/0 /nonexistent/jobs.json"
+  check "--shard count of zero" 2 "batch --shard 0/0 /nonexistent/jobs.json";
+  check "--shard=I/K malformed (= form)" 2 "batch --shard=3/2 /nonexistent/jobs.json";
+  check "batch --cache-max-bytes without --cache-dir" 2
+    "batch --cache-max-bytes 1M /nonexistent/jobs.json";
+  check "batch malformed --cache-max-bytes" 2
+    "batch --cache-dir /tmp --cache-max-bytes lots /nonexistent/jobs.json"
 
 let with_temp_file contents f =
   let path = Filename.temp_file "opera_cli_test" ".json" in
@@ -62,6 +67,27 @@ let test_batch_rejects_malformed_jobs () =
       check "non-tileable region count" 2 ("batch " ^ Filename.quote path));
   with_temp_file {|{"jobs": [{"analysis": "dc", "nodes": 60, "probe": 1000000}]}|} (fun path ->
       check "out-of-range probe" 2 ("batch " ^ Filename.quote path))
+
+(* serve flag validation: every malformed form must exit 2 before any
+   socket is bound (the daemon never starts). *)
+let test_serve_usage_errors_exit_two () =
+  check "serve --help" 0 "serve --help";
+  check "serve unknown flag" 2 "serve --bogus";
+  check "serve unexpected positional" 2 "serve stray";
+  check "serve --queue 0" 2 "serve --queue 0 --cache-dir /tmp";
+  check "serve --queue=0 (= form)" 2 "serve --queue=0 --cache-dir /tmp";
+  check "serve --queue=: empty value" 2 "serve --queue= --cache-dir /tmp";
+  check "serve malformed --tcp" 2 "serve --tcp nope";
+  check "serve --tcp port out of range" 2 "serve --tcp 70000";
+  check "serve --cache-max-bytes without --cache-dir" 2 "serve --cache-max-bytes 1M";
+  check "serve malformed --cache-max-bytes" 2 "serve --cache-dir /tmp --cache-max-bytes lots";
+  check "serve --cache-max-bytes=-1" 2 "serve --cache-dir /tmp --cache-max-bytes=-1";
+  check "serve --max-results without --cache-dir" 2 "serve --max-results 100";
+  check "serve malformed --max-results" 2 "serve --cache-dir /tmp --max-results some";
+  check "serve empty --listen" 2 "serve --listen= --cache-dir /tmp --queue 0";
+  (* a listen path occupied by a regular file is refused (Invalid_config -> 2) *)
+  with_temp_file "not a socket" (fun path ->
+      check "serve --listen over a regular file" 2 ("serve --listen " ^ Filename.quote path))
 
 let test_batch_runs_a_tiny_batch () =
   with_temp_file
@@ -105,6 +131,7 @@ let suite =
     Alcotest.test_case "--help and --version exit 0" `Quick test_help_exits_zero;
     Alcotest.test_case "usage errors exit 2" `Quick test_usage_errors_exit_two;
     Alcotest.test_case "bad job files exit 2" `Quick test_batch_rejects_malformed_jobs;
+    Alcotest.test_case "serve usage errors exit 2" `Quick test_serve_usage_errors_exit_two;
     Alcotest.test_case "a tiny batch exits 0" `Slow test_batch_runs_a_tiny_batch;
     Alcotest.test_case "resume and shard flags exit 0" `Slow test_batch_resume_and_shard_exit_zero;
   ]

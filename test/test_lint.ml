@@ -58,15 +58,15 @@ let test_fixture_findings () =
   check_rule r.L.findings "unsafe-index" (3, 1);
   check_rule r.L.findings "determinism" (5, 1);
   check_rule r.L.findings "hot-alloc" (3, 1);
-  check_rule r.L.findings "resource-safety" (1, 1);
+  check_rule r.L.findings "resource-safety" (2, 1);
   (* Orphan fixtures are exempt from the missing-mli rule, and all
      fixtures must parse and typecheck. *)
   check_rule r.L.findings "missing-mli" (0, 0);
   check_rule r.L.findings "parse-error" (0, 0);
   check_rule r.L.findings "type-error" (0, 0);
   let s = L.summarize r.L.findings in
-  Alcotest.(check int) "total" 33 s.Report.total;
-  Alcotest.(check int) "unwaived" 25 s.Report.unwaived;
+  Alcotest.(check int) "total" 34 s.Report.total;
+  Alcotest.(check int) "unwaived" 26 s.Report.unwaived;
   Alcotest.(check int) "waived" 8 s.Report.waived;
   Alcotest.(check int) "exit code on seeded violations" 1 (L.exit_code r.L.findings)
 

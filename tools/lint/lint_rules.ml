@@ -230,6 +230,8 @@ let open_calls =
     ("Stdlib__In_channel", "open_gen");
     ("Stdlib__Out_channel", "open_bin"); ("Stdlib__Out_channel", "open_text");
     ("Stdlib__Out_channel", "open_gen");
+    ("Unix", "socket"); ("Unix", "openfile"); ("Unix", "accept");
+    ("Unix", "socketpair");
   ]
 
 let close_calls =
@@ -238,6 +240,7 @@ let close_calls =
     (stdlib, "close_out"); (stdlib, "close_out_noerr");
     ("Stdlib__In_channel", "close"); ("Stdlib__In_channel", "close_noerr");
     ("Stdlib__Out_channel", "close"); ("Stdlib__Out_channel", "close_noerr");
+    ("Unix", "close");
   ]
 
 let protect_key = [ ("Stdlib__Fun", "protect") ]
