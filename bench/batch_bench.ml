@@ -81,6 +81,7 @@ let config ~cache_dir ~jobs_parallel ?(resume = false) ?shard () =
     domains = 1;
     metrics = Util.Metrics.global;
     warm_start = true;
+    precond = Linalg.Precond.Cholesky;
     resume;
     shard;
   }

@@ -8,7 +8,10 @@
    the moment-drift bounds and the points-per-basis invariant), the
    analysis-service bench's BENCH_service.json ({"service": {...},
    "metrics": {...}}, gating the 5x warm-replay speedup and the
-   zero-factorization warm contract), and opera-lint's
+   zero-factorization warm contract), the scaling bench's
+   BENCH_scale.json ({"scale": {...}, "metrics": {...}}, gating the
+   streaming-assembly byte budget, AMG iteration flatness and the
+   zero-decode warm replay), and opera-lint's
    LINT_report.json v2 ({"tool": "opera-lint", ...} with per-rule,
    race, cache and timing blocks).
 
@@ -287,6 +290,126 @@ let validate_st (j : Util.Json.t) st =
   | Some m -> validate_registry m
   | None -> fail "st file lacks the \"metrics\" object"
 
+(* BENCH_scale.json: {"scale": {sizes, records, replay}, "metrics":
+   {...}}.  Beyond shape, this re-checks the scaling contracts the bench
+   enforces at generation time: streaming-assembly scratch under 320
+   bytes/node, AMG-PCG iterations within 2x across the sweep, and a
+   warm artifact replay with zero full decodes. *)
+let validate_scale_solve i j (s : Util.Json.t) =
+  let ( let* ) = Result.bind in
+  let* label =
+    match Option.bind (Util.Json.member "precond" s) Util.Json.to_string with
+    | Some ("amg" | "ic0") as l -> Ok (Option.get l)
+    | Some l -> fail "scale record %d solve %d: unknown precond %S" i j l
+    | None -> fail "scale record %d solve %d: missing string \"precond\"" i j
+  in
+  let float_field f =
+    match Option.bind (Util.Json.member f s) Util.Json.to_float with
+    | Some v when v >= 0.0 -> Ok v
+    | Some _ -> fail "scale record %d solve %d: %S is negative" i j f
+    | None -> fail "scale record %d solve %d: missing number %S" i j f
+  in
+  let* _ = float_field "setup_s" in
+  let* _ = float_field "solve_s" in
+  let* _ = float_field "stored_nnz" in
+  match Option.bind (Util.Json.member "iters" s) Util.Json.to_int with
+  | Some it when it >= 1 -> Ok (label, it)
+  | Some it -> fail "scale record %d solve %d: %d iterations" i j it
+  | None -> fail "scale record %d solve %d: missing integer \"iters\"" i j
+
+let validate_scale_record i (r : Util.Json.t) =
+  let int_field f =
+    match Option.bind (Util.Json.member f r) Util.Json.to_int with
+    | Some v -> Ok v
+    | None -> fail "scale record %d: missing integer %S" i f
+  in
+  let float_field f =
+    match Option.bind (Util.Json.member f r) Util.Json.to_float with
+    | Some v -> Ok v
+    | None -> fail "scale record %d: missing number %S" i f
+  in
+  let ( let* ) = Result.bind in
+  let* nodes = int_field "nodes" in
+  let* () = if nodes >= 1 then Ok () else fail "scale record %d: %d nodes" i nodes in
+  let* _ = float_field "assemble_s" in
+  let* _ = int_field "stream_stamps" in
+  let* _ = int_field "stream_nnz" in
+  let* _ = int_field "stream_bytes" in
+  let* _ = float_field "heap_mb" in
+  let* bpn = float_field "bytes_per_node" in
+  let* () =
+    if bpn <= 320.0 then Ok ()
+    else fail "scale record %d: streaming scratch %g B/node exceeds the 320 B/node budget" i bpn
+  in
+  match Option.bind (Util.Json.member "solves" r) Util.Json.to_list with
+  | None -> fail "scale record %d: missing \"solves\" array" i
+  | Some [] -> fail "scale record %d: empty \"solves\" array" i
+  | Some solves ->
+      let rec go j acc = function
+        | [] -> Ok (List.rev acc)
+        | s :: rest ->
+            let* solve = validate_scale_solve i j s in
+            go (j + 1) (solve :: acc) rest
+      in
+      let* solves = go 0 [] solves in
+      (match List.assoc_opt "amg" solves with
+      | Some amg_iters -> Ok (nodes, amg_iters)
+      | None -> fail "scale record %d: no \"amg\" solve" i)
+
+let validate_scale (j : Util.Json.t) scale =
+  let ( let* ) = Result.bind in
+  let* () =
+    match Option.bind (Util.Json.member "sizes" scale) Util.Json.to_list with
+    | None | Some [] -> fail "\"scale\": missing or empty \"sizes\" array"
+    | Some _ -> Ok ()
+  in
+  let* amg_iters =
+    match Option.bind (Util.Json.member "records" scale) Util.Json.to_list with
+    | None -> fail "\"scale\": missing \"records\" array"
+    | Some [] -> fail "\"scale\": empty \"records\" array"
+    | Some rs ->
+        let rec go i acc = function
+          | [] -> Ok (List.rev acc)
+          | r :: rest ->
+              let* entry = validate_scale_record i r in
+              go (i + 1) (entry :: acc) rest
+        in
+        go 0 [] rs
+  in
+  let* () =
+    match amg_iters with
+    | [] -> Ok ()
+    | (n0, base) :: rest ->
+        List.fold_left
+          (fun acc (n, it) ->
+            let* () = acc in
+            if it <= 2 * base then Ok ()
+            else
+              fail "\"scale\": amg iterations not flat (%d at %d nodes vs %d at %d nodes)" it n
+                base n0)
+          (Ok ()) rest
+  in
+  let* () =
+    match Util.Json.member "replay" scale with
+    | None -> fail "\"scale\": missing \"replay\" object"
+    | Some replay -> (
+        let int_field f =
+          match Option.bind (Util.Json.member f replay) Util.Json.to_int with
+          | Some v -> Ok v
+          | None -> fail "\"scale\".\"replay\": missing integer %S" f
+        in
+        let* _ = int_field "nodes" in
+        let* hits = int_field "map_hits" in
+        let* decodes = int_field "full_decodes" in
+        if decodes <> 0 then
+          fail "\"scale\": warm replay performed %d full decode(s)" decodes
+        else if hits < 1 then fail "\"scale\": warm replay never hit the mapped artifact"
+        else Ok ())
+  in
+  match Util.Json.member "metrics" j with
+  | Some m -> validate_registry m
+  | None -> fail "scale file lacks the \"metrics\" object"
+
 (* LINT_report.json v2 (tools/lint).  The rule-id list mirrors the
    opera-lint catalogue; extending the catalogue must extend this list
    or the report fails validation here. *)
@@ -545,15 +668,17 @@ let validate_file path =
           Util.Json.member "batch" j,
           Util.Json.member "transient" j,
           Util.Json.member "st" j,
-          Util.Json.member "service" j )
+          Util.Json.member "service" j,
+          Util.Json.member "scale" j )
       with
-      | Some (Util.Json.Str "opera-lint"), _, _, _, _, _ -> tag (validate_lint j)
-      | _, Some records, _, _, _, _ -> tag (validate_bench j records)
-      | _, None, Some batch, _, _, _ -> tag (validate_batch j batch)
-      | _, None, None, Some transient, _, _ -> tag (validate_transient j transient)
-      | _, None, None, None, Some st, _ -> tag (validate_st j st)
-      | _, None, None, None, None, Some service -> tag (validate_service j service)
-      | _, None, None, None, None, None -> tag (validate_registry j))
+      | Some (Util.Json.Str "opera-lint"), _, _, _, _, _, _ -> tag (validate_lint j)
+      | _, Some records, _, _, _, _, _ -> tag (validate_bench j records)
+      | _, None, Some batch, _, _, _, _ -> tag (validate_batch j batch)
+      | _, None, None, Some transient, _, _, _ -> tag (validate_transient j transient)
+      | _, None, None, None, Some st, _, _ -> tag (validate_st j st)
+      | _, None, None, None, None, Some service, _ -> tag (validate_service j service)
+      | _, None, None, None, None, None, Some scale -> tag (validate_scale j scale)
+      | _, None, None, None, None, None, None -> tag (validate_registry j))
 
 let () =
   let files = List.tl (Array.to_list Sys.argv) in

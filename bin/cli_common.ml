@@ -67,6 +67,16 @@ let apply_st_knobs solver ~candidates ~seed =
       Opera.Galerkin.St { k with candidates; seed = Int64.of_int seed }
   | s -> s
 
+let precond_enum = List.map (fun k -> (Linalg.Precond.to_string k, k)) Linalg.Precond.all
+
+let precond_arg r =
+  Util.Args.enum [ "--precond" ]
+    ~doc:"Mean-block preconditioner of the iterative solver paths (pcg, matrix-free, st): \
+          cholesky (exact sparse factor, default), ic0 (incomplete Cholesky), amg (aggregation \
+          multigrid V-cycles; flat iteration counts on large meshes) or auto (amg above 20k \
+          nodes).  Direct solves ignore it."
+    precond_enum r
+
 let domains_arg r =
   Util.Args.int [ "--domains" ]
     ~doc:"Domain count for the block-parallel solver paths (0 = the OPERA_DOMAINS environment \

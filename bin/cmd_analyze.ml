@@ -17,6 +17,7 @@ let run argv =
   and st_seed = ref 1
   and domains = ref 0
   and policy = ref Opera.Galerkin.Warn
+  and precond = ref Linalg.Precond.Cholesky
   and warm_start = ref true
   and metrics_out = ref None
   and log_level = ref Util.Log.Warn
@@ -36,6 +37,7 @@ let run argv =
       Cli_common.st_seed_arg st_seed;
       Cli_common.domains_arg domains;
       Cli_common.policy_arg policy;
+      Cli_common.precond_arg precond;
       Cli_common.warm_start_arg warm_start;
       Cli_common.cache_dir_arg cache_dir;
       Cli_common.metrics_out_arg metrics_out;
@@ -84,6 +86,7 @@ let run argv =
       cache_dir = !cache_dir;
       domains = !domains;
       warm_start = !warm_start;
+      precond = !precond;
     }
   in
   let results, summary = Scenario.Engine.run ~config [| job |] in

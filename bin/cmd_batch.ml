@@ -15,6 +15,7 @@ let run argv =
   and dry_run = ref false
   and metrics_out = ref None
   and warm_start = ref true
+  and precond = ref Linalg.Precond.Cholesky
   and resume = ref false
   and shard_spec = ref None
   and gc_results = ref false
@@ -52,6 +53,7 @@ let run argv =
         cache_max_bytes;
       Cli_common.metrics_out_arg metrics_out;
       Cli_common.warm_start_arg warm_start;
+      Cli_common.precond_arg precond;
       Cli_common.log_level_arg log_level;
     ]
   in
@@ -137,6 +139,7 @@ let run argv =
                     domains = !domains;
                     metrics = Util.Metrics.global;
                     warm_start = !warm_start;
+                    precond = !precond;
                     resume = !resume;
                     shard;
                   }

@@ -21,6 +21,10 @@ let () =
 type options = {
   solver : solver;
   ordering : Linalg.Ordering.kind;
+  precond : Linalg.Precond.kind;
+      (* Mean-block backend for the iterative solvers: exact Cholesky
+         (default, historical behavior bitwise), ic0, amg, or auto
+         (switches on n).  Ignored by Direct. *)
   probes : int array;
   scheme : Powergrid.Transient.scheme;
   domains : int;
@@ -38,6 +42,7 @@ let default_options =
   {
     solver = Direct;
     ordering = Linalg.Ordering.Nested_dissection;
+    precond = Linalg.Precond.Cholesky;
     probes = [||];
     scheme = Powergrid.Transient.Backward_euler;
     domains = 0;
@@ -94,17 +99,20 @@ let rhs_into (m : Stochastic_model.t) ~drain_buf t out =
     m.u_drain_coefs;
   ignore t
 
-(* Mean-block preconditioner: block j solved with the factorized nominal
-   matrix and divided by the basis norm.  All scratch (the output vector,
-   per-chunk block and solve workspaces, the inverse norms) is allocated
-   once in the closure and reused across applications — the returned
-   vector is therefore only valid until the next call, which is exactly
-   the contract CG needs.  Blocks are independent, so the loop chunks
-   across domains; each chunk owns its scratch, and the shared factor is
-   applied through the workspace-explicit solve.  Each application is
-   counted and timed into [metrics] (from the calling domain only). *)
+(* Mean-block preconditioner: block j solved with the nominal mean
+   solver (exact factor, ic0 or AMG per [Precond.kind]) and divided by
+   the basis norm.  All scratch (the output vector, per-chunk block and
+   backend workspaces, the inverse norms) is allocated once in the
+   closure and reused across applications — the returned vector is
+   therefore only valid until the next call, which is exactly the
+   contract CG needs.  Blocks are independent, so the loop chunks
+   across domains; each chunk owns its scratch, and the shared backend
+   is applied through its workspace-explicit in-place solve (always
+   bitwise-deterministic: exact sweeps are level-scheduled stable, the
+   approximate backends sequential).  Each application is counted and
+   timed into [metrics] (from the calling domain only). *)
 let mean_block_preconditioner ?(domains = 0) ?(metrics = Util.Metrics.global)
-    (m : Stochastic_model.t) nominal_factor =
+    (m : Stochastic_model.t) mean_solver =
   let size = Polychaos.Basis.size m.basis in
   let n = m.n in
   let d = Util.Parallel.resolve domains in
@@ -115,7 +123,7 @@ let mean_block_preconditioner ?(domains = 0) ?(metrics = Util.Metrics.global)
   let inner_domains = if chunks > 1 then 1 else d in
   let z = Array.make (size * n) 0.0 in
   let block = Array.init chunks (fun _ -> Array.make n 0.0) in
-  let work = Array.init chunks (fun _ -> Array.make n 0.0) in
+  let work = Array.init chunks (fun _ -> Linalg.Precond.create_ws mean_solver) in
   let inv_gamma = Array.init size (fun j -> 1.0 /. Polychaos.Basis.norm_sq m.basis j) in
   fun (r : Linalg.Vec.t) ->
     Util.Metrics.incr metrics "galerkin.precond_applies";
@@ -125,8 +133,7 @@ let mean_block_preconditioner ?(domains = 0) ?(metrics = Util.Metrics.global)
             for j = lo to hi - 1 do
               let base = j * n in
               Array.blit r base blk 0 n;
-              Linalg.Sparse_cholesky.solve_in_place_ws nominal_factor ~domains:inner_domains
-                ~work:wk blk;
+              Linalg.Precond.apply_in_place mean_solver wk ~domains:inner_domains blk;
               let s = inv_gamma.(j) in
               for i = 0 to n - 1 do
                 z.(base + i) <- blk.(i) *. s
@@ -190,6 +197,7 @@ let st_options (o : options) ~tol ~max_refine ~candidates ~seed =
     refine_tol = tol;
     refine_max = max_refine;
     ordering = o.ordering;
+    precond = o.precond;
     probes = o.probes;
     domains = o.domains;
     metrics = o.metrics;
@@ -227,11 +235,11 @@ let solve_dc ?(options = default_options) (m : Stochastic_model.t) =
   | Mean_pcg { tol; max_iter } ->
       let gt = assemble_g m in
       let ga = nominal_matrix m m.g_terms in
-      let f0 =
+      let ms0 =
         Util.Metrics.span metrics "galerkin.factor_s" (fun () ->
-            Linalg.Sparse_cholesky.factor ~ordering:options.ordering ga)
+            Linalg.Precond.make ~ordering:options.ordering options.precond ga)
       in
-      let precond = mean_block_preconditioner ~domains:options.domains ~metrics m f0 in
+      let precond = mean_block_preconditioner ~domains:options.domains ~metrics m ms0 in
       let x, report =
         Linalg.Cg.solve_report ~precond ~max_iter ~tol ~matvec:(Linalg.Sparse.mul_vec gt)
           ~b:rhs ~x0:(Array.make dim 0.0) ()
@@ -245,11 +253,11 @@ let solve_dc ?(options = default_options) (m : Stochastic_model.t) =
          factorized n x n nominal block. *)
       let op = Galerkin_op.gt ~domains:options.domains m in
       let ga = nominal_matrix m m.g_terms in
-      let f0 =
+      let ms0 =
         Util.Metrics.span metrics "galerkin.factor_s" (fun () ->
-            Linalg.Sparse_cholesky.factor ~ordering:options.ordering ga)
+            Linalg.Precond.make ~ordering:options.ordering options.precond ga)
       in
-      let precond = mean_block_preconditioner ~domains:options.domains ~metrics m f0 in
+      let precond = mean_block_preconditioner ~domains:options.domains ~metrics m ms0 in
       let mv = Array.make dim 0.0 in
       let matvec x =
         Galerkin_op.apply_into op x mv;
@@ -370,8 +378,8 @@ let solve_transient_coupled ~options (m : Stochastic_model.t) ~h ~steps =
         in
         let ga = nominal_matrix m m.g_terms in
         let nominal = Linalg.Sparse.axpy ~alpha:ct_scale (nominal_matrix m m.c_terms) ga in
-        let f0 = Linalg.Sparse_cholesky.factor ~perm:node_perm nominal in
-        let fdc0 = Linalg.Sparse_cholesky.factor ~perm:node_perm ga in
+        let ms0 = Linalg.Precond.make ~perm:node_perm options.precond nominal in
+        let msdc0 = Linalg.Precond.make ~perm:node_perm options.precond ga in
         factor_seconds := Util.Metrics.stop_span metrics "galerkin.factor_s" t0;
         (* Direct fallbacks on the assembled augmented matrices, built
            lazily: a healthy run never factors them. *)
@@ -381,8 +389,8 @@ let solve_transient_coupled ~options (m : Stochastic_model.t) ~h ~steps =
         let direct_dc =
           lazy (Linalg.Sparse_cholesky.factor ~perm:(block_ordering ~kind:options.ordering m) gt)
         in
-        let precond = mean_block_preconditioner ~domains:options.domains ~metrics m f0 in
-        let precond_dc = mean_block_preconditioner ~domains:options.domains ~metrics m fdc0 in
+        let precond = mean_block_preconditioner ~domains:options.domains ~metrics m ms0 in
+        let precond_dc = mean_block_preconditioner ~domains:options.domains ~metrics m msdc0 in
         rhs_into m ~drain_buf 0.0 rhs;
         let a0, report0 =
           Linalg.Cg.solve_report ~precond:precond_dc ~max_iter ~tol
@@ -432,8 +440,8 @@ let solve_transient_coupled ~options (m : Stochastic_model.t) ~h ~steps =
         in
         let ga = nominal_matrix m m.g_terms in
         let nominal = Linalg.Sparse.axpy ~alpha:ct_scale (nominal_matrix m m.c_terms) ga in
-        let f0 = Linalg.Sparse_cholesky.factor ~perm:node_perm nominal in
-        let fdc0 = Linalg.Sparse_cholesky.factor ~perm:node_perm ga in
+        let ms0 = Linalg.Precond.make ~perm:node_perm options.precond nominal in
+        let msdc0 = Linalg.Precond.make ~perm:node_perm options.precond ga in
         factor_seconds := Util.Metrics.stop_span metrics "galerkin.factor_s" t0;
         (* The matrix-free route owns no assembled operator, so its
            fallback assembles one on first use — trading the memory wall
@@ -451,8 +459,8 @@ let solve_transient_coupled ~options (m : Stochastic_model.t) ~h ~steps =
                ~perm:(block_ordering ~kind:options.ordering m)
                (assemble_g m))
         in
-        let precond = mean_block_preconditioner ~domains ~metrics m f0 in
-        let precond_dc = mean_block_preconditioner ~domains ~metrics m fdc0 in
+        let precond = mean_block_preconditioner ~domains ~metrics m ms0 in
+        let precond_dc = mean_block_preconditioner ~domains ~metrics m msdc0 in
         rhs_into m ~drain_buf 0.0 rhs;
         let mv = Array.make dim 0.0 in
         let matvec_gt x =

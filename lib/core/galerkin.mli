@@ -59,6 +59,14 @@ exception Solver_diverged of string * Linalg.Solve_report.t
 type options = {
   solver : solver;
   ordering : Linalg.Ordering.kind;
+  precond : Linalg.Precond.kind;
+      (** mean-block backend for the iterative solvers: the exact
+          nominal Cholesky factor ([Cholesky], default — historical
+          behavior bitwise), [Ic0], [Amg] (near-linear setup and apply,
+          the 10^5+-node backend), or [Auto] (resolves on [n] at
+          {!Linalg.Precond.auto_threshold}).  Ignored by [Direct].
+          Every backend keeps solves bitwise-identical across
+          [domains]. *)
   probes : int array;  (** nodes whose full PCE trajectory is kept *)
   scheme : Powergrid.Transient.scheme;
       (** time integration of the augmented system; backward Euler is the
@@ -90,9 +98,9 @@ type options = {
 }
 
 val default_options : options
-(** Direct solver, nested-dissection ordering, no probes, backward
-    Euler, domains from the environment, [Warn] policy, global metrics,
-    warm starting on. *)
+(** Direct solver, nested-dissection ordering, exact-Cholesky mean
+    block, no probes, backward Euler, domains from the environment,
+    [Warn] policy, global metrics, warm starting on. *)
 
 type stats = {
   aug_dim : int;  (** (N+1) * n *)

@@ -137,6 +137,7 @@ type options = {
   refine_tol : float;
   refine_max : int;
   ordering : Linalg.Ordering.kind;
+  precond : Linalg.Precond.kind;
   probes : int array;
   domains : int;
   metrics : Util.Metrics.t;
@@ -149,6 +150,7 @@ let default_options =
     refine_tol = 1e-10;
     refine_max = 100;
     ordering = Linalg.Ordering.Nested_dissection;
+    precond = Linalg.Precond.Cholesky;
     probes = [||];
     domains = 0;
     metrics = Util.Metrics.global;
@@ -175,31 +177,42 @@ let checked_points ~options (m : Stochastic_model.t) = function
       p
   | None -> select_points ~candidates:options.candidates ~seed:options.seed m.basis
 
-let checked_f0 ~options (m : Stochastic_model.t) ~count = function
+(* The shared mean solver behind the point refinements: a caller-cached
+   exact factor when supplied, otherwise whatever backend
+   [options.precond] resolves to on n — exact Cholesky below the auto
+   threshold (today's behavior bitwise), AMG above it.  Only an exact
+   factorization ticks the [count] stat. *)
+let checked_ms ~options (m : Stochastic_model.t) ~count = function
   | Some f ->
       if Linalg.Sparse_cholesky.dim f <> m.n then
         invalid_arg "St_solver: mean factor does not match the grid dimension";
-      f
+      Linalg.Precond.of_factor f
   | None ->
-      count ();
-      Linalg.Sparse_cholesky.factor ~ordering:options.ordering (mean_g m)
+      let kind = Linalg.Precond.resolve options.precond ~n:m.n in
+      if kind = Linalg.Precond.Cholesky then count ();
+      Linalg.Precond.make ~ordering:options.ordering kind (mean_g m)
 
-(* One point's DC solve against the shared mean factor: start from
-   [G(0)^{-1} b], then iteratively refine [x <- x + G(0)^{-1} r] until
-   the relative residual meets [tol].  The contraction rate is the
-   spectral radius of [I - G(0)^{-1} G(xi)] ~ O(sigma |xi|); points far
-   out in the tail that refuse to contract within [refine_max] sweeps
-   fall back to their own factorization (returned so the caller can
-   count it).  Everything writes chunk-local or point-owned buffers
-   only. *)
-let refine_point ~f0 ~ordering ~tol ~max_refine ~g ~b ~work ~resid x =
+(* One point's solve against the shared mean solver: start from
+   [M^{-1} b] (or the caller's iterate when [warm]), then iteratively
+   refine [x <- x + M^{-1} r] until the relative residual meets [tol].
+   With the exact mean factor the contraction rate is the spectral
+   radius of [I - G(0)^{-1} G(xi)] ~ O(sigma |xi|); the approximate
+   backends (ic0, AMG V-cycles) fold their own contraction on the mean
+   into the same stationary iteration.  Points that refuse to contract
+   within [refine_max] sweeps fall back to their own factorization
+   (returned so the caller can count it — and reuse it).  Everything
+   writes chunk-local or point-owned buffers only; [resid] doubles as
+   the triangular-solve workspace of the fallback. *)
+let refine_point ?(warm = false) ~ms ~msws ~ordering ~tol ~max_refine ~g ~b ~resid x =
   let n = Array.length b in
   let t0 = Util.Timer.start () in
   let bnorm = Linalg.Vec.norm2 b in
-  Array.blit b 0 x 0 n;
-  Linalg.Sparse_cholesky.solve_in_place_ws f0 ~work x;
+  if not warm then begin
+    Array.blit b 0 x 0 n;
+    Linalg.Precond.apply_in_place ms msws x
+  end;
   let sweeps = ref 0 and rn = ref 0.0 and converged = ref (Util.Floats.is_zero bnorm) in
-  let fell_back = ref false in
+  let fell_back = ref None in
   let running = ref (not !converged) in
   while !running do
     Array.blit b 0 resid 0 n;
@@ -211,18 +224,18 @@ let refine_point ~f0 ~ordering ~tol ~max_refine ~g ~b ~work ~resid x =
     end
     else if !sweeps >= max_refine then running := false
     else begin
-      Linalg.Sparse_cholesky.solve_in_place_ws f0 ~work resid;
+      Linalg.Precond.apply_in_place ms msws resid;
       Linalg.Vec.axpy ~alpha:1.0 resid x;
       incr sweeps
     end
   done;
   if not !converged then begin
-    (* A tail point whose G(xi) drifted too far from G(0): factor it
+    (* A tail point whose G(xi) drifted too far from the mean: factor it
        directly so the returned state always meets the tolerance. *)
-    fell_back := true;
     let fi = Linalg.Sparse_cholesky.factor ~ordering g in
+    fell_back := Some fi;
     Array.blit b 0 x 0 n;
-    Linalg.Sparse_cholesky.solve_in_place_ws fi ~work x
+    Linalg.Sparse_cholesky.solve_in_place_ws fi ~work:resid x
   end;
   let report =
     Linalg.Solve_report.make ~solver:"st-refine" ~iterations:!sweeps ~residual_norm:!rn
@@ -262,7 +275,7 @@ let settle_reports ~metrics ~agg reports =
       | Some ((report : Linalg.Solve_report.t), fell_back) ->
           Linalg.Solve_report.agg_add agg report;
           sweeps := !sweeps + report.Linalg.Solve_report.iterations;
-          if fell_back then begin
+          if Option.is_some fell_back then begin
             Linalg.Solve_report.agg_count_fallback agg;
             incr fallbacks
           end)
@@ -275,20 +288,20 @@ let settle_reports ~metrics ~agg reports =
    triangular sweeps sequential (each domain owns whole points); with a
    single chunk the spare domains level-schedule inside the solves —
    the same split as the mean-block preconditioner. *)
-let point_dc_sweep ~options ~f0 ~g_pts ~b_pts ~x_pts reports =
+let point_dc_sweep ~options ~ms ~g_pts ~b_pts ~x_pts reports =
   let size = Array.length g_pts in
   let n = Array.length b_pts.(0) in
   let d = Util.Parallel.resolve options.domains in
   let chunks = Int.max 1 (Int.min d size) in
-  let work = Array.init chunks (fun _ -> Array.make n 0.0) in
+  let msws = Array.init chunks (fun _ -> Linalg.Precond.create_ws ms) in
   let resid = Array.init chunks (fun _ -> Array.make n 0.0) in
   let tol = options.refine_tol and max_refine = options.refine_max in
   let ordering = options.ordering in
   Util.Parallel.for_chunks ~domains:d size (fun ~chunk ~lo ~hi ->
       for i = lo to hi - 1 do
         let r =
-          refine_point ~f0 ~ordering ~tol ~max_refine ~g:g_pts.(i) ~b:b_pts.(i)
-            ~work:work.(chunk) ~resid:resid.(chunk) x_pts.(i)
+          refine_point ~ms ~msws:msws.(chunk) ~ordering ~tol ~max_refine ~g:g_pts.(i)
+            ~b:b_pts.(i) ~resid:resid.(chunk) x_pts.(i)
         in
         reports.(i) <- Some r
       done)
@@ -306,7 +319,7 @@ let solve_dc ?(options = default_options) ?points ?f0 (m : Stochastic_model.t) =
   let n = m.n in
   Util.Metrics.incr ~by:size metrics "st.points";
   let t_f = Util.Metrics.start_span () in
-  let f0 = checked_f0 ~options m ~count f0 in
+  let ms = checked_ms ~options m ~count f0 in
   let factor_seconds = Util.Metrics.stop_span metrics "st.factor_s" t_f in
   let g_pts = Array.init size (fun i -> Stochastic_model.g_of_sample m p.pts.(i)) in
   let b_pts = Array.init size (fun i -> Stochastic_model.u_of_sample m p.pts.(i) 0.0) in
@@ -315,7 +328,7 @@ let solve_dc ?(options = default_options) ?points ?f0 (m : Stochastic_model.t) =
   let agg = Linalg.Solve_report.agg_create () in
   let t_steps = Util.Timer.start () in
   Util.Metrics.span metrics "st.step_s" (fun () ->
-      point_dc_sweep ~options ~f0 ~g_pts ~b_pts ~x_pts reports);
+      point_dc_sweep ~options ~ms ~g_pts ~b_pts ~x_pts reports);
   let sweeps, fallbacks = settle_reports ~metrics ~agg reports in
   let coefs = Array.make (size * n) 0.0 in
   Util.Metrics.span metrics "st.transform_s" (fun () ->
@@ -328,7 +341,7 @@ let solve_dc ?(options = default_options) ?points ?f0 (m : Stochastic_model.t) =
       factorizations = !factorizations + fallbacks;
       refine_sweeps = sweeps;
       nnz_point;
-      nnz_factor = Linalg.Sparse_cholesky.nnz_l f0;
+      nnz_factor = Linalg.Precond.stored_nnz ms;
       select_seconds;
       factor_seconds;
       step_seconds;
@@ -352,8 +365,15 @@ let solve_transient ?(options = default_options) ?points ?f0 ?fstep
   let g_pts = Array.init size (fun i -> Stochastic_model.g_of_sample m p.pts.(i)) in
   let c_pts = Array.init size (fun i -> Stochastic_model.c_of_sample m p.pts.(i)) in
   let t_f = Util.Metrics.start_span () in
-  let f0 = checked_f0 ~options m ~count f0 in
-  let fstep =
+  let ms = checked_ms ~options m ~count f0 in
+  (* Stepping backend: cached exact factors when supplied; otherwise the
+     exact route builds the classic N+1 per-point factors, while the
+     approximate backends (amg / ic0 / auto at large n) build ONE mean
+     stepping-matrix solver [G(0) + C(0)/h] plus the per-point stepping
+     matrices, and every step refines each point against the mean solver
+     from its (structurally warm) previous state — no N+1 factors
+     resident, which is what survives at 10^5+ nodes. *)
+  let fstep, mstep, a_pts =
     match fstep with
     | Some fs ->
         if Array.length fs <> size then
@@ -363,17 +383,30 @@ let solve_transient ?(options = default_options) ?points ?f0 ?fstep
             if Linalg.Sparse_cholesky.dim f <> n then
               invalid_arg "St_solver.solve_transient: stepping factor dimension mismatch")
           fs;
-        fs
-    | None ->
-        (* One symbolic ordering serves every point: all realizations
-           share the node pattern, only the numeric values move. *)
-        let perm =
-          Linalg.Ordering.compute options.ordering (Stochastic_model.node_pattern m)
-        in
-        Array.init size (fun i ->
-            count ();
-            Linalg.Sparse_cholesky.factor ~perm
-              (Linalg.Sparse.axpy ~alpha:(1.0 /. h) c_pts.(i) g_pts.(i)))
+        (Some fs, None, [||])
+    | None -> (
+        match Linalg.Precond.resolve options.precond ~n with
+        | Linalg.Precond.Cholesky ->
+            (* One symbolic ordering serves every point: all realizations
+               share the node pattern, only the numeric values move. *)
+            let perm =
+              Linalg.Ordering.compute options.ordering (Stochastic_model.node_pattern m)
+            in
+            ( Some
+                (Array.init size (fun i ->
+                     count ();
+                     Linalg.Sparse_cholesky.factor ~perm
+                       (Linalg.Sparse.axpy ~alpha:(1.0 /. h) c_pts.(i) g_pts.(i)))),
+              None,
+              [||] )
+        | kind ->
+            let mean_step =
+              Linalg.Sparse.axpy ~alpha:(1.0 /. h) (nominal m m.c_terms) (mean_g m)
+            in
+            ( None,
+              Some (Linalg.Precond.make ~ordering:options.ordering kind mean_step),
+              Array.init size (fun i ->
+                  Linalg.Sparse.axpy ~alpha:(1.0 /. h) c_pts.(i) g_pts.(i)) ))
   in
   let factor_seconds = Util.Metrics.stop_span metrics "st.factor_s" t_f in
   let psi_pts = Array.map (Polychaos.Basis.eval_all m.basis) p.pts in
@@ -395,28 +428,69 @@ let solve_transient ?(options = default_options) ?points ?f0 ?fstep
   (* Stochastic DC initial state: refine every point against the shared
      mean factor, exactly as solve_dc does. *)
   let b_pts = Array.init size (fun i -> Stochastic_model.u_of_sample m p.pts.(i) 0.0) in
-  point_dc_sweep ~options ~f0 ~g_pts ~b_pts ~x_pts reports;
-  let sweeps, fallbacks = settle_reports ~metrics ~agg reports in
+  point_dc_sweep ~options ~ms ~g_pts ~b_pts ~x_pts reports;
+  let dc_sweeps, dc_fallbacks = settle_reports ~metrics ~agg reports in
+  let sweeps = ref dc_sweeps and fallbacks = ref dc_fallbacks in
   transform_into p ~n ~domains:options.domains x_pts coefs;
   Response.record_step response ~step:0 ~coefs;
-  (* Backward Euler per point: rhs_i = u_i(t) + C_i x_i / h, then one
-     triangular solve with the point's cached factor.  The state x_i
-     carries across steps — the warm start is structural.  The drain
-     profile is shared read-only; every write inside the fan-out lands
-     in point-owned or chunk-owned buffers. *)
+  (* Backward Euler per point: rhs_i = u_i(t) + C_i x_i / h, then either
+     one triangular solve with the point's cached factor or a warm
+     refinement against the mean stepping solver.  The state x_i carries
+     across steps — the warm start is structural.  The drain profile is
+     shared read-only; every write inside the fan-out lands in
+     point-owned or chunk-owned buffers / slots. *)
+  let msws_step =
+    match mstep with
+    | Some msp -> Array.init chunks (fun _ -> Linalg.Precond.create_ws msp)
+    | None -> [||]
+  in
+  (* A point whose refinement broke down keeps its direct factor for the
+     remaining steps instead of re-failing every step. *)
+  let fallback_f = Array.make size None in
+  let step_reports = Array.make size None in
+  let tol = options.refine_tol and max_refine = options.refine_max in
+  let ordering = options.ordering in
   for k = 1 to steps do
     let t = float_of_int k *. h in
     Stochastic_model.drain_profile_into m t drain_buf;
-    (* opera-lint: race — drain_buf is read-only inside (axpy source) *)
-    Util.Parallel.for_chunks ~domains:d size (fun ~chunk ~lo ~hi ->
-        let u = ubuf.(chunk) and wk = work.(chunk) in
-        for i = lo to hi - 1 do
-          Array.blit static_pts.(i) 0 u 0 n;
-          Linalg.Vec.axpy ~alpha:dcoef_pts.(i) drain_buf u;
-          Linalg.Sparse.mul_vec_acc ~alpha:(1.0 /. h) c_pts.(i) x_pts.(i) u;
-          Array.blit u 0 x_pts.(i) 0 n;
-          Linalg.Sparse_cholesky.solve_in_place_ws fstep.(i) ~work:wk x_pts.(i)
-        done);
+    (match fstep with
+    | Some fstep ->
+        (* opera-lint: race — drain_buf is read-only inside (axpy source) *)
+        Util.Parallel.for_chunks ~domains:d size (fun ~chunk ~lo ~hi ->
+            let u = ubuf.(chunk) and wk = work.(chunk) in
+            for i = lo to hi - 1 do
+              Array.blit static_pts.(i) 0 u 0 n;
+              Linalg.Vec.axpy ~alpha:dcoef_pts.(i) drain_buf u;
+              Linalg.Sparse.mul_vec_acc ~alpha:(1.0 /. h) c_pts.(i) x_pts.(i) u;
+              Array.blit u 0 x_pts.(i) 0 n;
+              Linalg.Sparse_cholesky.solve_in_place_ws fstep.(i) ~work:wk x_pts.(i)
+            done)
+    | None ->
+        let msp = Option.get mstep in
+        (* opera-lint: race — drain_buf is read-only inside (axpy source); x_pts / step_reports / fallback_f writes land in per-point slots disjoint across chunks *)
+        Util.Parallel.for_chunks ~domains:d size (fun ~chunk ~lo ~hi ->
+            let u = ubuf.(chunk) and wk = work.(chunk) in
+            for i = lo to hi - 1 do
+              Array.blit static_pts.(i) 0 u 0 n;
+              Linalg.Vec.axpy ~alpha:dcoef_pts.(i) drain_buf u;
+              Linalg.Sparse.mul_vec_acc ~alpha:(1.0 /. h) c_pts.(i) x_pts.(i) u;
+              match fallback_f.(i) with
+              | Some fi ->
+                  Array.blit u 0 x_pts.(i) 0 n;
+                  Linalg.Sparse_cholesky.solve_in_place_ws fi ~work:wk x_pts.(i)
+              | None ->
+                  let r =
+                    refine_point ~warm:true ~ms:msp ~msws:msws_step.(chunk) ~ordering ~tol
+                      ~max_refine ~g:a_pts.(i) ~b:u ~resid:wk x_pts.(i)
+                  in
+                  step_reports.(i) <- Some r;
+                  let _, fb = r in
+                  if Option.is_some fb then fallback_f.(i) <- fb
+            done);
+        let s, f = settle_reports ~metrics ~agg step_reports in
+        sweeps := !sweeps + s;
+        fallbacks := !fallbacks + f;
+        Array.fill step_reports 0 size None);
     Util.Metrics.span metrics "st.transform_s" (fun () ->
         transform_into p ~n ~domains:options.domains x_pts coefs);
     Response.record_step response ~step:k ~coefs
@@ -428,15 +502,24 @@ let solve_transient ?(options = default_options) ?points ?f0 ?fstep
   let nnz_point =
     Array.fold_left (fun acc g -> acc + Linalg.Sparse.nnz g) 0 g_pts
     + Array.fold_left (fun acc c -> acc + Linalg.Sparse.nnz c) 0 c_pts
+    + Array.fold_left (fun acc a -> acc + Linalg.Sparse.nnz a) 0 a_pts
   in
   let nnz_factor =
-    Array.fold_left (fun acc f -> acc + Linalg.Sparse_cholesky.nnz_l f) 0 fstep
+    match fstep with
+    | Some fs -> Array.fold_left (fun acc f -> acc + Linalg.Sparse_cholesky.nnz_l f) 0 fs
+    | None ->
+        Array.fold_left
+          (fun acc -> function
+            | Some f -> acc + Linalg.Sparse_cholesky.nnz_l f
+            | None -> acc)
+          (Linalg.Precond.stored_nnz (Option.get mstep))
+          fallback_f
   in
   ( response,
     {
       points = size;
-      factorizations = !factorizations + fallbacks;
-      refine_sweeps = sweeps;
+      factorizations = !factorizations + !fallbacks;
+      refine_sweeps = !sweeps;
       nnz_point;
       nnz_factor;
       select_seconds;

@@ -67,6 +67,14 @@ type options = {
   refine_tol : float;  (** relative residual target of the DC refinement *)
   refine_max : int;  (** refinement sweeps before the per-point fallback *)
   ordering : Linalg.Ordering.kind;
+  precond : Linalg.Precond.kind;
+      (** mean-solver backend for the point refinements: exact Cholesky
+          (default — historical behavior bitwise), [Ic0], [Amg], or
+          [Auto] (resolves on [n]).  A non-exact backend also replaces
+          the transient's N+1 per-point stepping factors with one mean
+          stepping-matrix solver plus warm per-step refinement —
+          bounded memory at 10^5+ nodes.  A caller-supplied [f0] /
+          [fstep] cache always takes the exact path. *)
   probes : int array;
   domains : int;
       (** {!Util.Parallel.resolve} convention; points fan out across

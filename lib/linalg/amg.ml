@@ -1,15 +1,57 @@
-type level = {
-  a : Sparse.t;
-  inv_diag : float array;
-  aggregate_of : int array;  (** fine node -> coarse aggregate (next level) *)
-  coarse_n : int;
+(* Aggregation AMG, structured as a first-class preconditioner.
+
+   The hierarchy is built once (greedy aggregation, piecewise-constant
+   prolongation, Galerkin coarse operators — all sequential and
+   deterministic) and then applied as a fixed number of V(1,1)-cycles
+   with weighted-Jacobi smoothing and a dense direct solve at the
+   coarsest level.  The apply path is allocation-free: every level's
+   solution / rhs / residual scratch lives in a caller-owned {!ws}, so
+   block-parallel users (the mean-block preconditioner, the ST
+   per-point sweeps) give each chunk its own workspace and the
+   per-block arithmetic is bitwise-identical at any domain count — one
+   application is a purely sequential pass over the hierarchy.
+
+   Level storage is Bigarray-backed ({!Util.Codec.fsection} /
+   {!Util.Codec.isection}) so a hierarchy decoded from a v2 artifact
+   can keep zero-copy [Unix.map_file] views of the file: a warm
+   million-node setup replays without decoding its gigabytes. *)
+
+type fvec = Util.Codec.fsection
+type ivec = Util.Codec.isection
+
+type plevel = {
+  pn : int;  (* unknowns on this level *)
+  pcoarse : int;  (* aggregates = unknowns one level down *)
+  pcol : ivec;  (* CSC colptr, [pn + 1] *)
+  prow : ivec;  (* CSC rowind *)
+  pval : fvec;  (* CSC values *)
+  pdiag : fvec;  (* 1 / diag, zeros masked to 0 *)
+  pagg : ivec;  (* fine node -> aggregate *)
 }
 
-type t = { levels : level list; coarsest : Cholesky.t; coarsest_dim : int }
+type t = {
+  pls : plevel array;  (* finest first *)
+  coarse_dim : int;
+  coarse_l : float array;  (* dense lower factor, row-major coarse_dim^2 *)
+  coarse_csc : Sparse.t;  (* coarsest operator, kept for (re-)encoding *)
+  ncycles : int;
+  nfine : int;
+}
 
-(* Greedy aggregation: each unaggregated node grabs its unaggregated
-   neighbors (strongest first); leftovers join the strongest neighboring
-   aggregate. *)
+type ws = {
+  wx : float array array;  (* per-level solution; slot 0 unused (caller's x) *)
+  wb : float array array;  (* per-level rhs; slot 0 unused (caller's b) *)
+  wr : float array array;  (* per-level residual *)
+  wc : float array;  (* coarse rhs / solution *)
+}
+
+let omega = 2.0 /. 3.0
+
+(* ---- deterministic greedy aggregation -------------------------------- *)
+
+(* Each unaggregated node grabs its unaggregated neighbors (in column
+   order); leftovers join the strongest neighboring aggregate.  Purely
+   sequential — the aggregate map is a function of the matrix alone. *)
 let aggregate a =
   let n, _ = Sparse.dims a in
   let { Sparse.colptr; rowind; values; _ } = a in
@@ -17,8 +59,6 @@ let aggregate a =
   let next = ref 0 in
   for j = 0 to n - 1 do
     if agg.(j) < 0 then begin
-      (* seed a new aggregate only if j has an unaggregated neighbor or is
-         isolated *)
       let members = ref [ j ] in
       for k = colptr.(j) to colptr.(j + 1) - 1 do
         let i = rowind.(k) in
@@ -30,7 +70,6 @@ let aggregate a =
       end
     end
   done;
-  (* Attach leftovers to the strongest adjacent aggregate. *)
   for j = 0 to n - 1 do
     if agg.(j) < 0 then begin
       let best = ref (-1) and best_w = ref 0.0 in
@@ -65,68 +104,356 @@ let coarse_operator a agg coarse_n =
   done;
   Sparse_builder.to_csc b
 
-let build ?(max_levels = 10) ?(coarsest = 64) a0 =
+(* ---- build ------------------------------------------------------------ *)
+
+let ivec_of_array a =
+  let b = Bigarray.Array1.create Bigarray.int Bigarray.c_layout (Array.length a) in
+  Array.iteri (fun i v -> Bigarray.Array1.unsafe_set b i v) a;
+  b
+
+let fvec_of_array a =
+  let b = Bigarray.Array1.create Bigarray.float64 Bigarray.c_layout (Array.length a) in
+  Array.iteri (fun i v -> Bigarray.Array1.unsafe_set b i v) a;
+  b
+
+let plevel_of_sparse a agg coarse_n =
+  let n, _ = Sparse.dims a in
+  let diag = Sparse.diag a in
+  let inv_diag =
+    Array.map (fun d -> if Util.Floats.is_zero d then 0.0 else 1.0 /. d) diag
+  in
+  {
+    pn = n;
+    pcoarse = coarse_n;
+    pcol = ivec_of_array a.Sparse.colptr;
+    prow = ivec_of_array a.Sparse.rowind;
+    pval = fvec_of_array a.Sparse.values;
+    pdiag = fvec_of_array inv_diag;
+    pagg = ivec_of_array agg;
+  }
+
+(* Flat row-major lower Cholesky factor of the coarsest operator — the
+   direct bottom solve, extracted once so applying it allocates
+   nothing. *)
+let coarse_factor csc =
+  let cn, _ = Sparse.dims csc in
+  let f = Cholesky.factor (Sparse.to_dense csc) in
+  let l = Cholesky.lower f in
+  Array.init (cn * cn) (fun idx -> Dense.get l (idx / cn) (idx mod cn))
+
+let build ?(cycles = 1) ?(max_levels = 10) ?(coarsest = 64) a0 =
   let n0, m0 = Sparse.dims a0 in
   if n0 <> m0 then invalid_arg "Amg.build: matrix is not square";
+  if cycles < 1 then invalid_arg "Amg.build: cycle count must be positive";
   let rec go a depth levels =
     let n, _ = Sparse.dims a in
     if n <= coarsest || depth >= max_levels then (List.rev levels, a)
     else begin
       let agg, coarse_n = aggregate a in
       if coarse_n >= n then (List.rev levels, a) (* aggregation stalled *)
-      else begin
-        let diag = Sparse.diag a in
-        let inv_diag =
-          Array.map (fun d -> if Util.Floats.is_zero d then 0.0 else 1.0 /. d) diag
-        in
-        let ac = coarse_operator a agg coarse_n in
-        go ac (depth + 1) ({ a; inv_diag; aggregate_of = agg; coarse_n } :: levels)
-      end
+      else go (coarse_operator a agg coarse_n) (depth + 1)
+          (plevel_of_sparse a agg coarse_n :: levels)
     end
   in
   let levels, bottom = go a0 0 [] in
-  let coarsest_dim, _ = Sparse.dims bottom in
-  let coarsest = Cholesky.factor (Sparse.to_dense bottom) in
-  { levels; coarsest; coarsest_dim }
+  let coarse_dim, _ = Sparse.dims bottom in
+  {
+    pls = Array.of_list levels;
+    coarse_dim;
+    coarse_l = coarse_factor bottom;
+    coarse_csc = bottom;
+    ncycles = cycles;
+    nfine = n0;
+  }
 
-let levels t = List.length t.levels + 1
+let dim t = t.nfine
+
+let cycles t = t.ncycles
+
+let stored_nnz t =
+  Array.fold_left (fun acc pl -> acc + Bigarray.Array1.dim pl.prow) 0 t.pls
+  + (t.coarse_dim * t.coarse_dim)
+
+let levels t = Array.length t.pls + 1
 
 let level_dims t =
-  List.map (fun l -> fst (Sparse.dims l.a)) t.levels @ [ t.coarsest_dim ]
+  Array.to_list (Array.map (fun pl -> pl.pn) t.pls) @ [ t.coarse_dim ]
 
-let jacobi_sweep level x b =
-  (* x <- x + omega D^-1 (b - A x) *)
-  let omega = 2.0 /. 3.0 in
-  let n = Array.length x in
-  let ax = Sparse.mul_vec level.a x in
-  for i = 0 to n - 1 do
-    x.(i) <- x.(i) +. (omega *. level.inv_diag.(i) *. (b.(i) -. ax.(i)))
+let create_ws t =
+  let nl = Array.length t.pls in
+  let dim_of l = if l < nl then t.pls.(l).pn else t.coarse_dim in
+  {
+    wx = Array.init nl (fun l -> Array.make (if l = 0 then 0 else dim_of l) 0.0);
+    wb = Array.init nl (fun l -> Array.make (if l = 0 then 0 else dim_of l) 0.0);
+    wr = Array.init nl (fun l -> Array.make (dim_of l) 0.0);
+    wc = Array.make t.coarse_dim 0.0;
+  }
+
+let ws_dim w =
+  if Array.length w.wr = 0 then Array.length w.wc else Array.length w.wr.(0)
+
+(* ---- allocation-free V-cycle kernels ---------------------------------- *)
+
+(* r <- b - A x over the level's CSC (A symmetric, columns = rows). *)
+let[@opera.hot] residual_into pl ~b ~x ~r =
+  let n = pl.pn in
+  Array.blit b 0 r 0 n;
+  for j = 0 to n - 1 do
+    let xj = x.(j) in
+    if Util.Floats.nonzero xj then begin
+      let k0 = Bigarray.Array1.unsafe_get pl.pcol j in
+      let k1 = Bigarray.Array1.unsafe_get pl.pcol (j + 1) in
+      for k = k0 to k1 - 1 do
+        let i = Bigarray.Array1.unsafe_get pl.prow k in
+        r.(i) <- r.(i) -. (Bigarray.Array1.unsafe_get pl.pval k *. xj)
+      done
+    end
   done
 
-let restrict level r =
-  let rc = Array.make level.coarse_n 0.0 in
-  Array.iteri (fun i v -> rc.(level.aggregate_of.(i)) <- rc.(level.aggregate_of.(i)) +. v) r;
-  rc
+(* x <- omega D^-1 b: the pre-smooth from a zero iterate. *)
+let[@opera.hot] smooth_from_zero pl ~b ~x =
+  for i = 0 to pl.pn - 1 do
+    x.(i) <- omega *. Bigarray.Array1.unsafe_get pl.pdiag i *. b.(i)
+  done
 
-let prolong level xc =
-  Array.init (Array.length level.aggregate_of) (fun i -> xc.(level.aggregate_of.(i)))
+(* x <- x + omega D^-1 r: the correction form of a Jacobi sweep. *)
+let[@opera.hot] smooth_correct pl ~r ~x =
+  for i = 0 to pl.pn - 1 do
+    x.(i) <- x.(i) +. (omega *. Bigarray.Array1.unsafe_get pl.pdiag i *. r.(i))
+  done
 
-let vcycle t b0 =
-  let rec down levels b =
-    match levels with
-    | [] -> Cholesky.solve t.coarsest b
-    | level :: rest ->
-        let x = Array.make (Array.length b) 0.0 in
-        jacobi_sweep level x b;
-        let r = Vec.sub b (Sparse.mul_vec level.a x) in
-        let xc = down rest (restrict level r) in
-        let correction = prolong level xc in
-        Vec.axpy ~alpha:1.0 correction x;
-        jacobi_sweep level x b;
-        x
-  in
-  down t.levels b0
+(* rc <- P^T r (sum residuals over each aggregate). *)
+let[@opera.hot] restrict_into pl ~r ~rc =
+  Array.fill rc 0 pl.pcoarse 0.0;
+  for i = 0 to pl.pn - 1 do
+    let a = Bigarray.Array1.unsafe_get pl.pagg i in
+    rc.(a) <- rc.(a) +. r.(i)
+  done
+
+(* x <- x + P xc (inject the coarse correction). *)
+let[@opera.hot] prolong_add pl ~xc ~x =
+  for i = 0 to pl.pn - 1 do
+    x.(i) <- x.(i) +. xc.(Bigarray.Array1.unsafe_get pl.pagg i)
+  done
+
+(* In-place dense solve L L^T y = y with the flat row-major factor. *)
+let[@opera.hot] coarse_solve_in_place l cn y =
+  for i = 0 to cn - 1 do
+    let s = ref y.(i) in
+    let base = i * cn in
+    for j = 0 to i - 1 do
+      s := !s -. (l.(base + j) *. y.(j))
+    done;
+    y.(i) <- !s /. l.(base + i)
+  done;
+  for i = cn - 1 downto 0 do
+    let s = ref y.(i) in
+    for j = i + 1 to cn - 1 do
+      s := !s -. (l.((j * cn) + i) *. y.(j))
+    done;
+    y.(i) <- !s /. l.((i * cn) + i)
+  done
+
+(* One V(1,1)-cycle updating [x] (level-0 iterate) against [b].
+   [zero_x] marks a known-zero incoming iterate, which saves the first
+   residual pass.  Everything below level 0 starts from zero by
+   construction.  Strictly sequential: bitwise-deterministic no matter
+   how many domains the caller fans out across. *)
+let[@opera.hot] cycle t w ~b ~x ~zero_x =
+  let nl = Array.length t.pls in
+  if nl = 0 then begin
+    Array.blit b 0 x 0 t.coarse_dim;
+    coarse_solve_in_place t.coarse_l t.coarse_dim x
+  end
+  else begin
+    (* Down-sweep: pre-smooth, form the residual, restrict it. *)
+    for l = 0 to nl - 1 do
+      let pl = t.pls.(l) in
+      let bl = if l = 0 then b else w.wb.(l) in
+      let xl = if l = 0 then x else w.wx.(l) in
+      if l = 0 && not zero_x then begin
+        residual_into pl ~b:bl ~x:xl ~r:w.wr.(l);
+        smooth_correct pl ~r:w.wr.(l) ~x:xl
+      end
+      else smooth_from_zero pl ~b:bl ~x:xl;
+      residual_into pl ~b:bl ~x:xl ~r:w.wr.(l);
+      let rc = if l = nl - 1 then w.wc else w.wb.(l + 1) in
+      restrict_into pl ~r:w.wr.(l) ~rc
+    done;
+    coarse_solve_in_place t.coarse_l t.coarse_dim w.wc;
+    (* Up-sweep: prolong the correction, post-smooth. *)
+    for l = nl - 1 downto 0 do
+      let pl = t.pls.(l) in
+      let bl = if l = 0 then b else w.wb.(l) in
+      let xl = if l = 0 then x else w.wx.(l) in
+      let xc = if l = nl - 1 then w.wc else w.wx.(l + 1) in
+      prolong_add pl ~xc ~x:xl;
+      residual_into pl ~b:bl ~x:xl ~r:w.wr.(l);
+      smooth_correct pl ~r:w.wr.(l) ~x:xl
+    done
+  end
+
+let apply t w ~b ~x =
+  if Array.length b <> t.nfine || Array.length x <> t.nfine then
+    invalid_arg "Amg.apply: vector dimension mismatch";
+  if ws_dim w <> t.nfine then invalid_arg "Amg.apply: workspace dimension mismatch";
+  cycle t w ~b ~x ~zero_x:true;
+  for _c = 2 to t.ncycles do
+    cycle t w ~b ~x ~zero_x:false
+  done
+
+(* ---- solver-compatible wrappers --------------------------------------- *)
+
+let vcycle t b =
+  (* Historical single-shot form: one application, fresh output.  Each
+     call builds its own workspace — fine for the standalone-solver
+     wrappers, but hot users go through {!apply} with a kept {!ws}. *)
+  let x = Array.make t.nfine 0.0 in
+  apply t (create_ws t) ~b ~x;
+  x
 
 let solve ?(tol = 1e-10) ?max_iter t a b =
-  Cg.solve ~precond:(vcycle t) ?max_iter ~tol ~matvec:(Sparse.mul_vec a) ~b
-    ~x0:(Array.make (Array.length b) 0.0) ()
+  let w = create_ws t in
+  let x0 = Array.make (Array.length b) 0.0 in
+  let z = Array.make t.nfine 0.0 in
+  let precond r =
+    apply t w ~b:r ~x:z;
+    z
+  in
+  Cg.solve ~precond ?max_iter ~tol ~matvec:(Sparse.mul_vec a) ~b ~x0 ()
+
+(* ---- codec ------------------------------------------------------------ *)
+
+(* v2 frame: meta carries the shape (dims, cycle count, per-level nnz),
+   the bulk arrays live in 8-aligned sections — five per level (colptr,
+   rowind, values, inv-diag, aggregate map) plus the coarsest CSC, from
+   which the dense bottom factor is rebuilt on load.  A mapped load
+   keeps the section views zero-copy. *)
+
+let artifact_kind = "amg"
+
+let artifact_version = 1
+
+let to_frame t =
+  let nl = Array.length t.pls in
+  let cn = t.coarse_dim in
+  let meta e =
+    Util.Codec.write_int e t.nfine;
+    Util.Codec.write_int e t.ncycles;
+    Util.Codec.write_int e nl;
+    Util.Codec.write_int e cn;
+    Array.iter
+      (fun pl ->
+        Util.Codec.write_int e pl.pn;
+        Util.Codec.write_int e pl.pcoarse;
+        Util.Codec.write_int e (Bigarray.Array1.dim pl.prow))
+      t.pls;
+    Util.Codec.write_int e (Sparse.nnz t.coarse_csc)
+  in
+  let sections =
+    List.concat_map
+      (fun pl ->
+        [
+          Util.Codec.I_big pl.pcol;
+          Util.Codec.I_big pl.prow;
+          Util.Codec.F_big pl.pval;
+          Util.Codec.F_big pl.pdiag;
+          Util.Codec.I_big pl.pagg;
+        ])
+      (Array.to_list t.pls)
+    @ [
+        Util.Codec.I_arr t.coarse_csc.Sparse.colptr;
+        Util.Codec.I_arr t.coarse_csc.Sparse.rowind;
+        Util.Codec.F_arr t.coarse_csc.Sparse.values;
+      ]
+  in
+  (meta, sections)
+
+let corrupt fmt = Printf.ksprintf (fun s -> raise (Util.Codec.Corrupt s)) fmt
+
+(* Validate one level's CSC views: monotone colptr closing at nnz, row
+   indices in range, aggregate map in range.  Linear in nnz — trivial
+   next to the checksum pass that already touched every byte. *)
+let check_level ~nfix pl =
+  if pl.pn <> nfix then corrupt "amg level dimension %d does not chain (%d)" pl.pn nfix;
+  if pl.pcoarse <= 0 || pl.pcoarse >= pl.pn then
+    corrupt "amg level coarse dimension %d out of range (n = %d)" pl.pcoarse pl.pn;
+  let nnz = Bigarray.Array1.dim pl.prow in
+  if Bigarray.Array1.dim pl.pcol <> pl.pn + 1 then corrupt "amg level colptr length mismatch";
+  if Bigarray.Array1.dim pl.pval <> nnz then corrupt "amg level values length mismatch";
+  if Bigarray.Array1.dim pl.pdiag <> pl.pn then corrupt "amg level diag length mismatch";
+  if Bigarray.Array1.dim pl.pagg <> pl.pn then corrupt "amg level aggregate length mismatch";
+  if Bigarray.Array1.get pl.pcol 0 <> 0 then corrupt "amg level colptr must start at 0";
+  for j = 0 to pl.pn - 1 do
+    if Bigarray.Array1.get pl.pcol j > Bigarray.Array1.get pl.pcol (j + 1) then
+      corrupt "amg level colptr not monotone at %d" j
+  done;
+  if Bigarray.Array1.get pl.pcol pl.pn <> nnz then corrupt "amg level colptr does not close";
+  for k = 0 to nnz - 1 do
+    let i = Bigarray.Array1.get pl.prow k in
+    if i < 0 || i >= pl.pn then corrupt "amg level row index %d out of range" i
+  done;
+  for i = 0 to pl.pn - 1 do
+    let a = Bigarray.Array1.get pl.pagg i in
+    if a < 0 || a >= pl.pcoarse then corrupt "amg aggregate %d out of range" a
+  done
+
+let of_frame_sections d s =
+  let nfine = Util.Codec.read_int d in
+  let ncycles = Util.Codec.read_int d in
+  let nl = Util.Codec.read_int d in
+  let cn = Util.Codec.read_int d in
+  if nfine <= 0 || ncycles < 1 || nl < 0 || cn <= 0 then corrupt "amg frame shape out of range";
+  if Util.Codec.section_count s <> (nl * 5) + 3 then
+    corrupt "amg frame carries %d sections, want %d" (Util.Codec.section_count s) ((nl * 5) + 3);
+  let shapes =
+    Array.init nl (fun _ ->
+        let n = Util.Codec.read_int d in
+        let c = Util.Codec.read_int d in
+        let nnz = Util.Codec.read_int d in
+        (n, c, nnz))
+  in
+  let coarse_nnz = Util.Codec.read_int d in
+  Util.Codec.expect_end d;
+  let pls =
+    Array.init nl (fun l ->
+        let n, c, nnz = shapes.(l) in
+        let base = l * 5 in
+        let pl =
+          {
+            pn = n;
+            pcoarse = c;
+            pcol = Util.Codec.section_int s base;
+            prow = Util.Codec.section_int s (base + 1);
+            pval = Util.Codec.section_float s (base + 2);
+            pdiag = Util.Codec.section_float s (base + 3);
+            pagg = Util.Codec.section_int s (base + 4);
+          }
+        in
+        if Bigarray.Array1.dim pl.prow <> nnz then corrupt "amg level nnz mismatch";
+        let nfix = if l = 0 then nfine else (fun (_, c, _) -> c) shapes.(l - 1) in
+        check_level ~nfix pl;
+        pl)
+  in
+  let expect_cn = if nl = 0 then nfine else (fun (_, c, _) -> c) shapes.(nl - 1) in
+  if cn <> expect_cn then corrupt "amg coarse dimension %d does not chain (%d)" cn expect_cn;
+  let base = nl * 5 in
+  let arr_of_ivec v = Array.init (Bigarray.Array1.dim v) (Bigarray.Array1.get v) in
+  let arr_of_fvec v = Array.init (Bigarray.Array1.dim v) (Bigarray.Array1.get v) in
+  let colptr = arr_of_ivec (Util.Codec.section_int s base) in
+  let rowind = arr_of_ivec (Util.Codec.section_int s (base + 1)) in
+  let values = arr_of_fvec (Util.Codec.section_float s (base + 2)) in
+  if Array.length rowind <> coarse_nnz || Array.length values <> coarse_nnz then
+    corrupt "amg coarse nnz mismatch";
+  let coarse_csc =
+    match Sparse.create ~nrows:cn ~ncols:cn ~colptr ~rowind ~values with
+    | csc -> csc
+    | exception Invalid_argument why -> corrupt "amg coarse operator malformed: %s" why
+  in
+  let coarse_l =
+    match coarse_factor coarse_csc with
+    | l -> l
+    | exception Cholesky.Not_positive_definite _ ->
+        corrupt "amg coarse operator is not positive definite"
+  in
+  { pls; coarse_dim = cn; coarse_l; coarse_csc; ncycles; nfine }

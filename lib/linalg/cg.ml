@@ -13,7 +13,14 @@ let jacobi a =
   fun r -> Vec.mul_elementwise inv r
 
 (* IC(0): incomplete Cholesky restricted to the lower-triangular pattern of A. *)
-let ic0 a =
+type ic0_factor = {
+  ic_n : int;
+  ic_colptr : int array;
+  ic_rowind : int array;
+  ic_lx : float array;
+}
+
+let ic0_factorize a =
   let n, m = Sparse.dims a in
   if n <> m then invalid_arg "Cg.ic0: matrix is not square";
   let l = Sparse.lower a in
@@ -67,26 +74,43 @@ let ic0 a =
       if rowind.(p) > j then lx.(p) <- lx.(p) /. d
     done
   done;
+  { ic_n = n; ic_colptr = colptr; ic_rowind = rowind; ic_lx = lx }
+
+let ic0_dim f = f.ic_n
+
+let ic0_nnz f = Array.length f.ic_lx
+
+(* In-place L L^T solve on the incomplete factor: the allocation-free
+   apply behind both the closure form below and the mean-block
+   preconditioner's ic0 backend. *)
+let[@opera.hot] ic0_solve_in_place f (y : Vec.t) =
+  let n = f.ic_n in
+  if Array.length y <> n then invalid_arg "Cg.ic0_solve_in_place: dimension mismatch";
+  let colptr = f.ic_colptr and rowind = f.ic_rowind and lx = f.ic_lx in
+  (* Forward solve L y = r; columns sorted so diagonal is first. *)
+  for j = 0 to n - 1 do
+    let pjj = colptr.(j) in
+    let yj = y.(j) /. lx.(pjj) in
+    y.(j) <- yj;
+    for p = pjj + 1 to colptr.(j + 1) - 1 do
+      y.(rowind.(p)) <- y.(rowind.(p)) -. (lx.(p) *. yj)
+    done
+  done;
+  (* Back solve L^T z = y. *)
+  for j = n - 1 downto 0 do
+    let pjj = colptr.(j) in
+    let acc = ref y.(j) in
+    for p = pjj + 1 to colptr.(j + 1) - 1 do
+      acc := !acc -. (lx.(p) *. y.(rowind.(p)))
+    done;
+    y.(j) <- !acc /. lx.(pjj)
+  done
+
+let ic0 a =
+  let f = ic0_factorize a in
   fun r ->
     let y = Array.copy r in
-    (* Forward solve L y = r; columns sorted so diagonal is first. *)
-    for j = 0 to n - 1 do
-      let pjj = colptr.(j) in
-      let yj = y.(j) /. lx.(pjj) in
-      y.(j) <- yj;
-      for p = pjj + 1 to colptr.(j + 1) - 1 do
-        y.(rowind.(p)) <- y.(rowind.(p)) -. (lx.(p) *. yj)
-      done
-    done;
-    (* Back solve L^T z = y. *)
-    for j = n - 1 downto 0 do
-      let pjj = colptr.(j) in
-      let acc = ref y.(j) in
-      for p = pjj + 1 to colptr.(j + 1) - 1 do
-        acc := !acc -. (lx.(p) *. y.(rowind.(p)))
-      done;
-      y.(j) <- !acc /. lx.(pjj)
-    done;
+    ic0_solve_in_place f y;
     y
 
 (* Bounded ring buffer of residual norms: keeps the [cap] most recent

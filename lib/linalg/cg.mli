@@ -20,6 +20,21 @@ val ic0 : Sparse.t -> preconditioner
     Raises [Failure] when a pivot breaks down (matrix too indefinite for
     IC(0)). *)
 
+type ic0_factor
+(** The IC(0) factor behind {!ic0}, exposed so hot callers can keep it
+    and apply it in place. *)
+
+val ic0_factorize : Sparse.t -> ic0_factor
+(** Factorization half of {!ic0}; same breakdown behavior. *)
+
+val ic0_dim : ic0_factor -> int
+
+val ic0_nnz : ic0_factor -> int
+(** Stored entries of the incomplete factor. *)
+
+val ic0_solve_in_place : ic0_factor -> Vec.t -> unit
+(** Overwrite [y] with [(L L^T)^-1 y].  Allocation-free. *)
+
 val solve :
   ?precond:preconditioner ->
   ?max_iter:int ->

@@ -75,6 +75,105 @@ let of_triplets ~nrows ~ncols triplets =
   done;
   validate { nrows; ncols; colptr; rowind; values }
 
+(* In-place sort + duplicate merge of one column segment
+   [lo, hi): insertion sort by row index (stable, so duplicate
+   contributions sum in emission order — deterministic run to run),
+   then compact equal rows to the segment head, dropping exact-zero
+   sums.  Returns the merged entry count. *)
+let[@opera.hot] sort_merge_column (rowind : int array) (values : float array) lo hi =
+  for k = lo + 1 to hi - 1 do
+    let i = rowind.(k) and v = values.(k) in
+    let p = ref k in
+    while !p > lo && rowind.(!p - 1) > i do
+      rowind.(!p) <- rowind.(!p - 1);
+      values.(!p) <- values.(!p - 1);
+      decr p
+    done;
+    rowind.(!p) <- i;
+    values.(!p) <- v
+  done;
+  let out = ref lo and k = ref lo in
+  while !k < hi do
+    let i = rowind.(!k) in
+    let acc = ref values.(!k) in
+    incr k;
+    while !k < hi && rowind.(!k) = i do
+      acc := !acc +. values.(!k);
+      incr k
+    done;
+    if Util.Floats.nonzero !acc then begin
+      rowind.(!out) <- i;
+      values.(!out) <- !acc;
+      incr out
+    end
+  done;
+  !out - lo
+
+(* Streaming CSC assembly: the stamping path of the MNA builders.
+   [emit stamp] must call [stamp i j v] once per contribution and must
+   produce the same stamp sequence on both invocations — it runs twice,
+   a counting pass that sizes every column exactly and a fill pass that
+   lands each contribution in its column segment.  No triplet list is
+   ever materialized: peak memory is the raw stamp arrays (16 bytes per
+   stamp) plus two (ncols+1) counters, and the result shrinks to the
+   merged CSC.  Duplicates sum in emission order (stable per-column
+   sort), so the result is deterministic; exact-zero sums are dropped,
+   matching {!of_triplets}.  Stamp/entry counts and the raw peak land
+   in [metrics] ([sparse.stream_stamps], [sparse.stream_nnz],
+   [sparse.stream_peak_bytes]). *)
+let of_stamps ?(metrics = Util.Metrics.global) ~nrows ~ncols emit =
+  if nrows < 0 || ncols < 0 then invalid_arg "Sparse.of_stamps: negative dimension";
+  let count = Array.make (ncols + 1) 0 in
+  let stamps = ref 0 in
+  emit (fun i j v ->
+      if i < 0 || i >= nrows || j < 0 || j >= ncols then
+        invalid_arg (Printf.sprintf "Sparse.of_stamps: (%d,%d) out of %dx%d" i j nrows ncols);
+      ignore v;
+      count.(j + 1) <- count.(j + 1) + 1;
+      incr stamps);
+  for j = 1 to ncols do
+    count.(j) <- count.(j) + count.(j - 1)
+  done;
+  let raw = count in
+  (* raw.(j) .. raw.(j+1) is column j's segment *)
+  let nraw = raw.(ncols) in
+  let rowind = Array.make nraw 0 in
+  let values = Array.make nraw 0.0 in
+  let cursor = Array.make ncols 0 in
+  Array.blit raw 0 cursor 0 ncols;
+  emit (fun i j v ->
+      if i < 0 || i >= nrows || j < 0 || j >= ncols || cursor.(j) >= raw.(j + 1) then
+        invalid_arg "Sparse.of_stamps: emit changed between the counting and fill passes";
+      rowind.(cursor.(j)) <- i;
+      values.(cursor.(j)) <- v;
+      cursor.(j) <- cursor.(j) + 1);
+  for j = 0 to ncols - 1 do
+    if cursor.(j) <> raw.(j + 1) then
+      invalid_arg "Sparse.of_stamps: emit changed between the counting and fill passes"
+  done;
+  (* Merge every column in place, then compact left: each column's
+     merged entries move to their final offset (always <= the source
+     offset, so the in-place shift is safe). *)
+  let colptr = Array.make (ncols + 1) 0 in
+  for j = 0 to ncols - 1 do
+    let lo = raw.(j) and hi = raw.(j + 1) in
+    let kept = sort_merge_column rowind values lo hi in
+    let dst = colptr.(j) in
+    if dst <> lo then begin
+      Array.blit rowind lo rowind dst kept;
+      Array.blit values lo values dst kept
+    end;
+    colptr.(j + 1) <- dst + kept
+  done;
+  let total = colptr.(ncols) in
+  let rowind = if total = nraw then rowind else Array.sub rowind 0 total in
+  let values = if total = nraw then values else Array.sub values 0 total in
+  Util.Metrics.incr ~by:!stamps metrics "sparse.stream_stamps";
+  Util.Metrics.incr ~by:total metrics "sparse.stream_nnz";
+  Util.Metrics.observe metrics "sparse.stream_peak_bytes"
+    (float_of_int ((16 * nraw) + (8 * 2 * (ncols + 1))));
+  validate { nrows; ncols; colptr; rowind; values }
+
 let to_triplets a =
   let out = ref [] in
   for j = a.ncols - 1 downto 0 do

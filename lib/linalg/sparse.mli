@@ -19,6 +19,22 @@ val of_triplets : nrows:int -> ncols:int -> (int * int * float) list -> t
 (** Builds from (row, col, value) triplets; duplicate entries are summed,
     exact zeros are kept out. *)
 
+val of_stamps :
+  ?metrics:Util.Metrics.t ->
+  nrows:int ->
+  ncols:int ->
+  ((int -> int -> float -> unit) -> unit) ->
+  t
+(** [of_stamps ~nrows ~ncols emit] builds CSC directly from a stamping
+    pass: [emit stamp] calls [stamp i j v] once per contribution.
+    [emit] MUST be replayable — it runs twice (a counting pass sizing
+    every column exactly, then the fill); a sequence that changes
+    between passes raises [Invalid_argument].  No triplet list is
+    materialized: peak memory is 16 bytes per raw stamp plus two
+    column counters, counted into [metrics] ([sparse.stream_stamps],
+    [sparse.stream_nnz], [sparse.stream_peak_bytes]).  Duplicates sum
+    in emission order (deterministic); exact-zero sums are dropped. *)
+
 val to_triplets : t -> (int * int * float) list
 (** Column-major list of structural entries. *)
 

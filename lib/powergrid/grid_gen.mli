@@ -14,3 +14,13 @@ val generate : Grid_spec.t -> Circuit.t
 
 val center_node : Grid_spec.t -> Circuit.node
 (** Bottom-layer center — a convenient probe node far from the pads. *)
+
+val stream_mna : ?metrics:Util.Metrics.t -> Grid_spec.t -> Mna.t
+(** Assemble the MNA system of [generate spec] without materializing the
+    circuit: conductances and capacitances stamp straight into CSC via
+    {!Linalg.Sparse.of_stamps} (peak memory one triplet slot per stamp,
+    counted into [metrics]), and only the RNG-dependent block current
+    sources are built as values.  Matrices match
+    [Mna.assemble (generate spec)] up to duplicate-summation rounding;
+    waveforms, regions and the pad injection are bitwise identical.
+    Raises [Invalid_argument] on a zero pad series resistance. *)

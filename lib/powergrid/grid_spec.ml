@@ -47,9 +47,24 @@ let default =
     seed = 42L;
   }
 
+let layer_shrink spec l =
+  (* Exact integer coarsening^l.  Float [( ** )] loses exactness past 2^53
+     and [int_of_float] of the rounded value then misaddresses every node
+     above the bad layer; saturating at the mesh side is both exact and
+     overflow-free (layers past the floor are 2x2 anyway). *)
+  let cap = Int.max 2 (Int.max spec.rows spec.cols) in
+  let s = ref 1 in
+  (try
+     for _ = 1 to l do
+       s := !s * spec.coarsening;
+       if !s >= cap then raise Exit
+     done
+   with Exit -> s := cap);
+  !s
+
 let layer_dims spec l =
   if l < 0 || l >= spec.layers then invalid_arg "Grid_spec.layer_dims: layer out of range";
-  let shrink = int_of_float (float_of_int spec.coarsening ** float_of_int l) in
+  let shrink = layer_shrink spec l in
   (Int.max 2 (spec.rows / shrink), Int.max 2 (spec.cols / shrink))
 
 let node_count spec =

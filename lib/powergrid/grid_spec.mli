@@ -46,4 +46,10 @@ val node_count : t -> int
 val layer_dims : t -> int -> int * int
 (** Rows and columns of a given layer (0 = bottom). *)
 
+val layer_shrink : t -> int -> int
+(** Exact integer [coarsening^l], saturated at the bottom-mesh side.
+    (Float exponentiation rounds past 2^53, which silently corrupts node
+    addressing on deep hierarchies; all layer-scale math goes through
+    this.) *)
+
 val describe : t -> string

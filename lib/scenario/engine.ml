@@ -6,6 +6,7 @@ type config = {
   domains : int;
   metrics : Util.Metrics.t;
   warm_start : bool;
+  precond : Linalg.Precond.kind;
   resume : bool;
   shard : (int * int) option;
 }
@@ -17,6 +18,7 @@ let default_config =
     domains = 0;
     metrics = Util.Metrics.global;
     warm_start = true;
+    precond = Linalg.Precond.Cholesky;
     resume = false;
     shard = None;
   }
@@ -145,9 +147,12 @@ type st_ctx = {
   stspec : Powergrid.Grid_spec.t option;
   stvdd : float;
   stpoints : Opera.St_solver.points;
-  stf0 : Linalg.Sparse_cholesky.t;  (** factor of the mean G(0) *)
+  stf0 : Linalg.Sparse_cholesky.t option;
+      (** factor of the mean G(0); [None] under a non-exact [--precond]
+          (the solver builds its own mean-block backend) *)
   stfstep : (float * Linalg.Sparse_cholesky.t array) list;
-      (** per h: one factor of [G(xi_i) + C(xi_i)/h] per testing point *)
+      (** per h: one factor of [G(xi_i) + C(xi_i)/h] per testing point;
+          empty under a non-exact [--precond] *)
 }
 
 type ctx = Galerkin_ctx of galerkin_ctx | Special_ctx of special_ctx | St_ctx of st_ctx
@@ -167,7 +172,7 @@ let stepping_hs members =
          match j.analysis with Job.Dc -> None | _ -> Some j.h)
   |> List.sort_uniq compare
 
-let build_galerkin_ctx store count (rep : Job.t) members =
+let build_galerkin_ctx store count ~precond (rep : Job.t) members =
   let circuit, gvdd, gspec =
     match rep.Job.source with
     | Job.Generated { nodes } ->
@@ -242,21 +247,31 @@ let build_galerkin_ctx store count (rep : Job.t) members =
             Linalg.Ordering.compute Linalg.Ordering.Nested_dissection
               (Opera.Stochastic_model.node_pattern model))
       in
+      (* Under a non-exact preconditioner the engine caches no factors at
+         all: passing [f0]/[fstep] would pin the solver's exact path, and
+         at the node counts where ic0/amg matter the N+1 per-point
+         stepping factors are exactly the memory this knob avoids. *)
+      let exact = precond = Linalg.Precond.Cholesky in
       let stf0 =
-        cached_factor store ~count ~key:(tagged_key rep "st-g0") ~dim:n (fun () ->
-            Linalg.Sparse_cholesky.factor ~perm (Opera.St_solver.mean_g model))
+        if not exact then None
+        else
+          Some
+            (cached_factor store ~count ~key:(tagged_key rep "st-g0") ~dim:n (fun () ->
+                 Linalg.Sparse_cholesky.factor ~perm (Opera.St_solver.mean_g model)))
       in
       let stfstep =
-        List.map
-          (fun h ->
-            let fs =
-              Array.init size (fun i ->
-                  cached_factor store ~count ~key:(st_point_key rep h i) ~dim:n (fun () ->
-                      Linalg.Sparse_cholesky.factor ~perm
-                        (Opera.St_solver.step_matrix model points i ~h)))
-            in
-            (h, fs))
-          (stepping_hs members)
+        if not exact then []
+        else
+          List.map
+            (fun h ->
+              let fs =
+                Array.init size (fun i ->
+                    cached_factor store ~count ~key:(st_point_key rep h i) ~dim:n (fun () ->
+                        Linalg.Sparse_cholesky.factor ~perm
+                          (Opera.St_solver.step_matrix model points i ~h)))
+              in
+              (h, fs))
+            (stepping_hs members)
       in
       St_ctx { stmodel = model; stspec = gspec; stvdd = gvdd; stpoints = points; stf0; stfstep }
 
@@ -318,10 +333,10 @@ let build_special_ctx store count (rep : Job.t) members =
   in
   Special_ctx { sc; sspec; sfdc; sfbe }
 
-let build_ctx store count (rep : Job.t) members =
+let build_ctx store count ~precond (rep : Job.t) members =
   match rep.analysis with
   | Job.Special _ -> build_special_ctx store count rep members
-  | Job.Dc | Job.Transient | Job.Yield _ -> build_galerkin_ctx store count rep members
+  | Job.Dc | Job.Transient | Job.Yield _ -> build_galerkin_ctx store count ~precond rep members
 
 (* ---- per-job execution ----------------------------------------------- *)
 
@@ -490,7 +505,7 @@ let direct_dc (ctx : galerkin_ctx) (job : Job.t) ~inner reg =
       Linalg.Sparse_cholesky.solve_in_place_ws fdc ~domains:inner ~work coefs);
   coefs
 
-let galerkin_options (job : Job.t) reg ~probe ~inner ~warm_start =
+let galerkin_options (job : Job.t) reg ~probe ~inner ~warm_start ~precond =
   {
     Opera.Galerkin.default_options with
     Opera.Galerkin.solver = job.solver;
@@ -499,9 +514,10 @@ let galerkin_options (job : Job.t) reg ~probe ~inner ~warm_start =
     policy = job.policy;
     metrics = reg;
     warm_start;
+    precond;
   }
 
-let run_galerkin_job (ctx : galerkin_ctx) (job : Job.t) reg ~inner ~warm_start =
+let run_galerkin_job (ctx : galerkin_ctx) (job : Job.t) reg ~inner ~warm_start ~precond =
   let n = ctx.model.Opera.Stochastic_model.n in
   let probe = resolve_probe job ctx.gspec n in
   let vdd = ctx.gvdd in
@@ -511,7 +527,7 @@ let run_galerkin_job (ctx : galerkin_ctx) (job : Job.t) reg ~inner ~warm_start =
       (dc_record job ~vdd ~model:ctx.model ~probe coefs, None)
   | Job.Dc, None ->
       let model = scaled_model ctx.model job in
-      let options = galerkin_options job reg ~probe ~inner ~warm_start in
+      let options = galerkin_options job reg ~probe ~inner ~warm_start ~precond in
       let coefs = Opera.Galerkin.solve_dc ~options model in
       (dc_record job ~vdd ~model ~probe coefs, None)
   | (Job.Transient | Job.Yield _), _ ->
@@ -520,7 +536,7 @@ let run_galerkin_job (ctx : galerkin_ctx) (job : Job.t) reg ~inner ~warm_start =
         | Some _ -> direct_transient ctx job ~probe ~inner reg
         | None ->
             let model = scaled_model ctx.model job in
-            let options = galerkin_options job reg ~probe ~inner ~warm_start in
+            let options = galerkin_options job reg ~probe ~inner ~warm_start ~precond in
             let response, _stats =
               Opera.Galerkin.solve_transient ~options model ~h:job.h ~steps:job.steps
             in
@@ -577,7 +593,7 @@ let run_special_job (ctx : special_ctx) (job : Job.t) reg ~inner =
 (* The engine precomputes everything (candidates, seed) shapes — the
    point set and every factor — so only the convergence knobs of the
    job's [St] payload still matter here. *)
-let st_options_of (job : Job.t) reg ~probe ~inner =
+let st_options_of (job : Job.t) reg ~probe ~inner ~precond =
   let tol, max_refine, candidates, seed =
     match job.solver with
     | Opera.Galerkin.St { tol; max_refine; candidates; seed } -> (tol, max_refine, candidates, seed)
@@ -589,25 +605,26 @@ let st_options_of (job : Job.t) reg ~probe ~inner =
     refine_tol = tol;
     refine_max = max_refine;
     ordering = Linalg.Ordering.Nested_dissection;
+    precond;
     probes = [| probe |];
     domains = inner;
     metrics = reg;
   }
 
-let run_st_job (ctx : st_ctx) (job : Job.t) reg ~inner =
+let run_st_job (ctx : st_ctx) (job : Job.t) reg ~inner ~precond =
   let model = scaled_model ctx.stmodel job in
   let n = model.Opera.Stochastic_model.n in
   let probe = resolve_probe job ctx.stspec n in
   let vdd = ctx.stvdd in
-  let options = st_options_of job reg ~probe ~inner in
+  let options = st_options_of job reg ~probe ~inner ~precond in
   match job.analysis with
   | Job.Dc ->
-      let coefs, _stats = Opera.St_solver.solve_dc ~options ~points:ctx.stpoints ~f0:ctx.stf0 model in
+      let coefs, _stats = Opera.St_solver.solve_dc ~options ~points:ctx.stpoints ?f0:ctx.stf0 model in
       (dc_record job ~vdd ~model ~probe coefs, None)
   | Job.Transient | Job.Yield _ ->
-      let fstep = List.assoc job.h ctx.stfstep in
+      let fstep = List.assoc_opt job.h ctx.stfstep in
       let response, _stats =
-        Opera.St_solver.solve_transient ~options ~points:ctx.stpoints ~f0:ctx.stf0 ~fstep model
+        Opera.St_solver.solve_transient ~options ~points:ctx.stpoints ?f0:ctx.stf0 ?fstep model
           ~h:job.h ~steps:job.steps
       in
       let fields = transient_fields response ~vdd ~probe ~steps:job.steps ~n in
@@ -620,13 +637,13 @@ let run_st_job (ctx : st_ctx) (job : Job.t) reg ~inner =
       (base_fields job ~probe fields, Some response)
   | Job.Special _ -> invalid_arg "Engine.run_st_job: special job in an st group"
 
-let run_job ctx job reg ~inner ~warm_start =
+let run_job ctx job reg ~inner ~warm_start ~precond =
   Util.Metrics.incr reg "engine.jobs";
   Util.Metrics.span reg "engine.job_s" (fun () ->
       match ctx with
-      | Galerkin_ctx g -> run_galerkin_job g job reg ~inner ~warm_start
+      | Galerkin_ctx g -> run_galerkin_job g job reg ~inner ~warm_start ~precond
       | Special_ctx s -> run_special_job s job reg ~inner
-      | St_ctx s -> run_st_job s job reg ~inner)
+      | St_ctx s -> run_st_job s job reg ~inner ~precond)
 
 (* ---- batch execution ------------------------------------------------- *)
 
@@ -683,7 +700,8 @@ let run ?(config = default_config) ?emit jobs =
       let rep = jobs.(pending.(members.(0))) in
       let ctx =
         Util.Metrics.span metrics "engine.group_setup_s" (fun () ->
-            build_ctx store count rep (Array.map (fun i -> jobs.(pending.(i))) members))
+            build_ctx store count ~precond:config.precond rep
+              (Array.map (fun i -> jobs.(pending.(i))) members))
       in
       Array.iter (fun i -> ctx_of.(pending.(i)) <- Some ctx) members)
     groups;
@@ -737,6 +755,7 @@ let run ?(config = default_config) ?emit jobs =
     let i = pending.(c) in
     (match
        run_job (Option.get ctx_of.(i)) jobs.(i) regs.(c) ~inner ~warm_start:config.warm_start
+         ~precond:config.precond
      with
     | record, response ->
         (* Journal-ahead: the record is on disk (atomically) before it

@@ -58,6 +58,14 @@ type config = {
           step (with linear extrapolation) for iterative jobs; see
           {!Opera.Galerkin.options}.  Does not affect records of
           converged runs beyond iteration counts. *)
+  precond : Linalg.Precond.kind;
+      (** mean-block preconditioner backend for iterative jobs (pcg,
+          matrix-free and st): exact [Cholesky] (default — historical
+          behavior bitwise), [Ic0], [Amg], or [Auto] (switches to AMG
+          above {!Linalg.Precond.auto_threshold} nodes).  Under a
+          non-exact backend the engine also stops caching st per-point
+          stepping factors — bounded memory at 10^5+ nodes.  Direct and
+          special-case jobs ignore it. *)
   resume : bool;
       (** replay journaled results from the cache dir instead of
           re-running their jobs; no-op without a [cache_dir] *)

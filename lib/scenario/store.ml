@@ -43,51 +43,81 @@ let touch file =
      read-only cache dir must not fail the lookup that reused it. *)
   try Unix.utimes file 0.0 0.0 with Unix.Unix_error _ -> ()
 
+(* The shared skeleton of both lookup shapes: count the miss and encode
+   on rebuild, never trust a damaged artifact (log, drop, rebuild), and
+   classify every decode outcome.  [read] returns the raw load result;
+   [finish] turns it into the value (both may raise [Corrupt]). *)
+let lookup t ~file ~write ~read ~finish ~on_hit ~build =
+  let rebuild () =
+    t.stats.misses <- t.stats.misses + 1;
+    Util.Metrics.incr t.metrics "store.misses";
+    let value = build () in
+    Util.Codec.write_file file (write value);
+    t.stats.writes <- t.stats.writes + 1;
+    Util.Metrics.incr t.metrics "store.writes";
+    value
+  in
+  let corrupt why =
+    t.stats.corrupt <- t.stats.corrupt + 1;
+    Util.Metrics.incr t.metrics "store.corrupt";
+    Util.Log.warnf "store: rebuilding corrupt artifact %s (%s)" file why;
+    remove_corrupt file;
+    rebuild ()
+  in
+  match read () with
+  | exception Util.Codec.Corrupt why -> corrupt why
+  | None -> rebuild ()
+  | Some loaded -> (
+      match finish loaded with
+      | value ->
+          t.stats.hits <- t.stats.hits + 1;
+          Util.Metrics.incr t.metrics "store.hits";
+          on_hit loaded;
+          touch file;
+          value
+      | exception Util.Codec.Corrupt why -> corrupt why
+      | exception ((Out_of_memory | Stack_overflow) as fatal) -> raise fatal
+      | exception e ->
+          (* A checksum-valid frame whose payload still blows up the
+             decoder (stale encoder, schema drift the version tag
+             missed) is cache damage, not a bug worth crashing the
+             batch over — same drop-and-rebuild path as Corrupt. *)
+          corrupt (Printexc.to_string e))
+
 let find_or_build t ~kind ~version ~key ~encode ~decode ~build =
   match path t ~kind ~key with
   | None -> build ()
   | Some file ->
-      let rebuild () =
-        t.stats.misses <- t.stats.misses + 1;
-        Util.Metrics.incr t.metrics "store.misses";
-        let value = build () in
-        let bytes = Util.Codec.frame ~kind ~version (encode value) in
-        Util.Codec.write_file file bytes;
-        t.stats.writes <- t.stats.writes + 1;
-        Util.Metrics.incr t.metrics "store.writes";
-        value
-      in
-      let corrupt why =
-        (* Never trust a damaged artifact: log, drop, rebuild. *)
-        t.stats.corrupt <- t.stats.corrupt + 1;
-        Util.Metrics.incr t.metrics "store.corrupt";
-        Util.Log.warnf "store: rebuilding corrupt artifact %s (%s)" file why;
-        remove_corrupt file;
-        rebuild ()
-      in
-      (match Util.Codec.read_file file with
-      | exception Util.Codec.Corrupt why -> corrupt why
-      | None -> rebuild ()
-      | Some bytes -> (
-          match
-            let d = Util.Codec.unframe ~kind ~version bytes in
-            let value = decode d in
-            Util.Codec.expect_end d;
-            value
-          with
-          | value ->
-              t.stats.hits <- t.stats.hits + 1;
-              Util.Metrics.incr t.metrics "store.hits";
-              touch file;
-              value
-          | exception Util.Codec.Corrupt why -> corrupt why
-          | exception ((Out_of_memory | Stack_overflow) as fatal) -> raise fatal
-          | exception e ->
-              (* A checksum-valid frame whose payload still blows up the
-                 decoder (stale encoder, schema drift the version tag
-                 missed) is cache damage, not a bug worth crashing the
-                 batch over — same drop-and-rebuild path as Corrupt. *)
-              corrupt (Printexc.to_string e)))
+      lookup t ~file
+        ~write:(fun value -> Util.Codec.frame ~kind ~version (encode value))
+        ~read:(fun () -> Util.Codec.read_frame ~kind ~version file)
+        ~finish:(fun d ->
+          let value = decode d in
+          Util.Codec.expect_end d;
+          value)
+        ~on_hit:(fun _ -> ())
+        ~build
+
+let find_or_build_sections t ~kind ~version ~key ~encode ~decode ~build =
+  match path t ~kind ~key with
+  | None -> build ()
+  | Some file ->
+      lookup t ~file
+        ~write:(fun value ->
+          let meta, sections = encode value in
+          Util.Codec.frame_v2 ~kind ~version ~meta ~sections)
+        ~read:(fun () -> Util.Codec.read_frame_v2 ~kind ~version file)
+        ~finish:(fun (d, sections) ->
+          let value = decode d sections in
+          Util.Codec.expect_end d;
+          value)
+        ~on_hit:(fun (_, sections) ->
+          (* Warm replays should be mapped views, not decoded copies;
+             the split tells a perf regression from a cache win. *)
+          if Util.Codec.sections_mapped sections then
+            Util.Metrics.incr t.metrics "store.map_hits"
+          else Util.Metrics.incr t.metrics "store.full_decodes")
+        ~build
 
 (* ---- garbage collection ----------------------------------------------
 

@@ -63,7 +63,29 @@ val find_or_build :
     is treated the same way: logged, dropped, rebuilt.  Only
     [Out_of_memory] and [Stack_overflow] stay fatal.  On miss,
     [build ()] runs and its encoding is written back atomically (temp
-    file + rename, world-readable). *)
+    file + rename, world-readable).  The hit path streams the frame
+    ({!Util.Codec.read_frame}): the artifact is resident once, with the
+    checksum folded during the read — gigabyte factors never occupy
+    double their size. *)
+
+val find_or_build_sections :
+  t ->
+  kind:string ->
+  version:int ->
+  key:string ->
+  encode:('a -> (Util.Codec.encoder -> unit) * Util.Codec.section_data list) ->
+  decode:(Util.Codec.decoder -> Util.Codec.sections -> 'a) ->
+  build:(unit -> 'a) ->
+  'a
+(** {!find_or_build} over v2 section frames ({!Util.Codec.frame_v2}).
+    [encode] splits a value into scalar meta plus raw numeric sections;
+    on hit, [decode] receives the meta decoder and zero-copy
+    [Unix.map_file]-backed section views when the host allows mapping
+    (a warm million-node preconditioner replays without decoding its
+    gigabytes), or copying views otherwise.  Hits count
+    [store.map_hits] vs [store.full_decodes] in the metrics registry on
+    top of the usual [store.hits].  Error discipline is exactly
+    {!find_or_build}'s. *)
 
 val gc_dir : dir:string -> kind:string -> keep:(string -> bool) -> int
 (** Remove every [<kind>-<key>.opra] under [dir] whose [key] fails the

@@ -157,6 +157,7 @@ let serve_batch state req =
       domains = state.cfg.domains;
       metrics = reg;
       warm_start = state.cfg.warm_start;
+      precond = Linalg.Precond.Cholesky;
       resume = req.reuse && state.cfg.cache_dir <> None;
       shard = None;
     }

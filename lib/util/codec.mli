@@ -80,6 +80,14 @@ val unframe : kind:string -> version:int -> string -> decoder
 val fnv1a : ?pos:int -> ?len:int -> string -> int64
 (** FNV-1a 64-bit hash of a substring (integrity, not cryptography). *)
 
+val fnv1a_init : int64
+(** Initial state of the running FNV-1a form. *)
+
+val fnv1a_fold : int64 -> Bytes.t -> int -> int -> int64
+(** [fnv1a_fold h b pos len] advances the running hash over a chunk —
+    the incremental form used by {!read_frame} to checksum a payload
+    while it is read, without a second pass. *)
+
 (** {1 Files} *)
 
 val write_file : string -> string -> unit
@@ -94,3 +102,66 @@ val read_file : string -> string option
     (open failed).  A file that opens but is zero-length or truncates
     mid-read raises {!Corrupt} — that is cache damage, not a miss, and
     callers must take their drop-and-rebuild path. *)
+
+val read_frame : kind:string -> version:int -> string -> decoder option
+(** Single-pass framed read: validates the v1 header straight off the
+    channel, then reads the payload into its one final buffer in chunks,
+    folding the FNV-1a checksum over each chunk as it lands.  Unlike
+    {!read_file} + {!unframe}, the artifact is never resident twice and
+    the checksum never re-walks the payload.  [None] when the file is
+    missing or unreadable; {!Corrupt} on any damage (including a v2
+    format byte — dispatch by artifact kind, not by sniffing). *)
+
+(** {1 v2 frames: mmap-decodable section payloads}
+
+    A v2 frame splits its payload into a small [meta] encoder section
+    (scalars, dimensions) and a table of 8-aligned raw numeric runs.
+    On a 64-bit little-endian host the runs coincide byte-for-byte with
+    the memory layout of [int] / [float64] Bigarrays, so {!read_frame_v2}
+    can return zero-copy [Unix.map_file]-backed views over the artifact
+    — a warm million-node factor loads without decoding gigabytes.  The
+    checksum is verified over the mapped region before any view is
+    handed out; foreign hosts and refused mappings take a copying
+    fallback that decodes the same bytes portably. *)
+
+type fsection = (float, Bigarray.float64_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+type isection = (int, Bigarray.int_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+(** What the writer hands to {!frame_v2}, one per section. *)
+type section_data =
+  | F_arr of float array
+  | I_arr of int array
+  | F_big of fsection
+  | I_big of isection
+
+type sections
+(** Decoded (or mapped) section views of one v2 payload. *)
+
+val sections_mapped : sections -> bool
+(** [true] when the views are [Unix.map_file]-backed (zero-copy). *)
+
+val section_count : sections -> int
+
+val section_float : sections -> int -> fsection
+(** Section by table position; {!Corrupt} on a tag or range mismatch. *)
+
+val section_int : sections -> int -> isection
+
+val frame_v2 :
+  kind:string ->
+  version:int ->
+  meta:(encoder -> unit) ->
+  sections:section_data list ->
+  string
+(** Serialize a v2 frame.  Elements are written little-endian (i64 for
+    ints, IEEE-754 bits for floats) regardless of host order, so the
+    frame reads back anywhere; mapping is what needs a matching host. *)
+
+val read_frame_v2 :
+  ?map:bool -> kind:string -> version:int -> string -> (decoder * sections) option
+(** Load a v2 frame: the meta decoder plus section views.  With
+    [map = true] (default) a matching 64-bit little-endian host gets
+    mapped views, checksummed over the mapped region; otherwise — or
+    when mapping fails — a streaming read + copying decode.  [None] when
+    the file is missing; {!Corrupt} on damage. *)

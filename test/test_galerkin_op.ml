@@ -180,6 +180,46 @@ let test_solve_bitwise_across_domains () =
     done
   done
 
+(* --- AMG mean-block preconditioner ------------------------------------- *)
+
+let test_amg_precond_matches_direct () =
+  let m = small_model () in
+  let a_direct = Opera.Galerkin.solve_dc ~options:(solver_options Opera.Galerkin.Direct) m in
+  let a_amg =
+    Opera.Galerkin.solve_dc
+      ~options:
+        {
+          (solver_options (Opera.Galerkin.Mean_pcg { tol = 1e-12; max_iter = 2000 })) with
+          Opera.Galerkin.precond = Linalg.Precond.Amg;
+        }
+      m
+  in
+  Helpers.check_vec ~eps:1e-6 "AMG-preconditioned DC coefficients" a_direct a_amg
+
+let test_amg_precond_bitwise_across_domains () =
+  (* One AMG application is a purely sequential pass, so swapping the
+     chaos-block fan-out width must not move a single bit. *)
+  let m = small_model () in
+  let steps = 4 in
+  let solve domains =
+    let options =
+      {
+        (solver_options ~domains (Opera.Galerkin.Matrix_free_pcg { tol = 1e-12; max_iter = 1000 })) with
+        Opera.Galerkin.precond = Linalg.Precond.Amg;
+      }
+    in
+    fst (Opera.Galerkin.solve_transient ~options m ~h:0.25e-9 ~steps)
+  in
+  let r1 = solve 1 and r3 = solve 3 in
+  let n = m.Opera.Stochastic_model.n in
+  for step = 0 to steps do
+    for node = 0 to n - 1 do
+      Helpers.check_float ~eps:0.0 "AMG precond: sequential = 3 domains (bitwise)"
+        (Opera.Response.mean_at r1 ~step ~node)
+        (Opera.Response.mean_at r3 ~step ~node)
+    done
+  done
+
 (* --- never assembles the Kronecker product ----------------------------- *)
 
 let test_matrix_free_never_calls_kron () =
@@ -225,6 +265,9 @@ let suite =
     Alcotest.test_case "matrix-free trapezoidal = direct" `Quick test_matrix_free_trapezoidal;
     Alcotest.test_case "apply bitwise across domains" `Quick test_apply_bitwise_across_domains;
     Alcotest.test_case "solve bitwise across domains" `Quick test_solve_bitwise_across_domains;
+    Alcotest.test_case "AMG precond DC = direct" `Quick test_amg_precond_matches_direct;
+    Alcotest.test_case "AMG precond bitwise across domains" `Quick
+      test_amg_precond_bitwise_across_domains;
     Alcotest.test_case "never calls kron" `Quick test_matrix_free_never_calls_kron;
     Alcotest.test_case "apply_into validation" `Quick test_apply_into_rejects_aliasing;
   ]

@@ -221,5 +221,64 @@ let test_run_full_matches_nodal_for_rc () =
       (Linalg.Vec.approx_equal ~tol:1e-8 x1 x2)
   done
 
+(* --- streaming assembly ------------------------------------------------- *)
+
+let test_stream_mna_matches_assemble () =
+  (* The streaming path must produce the same system as the circuit
+     path.  Matrices agree up to duplicate-summation rounding (to_csc
+     sorts duplicate runs unstably, of_stamps sums in emission order);
+     the pad injection, waveforms and regions are bitwise identical. *)
+  let spec = Helpers.small_grid_spec in
+  let reference = Powergrid.Mna.assemble (Powergrid.Grid_gen.generate spec) in
+  let streamed = Powergrid.Grid_gen.stream_mna spec in
+  Alcotest.(check int) "n" reference.Powergrid.Mna.n streamed.Powergrid.Mna.n;
+  let close what a b =
+    Alcotest.(check bool) what true (Linalg.Sparse.approx_equal ~tol:1e-13 a b)
+  in
+  close "g_wire" reference.Powergrid.Mna.g_wire streamed.Powergrid.Mna.g_wire;
+  close "g_pad" reference.Powergrid.Mna.g_pad streamed.Powergrid.Mna.g_pad;
+  close "c_gate" reference.Powergrid.Mna.c_gate streamed.Powergrid.Mna.c_gate;
+  close "c_fixed" reference.Powergrid.Mna.c_fixed streamed.Powergrid.Mna.c_fixed;
+  Helpers.check_vec ~eps:0.0 "u_pad bitwise" reference.Powergrid.Mna.u_pad
+    streamed.Powergrid.Mna.u_pad;
+  let ri = reference.Powergrid.Mna.isources and si = streamed.Powergrid.Mna.isources in
+  Alcotest.(check int) "isource count" (Array.length ri) (Array.length si) ;
+  Array.iteri
+    (fun k (r : Powergrid.Circuit.current_source) ->
+      let s = si.(k) in
+      Alcotest.(check int) "inode" r.Powergrid.Circuit.inode s.Powergrid.Circuit.inode;
+      Alcotest.(check int) "region" r.Powergrid.Circuit.region s.Powergrid.Circuit.region;
+      List.iter
+        (fun t ->
+          Helpers.check_float ~eps:0.0 "waveform bitwise"
+            (Powergrid.Waveform.eval r.Powergrid.Circuit.wave t)
+            (Powergrid.Waveform.eval s.Powergrid.Circuit.wave t))
+        [ 0.0; 0.3e-9; 1.1e-9; 4.7e-9 ])
+    ri
+
+let test_stream_mna_rejects_ideal_pads () =
+  let spec = { Helpers.small_grid_spec with Powergrid.Grid_spec.pad_res = 0.0 } in
+  try
+    ignore (Powergrid.Grid_gen.stream_mna spec);
+    Alcotest.fail "pad_res = 0 accepted"
+  with Invalid_argument _ -> ()
+
+let test_layer_shrink_exact () =
+  let spec =
+    { Helpers.small_grid_spec with Powergrid.Grid_spec.rows = 729; cols = 729; coarsening = 3 }
+  in
+  (* Exact powers, no float rounding... *)
+  Alcotest.(check int) "3^0" 1 (Powergrid.Grid_spec.layer_shrink spec 0);
+  Alcotest.(check int) "3^4" 81 (Powergrid.Grid_spec.layer_shrink spec 4);
+  Alcotest.(check int) "3^6" 729 (Powergrid.Grid_spec.layer_shrink spec 6);
+  (* ...and saturation at the bottom-mesh side instead of overflow. *)
+  Alcotest.(check int) "saturates" 729 (Powergrid.Grid_spec.layer_shrink spec 64)
+
 let suite =
-  suite @ [ Alcotest.test_case "run_full = nodal on RC" `Quick test_run_full_matches_nodal_for_rc ]
+  suite
+  @ [
+      Alcotest.test_case "run_full = nodal on RC" `Quick test_run_full_matches_nodal_for_rc;
+      Alcotest.test_case "stream_mna = assemble" `Quick test_stream_mna_matches_assemble;
+      Alcotest.test_case "stream_mna ideal pads" `Quick test_stream_mna_rejects_ideal_pads;
+      Alcotest.test_case "layer_shrink exact" `Quick test_layer_shrink_exact;
+    ]

@@ -48,6 +48,7 @@ let run ?cache_dir ?(jobs_parallel = 1) ?(resume = false) ?shard ?metrics ?emit 
       domains = 1;
       metrics;
       warm_start = true;
+      precond = Linalg.Precond.Cholesky;
       resume;
       shard;
     }

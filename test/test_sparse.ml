@@ -180,6 +180,80 @@ let test_mul_vec_acc_matches_mul_vec =
       Linalg.Sparse.mul_vec_acc ~alpha a x y;
       Linalg.Vec.approx_equal ~tol:1e-12 expected y)
 
+(* --- streaming CSC construction (of_stamps) ---------------------------- *)
+
+let test_of_stamps_matches_triplets () =
+  let rng = Helpers.rng () in
+  let n = 9 in
+  let trips =
+    List.init 150 (fun _ ->
+        (Prob.Rng.int rng n, Prob.Rng.int rng n, Prob.Rng.float_range rng (-2.0) 2.0))
+  in
+  let reference = of_triplets ~nrows:n ~ncols:n trips in
+  let streamed =
+    Linalg.Sparse.of_stamps ~nrows:n ~ncols:n (fun stamp ->
+        List.iter (fun (i, j, v) -> stamp i j v) trips)
+  in
+  (* to_csc sorts duplicate runs with an unstable sort while of_stamps
+     sums in emission order — equal up to summation rounding, not
+     bitwise. *)
+  Alcotest.(check bool) "streamed = triplet build" true
+    (Linalg.Sparse.approx_equal ~tol:1e-13 reference streamed)
+
+let test_of_stamps_dedup () =
+  let a =
+    Linalg.Sparse.of_stamps ~nrows:2 ~ncols:2 (fun stamp ->
+        stamp 0 0 1.0;
+        stamp 0 0 2.0;
+        stamp 1 1 (-1.0);
+        stamp 1 1 1.0)
+  in
+  Alcotest.(check int) "duplicates merged, exact zeros dropped" 1 (Linalg.Sparse.nnz a);
+  Helpers.check_float "summed" 3.0 (Linalg.Sparse.get a 0 0);
+  Helpers.check_float "cancelled" 0.0 (Linalg.Sparse.get a 1 1)
+
+let test_of_stamps_validation () =
+  (try
+     ignore (Linalg.Sparse.of_stamps ~nrows:2 ~ncols:2 (fun stamp -> stamp 2 0 1.0));
+     Alcotest.fail "row out of range accepted"
+   with Invalid_argument _ -> ());
+  (try
+     ignore (Linalg.Sparse.of_stamps ~nrows:2 ~ncols:2 (fun stamp -> stamp 0 (-1) 1.0));
+     Alcotest.fail "negative column accepted"
+   with Invalid_argument _ -> ());
+  (* The emit closure runs twice (count, then fill); one that emits a
+     different sequence on the second pass must be rejected, not silently
+     build a corrupt matrix. *)
+  let calls = ref 0 in
+  (try
+     ignore
+       (Linalg.Sparse.of_stamps ~nrows:2 ~ncols:2 (fun stamp ->
+            incr calls;
+            stamp 0 0 1.0;
+            if !calls > 1 then stamp 1 1 1.0));
+     Alcotest.fail "unstable emit accepted"
+   with Invalid_argument msg ->
+     Alcotest.(check bool) "names the replay contract" true
+       (String.length msg > 0
+       && String.ends_with ~suffix:"emit changed between the counting and fill passes" msg))
+
+let test_of_stamps_metrics () =
+  let metrics = Util.Metrics.create () in
+  let a =
+    Linalg.Sparse.of_stamps ~metrics ~nrows:3 ~ncols:3 (fun stamp ->
+        stamp 0 0 1.0;
+        stamp 1 1 1.0;
+        stamp 1 1 2.0;
+        stamp 2 0 4.0)
+  in
+  Alcotest.(check int) "nnz after merge" 3 (Linalg.Sparse.nnz a);
+  Alcotest.(check int) "raw stamps counted" 4 (Util.Metrics.counter metrics "sparse.stream_stamps");
+  Alcotest.(check int) "merged nnz counted" 3 (Util.Metrics.counter metrics "sparse.stream_nnz");
+  (* 4 raw stamps at 16 bytes + two (ncols+1) int counters *)
+  Helpers.check_float "peak bytes observed"
+    (float_of_int ((16 * 4) + (8 * 2 * 4)))
+    (Util.Metrics.total metrics "sparse.stream_peak_bytes")
+
 let suite =
   [
     Alcotest.test_case "of_triplets dedup" `Quick test_of_triplets_dedup;
@@ -199,4 +273,8 @@ let suite =
     Alcotest.test_case "mul_vec_acc" `Quick test_mul_vec_acc;
     Alcotest.test_case "mul_vec_acc_off" `Quick test_mul_vec_acc_off;
     test_mul_vec_acc_matches_mul_vec;
+    Alcotest.test_case "of_stamps = of_triplets" `Quick test_of_stamps_matches_triplets;
+    Alcotest.test_case "of_stamps dedup" `Quick test_of_stamps_dedup;
+    Alcotest.test_case "of_stamps validation" `Quick test_of_stamps_validation;
+    Alcotest.test_case "of_stamps metrics" `Quick test_of_stamps_metrics;
   ]

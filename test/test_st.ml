@@ -142,6 +142,26 @@ let test_transient_matches_on_netlist () =
       let st, _ = St.solve_transient ~options:(st_options m) m ~h ~steps in
       check_moments_close ~what:"netlist" ~steps ~n:m.Opera.Stochastic_model.n galerkin st)
 
+let test_nonexact_precond_matches_exact () =
+  (* The AMG mean-solver backend drops the N+1 per-point stepping
+     factors; every point is still refined to the same residual target,
+     so the recovered moments must agree with the exact route to
+     refinement accuracy. *)
+  let m = model () in
+  let h = 0.25e-9 and steps = 4 in
+  let exact, exact_stats = St.solve_transient ~options:(st_options m) m ~h ~steps in
+  let amg, stats =
+    St.solve_transient
+      ~options:{ (st_options m) with St.precond = Linalg.Precond.Amg }
+      m ~h ~steps
+  in
+  Alcotest.(check bool) "fewer factorizations than the per-point route" true
+    (stats.St.factorizations < exact_stats.St.factorizations);
+  Alcotest.(check bool) "healthy refinement" true
+    (Linalg.Solve_report.agg_healthy stats.St.health);
+  check_moments_close ~what:"amg mean-solver backend" ~steps ~n:m.Opera.Stochastic_model.n
+    exact amg
+
 let test_dc_matches_galerkin () =
   let m = model () in
   let n = m.Opera.Stochastic_model.n in
@@ -369,6 +389,7 @@ let suite =
     Alcotest.test_case "transient st = galerkin" `Quick test_transient_matches_galerkin;
     Alcotest.test_case "netlist st = galerkin" `Quick test_transient_matches_on_netlist;
     Alcotest.test_case "dc st = galerkin" `Quick test_dc_matches_galerkin;
+    Alcotest.test_case "non-exact precond = exact" `Quick test_nonexact_precond_matches_exact;
     Alcotest.test_case "galerkin dispatch" `Quick test_galerkin_dispatch;
     Alcotest.test_case "domain-count bitwise" `Quick test_domain_count_bitwise;
     Alcotest.test_case "point factor codec roundtrip" `Quick test_point_factor_codec_roundtrip;
